@@ -1,0 +1,65 @@
+// E11 — §V-C ablation: the power-aware algorithms depend on the MVAPICH2
+// "bunch" process-to-core mapping. This bench compares bunch vs scatter
+// affinity for the proposed Alltoall and Bcast, including the 4-way case
+// where bunch leaves socket B empty (the schedule falls back to per-call
+// DVFS) while scatter keeps it applicable.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+namespace {
+
+using namespace pacc;
+
+CollectiveReport run_one(int ranks, int ppn, hw::AffinityPolicy affinity,
+                         coll::Op op, coll::PowerScheme scheme) {
+  ClusterConfig cfg = bench::paper_cluster(ranks, ppn);
+  cfg.affinity = affinity;
+  CollectiveBenchSpec spec;
+  spec.op = op;
+  spec.message = 256 * 1024;
+  spec.scheme = scheme;
+  spec.iterations = 3;
+  spec.warmup = 1;
+  return measure_collective(cfg, spec);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pacc;
+  bench::print_header("Affinity ablation: bunch vs scatter mapping",
+                      "§V-C discussion, Kandalla et al., ICPP 2010");
+
+  Table table({"op", "ranks", "ppn", "affinity", "scheme", "latency_us",
+               "energy_per_op_J"});
+  for (const coll::Op op : {coll::Op::kAlltoall, coll::Op::kBcast}) {
+    for (const int ppn : {4, 8}) {
+      const int ranks = 8 * ppn;
+      for (const auto affinity :
+           {hw::AffinityPolicy::kBunch, hw::AffinityPolicy::kScatter}) {
+        for (const auto scheme :
+             {coll::PowerScheme::kNone, coll::PowerScheme::kProposed}) {
+          const auto r = run_one(ranks, ppn, affinity, op, scheme);
+          if (!r.completed) {
+            std::cerr << "run did not complete\n";
+            return 1;
+          }
+          table.add_row({coll::to_string(op), std::to_string(ranks),
+                         std::to_string(ppn), hw::to_string(affinity),
+                         coll::to_string(scheme),
+                         Table::num(r.latency.us(), 1),
+                         Table::num(r.energy_per_op, 3)});
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nShape check: at 4 ranks/node the bunch mapping leaves socket B\n"
+         "empty, so the proposed Alltoall degenerates to per-call DVFS; the\n"
+         "scatter mapping keeps both socket groups populated and the\n"
+         "socket-alternating schedule engaged (§V-C: the algorithms rely on\n"
+         "the process-to-core mapping).\n";
+  return 0;
+}

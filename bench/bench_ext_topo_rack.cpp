@@ -1,0 +1,150 @@
+// E15 (extension) — §VIII future work: topology-aware Scatter/Gather with
+// rack-level power management on an oversubscribed two-rack fabric.
+//
+// Compares, for MPI_Scatter and MPI_Gather at 64 ranks over 8 nodes in two
+// racks (4:1 oversubscribed aggregation uplinks):
+//   flat      — binomial tree, topology-blind
+//   topo      — hierarchical rack → node → core routing
+//   topo+power— hierarchical + all non-rack-leaders throttled to T7 during
+//               the inter-rack phase (scatter only; a gather has no waiting
+//               window to throttle)
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "coll/power_scheme.hpp"
+
+namespace {
+
+using namespace pacc;
+
+struct Result {
+  Duration latency;
+  Joules energy = 0.0;
+};
+
+Result run_scatter(bool topo, coll::PowerScheme scheme, Bytes block,
+                   int root) {
+  ClusterConfig cfg = bench::paper_cluster(64, 8);
+  cfg.nodes_per_rack = 4;
+  Simulation sim(cfg);
+  const auto blk = static_cast<std::size_t>(block);
+  TimePoint done;
+  auto body = [&, topo, scheme](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send;
+    if (me == root) send.resize(64 * blk);
+    std::vector<std::byte> mine(blk);
+    for (int i = 0; i < 4; ++i) {
+      if (topo) {
+        co_await coll::scatter_topo_aware(self, world, send, mine, block,
+                                          root, {.scheme = scheme});
+      } else {
+        co_await coll::enter_low_power(self, scheme);
+        co_await coll::scatter_binomial(self, world, send, mine, block, root);
+        co_await coll::exit_low_power(self, scheme);
+      }
+    }
+    if (self.id() == 0) done = self.engine().now();
+  };
+  sim.runtime().launch(body);
+  const auto run = sim.engine().run_active();
+  Result r;
+  r.latency = Duration::nanos(done.ns() / 4);
+  r.energy = sim.machine().total_energy() / 4.0;
+  if (!run.all_tasks_finished) std::exit(1);
+  return r;
+}
+
+Result run_gather(bool topo, Bytes block) {
+  ClusterConfig cfg = bench::paper_cluster(64, 8);
+  cfg.nodes_per_rack = 4;
+  Simulation sim(cfg);
+  const auto blk = static_cast<std::size_t>(block);
+  TimePoint done;
+  auto body = [&, topo](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> mine(blk);
+    std::vector<std::byte> gathered;
+    if (me == 0) gathered.resize(64 * blk);
+    for (int i = 0; i < 4; ++i) {
+      if (topo) {
+        co_await coll::gather_topo_aware(self, world, mine, gathered, block,
+                                         0, {});
+      } else {
+        co_await coll::gather_binomial(self, world, mine, gathered, block, 0);
+      }
+    }
+    if (self.id() == 0) done = self.engine().now();
+  };
+  sim.runtime().launch(body);
+  const auto run = sim.engine().run_active();
+  Result r;
+  r.latency = Duration::nanos(done.ns() / 4);
+  r.energy = sim.machine().total_energy() / 4.0;
+  if (!run.all_tasks_finished) std::exit(1);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pacc;
+  bench::print_header(
+      "Extension: topology-aware Scatter/Gather with rack-level throttling",
+      "§VIII future work, Kandalla et al., ICPP 2010");
+
+  std::cout << "\nMPI_Scatter, 64 ranks, 2 racks (4:1 oversubscribed):\n";
+  Table scatter({"block", "root", "variant", "latency_us", "energy_J"});
+  for (const Bytes block : {Bytes{64 * 1024}, Bytes{256 * 1024}}) {
+    // root 0: the binomial tree happens to align with the rack layout.
+    // root 21: the rotated tree pushes subtree payloads across the rack
+    // uplink repeatedly — where topology-aware routing wins.
+    for (const int root : {0, 21}) {
+      const auto flat =
+          run_scatter(false, coll::PowerScheme::kNone, block, root);
+      const auto topo =
+          run_scatter(true, coll::PowerScheme::kNone, block, root);
+      const auto topo_power =
+          run_scatter(true, coll::PowerScheme::kProposed, block, root);
+      scatter.add_row({format_bytes(block), std::to_string(root),
+                       "flat binomial", Table::num(flat.latency.us(), 1),
+                       Table::num(flat.energy, 2)});
+      scatter.add_row({format_bytes(block), std::to_string(root),
+                       "topology-aware", Table::num(topo.latency.us(), 1),
+                       Table::num(topo.energy, 2)});
+      scatter.add_row({format_bytes(block), std::to_string(root),
+                       "topo + rack throttling",
+                       Table::num(topo_power.latency.us(), 1),
+                       Table::num(topo_power.energy, 2)});
+    }
+  }
+  scatter.print(std::cout);
+
+  std::cout << "\nMPI_Gather, 64 ranks, same fabric:\n";
+  Table gather({"block", "variant", "latency_us", "energy_J"});
+  for (const Bytes block : {Bytes{64 * 1024}, Bytes{256 * 1024}}) {
+    const auto flat = run_gather(false, block);
+    const auto topo = run_gather(true, block);
+    gather.add_row({format_bytes(block), "flat binomial",
+                    Table::num(flat.latency.us(), 1),
+                    Table::num(flat.energy, 2)});
+    gather.add_row({format_bytes(block), "topology-aware",
+                    Table::num(topo.latency.us(), 1),
+                    Table::num(topo.energy, 2)});
+  }
+  gather.print(std::cout);
+
+  std::cout
+      << "\nShape check: with an aligned root the node-major binomial tree\n"
+         "is already topology-optimal, and the hierarchical variant merely\n"
+         "matches it; with a rotated root the flat tree drags subtree\n"
+         "payloads across the oversubscribed rack uplink repeatedly and\n"
+         "topology-aware routing wins. Rack-level throttling then trades a\n"
+         "latency increase for lower energy — the effect §VIII anticipates\n"
+         "for large clusters.\n";
+  return 0;
+}

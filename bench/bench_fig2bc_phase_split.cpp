@@ -1,0 +1,64 @@
+// E2/E3 — Figures 2(b) and 2(c): total collective time vs the inter-leader
+// network phase alone, for MPI_Bcast (4 KB–1 MB) and MPI_Reduce (4 B–4 KB)
+// with 64 processes. The network phase must dominate, which is the paper's
+// argument for throttling the non-leader cores (§IV-B).
+#include <iostream>
+#include <vector>
+
+#include "bench_support.hpp"
+
+namespace {
+
+using namespace pacc;
+
+/// Measures the inter-leader stage alone by running the same collective on
+/// a communicator holding only the 8 node leaders.
+Duration network_phase(coll::Op op, Bytes message) {
+  ClusterConfig cfg = bench::paper_cluster(64, 8);
+  cfg.ranks = 8;
+  cfg.ranks_per_node = 1;  // one leader per node
+  CollectiveBenchSpec spec;
+  spec.op = op;
+  spec.message = message;
+  spec.iterations = 3;
+  spec.warmup = 1;
+  return measure_collective(cfg, spec).latency;
+}
+
+void sweep(coll::Op op, const std::vector<Bytes>& sizes) {
+  Table table({"size", "total_us", "network_us", "network_share"});
+  for (const Bytes message : sizes) {
+    CollectiveBenchSpec spec;
+    spec.op = op;
+    spec.message = message;
+    spec.iterations = 3;
+    spec.warmup = 1;
+    const auto total =
+        measure_collective(bench::paper_cluster(64, 8), spec).latency;
+    const auto network = network_phase(op, message);
+    table.add_row({format_bytes(message), Table::num(total.us(), 2),
+                   Table::num(network.us(), 2),
+                   Table::num(network.us() / total.us(), 2)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pacc;
+  bench::print_header("Bcast / Reduce: total vs network phase, 64 processes",
+                      "Fig 2(b) and 2(c), Kandalla et al., ICPP 2010");
+
+  std::cout << "\nMPI_Bcast (Fig 2b):\n";
+  sweep(coll::Op::kBcast, {Bytes{4096}, Bytes{16384}, Bytes{65536},
+                           Bytes{262144}, Bytes{1048576}});
+
+  std::cout << "\nMPI_Reduce (Fig 2c):\n";
+  sweep(coll::Op::kReduce,
+        {Bytes{8}, Bytes{64}, Bytes{256}, Bytes{1024}, Bytes{4096}});
+
+  std::cout << "\nShape check: the network phase should account for most of\n"
+               "the total time, motivating the power-aware designs of §V-B.\n";
+  return 0;
+}

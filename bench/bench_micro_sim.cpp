@@ -1,0 +1,100 @@
+// E14 — google-benchmark micro-benchmarks of the simulator substrate:
+// event dispatch, coroutine switching, fluid-network rate recomputation and
+// end-to-end collective simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "pacc/simulation.hpp"
+
+namespace {
+
+using namespace pacc;
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      engine.schedule(Duration::nanos(i), [&sink] { ++sink; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EngineEventDispatch);
+
+sim::Task<> chain_task(sim::Engine& engine, int hops) {
+  for (int i = 0; i < hops; ++i) {
+    co_await engine.delay(Duration::nanos(1));
+  }
+}
+
+void BM_CoroutineSwitching(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int t = 0; t < 16; ++t) {
+      engine.spawn(chain_task(engine, 64));
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 64);
+}
+BENCHMARK(BM_CoroutineSwitching);
+
+sim::Task<> one_transfer(net::FlowNetwork& net, int src, int dst, Bytes n) {
+  co_await net.transfer(src, dst, n);
+}
+
+void BM_FluidNetworkContention(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::FlowNetwork net(engine, hw::ClusterShape{8, 2, 4},
+                         presets::paper_network());
+    for (int f = 0; f < flows; ++f) {
+      engine.spawn(one_transfer(net, f % 8, (f + 1) % 8, 64 * 1024));
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidNetworkContention)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_Alltoall64Ranks(benchmark::State& state) {
+  const auto scheme = static_cast<coll::PowerScheme>(state.range(0));
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    CollectiveBenchSpec spec;
+    spec.op = coll::Op::kAlltoall;
+    spec.message = 16 * 1024;
+    spec.scheme = scheme;
+    spec.iterations = 1;
+    spec.warmup = 0;
+    const auto report = measure_collective(cfg, spec);
+    benchmark::DoNotOptimize(report.latency);
+  }
+}
+BENCHMARK(BM_Alltoall64Ranks)
+    ->Arg(static_cast<int>(coll::PowerScheme::kNone))
+    ->Arg(static_cast<int>(coll::PowerScheme::kProposed))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SmpBcast64Ranks(benchmark::State& state) {
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    CollectiveBenchSpec spec;
+    spec.op = coll::Op::kBcast;
+    spec.message = 256 * 1024;
+    spec.iterations = 1;
+    spec.warmup = 0;
+    const auto report = measure_collective(cfg, spec);
+    benchmark::DoNotOptimize(report.latency);
+  }
+}
+BENCHMARK(BM_SmpBcast64Ranks)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "apps/workload.hpp"
+#include "pacc/simulation.hpp"
+#include "util/table.hpp"
+
+namespace pacc::bench {
+
+/// The paper's full testbed: 8 Nehalem nodes, IB QDR.
+inline ClusterConfig paper_cluster(int ranks, int ranks_per_node) {
+  ClusterConfig cfg;
+  cfg.nodes = ranks / ranks_per_node;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = ranks_per_node;
+  return cfg;
+}
+
+/// OSU-benchmark message-size sweep (medium/large range used in the paper).
+inline const Bytes kLargeSweep[] = {16 * 1024, 64 * 1024, 256 * 1024,
+                                    1024 * 1024};
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper << ")\n"
+            << "==========================================================\n";
+}
+
+/// Prints one power time-series in the style of the paper's meter plots.
+inline void print_power_series(const std::string& label,
+                               const PowerSeries& series) {
+  std::cout << "\n" << label << " power samples (0.5 s meter):\n";
+  Table t({"time_s", "power_kW"});
+  for (const auto& s : series.samples()) {
+    t.add_row({Table::num(s.time.sec(), 1), Table::num(s.watts / 1000.0, 3)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace pacc::bench

@@ -1,0 +1,182 @@
+// mini_bucket_sort — a real distributed integer sort (the NAS-IS pattern)
+// on the simulated cluster.
+//
+// Each rank generates random keys, the ranks agree on bucket boundaries,
+// every key is routed to its bucket's owner with MPI_Alltoallv (uneven
+// per-peer segments — the reason IS stresses Alltoallv), and each rank
+// sorts its bucket locally. The verification walks the distributed result:
+// locally sorted everywhere, globally ordered across ranks, and not a
+// single key lost or duplicated (checksummed with an Allreduce).
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "pacc/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pacc;
+
+constexpr int kRanks = 16;
+constexpr int kKeysPerRank = 1 << 14;  // 16 Ki keys each, 256 Ki total
+constexpr std::uint32_t kKeyRange = 1u << 20;
+
+struct SortOutcome {
+  bool completed = false;
+  bool locally_sorted = true;
+  bool globally_ordered = true;
+  bool checksum_ok = false;
+  Duration elapsed;
+  Joules energy = 0.0;
+};
+
+SortOutcome run_sort(coll::PowerScheme scheme) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.ranks = kRanks;
+  cfg.ranks_per_node = 4;
+  Simulation sim(cfg);
+
+  std::vector<std::uint32_t> bucket_min(kRanks), bucket_max(kRanks);
+  std::vector<bool> sorted_ok(kRanks, false);
+  double checksum_delta = 1.0;
+
+  auto body = [&, scheme](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+
+    // Deterministic per-rank keys.
+    Rng rng(0xB0C5 + static_cast<std::uint64_t>(me));
+    std::vector<std::uint32_t> keys(kKeysPerRank);
+    double local_sum = 0.0;
+    for (auto& k : keys) {
+      k = static_cast<std::uint32_t>(rng.next_below(kKeyRange));
+      local_sum += k;
+    }
+
+    // Bucket r owns [r, r+1) · kKeyRange / kRanks.
+    auto owner = [](std::uint32_t key) {
+      return static_cast<int>(static_cast<std::uint64_t>(key) * kRanks /
+                              kKeyRange);
+    };
+
+    // Count, pack and exchange.
+    std::vector<Bytes> send_counts(kRanks, 0);
+    for (const auto k : keys) {
+      send_counts[static_cast<std::size_t>(owner(k))] +=
+          static_cast<Bytes>(sizeof(std::uint32_t));
+    }
+    std::vector<std::size_t> offsets(kRanks + 1, 0);
+    for (int r = 0; r < kRanks; ++r) {
+      offsets[static_cast<std::size_t>(r) + 1] =
+          offsets[static_cast<std::size_t>(r)] +
+          static_cast<std::size_t>(send_counts[static_cast<std::size_t>(r)]);
+    }
+    std::vector<std::byte> send_buf(offsets.back());
+    {
+      auto cursor = offsets;
+      for (const auto k : keys) {
+        const auto dst = static_cast<std::size_t>(owner(k));
+        std::memcpy(send_buf.data() + cursor[dst], &k, sizeof(k));
+        cursor[dst] += sizeof(k);
+      }
+    }
+
+    // Everyone needs everyone's counts: transpose them with an alltoall.
+    std::vector<std::byte> counts_out(kRanks * sizeof(Bytes));
+    std::memcpy(counts_out.data(), send_counts.data(), counts_out.size());
+    std::vector<std::byte> counts_in(counts_out.size());
+    co_await coll::alltoall(self, world, counts_out, counts_in,
+                            sizeof(Bytes), {.scheme = scheme});
+    std::vector<Bytes> recv_counts(kRanks);
+    std::memcpy(recv_counts.data(), counts_in.data(), counts_in.size());
+
+    const auto recv_total = static_cast<std::size_t>(
+        std::accumulate(recv_counts.begin(), recv_counts.end(), Bytes{0}));
+    std::vector<std::byte> recv_buf(recv_total);
+    co_await coll::alltoallv(self, world, send_buf, send_counts, recv_buf,
+                             recv_counts, {.scheme = scheme});
+
+    // Local sort of my bucket (modelled + actually performed).
+    std::vector<std::uint32_t> bucket(recv_total / sizeof(std::uint32_t));
+    std::memcpy(bucket.data(), recv_buf.data(), recv_total);
+    std::sort(bucket.begin(), bucket.end());
+    co_await self.compute(Duration::micros(
+        0.02 * static_cast<double>(bucket.size())));
+
+    // --- verification -------------------------------------------------
+    sorted_ok[static_cast<std::size_t>(me)] =
+        std::is_sorted(bucket.begin(), bucket.end()) &&
+        (bucket.empty() || (owner(bucket.front()) == me &&
+                            owner(bucket.back()) == me));
+    bucket_min[static_cast<std::size_t>(me)] =
+        bucket.empty() ? 0 : bucket.front();
+    bucket_max[static_cast<std::size_t>(me)] =
+        bucket.empty() ? 0 : bucket.back();
+
+    // Checksum: the sum of all keys must survive the redistribution.
+    double bucket_sum = 0.0;
+    for (const auto k : bucket) bucket_sum += k;
+    std::vector<std::byte> in(sizeof(double)), out_total(sizeof(double)),
+        out_original(sizeof(double));
+    std::memcpy(in.data(), &bucket_sum, sizeof(double));
+    co_await coll::allreduce(self, world, in, out_total, {.scheme = scheme});
+    std::memcpy(in.data(), &local_sum, sizeof(double));
+    co_await coll::allreduce(self, world, in, out_original,
+                             {.scheme = scheme});
+    if (me == 0) {
+      double total = 0.0, original = 0.0;
+      std::memcpy(&total, out_total.data(), sizeof(double));
+      std::memcpy(&original, out_original.data(), sizeof(double));
+      checksum_delta = std::abs(total - original);
+    }
+  };
+
+  const RunReport run = sim.run(body);
+  SortOutcome outcome;
+  outcome.completed = run.completed;
+  outcome.elapsed = run.elapsed;
+  outcome.energy = run.energy;
+  outcome.checksum_ok = checksum_delta == 0.0;
+  for (int r = 0; r < kRanks; ++r) {
+    outcome.locally_sorted =
+        outcome.locally_sorted && sorted_ok[static_cast<std::size_t>(r)];
+    if (r > 0 && bucket_max[static_cast<std::size_t>(r - 1)] >
+                     bucket_min[static_cast<std::size_t>(r)] &&
+        bucket_min[static_cast<std::size_t>(r)] != 0) {
+      outcome.globally_ordered = false;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "mini bucket sort (NAS-IS pattern): " << kRanks << " ranks x "
+            << kKeysPerRank << " keys, redistributed with Alltoallv\n\n";
+
+  bool all_ok = true;
+  for (const auto scheme : coll::kAllSchemes) {
+    const SortOutcome r = run_sort(scheme);
+    const bool ok = r.completed && r.locally_sorted && r.globally_ordered &&
+                    r.checksum_ok;
+    all_ok = all_ok && ok;
+    std::cout << coll::to_string(scheme) << ": " << r.elapsed.ms()
+              << " ms simulated, " << r.energy << " J — local sort "
+              << (r.locally_sorted ? "ok" : "BAD") << ", global order "
+              << (r.globally_ordered ? "ok" : "BAD") << ", checksum "
+              << (r.checksum_ok ? "ok" : "BAD")
+              << (ok ? "  [PASS]" : "  [FAIL]") << "\n";
+  }
+  if (!all_ok) {
+    std::cerr << "\nsort verification FAILED\n";
+    return 1;
+  }
+  std::cout << "\nEvery key arrived exactly once under every power scheme:\n"
+               "the skewed Alltoallv segments are preserved bit-for-bit.\n";
+  return 0;
+}

@@ -1,0 +1,175 @@
+// mini_cg — a distributed conjugate-gradient solver on the simulated
+// cluster: the Allreduce-heavy communication pattern of NAS CG and of
+// implicit solvers generally.
+//
+// Solves A·x = b for a diagonally dominant tridiagonal system
+// [-1, 4, -1] (a shifted 1-D Laplacian, condition number ≈ 3) with the
+// vector row-block-distributed over the ranks. Each iteration performs
+//   - one halo exchange (point-to-point with the two neighbours),
+//   - one local sparse mat-vec (real arithmetic),
+//   - two Allreduce dot-products,
+// exactly the real algorithm; convergence of the residual is the
+// end-to-end proof that the simulated MPI layer moves the right bytes.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "pacc/simulation.hpp"
+
+namespace {
+
+using namespace pacc;
+
+constexpr int kGlobalN = 4096;
+
+constexpr int kRanks = 16;
+constexpr int kLocalN = kGlobalN / kRanks;
+constexpr int kMaxIters = 100;
+constexpr double kTolerance = 1e-8;
+
+/// Allreduce-sum of one double.
+sim::Task<double> global_dot(mpi::Rank& self, mpi::Comm& world, double local,
+                             coll::PowerScheme scheme) {
+  std::vector<std::byte> in(sizeof(double)), out(sizeof(double));
+  *reinterpret_cast<double*>(in.data()) = local;
+  co_await coll::allreduce(self, world, in, out,
+                           {.scheme = scheme, .op = coll::ReduceOp::kSum});
+  co_return *reinterpret_cast<const double*>(out.data());
+}
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;
+  Duration elapsed;
+  Joules energy = 0.0;
+  bool completed = false;
+};
+
+CgResult run_cg(coll::PowerScheme scheme) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.ranks = kRanks;
+  cfg.ranks_per_node = 4;
+  Simulation sim(cfg);
+
+  int iterations = 0;
+  double final_residual = 0.0;
+
+  auto body = [&, scheme](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    const int left = me - 1;
+    const int right = me + 1;
+
+    // Local rows [me·kLocalN, (me+1)·kLocalN) with one halo cell each side.
+    std::vector<double> x(kLocalN, 0.0), r(kLocalN), p(kLocalN), ap(kLocalN);
+    std::vector<double> p_halo(kLocalN + 2, 0.0);
+
+    // b = A·ones has a closed form; CG must recover x = ones.
+    for (int i = 0; i < kLocalN; ++i) {
+      const int gi = me * kLocalN + i;
+      r[i] = 4.0 - (gi > 0 ? 1.0 : 0.0) - (gi < kGlobalN - 1 ? 1.0 : 0.0);
+      p[i] = r[i];
+    }
+
+    // Exchanges p's boundary cells with the neighbours.
+    auto halo_exchange = [&]() -> sim::Task<> {
+      std::vector<std::byte> cell(sizeof(double));
+      if (left >= 0) {
+        *reinterpret_cast<double*>(cell.data()) = p[0];
+        co_await self.send(left, 1, cell);
+      }
+      if (right < kRanks) {
+        *reinterpret_cast<double*>(cell.data()) = p[kLocalN - 1];
+        co_await self.send(right, 2, cell);
+      }
+      if (right < kRanks) {
+        co_await self.recv(right, 1, cell);
+        p_halo[static_cast<std::size_t>(kLocalN) + 1] =
+            *reinterpret_cast<const double*>(cell.data());
+      } else {
+        p_halo[static_cast<std::size_t>(kLocalN) + 1] = 0.0;
+      }
+      if (left >= 0) {
+        co_await self.recv(left, 2, cell);
+        p_halo[0] = *reinterpret_cast<const double*>(cell.data());
+      } else {
+        p_halo[0] = 0.0;
+      }
+    };
+
+    double rr = 0.0;
+    for (int i = 0; i < kLocalN; ++i) rr += r[i] * r[i];
+    rr = co_await global_dot(self, world, rr, scheme);
+
+    int iter = 0;
+    while (iter < kMaxIters && std::sqrt(rr) > kTolerance) {
+      co_await halo_exchange();
+      for (int i = 0; i < kLocalN; ++i) p_halo[static_cast<std::size_t>(i) + 1] = p[i];
+      // ap = A·p (tridiagonal [-1, 4, -1]).
+      for (int i = 0; i < kLocalN; ++i) {
+        ap[i] = 4.0 * p_halo[static_cast<std::size_t>(i) + 1] -
+                p_halo[static_cast<std::size_t>(i)] -
+                p_halo[static_cast<std::size_t>(i) + 2];
+      }
+      co_await self.compute(Duration::micros(kLocalN * 0.002));
+
+      double pap = 0.0;
+      for (int i = 0; i < kLocalN; ++i) pap += p[i] * ap[i];
+      pap = co_await global_dot(self, world, pap, scheme);
+
+      const double alpha = rr / pap;
+      for (int i = 0; i < kLocalN; ++i) {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * ap[i];
+      }
+      double rr_new = 0.0;
+      for (int i = 0; i < kLocalN; ++i) rr_new += r[i] * r[i];
+      rr_new = co_await global_dot(self, world, rr_new, scheme);
+
+      const double beta = rr_new / rr;
+      for (int i = 0; i < kLocalN; ++i) p[i] = r[i] + beta * p[i];
+      rr = rr_new;
+      ++iter;
+    }
+    if (me == 0) {
+      iterations = iter;
+      final_residual = std::sqrt(rr);
+    }
+  };
+
+  const RunReport run = sim.run(body);
+  CgResult result;
+  result.completed = run.completed;
+  result.iterations = iterations;
+  result.residual = final_residual;
+  result.elapsed = run.elapsed;
+  result.energy = run.energy;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "mini CG: shifted 1-D Laplacian, n = " << kGlobalN << " over "
+            << kRanks << " ranks; two Allreduce dot-products plus a halo\n"
+            << "exchange per iteration (the NAS-CG communication pattern)\n\n";
+
+  bool all_ok = true;
+  for (const auto scheme : coll::kAllSchemes) {
+    const CgResult r = run_cg(scheme);
+    const bool ok = r.completed && r.residual < kTolerance;
+    all_ok = all_ok && ok;
+    std::cout << coll::to_string(scheme) << ": converged in " << r.iterations
+              << " iterations (residual " << r.residual << "), "
+              << r.elapsed.ms() << " ms simulated, " << r.energy << " J"
+              << (ok ? "  [PASS]" : "  [FAIL]") << "\n";
+  }
+  if (!all_ok) {
+    std::cerr << "\nCG failed to converge — data corruption in the stack\n";
+    return 1;
+  }
+  std::cout << "\nIdentical convergence under every power scheme: the\n"
+               "power-aware collectives never touch the numerics.\n";
+  return 0;
+}

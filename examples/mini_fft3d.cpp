@@ -1,0 +1,213 @@
+// mini_fft3d — a real distributed 3-D FFT on the simulated cluster.
+//
+// This is the computation that motivates the paper's Alltoall work (CPMD's
+// plane-wave transposes, NAS FT): an n³ complex grid, slab-decomposed over
+// P ranks, forward-transformed by local 2-D FFTs + a global transpose via
+// MPI_Alltoall + local 1-D FFTs — and then inverted the same way.
+//
+// Unlike the calibrated phase profiles in src/apps/, every byte here is
+// real: the example runs actual Cooley-Tukey FFTs, pushes the actual
+// spectral data through the simulated network, inverts the transform and
+// checks the round trip against the original grid to 1e-9. It demonstrates
+// that the power-aware collectives are *transparent*: the same numerics
+// under default / freq-scaling / proposed schemes, at different energy.
+#include <complex>
+#include <cstring>
+#include <iostream>
+#include <numbers>
+#include <vector>
+
+#include "pacc/simulation.hpp"
+
+namespace {
+
+using namespace pacc;
+using Complex = std::complex<double>;
+
+constexpr int kN = 32;     // grid edge: 32³ = 32768 points
+constexpr int kRanks = 8;  // 2 nodes × 4 ranks; kN % kRanks == 0
+constexpr int kSlab = kN / kRanks;
+
+/// In-place iterative radix-2 Cooley-Tukey FFT (inverse when sign = +1).
+void fft1d(Complex* data, int n, int stride, double sign) {
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / len;
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (int i = 0; i < n; i += len) {
+      Complex w(1.0);
+      for (int k = 0; k < len / 2; ++k) {
+        Complex u = data[(i + k) * stride];
+        Complex v = data[(i + k + len / 2) * stride] * w;
+        data[(i + k) * stride] = u + v;
+        data[(i + k + len / 2) * stride] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+/// Index into a z-slab: plane z (local), row y, column x.
+std::size_t at(int z_local, int y, int x) {
+  return (static_cast<std::size_t>(z_local) * kN + static_cast<std::size_t>(y)) *
+             kN +
+         static_cast<std::size_t>(x);
+}
+
+/// Estimated CPU time of `lines` n-point FFTs on one Nehalem core at fmax
+/// (~5n·log2(n) flops per line at ~2 GFLOP/s sustained).
+Duration fft_cost(int lines) {
+  const double flops = 5.0 * kN * 5.0 /*log2(32)*/ * lines;
+  return Duration::seconds(flops / 2.0e9);
+}
+
+struct SchemeResult {
+  coll::PowerScheme scheme;
+  Duration elapsed;
+  Joules energy = 0.0;
+  double max_error = 0.0;
+  bool completed = false;
+};
+
+SchemeResult run_fft(coll::PowerScheme scheme) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks = kRanks;
+  cfg.ranks_per_node = 4;
+  Simulation sim(cfg);
+
+  std::vector<double> max_error(kRanks, 0.0);
+
+  auto body = [&, scheme](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+
+    // Each rank owns kSlab z-planes of the n³ grid.
+    std::vector<Complex> grid(static_cast<std::size_t>(kSlab) * kN * kN);
+    std::vector<Complex> original(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const double phase = static_cast<double>(i % 97) / 97.0 + me * 0.37;
+      grid[i] = Complex(std::cos(phase * 6.28), std::sin(phase * 2.72));
+    }
+    original = grid;
+
+    std::vector<Complex> transposed(grid.size());
+    std::vector<std::byte> send_bytes(grid.size() * sizeof(Complex));
+    std::vector<std::byte> recv_bytes(send_bytes.size());
+    const Bytes block = static_cast<Bytes>(send_bytes.size()) / kRanks;
+
+    // Packs grid (z-slab layout) into per-destination x-slab blocks.
+    auto pack = [&](const std::vector<Complex>& src) {
+      auto* out = reinterpret_cast<Complex*>(send_bytes.data());
+      std::size_t idx = 0;
+      for (int dst = 0; dst < kRanks; ++dst) {
+        for (int z = 0; z < kSlab; ++z) {
+          for (int y = 0; y < kN; ++y) {
+            for (int xl = 0; xl < kSlab; ++xl) {
+              out[idx++] = src[at(z, y, dst * kSlab + xl)];
+            }
+          }
+        }
+      }
+    };
+    // Unpacks received blocks into x-slab layout: plane x (local), row y,
+    // column z (global).
+    auto unpack = [&](std::vector<Complex>& dst) {
+      const auto* in = reinterpret_cast<const Complex*>(recv_bytes.data());
+      std::size_t idx = 0;
+      for (int src_rank = 0; src_rank < kRanks; ++src_rank) {
+        for (int zl = 0; zl < kSlab; ++zl) {
+          for (int y = 0; y < kN; ++y) {
+            for (int xl = 0; xl < kSlab; ++xl) {
+              dst[at(xl, y, src_rank * kSlab + zl)] = in[idx++];
+            }
+          }
+        }
+      }
+    };
+
+    auto transform = [&](double sign) -> sim::Task<> {
+      // 2-D FFTs over every owned z-plane (x lines then y lines).
+      for (int z = 0; z < kSlab; ++z) {
+        for (int y = 0; y < kN; ++y) fft1d(&grid[at(z, y, 0)], kN, 1, sign);
+        for (int x = 0; x < kN; ++x) fft1d(&grid[at(z, 0, x)], kN, kN, sign);
+      }
+      co_await self.compute(fft_cost(2 * kSlab * kN));
+
+      // Global transpose: z-slabs → x-slabs.
+      pack(grid);
+      co_await coll::alltoall(self, world, send_bytes, recv_bytes, block,
+                              {.scheme = scheme});
+      unpack(transposed);
+
+      // 1-D FFTs along the now-local z axis.
+      for (int xl = 0; xl < kSlab; ++xl) {
+        for (int y = 0; y < kN; ++y) {
+          fft1d(&transposed[at(xl, y, 0)], kN, 1, sign);
+        }
+      }
+      co_await self.compute(fft_cost(kSlab * kN));
+
+      // Transpose back to z-slabs (the inverse mapping is symmetric).
+      pack(transposed);
+      co_await coll::alltoall(self, world, send_bytes, recv_bytes, block,
+                              {.scheme = scheme});
+      unpack(grid);
+    };
+
+    co_await transform(-1.0);  // forward
+    co_await transform(+1.0);  // inverse
+
+    // The round trip scales by n³ (and the double transpose restores
+    // layout); verify against the original grid.
+    const double scale = static_cast<double>(kN) * kN * kN;
+    double err = 0.0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      err = std::max(err, std::abs(grid[i] / scale - original[i]));
+    }
+    max_error[static_cast<std::size_t>(me)] = err;
+  };
+
+  const RunReport run = sim.run(body);
+  SchemeResult result;
+  result.scheme = scheme;
+  result.completed = run.completed;
+  result.elapsed = run.elapsed;
+  result.energy = run.energy;
+  for (const double e : max_error) {
+    result.max_error = std::max(result.max_error, e);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "mini 3-D FFT: " << kN << "^3 complex grid over " << kRanks
+            << " ranks (slab decomposition), forward + inverse with global\n"
+            << "transposes through the simulated power-aware Alltoall\n\n";
+
+  bool all_ok = true;
+  for (const auto scheme : coll::kAllSchemes) {
+    const SchemeResult r = run_fft(scheme);
+    const bool ok = r.completed && r.max_error < 1e-9;
+    all_ok = all_ok && ok;
+    std::cout << coll::to_string(r.scheme) << ": " << r.elapsed.ms()
+              << " ms simulated, " << r.energy << " J, round-trip error "
+              << r.max_error << (ok ? "  [PASS]" : "  [FAIL]") << "\n";
+  }
+  if (!all_ok) {
+    std::cerr << "\nnumerical verification FAILED\n";
+    return 1;
+  }
+  std::cout << "\nIdentical numerics under every scheme — the power-aware\n"
+               "algorithms are transparent to the application, trading a\n"
+               "little latency for lower energy.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Example: the NAS FT kernel (transpose-dominated 3-D FFT) on the
+// simulated cluster — demonstrates how an Alltoall-heavy application
+// responds to the power-aware collectives, and how the Alltoall time stays
+// nearly constant under strong scaling (§VII-F/G).
+#include <iostream>
+
+#include "apps/nas.hpp"
+#include "pacc/simulation.hpp"
+
+int main() {
+  using namespace pacc;
+
+  std::cout << "NAS FT (class-C-shaped) on the 8-node testbed\n\n";
+
+  for (const int ranks : {32, 64}) {
+    ClusterConfig cluster;
+    cluster.nodes = 8;
+    cluster.ranks = ranks;
+    cluster.ranks_per_node = ranks / 8;
+    const auto spec = apps::nas_ft(ranks);
+
+    std::cout << ranks << " processes:\n";
+    for (const auto scheme : coll::kAllSchemes) {
+      const auto report = apps::run_workload(cluster, spec, scheme);
+      if (!report.completed) {
+        std::cerr << "run did not complete\n";
+        return 1;
+      }
+      const double a2a_share =
+          report.alltoall_time.sec() / report.total_time.sec();
+      std::cout << "  " << coll::to_string(scheme) << ": "
+                << report.total_time.sec() << " s ("
+                << a2a_share * 100.0 << " % Alltoall), "
+                << report.energy / 1000.0 << " KJ, mean "
+                << report.mean_power / 1000.0 << " kW\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Note how doubling the process count halves the compute\n"
+               "time while the Alltoall time barely moves: the pair-wise\n"
+               "exchange cost is ∝ P·M with M ∝ 1/P² (§VII-F).\n";
+  return 0;
+}

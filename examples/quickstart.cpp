@@ -1,0 +1,48 @@
+// Quickstart: build the paper's 8-node testbed, run one power-aware
+// MPI_Alltoall, and read back latency / power / energy.
+//
+//   $ ./example_quickstart
+//
+// This is the smallest end-to-end use of the public API: ClusterConfig →
+// measure_collective → CollectiveReport.
+#include <iostream>
+
+#include "pacc/simulation.hpp"
+
+int main() {
+  using namespace pacc;
+
+  // The paper's testbed: 8 Intel "Nehalem" nodes (2 sockets × 4 cores,
+  // 1.6-2.4 GHz), InfiniBand QDR, 64 MPI ranks, MVAPICH2 "bunch" affinity.
+  ClusterConfig cluster;
+  cluster.nodes = 8;
+  cluster.ranks = 64;
+  cluster.ranks_per_node = 8;
+
+  std::cout << "Simulating a 1 MiB MPI_Alltoall across " << cluster.ranks
+            << " ranks under three power schemes...\n\n";
+
+  for (const auto scheme : coll::kAllSchemes) {
+    CollectiveBenchSpec spec;
+    spec.op = coll::Op::kAlltoall;
+    spec.message = 1 << 20;
+    spec.scheme = scheme;
+    spec.iterations = 5;
+    spec.warmup = 1;
+
+    const CollectiveReport report = measure_collective(cluster, spec);
+    if (!report.completed) {
+      std::cerr << "simulation did not complete\n";
+      return 1;
+    }
+    std::cout << coll::to_string(scheme) << ":\n"
+              << "  latency      " << report.latency.us() << " us/op\n"
+              << "  mean power   " << report.mean_power / 1000.0 << " kW\n"
+              << "  energy       " << report.energy_per_op << " J/op\n";
+  }
+
+  std::cout << "\nThe proposed scheme (§V-A of the paper) throttles the\n"
+               "socket that is not driving the network to T7, trading a\n"
+               "small latency overhead for the lowest power draw.\n";
+  return 0;
+}

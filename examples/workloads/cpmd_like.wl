@@ -1,0 +1,15 @@
+# Example workload trace: a CPMD-flavoured SCF loop (see src/apps/trace.hpp
+# for the format). Run with:
+#   build/tools/paccbench --workload examples/workloads/cpmd_like.wl \
+#       --ranks 32 --ppn 4 --scheme proposed
+name        cpmd-like
+iterations  8
+extrapolate 12
+seed        7
+
+# local plane-wave FFTs + density build
+phase compute 77ms imbalance 0.03
+# 3-D FFT transposes (the dominant communication)
+phase alltoall 128K repeat 5
+# energy reductions at the end of the step
+phase allreduce 4K

@@ -1,0 +1,10 @@
+# Example workload trace: an iterative solver with a skewed key exchange
+# (IS-like) plus a broadcast of updated coefficients each iteration.
+name        halo-solver
+iterations  10
+seed        3
+
+phase compute 25ms imbalance 0.10
+phase alltoallv 48K imbalance 0.25
+phase allreduce 8K
+phase bcast 256K

@@ -1,0 +1,22 @@
+# gnuplot script for the Fig 6(b)/7(b)/8(b)-style power-series plots.
+#
+# Extract a series from a bench run into CSV first, e.g.:
+#   build/bench/bench_fig7_alltoall_power \
+#     | awk '/proposed power samples/,/^$/' \
+#     | grep -E '^\|\s+[0-9]' | tr -d '|' | awk '{print $1","$2}' \
+#     > proposed.csv
+# then:
+#   gnuplot -e "infile='proposed.csv'; outfile='fig7b.png'" \
+#       scripts/plot_power_series.gp
+if (!exists("infile")) infile = 'power.csv'
+if (!exists("outfile")) outfile = 'power_series.png'
+
+set terminal pngcairo size 900,480
+set output outfile
+set datafile separator ','
+set xlabel 'Time (s)'
+set ylabel 'System power (kW)'
+set yrange [1.4:2.5]
+set grid
+set style data linespoints
+plot infile using 1:2 title 'sampled power (0.5 s meter)' lw 2 pt 7 ps 0.6

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, regenerates every paper
+# figure/table plus the extension experiments, and archives the output.
+#
+#   scripts/reproduce_all.sh [build-dir]
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build}"
+
+cmake -B "$BUILD" -G Ninja -S "$REPO"
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" -j"$(nproc)" 2>&1 | tee "$REPO/test_output.txt" | tail -3
+
+echo "== benches (one per paper figure/table + extensions) =="
+: > "$REPO/bench_output.txt"
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$REPO/bench_output.txt"
+  "$b" 2>&1 | tee -a "$REPO/bench_output.txt"
+  echo | tee -a "$REPO/bench_output.txt"
+done
+
+echo "== examples =="
+for e in "$BUILD"/examples/example_*; do
+  [ -x "$e" ] || continue
+  echo "### $(basename "$e")"
+  "$e"
+  echo
+done
+
+echo "done: test_output.txt and bench_output.txt written to $REPO"

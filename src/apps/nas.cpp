@@ -1,0 +1,64 @@
+#include "apps/nas.hpp"
+
+#include "util/expect.hpp"
+
+namespace pacc::apps {
+
+WorkloadSpec nas_ft(int ranks) {
+  PACC_EXPECTS(ranks >= 2);
+  // Calibrated against Table II: ≈7 s at 32 ranks with an Alltoall share of
+  // roughly 40 % (FT is transpose-dominated). 20 real iterations; 5 are
+  // simulated and extrapolated ×4.
+  const double scale = static_cast<double>(ranks) / 32.0;
+  const Duration compute = Duration::millis(225.0) / scale;
+  const auto block =
+      static_cast<Bytes>(128.0 * 1024.0 / (scale * scale));
+
+  WorkloadSpec spec;
+  spec.name = "FT";
+  spec.simulated_iterations = 5;
+  spec.extrapolation = 4.0;
+  spec.seed = 0xF7000000 ^ static_cast<std::uint64_t>(ranks);
+  spec.phases = {
+      // evolve() + local 2-D FFT planes.
+      Phase{.kind = Phase::Kind::kCompute,
+            .compute = compute,
+            .imbalance = 0.02},
+      // Global transpose of the 3-D array.
+      Phase{.kind = Phase::Kind::kAlltoall, .bytes = block, .repeat = 29},
+      // Checksum reduction.
+      Phase{.kind = Phase::Kind::kAllreduce, .bytes = 16},
+  };
+  return spec;
+}
+
+WorkloadSpec nas_is(int ranks) {
+  PACC_EXPECTS(ranks >= 2);
+  // Calibrated against Table II: ≈1.5-1.9 s at 32 ranks, roughly half of it
+  // in the key exchange. 10 iterations, all simulated.
+  const double scale = static_cast<double>(ranks) / 32.0;
+  const Duration compute = Duration::millis(110.0) / scale;
+  const auto block = static_cast<Bytes>(64.0 * 1024.0 / scale);
+
+  WorkloadSpec spec;
+  spec.name = "IS";
+  spec.simulated_iterations = 10;
+  spec.extrapolation = 1.0;
+  spec.seed = 0x15000000 ^ static_cast<std::uint64_t>(ranks);
+  spec.phases = {
+      // Local key ranking.
+      Phase{.kind = Phase::Kind::kCompute,
+            .compute = compute,
+            .imbalance = 0.05},
+      // Bucket-size histogram.
+      Phase{.kind = Phase::Kind::kAllreduce, .bytes = 8 * 1024},
+      // Key redistribution: uneven per-peer segments.
+      Phase{.kind = Phase::Kind::kAlltoallv,
+            .bytes = block,
+            .repeat = 8,
+            .imbalance = 0.2},
+  };
+  return spec;
+}
+
+}  // namespace pacc::apps

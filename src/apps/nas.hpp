@@ -1,0 +1,22 @@
+// NAS Parallel Benchmark kernels FT and IS, class-C-shaped (§VII-G).
+//
+// FT iterates evolve + 3-D FFT whose transpose is one large MPI_Alltoall;
+// IS iterates a bucketed integer sort: local ranking, an Allreduce of the
+// bucket histogram and an MPI_Alltoallv of the keys. The profiles keep the
+// kernels' per-iteration structure and communication/computation balance at
+// the paper's 32/64-process strong-scaling points, with per-pair blocks
+// capped (see apps/workload.hpp) so that the simulation stays in bounded
+// memory while exercising the identical collective code paths.
+#pragma once
+
+#include "apps/workload.hpp"
+
+namespace pacc::apps {
+
+/// FT class-C-shaped profile at `ranks` processes.
+WorkloadSpec nas_ft(int ranks);
+
+/// IS class-C-shaped profile at `ranks` processes.
+WorkloadSpec nas_is(int ranks);
+
+}  // namespace pacc::apps

@@ -1,0 +1,182 @@
+#include "apps/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/args.hpp"
+
+namespace pacc::apps {
+
+namespace {
+
+std::string line_error(int line_no, const std::string& line,
+                       const std::string& what) {
+  std::ostringstream os;
+  os << "line " << line_no << ": " << what << " — \"" << line << "\"";
+  return os.str();
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token.front() == '#') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// Parses the optional "key value" pairs after a phase size.
+bool parse_phase_options(const std::vector<std::string>& tokens,
+                         std::size_t start, Phase& phase,
+                         std::string& error) {
+  for (std::size_t i = start; i < tokens.size(); i += 2) {
+    if (i + 1 >= tokens.size()) {
+      error = "option '" + tokens[i] + "' needs a value";
+      return false;
+    }
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    if (key == "repeat") {
+      phase.repeat = std::stoi(value);
+      if (phase.repeat < 1) {
+        error = "repeat must be >= 1";
+        return false;
+      }
+    } else if (key == "imbalance") {
+      phase.imbalance = std::stod(value);
+      if (phase.imbalance < 0.0 || phase.imbalance > 1.0) {
+        error = "imbalance must be in [0, 1]";
+        return false;
+      }
+    } else {
+      error = "unknown phase option '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ParseResult parse_workload(std::string_view text) {
+  ParseResult result;
+  WorkloadSpec& spec = result.spec;
+  spec.name = "unnamed";
+
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens.front();
+
+    if (keyword == "name") {
+      if (tokens.size() != 2) {
+        result.error = line_error(line_no, line, "name takes one value");
+        return result;
+      }
+      spec.name = tokens[1];
+    } else if (keyword == "iterations") {
+      if (tokens.size() != 2 || (spec.simulated_iterations =
+                                     std::atoi(tokens[1].c_str())) < 1) {
+        result.error =
+            line_error(line_no, line, "iterations takes a positive integer");
+        return result;
+      }
+    } else if (keyword == "extrapolate") {
+      if (tokens.size() != 2 ||
+          (spec.extrapolation = std::atof(tokens[1].c_str())) < 1.0) {
+        result.error =
+            line_error(line_no, line, "extrapolate takes a number >= 1");
+        return result;
+      }
+    } else if (keyword == "seed") {
+      if (tokens.size() != 2) {
+        result.error = line_error(line_no, line, "seed takes one value");
+        return result;
+      }
+      spec.seed = std::strtoull(tokens[1].c_str(), nullptr, 10);
+    } else if (keyword == "phase") {
+      if (tokens.size() < 3) {
+        result.error = line_error(line_no, line,
+                                  "phase needs a kind and a size/duration");
+        return result;
+      }
+      Phase phase;
+      const std::string& kind = tokens[1];
+      std::string opt_error;
+      if (kind == "compute") {
+        const auto d = parse_duration(tokens[2]);
+        if (!d) {
+          result.error =
+              line_error(line_no, line, "bad duration '" + tokens[2] + "'");
+          return result;
+        }
+        phase.kind = Phase::Kind::kCompute;
+        phase.compute = *d;
+      } else {
+        const auto bytes = parse_bytes(tokens[2]);
+        if (!bytes) {
+          result.error =
+              line_error(line_no, line, "bad size '" + tokens[2] + "'");
+          return result;
+        }
+        phase.bytes = *bytes;
+        if (kind == "alltoall") {
+          phase.kind = Phase::Kind::kAlltoall;
+        } else if (kind == "alltoallv") {
+          phase.kind = Phase::Kind::kAlltoallv;
+        } else if (kind == "bcast") {
+          phase.kind = Phase::Kind::kBcast;
+        } else if (kind == "reduce") {
+          phase.kind = Phase::Kind::kReduce;
+        } else if (kind == "allreduce") {
+          phase.kind = Phase::Kind::kAllreduce;
+        } else if (kind == "allgather") {
+          phase.kind = Phase::Kind::kAllgather;
+        } else {
+          result.error =
+              line_error(line_no, line, "unknown phase kind '" + kind + "'");
+          return result;
+        }
+      }
+      if (!parse_phase_options(tokens, 3, phase, opt_error)) {
+        result.error = line_error(line_no, line, opt_error);
+        return result;
+      }
+      spec.phases.push_back(phase);
+    } else {
+      result.error =
+          line_error(line_no, line, "unknown keyword '" + keyword + "'");
+      return result;
+    }
+  }
+
+  if (spec.phases.empty()) {
+    result.error = "workload has no phases";
+  }
+  return result;
+}
+
+ParseResult load_workload(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    ParseResult result;
+    result.error = "cannot open workload file '" + path + "'";
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  ParseResult result = parse_workload(buffer.str());
+  if (!result.ok()) {
+    result.error = path + ": " + result.error;
+  }
+  return result;
+}
+
+}  // namespace pacc::apps

@@ -1,0 +1,44 @@
+// Text format for application workload profiles.
+//
+// Lets users describe their own application's per-iteration phase structure
+// (the same profile-driven methodology the paper uses for CPMD/NAS, §VII-A)
+// without recompiling:
+//
+//   # lines starting with '#' are comments
+//   name        my_app
+//   iterations  10          # iterations actually simulated
+//   extrapolate 4.0         # real iterations per simulated one
+//   seed        42
+//   phase compute 12ms imbalance 0.05
+//   phase alltoall 128K repeat 4
+//   phase allreduce 8K
+//   phase alltoallv 64K imbalance 0.2
+//   phase bcast 1M
+//   phase allgather 32K
+//   phase reduce 64K
+//
+// Sizes accept K/M/G suffixes (powers of two); durations accept ns/us/ms/s.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "apps/workload.hpp"
+
+namespace pacc::apps {
+
+struct ParseResult {
+  WorkloadSpec spec;
+  std::string error;  ///< empty on success; includes the offending line
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses a workload description from text.
+ParseResult parse_workload(std::string_view text);
+
+/// Parses a workload description from a file; errors mention the path.
+ParseResult load_workload(const std::string& path);
+
+}  // namespace pacc::apps

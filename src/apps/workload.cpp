@@ -1,0 +1,216 @@
+#include "apps/workload.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace pacc::apps {
+
+namespace {
+
+Bytes round_to_doubles(Bytes n) { return (n + 7) / 8 * 8; }
+
+/// Deterministic hash in [-1, 1] shared by every rank: used for compute
+/// imbalance and alltoallv segment-size perturbation.
+double signed_hash(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  Rng rng(seed ^ (a * 0x9E3779B97F4A7C15ULL) ^ (b << 32));
+  return rng.uniform(-1.0, 1.0);
+}
+
+/// Per-peer alltoallv segment size for data flowing src -> dst. Both sides
+/// compute the same value, keeping the exchange consistent.
+Bytes alltoallv_segment(const Phase& phase, std::uint64_t seed, int src,
+                        int dst) {
+  const double jitter =
+      phase.imbalance * signed_hash(seed, static_cast<std::uint64_t>(src),
+                                    static_cast<std::uint64_t>(dst));
+  const auto scaled =
+      static_cast<Bytes>(static_cast<double>(phase.bytes) * (1.0 + jitter));
+  return round_to_doubles(std::max<Bytes>(8, scaled));
+}
+
+struct Accounting {
+  TimePoint start;
+  TimePoint end;
+  Joules e0 = 0.0;
+  Joules e1 = 0.0;
+  Duration alltoall;  // rank-0 time inside alltoall(v) phases
+  Duration comm;      // rank-0 time inside all collective phases
+};
+
+struct RankBuffers {
+  std::vector<std::byte> a2a_send, a2a_recv;
+  std::vector<std::byte> v_send, v_recv;
+  std::vector<Bytes> v_send_counts, v_recv_counts;
+  std::vector<std::byte> red_send, red_recv;
+  std::vector<std::byte> gat_send, gat_recv;
+  std::vector<std::byte> bcast_buf;
+};
+
+RankBuffers make_buffers(const WorkloadSpec& spec, int ranks, int me) {
+  RankBuffers b;
+  const auto P = static_cast<std::size_t>(ranks);
+  Bytes a2a = 0, red = 0, bc = 0, gat = 0;
+  bool has_v = false;
+  for (const auto& ph : spec.phases) {
+    switch (ph.kind) {
+      case Phase::Kind::kCompute:
+        break;
+      case Phase::Kind::kAlltoall:
+        a2a = std::max(a2a, round_to_doubles(ph.bytes));
+        break;
+      case Phase::Kind::kAlltoallv: {
+        has_v = true;
+        std::size_t send_total = 0, recv_total = 0;
+        b.v_send_counts.assign(P, 0);
+        b.v_recv_counts.assign(P, 0);
+        for (int peer = 0; peer < ranks; ++peer) {
+          const Bytes out = alltoallv_segment(ph, spec.seed, me, peer);
+          const Bytes in = alltoallv_segment(ph, spec.seed, peer, me);
+          b.v_send_counts[static_cast<std::size_t>(peer)] = out;
+          b.v_recv_counts[static_cast<std::size_t>(peer)] = in;
+          send_total += static_cast<std::size_t>(out);
+          recv_total += static_cast<std::size_t>(in);
+        }
+        b.v_send.resize(send_total);
+        b.v_recv.resize(recv_total);
+        break;
+      }
+      case Phase::Kind::kBcast:
+        bc = std::max(bc, round_to_doubles(ph.bytes));
+        break;
+      case Phase::Kind::kReduce:
+      case Phase::Kind::kAllreduce:
+        red = std::max(red, round_to_doubles(ph.bytes));
+        break;
+      case Phase::Kind::kAllgather:
+        gat = std::max(gat, round_to_doubles(ph.bytes));
+        break;
+    }
+  }
+  if (a2a > 0) {
+    b.a2a_send.resize(P * static_cast<std::size_t>(a2a));
+    b.a2a_recv.resize(P * static_cast<std::size_t>(a2a));
+  }
+  if (red > 0) {
+    b.red_send.resize(static_cast<std::size_t>(red));
+    b.red_recv.resize(static_cast<std::size_t>(red));
+  }
+  if (bc > 0) b.bcast_buf.resize(static_cast<std::size_t>(bc));
+  if (gat > 0) {
+    b.gat_send.resize(static_cast<std::size_t>(gat));
+    b.gat_recv.resize(P * static_cast<std::size_t>(gat));
+  }
+  (void)has_v;
+  return b;
+}
+
+}  // namespace
+
+AppReport run_workload(const ClusterConfig& config, const WorkloadSpec& spec,
+                       coll::PowerScheme scheme) {
+  PACC_EXPECTS(spec.simulated_iterations >= 1);
+  PACC_EXPECTS(spec.extrapolation >= 1.0);
+
+  Simulation sim(config);
+  auto acct = std::make_shared<Accounting>();
+
+  auto body = [&sim, &spec, scheme, acct](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    RankBuffers buffers = make_buffers(spec, world.size(), me);
+
+    if (self.id() == 0) {
+      acct->start = self.engine().now();
+      acct->e0 = self.machine().total_energy();
+    }
+
+    for (int iter = 0; iter < spec.simulated_iterations; ++iter) {
+      for (const auto& phase : spec.phases) {
+        const TimePoint before = self.engine().now();
+        const bool is_a2a = phase.kind == Phase::Kind::kAlltoall ||
+                            phase.kind == Phase::Kind::kAlltoallv;
+        for (int r = 0; r < phase.repeat; ++r) {
+          switch (phase.kind) {
+            case Phase::Kind::kCompute: {
+              const double jitter =
+                  phase.imbalance *
+                  signed_hash(spec.seed,
+                              static_cast<std::uint64_t>(self.id()),
+                              static_cast<std::uint64_t>(iter * 131 + r));
+              co_await self.compute(phase.compute * (1.0 + jitter));
+              break;
+            }
+            case Phase::Kind::kAlltoall:
+              co_await coll::alltoall(self, world, buffers.a2a_send,
+                                      buffers.a2a_recv,
+                                      round_to_doubles(phase.bytes),
+                                      {.scheme = scheme});
+              break;
+            case Phase::Kind::kAlltoallv:
+              co_await coll::alltoallv(self, world, buffers.v_send,
+                                       buffers.v_send_counts, buffers.v_recv,
+                                       buffers.v_recv_counts,
+                                       {.scheme = scheme});
+              break;
+            case Phase::Kind::kBcast:
+              co_await coll::bcast(self, world, buffers.bcast_buf, 0,
+                                   {.scheme = scheme});
+              break;
+            case Phase::Kind::kReduce:
+              co_await coll::reduce(self, world, buffers.red_send,
+                                    buffers.red_recv, 0, {.scheme = scheme});
+              break;
+            case Phase::Kind::kAllreduce:
+              co_await coll::allreduce(self, world, buffers.red_send,
+                                       buffers.red_recv, {.scheme = scheme});
+              break;
+            case Phase::Kind::kAllgather:
+              co_await coll::allgather(self, world, buffers.gat_send,
+                                       buffers.gat_recv,
+                                       round_to_doubles(phase.bytes),
+                                       {.scheme = scheme});
+              break;
+          }
+        }
+        if (self.id() == 0 && phase.kind != Phase::Kind::kCompute) {
+          const Duration spent = self.engine().now() - before;
+          acct->comm += spent;
+          if (is_a2a) acct->alltoall += spent;
+        }
+      }
+    }
+
+    if (self.id() == 0) {
+      acct->end = self.engine().now();
+      acct->e1 = self.machine().total_energy();
+    }
+  };
+
+  const RunReport run = sim.run(body);
+
+  AppReport report;
+  report.workload = spec.name;
+  report.scheme = scheme;
+  report.ranks = config.ranks;
+  report.completed = run.completed;
+  const Duration measured = acct->end - acct->start;
+  report.total_time = measured * spec.extrapolation;
+  report.alltoall_time = acct->alltoall * spec.extrapolation;
+  report.comm_time = acct->comm * spec.extrapolation;
+  report.energy = (acct->e1 - acct->e0) * spec.extrapolation;
+  if (measured.ns() > 0) {
+    report.mean_power = (acct->e1 - acct->e0) / measured.sec();
+  }
+  for (const auto& [name, stats] : sim.runtime().profiler().stats()) {
+    report.profile.emplace(name, stats);
+  }
+  for (const auto& series : run.node_power) {
+    report.mean_node_power.push_back(series.mean_watts());
+  }
+  return report;
+}
+
+}  // namespace pacc::apps

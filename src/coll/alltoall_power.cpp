@@ -1,0 +1,227 @@
+#include "coll/alltoall_power.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "coll/power_scheme.hpp"
+#include "hw/power.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::coll {
+
+namespace {
+
+constexpr int kSocketA = 0;
+constexpr int kSocketB = 1;
+
+/// Restores the caller's throttle to T0 only if it is currently throttled
+/// (its socket may already have been restored by a socket-mate).
+sim::Task<> ensure_unthrottled(mpi::Rank& self) {
+  if (self.machine().throttle(self.core()) != hw::ThrottleLevel::kMin) {
+    co_await unthrottle_self(self);
+  }
+}
+
+}  // namespace
+
+int tournament_rounds(int N) {
+  PACC_EXPECTS(N >= 2);
+  return (N % 2 == 0) ? N - 1 : N;
+}
+
+int tournament_peer(int i, int round, int N) {
+  PACC_EXPECTS(N >= 2);
+  PACC_EXPECTS(i >= 0 && i < N);
+  PACC_EXPECTS(round >= 0 && round < tournament_rounds(N));
+  // Circle method. For odd N add a ghost player; pairing with the ghost
+  // means idling this round.
+  const int players = (N % 2 == 0) ? N : N + 1;
+  const int m = players - 1;
+  int peer;
+  if (i == players - 1) {
+    peer = round;
+  } else if (i == round) {
+    peer = players - 1;
+  } else {
+    peer = (2 * round - i % m + 2 * m) % m;
+  }
+  return peer >= N ? -1 : peer;
+}
+
+bool power_aware_alltoall_applicable(const mpi::Comm& comm) {
+  if (!comm.uniform_ppn()) return false;
+  if (comm.nodes().size() < 2) return false;
+  const auto& shape = comm.runtime().placement().shape;
+  if (shape.sockets_per_node != 2) return false;
+  // §V-C: the schedule depends on both per-node socket groups being
+  // populated (e.g. 8-way bunch mapping). With one socket empty there is
+  // nothing to alternate, so the caller falls back to per-call DVFS over
+  // the default algorithm — consistent with Table I, where the proposed
+  // scheme is indistinguishable from freq-scaling at 32 processes.
+  for (const int node : comm.nodes()) {
+    if (comm.socket_group(node, kSocketA).empty() ||
+        comm.socket_group(node, kSocketB).empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
+                                          const ExchangeOps& ops) {
+  PACC_EXPECTS(power_aware_alltoall_applicable(comm));
+  const int me = comm.comm_rank_of(self.id());
+  PACC_EXPECTS(me >= 0);
+
+  const int my_node = comm.node_of(me);
+  const int ni = comm.node_index(my_node);
+  const int N = static_cast<int>(comm.nodes().size());
+  const int my_socket = comm.socket_of(me);
+  auto& barrier = comm.node_barrier(my_node);
+  const auto& locals = comm.members_on_node(my_node);
+  const int c = static_cast<int>(locals.size());
+
+  auto node_at = [&](int index) {
+    return comm.nodes()[static_cast<std::size_t>(index)];
+  };
+
+  // Exchanges this rank's blocks with every member of `group`.
+  auto exchange_group = [&](const std::vector<int>& group) -> sim::Task<> {
+    for (int peer : group) co_await ops.send_to(peer);
+    for (int peer : group) co_await ops.recv_from(peer);
+  };
+
+  // ---- Phase 1: intra-node exchanges --------------------------------
+  {
+    const auto it = std::find(locals.begin(), locals.end(), me);
+    PACC_ASSERT(it != locals.end());
+    const int li = static_cast<int>(it - locals.begin());
+    for (int step = 1; step < c; ++step) {
+      if (is_pow2(c)) {
+        const int peer = locals[static_cast<std::size_t>(li ^ step)];
+        co_await ops.send_to(peer);
+        co_await ops.recv_from(peer);
+      } else {
+        const int dst = locals[static_cast<std::size_t>((li + step) % c)];
+        const int src = locals[static_cast<std::size_t>((li - step + c) % c)];
+        co_await ops.send_to(dst);
+        co_await ops.recv_from(src);
+      }
+    }
+  }
+  co_await barrier.arrive_and_wait();
+
+  // ---- Phase 2: A↔A inter-node; socket B throttled to T7 ------------
+  if (my_socket == kSocketA) {
+    for (int off = 1; off < N; ++off) {
+      const int to_node = node_at((ni + off) % N);
+      const int from_node = node_at((ni - off + N) % N);
+      for (int peer : comm.socket_group(to_node, kSocketA)) {
+        co_await ops.send_to(peer);
+      }
+      for (int peer : comm.socket_group(from_node, kSocketA)) {
+        co_await ops.recv_from(peer);
+      }
+    }
+  } else {
+    co_await throttle_self(self, hw::ThrottleLevel::kMax);
+  }
+  co_await barrier.arrive_and_wait();
+
+  // ---- Phase 3: roles swap: B↔B inter-node; socket A at T7 ----------
+  if (my_socket == kSocketB) {
+    co_await ensure_unthrottled(self);
+    for (int off = 1; off < N; ++off) {
+      const int to_node = node_at((ni + off) % N);
+      const int from_node = node_at((ni - off + N) % N);
+      for (int peer : comm.socket_group(to_node, kSocketB)) {
+        co_await ops.send_to(peer);
+      }
+      for (int peer : comm.socket_group(from_node, kSocketB)) {
+        co_await ops.recv_from(peer);
+      }
+    }
+  } else {
+    co_await throttle_self(self, hw::ThrottleLevel::kMax);
+  }
+  co_await barrier.arrive_and_wait();
+
+  // ---- Phase 4: cross-socket inter-node exchanges -------------------
+  const int rounds = tournament_rounds(N);
+  for (int round = 0; round < rounds; ++round) {
+    const int pi = tournament_peer(ni, round, N);
+    if (pi < 0) {
+      // Idle this round: stay throttled through both sub-steps.
+      if (self.machine().throttle(self.core()) == hw::ThrottleLevel::kMin) {
+        co_await throttle_self(self, hw::ThrottleLevel::kMax);
+      }
+      co_await barrier.arrive_and_wait();
+      co_await barrier.arrive_and_wait();
+      continue;
+    }
+    const int lo = std::min(ni, pi);
+    const int hi = std::max(ni, pi);
+    const int lo_node = node_at(lo);
+    const int hi_node = node_at(hi);
+
+    // Sub-step a: A(lo) ↔ B(hi); everyone else throttled.
+    const bool in_a = (ni == lo && my_socket == kSocketA) ||
+                      (ni == hi && my_socket == kSocketB);
+    if (in_a) {
+      co_await ensure_unthrottled(self);
+      const auto& counterpart = (ni == lo)
+                                    ? comm.socket_group(hi_node, kSocketB)
+                                    : comm.socket_group(lo_node, kSocketA);
+      co_await exchange_group(counterpart);
+    } else {
+      co_await throttle_self(self, hw::ThrottleLevel::kMax);
+    }
+    co_await barrier.arrive_and_wait();
+
+    // Sub-step b: B(lo) ↔ A(hi).
+    const bool in_b = (ni == lo && my_socket == kSocketB) ||
+                      (ni == hi && my_socket == kSocketA);
+    if (in_b) {
+      co_await ensure_unthrottled(self);
+      const auto& counterpart = (ni == lo)
+                                    ? comm.socket_group(hi_node, kSocketA)
+                                    : comm.socket_group(lo_node, kSocketB);
+      co_await exchange_group(counterpart);
+    } else {
+      co_await throttle_self(self, hw::ThrottleLevel::kMax);
+    }
+    co_await barrier.arrive_and_wait();
+  }
+
+  // Restore T0 before returning to the application.
+  co_await ensure_unthrottled(self);
+}
+
+sim::Task<> alltoall_power_aware(mpi::Rank& self, mpi::Comm& comm,
+                                 std::span<const std::byte> send,
+                                 std::span<std::byte> recv, Bytes block) {
+  const int me = comm.comm_rank_of(self.id());
+  PACC_EXPECTS(me >= 0);
+  const int tag = comm.begin_collective(me);
+  const auto blk = static_cast<std::size_t>(block);
+  PACC_EXPECTS(send.size() ==
+                   static_cast<std::size_t>(comm.size()) * blk &&
+               recv.size() == send.size());
+
+  // Own block.
+  std::memcpy(recv.data() + static_cast<std::size_t>(me) * blk,
+              send.data() + static_cast<std::size_t>(me) * blk, blk);
+
+  ExchangeOps ops;
+  ops.send_to = [&self, &comm, send, blk, tag](int peer) -> sim::Task<> {
+    co_await self.send(comm.global_rank(peer), tag,
+                       send.subspan(static_cast<std::size_t>(peer) * blk, blk));
+  };
+  ops.recv_from = [&self, &comm, recv, blk, tag](int peer) -> sim::Task<> {
+    co_await self.recv(comm.global_rank(peer), tag,
+                       recv.subspan(static_cast<std::size_t>(peer) * blk, blk));
+  };
+  co_await power_aware_exchange_schedule(self, comm, ops);
+}
+
+}  // namespace pacc::coll

@@ -1,0 +1,141 @@
+#include "coll/alltoallv.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "coll/alltoall_power.hpp"
+#include "coll/power_scheme.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::coll {
+
+namespace {
+
+std::vector<std::size_t> displacements(std::span<const Bytes> counts) {
+  std::vector<std::size_t> displs(counts.size() + 1, 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    PACC_EXPECTS(counts[i] >= 0);
+    displs[i + 1] = displs[i] + static_cast<std::size_t>(counts[i]);
+  }
+  return displs;
+}
+
+void check(const mpi::Comm& comm, std::span<const std::byte> send,
+           std::span<const Bytes> send_counts, std::span<std::byte> recv,
+           std::span<const Bytes> recv_counts) {
+  const auto P = static_cast<std::size_t>(comm.size());
+  PACC_EXPECTS(send_counts.size() == P && recv_counts.size() == P);
+  PACC_EXPECTS(send.size() ==
+               static_cast<std::size_t>(std::accumulate(
+                   send_counts.begin(), send_counts.end(), Bytes{0})));
+  PACC_EXPECTS(recv.size() ==
+               static_cast<std::size_t>(std::accumulate(
+                   recv_counts.begin(), recv_counts.end(), Bytes{0})));
+}
+
+}  // namespace
+
+sim::Task<> alltoallv_pairwise(mpi::Rank& self, mpi::Comm& comm,
+                               std::span<const std::byte> send,
+                               std::span<const Bytes> send_counts,
+                               std::span<std::byte> recv,
+                               std::span<const Bytes> recv_counts) {
+  check(comm, send, send_counts, recv, recv_counts);
+  const int P = comm.size();
+  const int me = comm.comm_rank_of(self.id());
+  PACC_EXPECTS(me >= 0);
+  const int tag = comm.begin_collective(me);
+  const auto sdispl = displacements(send_counts);
+  const auto rdispl = displacements(recv_counts);
+
+  PACC_EXPECTS_MSG(send_counts[static_cast<std::size_t>(me)] ==
+                       recv_counts[static_cast<std::size_t>(me)],
+                   "self segment sizes must agree");
+  std::memcpy(recv.data() + rdispl[static_cast<std::size_t>(me)],
+              send.data() + sdispl[static_cast<std::size_t>(me)],
+              static_cast<std::size_t>(send_counts[static_cast<std::size_t>(me)]));
+
+  for (int step = 1; step < P; ++step) {
+    const int dst = is_pow2(P) ? (me ^ step) : (me + step) % P;
+    const int src = is_pow2(P) ? dst : (me - step + P) % P;
+    co_await self.send(
+        comm.global_rank(dst), tag,
+        send.subspan(sdispl[static_cast<std::size_t>(dst)],
+                     static_cast<std::size_t>(
+                         send_counts[static_cast<std::size_t>(dst)])));
+    co_await self.recv(
+        comm.global_rank(src), tag,
+        recv.subspan(rdispl[static_cast<std::size_t>(src)],
+                     static_cast<std::size_t>(
+                         recv_counts[static_cast<std::size_t>(src)])));
+  }
+}
+
+sim::Task<> alltoallv_power_aware(mpi::Rank& self, mpi::Comm& comm,
+                                  std::span<const std::byte> send,
+                                  std::span<const Bytes> send_counts,
+                                  std::span<std::byte> recv,
+                                  std::span<const Bytes> recv_counts) {
+  check(comm, send, send_counts, recv, recv_counts);
+  const int me = comm.comm_rank_of(self.id());
+  PACC_EXPECTS(me >= 0);
+  const int tag = comm.begin_collective(me);
+  const auto sdispl = displacements(send_counts);
+  const auto rdispl = displacements(recv_counts);
+
+  std::memcpy(recv.data() + rdispl[static_cast<std::size_t>(me)],
+              send.data() + sdispl[static_cast<std::size_t>(me)],
+              static_cast<std::size_t>(send_counts[static_cast<std::size_t>(me)]));
+
+  ExchangeOps ops;
+  ops.send_to = [&self, &comm, send, &sdispl, send_counts,
+                 tag](int peer) -> sim::Task<> {
+    const auto p = static_cast<std::size_t>(peer);
+    co_await self.send(
+        comm.global_rank(peer), tag,
+        send.subspan(sdispl[p], static_cast<std::size_t>(send_counts[p])));
+  };
+  ops.recv_from = [&self, &comm, recv, &rdispl, recv_counts,
+                   tag](int peer) -> sim::Task<> {
+    const auto p = static_cast<std::size_t>(peer);
+    co_await self.recv(
+        comm.global_rank(peer), tag,
+        recv.subspan(rdispl[p], static_cast<std::size_t>(recv_counts[p])));
+  };
+  co_await power_aware_exchange_schedule(self, comm, ops);
+}
+
+sim::Task<> alltoallv(mpi::Rank& self, mpi::Comm& comm,
+                      std::span<const std::byte> send,
+                      std::span<const Bytes> send_counts,
+                      std::span<std::byte> recv,
+                      std::span<const Bytes> recv_counts,
+                      const AlltoallvOptions& options) {
+  ProfileScope prof(self, "alltoallv", static_cast<Bytes>(send.size()));
+  switch (options.scheme) {
+    case PowerScheme::kNone:
+      co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
+                                  recv_counts);
+      co_return;
+    case PowerScheme::kFreqScaling:
+      co_await enter_low_power(self, options.scheme);
+      co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
+                                  recv_counts);
+      co_await exit_low_power(self, options.scheme);
+      co_return;
+    case PowerScheme::kProposed:
+      co_await enter_low_power(self, options.scheme);
+      if (power_aware_alltoall_applicable(comm)) {
+        co_await alltoallv_power_aware(self, comm, send, send_counts, recv,
+                                       recv_counts);
+      } else {
+        co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
+                                    recv_counts);
+      }
+      co_await exit_low_power(self, options.scheme);
+      co_return;
+  }
+}
+
+}  // namespace pacc::coll

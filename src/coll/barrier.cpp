@@ -1,0 +1,35 @@
+#include "coll/barrier.hpp"
+
+#include <array>
+
+#include "coll/power_scheme.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::coll {
+
+sim::Task<> barrier_dissemination(mpi::Rank& self, mpi::Comm& comm) {
+  const int P = comm.size();
+  const int me = comm.comm_rank_of(self.id());
+  PACC_EXPECTS(me >= 0);
+  const int tag = comm.begin_collective(me);
+  if (P == 1) co_return;
+
+  std::array<std::byte, 1> token{std::byte{0x42}};
+  std::array<std::byte, 1> sink{};
+  for (int dist = 1; dist < P; dist <<= 1) {
+    const int dst = (me + dist) % P;
+    const int src = (me - dist + P) % P;
+    co_await self.send(comm.global_rank(dst), tag, token);
+    co_await self.recv(comm.global_rank(src), tag, sink);
+  }
+}
+
+sim::Task<> barrier(mpi::Rank& self, mpi::Comm& comm,
+                    const BarrierOptions& options) {
+  ProfileScope prof(self, "barrier", 0);
+  co_await enter_low_power(self, options.scheme);
+  co_await barrier_dissemination(self, comm);
+  co_await exit_low_power(self, options.scheme);
+}
+
+}  // namespace pacc::coll

@@ -1,0 +1,20 @@
+// MPI_Barrier via the dissemination algorithm (ceil(log2 P) rounds).
+#pragma once
+
+#include "coll/types.hpp"
+#include "sim/task.hpp"
+
+namespace pacc::coll {
+
+struct BarrierOptions {
+  PowerScheme scheme = PowerScheme::kNone;
+};
+
+sim::Task<> barrier_dissemination(mpi::Rank& self, mpi::Comm& comm);
+
+/// Dispatcher (per-call DVFS for the power schemes; the tokens are too
+/// small for throttled scheduling to pay off).
+sim::Task<> barrier(mpi::Rank& self, mpi::Comm& comm,
+                    const BarrierOptions& options = {});
+
+}  // namespace pacc::coll

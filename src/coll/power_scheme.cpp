@@ -1,0 +1,89 @@
+#include "coll/power_scheme.hpp"
+
+#include <algorithm>
+
+#include "hw/power.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::coll {
+
+std::string to_string(PowerScheme s) {
+  switch (s) {
+    case PowerScheme::kNone:
+      return "no-power";
+    case PowerScheme::kFreqScaling:
+      return "freq-scaling";
+    case PowerScheme::kProposed:
+      return "proposed";
+  }
+  return "?";
+}
+
+std::string to_string(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return "sum";
+    case ReduceOp::kMax:
+      return "max";
+    case ReduceOp::kMin:
+      return "min";
+  }
+  return "?";
+}
+
+void reduce_bytes(ReduceOp op, std::span<std::byte> accum,
+                  std::span<const std::byte> in) {
+  PACC_EXPECTS(accum.size() == in.size());
+  PACC_EXPECTS_MSG(accum.size() % sizeof(double) == 0,
+                   "reduction buffers hold doubles");
+  auto* a = reinterpret_cast<double*>(accum.data());
+  const auto* b = reinterpret_cast<const double*>(in.data());
+  const std::size_t n = accum.size() / sizeof(double);
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < n; ++i) a[i] = std::max(a[i], b[i]);
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < n; ++i) a[i] = std::min(a[i], b[i]);
+      break;
+  }
+}
+
+int ceil_pow2(int x) {
+  PACC_EXPECTS(x >= 1);
+  int p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+bool is_pow2(int x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+int floor_log2(int x) {
+  PACC_EXPECTS(x >= 1);
+  int l = 0;
+  while ((1 << (l + 1)) <= x) ++l;
+  return l;
+}
+
+sim::Task<> enter_low_power(mpi::Rank& self, PowerScheme scheme) {
+  if (scheme == PowerScheme::kNone) co_return;
+  co_await self.dvfs(self.machine().params().fmin);
+}
+
+sim::Task<> exit_low_power(mpi::Rank& self, PowerScheme scheme) {
+  if (scheme == PowerScheme::kNone) co_return;
+  co_await self.dvfs(self.machine().params().fmax);
+}
+
+sim::Task<> throttle_self(mpi::Rank& self, int tstate) {
+  co_await self.throttle(tstate);
+}
+
+sim::Task<> unthrottle_self(mpi::Rank& self) {
+  co_await self.throttle(hw::ThrottleLevel::kMin);
+}
+
+}  // namespace pacc::coll

@@ -1,0 +1,49 @@
+// Per-call power-management helpers shared by the power-aware collectives.
+//
+// The paper performs DVFS on a per-call basis: every core drops to fmin at
+// the start of the collective and returns to fmax at the end, paying O_dvfs
+// twice (§V). Throttle transitions are issued by each rank for its own
+// socket (or core, under core-granular throttling) and pay O_throttle.
+#pragma once
+
+#include "coll/types.hpp"
+#include "sim/task.hpp"
+
+namespace pacc::coll {
+
+/// Drops the calling rank's core to fmin (O_dvfs charged) when the scheme
+/// performs per-call DVFS; no-op for PowerScheme::kNone.
+sim::Task<> enter_low_power(mpi::Rank& self, PowerScheme scheme);
+
+/// Restores the calling rank's core to fmax; no-op for PowerScheme::kNone.
+sim::Task<> exit_low_power(mpi::Rank& self, PowerScheme scheme);
+
+/// Throttles the calling rank (socket- or core-granular per the machine),
+/// charging O_throttle.
+sim::Task<> throttle_self(mpi::Rank& self, int tstate);
+
+/// Frame-local profiling scope: records (op, bytes, elapsed) into the
+/// runtime's Profiler when the enclosing coroutine body finishes. Declared
+/// at the top of every collective dispatcher.
+class ProfileScope {
+ public:
+  ProfileScope(mpi::Rank& self, const char* op, Bytes bytes)
+      : self_(self), op_(op), bytes_(bytes), start_(self.engine().now()) {}
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+  ~ProfileScope() {
+    self_.runtime().profiler().record(op_, bytes_,
+                                      self_.engine().now() - start_);
+  }
+
+ private:
+  mpi::Rank& self_;
+  const char* op_;
+  Bytes bytes_;
+  TimePoint start_;
+};
+
+/// Restores the calling rank's throttle to T0, charging O_throttle.
+sim::Task<> unthrottle_self(mpi::Rank& self);
+
+}  // namespace pacc::coll

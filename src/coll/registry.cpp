@@ -1,0 +1,33 @@
+#include "coll/registry.hpp"
+
+namespace pacc::coll {
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kAlltoall:
+      return "alltoall";
+    case Op::kAlltoallv:
+      return "alltoallv";
+    case Op::kBcast:
+      return "bcast";
+    case Op::kReduce:
+      return "reduce";
+    case Op::kAllreduce:
+      return "allreduce";
+    case Op::kAllgather:
+      return "allgather";
+    case Op::kGather:
+      return "gather";
+    case Op::kScatter:
+      return "scatter";
+    case Op::kScan:
+      return "scan";
+    case Op::kReduceScatter:
+      return "reduce_scatter";
+    case Op::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+}  // namespace pacc::coll

@@ -1,0 +1,44 @@
+// Umbrella header + operation registry for the collective layer.
+#pragma once
+
+#include <string>
+
+#include "coll/allgather.hpp"
+#include "coll/allreduce.hpp"
+#include "coll/alltoall.hpp"
+#include "coll/alltoall_power.hpp"
+#include "coll/alltoallv.hpp"
+#include "coll/barrier.hpp"
+#include "coll/bcast.hpp"
+#include "coll/comm_split.hpp"
+#include "coll/gather_scatter.hpp"
+#include "coll/reduce.hpp"
+#include "coll/reduce_scatter.hpp"
+#include "coll/scan.hpp"
+#include "coll/topo_aware.hpp"
+#include "coll/types.hpp"
+
+namespace pacc::coll {
+
+/// The collective operations this library implements.
+enum class Op {
+  kAlltoall,
+  kAlltoallv,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kAllgather,
+  kGather,
+  kScatter,
+  kScan,
+  kReduceScatter,
+  kBarrier,
+};
+
+std::string to_string(Op op);
+
+/// All power schemes, in the order the paper's figures present them.
+inline constexpr PowerScheme kAllSchemes[] = {
+    PowerScheme::kNone, PowerScheme::kFreqScaling, PowerScheme::kProposed};
+
+}  // namespace pacc::coll

@@ -1,0 +1,51 @@
+#include "coll/scan.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "coll/power_scheme.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::coll {
+
+sim::Task<> scan_recursive_doubling(mpi::Rank& self, mpi::Comm& comm,
+                                    std::span<const std::byte> send,
+                                    std::span<std::byte> recv, ReduceOp op) {
+  PACC_EXPECTS(send.size() == recv.size());
+  PACC_EXPECTS(send.size() % sizeof(double) == 0);
+  const int P = comm.size();
+  const int me = comm.comm_rank_of(self.id());
+  PACC_EXPECTS(me >= 0);
+  const int tag = comm.begin_collective(me);
+
+  // recv accumulates the inclusive prefix; partial the trailing window
+  // [me - 2^k + 1, me] that gets forwarded.
+  std::memcpy(recv.data(), send.data(), send.size());
+  std::vector<std::byte> partial(send.begin(), send.end());
+  std::vector<std::byte> incoming(send.size());
+
+  for (int mask = 1; mask < P; mask <<= 1) {
+    const int dst = me + mask;
+    const int src = me - mask;
+    if (dst < P) {
+      co_await self.send(comm.global_rank(dst), tag, partial);
+    }
+    if (src >= 0) {
+      co_await self.recv(comm.global_rank(src), tag, incoming);
+      // incoming covers [src - 2^k + 1, src] == [me - 2^{k+1} + 1, me - 2^k].
+      reduce_bytes(op, partial, incoming);
+      reduce_bytes(op, recv, incoming);
+    }
+  }
+}
+
+sim::Task<> scan(mpi::Rank& self, mpi::Comm& comm,
+                 std::span<const std::byte> send, std::span<std::byte> recv,
+                 const ScanOptions& options) {
+  ProfileScope prof(self, "scan", static_cast<Bytes>(send.size()));
+  co_await enter_low_power(self, options.scheme);
+  co_await scan_recursive_doubling(self, comm, send, recv, options.op);
+  co_await exit_low_power(self, options.scheme);
+}
+
+}  // namespace pacc::coll

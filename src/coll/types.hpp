@@ -1,0 +1,42 @@
+// Common types for the collective layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+#include "util/units.hpp"
+
+namespace pacc::coll {
+
+/// Power optimisation applied to a collective call (§V, §VII).
+enum class PowerScheme {
+  kNone,         ///< default algorithm, all cores at fmax / T0
+  kFreqScaling,  ///< per-call DVFS to fmin around the default algorithm
+  kProposed,     ///< the paper's DVFS + throttling-scheduled algorithms
+};
+
+std::string to_string(PowerScheme s);
+
+/// Reduction operator over double elements.
+enum class ReduceOp { kSum, kMax, kMin };
+
+std::string to_string(ReduceOp op);
+
+/// Applies `op` element-wise: accum[i] = accum[i] (op) in[i].
+/// Buffers are interpreted as arrays of double (size % 8 == 0).
+void reduce_bytes(ReduceOp op, std::span<std::byte> accum,
+                  std::span<const std::byte> in);
+
+/// Smallest power of two >= x.
+int ceil_pow2(int x);
+
+/// True if x is a power of two.
+bool is_pow2(int x);
+
+/// floor(log2(x)) for x >= 1.
+int floor_log2(int x);
+
+}  // namespace pacc::coll

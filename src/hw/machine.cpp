@@ -1,0 +1,148 @@
+#include "hw/machine.hpp"
+
+namespace pacc::hw {
+
+Machine::Machine(sim::Engine& engine, MachineParams params)
+    : engine_(engine), params_(std::move(params)) {
+  PACC_EXPECTS(params_.shape.valid());
+  PACC_EXPECTS(params_.fmin.hz() > 0.0 &&
+               params_.fmin.hz() <= params_.fmax.hz());
+
+  cores_.resize(static_cast<std::size_t>(params_.shape.total_cores()));
+  static_power_ =
+      params_.power.node_base * params_.shape.nodes +
+      params_.power.socket_uncore * params_.shape.sockets_total();
+  system_power_ = static_power_;
+  for (auto& cs : cores_) {
+    cs.freq = params_.fmax;
+    refresh_power(cs);
+  }
+  last_flush_ = engine_.now();
+}
+
+Machine::CoreState& Machine::state(const CoreId& core) {
+  return cores_[static_cast<std::size_t>(linear_core(params_.shape, core))];
+}
+
+const Machine::CoreState& Machine::state(const CoreId& core) const {
+  return cores_[static_cast<std::size_t>(linear_core(params_.shape, core))];
+}
+
+void Machine::flush() {
+  const TimePoint now = engine_.now();
+  const Duration dt = now - last_flush_;
+  if (dt.ns() <= 0) return;
+  const double secs = dt.sec();
+  energy_ += system_power_ * secs;
+  for (auto& cs : cores_) {
+    cs.stats.energy += cs.power * secs;
+    if (cs.activity == Activity::kBusy) {
+      cs.stats.busy_time += dt;
+    } else {
+      cs.stats.idle_time += dt;
+    }
+    if (cs.tstate > ThrottleLevel::kMin) cs.stats.throttled_time += dt;
+  }
+  last_flush_ = now;
+}
+
+void Machine::refresh_power(CoreState& cs) {
+  system_power_ -= cs.power;
+  cs.power = params_.power.core_power(cs.freq, params_.fmax, cs.tstate,
+                                      cs.activity);
+  system_power_ += cs.power;
+}
+
+void Machine::set_frequency(const CoreId& core, Frequency f) {
+  PACC_EXPECTS(f >= params_.fmin && f <= params_.fmax);
+  flush();
+  auto& cs = state(core);
+  cs.freq = f;
+  refresh_power(cs);
+}
+
+void Machine::set_activity(const CoreId& core, Activity a) {
+  flush();
+  auto& cs = state(core);
+  cs.activity = a;
+  refresh_power(cs);
+}
+
+void Machine::set_core_throttle(const CoreId& core, int tstate) {
+  PACC_EXPECTS(tstate >= ThrottleLevel::kMin && tstate <= ThrottleLevel::kMax);
+  flush();
+  auto& cs = state(core);
+  cs.tstate = tstate;
+  refresh_power(cs);
+}
+
+void Machine::set_socket_throttle(int node, int socket, int tstate) {
+  PACC_EXPECTS(node >= 0 && node < params_.shape.nodes);
+  PACC_EXPECTS(socket >= 0 && socket < params_.shape.sockets_per_node);
+  PACC_EXPECTS(tstate >= ThrottleLevel::kMin && tstate <= ThrottleLevel::kMax);
+  flush();
+  for (int c = 0; c < params_.shape.cores_per_socket; ++c) {
+    auto& cs = state(CoreId{node, socket, c});
+    cs.tstate = tstate;
+    refresh_power(cs);
+  }
+}
+
+sim::Task<> Machine::dvfs_transition(CoreId core, Frequency target) {
+  set_frequency(core, target);
+  co_await engine_.delay(params_.dvfs_overhead);
+}
+
+sim::Task<> Machine::throttle_transition(CoreId issuer, int tstate) {
+  if (params_.core_level_throttling) {
+    set_core_throttle(issuer, tstate);
+  } else {
+    set_socket_throttle(issuer.node, issuer.socket, tstate);
+  }
+  co_await engine_.delay(params_.throttle_overhead);
+}
+
+Frequency Machine::frequency(const CoreId& core) const {
+  return state(core).freq;
+}
+
+int Machine::throttle(const CoreId& core) const { return state(core).tstate; }
+
+Activity Machine::activity(const CoreId& core) const {
+  return state(core).activity;
+}
+
+double Machine::cpu_slowdown(const CoreId& core) const {
+  return freq_slowdown(core) * throttle_slowdown(core);
+}
+
+double Machine::freq_slowdown(const CoreId& core) const {
+  return params_.fmax.hz() / state(core).freq.hz();
+}
+
+double Machine::throttle_slowdown(const CoreId& core) const {
+  return 1.0 / ThrottleLevel::activity_factor(state(core).tstate);
+}
+
+Watts Machine::node_power(int node) const {
+  PACC_EXPECTS(node >= 0 && node < params_.shape.nodes);
+  Watts total = params_.power.node_base +
+                params_.power.socket_uncore * params_.shape.sockets_per_node;
+  const int base = node * params_.shape.cores_per_node();
+  for (int c = 0; c < params_.shape.cores_per_node(); ++c) {
+    total += cores_[static_cast<std::size_t>(base + c)].power;
+  }
+  return total;
+}
+
+Joules Machine::total_energy() {
+  flush();
+  return energy_;
+}
+
+CoreStats Machine::core_stats(const CoreId& core) {
+  flush();
+  return state(core).stats;
+}
+
+}  // namespace pacc::hw

@@ -1,0 +1,119 @@
+// Mutable hardware state for a whole cluster, with exact energy accounting.
+//
+// Machine holds each core's (frequency, T-state, activity). Power is a
+// piecewise-constant function of that state (hw::PowerParams), so energy is
+// integrated exactly: every state change first flushes `power · Δt` into the
+// per-core and system accumulators. DVFS and throttle transitions are
+// exposed as awaitable tasks that charge the paper's O_dvfs / O_throttle
+// latencies to the issuing core.
+#pragma once
+
+#include <vector>
+
+#include "hw/power.hpp"
+#include "hw/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "util/units.hpp"
+
+namespace pacc::hw {
+
+struct MachineParams {
+  ClusterShape shape;
+  Frequency fmin = Frequency::ghz(1.6);
+  Frequency fmax = Frequency::ghz(2.4);
+  PowerParams power;
+  Duration dvfs_overhead = Duration::micros(12.0);      ///< O_dvfs (10–15 µs)
+  Duration throttle_overhead = Duration::micros(10.0);  ///< O_throttle
+
+  /// Paper §V-B "future architectures": allow per-core T-states instead of
+  /// the Nehalem's socket-granular throttling.
+  bool core_level_throttling = false;
+};
+
+/// Lifetime statistics for one core.
+struct CoreStats {
+  Duration busy_time;       ///< computing or polling
+  Duration idle_time;       ///< sleeping in blocking waits
+  Duration throttled_time;  ///< time spent at T-state > T0
+  Joules energy = 0.0;
+};
+
+class Machine {
+ public:
+  Machine(sim::Engine& engine, MachineParams params);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineParams& params() const { return params_; }
+  const ClusterShape& shape() const { return params_.shape; }
+  sim::Engine& engine() { return engine_; }
+
+  // --- instantaneous state changes (energy is flushed first) ---
+  void set_frequency(const CoreId& core, Frequency f);
+  void set_activity(const CoreId& core, Activity a);
+  void set_core_throttle(const CoreId& core, int tstate);
+  void set_socket_throttle(int node, int socket, int tstate);
+
+  // --- transitions that charge the architectural overhead to the caller ---
+
+  /// Changes the core's P-state, stalling the caller for O_dvfs.
+  sim::Task<> dvfs_transition(CoreId core, Frequency target);
+
+  /// Throttles at the architecture's granularity: the issuing core's whole
+  /// socket on Nehalem-style machines, just the core when
+  /// core_level_throttling is enabled. Stalls the caller for O_throttle.
+  sim::Task<> throttle_transition(CoreId issuer, int tstate);
+
+  // --- queries ---
+  Frequency frequency(const CoreId& core) const;
+  int throttle(const CoreId& core) const;
+  Activity activity(const CoreId& core) const;
+
+  /// Multiplier on CPU work (message start-up costs, local compute) caused
+  /// by running below fmax and/or throttled: (fmax/f) · (1/c_t).
+  double cpu_slowdown(const CoreId& core) const;
+
+  /// The DVFS component of cpu_slowdown: fmax / f.
+  double freq_slowdown(const CoreId& core) const;
+
+  /// The throttling component of cpu_slowdown: 1 / c_t.
+  double throttle_slowdown(const CoreId& core) const;
+
+  Watts system_power() const { return system_power_; }
+  Watts node_power(int node) const;
+
+  /// Total system energy consumed up to the current simulated time.
+  Joules total_energy();
+
+  /// Per-core statistics up to the current simulated time.
+  CoreStats core_stats(const CoreId& core);
+
+ private:
+  struct CoreState {
+    Frequency freq;
+    int tstate = ThrottleLevel::kMin;
+    Activity activity = Activity::kBusy;
+    Watts power = 0.0;  ///< cached instantaneous power
+    CoreStats stats;
+  };
+
+  CoreState& state(const CoreId& core);
+  const CoreState& state(const CoreId& core) const;
+
+  /// Integrates energy/time stats from last_flush_ to now for all cores.
+  void flush();
+
+  /// Recomputes one core's cached power and the system total.
+  void refresh_power(CoreState& cs);
+
+  sim::Engine& engine_;
+  MachineParams params_;
+  std::vector<CoreState> cores_;
+  Watts static_power_ = 0.0;  ///< node base + uncore, never varies
+  Watts system_power_ = 0.0;
+  Joules energy_ = 0.0;
+  TimePoint last_flush_;
+};
+
+}  // namespace pacc::hw

@@ -1,0 +1,43 @@
+#include "hw/meter.hpp"
+
+namespace pacc::hw {
+
+SamplingMeter::SamplingMeter(Machine& machine, Duration interval,
+                             bool per_node)
+    : machine_(machine), interval_(interval), per_node_(per_node) {
+  PACC_EXPECTS(interval.ns() > 0);
+  if (per_node_) {
+    node_series_.resize(static_cast<std::size_t>(machine.shape().nodes));
+  }
+}
+
+SamplingMeter::~SamplingMeter() { stop(); }
+
+void SamplingMeter::start() {
+  PACC_EXPECTS_MSG(!running_, "meter already running");
+  running_ = true;
+  arm();
+}
+
+void SamplingMeter::stop() {
+  if (!running_) return;
+  running_ = false;
+  machine_.engine().cancel(pending_);
+}
+
+void SamplingMeter::arm() {
+  pending_ = machine_.engine().schedule(interval_, [this] {
+    if (!running_) return;
+    const TimePoint now = machine_.engine().now();
+    series_.add(now, machine_.system_power());
+    if (per_node_) {
+      for (int n = 0; n < machine_.shape().nodes; ++n) {
+        node_series_[static_cast<std::size_t>(n)].add(now,
+                                                      machine_.node_power(n));
+      }
+    }
+    arm();
+  });
+}
+
+}  // namespace pacc::hw

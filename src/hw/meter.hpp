@@ -1,0 +1,50 @@
+// Simulated clamp power meter.
+//
+// Models the paper's MASTECH MS2205: it samples total system power at a
+// fixed interval (0.5 s in the paper) and records a time series. Implemented
+// as a self-rescheduling event rather than a task so that stopping it cannot
+// leave a "stuck" coroutine behind.
+#pragma once
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "util/stats.hpp"
+
+namespace pacc::hw {
+
+class SamplingMeter {
+ public:
+  /// With `per_node`, each sample also records every node's individual
+  /// draw (one clamp per supply line, as a multi-channel meter would).
+  SamplingMeter(Machine& machine, Duration interval = Duration::millis(500.0),
+                bool per_node = false);
+  ~SamplingMeter();
+  SamplingMeter(const SamplingMeter&) = delete;
+  SamplingMeter& operator=(const SamplingMeter&) = delete;
+
+  /// Starts sampling; the first sample is taken one interval from now.
+  void start();
+
+  /// Stops sampling and cancels the pending sample event.
+  void stop();
+
+  bool running() const { return running_; }
+  const PowerSeries& series() const { return series_; }
+  /// Per-node series (empty unless constructed with per_node).
+  const std::vector<PowerSeries>& node_series() const { return node_series_; }
+  Duration interval() const { return interval_; }
+
+ private:
+  void arm();
+
+  Machine& machine_;
+  Duration interval_;
+  PowerSeries series_;
+  std::vector<PowerSeries> node_series_;
+  bool per_node_ = false;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+};
+
+}  // namespace pacc::hw

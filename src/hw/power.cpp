@@ -1,0 +1,18 @@
+#include "hw/power.hpp"
+
+#include <cmath>
+
+namespace pacc::hw {
+
+Watts PowerParams::core_power(Frequency f, Frequency fmax, int tstate,
+                              Activity activity) const {
+  PACC_EXPECTS(f.hz() > 0.0 && fmax.hz() > 0.0);
+  PACC_EXPECTS(f.hz() <= fmax.hz());
+  if (activity == Activity::kIdle) return core_idle;
+  const double ratio = f.hz() / fmax.hz();
+  const double scale = std::pow(ratio, freq_exponent);
+  return core_idle +
+         ThrottleLevel::activity_factor(tstate) * core_dynamic_fmax * scale;
+}
+
+}  // namespace pacc::hw

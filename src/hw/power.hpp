@@ -1,0 +1,53 @@
+// Per-core power model: P-states (DVFS), T-states (throttling), activity.
+//
+// Formalises Section VI-B of the paper. A core's instantaneous power is a
+// function of its frequency f, throttle level T_j and whether it is busy
+// (computing *or* polling — both peg the pipeline) or idle (sleeping in
+// blocking-mode waits):
+//
+//   P(f, T_j, busy) = P_idle + c_j · P_dyn,max · (f / f_max)^k
+//   P(f, T_j, idle) = P_idle
+//
+// where c_j is the paper's activity factor (T0 = 100 % … T7 = 12 %) and
+// k ≈ 3 models voltage tracking frequency under DVFS. System power adds
+// per-socket uncore and per-node base draw, which is what a clamp meter on
+// the node's supply line sees.
+#pragma once
+
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace pacc::hw {
+
+/// Intel-style throttling levels T0..T7.
+struct ThrottleLevel {
+  static constexpr int kMin = 0;  ///< T0: CPU 100 % active
+  static constexpr int kMax = 7;  ///< T7: CPU 12 % active
+
+  /// Fraction of cycles the core executes at level Tj (paper: T7 ≈ 12 %).
+  static double activity_factor(int level) {
+    PACC_EXPECTS(level >= kMin && level <= kMax);
+    return 1.0 - static_cast<double>(level) / 8.0;
+  }
+};
+
+/// What a core is doing, for power purposes.
+enum class Activity {
+  kBusy,  ///< executing or busy-polling: full dynamic power at (f, Tj)
+  kIdle,  ///< halted in a blocking wait: idle power only
+};
+
+/// Calibrated electrical constants for one cluster.
+struct PowerParams {
+  Watts node_base = 120.0;        ///< chipset, DRAM, fans, PSU loss per node
+  Watts socket_uncore = 20.0;     ///< shared cache / IMC per socket
+  Watts core_idle = 4.0;          ///< halted core
+  Watts core_dynamic_fmax = 12.0; ///< extra power of a busy core at fmax, T0
+  double freq_exponent = 3.0;     ///< P_dyn ∝ (f/fmax)^k
+
+  /// Instantaneous power of one core.
+  Watts core_power(Frequency f, Frequency fmax, int tstate,
+                   Activity activity) const;
+};
+
+}  // namespace pacc::hw

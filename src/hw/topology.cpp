@@ -1,0 +1,81 @@
+#include "hw/topology.hpp"
+
+namespace pacc::hw {
+
+int linear_core(const ClusterShape& shape, const CoreId& id) {
+  PACC_EXPECTS(id.node >= 0 && id.node < shape.nodes);
+  PACC_EXPECTS(id.socket >= 0 && id.socket < shape.sockets_per_node);
+  PACC_EXPECTS(id.core_in_socket >= 0 &&
+               id.core_in_socket < shape.cores_per_socket);
+  return id.node * shape.cores_per_node() +
+         id.socket * shape.cores_per_socket + id.core_in_socket;
+}
+
+CoreId core_from_linear(const ClusterShape& shape, int linear) {
+  PACC_EXPECTS(linear >= 0 && linear < shape.total_cores());
+  CoreId id;
+  id.node = linear / shape.cores_per_node();
+  const int within = linear % shape.cores_per_node();
+  id.socket = within / shape.cores_per_socket;
+  id.core_in_socket = within % shape.cores_per_socket;
+  return id;
+}
+
+int os_core_number(const ClusterShape& shape, const CoreId& id) {
+  // Fig 5: socket A owns even OS core ids, socket B odd ones.
+  return id.core_in_socket * shape.sockets_per_node + id.socket;
+}
+
+std::string to_string(AffinityPolicy p) {
+  switch (p) {
+    case AffinityPolicy::kBunch:
+      return "bunch";
+    case AffinityPolicy::kScatter:
+      return "scatter";
+  }
+  return "?";
+}
+
+RankPlacement place_ranks(const ClusterShape& shape, int ranks,
+                          int ranks_per_node, AffinityPolicy policy) {
+  PACC_EXPECTS(shape.valid());
+  PACC_EXPECTS(ranks >= 1 && ranks_per_node >= 1);
+  PACC_EXPECTS_MSG(ranks % ranks_per_node == 0,
+                   "ranks must be a multiple of ranks_per_node");
+  PACC_EXPECTS_MSG(ranks / ranks_per_node <= shape.nodes,
+                   "not enough nodes for this placement");
+  PACC_EXPECTS_MSG(ranks_per_node <= shape.cores_per_node(),
+                   "not enough cores per node");
+
+  RankPlacement placement;
+  placement.shape = shape;
+  placement.ranks_per_node = ranks_per_node;
+  placement.policy = policy;
+  placement.rank_to_core.reserve(static_cast<std::size_t>(ranks));
+
+  for (int rank = 0; rank < ranks; ++rank) {
+    const int node = rank / ranks_per_node;
+    const int local = rank % ranks_per_node;
+    CoreId id;
+    id.node = node;
+    switch (policy) {
+      case AffinityPolicy::kBunch: {
+        // Fill socket A first (local ranks 0..cores_per_socket-1), then B.
+        id.socket = local / shape.cores_per_socket;
+        id.core_in_socket = local % shape.cores_per_socket;
+        break;
+      }
+      case AffinityPolicy::kScatter: {
+        id.socket = local % shape.sockets_per_node;
+        id.core_in_socket = local / shape.sockets_per_node;
+        break;
+      }
+    }
+    PACC_ASSERT(id.socket < shape.sockets_per_node);
+    PACC_ASSERT(id.core_in_socket < shape.cores_per_socket);
+    placement.rank_to_core.push_back(id);
+  }
+  return placement;
+}
+
+}  // namespace pacc::hw

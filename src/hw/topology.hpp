@@ -1,0 +1,95 @@
+// Cluster topology: nodes × sockets × cores, plus rank→core affinity.
+//
+// Mirrors the paper's testbed (Fig 5): Intel "Nehalem" nodes with two
+// sockets of four cores; OS core ids 0 2 4 6 live on socket A and 1 3 5 7 on
+// socket B. MVAPICH2's default "bunch" mapping binds local ranks 0..3 to
+// socket A and 4..7 to socket B; "scatter" alternates sockets (Section V-C
+// discusses why the power-aware algorithms depend on this mapping).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace pacc::hw {
+
+struct ClusterShape {
+  int nodes = 8;
+  int sockets_per_node = 2;
+  int cores_per_socket = 4;
+
+  /// Rack structure for the topology-aware extension (§VIII of the paper):
+  /// 0 means "no rack layer" (every node in one rack, no aggregation
+  /// switches). Nodes are grouped consecutively.
+  int nodes_per_rack = 0;
+
+  int cores_per_node() const { return sockets_per_node * cores_per_socket; }
+  int total_cores() const { return nodes * cores_per_node(); }
+  int sockets_total() const { return nodes * sockets_per_node; }
+
+  bool has_racks() const { return nodes_per_rack > 0; }
+  int racks() const {
+    return has_racks() ? (nodes + nodes_per_rack - 1) / nodes_per_rack : 1;
+  }
+  int rack_of(int node) const {
+    return has_racks() ? node / nodes_per_rack : 0;
+  }
+
+  bool valid() const {
+    return nodes >= 1 && sockets_per_node >= 1 && cores_per_socket >= 1 &&
+           nodes_per_rack >= 0;
+  }
+};
+
+/// Physical location of one core.
+struct CoreId {
+  int node = 0;
+  int socket = 0;         ///< socket index within the node (0 = "A", 1 = "B")
+  int core_in_socket = 0;
+
+  friend bool operator==(const CoreId&, const CoreId&) = default;
+};
+
+/// Flat index of a core in [0, shape.total_cores()).
+int linear_core(const ClusterShape& shape, const CoreId& id);
+
+/// Inverse of linear_core.
+CoreId core_from_linear(const ClusterShape& shape, int linear);
+
+/// OS-visible core number inside a node, matching Fig 5 (socket A gets the
+/// even numbers, socket B the odd ones).
+int os_core_number(const ClusterShape& shape, const CoreId& id);
+
+/// How MPI ranks are pinned to cores inside each node.
+enum class AffinityPolicy {
+  kBunch,    ///< MVAPICH2 default: fill socket A, then socket B
+  kScatter,  ///< round-robin across sockets
+};
+
+std::string to_string(AffinityPolicy p);
+
+/// Placement of `ranks` MPI processes onto the cluster. Ranks are
+/// block-distributed across nodes (ranks 0..ppn-1 on node 0, etc.), then
+/// pinned within the node according to the affinity policy.
+struct RankPlacement {
+  ClusterShape shape;
+  int ranks_per_node = 0;
+  AffinityPolicy policy = AffinityPolicy::kBunch;
+  std::vector<CoreId> rank_to_core;  ///< indexed by global rank
+
+  int ranks() const { return static_cast<int>(rank_to_core.size()); }
+  const CoreId& core_of(int rank) const {
+    PACC_EXPECTS(rank >= 0 && rank < ranks());
+    return rank_to_core[static_cast<std::size_t>(rank)];
+  }
+  int node_of(int rank) const { return core_of(rank).node; }
+  int socket_of(int rank) const { return core_of(rank).socket; }
+};
+
+/// Builds a placement of `ranks` processes with `ranks_per_node` per node.
+/// Requires ranks % ranks_per_node == 0 and enough nodes/cores.
+RankPlacement place_ranks(const ClusterShape& shape, int ranks,
+                          int ranks_per_node, AffinityPolicy policy);
+
+}  // namespace pacc::hw

@@ -1,0 +1,60 @@
+// Analytical performance models — Section VI-A, equations (1)-(4).
+//
+// The paper extends Thakur/Rabenseifner/Gropp-style cost models to
+// multi-core clusters: per-word inter-node cost tw, a network-contention
+// multiplier Cnet, a throttling penalty Cthrottle, and transition overheads
+// O_dvfs / O_throttle. Parameters are derived from the simulator's
+// configuration so the models can be validated against simulation
+// (bench_model_validation).
+#pragma once
+
+#include "hw/machine.hpp"
+#include "net/network.hpp"
+#include "util/units.hpp"
+
+namespace pacc::model {
+
+struct PerfModelParams {
+  double tw_inter_sec_per_byte = 0.0;  ///< 1 / link bandwidth
+  double tw_intra_sec_per_byte = 0.0;  ///< 1 / per-core shm copy rate
+  Duration ts_inter;                   ///< per-message inter-node start-up
+  Duration ts_intra;                   ///< per-message intra-node start-up
+  Duration o_dvfs;                     ///< O_dvfs
+  Duration o_throttle;                 ///< O_throttle
+  double contention_penalty = 0.0;     ///< the network model's alpha
+
+  /// The paper's Cnet for c concurrent flows per HCA link: flows share the
+  /// link and pay the contention-efficiency loss.
+  double cnet(int flows_per_link) const;
+
+  /// The paper's Cthrottle: wire-efficiency multiplier of a leader socket
+  /// at T4 and fmin (from the network model's endpoint penalty).
+  double cthrottle = 1.15;
+
+  /// Derives model parameters from a simulator configuration.
+  static PerfModelParams from(const hw::MachineParams& machine,
+                              const net::NetworkParams& network);
+};
+
+/// Equation (1): pair-wise Alltoall across N nodes with c ranks each:
+/// T = tw_inter · (P - c) · Cnet · M.
+Duration alltoall_pairwise_time(const PerfModelParams& p, int nodes,
+                                int ranks_per_node, Bytes message);
+
+/// Equation (2): scatter-allgather broadcast over N node leaders:
+/// T = M (N-1) tw_inter (1 + 1/N).
+Duration bcast_scatter_allgather_time(const PerfModelParams& p, int nodes,
+                                      Bytes message);
+
+/// Equation (3): the proposed power-aware Alltoall:
+/// T = (3/4) tw_inter N c Cnet M + 2 O_dvfs + N O_throttle,
+/// with Cnet evaluated at half the per-link flow count.
+Duration alltoall_power_aware_time(const PerfModelParams& p, int nodes,
+                                   int ranks_per_node, Bytes message);
+
+/// Equation (4): the proposed power-aware broadcast:
+/// T = T_bcast · Cthrottle + 2 O_dvfs + 2 O_throttle.
+Duration bcast_power_aware_time(const PerfModelParams& p, int nodes,
+                                Bytes message);
+
+}  // namespace pacc::model

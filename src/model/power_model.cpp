@@ -1,0 +1,52 @@
+#include "model/power_model.hpp"
+
+namespace pacc::model {
+
+PowerModelParams PowerModelParams::from(const hw::MachineParams& machine,
+                                        int active_cores) {
+  PowerModelParams p;
+  const auto& pw = machine.power;
+  p.core_busy_fmax = pw.core_power(machine.fmax, machine.fmax, 0,
+                                   hw::Activity::kBusy);
+  p.core_busy_fmin = pw.core_power(machine.fmin, machine.fmax, 0,
+                                   hw::Activity::kBusy);
+  p.core_busy_fmin_t4 = pw.core_power(machine.fmin, machine.fmax, 4,
+                                      hw::Activity::kBusy);
+  p.core_busy_fmin_t7 = pw.core_power(machine.fmin, machine.fmax,
+                                      hw::ThrottleLevel::kMax,
+                                      hw::Activity::kBusy);
+  p.static_power = pw.node_base * machine.shape.nodes +
+                   pw.socket_uncore * machine.shape.sockets_total();
+  p.active_cores = active_cores;
+  return p;
+}
+
+namespace {
+
+Joules integrate(const PowerModelParams& p, Watts per_core, Duration t) {
+  return (p.static_power + per_core * p.active_cores) * t.sec();
+}
+
+}  // namespace
+
+Joules energy_default(const PowerModelParams& p, Duration op_time) {
+  return integrate(p, p.core_busy_fmax, op_time);
+}
+
+Joules energy_dvfs_only(const PowerModelParams& p, Duration op_time) {
+  return integrate(p, p.core_busy_fmin, op_time);
+}
+
+Joules energy_alltoall_proposed(const PowerModelParams& p, Duration op_time) {
+  const Duration half = op_time / 2.0;
+  return integrate(p, p.core_busy_fmin, half) +
+         integrate(p, p.core_busy_fmin_t7, op_time - half);
+}
+
+Joules energy_bcast_proposed(const PowerModelParams& p, Duration op_time) {
+  const Watts per_core =
+      0.5 * p.core_busy_fmin_t4 + 0.5 * p.core_busy_fmin_t7;
+  return integrate(p, per_core, op_time);
+}
+
+}  // namespace pacc::model

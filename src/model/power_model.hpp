@@ -1,0 +1,44 @@
+// Analytical power/energy models — Section VI-B, equations (5)-(8).
+//
+// Each equation integrates per-core power over the duration of a collective:
+//   (5) default:      all P cores busy at fmax
+//   (6) DVFS-only:    all P cores busy at fmin (over the stretched interval)
+//   (7) proposed Alltoall: every core spends half the operation at T0/fmin
+//       and half fully throttled (c7) at fmin
+//   (8) proposed Bcast: half the cores at T4 (c4) and half at T7 (c7), fmin
+// System energy adds the static node/uncore draw over the same interval so
+// the numbers are directly comparable with the simulator's accounting.
+#pragma once
+
+#include "hw/machine.hpp"
+#include "util/units.hpp"
+
+namespace pacc::model {
+
+struct PowerModelParams {
+  Watts core_busy_fmax = 0.0;   ///< busy core power at fmax, T0
+  Watts core_busy_fmin = 0.0;   ///< busy core power at fmin, T0
+  Watts core_busy_fmin_t4 = 0.0;
+  Watts core_busy_fmin_t7 = 0.0;
+  Watts static_power = 0.0;     ///< node base + uncore for the whole system
+  int active_cores = 0;         ///< cores participating in the collective
+
+  static PowerModelParams from(const hw::MachineParams& machine,
+                               int active_cores);
+};
+
+/// Equation (5): energy of the default collective over [t1, t2].
+Joules energy_default(const PowerModelParams& p, Duration op_time);
+
+/// Equation (6): energy with per-call DVFS over the stretched [t1, t2'].
+Joules energy_dvfs_only(const PowerModelParams& p, Duration op_time);
+
+/// Equation (7): energy of the proposed Alltoall — half the interval at
+/// T0/fmin, half at T7/fmin.
+Joules energy_alltoall_proposed(const PowerModelParams& p, Duration op_time);
+
+/// Equation (8): energy of the proposed shared-memory collective — half the
+/// cores at T4/fmin, half at T7/fmin.
+Joules energy_bcast_proposed(const PowerModelParams& p, Duration op_time);
+
+}  // namespace pacc::model

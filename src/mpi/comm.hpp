@@ -1,0 +1,105 @@
+// Communicators with the node/socket structure the paper's algorithms need.
+//
+// A Comm is an ordered group of global ranks. It precomputes the two-level
+// structure MVAPICH2's multi-core aware collectives use (Fig 1): which comm
+// ranks share a node, the per-node leader (lowest comm rank on the node),
+// and — for the power-aware Alltoall — the per-socket process groups A and B
+// (§V-A). Sub-communicators (per-node "shared-memory" comms and the
+// node-leader comm) are created lazily and cached.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "sim/sync.hpp"
+
+namespace pacc::mpi {
+
+class Runtime;
+
+class Comm {
+ public:
+  /// Built by Runtime::create_comm / Runtime::world. `context_id` isolates
+  /// this comm's collective tags from every other comm's.
+  Comm(Runtime& rt, int context_id, std::vector<int> global_ranks);
+
+  int context_id() const { return context_id_; }
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  Runtime& runtime() { return rt_; }
+  const Runtime& runtime() const { return rt_; }
+
+  int size() const { return static_cast<int>(members_.size()); }
+  int global_rank(int comm_rank) const;
+  /// Comm rank of a global rank, or -1 if it is not a member.
+  int comm_rank_of(int global_rank) const;
+
+  // --- node / socket structure ---
+  int node_of(int comm_rank) const;
+  int socket_of(int comm_rank) const;
+  /// Distinct nodes that host members, ascending.
+  const std::vector<int>& nodes() const { return nodes_; }
+  /// Position of `node` within nodes().
+  int node_index(int node) const;
+  /// Comm ranks on `node`, ascending.
+  const std::vector<int>& members_on_node(int node) const;
+  /// Comm ranks on (node, socket), ascending — process group "A" or "B".
+  const std::vector<int>& socket_group(int node, int socket) const;
+  /// Lowest comm rank on `node` (the node-leader in Fig 1).
+  int leader_of(int node) const;
+  bool is_leader(int comm_rank) const;
+
+  // --- rack structure (topology-aware extension, §VIII) ---
+  /// Distinct racks hosting members, ascending (single entry when the
+  /// cluster has no rack layer).
+  const std::vector<int>& racks() const { return racks_; }
+  int rack_of(int comm_rank) const;
+  /// Comm ranks in `rack`, ascending.
+  const std::vector<int>& members_on_rack(int rack) const;
+  /// Lowest comm rank in `rack`.
+  int rack_leader_of(int rack) const;
+  bool is_rack_leader(int comm_rank) const;
+  /// Communicator of all rack leaders, ordered by rack.
+  Comm& rack_leader_comm();
+  /// True when every node hosts the same number of members.
+  bool uniform_ppn() const { return uniform_ppn_; }
+  int ranks_per_node() const;
+
+  // --- sub-communicators (lazily created, cached, owned by Runtime) ---
+  /// Communicator of all node leaders, ordered by node.
+  Comm& leader_comm();
+  /// Communicator of this comm's members on one node.
+  Comm& node_comm(int node);
+
+  // --- synchronisation / tagging ---
+  /// Cyclic barrier across the members on `node`.
+  sim::Barrier& node_barrier(int node);
+
+  /// Returns the tag for this member's next collective call on this comm.
+  /// All members make matched calls, so matched calls get equal tags.
+  int begin_collective(int comm_rank);
+
+ private:
+  Runtime& rt_;
+  int context_id_;
+  std::vector<int> members_;                   ///< global ranks by comm rank
+  std::unordered_map<int, int> inverse_;       ///< global rank -> comm rank
+  std::vector<int> nodes_;
+  std::unordered_map<int, int> node_index_;
+  std::unordered_map<int, std::vector<int>> by_node_;
+  // key: node * sockets_per_node + socket
+  std::unordered_map<int, std::vector<int>> by_socket_;
+  std::vector<int> racks_;
+  std::unordered_map<int, std::vector<int>> by_rack_;
+  Comm* rack_leader_comm_ = nullptr;
+  std::unordered_map<int, std::unique_ptr<sim::Barrier>> barriers_;
+  std::vector<int> call_count_;                ///< per comm rank
+  bool uniform_ppn_ = true;
+  Comm* leader_comm_ = nullptr;
+  std::unordered_map<int, Comm*> node_comms_;
+};
+
+}  // namespace pacc::mpi

@@ -1,0 +1,89 @@
+// Per-rank message queue with MPI-style (source, tag) matching.
+//
+// Matching is FIFO per (source, tag), which preserves MPI's non-overtaking
+// guarantee. A receive posted before the message arrives is completed
+// directly by deliver(); an optional timeout supports the blocking
+// progression mode's spin-then-sleep behaviour.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "mpi/message.hpp"
+#include "sim/engine.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::mpi {
+
+class Mailbox {
+ public:
+  explicit Mailbox(sim::Engine& engine) : engine_(engine) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Hands a message to this rank: completes a matching posted receive, or
+  /// queues it as unexpected.
+  void deliver(Message msg);
+
+  /// Non-blocking take of the oldest matching unexpected message.
+  std::optional<Message> try_take(int src, int tag);
+
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+  std::size_t posted_count() const { return posted_.size(); }
+
+  /// Awaitable receive. With timeout == Duration::zero() it waits forever
+  /// and await_resume() always yields a message; with a positive timeout it
+  /// yields std::nullopt if nothing matched in time.
+  class RecvAwaiter {
+   public:
+    RecvAwaiter(Mailbox& box, int src, int tag, Duration timeout)
+        : box_(box), src_(src), tag_(tag), timeout_(timeout) {}
+
+    bool await_ready() {
+      if (auto m = box_.try_take(src_, tag_)) {
+        msg_ = std::move(*m);
+        got_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h);
+    std::optional<Message> await_resume() {
+      if (!got_) return std::nullopt;
+      return std::move(msg_);
+    }
+
+   private:
+    friend class Mailbox;
+    Mailbox& box_;
+    int src_;
+    int tag_;
+    Duration timeout_;
+    Message msg_;
+    bool got_ = false;
+    std::coroutine_handle<> handle_;
+    sim::EventId timer_ = 0;
+  };
+
+  /// Waits (without timeout) for a message matching (src, tag).
+  RecvAwaiter recv(int src, int tag) {
+    return RecvAwaiter{*this, src, tag, Duration::zero()};
+  }
+
+  /// Waits up to `timeout`; yields std::nullopt on expiry.
+  RecvAwaiter recv_for(int src, int tag, Duration timeout) {
+    PACC_EXPECTS(timeout.ns() > 0);
+    return RecvAwaiter{*this, src, tag, timeout};
+  }
+
+ private:
+  void on_timeout(RecvAwaiter* awaiter);
+
+  sim::Engine& engine_;
+  std::deque<Message> unexpected_;
+  std::vector<RecvAwaiter*> posted_;
+};
+
+}  // namespace pacc::mpi

@@ -1,0 +1,39 @@
+// Message representation for the simulated MPI runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pacc::mpi {
+
+/// Tags below this value are available to user point-to-point traffic.
+/// Collective calls allocate tags at and above it, encoding the
+/// communicator's context id so that concurrent collectives on different
+/// communicators (e.g. a node comm and the world) can never cross-match:
+///   tag = base | (context_id << kContextShift) | per-comm call sequence.
+inline constexpr int kCollectiveTagBase = 1 << 30;
+inline constexpr int kContextShift = 20;
+inline constexpr int kMaxCollectiveCalls = 1 << kContextShift;
+inline constexpr int kMaxContexts = 1 << (30 - kContextShift);
+
+/// Builds the collective tag for call `seq` on communicator `context_id`.
+constexpr int collective_tag(int context_id, int seq) {
+  return kCollectiveTagBase | (context_id << kContextShift) | seq;
+}
+
+struct Message {
+  int src = -1;  ///< global rank of the sender
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  std::size_t size() const { return payload.size(); }
+};
+
+/// Copies a span into a fresh payload vector.
+inline std::vector<std::byte> to_payload(std::span<const std::byte> data) {
+  return {data.begin(), data.end()};
+}
+
+}  // namespace pacc::mpi

@@ -1,0 +1,28 @@
+#include "mpi/profiler.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace pacc::mpi {
+
+void Profiler::record(std::string_view op, Bytes bytes, Duration elapsed) {
+  PACC_EXPECTS(bytes >= 0 && elapsed.ns() >= 0);
+  auto it = stats_.find(op);
+  if (it == stats_.end()) {
+    it = stats_.emplace(std::string(op), OpStats{}).first;
+  }
+  OpStats& s = it->second;
+  ++s.calls;
+  s.bytes += static_cast<std::uint64_t>(bytes);
+  s.total_time += elapsed;
+  s.max_time = std::max(s.max_time, elapsed);
+}
+
+Duration Profiler::total_time() const {
+  Duration total;
+  for (const auto& [name, s] : stats_) total += s.total_time;
+  return total;
+}
+
+}  // namespace pacc::mpi

@@ -1,0 +1,47 @@
+// Lightweight per-operation profiler (mpiP-style).
+//
+// The paper's methodology starts from a profile: "we have profiled the
+// applications to learn about how much time processes spend in various
+// collective operations" (§VII-A). The collective dispatchers report every
+// call here; reports aggregate per operation across ranks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace pacc::mpi {
+
+struct OpStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;   ///< caller-reported payload volume
+  Duration total_time;       ///< summed across ranks (rank-seconds)
+  Duration max_time;         ///< slowest single call
+
+  double mean_us() const {
+    return calls == 0 ? 0.0
+                      : total_time.us() / static_cast<double>(calls);
+  }
+};
+
+class Profiler {
+ public:
+  void record(std::string_view op, Bytes bytes, Duration elapsed);
+
+  const std::map<std::string, OpStats, std::less<>>& stats() const {
+    return stats_;
+  }
+  bool empty() const { return stats_.empty(); }
+
+  /// Total rank-time across all recorded operations.
+  Duration total_time() const;
+
+  void clear() { stats_.clear(); }
+
+ private:
+  std::map<std::string, OpStats, std::less<>> stats_;
+};
+
+}  // namespace pacc::mpi

@@ -1,0 +1,310 @@
+#include "mpi/runtime.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace pacc::mpi {
+
+std::string to_string(ProgressMode m) {
+  switch (m) {
+    case ProgressMode::kPolling:
+      return "polling";
+    case ProgressMode::kBlocking:
+      return "blocking";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- Rank ----
+
+Rank::Rank(Runtime& rt, int id, hw::CoreId core)
+    : rt_(rt), id_(id), core_(core), mailbox_(rt.engine()) {}
+
+hw::Machine& Rank::machine() { return rt_.machine(); }
+sim::Engine& Rank::engine() { return rt_.engine(); }
+
+sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
+  PACC_EXPECTS(dst >= 0 && dst < rt_.size());
+  Runtime& rt = rt_;
+  const auto& np = rt.network().params();
+  const int dst_node = rt.placement().node_of(dst);
+  const bool intra = dst_node == node();
+  // Blocking mode cannot use the shared-memory channel (§II-B): intra-node
+  // traffic is pushed through the HCA loopback path.
+  const bool loopback =
+      intra && rt.params().mode == ProgressMode::kBlocking;
+  const Duration startup =
+      (intra && !loopback) ? np.intra_startup : np.inter_startup;
+
+  co_await engine().delay(startup * machine().cpu_slowdown(core_));
+
+  if (rt.message_trace_enabled()) {
+    rt.trace_.push_back(MessageTraceEntry{engine().now(), id_, dst, tag,
+                                          static_cast<Bytes>(data.size()),
+                                          intra});
+  }
+
+  // Endpoints running below fmax / throttled leave gaps on the wire.
+  const hw::CoreId dst_core = rt.placement().core_of(dst);
+  const double wire_mult = np.wire_multiplier(
+      machine().freq_slowdown(core_), machine().throttle_slowdown(core_),
+      machine().freq_slowdown(dst_core),
+      machine().throttle_slowdown(dst_core));
+
+  Message msg{id_, tag, to_payload(data)};
+  const Bytes bytes = static_cast<Bytes>(data.size());
+  if (bytes <= np.eager_threshold) {
+    // Eager: the sender resumes immediately; delivery happens when the
+    // transfer completes.
+    auto deliver = [](Runtime& rtime, int src_node, int dnode, Bytes n,
+                      bool loop, double mult, int target,
+                      Message m) -> sim::Task<> {
+      co_await rtime.network().transfer(src_node, dnode, n, loop, mult);
+      rtime.rank(target).mailbox().deliver(std::move(m));
+    };
+    rt.spawn_detached(deliver(rt, node(), dst_node, bytes, loopback, wire_mult,
+                              dst, std::move(msg)));
+    co_return;
+  }
+  // Rendezvous: the sender is held until the payload lands. In blocking
+  // mode the core yields the CPU during the transfer and pays the
+  // interrupt + reschedule path on completion (§II-B); in polling mode it
+  // spins at full power.
+  if (rt.params().mode == ProgressMode::kBlocking) {
+    machine().set_activity(core_, hw::Activity::kIdle);
+    co_await rt.network().transfer(node(), dst_node, bytes, loopback,
+                                   wire_mult);
+    machine().set_activity(core_, hw::Activity::kBusy);
+    co_await engine().delay(np.interrupt_latency + np.reschedule_latency);
+  } else {
+    co_await rt.network().transfer(node(), dst_node, bytes, loopback,
+                                   wire_mult);
+  }
+  rt.rank(dst).mailbox().deliver(std::move(msg));
+}
+
+sim::Task<Message> Rank::await_message(int src, int tag) {
+  if (rt_.params().mode == ProgressMode::kPolling) {
+    const auto& gov = rt_.params().governor;
+    if (gov.enabled) {
+      // Reactive black-box governor (§III prior work): still spinning after
+      // the threshold → downclock, restore on arrival. Pays 2·O_dvfs per
+      // long wait and never touches T-states.
+      auto quick = co_await mailbox_.recv_for(src, tag, gov.wait_threshold);
+      if (quick) co_return std::move(*quick);
+      const Frequency prior = machine().frequency(core_);
+      const Frequency fmin = machine().params().fmin;
+      if (prior > fmin) {
+        co_await machine().dvfs_transition(core_, fmin);
+      }
+      auto msg = co_await mailbox_.recv(src, tag);
+      PACC_ASSERT(msg.has_value());
+      if (prior > fmin) {
+        co_await machine().dvfs_transition(core_, prior);
+        ++rt_.governor_transitions_;
+      }
+      co_return std::move(*msg);
+    }
+    // The core keeps spinning (Busy) — this is exactly the power cost the
+    // paper's algorithms attack.
+    auto msg = co_await mailbox_.recv(src, tag);
+    PACC_ASSERT(msg.has_value());
+    co_return std::move(*msg);
+  }
+  // Blocking mode: spin briefly, then sleep until the HCA interrupt.
+  auto msg = co_await mailbox_.recv_for(src, tag, rt_.params().blocking_spin);
+  if (!msg) {
+    machine().set_activity(core_, hw::Activity::kIdle);
+    msg = co_await mailbox_.recv(src, tag);
+    PACC_ASSERT(msg.has_value());
+    machine().set_activity(core_, hw::Activity::kBusy);
+    const auto& np = rt_.network().params();
+    co_await engine().delay(np.interrupt_latency + np.reschedule_latency);
+  }
+  co_return std::move(*msg);
+}
+
+sim::Task<> Rank::recv(int src, int tag, std::span<std::byte> out) {
+  PACC_EXPECTS(src >= 0 && src < rt_.size());
+  Message msg = co_await await_message(src, tag);
+  PACC_EXPECTS_MSG(msg.size() == out.size(),
+                   "received payload size does not match the posted buffer");
+  if (!out.empty()) {
+    std::memcpy(out.data(), msg.payload.data(), out.size());
+  }
+  // Receive-side CPU cost (message unpacking / matching).
+  const auto& np = rt_.network().params();
+  const int src_node = rt_.placement().node_of(src);
+  const bool shm = src_node == node() &&
+                   rt_.params().mode == ProgressMode::kPolling;
+  const Duration startup = shm ? np.intra_startup : np.inter_startup;
+  co_await engine().delay(startup * machine().cpu_slowdown(core_));
+}
+
+sim::Task<> Rank::sendrecv(int dst, int send_tag,
+                           std::span<const std::byte> data, int src,
+                           int recv_tag, std::span<std::byte> out) {
+  co_await send(dst, send_tag, data);
+  co_await recv(src, recv_tag, out);
+}
+
+namespace {
+
+sim::Task<> isend_body(Rank& self, int dst, int tag,
+                       std::vector<std::byte> payload,
+                       std::shared_ptr<sim::Latch> latch) {
+  co_await self.send(dst, tag, payload);
+  latch->fire();
+}
+
+sim::Task<> irecv_body(Rank& self, int src, int tag, std::span<std::byte> out,
+                       std::shared_ptr<sim::Latch> latch) {
+  co_await self.recv(src, tag, out);
+  latch->fire();
+}
+
+}  // namespace
+
+Rank::Request Rank::isend(int dst, int tag, std::span<const std::byte> data) {
+  auto latch = std::make_shared<sim::Latch>(engine());
+  rt_.spawn_detached(isend_body(
+      *this, dst, tag, std::vector<std::byte>(data.begin(), data.end()),
+      latch));
+  return Request(std::move(latch));
+}
+
+Rank::Request Rank::irecv(int src, int tag, std::span<std::byte> out) {
+  auto latch = std::make_shared<sim::Latch>(engine());
+  rt_.spawn_detached(irecv_body(*this, src, tag, out, latch));
+  return Request(std::move(latch));
+}
+
+sim::Task<> Rank::waitall(std::span<Request> requests) {
+  for (auto& request : requests) {
+    co_await request.wait();
+  }
+}
+
+sim::Task<> Rank::shm_publish(int tag, std::span<const std::byte> data,
+                              std::span<const int> readers) {
+  PACC_EXPECTS_MSG(rt_.params().mode == ProgressMode::kPolling,
+                   "blocking mode has no shared-memory channel (§II-B)");
+  const auto& np = rt_.network().params();
+  co_await engine().delay(np.intra_startup * machine().cpu_slowdown(core_));
+  // One pass of the payload into the shared region.
+  const double mult = np.wire_multiplier(
+      machine().freq_slowdown(core_), machine().throttle_slowdown(core_), 1.0,
+      1.0);
+  co_await rt_.network().transfer(node(), node(), static_cast<Bytes>(data.size()),
+                                  /*force_loopback=*/false, mult);
+  // Readers copy the region themselves (shm_read); handing them the payload
+  // costs nothing extra here.
+  for (const int reader : readers) {
+    PACC_EXPECTS_MSG(rt_.placement().node_of(reader) == node(),
+                     "shm readers must share the writer's node");
+    rt_.rank(reader).mailbox().deliver(Message{id_, tag, to_payload(data)});
+  }
+}
+
+sim::Task<> Rank::shm_read(int writer, int tag, std::span<std::byte> out) {
+  Message msg = co_await await_message(writer, tag);
+  PACC_EXPECTS(msg.size() == out.size());
+  const auto& np = rt_.network().params();
+  co_await engine().delay(np.intra_startup * machine().cpu_slowdown(core_));
+  // Copy out of the shared region, concurrently with the other readers.
+  const double mult = np.wire_multiplier(
+      machine().freq_slowdown(core_), machine().throttle_slowdown(core_), 1.0,
+      1.0);
+  co_await rt_.network().transfer(node(), node(), static_cast<Bytes>(out.size()),
+                                  /*force_loopback=*/false, mult);
+  if (!out.empty()) {
+    std::memcpy(out.data(), msg.payload.data(), out.size());
+  }
+}
+
+sim::Task<> Rank::compute(Duration work_at_fmax) {
+  PACC_EXPECTS(work_at_fmax.ns() >= 0);
+  co_await engine().delay(work_at_fmax * machine().cpu_slowdown(core_));
+}
+
+sim::Task<> Rank::dvfs(Frequency f) {
+  co_await machine().dvfs_transition(core_, f);
+}
+
+sim::Task<> Rank::throttle(int tstate) {
+  co_await machine().throttle_transition(core_, tstate);
+}
+
+// ------------------------------------------------------------- Runtime ----
+
+Runtime::Runtime(sim::Engine& engine, hw::Machine& machine,
+                 net::FlowNetwork& network, hw::RankPlacement placement,
+                 RuntimeParams params)
+    : engine_(engine),
+      machine_(machine),
+      network_(network),
+      placement_(std::move(placement)),
+      params_(params) {
+  PACC_EXPECTS(placement_.ranks() >= 1);
+  // Cores without a pinned rank sit idle (C-state) instead of polling.
+  const auto& shape = machine_.shape();
+  for (int c = 0; c < shape.total_cores(); ++c) {
+    machine_.set_activity(hw::core_from_linear(shape, c),
+                          hw::Activity::kIdle);
+  }
+  ranks_.reserve(static_cast<std::size_t>(placement_.ranks()));
+  for (int r = 0; r < placement_.ranks(); ++r) {
+    const auto core = placement_.core_of(r);
+    machine_.set_activity(core, hw::Activity::kBusy);
+    ranks_.push_back(std::make_unique<Rank>(*this, r, core));
+  }
+}
+
+Rank& Runtime::rank(int global_rank) {
+  PACC_EXPECTS(global_rank >= 0 && global_rank < size());
+  return *ranks_[static_cast<std::size_t>(global_rank)];
+}
+
+Comm& Runtime::world() {
+  if (world_ == nullptr) {
+    std::vector<int> all(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) all[static_cast<std::size_t>(r)] = r;
+    world_ = &create_comm(std::move(all));
+  }
+  return *world_;
+}
+
+Comm& Runtime::create_comm(std::vector<int> global_ranks) {
+  const int context_id = static_cast<int>(comms_.size());
+  comms_.push_back(
+      std::make_unique<Comm>(*this, context_id, std::move(global_ranks)));
+  return *comms_.back();
+}
+
+Comm& Runtime::intern_comm(const std::vector<int>& global_ranks) {
+  std::string key;
+  key.reserve(global_ranks.size() * 4);
+  for (const int g : global_ranks) {
+    key += std::to_string(g);
+    key += ',';
+  }
+  if (const auto it = interned_comms_.find(key);
+      it != interned_comms_.end()) {
+    return *it->second;
+  }
+  Comm& created = create_comm(global_ranks);
+  interned_comms_.emplace(std::move(key), &created);
+  return created;
+}
+
+void Runtime::launch(std::function<sim::Task<>(Rank&)> body) {
+  bodies_.push_back(std::move(body));
+  const auto& stable = bodies_.back();
+  for (auto& r : ranks_) {
+    engine_.spawn(stable(*r));
+  }
+}
+
+}  // namespace pacc::mpi

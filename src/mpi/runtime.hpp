@@ -1,0 +1,255 @@
+// Simulated MPI runtime: ranks as coroutines over the machine + network.
+//
+// Each rank is pinned to a core (hw::RankPlacement) and owns a mailbox.
+// Point-to-point transfers charge the sender's and receiver's CPU start-up
+// costs — stretched by the core's current DVFS/throttle slowdown — and move
+// payload bytes through the fluid network. Two progression modes match the
+// paper's §II-B:
+//   - polling:  a waiting core stays Busy (full power) until the message is
+//               matched;
+//   - blocking: the core spins briefly, then sleeps (Idle power); arrival
+//               costs an HCA interrupt plus an OS reschedule, and intra-node
+//               traffic falls back to network loopback instead of shared
+//               memory.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "hw/topology.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/mailbox.hpp"
+#include "mpi/profiler.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::mpi {
+
+enum class ProgressMode { kPolling, kBlocking };
+
+std::string to_string(ProgressMode m);
+
+/// One point-to-point message, as recorded by the optional trace.
+struct MessageTraceEntry {
+  TimePoint time;  ///< injection time at the sender
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  Bytes bytes = 0;
+  bool intra_node = false;
+};
+
+/// Reactive "black-box" DVFS governor, emulating the prior-work approach
+/// the paper contrasts with (§III, refs [5][6][9]): the MPI library watches
+/// its own waits and downclocks the core once a wait exceeds a threshold,
+/// restoring full frequency when the message arrives. No algorithm
+/// knowledge, no throttling — and O_dvfs paid on every long wait.
+struct GovernorParams {
+  bool enabled = false;
+  /// Waits longer than this trigger a downclock to fmin.
+  Duration wait_threshold = Duration::micros(50.0);
+};
+
+struct RuntimeParams {
+  ProgressMode mode = ProgressMode::kPolling;
+  /// Blocking mode: how long a receiver spins before yielding the CPU.
+  Duration blocking_spin = Duration::micros(20.0);
+  GovernorParams governor;
+};
+
+class Runtime;
+
+/// Execution context of one simulated MPI process.
+class Rank {
+ public:
+  Rank(Runtime& rt, int id, hw::CoreId core);
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  int id() const { return id_; }
+  const hw::CoreId& core() const { return core_; }
+  int node() const { return core_.node; }
+  int socket() const { return core_.socket; }
+
+  Runtime& runtime() { return rt_; }
+  Mailbox& mailbox() { return mailbox_; }
+  hw::Machine& machine();
+  sim::Engine& engine();
+
+  // --- point-to-point (dst/src are global ranks) ---
+
+  /// Sends `data` to `dst`. Small messages are eager (the sender resumes
+  /// after injection); large ones hold the sender until delivery.
+  sim::Task<> send(int dst, int tag, std::span<const std::byte> data);
+
+  /// Receives a message from `src` with `tag` into `out`; the payload size
+  /// must equal out.size() (collectives always know sizes).
+  sim::Task<> recv(int src, int tag, std::span<std::byte> out);
+
+  /// send() then recv() — the usual exchange step of pair-wise algorithms.
+  sim::Task<> sendrecv(int dst, int send_tag, std::span<const std::byte> data,
+                       int src, int recv_tag, std::span<std::byte> out);
+
+  // --- non-blocking point-to-point ---
+  //
+  // MPI_Isend/Irecv-style: the operation proceeds in the background while
+  // the rank keeps working; completion is awaited through the Request.
+  // isend copies `data` up front (no buffer-stability requirement); the
+  // irecv target buffer MUST stay alive and untouched until the request
+  // completes, as in MPI.
+
+  /// Completion handle for a non-blocking operation.
+  class Request {
+   public:
+    Request() = default;
+
+    bool valid() const { return latch_ != nullptr; }
+    bool done() const { return valid() && latch_->fired(); }
+
+    /// Awaitable completion (MPI_Wait).
+    auto wait() {
+      PACC_EXPECTS_MSG(latch_ != nullptr, "waiting on an empty Request");
+      return latch_->wait();
+    }
+
+   private:
+    friend class Rank;
+    explicit Request(std::shared_ptr<sim::Latch> latch)
+        : latch_(std::move(latch)) {}
+    std::shared_ptr<sim::Latch> latch_;
+  };
+
+  /// Starts a send in the background (the payload is copied immediately).
+  Request isend(int dst, int tag, std::span<const std::byte> data);
+
+  /// Starts a receive in the background; `out` must outlive completion.
+  Request irecv(int src, int tag, std::span<std::byte> out);
+
+  /// Awaits every request (MPI_Waitall).
+  sim::Task<> waitall(std::span<Request> requests);
+
+  // --- shared-memory one-to-many handoff (polling mode only) ---
+  //
+  // Models MVAPICH2's intra-node broadcast over an explicitly created
+  // shared-memory region (Fig 1): the writer copies its buffer in ONCE;
+  // every reader then copies it out concurrently. This is much cheaper
+  // than a tree of point-to-point sends, which would push the payload
+  // through the memory system once per tree level.
+
+  /// Writes `data` into the node's shared region and signals `readers`
+  /// (global ranks on this node).
+  sim::Task<> shm_publish(int tag, std::span<const std::byte> data,
+                          std::span<const int> readers);
+
+  /// Waits for `writer`'s publish with `tag`, then copies the payload out
+  /// of the shared region into `out` (concurrent with other readers).
+  sim::Task<> shm_read(int writer, int tag, std::span<std::byte> out);
+
+  // --- local work & power control ---
+
+  /// Burns `work_at_fmax` of CPU time, stretched by the core's current
+  /// DVFS/throttle slowdown.
+  sim::Task<> compute(Duration work_at_fmax);
+
+  /// Scales this core's frequency, paying O_dvfs.
+  sim::Task<> dvfs(Frequency f);
+
+  /// Throttles at the machine's granularity (own socket on Nehalem, own
+  /// core under core_level_throttling), paying O_throttle.
+  sim::Task<> throttle(int tstate);
+
+ private:
+  friend class Runtime;
+
+  /// Waits for a matching message honouring the progression mode.
+  sim::Task<Message> await_message(int src, int tag);
+
+  Runtime& rt_;
+  int id_;
+  hw::CoreId core_;
+  Mailbox mailbox_;
+};
+
+class Runtime {
+ public:
+  Runtime(sim::Engine& engine, hw::Machine& machine, net::FlowNetwork& network,
+          hw::RankPlacement placement, RuntimeParams params = {});
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  Rank& rank(int global_rank);
+  const hw::RankPlacement& placement() const { return placement_; }
+  const RuntimeParams& params() const { return params_; }
+
+  sim::Engine& engine() { return engine_; }
+  hw::Machine& machine() { return machine_; }
+  net::FlowNetwork& network() { return network_; }
+
+  /// The communicator containing every rank.
+  Comm& world();
+
+  /// Creates (and owns) a communicator over the given global ranks.
+  Comm& create_comm(std::vector<int> global_ranks);
+
+  /// Returns the communicator for exactly these global ranks, creating it
+  /// on first request. Lets every member of a collective split obtain the
+  /// same Comm object (and hence the same context id / call counters).
+  Comm& intern_comm(const std::vector<int>& global_ranks);
+
+  /// Spawns `body(rank)` for every rank as a top-level task. The callable
+  /// is stored in the runtime for the rest of its life: coroutine frames
+  /// created from a lambda keep referencing the lambda object itself, so it
+  /// must outlive every suspension point.
+  void launch(std::function<sim::Task<>(Rank&)> body);
+
+  /// Spawns an auxiliary task (e.g. an eager-send completion).
+  void spawn_detached(sim::Task<> task) { engine_.spawn(std::move(task)); }
+
+  /// Drains the event queue; reports deadlock via RunResult.
+  sim::RunResult run() { return engine_.run(); }
+
+  /// Number of downclock/upclock pairs the reactive governor performed.
+  std::uint64_t governor_transitions() const { return governor_transitions_; }
+
+  /// Per-operation call/byte/time accounting, fed by the collective layer.
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+
+  /// Starts recording every point-to-point message (off by default: a full
+  /// Alltoall sweep generates hundreds of thousands of entries).
+  void enable_message_trace() { trace_enabled_ = true; }
+  void disable_message_trace() { trace_enabled_ = false; }
+  bool message_trace_enabled() const { return trace_enabled_; }
+  const std::vector<MessageTraceEntry>& message_trace() const {
+    return trace_;
+  }
+
+ private:
+  sim::Engine& engine_;
+  hw::Machine& machine_;
+  net::FlowNetwork& network_;
+  hw::RankPlacement placement_;
+  RuntimeParams params_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+  std::unordered_map<std::string, Comm*> interned_comms_;
+  std::deque<std::function<sim::Task<>(Rank&)>> bodies_;  ///< stable storage: frames reference the lambdas
+  std::uint64_t governor_transitions_ = 0;
+  Profiler profiler_;
+  bool trace_enabled_ = false;
+  std::vector<MessageTraceEntry> trace_;
+  Comm* world_ = nullptr;
+
+  friend class Rank;
+};
+
+}  // namespace pacc::mpi

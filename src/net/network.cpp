@@ -1,0 +1,195 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace pacc::net {
+
+namespace {
+// Residual bytes below this are treated as delivered (guards double error).
+constexpr double kByteEpsilon = 1e-6;
+}  // namespace
+
+FlowNetwork::FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
+                         NetworkParams params)
+    : engine_(engine), shape_(shape), params_(params) {
+  PACC_EXPECTS(shape_.valid());
+  PACC_EXPECTS(params_.link_bandwidth > 0.0 && params_.shm_bandwidth > 0.0);
+  link_bandwidth_.assign(
+      static_cast<std::size_t>(3 * shape_.nodes + 2 * shape_.racks()), 0.0);
+  for (int n = 0; n < shape_.nodes; ++n) {
+    link_bandwidth_[static_cast<std::size_t>(uplink(n))] =
+        params_.link_bandwidth;
+    link_bandwidth_[static_cast<std::size_t>(downlink(n))] =
+        params_.link_bandwidth;
+    link_bandwidth_[static_cast<std::size_t>(shm_link(n))] =
+        params_.shm_bandwidth;
+  }
+  for (int r = 0; r < shape_.racks(); ++r) {
+    const double bw =
+        rack_layer_enabled() ? params_.rack_bandwidth : params_.link_bandwidth;
+    link_bandwidth_[static_cast<std::size_t>(rack_uplink(r))] = bw;
+    link_bandwidth_[static_cast<std::size_t>(rack_downlink(r))] = bw;
+  }
+}
+
+double NetworkParams::wire_multiplier(double sender_freq_slowdown,
+                                      double sender_throttle_slowdown,
+                                      double receiver_freq_slowdown,
+                                      double receiver_throttle_slowdown) const {
+  auto endpoint = [this](double sf, double st) {
+    return 1.0 + freq_wire_penalty * (sf - 1.0) +
+           freq_wire_penalty * throttle_wire_weight * (st - 1.0);
+  };
+  return std::max(endpoint(sender_freq_slowdown, sender_throttle_slowdown),
+                  endpoint(receiver_freq_slowdown, receiver_throttle_slowdown));
+}
+
+sim::Task<> FlowNetwork::transfer(int src_node, int dst_node, Bytes bytes,
+                                  bool force_loopback,
+                                  double wire_multiplier) {
+  PACC_EXPECTS(src_node >= 0 && src_node < shape_.nodes);
+  PACC_EXPECTS(dst_node >= 0 && dst_node < shape_.nodes);
+  PACC_EXPECTS(bytes >= 0);
+  PACC_EXPECTS(wire_multiplier >= 1.0);
+  if (bytes == 0) co_return;
+
+  const std::uint64_t id = next_flow_id_++;
+  update_progress();
+  Flow flow;
+  if (src_node == dst_node && !force_loopback) {
+    flow.links = {shm_link(src_node)};
+    // One core drives this copy; it cannot exceed the per-core copy rate
+    // even when the aggregate memory channel has headroom.
+    flow.rate_cap = params_.shm_per_flow_bandwidth;
+  } else {
+    flow.links = {uplink(src_node), downlink(dst_node)};
+    const int src_rack = shape_.rack_of(src_node);
+    const int dst_rack = shape_.rack_of(dst_node);
+    if (rack_layer_enabled() && src_rack != dst_rack) {
+      flow.links.push_back(rack_uplink(src_rack));
+      flow.links.push_back(rack_downlink(dst_rack));
+    }
+  }
+  flow.remaining = static_cast<double>(bytes) * wire_multiplier;
+  flow.last_update = engine_.now();
+  flows_.emplace(id, std::move(flow));
+  recompute_rates();
+
+  co_await FlowAwaiter{*this, id};
+  bytes_delivered_ += static_cast<std::uint64_t>(bytes);
+}
+
+void FlowNetwork::update_progress() {
+  const TimePoint now = engine_.now();
+  for (auto& [id, flow] : flows_) {
+    const double dt = (now - flow.last_update).sec();
+    if (dt > 0.0) {
+      flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+    }
+    flow.last_update = now;
+  }
+}
+
+void FlowNetwork::recompute_rates() {
+  // Max–min fairness by progressive filling: repeatedly find the tightest
+  // link (smallest equal-share), freeze its flows at that share, remove the
+  // consumed bandwidth, and iterate.
+  const std::size_t link_count = link_bandwidth_.size();
+  std::vector<int> active(link_count, 0);
+
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    unfrozen.push_back(&flow);
+    for (int l : flow.links) ++active[static_cast<std::size_t>(l)];
+  }
+
+  // Contention penalty: an HCA link serving n flows runs at reduced
+  // efficiency; the shared-memory channel is exempt.
+  const int first_shm_link = 2 * shape_.nodes;
+  std::vector<double> residual(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    const int n = active[l];
+    const bool is_shm = static_cast<int>(l) >= first_shm_link;
+    const double eff =
+        (!is_shm && n > 1)
+            ? 1.0 / (1.0 + params_.contention_penalty * (n - 1))
+            : 1.0;
+    residual[l] = link_bandwidth_[l] * eff;
+  }
+
+  while (!unfrozen.empty()) {
+    double best_share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < link_count; ++l) {
+      if (active[l] > 0) {
+        best_share = std::min(best_share, residual[l] / active[l]);
+      }
+    }
+    PACC_ASSERT(std::isfinite(best_share) && best_share > 0.0);
+
+    // Freeze every unfrozen flow that crosses a bottleneck link.
+    std::vector<Flow*> still;
+    still.reserve(unfrozen.size());
+    for (Flow* f : unfrozen) {
+      bool bottlenecked = false;
+      for (int l : f->links) {
+        const auto li = static_cast<std::size_t>(l);
+        if (residual[li] / active[li] <= best_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (bottlenecked) {
+        f->rate = best_share;
+        for (int l : f->links) {
+          const auto li = static_cast<std::size_t>(l);
+          residual[li] -= best_share;
+          --active[li];
+        }
+      } else {
+        still.push_back(f);
+      }
+    }
+    PACC_ASSERT(still.size() < unfrozen.size());
+    unfrozen.swap(still);
+  }
+
+  // Apply per-flow ceilings (single-core copy rate on the shm channel).
+  // The unclaimed remainder stays unused, as it would on real hardware.
+  for (auto& [id, flow] : flows_) {
+    if (flow.rate_cap > 0.0 && flow.rate > flow.rate_cap) {
+      flow.rate = flow.rate_cap;
+    }
+  }
+
+  // Reschedule every flow's completion at its new finish time.
+  for (auto& [id, flow] : flows_) {
+    if (flow.completion != 0) engine_.cancel(flow.completion);
+    const double secs = flow.remaining / flow.rate;
+    const auto delay =
+        Duration::nanos(static_cast<std::int64_t>(std::ceil(secs * 1e9)));
+    const std::uint64_t flow_id = id;
+    flow.completion =
+        engine_.schedule(delay, [this, flow_id] { on_complete(flow_id); });
+  }
+}
+
+void FlowNetwork::on_complete(std::uint64_t id) {
+  auto it = flows_.find(id);
+  PACC_ASSERT(it != flows_.end());
+  update_progress();
+  PACC_ASSERT(it->second.remaining <= 1.0 + kByteEpsilon);
+
+  const std::coroutine_handle<> waiter = it->second.waiter;
+  flows_.erase(it);
+  recompute_rates();
+
+  PACC_ASSERT(waiter != nullptr);
+  engine_.schedule(Duration::zero(), [waiter] { waiter.resume(); });
+}
+
+}  // namespace pacc::net

@@ -1,0 +1,167 @@
+// InfiniBand-like fabric model: fluid flows with max–min fair sharing.
+//
+// The switch is non-blocking (as the paper's Mellanox QDR switch is for this
+// scale), so contention arises only at the endpoints: every node has one HCA
+// uplink and one downlink of fixed bandwidth, and one intra-node
+// shared-memory channel. Each in-flight message is a fluid flow across the
+// links it traverses; rates are recomputed by max–min water-filling whenever
+// a flow starts or ends, and completion events are rescheduled accordingly.
+//
+// This is what makes the paper's observations emerge organically:
+//  - Fig 2(a): 8 ranks/node sharing one uplink are slower than 4 ranks/node.
+//  - §V-A:     scheduling only one socket's ranks onto the network at a time
+//              halves endpoint contention for the power-aware Alltoall.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "util/units.hpp"
+
+namespace pacc::net {
+
+struct NetworkParams {
+  /// Per-direction HCA link bandwidth. IB QDR signals 40 Gbit/s; after
+  /// 8b/10b coding and protocol overhead ~3.2 GB/s is achievable.
+  double link_bandwidth = 3.2e9;  ///< bytes/second
+
+  /// Aggregate intra-node memory-system copy bandwidth (all cores of a
+  /// node together). Nehalem-era nodes stream well above a single core's
+  /// copy rate thanks to two on-die memory controllers.
+  double shm_bandwidth = 16.0e9;  ///< bytes/second
+
+  /// A single core's shared-memory copy rate: each shm flow is capped at
+  /// this even when the aggregate channel has headroom.
+  double shm_per_flow_bandwidth = 5.0e9;  ///< bytes/second
+
+  /// Per-direction bandwidth of a rack's aggregation uplink (topology-aware
+  /// extension, §VIII). Inter-rack traffic of all of a rack's nodes shares
+  /// this; with nodes_per_rack·link_bandwidth greater than this, the fabric
+  /// is oversubscribed, as production rack switches are. 0 disables the
+  /// rack layer even when the shape defines racks.
+  double rack_bandwidth = 6.4e9;  ///< bytes/second
+
+  /// Per-message CPU start-up cost for an inter-node send at fmax/T0
+  /// (the MPI layer stretches it by the issuing core's cpu_slowdown).
+  Duration inter_startup = Duration::micros(2.0);
+
+  /// Per-message CPU start-up cost for an intra-node (shared memory) send.
+  Duration intra_startup = Duration::micros(0.4);
+
+  /// HCA interrupt generation + service time (blocking mode only).
+  Duration interrupt_latency = Duration::micros(4.0);
+
+  /// OS re-scheduling delay after an interrupt wake-up (blocking mode only).
+  Duration reschedule_latency = Duration::micros(6.0);
+
+  /// Messages at or below this size complete at the sender as soon as they
+  /// are injected (eager); larger ones hold the sender until delivery
+  /// (rendezvous), like MVAPICH2.
+  Bytes eager_threshold = 8 * 1024;
+
+  /// HCA link efficiency loss per extra concurrent flow: a link carrying n
+  /// flows delivers bw / (1 + contention_penalty·(n-1)). Models packet
+  /// interleaving / HoL blocking losses that make 8 ranks per HCA slower
+  /// than 4 (Fig 2a) and that the proposed Alltoall halves (§V-A). The
+  /// shared-memory channel is exempt: memory controllers interleave
+  /// concurrent streams without this loss.
+  double contention_penalty = 0.04;
+
+  /// Wire-efficiency loss when an endpoint core runs below fmax: the
+  /// protocol engine leaves gaps on the wire. A transfer whose endpoint has
+  /// frequency slowdown s_f and throttle slowdown s_t occupies the wire as
+  /// if it were (1 + freq_wire_penalty·(s_f−1) +
+  /// freq_wire_penalty·throttle_wire_weight·(s_t−1)) times larger.
+  double freq_wire_penalty = 0.2;
+  double throttle_wire_weight = 0.1;
+
+  /// Wire-occupancy multiplier for a transfer between endpoints with the
+  /// given CPU slowdown factors (1.0 = full speed).
+  double wire_multiplier(double sender_freq_slowdown,
+                         double sender_throttle_slowdown,
+                         double receiver_freq_slowdown,
+                         double receiver_throttle_slowdown) const;
+};
+
+/// Fluid-flow network over a cluster.
+class FlowNetwork {
+ public:
+  FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
+              NetworkParams params);
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  const NetworkParams& params() const { return params_; }
+
+  /// Moves `bytes` from src_node to dst_node (across the node's shared
+  /// memory when src_node == dst_node); resumes the caller on delivery.
+  /// With `force_loopback`, an intra-node transfer is routed out and back
+  /// through the HCA instead of shared memory — the paper's blocking-mode
+  /// fallback (§II-B). `wire_multiplier` inflates the transfer's wire
+  /// occupancy (see NetworkParams::wire_multiplier).
+  sim::Task<> transfer(int src_node, int dst_node, Bytes bytes,
+                       bool force_loopback = false,
+                       double wire_multiplier = 1.0);
+
+  /// Number of flows currently in flight (for tests / instrumentation).
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Total bytes fully delivered so far.
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  struct Flow {
+    std::vector<int> links;
+    double remaining = 0.0;  ///< bytes
+    double rate = 0.0;       ///< bytes/second
+    double rate_cap = 0.0;   ///< per-flow ceiling; 0 = unlimited
+    TimePoint last_update;
+    sim::EventId completion = 0;
+    std::coroutine_handle<> waiter;
+  };
+
+  struct FlowAwaiter {
+    FlowNetwork& net;
+    std::uint64_t id;
+    bool await_ready() const noexcept { return !net.flows_.contains(id); }
+    void await_suspend(std::coroutine_handle<> h) {
+      net.flows_.at(id).waiter = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  int uplink(int node) const { return node; }
+  int downlink(int node) const { return shape_.nodes + node; }
+  int shm_link(int node) const { return 2 * shape_.nodes + node; }
+  int rack_uplink(int rack) const { return 3 * shape_.nodes + rack; }
+  int rack_downlink(int rack) const {
+    return 3 * shape_.nodes + shape_.racks() + rack;
+  }
+  bool rack_layer_enabled() const {
+    return shape_.has_racks() && params_.rack_bandwidth > 0.0;
+  }
+
+  /// Advances every flow's remaining-bytes to the current time.
+  void update_progress();
+
+  /// Max–min water-filling over all active flows, then reschedules each
+  /// flow's completion event.
+  void recompute_rates();
+
+  void on_complete(std::uint64_t id);
+
+  sim::Engine& engine_;
+  hw::ClusterShape shape_;
+  NetworkParams params_;
+  std::vector<double> link_bandwidth_;  ///< indexed by link id
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  std::uint64_t next_flow_id_ = 1;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace pacc::net

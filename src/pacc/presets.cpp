@@ -1,0 +1,43 @@
+#include "pacc/presets.hpp"
+
+#include "util/expect.hpp"
+
+namespace pacc::presets {
+
+hw::MachineParams paper_machine(int nodes) {
+  PACC_EXPECTS(nodes >= 1);
+  hw::MachineParams m;
+  m.shape = hw::ClusterShape{nodes, /*sockets_per_node=*/2,
+                             /*cores_per_socket=*/4};
+  m.fmin = Frequency::ghz(1.6);
+  m.fmax = Frequency::ghz(2.4);
+  m.dvfs_overhead = Duration::micros(12.0);      // "within 10-15 usecs"
+  m.throttle_overhead = Duration::micros(10.0);
+  // Calibration (see DESIGN.md §7): with 8 nodes fully polling at fmax the
+  // system draws 8·(120 + 2·20 + 8·(4+12)) = 2.304 KW; at fmin ≈ 1.79 KW;
+  // with half the cores at T7 ≈ 1.66 KW.
+  m.power.node_base = 120.0;
+  m.power.socket_uncore = 20.0;
+  m.power.core_idle = 4.0;
+  m.power.core_dynamic_fmax = 12.0;
+  m.power.freq_exponent = 3.0;
+  return m;
+}
+
+net::NetworkParams paper_network() {
+  net::NetworkParams n;
+  n.link_bandwidth = 3.2e9;   // QDR after coding/protocol overhead
+  n.shm_bandwidth = 16.0e9;
+  n.shm_per_flow_bandwidth = 5.0e9;
+  n.inter_startup = Duration::micros(2.0);
+  n.intra_startup = Duration::micros(0.4);
+  n.interrupt_latency = Duration::micros(4.0);
+  n.reschedule_latency = Duration::micros(6.0);
+  n.eager_threshold = 8 * 1024;
+  n.contention_penalty = 0.04;
+  n.freq_wire_penalty = 0.2;
+  n.throttle_wire_weight = 0.1;
+  return n;
+}
+
+}  // namespace pacc::presets

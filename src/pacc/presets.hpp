@@ -1,0 +1,19 @@
+// Calibrated presets reproducing the paper's testbed (§VII-A):
+// eight Intel "Nehalem" nodes (2 sockets × 4 cores, 1.6–2.4 GHz, T0–T7),
+// InfiniBand QDR HCAs and a non-blocking switch. Power constants are
+// calibrated so the three schemes land near the paper's clamp-meter
+// readings: default ≈ 2.3 KW, DVFS-only ≈ 1.8 KW, proposed ≈ 1.6 KW.
+#pragma once
+
+#include "hw/machine.hpp"
+#include "net/network.hpp"
+
+namespace pacc::presets {
+
+/// The paper's 8-node Nehalem cluster (parameterisable node count).
+hw::MachineParams paper_machine(int nodes = 8);
+
+/// InfiniBand QDR fabric parameters.
+net::NetworkParams paper_network();
+
+}  // namespace pacc::presets

@@ -1,0 +1,234 @@
+#include "pacc/simulation.hpp"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace pacc {
+
+Simulation::Simulation(const ClusterConfig& config) : config_(config) {
+  PACC_EXPECTS(config.nodes >= 1 && config.ranks >= 1);
+
+  hw::MachineParams machine_params =
+      config.machine.value_or(presets::paper_machine(config.nodes));
+  machine_params.shape.nodes = config.nodes;
+  if (config.nodes_per_rack > 0) {
+    machine_params.shape.nodes_per_rack = config.nodes_per_rack;
+  }
+  machine_params.core_level_throttling = config.core_level_throttling;
+  const net::NetworkParams network_params =
+      config.network.value_or(presets::paper_network());
+
+  engine_ = std::make_unique<sim::Engine>();
+  machine_ = std::make_unique<hw::Machine>(*engine_, machine_params);
+  network_ = std::make_unique<net::FlowNetwork>(
+      *engine_, machine_params.shape, network_params);
+
+  auto placement = hw::place_ranks(machine_params.shape, config.ranks,
+                                   config.ranks_per_node, config.affinity);
+  mpi::RuntimeParams rt_params;
+  rt_params.mode = config.progress;
+  rt_params.governor = config.governor;
+  runtime_ = std::make_unique<mpi::Runtime>(*engine_, *machine_, *network_,
+                                            std::move(placement), rt_params);
+  meter_ = std::make_unique<hw::SamplingMeter>(
+      *machine_, Duration::millis(500.0), config.per_node_meter);
+}
+
+RunReport Simulation::run(
+    const std::function<sim::Task<>(mpi::Rank&)>& body) {
+  meter_->start();
+  const TimePoint start = engine_->now();
+  runtime_->launch(body);
+  // run_active: the meter's self-rescheduling sampling would keep a plain
+  // run() alive forever; the deadline catches deadlocked programs.
+  const sim::RunResult result =
+      engine_->run_active_until(start + config_.max_sim_time);
+  meter_->stop();
+
+  RunReport report;
+  report.completed = result.all_tasks_finished;
+  report.elapsed = result.end_time - start;
+  report.energy = machine_->total_energy();
+  report.power = meter_->series();
+  report.node_power = meter_->node_series();
+  if (report.elapsed.ns() > 0) {
+    report.mean_power = report.energy / report.elapsed.sec();
+  }
+  return report;
+}
+
+namespace {
+
+/// Rounds up to a whole number of doubles (reductions operate on doubles).
+Bytes round_to_doubles(Bytes n) {
+  return (n + 7) / 8 * 8;
+}
+
+struct TimedWindow {
+  TimePoint t0;
+  TimePoint t1;
+  Joules e0 = 0.0;
+  Joules e1 = 0.0;
+};
+
+/// Per-rank working buffers for one collective benchmark.
+struct Buffers {
+  std::vector<std::byte> send;
+  std::vector<std::byte> recv;
+  std::vector<Bytes> send_counts;
+  std::vector<Bytes> recv_counts;
+};
+
+Buffers make_buffers(const CollectiveBenchSpec& spec, int ranks) {
+  Buffers b;
+  const auto P = static_cast<std::size_t>(ranks);
+  const Bytes msg = round_to_doubles(spec.message);
+  const auto m = static_cast<std::size_t>(msg);
+  switch (spec.op) {
+    case coll::Op::kAlltoall:
+      b.send.resize(P * m);
+      b.recv.resize(P * m);
+      break;
+    case coll::Op::kAlltoallv:
+      b.send_counts.assign(P, msg);
+      b.recv_counts.assign(P, msg);
+      b.send.resize(P * m);
+      b.recv.resize(P * m);
+      break;
+    case coll::Op::kBcast:
+      b.send.resize(m);
+      break;
+    case coll::Op::kReduce:
+    case coll::Op::kAllreduce:
+      b.send.resize(m);
+      b.recv.resize(m);
+      break;
+    case coll::Op::kAllgather:
+      b.send.resize(m);
+      b.recv.resize(P * m);
+      break;
+    case coll::Op::kGather:
+      b.send.resize(m);
+      b.recv.resize(P * m);
+      break;
+    case coll::Op::kScatter:
+      b.send.resize(P * m);
+      b.recv.resize(m);
+      break;
+    case coll::Op::kScan:
+      b.send.resize(m);
+      b.recv.resize(m);
+      break;
+    case coll::Op::kReduceScatter:
+      b.send.resize(P * m);
+      b.recv.resize(m);
+      break;
+    case coll::Op::kBarrier:
+      break;
+  }
+  return b;
+}
+
+sim::Task<> run_op_once(mpi::Rank& self, mpi::Comm& comm,
+                        const CollectiveBenchSpec& spec, Buffers& b) {
+  const Bytes msg = round_to_doubles(spec.message);
+  switch (spec.op) {
+    case coll::Op::kAlltoall:
+      co_await coll::alltoall(self, comm, b.send, b.recv, msg,
+                              {.scheme = spec.scheme});
+      break;
+    case coll::Op::kAlltoallv:
+      co_await coll::alltoallv(self, comm, b.send, b.send_counts, b.recv,
+                               b.recv_counts, {.scheme = spec.scheme});
+      break;
+    case coll::Op::kBcast:
+      co_await coll::bcast(self, comm, b.send, spec.root,
+                           {.scheme = spec.scheme});
+      break;
+    case coll::Op::kReduce:
+      co_await coll::reduce(self, comm, b.send, b.recv, spec.root,
+                            {.scheme = spec.scheme});
+      break;
+    case coll::Op::kAllreduce:
+      co_await coll::allreduce(self, comm, b.send, b.recv,
+                               {.scheme = spec.scheme});
+      break;
+    case coll::Op::kAllgather:
+      co_await coll::allgather(self, comm, b.send, b.recv, msg,
+                               {.scheme = spec.scheme});
+      break;
+    case coll::Op::kGather:
+      co_await coll::gather_binomial(self, comm, b.send, b.recv, msg,
+                                     spec.root);
+      break;
+    case coll::Op::kScatter:
+      co_await coll::scatter_binomial(self, comm, b.send, b.recv, msg,
+                                      spec.root);
+      break;
+    case coll::Op::kScan:
+      co_await coll::scan(self, comm, b.send, b.recv,
+                          {.scheme = spec.scheme});
+      break;
+    case coll::Op::kReduceScatter:
+      co_await coll::reduce_scatter(self, comm, b.send, b.recv, msg,
+                                    {.scheme = spec.scheme});
+      break;
+    case coll::Op::kBarrier:
+      co_await coll::barrier(self, comm, {.scheme = spec.scheme});
+      break;
+  }
+}
+
+}  // namespace
+
+CollectiveReport measure_collective(const ClusterConfig& config,
+                                    const CollectiveBenchSpec& spec) {
+  PACC_EXPECTS(spec.iterations >= 1 && spec.warmup >= 0);
+  Simulation sim(config);
+  auto window = std::make_shared<TimedWindow>();
+
+  auto body = [&sim, &spec, window](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    Buffers buffers = make_buffers(spec, world.size());
+
+    for (int i = 0; i < spec.warmup; ++i) {
+      co_await run_op_once(self, world, spec, buffers);
+    }
+    co_await coll::barrier(self, world);
+    if (self.id() == 0) {
+      window->t0 = self.engine().now();
+      window->e0 = self.machine().total_energy();
+    }
+    for (int i = 0; i < spec.iterations; ++i) {
+      co_await run_op_once(self, world, spec, buffers);
+    }
+    co_await coll::barrier(self, world);
+    if (self.id() == 0) {
+      window->t1 = self.engine().now();
+      window->e1 = self.machine().total_energy();
+    }
+  };
+
+  const RunReport run = sim.run(body);
+
+  CollectiveReport report;
+  report.completed = run.completed;
+  const Duration window_time = window->t1 - window->t0;
+  report.latency = window_time / static_cast<double>(spec.iterations);
+  report.energy_per_op =
+      (window->e1 - window->e0) / static_cast<double>(spec.iterations);
+  if (window_time.ns() > 0) {
+    report.mean_power = (window->e1 - window->e0) / window_time.sec();
+  }
+  for (const auto& sample : run.power.samples()) {
+    if (sample.time >= window->t0 && sample.time <= window->t1) {
+      report.power.add(sample.time, sample.watts);
+    }
+  }
+  return report;
+}
+
+}  // namespace pacc

@@ -1,0 +1,118 @@
+// High-level facade: build a simulated cluster, run MPI-style programs on
+// it, and read back latency / power / energy reports.
+//
+// Quickstart:
+//
+//   pacc::ClusterConfig cfg;                      // the paper's testbed
+//   cfg.ranks = 64; cfg.ranks_per_node = 8;
+//   pacc::Simulation sim(cfg);
+//   auto report = sim.run([&](pacc::mpi::Rank& r) {
+//     return body(r, sim.runtime().world());      // any Task<> coroutine
+//   });
+//   report.elapsed, report.energy, report.power.samples() …
+//
+// For OSU-style collective measurements use measure_collective(), which
+// handles warmup, timing barriers and per-iteration averaging.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coll/registry.hpp"
+#include "hw/machine.hpp"
+#include "hw/meter.hpp"
+#include "mpi/runtime.hpp"
+#include "net/network.hpp"
+#include "pacc/presets.hpp"
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace pacc {
+
+/// Everything needed to stand up a simulated cluster.
+struct ClusterConfig {
+  int nodes = 8;
+  int ranks = 64;
+  int ranks_per_node = 8;
+  /// Rack layer for the topology-aware extension (§VIII); 0 disables it.
+  int nodes_per_rack = 0;
+  hw::AffinityPolicy affinity = hw::AffinityPolicy::kBunch;
+  mpi::ProgressMode progress = mpi::ProgressMode::kPolling;
+  bool core_level_throttling = false;  ///< §V-B "future architectures"
+  /// Reactive black-box DVFS governor (prior work, §III); off by default.
+  mpi::GovernorParams governor;
+  /// Record per-node meter channels in addition to the system series.
+  bool per_node_meter = false;
+  /// Safety bound on simulated time: a deadlocked program is reported as
+  /// incomplete instead of letting the meter tick forever.
+  Duration max_sim_time = Duration::seconds(3600.0);
+  std::optional<hw::MachineParams> machine;   ///< default: paper_machine(nodes)
+  std::optional<net::NetworkParams> network;  ///< default: paper_network()
+};
+
+/// Outcome of one simulated program run.
+struct RunReport {
+  Duration elapsed;
+  Joules energy = 0.0;
+  Watts mean_power = 0.0;
+  PowerSeries power;        ///< clamp-meter samples (0.5 s)
+  /// Per-node meter channels (only with ClusterConfig::per_node_meter).
+  std::vector<PowerSeries> node_power;
+  bool completed = false;   ///< false: deadlock / starvation detected
+};
+
+/// Outcome of an OSU-style collective measurement.
+struct CollectiveReport {
+  Duration latency;         ///< average per-operation latency
+  Joules energy_per_op = 0.0;
+  Watts mean_power = 0.0;   ///< mean sampled power during the timed loop
+  PowerSeries power;
+  bool completed = false;
+};
+
+/// Parameters of an OSU-style collective measurement.
+struct CollectiveBenchSpec {
+  coll::Op op = coll::Op::kAlltoall;
+  Bytes message = 1 << 20;  ///< block size (alltoall) or buffer size (bcast…)
+  coll::PowerScheme scheme = coll::PowerScheme::kNone;
+  int iterations = 10;
+  int warmup = 2;
+  int root = 0;             ///< rooted collectives
+};
+
+/// One simulated cluster plus its runtime; single-run, single-threaded.
+class Simulation {
+ public:
+  explicit Simulation(const ClusterConfig& config);
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  sim::Engine& engine() { return *engine_; }
+  hw::Machine& machine() { return *machine_; }
+  net::FlowNetwork& network() { return *network_; }
+  mpi::Runtime& runtime() { return *runtime_; }
+  hw::SamplingMeter& meter() { return *meter_; }
+
+  /// Spawns `body` on every rank, runs to completion with the power meter
+  /// sampling, and reports elapsed time / energy / power.
+  RunReport run(const std::function<sim::Task<>(mpi::Rank&)>& body);
+
+ private:
+  ClusterConfig config_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<net::FlowNetwork> network_;
+  std::unique_ptr<mpi::Runtime> runtime_;
+  std::unique_ptr<hw::SamplingMeter> meter_;
+};
+
+/// Builds a cluster, runs `spec.warmup + spec.iterations` matched calls of
+/// the collective on the world communicator, and reports the averaged
+/// latency and the power during the timed region.
+CollectiveReport measure_collective(const ClusterConfig& config,
+                                    const CollectiveBenchSpec& spec);
+
+}  // namespace pacc

@@ -1,0 +1,81 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace pacc::sim {
+
+EventId Engine::schedule(Duration delay, std::function<void()> fn) {
+  PACC_EXPECTS(delay.ns() >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Engine::schedule_at(TimePoint when, std::function<void()> fn) {
+  PACC_EXPECTS_MSG(when >= now_, "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Engine::cancel(EventId id) { cancelled_.insert(id); }
+
+namespace {
+
+/// Wraps a spawned task so the engine can track completion in O(1).
+Task<> track_completion(std::uint64_t* active, Task<> inner) {
+  co_await inner;
+  --*active;
+}
+
+}  // namespace
+
+void Engine::spawn(Task<> task) {
+  PACC_EXPECTS_MSG(task.h_ != nullptr, "spawning a moved-from Task");
+  // Reclaim finished tasks occasionally so long simulations that spawn many
+  // detached helpers (eager sends, meters) don't grow without bound.
+  if (spawned_.size() >= 1024) {
+    std::erase_if(spawned_, [](const Task<>& t) { return t.done(); });
+  }
+  ++active_tasks_;
+  Task<> wrapped = track_completion(&active_tasks_, std::move(task));
+  auto handle = wrapped.h_;
+  spawned_.push_back(std::move(wrapped));
+  schedule(Duration::zero(), [handle] { handle.resume(); });
+}
+
+RunResult Engine::run() {
+  return drain(TimePoint::max(), /*stop_when_idle=*/false);
+}
+
+RunResult Engine::run_until(TimePoint deadline) {
+  return drain(deadline, /*stop_when_idle=*/false);
+}
+
+RunResult Engine::run_active() {
+  return drain(TimePoint::max(), /*stop_when_idle=*/true);
+}
+
+RunResult Engine::run_active_until(TimePoint deadline) {
+  return drain(deadline, /*stop_when_idle=*/true);
+}
+
+RunResult Engine::drain(TimePoint deadline, bool stop_when_idle) {
+  while (!queue_.empty() && queue_.top().when <= deadline &&
+         !(stop_when_idle && active_tasks_ == 0)) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++dispatched_;
+    ev.fn();
+  }
+  RunResult result;
+  result.end_time = now_;
+  result.stuck_tasks = static_cast<std::size_t>(active_tasks_);
+  result.all_tasks_finished = result.stuck_tasks == 0;
+  return result;
+}
+
+}  // namespace pacc::sim

@@ -1,0 +1,114 @@
+// Deterministic discrete-event engine.
+//
+// Events are ordered by (time, insertion sequence) so two runs of the same
+// program produce byte-identical traces. Coroutine tasks suspend on
+// awaitables (delay, trigger, message arrival) and are resumed by events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/expect.hpp"
+#include "util/units.hpp"
+
+namespace pacc::sim {
+
+/// Identifier of a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Result of draining the event queue.
+struct RunResult {
+  bool all_tasks_finished = false;  ///< false indicates deadlock / starvation
+  std::size_t stuck_tasks = 0;      ///< spawned tasks still pending
+  TimePoint end_time;               ///< simulated clock when the queue drained
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Returns an id for cancel().
+  EventId schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute time (must not be in the past).
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired event is a no-op.
+  void cancel(EventId id);
+
+  /// Registers a top-level task and schedules its first resume at now().
+  void spawn(Task<> task);
+
+  /// Runs until the event queue is empty. Reports deadlock if spawned tasks
+  /// remain unfinished (e.g. a recv with no matching send).
+  RunResult run();
+
+  /// Runs until the queue is empty or the clock would pass `deadline`.
+  /// Events at exactly `deadline` are executed.
+  RunResult run_until(TimePoint deadline);
+
+  /// Runs until every spawned task has finished (or the queue drains, which
+  /// then indicates deadlock). Use this when perpetual event sources — such
+  /// as a sampling power meter — would keep a plain run() alive forever.
+  RunResult run_active();
+
+  /// run_active() with a simulated-time bound: if tasks are still pending
+  /// at `deadline` (e.g. a deadlocked rank while the meter keeps ticking),
+  /// stops and reports them as stuck.
+  RunResult run_active_until(TimePoint deadline);
+
+  /// Spawned tasks that have not yet finished.
+  std::uint64_t active_tasks() const { return active_tasks_; }
+
+  /// Number of events dispatched so far (for micro-benchmarks / tests).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Awaitable that resumes the caller after `d` of simulated time.
+  auto delay(Duration d) {
+    struct Awaiter {
+      Engine& eng;
+      Duration d;
+      bool await_ready() const noexcept { return d.ns() <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng.schedule(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    PACC_EXPECTS_MSG(d.ns() >= 0, "cannot delay into the past");
+    return Awaiter{*this, d};
+  }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  RunResult drain(TimePoint deadline, bool stop_when_idle);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::vector<Task<>> spawned_;
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t active_tasks_ = 0;
+};
+
+}  // namespace pacc::sim

@@ -1,0 +1,104 @@
+// Synchronisation awaitables for simulated processes.
+//
+// - Signal:  edge-triggered pulse; wakes everyone currently waiting.
+// - Latch:   one-shot level-triggered event; waits after fire() return ready.
+// - Barrier: cyclic rendezvous for a fixed party count (used for the
+//            node-local phase synchronisation of the power-aware Alltoall).
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pacc::sim {
+
+/// Edge-triggered notification: pulse() wakes all coroutines that were
+/// waiting at that moment; later waiters block until the next pulse.
+class Signal {
+ public:
+  explicit Signal(Engine& engine) : engine_(engine) {}
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  void pulse();
+
+  auto wait() {
+    struct Awaiter {
+      Signal& sig;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sig.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot latch: once fired, every wait() completes immediately.
+class Latch {
+ public:
+  explicit Latch(Engine& engine) : engine_(engine) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void fire();
+  bool fired() const { return fired_; }
+
+  auto wait() {
+    struct Awaiter {
+      Latch& latch;
+      bool await_ready() const noexcept { return latch.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        latch.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& engine_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Cyclic barrier for `parties` coroutines. The last arriver releases all and
+/// the barrier resets for reuse.
+class Barrier {
+ public:
+  Barrier(Engine& engine, std::size_t parties);
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Awaitable arrival; completes when all parties have arrived.
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier& bar;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) { return bar.arrive(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t parties() const { return parties_; }
+
+ private:
+  /// Returns true if the caller must suspend (i.e. it was not the last).
+  bool arrive(std::coroutine_handle<> h);
+
+  Engine& engine_;
+  std::size_t parties_;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+}  // namespace pacc::sim

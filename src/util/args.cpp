@@ -1,0 +1,120 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace pacc {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_.emplace(std::string(arg.substr(0, eq)),
+                      std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // "--flag value" when the next token is not itself a flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_.emplace(std::string(arg), std::string(argv[i + 1]));
+      ++i;
+    } else {
+      values_.emplace(std::string(arg), std::string());
+    }
+  }
+}
+
+bool ArgParser::has(std::string_view name) const {
+  queried_.emplace_back(name);
+  return values_.contains(std::string(name));
+}
+
+std::optional<std::string> ArgParser::get(std::string_view name) const {
+  queried_.emplace_back(name);
+  const auto it = values_.find(std::string(name));
+  if (it == values_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(std::string_view name,
+                              std::string fallback) const {
+  return get(name).value_or(std::move(fallback));
+}
+
+long long ArgParser::int_or(std::string_view name, long long fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double ArgParser::double_or(std::string_view name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+Bytes ArgParser::bytes_or(std::string_view name, Bytes fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return parse_bytes(*v).value_or(fallback);
+}
+
+std::vector<std::string> ArgParser::unknown() const {
+  std::vector<std::string> result;
+  for (const auto& [key, value] : values_) {
+    if (std::find(queried_.begin(), queried_.end(), key) == queried_.end()) {
+      result.push_back("--" + key);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::optional<Bytes> parse_bytes(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+  std::string_view suffix(ptr, static_cast<std::size_t>(end - ptr));
+  double scale = 1.0;
+  if (suffix.empty()) {
+    scale = 1.0;
+  } else if (suffix == "K" || suffix == "k" || suffix == "KiB") {
+    scale = 1024.0;
+  } else if (suffix == "M" || suffix == "m" || suffix == "MiB") {
+    scale = 1024.0 * 1024.0;
+  } else if (suffix == "G" || suffix == "g" || suffix == "GiB") {
+    scale = 1024.0 * 1024.0 * 1024.0;
+  } else {
+    return std::nullopt;
+  }
+  const double bytes = value * scale;
+  if (bytes < 0.0) return std::nullopt;
+  return static_cast<Bytes>(bytes);
+}
+
+std::optional<Duration> parse_duration(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value < 0.0) return std::nullopt;
+  std::string_view suffix(ptr, static_cast<std::size_t>(end - ptr));
+  if (suffix == "ns") return Duration::nanos(static_cast<std::int64_t>(value));
+  if (suffix == "us") return Duration::micros(value);
+  if (suffix == "ms") return Duration::millis(value);
+  if (suffix == "s") return Duration::seconds(value);
+  return std::nullopt;
+}
+
+}  // namespace pacc

@@ -1,0 +1,53 @@
+// Minimal command-line flag parser for the tools/ binaries.
+//
+// Supports "--flag value", "--flag=value" and boolean "--flag". Unknown
+// flags are collected so tools can reject them with a usable message.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pacc {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if the flag was present (with or without a value).
+  bool has(std::string_view name) const;
+
+  /// The flag's value, if one was supplied.
+  std::optional<std::string> get(std::string_view name) const;
+
+  std::string get_or(std::string_view name, std::string fallback) const;
+  long long int_or(std::string_view name, long long fallback) const;
+  double double_or(std::string_view name, double fallback) const;
+
+  /// Size with optional K/M/G suffix (powers of two): "64K" → 65536.
+  Bytes bytes_or(std::string_view name, Bytes fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were supplied but never queried via has()/get*.
+  std::vector<std::string> unknown() const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::vector<std::string> queried_;
+};
+
+/// Parses "64K", "1M", "512", "2G" (case-insensitive suffix, powers of 2).
+/// Returns std::nullopt on malformed input.
+std::optional<Bytes> parse_bytes(std::string_view text);
+
+/// Parses a duration like "12ms", "3.5s", "250us", "80ns".
+std::optional<Duration> parse_duration(std::string_view text);
+
+}  // namespace pacc

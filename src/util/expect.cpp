@@ -1,0 +1,21 @@
+#include "util/expect.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pacc::detail {
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   std::string_view message) {
+  std::fprintf(stderr, "[pacc] %s violated: %s (%s:%d)", kind, expr, file,
+               line);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %.*s", static_cast<int>(message.size()),
+                 message.data());
+  }
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+}  // namespace pacc::detail

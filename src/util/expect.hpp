@@ -1,0 +1,44 @@
+// Lightweight contract checking (Core Guidelines I.6 / I.8 style).
+//
+// PACC_EXPECTS / PACC_ENSURES abort with a diagnostic on violation; they stay
+// enabled in release builds because the simulator's correctness depends on
+// its invariants, and the cost is negligible relative to event dispatch.
+#pragma once
+
+#include <string_view>
+
+namespace pacc::detail {
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   std::string_view message);
+
+}  // namespace pacc::detail
+
+#define PACC_EXPECTS(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pacc::detail::contract_failure("Precondition", #cond, __FILE__,    \
+                                       __LINE__, {});                       \
+  } while (false)
+
+#define PACC_EXPECTS_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pacc::detail::contract_failure("Precondition", #cond, __FILE__,    \
+                                       __LINE__, (msg));                    \
+  } while (false)
+
+#define PACC_ENSURES(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pacc::detail::contract_failure("Postcondition", #cond, __FILE__,   \
+                                       __LINE__, {});                       \
+  } while (false)
+
+#define PACC_ASSERT(cond)                                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pacc::detail::contract_failure("Invariant", #cond, __FILE__,       \
+                                       __LINE__, {});                       \
+  } while (false)

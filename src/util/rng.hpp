@@ -1,0 +1,31 @@
+// Deterministic pseudo-random numbers (SplitMix64) for workload generation.
+//
+// The standard <random> engines are avoided for cross-platform determinism of
+// generated workloads; SplitMix64 output is specified exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace pacc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pacc

@@ -1,0 +1,56 @@
+// Small statistics helpers used by benches and reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pacc {
+
+/// Online accumulator for min / max / mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One sample of total system power, as produced by hw::SamplingMeter.
+struct PowerSample {
+  TimePoint time;
+  Watts watts = 0.0;
+};
+
+/// A time series of power samples plus summary helpers.
+class PowerSeries {
+ public:
+  void add(TimePoint t, Watts w) { samples_.push_back({t, w}); }
+
+  const std::vector<PowerSample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// Mean of the sampled power values (what a clamp-meter readout shows).
+  Watts mean_watts() const;
+  Watts peak_watts() const;
+
+ private:
+  std::vector<PowerSample> samples_;
+};
+
+/// Percentile over a copy of the data (p in [0,100]).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace pacc

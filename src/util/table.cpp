@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace pacc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PACC_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PACC_EXPECTS_MSG(cells.size() == headers_.size(),
+                   "row arity must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_bytes(long long bytes) {
+  if (bytes >= (1 << 20) && bytes % (1 << 20) == 0) {
+    return std::to_string(bytes >> 20) + "M";
+  }
+  if (bytes >= (1 << 10) && bytes % (1 << 10) == 0) {
+    return std::to_string(bytes >> 10) + "K";
+  }
+  return std::to_string(bytes);
+}
+
+}  // namespace pacc

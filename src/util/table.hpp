@@ -1,0 +1,36 @@
+// ASCII table / CSV emitters for the benchmark harness.
+//
+// Every bench binary prints paper-style rows; Table keeps alignment and also
+// supports CSV so results can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pacc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a byte count as "4K", "1M", "512" the way OSU benchmarks label axes.
+std::string format_bytes(long long bytes);
+
+}  // namespace pacc

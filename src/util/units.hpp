@@ -1,0 +1,111 @@
+// Strong unit types used across the simulator.
+//
+// All simulated time is held as an integer count of nanoseconds so that the
+// discrete-event engine is exactly deterministic; conversions to floating
+// seconds happen only at reporting boundaries.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace pacc {
+
+/// A span of simulated time, in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration nanos(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration micros(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e3)};
+  }
+  static constexpr Duration millis(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr Duration seconds(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e9)};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) / k)};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute point on the simulated clock, in nanoseconds since start.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ns()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{ns_ - o.ns_}; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Clock frequency in hertz.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(double hz) : hz_(hz) {}
+
+  static constexpr Frequency ghz(double v) { return Frequency{v * 1e9}; }
+  static constexpr Frequency mhz(double v) { return Frequency{v * 1e6}; }
+
+  constexpr double hz() const { return hz_; }
+  constexpr double ghz() const { return hz_ * 1e-9; }
+
+  constexpr auto operator<=>(const Frequency&) const = default;
+
+ private:
+  double hz_ = 0.0;
+};
+
+/// Message / buffer size in bytes.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024;
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024 * 1024;
+}
+
+/// Energy in joules (reporting only, so double is fine).
+using Joules = double;
+/// Power in watts.
+using Watts = double;
+
+}  // namespace pacc

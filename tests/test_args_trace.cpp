@@ -1,0 +1,159 @@
+// Tests for the flag parser and the workload-trace DSL.
+#include <gtest/gtest.h>
+
+#include "apps/trace.hpp"
+#include "util/args.hpp"
+
+namespace pacc {
+namespace {
+
+ArgParser make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(ArgParser, FlagValueForms) {
+  const auto args = make({"--op", "bcast", "--ranks=32", "--csv"});
+  EXPECT_EQ(args.get_or("op", "?"), "bcast");
+  EXPECT_EQ(args.int_or("ranks", 0), 32);
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.int_or("iters", 7), 7);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto args = make({"file1", "--op", "bcast", "file2"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(ArgParser, UnknownFlagsReported) {
+  const auto args = make({"--known", "1", "--typo", "2"});
+  (void)args.get("known");
+  const auto unknown = args.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "--typo");
+}
+
+TEST(ArgParser, BytesAndDoubles) {
+  const auto args = make({"--min", "64K", "--scale", "2.5"});
+  EXPECT_EQ(args.bytes_or("min", 0), 65536);
+  EXPECT_DOUBLE_EQ(args.double_or("scale", 0.0), 2.5);
+}
+
+TEST(ParseBytes, SuffixesAndErrors) {
+  EXPECT_EQ(parse_bytes("512"), 512);
+  EXPECT_EQ(parse_bytes("4K"), 4096);
+  EXPECT_EQ(parse_bytes("2M"), 2 * 1024 * 1024);
+  EXPECT_EQ(parse_bytes("1G"), 1024LL * 1024 * 1024);
+  EXPECT_EQ(parse_bytes("1.5K"), 1536);
+  EXPECT_FALSE(parse_bytes("").has_value());
+  EXPECT_FALSE(parse_bytes("abc").has_value());
+  EXPECT_FALSE(parse_bytes("4X").has_value());
+  EXPECT_FALSE(parse_bytes("-3K").has_value());
+}
+
+TEST(ParseDuration, UnitsAndErrors) {
+  EXPECT_EQ(parse_duration("80ns")->ns(), 80);
+  EXPECT_EQ(parse_duration("250us")->ns(), 250'000);
+  EXPECT_EQ(parse_duration("12ms")->ns(), 12'000'000);
+  EXPECT_EQ(parse_duration("3.5s")->ns(), 3'500'000'000);
+  EXPECT_FALSE(parse_duration("12").has_value());  // unit required
+  EXPECT_FALSE(parse_duration("fast").has_value());
+}
+
+TEST(TraceParser, FullWorkloadRoundTrip) {
+  const auto result = apps::parse_workload(R"(
+# a CPMD-flavoured example
+name        demo
+iterations  6
+extrapolate 2.5
+seed        99
+phase compute 12ms imbalance 0.05
+phase alltoall 128K repeat 4
+phase allreduce 8K
+)");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto& spec = result.spec;
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.simulated_iterations, 6);
+  EXPECT_DOUBLE_EQ(spec.extrapolation, 2.5);
+  EXPECT_EQ(spec.seed, 99u);
+  ASSERT_EQ(spec.phases.size(), 3u);
+  EXPECT_EQ(spec.phases[0].kind, apps::Phase::Kind::kCompute);
+  EXPECT_EQ(spec.phases[0].compute.ns(), 12'000'000);
+  EXPECT_DOUBLE_EQ(spec.phases[0].imbalance, 0.05);
+  EXPECT_EQ(spec.phases[1].kind, apps::Phase::Kind::kAlltoall);
+  EXPECT_EQ(spec.phases[1].bytes, 128 * 1024);
+  EXPECT_EQ(spec.phases[1].repeat, 4);
+  EXPECT_EQ(spec.phases[2].kind, apps::Phase::Kind::kAllreduce);
+}
+
+TEST(TraceParser, AllCollectiveKinds) {
+  const auto result = apps::parse_workload(R"(
+phase alltoall 1K
+phase alltoallv 1K imbalance 0.3
+phase bcast 1K
+phase reduce 1K
+phase allreduce 1K
+phase allgather 1K
+)");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.spec.phases.size(), 6u);
+}
+
+TEST(TraceParser, ErrorsCarryLineContext) {
+  const auto bad_kind = apps::parse_workload("phase teleport 1K\n");
+  EXPECT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.error.find("teleport"), std::string::npos);
+  EXPECT_NE(bad_kind.error.find("line 1"), std::string::npos);
+
+  const auto bad_size = apps::parse_workload("phase bcast huge\n");
+  EXPECT_FALSE(bad_size.ok());
+  EXPECT_NE(bad_size.error.find("huge"), std::string::npos);
+
+  const auto bad_keyword = apps::parse_workload("frobnicate 3\n");
+  EXPECT_FALSE(bad_keyword.ok());
+
+  const auto empty = apps::parse_workload("# only a comment\n");
+  EXPECT_FALSE(empty.ok());
+  EXPECT_NE(empty.error.find("no phases"), std::string::npos);
+
+  const auto bad_option = apps::parse_workload("phase bcast 1K repeat\n");
+  EXPECT_FALSE(bad_option.ok());
+
+  const auto bad_imbalance =
+      apps::parse_workload("phase bcast 1K imbalance 3.0\n");
+  EXPECT_FALSE(bad_imbalance.ok());
+}
+
+TEST(TraceParser, ParsedWorkloadActuallyRuns) {
+  const auto result = apps::parse_workload(R"(
+name smoke
+iterations 2
+phase compute 1ms
+phase alltoall 16K
+phase allreduce 1K
+)");
+  ASSERT_TRUE(result.ok()) << result.error;
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks = 8;
+  cfg.ranks_per_node = 4;
+  const auto report =
+      apps::run_workload(cfg, result.spec, coll::PowerScheme::kProposed);
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.total_time.ns(), 0);
+  EXPECT_GT(report.alltoall_time.ns(), 0);
+}
+
+TEST(TraceParser, MissingFileReported) {
+  const auto result = apps::load_workload("/nonexistent/path.wl");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacc

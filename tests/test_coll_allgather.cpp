@@ -1,0 +1,110 @@
+#include "coll/allgather.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+
+void verify_allgather(int nodes, int ranks, int ppn, Bytes block,
+                      const AllgatherOptions& options) {
+  ClusterConfig cfg = test::small_cluster(nodes, ranks, ppn);
+  Simulation sim(cfg);
+  std::vector<int> ok(static_cast<std::size_t>(ranks), 0);
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    const auto blk = static_cast<std::size_t>(block);
+    std::vector<std::byte> send(blk);
+    std::vector<std::byte> recv(static_cast<std::size_t>(ranks) * blk);
+    fill_pattern(send, me, 0);
+    co_await allgather(self, world, send, recv, block, options);
+    bool good = true;
+    for (int src = 0; src < ranks; ++src) {
+      good = good && check_pattern(
+                         std::span<const std::byte>(recv).subspan(
+                             static_cast<std::size_t>(src) * blk, blk),
+                         src, 0);
+    }
+    ok[static_cast<std::size_t>(me)] = good;
+  };
+
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+}
+
+struct Topo {
+  int nodes, ranks, ppn;
+};
+
+class AllgatherCorrectness
+    : public ::testing::TestWithParam<std::tuple<Topo, Bytes, PowerScheme>> {};
+
+TEST_P(AllgatherCorrectness, AssemblesAllBlocks) {
+  const auto& [topo, block, scheme] = GetParam();
+  verify_allgather(topo.nodes, topo.ranks, topo.ppn, block,
+                   {.scheme = scheme});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AllgatherCorrectness,
+    ::testing::Combine(
+        ::testing::Values(Topo{2, 4, 2}, Topo{4, 16, 4}, Topo{2, 16, 8},
+                          Topo{3, 9, 3}),
+        ::testing::Values(Bytes{32}, Bytes{16384}),
+        ::testing::Values(PowerScheme::kNone, PowerScheme::kProposed)),
+    [](const auto& info) {
+      const Topo topo = std::get<0>(info.param);
+      return std::to_string(topo.nodes) + "n" + std::to_string(topo.ranks) +
+             "r_" + std::to_string(std::get<1>(info.param)) + "B_" +
+             test::scheme_tag(std::get<2>(info.param));
+    });
+
+TEST(AllgatherAlgorithms, RingAndRecursiveDoublingAgree) {
+  for (const bool rd : {false, true}) {
+    ClusterConfig cfg = test::small_cluster(4, 8, 2);
+    Simulation sim(cfg);
+    std::vector<int> ok(8, 0);
+    auto body = [&](mpi::Rank& self) -> sim::Task<> {
+      mpi::Comm& world = sim.runtime().world();
+      const int me = world.comm_rank_of(self.id());
+      const Bytes block = 256;
+      std::vector<std::byte> send(256);
+      std::vector<std::byte> recv(8 * 256);
+      fill_pattern(send, me, 0);
+      if (rd) {
+        co_await allgather_recursive_doubling(self, world, send, recv, block);
+      } else {
+        co_await allgather_ring(self, world, send, recv, block);
+      }
+      bool good = true;
+      for (int src = 0; src < 8; ++src) {
+        good = good && check_pattern(
+                           std::span<const std::byte>(recv).subspan(
+                               static_cast<std::size_t>(src) * 256, 256),
+                           src, 0);
+      }
+      ok[static_cast<std::size_t>(me)] = good;
+    };
+    ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+    for (int r = 0; r < 8; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1);
+  }
+}
+
+TEST(AllgatherFlat, SingleNodeFallback) {
+  verify_allgather(1, 8, 8, 1024, {});
+  verify_allgather(1, 6, 6, 1024, {});  // non-pow2 → ring
+}
+
+}  // namespace
+}  // namespace pacc::coll

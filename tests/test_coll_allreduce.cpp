@@ -1,0 +1,105 @@
+#include "coll/allreduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+double element(int rank, std::size_t j) {
+  return static_cast<double>(rank) + static_cast<double>(j) * 0.25;
+}
+
+void verify_allreduce(int nodes, int ranks, int ppn, std::size_t elements,
+                      const AllreduceOptions& options) {
+  ClusterConfig cfg = test::small_cluster(nodes, ranks, ppn);
+  Simulation sim(cfg);
+  std::vector<int> ok(static_cast<std::size_t>(ranks), 0);
+
+  std::vector<double> expected(elements, 0.0);
+  for (std::size_t j = 0; j < elements; ++j) {
+    for (int r = 0; r < ranks; ++r) {
+      switch (options.op) {
+        case ReduceOp::kSum:
+          expected[j] += element(r, j);
+          break;
+        case ReduceOp::kMax:
+          expected[j] = std::max(expected[j], element(r, j));
+          break;
+        case ReduceOp::kMin:
+          expected[j] = r == 0 ? element(0, j)
+                               : std::min(expected[j], element(r, j));
+          break;
+      }
+    }
+  }
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send(elements * sizeof(double));
+    auto* d = reinterpret_cast<double*>(send.data());
+    for (std::size_t j = 0; j < elements; ++j) d[j] = element(me, j);
+    std::vector<std::byte> recv(send.size());
+    co_await allreduce(self, world, send, recv, options);
+    const auto* out = reinterpret_cast<const double*>(recv.data());
+    bool good = true;
+    for (std::size_t j = 0; j < elements; ++j) {
+      if (std::abs(out[j] - expected[j]) > 1e-9) good = false;
+    }
+    ok[static_cast<std::size_t>(me)] = good;
+  };
+
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+}
+
+struct Topo {
+  int nodes, ranks, ppn;
+};
+
+class AllreduceCorrectness
+    : public ::testing::TestWithParam<std::tuple<Topo, PowerScheme>> {};
+
+TEST_P(AllreduceCorrectness, SumEverywhere) {
+  const auto& [topo, scheme] = GetParam();
+  verify_allreduce(topo.nodes, topo.ranks, topo.ppn, 128,
+                   {.scheme = scheme, .op = ReduceOp::kSum});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AllreduceCorrectness,
+    ::testing::Combine(
+        ::testing::Values(Topo{2, 4, 2}, Topo{4, 16, 4}, Topo{2, 16, 8},
+                          Topo{3, 9, 3}, Topo{1, 8, 8}),
+        ::testing::Values(PowerScheme::kNone, PowerScheme::kFreqScaling,
+                          PowerScheme::kProposed)),
+    [](const auto& info) {
+      const Topo topo = std::get<0>(info.param);
+      return std::to_string(topo.nodes) + "n" + std::to_string(topo.ranks) +
+             "r" + std::to_string(topo.ppn) + "p_" +
+             test::scheme_tag(std::get<1>(info.param));
+    });
+
+TEST(AllreduceOps, MaxAndMin) {
+  verify_allreduce(2, 8, 4, 32, {.op = ReduceOp::kMax});
+  verify_allreduce(2, 8, 4, 32, {.op = ReduceOp::kMin});
+}
+
+TEST(AllreduceFlat, RecursiveDoublingNonPow2Fallback) {
+  verify_allreduce(1, 6, 6, 16, {});
+}
+
+TEST(AllreduceFlat, SingleRank) { verify_allreduce(1, 1, 1, 8, {}); }
+
+}  // namespace
+}  // namespace pacc::coll

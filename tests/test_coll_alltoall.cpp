@@ -1,0 +1,161 @@
+#include "coll/alltoall.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+using test::run_all;
+
+struct Topo {
+  int nodes;
+  int ranks;
+  int ppn;
+};
+
+/// Runs an alltoall on every rank and verifies the full permutation.
+void verify_alltoall(const Topo& topo, Bytes block,
+                     const AlltoallOptions& options) {
+  ClusterConfig cfg = test::small_cluster(topo.nodes, topo.ranks, topo.ppn);
+  Simulation sim(cfg);
+  const int P = topo.ranks;
+  std::vector<int> ok(static_cast<std::size_t>(P), 0);
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    const auto blk = static_cast<std::size_t>(block);
+    std::vector<std::byte> send(static_cast<std::size_t>(P) * blk);
+    std::vector<std::byte> recv(send.size());
+    for (int dst = 0; dst < P; ++dst) {
+      fill_pattern(std::span(send).subspan(static_cast<std::size_t>(dst) * blk,
+                                           blk),
+                   me, dst);
+    }
+    co_await alltoall(self, world, send, recv, block, options);
+    bool good = true;
+    for (int src = 0; src < P; ++src) {
+      if (!check_pattern(std::span<const std::byte>(recv).subspan(
+                             static_cast<std::size_t>(src) * blk, blk),
+                         src, me)) {
+        good = false;
+      }
+    }
+    ok[static_cast<std::size_t>(me)] = good ? 1 : 0;
+  };
+
+  const auto result = run_all(sim, body);
+  ASSERT_TRUE(result.all_tasks_finished) << "deadlock in alltoall";
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "bad data at rank " << r;
+  }
+}
+
+class AlltoallCorrectness
+    : public ::testing::TestWithParam<std::tuple<Topo, Bytes, PowerScheme>> {};
+
+TEST_P(AlltoallCorrectness, PermutesAllBlocks) {
+  const auto& [topo, block, scheme] = GetParam();
+  verify_alltoall(topo, block, {.scheme = scheme});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AlltoallCorrectness,
+    ::testing::Combine(
+        ::testing::Values(Topo{2, 4, 2},    // minimal multi-node
+                          Topo{4, 16, 4},   // pow2 everywhere
+                          Topo{2, 16, 8},   // two full nodes
+                          Topo{3, 9, 3},    // non-pow2 ranks and nodes
+                          Topo{4, 8, 2}),   // wide and shallow
+        ::testing::Values(Bytes{64}, Bytes{4096}, Bytes{65536}),
+        ::testing::Values(PowerScheme::kNone, PowerScheme::kFreqScaling,
+                          PowerScheme::kProposed)),
+    [](const auto& info) {
+      const Topo topo = std::get<0>(info.param);
+      return std::to_string(topo.nodes) + "n" + std::to_string(topo.ranks) +
+             "r" + std::to_string(topo.ppn) + "p_" +
+             std::to_string(std::get<1>(info.param)) + "B_" +
+             test::scheme_tag(std::get<2>(info.param));
+    });
+
+TEST(AlltoallAlgorithms, BruckMatchesPairwise) {
+  // Both algorithms must produce the identical permutation.
+  for (const Topo topo : {Topo{2, 6, 3}, Topo{2, 8, 4}}) {
+    ClusterConfig cfg = test::small_cluster(topo.nodes, topo.ranks, topo.ppn);
+    for (const bool use_bruck : {false, true}) {
+      Simulation sim(cfg);
+      const int P = topo.ranks;
+      const Bytes block = 32;
+      std::vector<int> ok(static_cast<std::size_t>(P), 0);
+      auto body = [&](mpi::Rank& self) -> sim::Task<> {
+        mpi::Comm& world = sim.runtime().world();
+        const int me = world.comm_rank_of(self.id());
+        const auto blk = static_cast<std::size_t>(block);
+        std::vector<std::byte> send(static_cast<std::size_t>(P) * blk);
+        std::vector<std::byte> recv(send.size());
+        for (int dst = 0; dst < P; ++dst) {
+          fill_pattern(
+              std::span(send).subspan(static_cast<std::size_t>(dst) * blk, blk),
+              me, dst);
+        }
+        if (use_bruck) {
+          co_await alltoall_bruck(self, world, send, recv, block);
+        } else {
+          co_await alltoall_pairwise(self, world, send, recv, block);
+        }
+        bool good = true;
+        for (int src = 0; src < P; ++src) {
+          good = good && check_pattern(
+                             std::span<const std::byte>(recv).subspan(
+                                 static_cast<std::size_t>(src) * blk, blk),
+                             src, me);
+        }
+        ok[static_cast<std::size_t>(me)] = good;
+      };
+      ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+      for (int r = 0; r < P; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1);
+    }
+  }
+}
+
+TEST(AlltoallPower, FreqScalingIsSlowerButRestoresFmax) {
+  const Topo topo{2, 8, 4};
+  ClusterConfig cfg = test::small_cluster(topo.nodes, topo.ranks, topo.ppn);
+
+  auto time_with = [&](PowerScheme scheme) {
+    Simulation sim(cfg);
+    TimePoint done;
+    auto body = [&](mpi::Rank& self) -> sim::Task<> {
+      mpi::Comm& world = sim.runtime().world();
+      const Bytes block = 64 * 1024;
+      const auto blk = static_cast<std::size_t>(block);
+      std::vector<std::byte> send(8 * blk), recv(8 * blk);
+      co_await alltoall(self, world, send, recv, block, {.scheme = scheme});
+      done = self.engine().now();
+    };
+    EXPECT_TRUE(run_all(sim, body).all_tasks_finished);
+    // Every core must be restored to fmax / T0 afterwards.
+    for (int r = 0; r < topo.ranks; ++r) {
+      const auto core = sim.runtime().placement().core_of(r);
+      EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+      EXPECT_EQ(sim.machine().throttle(core), 0);
+    }
+    return done;
+  };
+
+  const TimePoint base = time_with(PowerScheme::kNone);
+  const TimePoint dvfs = time_with(PowerScheme::kFreqScaling);
+  EXPECT_GT(dvfs.ns(), base.ns());
+  // Paper Fig 7a: overhead is bounded (~10-15 %, allow slack).
+  EXPECT_LT(dvfs.us(), base.us() * 1.35);
+}
+
+}  // namespace
+}  // namespace pacc::coll

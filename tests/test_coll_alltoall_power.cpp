@@ -1,0 +1,187 @@
+// Tests for the §V-A power-aware Alltoall machinery: tournament pairing,
+// applicability rules, throttle behaviour during the schedule.
+#include "coll/alltoall_power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "coll/alltoall.hpp"
+#include "hw/power.hpp"
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+TEST(Tournament, RoundsCount) {
+  EXPECT_EQ(tournament_rounds(2), 1);
+  EXPECT_EQ(tournament_rounds(4), 3);
+  EXPECT_EQ(tournament_rounds(8), 7);
+  EXPECT_EQ(tournament_rounds(3), 3);
+  EXPECT_EQ(tournament_rounds(5), 5);
+}
+
+TEST(Tournament, PerfectMatchingEveryRoundEvenN) {
+  for (const int N : {2, 4, 6, 8}) {
+    for (int round = 0; round < tournament_rounds(N); ++round) {
+      std::set<int> seen;
+      for (int i = 0; i < N; ++i) {
+        const int p = tournament_peer(i, round, N);
+        ASSERT_GE(p, 0) << "no byes allowed for even N";
+        ASSERT_NE(p, i);
+        EXPECT_EQ(tournament_peer(p, round, N), i) << "pairing not symmetric";
+        seen.insert(i);
+        seen.insert(p);
+      }
+      EXPECT_EQ(static_cast<int>(seen.size()), N);
+    }
+  }
+}
+
+TEST(Tournament, OddNHasOneByePerRound) {
+  for (const int N : {3, 5, 7}) {
+    for (int round = 0; round < tournament_rounds(N); ++round) {
+      int byes = 0;
+      for (int i = 0; i < N; ++i) {
+        const int p = tournament_peer(i, round, N);
+        if (p < 0) {
+          ++byes;
+        } else {
+          EXPECT_EQ(tournament_peer(p, round, N), i);
+        }
+      }
+      EXPECT_EQ(byes, 1);
+    }
+  }
+}
+
+TEST(Tournament, EveryPairMeetsExactlyOnce) {
+  for (const int N : {2, 3, 4, 5, 8}) {
+    std::set<std::pair<int, int>> met;
+    for (int round = 0; round < tournament_rounds(N); ++round) {
+      for (int i = 0; i < N; ++i) {
+        const int p = tournament_peer(i, round, N);
+        if (p > i) {
+          const auto [it, inserted] = met.insert({i, p});
+          EXPECT_TRUE(inserted)
+              << "pair (" << i << "," << p << ") met twice, N=" << N;
+        }
+      }
+    }
+    EXPECT_EQ(static_cast<int>(met.size()), N * (N - 1) / 2);
+  }
+}
+
+TEST(Applicability, RequiresMultipleNodesAndUniformPpn) {
+  // 8 ranks/node bunch populates both sockets → applicable.
+  Simulation multi(test::small_cluster(2, 16, 8));
+  EXPECT_TRUE(power_aware_alltoall_applicable(multi.runtime().world()));
+
+  Simulation single(test::small_cluster(1, 8, 8));
+  EXPECT_FALSE(power_aware_alltoall_applicable(single.runtime().world()));
+
+  Simulation uneven(test::small_cluster(2, 16, 8));
+  auto& comm = uneven.runtime().create_comm({0, 1, 2, 3, 4});
+  EXPECT_FALSE(power_aware_alltoall_applicable(comm));
+}
+
+TEST(PowerAwareAlltoall, ThrottlesHalfTheCoresDuringExchange) {
+  // 2 nodes × 8 ranks: sockets A and B both populated. During the proposed
+  // alltoall every rank must accumulate nonzero throttled time, and all
+  // cores must end at T0.
+  ClusterConfig cfg = test::small_cluster(2, 16, 8);
+  Simulation sim(cfg);
+  const Bytes block = 64 * 1024;
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const auto blk = static_cast<std::size_t>(block);
+    std::vector<std::byte> send(16 * blk), recv(16 * blk);
+    co_await alltoall(self, world, send, recv, block,
+                      {.scheme = PowerScheme::kProposed});
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+
+  for (int r = 0; r < 16; ++r) {
+    const auto core = sim.runtime().placement().core_of(r);
+    EXPECT_EQ(sim.machine().throttle(core), 0) << "rank " << r;
+    EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+    const auto stats = sim.machine().core_stats(core);
+    EXPECT_GT(stats.throttled_time.ns(), 0)
+        << "rank " << r << " never spent time throttled";
+  }
+}
+
+TEST(PowerAwareAlltoall, SavesEnergyVersusFreqScaling) {
+  ClusterConfig cfg = test::small_cluster(2, 16, 8);
+  const Bytes block = 128 * 1024;
+
+  auto energy_with = [&](PowerScheme scheme) {
+    Simulation sim(cfg);
+    auto body = [&](mpi::Rank& self) -> sim::Task<> {
+      mpi::Comm& world = sim.runtime().world();
+      const auto blk = static_cast<std::size_t>(block);
+      std::vector<std::byte> send(16 * blk), recv(16 * blk);
+      for (int i = 0; i < 4; ++i) {
+        co_await alltoall(self, world, send, recv, block, {.scheme = scheme});
+      }
+    };
+    EXPECT_TRUE(test::run_all(sim, body).all_tasks_finished);
+    return sim.machine().total_energy();
+  };
+
+  const Joules none = energy_with(PowerScheme::kNone);
+  const Joules dvfs = energy_with(PowerScheme::kFreqScaling);
+  const Joules proposed = energy_with(PowerScheme::kProposed);
+  EXPECT_LT(dvfs, none);
+  EXPECT_LT(proposed, dvfs);
+}
+
+TEST(PowerAwareAlltoall, EmptySocketBFallsBackToDvfs) {
+  // 4 ranks/node bunch → socket B empty: the §V-A schedule has nothing to
+  // alternate (§V-C), so the dispatcher must fall back to per-call DVFS
+  // over the default algorithm — and still complete correctly.
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  Simulation sim(cfg);
+  EXPECT_FALSE(power_aware_alltoall_applicable(sim.runtime().world()));
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const Bytes block = 4096;
+    std::vector<std::byte> send(8 * 4096), recv(8 * 4096);
+    co_await alltoall(self, world, send, recv, block,
+                      {.scheme = PowerScheme::kProposed});
+  };
+  EXPECT_TRUE(test::run_all(sim, body).all_tasks_finished);
+}
+
+TEST(PowerAwareAlltoall, ScatterAffinityKeepsScheduleApplicable) {
+  // With scatter affinity even 4 ranks/node populate both sockets, so the
+  // §V-A schedule applies — the paper's point that the algorithms depend
+  // on the process-to-core mapping (§V-C).
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  cfg.affinity = hw::AffinityPolicy::kScatter;
+  Simulation sim(cfg);
+  EXPECT_TRUE(power_aware_alltoall_applicable(sim.runtime().world()));
+}
+
+TEST(PowerAwareAlltoall, CoreLevelThrottlingAlsoCompletes) {
+  ClusterConfig cfg = test::small_cluster(2, 16, 8);
+  cfg.core_level_throttling = true;
+  Simulation sim(cfg);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const Bytes block = 16 * 1024;
+    const auto blk = static_cast<std::size_t>(block);
+    std::vector<std::byte> send(16 * blk), recv(16 * blk);
+    co_await alltoall(self, world, send, recv, block,
+                      {.scheme = PowerScheme::kProposed});
+  };
+  EXPECT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(sim.machine().throttle(sim.runtime().placement().core_of(r)), 0);
+  }
+}
+
+}  // namespace
+}  // namespace pacc::coll

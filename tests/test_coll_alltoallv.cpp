@@ -1,0 +1,125 @@
+#include "coll/alltoallv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+
+/// Deterministic segment size for data src -> dst (multiple of 8).
+Bytes segment(int src, int dst, int P) {
+  return 8 * (1 + (src * 7 + dst * 13) % (P + 3));
+}
+
+void verify_alltoallv(int nodes, int ranks, int ppn, PowerScheme scheme) {
+  ClusterConfig cfg = test::small_cluster(nodes, ranks, ppn);
+  Simulation sim(cfg);
+  const int P = ranks;
+  std::vector<int> ok(static_cast<std::size_t>(P), 0);
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<Bytes> send_counts(static_cast<std::size_t>(P));
+    std::vector<Bytes> recv_counts(static_cast<std::size_t>(P));
+    for (int peer = 0; peer < P; ++peer) {
+      send_counts[static_cast<std::size_t>(peer)] = segment(me, peer, P);
+      recv_counts[static_cast<std::size_t>(peer)] = segment(peer, me, P);
+    }
+    const auto send_total = static_cast<std::size_t>(
+        std::accumulate(send_counts.begin(), send_counts.end(), Bytes{0}));
+    const auto recv_total = static_cast<std::size_t>(
+        std::accumulate(recv_counts.begin(), recv_counts.end(), Bytes{0}));
+    std::vector<std::byte> send(send_total), recv(recv_total);
+
+    std::size_t off = 0;
+    for (int dst = 0; dst < P; ++dst) {
+      const auto n = static_cast<std::size_t>(
+          send_counts[static_cast<std::size_t>(dst)]);
+      fill_pattern(std::span(send).subspan(off, n), me, dst);
+      off += n;
+    }
+
+    co_await alltoallv(self, world, send, send_counts, recv, recv_counts,
+                       {.scheme = scheme});
+
+    bool good = true;
+    off = 0;
+    for (int src = 0; src < P; ++src) {
+      const auto n = static_cast<std::size_t>(
+          recv_counts[static_cast<std::size_t>(src)]);
+      good = good && check_pattern(
+                         std::span<const std::byte>(recv).subspan(off, n),
+                         src, me);
+      off += n;
+    }
+    ok[static_cast<std::size_t>(me)] = good;
+  };
+
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+}
+
+class AlltoallvCorrectness
+    : public ::testing::TestWithParam<PowerScheme> {};
+
+TEST_P(AlltoallvCorrectness, Pow2Topology) {
+  verify_alltoallv(2, 8, 4, GetParam());
+}
+
+TEST_P(AlltoallvCorrectness, TwoSocketTopology) {
+  verify_alltoallv(2, 16, 8, GetParam());
+}
+
+TEST_P(AlltoallvCorrectness, NonPow2Ranks) {
+  verify_alltoallv(3, 6, 2, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AlltoallvCorrectness,
+                         ::testing::Values(PowerScheme::kNone,
+                                           PowerScheme::kFreqScaling,
+                                           PowerScheme::kProposed),
+                         [](const auto& info) {
+                           return test::scheme_tag(info.param);
+                         });
+
+TEST(Alltoallv, ZeroSizedSegmentsAllowed) {
+  ClusterConfig cfg = test::small_cluster(2, 4, 2);
+  Simulation sim(cfg);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    const int P = world.size();
+    // Only even->odd pairs move data; everything else is empty.
+    std::vector<Bytes> send_counts(static_cast<std::size_t>(P), 0);
+    std::vector<Bytes> recv_counts(static_cast<std::size_t>(P), 0);
+    for (int peer = 0; peer < P; ++peer) {
+      if (me % 2 == 0 && peer % 2 == 1) {
+        send_counts[static_cast<std::size_t>(peer)] = 64;
+      }
+      if (me % 2 == 1 && peer % 2 == 0) {
+        recv_counts[static_cast<std::size_t>(peer)] = 64;
+      }
+    }
+    std::vector<std::byte> send(
+        static_cast<std::size_t>(std::accumulate(
+            send_counts.begin(), send_counts.end(), Bytes{0})));
+    std::vector<std::byte> recv(
+        static_cast<std::size_t>(std::accumulate(
+            recv_counts.begin(), recv_counts.end(), Bytes{0})));
+    co_await alltoallv(self, world, send, send_counts, recv, recv_counts, {});
+  };
+  EXPECT_TRUE(test::run_all(sim, body).all_tasks_finished);
+}
+
+}  // namespace
+}  // namespace pacc::coll

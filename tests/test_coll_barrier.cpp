@@ -1,0 +1,89 @@
+#include "coll/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+TEST(Barrier, NoRankLeavesBeforeLastArrives) {
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  Simulation sim(cfg);
+  std::vector<std::int64_t> arrivals(8), departures(8);
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    // Stagger arrivals: last rank shows up 1 ms late.
+    co_await self.engine().delay(Duration::micros(me == 7 ? 1000 : 10));
+    arrivals[static_cast<std::size_t>(me)] = self.engine().now().ns();
+    co_await barrier(self, world);
+    departures[static_cast<std::size_t>(me)] = self.engine().now().ns();
+  };
+
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  const std::int64_t last_arrival =
+      *std::max_element(arrivals.begin(), arrivals.end());
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_GE(departures[static_cast<std::size_t>(r)], last_arrival)
+        << "rank " << r << " left the barrier early";
+  }
+}
+
+TEST(Barrier, WorksForNonPow2) {
+  ClusterConfig cfg = test::small_cluster(3, 6, 2);
+  Simulation sim(cfg);
+  int done = 0;
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    co_await barrier(self, world);
+    ++done;
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  EXPECT_EQ(done, 6);
+}
+
+TEST(Barrier, SingleRankReturnsImmediately) {
+  ClusterConfig cfg = test::small_cluster(1, 1, 1);
+  Simulation sim(cfg);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    co_await barrier(self, sim.runtime().world());
+  };
+  EXPECT_TRUE(test::run_all(sim, body).all_tasks_finished);
+}
+
+TEST(Barrier, RepeatedBarriersStayMatched) {
+  ClusterConfig cfg = test::small_cluster(2, 4, 2);
+  Simulation sim(cfg);
+  std::vector<int> rounds(4, 0);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    for (int i = 0; i < 5; ++i) {
+      co_await self.engine().delay(Duration::micros((me + 1) * 3));
+      co_await barrier(self, world);
+      ++rounds[static_cast<std::size_t>(me)];
+    }
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(rounds[static_cast<std::size_t>(r)], 5);
+}
+
+TEST(Barrier, PowerSchemesComplete) {
+  for (const auto scheme :
+       {PowerScheme::kFreqScaling, PowerScheme::kProposed}) {
+    ClusterConfig cfg = test::small_cluster(2, 8, 4);
+    Simulation sim(cfg);
+    auto body = [&](mpi::Rank& self) -> sim::Task<> {
+      co_await barrier(self, sim.runtime().world(), {.scheme = scheme});
+    };
+    EXPECT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  }
+}
+
+}  // namespace
+}  // namespace pacc::coll

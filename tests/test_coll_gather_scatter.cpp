@@ -1,0 +1,138 @@
+#include "coll/gather_scatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+
+void verify_scatter(int nodes, int ranks, int ppn, Bytes block, int root) {
+  ClusterConfig cfg = test::small_cluster(nodes, ranks, ppn);
+  Simulation sim(cfg);
+  std::vector<int> ok(static_cast<std::size_t>(ranks), 0);
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    const auto blk = static_cast<std::size_t>(block);
+    std::vector<std::byte> send;
+    if (me == root) {
+      send.resize(static_cast<std::size_t>(ranks) * blk);
+      for (int dst = 0; dst < ranks; ++dst) {
+        fill_pattern(std::span(send).subspan(
+                         static_cast<std::size_t>(dst) * blk, blk),
+                     root, dst);
+      }
+    }
+    std::vector<std::byte> recv(blk);
+    co_await scatter_binomial(self, world, send, recv, block, root);
+    ok[static_cast<std::size_t>(me)] = check_pattern(recv, root, me);
+  };
+
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+}
+
+void verify_gather(int nodes, int ranks, int ppn, Bytes block, int root) {
+  ClusterConfig cfg = test::small_cluster(nodes, ranks, ppn);
+  Simulation sim(cfg);
+  bool root_ok = false;
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    const auto blk = static_cast<std::size_t>(block);
+    std::vector<std::byte> send(blk);
+    fill_pattern(send, me, root);
+    std::vector<std::byte> recv;
+    if (me == root) recv.resize(static_cast<std::size_t>(ranks) * blk);
+    co_await gather_binomial(self, world, send, recv, block, root);
+    if (me == root) {
+      bool good = true;
+      for (int src = 0; src < ranks; ++src) {
+        good = good && check_pattern(
+                           std::span<const std::byte>(recv).subspan(
+                               static_cast<std::size_t>(src) * blk, blk),
+                           src, root);
+      }
+      root_ok = good;
+    }
+  };
+
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  EXPECT_TRUE(root_ok);
+}
+
+class GatherScatterShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(GatherScatterShapes, ScatterDeliversPerRankBlocks) {
+  const auto& [nodes, ranks, ppn, root] = GetParam();
+  verify_scatter(nodes, ranks, ppn, 512, root % ranks);
+}
+
+TEST_P(GatherScatterShapes, GatherAssemblesAtRoot) {
+  const auto& [nodes, ranks, ppn, root] = GetParam();
+  verify_gather(nodes, ranks, ppn, 512, root % ranks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GatherScatterShapes,
+    ::testing::Values(std::make_tuple(2, 4, 2, 0),
+                      std::make_tuple(2, 8, 4, 3),
+                      std::make_tuple(4, 16, 4, 7),
+                      std::make_tuple(3, 9, 3, 4),   // non-pow2
+                      std::make_tuple(3, 6, 2, 5),
+                      std::make_tuple(1, 5, 5, 2)),  // single node, odd P
+    [](const auto& info) {
+      const int nodes = std::get<0>(info.param);
+      const int ranks = std::get<1>(info.param);
+      const int ppn = std::get<2>(info.param);
+      const int root = std::get<3>(info.param);
+      return std::to_string(nodes) + "n" + std::to_string(ranks) + "r" +
+             std::to_string(ppn) + "p_root" + std::to_string(root % ranks);
+    });
+
+TEST(GatherScatter, RoundTripIsIdentity) {
+  // scatter then gather must reproduce the root's buffer.
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  Simulation sim(cfg);
+  const Bytes block = 256;
+  bool ok = false;
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    const auto blk = static_cast<std::size_t>(block);
+    std::vector<std::byte> root_buf;
+    if (me == 0) {
+      root_buf.resize(8 * blk);
+      for (int dst = 0; dst < 8; ++dst) {
+        fill_pattern(std::span(root_buf).subspan(
+                         static_cast<std::size_t>(dst) * blk, blk),
+                     42, dst);
+      }
+    }
+    std::vector<std::byte> mine(blk);
+    co_await scatter_binomial(self, world, root_buf, mine, block, 0);
+    std::vector<std::byte> gathered;
+    if (me == 0) gathered.resize(8 * blk);
+    co_await gather_binomial(self, world, mine, gathered, block, 0);
+    if (me == 0) ok = (gathered == root_buf);
+  };
+
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace pacc::coll

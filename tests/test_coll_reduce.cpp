@@ -1,0 +1,150 @@
+#include "coll/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+/// Element j of rank r's contribution.
+double element(int rank, std::size_t j) {
+  return static_cast<double>(rank + 1) * 0.5 + static_cast<double>(j);
+}
+
+std::vector<std::byte> contribution(int rank, std::size_t elements) {
+  std::vector<std::byte> buf(elements * sizeof(double));
+  auto* d = reinterpret_cast<double*>(buf.data());
+  for (std::size_t j = 0; j < elements; ++j) d[j] = element(rank, j);
+  return buf;
+}
+
+double expected_sum(int ranks, std::size_t j) {
+  double s = 0.0;
+  for (int r = 0; r < ranks; ++r) s += element(r, j);
+  return s;
+}
+
+void verify_reduce(int nodes, int ranks, int ppn, std::size_t elements,
+                   int root, const ReduceOptions& options) {
+  ClusterConfig cfg = test::small_cluster(nodes, ranks, ppn);
+  Simulation sim(cfg);
+  std::vector<double> result(elements, 0.0);
+  bool root_ran = false;
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    const auto send = contribution(me, elements);
+    std::vector<std::byte> recv(send.size());
+    co_await reduce(self, world, send, recv, root, options);
+    if (me == root) {
+      std::memcpy(result.data(), recv.data(), recv.size());
+      root_ran = true;
+    }
+  };
+
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  ASSERT_TRUE(root_ran);
+  for (std::size_t j = 0; j < elements; ++j) {
+    switch (options.op) {
+      case ReduceOp::kSum:
+        EXPECT_NEAR(result[j], expected_sum(ranks, j), 1e-9) << "elem " << j;
+        break;
+      case ReduceOp::kMax:
+        EXPECT_DOUBLE_EQ(result[j], element(ranks - 1, j));
+        break;
+      case ReduceOp::kMin:
+        EXPECT_DOUBLE_EQ(result[j], element(0, j));
+        break;
+    }
+  }
+}
+
+struct Topo {
+  int nodes, ranks, ppn;
+};
+
+class ReduceCorrectness
+    : public ::testing::TestWithParam<
+          std::tuple<Topo, std::size_t, int, PowerScheme>> {};
+
+TEST_P(ReduceCorrectness, SumsToRoot) {
+  const auto& [topo, elements, root, scheme] = GetParam();
+  verify_reduce(topo.nodes, topo.ranks, topo.ppn, elements,
+                root % topo.ranks, {.scheme = scheme, .op = ReduceOp::kSum});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReduceCorrectness,
+    ::testing::Combine(
+        ::testing::Values(Topo{2, 4, 2}, Topo{4, 16, 4}, Topo{2, 16, 8},
+                          Topo{3, 9, 3}),
+        ::testing::Values(std::size_t{1}, std::size_t{64}, std::size_t{4096}),
+        ::testing::Values(0, 3),
+        ::testing::Values(PowerScheme::kNone, PowerScheme::kFreqScaling,
+                          PowerScheme::kProposed)),
+    [](const auto& info) {
+      const Topo topo = std::get<0>(info.param);
+      return std::to_string(topo.nodes) + "n" + std::to_string(topo.ranks) +
+             "r_" + std::to_string(std::get<1>(info.param)) + "e_root" +
+             std::to_string(std::get<2>(info.param) % topo.ranks) + "_" +
+             test::scheme_tag(std::get<3>(info.param));
+    });
+
+TEST(ReduceOps, MaxAndMin) {
+  verify_reduce(2, 8, 4, 32, 0, {.op = ReduceOp::kMax});
+  verify_reduce(2, 8, 4, 32, 0, {.op = ReduceOp::kMin});
+}
+
+TEST(ReduceBinomial, WorksOnFlatComm) {
+  verify_reduce(1, 8, 8, 16, 2, {});
+}
+
+TEST(ReducePower, RestoresCoreStates) {
+  ClusterConfig cfg = test::small_cluster(2, 16, 8);
+  Simulation sim(cfg);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const auto send = contribution(self.id(), 1024);
+    std::vector<std::byte> recv(send.size());
+    co_await reduce(self, world, send, recv, 0,
+                    {.scheme = PowerScheme::kProposed});
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < 16; ++r) {
+    const auto core = sim.runtime().placement().core_of(r);
+    EXPECT_EQ(sim.machine().throttle(core), 0);
+    EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+  }
+}
+
+TEST(ReduceBytes, ElementwiseOperators) {
+  std::vector<std::byte> a(2 * sizeof(double)), b(2 * sizeof(double));
+  auto* da = reinterpret_cast<double*>(a.data());
+  auto* db = reinterpret_cast<double*>(b.data());
+  da[0] = 1.0;
+  da[1] = 9.0;
+  db[0] = 5.0;
+  db[1] = 2.0;
+  reduce_bytes(ReduceOp::kSum, a, b);
+  EXPECT_DOUBLE_EQ(da[0], 6.0);
+  EXPECT_DOUBLE_EQ(da[1], 11.0);
+  da[0] = 1.0;
+  da[1] = 9.0;
+  reduce_bytes(ReduceOp::kMax, a, b);
+  EXPECT_DOUBLE_EQ(da[0], 5.0);
+  EXPECT_DOUBLE_EQ(da[1], 9.0);
+  da[0] = 1.0;
+  da[1] = 9.0;
+  reduce_bytes(ReduceOp::kMin, a, b);
+  EXPECT_DOUBLE_EQ(da[0], 1.0);
+  EXPECT_DOUBLE_EQ(da[1], 2.0);
+}
+
+}  // namespace
+}  // namespace pacc::coll

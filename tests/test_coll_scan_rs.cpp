@@ -1,0 +1,264 @@
+// Tests for MPI_Scan, MPI_Reduce_scatter_block, Rabenseifner's allreduce,
+// and the v-variants (Allgatherv, Scatterv, Gatherv).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "coll/allgather.hpp"
+#include "coll/allreduce.hpp"
+#include "coll/gather_scatter.hpp"
+#include "coll/reduce_scatter.hpp"
+#include "coll/scan.hpp"
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+using test::run_all;
+
+double element(int rank, std::size_t j) {
+  return static_cast<double>(rank + 1) + static_cast<double>(j) * 0.125;
+}
+
+// ---------------------------------------------------------------- Scan ----
+
+class ScanShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(ScanShapes, InclusivePrefixSum) {
+  const auto [nodes, ranks, ppn] = GetParam();
+  Simulation sim(test::small_cluster(nodes, ranks, ppn));
+  const std::size_t elements = 64;
+  std::vector<int> ok(static_cast<std::size_t>(ranks), 0);
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send(elements * sizeof(double));
+    auto* d = reinterpret_cast<double*>(send.data());
+    for (std::size_t j = 0; j < elements; ++j) d[j] = element(me, j);
+    std::vector<std::byte> recv(send.size());
+    co_await scan(self, world, send, recv, {});
+    const auto* out = reinterpret_cast<const double*>(recv.data());
+    bool good = true;
+    for (std::size_t j = 0; j < elements; ++j) {
+      double expect = 0.0;
+      for (int r = 0; r <= me; ++r) expect += element(r, j);
+      if (std::abs(out[j] - expect) > 1e-9) good = false;
+    }
+    ok[static_cast<std::size_t>(me)] = good;
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ScanShapes,
+                         ::testing::Values(std::make_tuple(2, 8, 4),
+                                           std::make_tuple(3, 9, 3),
+                                           std::make_tuple(1, 5, 5),
+                                           std::make_tuple(1, 1, 1)),
+                         [](const auto& info) {
+                           return std::to_string(std::get<1>(info.param)) +
+                                  "ranks";
+                         });
+
+TEST(Scan, MaxOperator) {
+  Simulation sim(test::small_cluster(2, 4, 2));
+  std::vector<int> ok(4, 0);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send(sizeof(double)), recv(sizeof(double));
+    // Values decrease with rank, so the prefix max is always rank 0's.
+    *reinterpret_cast<double*>(send.data()) = 100.0 - me;
+    co_await scan(self, world, send, recv, {.op = ReduceOp::kMax});
+    ok[static_cast<std::size_t>(me)] =
+        *reinterpret_cast<double*>(recv.data()) == 100.0;
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1);
+}
+
+// ------------------------------------------------------ Reduce-scatter ----
+
+void verify_reduce_scatter(int nodes, int ranks, int ppn) {
+  Simulation sim(test::small_cluster(nodes, ranks, ppn));
+  const Bytes block = 128;  // 16 doubles
+  const auto blk = static_cast<std::size_t>(block);
+  std::vector<int> ok(static_cast<std::size_t>(ranks), 0);
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send(static_cast<std::size_t>(ranks) * blk);
+    auto* d = reinterpret_cast<double*>(send.data());
+    const std::size_t per_block = blk / sizeof(double);
+    for (int b = 0; b < ranks; ++b) {
+      for (std::size_t j = 0; j < per_block; ++j) {
+        d[static_cast<std::size_t>(b) * per_block + j] =
+            element(me, j) * (b + 1);
+      }
+    }
+    std::vector<std::byte> recv(blk);
+    co_await reduce_scatter(self, world, send, recv, block, {});
+    const auto* out = reinterpret_cast<const double*>(recv.data());
+    bool good = true;
+    for (std::size_t j = 0; j < per_block; ++j) {
+      double expect = 0.0;
+      for (int r = 0; r < ranks; ++r) expect += element(r, j) * (me + 1);
+      if (std::abs(out[j] - expect) > 1e-9) good = false;
+    }
+    ok[static_cast<std::size_t>(me)] = good;
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+}
+
+TEST(ReduceScatter, Pow2UsesRecursiveHalving) {
+  verify_reduce_scatter(2, 8, 4);
+  verify_reduce_scatter(2, 16, 8);
+}
+
+TEST(ReduceScatter, NonPow2Fallback) {
+  verify_reduce_scatter(3, 6, 2);
+  verify_reduce_scatter(1, 5, 5);
+}
+
+// ------------------------------------------------------- Rabenseifner ----
+
+TEST(Rabenseifner, MatchesRecursiveDoubling) {
+  Simulation sim(test::small_cluster(2, 8, 4));
+  const std::size_t elements = 128;  // 8 ranks × 16 doubles
+  std::vector<int> ok(8, 0);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send(elements * sizeof(double));
+    auto* d = reinterpret_cast<double*>(send.data());
+    for (std::size_t j = 0; j < elements; ++j) d[j] = element(me, j);
+    std::vector<std::byte> a(send.size()), b(send.size());
+    co_await allreduce_rabenseifner(self, world, send, a, ReduceOp::kSum);
+    co_await allreduce_recursive_doubling(self, world, send, b,
+                                          ReduceOp::kSum);
+    ok[static_cast<std::size_t>(me)] = (a == b);
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1);
+}
+
+TEST(Rabenseifner, MovesFewerBytesThanRecursiveDoublingOnLargeVectors) {
+  auto bytes_moved = [](bool rabenseifner) {
+    Simulation sim(test::small_cluster(2, 8, 4));
+    auto body = [&, rabenseifner](mpi::Rank& self) -> sim::Task<> {
+      mpi::Comm& world = sim.runtime().world();
+      std::vector<std::byte> send(1 << 20), recv(1 << 20);
+      if (rabenseifner) {
+        co_await allreduce_rabenseifner(self, world, send, recv,
+                                        ReduceOp::kSum);
+      } else {
+        co_await allreduce_recursive_doubling(self, world, send, recv,
+                                              ReduceOp::kSum);
+      }
+    };
+    EXPECT_TRUE(test::run_all(sim, body).all_tasks_finished);
+    return sim.network().bytes_delivered();
+  };
+  // 2·(P-1)/P ≈ 1.75·M per rank vs log2(8) = 3·M per rank.
+  EXPECT_LT(bytes_moved(true), bytes_moved(false));
+}
+
+// -------------------------------------------------------- v-variants ----
+
+Bytes seg(int rank) { return 8 * (1 + rank % 5); }
+
+TEST(Allgatherv, VariableSegmentsAssembleInOrder) {
+  const int ranks = 8;
+  Simulation sim(test::small_cluster(2, ranks, 4));
+  std::vector<int> ok(static_cast<std::size_t>(ranks), 0);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<Bytes> counts(static_cast<std::size_t>(ranks));
+    std::size_t total = 0;
+    for (int r = 0; r < ranks; ++r) {
+      counts[static_cast<std::size_t>(r)] = seg(r);
+      total += static_cast<std::size_t>(seg(r));
+    }
+    std::vector<std::byte> send(static_cast<std::size_t>(seg(me)));
+    fill_pattern(send, me, 0);
+    std::vector<std::byte> recv(total);
+    co_await allgatherv_ring(self, world, send, recv, counts);
+    bool good = true;
+    std::size_t off = 0;
+    for (int r = 0; r < ranks; ++r) {
+      const auto n = static_cast<std::size_t>(seg(r));
+      good = good &&
+             check_pattern(std::span<const std::byte>(recv).subspan(off, n),
+                           r, 0);
+      off += n;
+    }
+    ok[static_cast<std::size_t>(me)] = good;
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+}
+
+TEST(ScattervGatherv, RoundTripIsIdentity) {
+  const int ranks = 6;
+  Simulation sim(test::small_cluster(3, ranks, 2));
+  bool ok = false;
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<Bytes> counts(static_cast<std::size_t>(ranks));
+    std::size_t total = 0;
+    for (int r = 0; r < ranks; ++r) {
+      counts[static_cast<std::size_t>(r)] = seg(r);
+      total += static_cast<std::size_t>(seg(r));
+    }
+    std::vector<std::byte> root_buf;
+    if (me == 2) {
+      root_buf.resize(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        root_buf[i] = static_cast<std::byte>(i & 0xFF);
+      }
+    }
+    std::vector<std::byte> mine(static_cast<std::size_t>(seg(me)));
+    co_await scatterv_linear(self, world, root_buf, mine, counts, 2);
+    std::vector<std::byte> assembled;
+    if (me == 2) assembled.resize(total);
+    co_await gatherv_linear(self, world, mine, assembled, counts, 2);
+    if (me == 2) ok = (assembled == root_buf);
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  EXPECT_TRUE(ok);
+}
+
+TEST(ScattervGatherv, ZeroCountsAllowed) {
+  const int ranks = 4;
+  Simulation sim(test::small_cluster(2, ranks, 2));
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<Bytes> counts{0, 64, 0, 32};
+    std::vector<std::byte> root_buf;
+    if (me == 0) root_buf.resize(96);
+    std::vector<std::byte> mine(
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(me)]));
+    co_await scatterv_linear(self, world, root_buf, mine, counts, 0);
+  };
+  EXPECT_TRUE(run_all(sim, body).all_tasks_finished);
+}
+
+}  // namespace
+}  // namespace pacc::coll

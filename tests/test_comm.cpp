@@ -1,0 +1,127 @@
+#include "mpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpi/message.hpp"
+#include "test_support.hpp"
+
+namespace pacc::mpi {
+namespace {
+
+TEST(Comm, WorldCoversAllRanks) {
+  Simulation sim(test::small_cluster(4, 16, 4));
+  Comm& world = sim.runtime().world();
+  EXPECT_EQ(world.size(), 16);
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(world.global_rank(r), r);
+    EXPECT_EQ(world.comm_rank_of(r), r);
+  }
+  EXPECT_EQ(world.comm_rank_of(99), -1);
+}
+
+TEST(Comm, NodeStructure) {
+  Simulation sim(test::small_cluster(4, 16, 4));
+  Comm& world = sim.runtime().world();
+  ASSERT_EQ(world.nodes().size(), 4u);
+  EXPECT_TRUE(world.uniform_ppn());
+  EXPECT_EQ(world.ranks_per_node(), 4);
+  for (int n = 0; n < 4; ++n) {
+    const auto& members = world.members_on_node(n);
+    ASSERT_EQ(members.size(), 4u);
+    EXPECT_EQ(world.leader_of(n), members.front());
+    EXPECT_EQ(world.node_index(n), n);
+  }
+  EXPECT_TRUE(world.is_leader(0));
+  EXPECT_FALSE(world.is_leader(1));
+  EXPECT_TRUE(world.is_leader(4));
+}
+
+TEST(Comm, SocketGroupsFollowBunchAffinity) {
+  // 8 ranks/node with bunch affinity: ranks 0-3 socket A, 4-7 socket B.
+  Simulation sim(test::small_cluster(2, 16, 8));
+  Comm& world = sim.runtime().world();
+  const auto& group_a = world.socket_group(0, 0);
+  const auto& group_b = world.socket_group(0, 1);
+  EXPECT_EQ(group_a, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(group_b, (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(Comm, SocketGroupEmptyWhenUnpopulated) {
+  // 4 ranks/node bunch → all on socket A; socket B group is empty.
+  Simulation sim(test::small_cluster(2, 8, 4));
+  Comm& world = sim.runtime().world();
+  EXPECT_EQ(world.socket_group(0, 0).size(), 4u);
+  EXPECT_TRUE(world.socket_group(0, 1).empty());
+}
+
+TEST(Comm, LeaderCommContainsOneRankPerNode) {
+  Simulation sim(test::small_cluster(4, 16, 4));
+  Comm& world = sim.runtime().world();
+  Comm& leaders = world.leader_comm();
+  EXPECT_EQ(leaders.size(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(leaders.global_rank(i), i * 4);
+  }
+  // Cached: same object on second call.
+  EXPECT_EQ(&world.leader_comm(), &leaders);
+}
+
+TEST(Comm, NodeCommContainsLocalRanks) {
+  Simulation sim(test::small_cluster(4, 16, 4));
+  Comm& world = sim.runtime().world();
+  Comm& node1 = world.node_comm(1);
+  EXPECT_EQ(node1.size(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(node1.global_rank(i), 4 + i);
+  }
+  EXPECT_EQ(&world.node_comm(1), &node1);
+}
+
+TEST(Comm, SubCommRanksAreRelative) {
+  Simulation sim(test::small_cluster(4, 16, 4));
+  Comm& node2 = sim.runtime().world().node_comm(2);
+  EXPECT_EQ(node2.comm_rank_of(8), 0);
+  EXPECT_EQ(node2.comm_rank_of(11), 3);
+  EXPECT_EQ(node2.comm_rank_of(0), -1);
+}
+
+TEST(Comm, CollectiveTagsMatchAcrossRanksAndAdvance) {
+  Simulation sim(test::small_cluster(2, 4, 2));
+  Comm& world = sim.runtime().world();
+  const int t0_rank0 = world.begin_collective(0);
+  const int t0_rank1 = world.begin_collective(1);
+  EXPECT_EQ(t0_rank0, t0_rank1);
+  EXPECT_GE(t0_rank0, kCollectiveTagBase);
+  const int t1_rank0 = world.begin_collective(0);
+  EXPECT_EQ(t1_rank0, t0_rank0 + 1);
+}
+
+TEST(Comm, NodeBarrierSynchronisesLocalRanks) {
+  Simulation sim(test::small_cluster(2, 8, 4));
+  auto& world = sim.runtime().world();
+  std::vector<std::int64_t> releases;
+  auto result = test::run_all(sim, [&](Rank& r) -> sim::Task<> {
+    co_await r.engine().delay(Duration::micros(r.id() * 10));
+    co_await world.node_barrier(r.node()).arrive_and_wait();
+    if (r.node() == 0) releases.push_back(r.engine().now().ns());
+  });
+  EXPECT_TRUE(result.all_tasks_finished);
+  ASSERT_EQ(releases.size(), 4u);
+  for (auto t : releases) EXPECT_EQ(t, releases.front());
+}
+
+TEST(Comm, NonUniformPpnDetected) {
+  Simulation sim(test::small_cluster(2, 8, 4));
+  // 5 ranks over 2 nodes: 4 + 1.
+  Comm& uneven = sim.runtime().create_comm({0, 1, 2, 3, 4});
+  EXPECT_FALSE(uneven.uniform_ppn());
+  EXPECT_EQ(uneven.nodes().size(), 2u);
+}
+
+TEST(CommDeath, RejectsDuplicateMembers) {
+  Simulation sim(test::small_cluster(2, 4, 2));
+  EXPECT_DEATH(sim.runtime().create_comm({0, 1, 1}), "duplicate");
+}
+
+}  // namespace
+}  // namespace pacc::mpi

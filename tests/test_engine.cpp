@@ -1,0 +1,100 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pacc::sim {
+namespace {
+
+TEST(Engine, StartsAtOrigin) {
+  Engine e;
+  EXPECT_EQ(e.now(), TimePoint::origin());
+}
+
+TEST(Engine, ExecutesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(Duration::micros(30), [&] { order.push_back(3); });
+  e.schedule(Duration::micros(10), [&] { order.push_back(1); });
+  e.schedule(Duration::micros(20), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    e.schedule(Duration::micros(5), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine e;
+  TimePoint seen;
+  e.schedule(Duration::millis(2.5), [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen.ns(), 2'500'000);
+  EXPECT_EQ(e.now().ns(), 2'500'000);
+}
+
+TEST(Engine, NestedSchedulingFromCallbacks) {
+  Engine e;
+  int fired = 0;
+  e.schedule(Duration::micros(1), [&] {
+    e.schedule(Duration::micros(1), [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now().ns(), 2000);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule(Duration::micros(1), [&] { ran = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule(Duration::micros(1), [&] { ran = true; });
+  e.run();
+  e.cancel(id);  // must not crash or corrupt state
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int count = 0;
+  e.schedule(Duration::micros(10), [&] { ++count; });
+  e.schedule(Duration::micros(20), [&] { ++count; });
+  e.schedule(Duration::micros(30), [&] { ++count; });
+  e.run_until(TimePoint{} + Duration::micros(20));
+  EXPECT_EQ(count, 2);
+  e.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, CountsDispatchedEvents) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule(Duration::micros(i), [] {});
+  e.run();
+  EXPECT_EQ(e.events_dispatched(), 5u);
+}
+
+TEST(Engine, EmptyRunFinishesCleanly) {
+  Engine e;
+  const RunResult r = e.run();
+  EXPECT_TRUE(r.all_tasks_finished);
+  EXPECT_EQ(r.stuck_tasks, 0u);
+}
+
+}  // namespace
+}  // namespace pacc::sim

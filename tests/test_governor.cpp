@@ -1,0 +1,134 @@
+// Tests for the reactive "black-box" DVFS governor (§III prior work).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "test_support.hpp"
+
+namespace pacc::mpi {
+namespace {
+
+ClusterConfig governed_cluster(Duration threshold = Duration::micros(50)) {
+  ClusterConfig cfg = test::small_cluster(2, 2, 1);
+  cfg.governor.enabled = true;
+  cfg.governor.wait_threshold = threshold;
+  return cfg;
+}
+
+/// Rank 1 waits `sender_delay` for a message from rank 0.
+sim::Task<> skewed_pair(Rank& self, Duration sender_delay) {
+  std::array<std::byte, 256> buf{};
+  if (self.id() == 0) {
+    co_await self.engine().delay(sender_delay);
+    co_await self.send(1, 1, buf);
+  } else {
+    co_await self.recv(0, 1, buf);
+  }
+}
+
+TEST(Governor, DownclocksOnLongWaitAndRestores) {
+  Simulation sim(governed_cluster());
+  auto result = test::run_all(sim, [](Rank& r) {
+    return skewed_pair(r, Duration::millis(5));
+  });
+  ASSERT_TRUE(result.all_tasks_finished);
+  EXPECT_EQ(sim.runtime().governor_transitions(), 1u);
+  // Frequency restored after the wait.
+  const auto core = sim.runtime().placement().core_of(1);
+  EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+}
+
+TEST(Governor, ShortWaitsDoNotTrigger) {
+  Simulation sim(governed_cluster(Duration::millis(50)));
+  auto result = test::run_all(sim, [](Rank& r) {
+    return skewed_pair(r, Duration::micros(100));
+  });
+  ASSERT_TRUE(result.all_tasks_finished);
+  EXPECT_EQ(sim.runtime().governor_transitions(), 0u);
+}
+
+TEST(Governor, DisabledByDefault) {
+  ClusterConfig cfg = test::small_cluster(2, 2, 1);
+  Simulation sim(cfg);
+  auto result = test::run_all(sim, [](Rank& r) {
+    return skewed_pair(r, Duration::millis(5));
+  });
+  ASSERT_TRUE(result.all_tasks_finished);
+  EXPECT_EQ(sim.runtime().governor_transitions(), 0u);
+}
+
+TEST(Governor, SavesEnergyOnSkewedWaits) {
+  auto energy_with = [](bool governed) {
+    ClusterConfig cfg = test::small_cluster(2, 2, 1);
+    cfg.governor.enabled = governed;
+    Simulation sim(cfg);
+    EXPECT_TRUE(test::run_all(sim, [](Rank& r) {
+                  return skewed_pair(r, Duration::millis(20));
+                }).all_tasks_finished);
+    return sim.machine().total_energy();
+  };
+  EXPECT_LT(energy_with(true), energy_with(false));
+}
+
+TEST(Governor, CollectivesStillCorrectUnderGovernor) {
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  cfg.governor.enabled = true;
+  cfg.governor.wait_threshold = Duration::micros(10);
+  Simulation sim(cfg);
+  const Bytes block = 32 * 1024;
+  const auto blk = static_cast<std::size_t>(block);
+  std::vector<int> ok(8, 0);
+  auto body = [&](Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send(8 * blk), recv(8 * blk);
+    for (int dst = 0; dst < 8; ++dst) {
+      test::fill_pattern(
+          std::span(send).subspan(static_cast<std::size_t>(dst) * blk, blk),
+          me, dst);
+    }
+    co_await coll::alltoall(self, world, send, recv, block, {});
+    bool good = true;
+    for (int src = 0; src < 8; ++src) {
+      good = good && test::check_pattern(
+                         std::span<const std::byte>(recv).subspan(
+                             static_cast<std::size_t>(src) * blk, blk),
+                         src, me);
+    }
+    ok[static_cast<std::size_t>(me)] = good;
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1);
+  // Everything restored afterwards.
+  for (int r = 0; r < 8; ++r) {
+    const auto core = sim.runtime().placement().core_of(r);
+    EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+  }
+}
+
+TEST(Governor, PerCallDvfsBeatsGovernorOnCollectives) {
+  // The paper's §III critique: reactive black-box scaling reacts per wait
+  // (paying O_dvfs repeatedly and missing short spins), so the in-collective
+  // per-call DVFS saves at least as much energy on a large Alltoall.
+  const Bytes block = 256 * 1024;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = block;
+  spec.iterations = 3;
+  spec.warmup = 1;
+
+  ClusterConfig governed = test::small_cluster(4, 32, 8);
+  governed.governor.enabled = true;
+  spec.scheme = coll::PowerScheme::kNone;
+  const auto governor = measure_collective(governed, spec);
+
+  ClusterConfig plain = test::small_cluster(4, 32, 8);
+  spec.scheme = coll::PowerScheme::kFreqScaling;
+  const auto percall = measure_collective(plain, spec);
+
+  ASSERT_TRUE(governor.completed && percall.completed);
+  EXPECT_LE(percall.energy_per_op, governor.energy_per_op * 1.02);
+}
+
+}  // namespace
+}  // namespace pacc::mpi

@@ -1,0 +1,168 @@
+// End-to-end integration tests: full paper-scale topologies, mixed
+// collective sequences, applications under every power scheme.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/cpmd.hpp"
+#include "apps/nas.hpp"
+#include "test_support.hpp"
+
+namespace pacc {
+namespace {
+
+TEST(Integration, PaperScaleAlltoallAllSchemes) {
+  // 8 nodes × 8 ranks, the Fig 7 configuration, one shot per scheme.
+  ClusterConfig cfg;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 64 * 1024;
+  spec.iterations = 1;
+  spec.warmup = 0;
+  Duration base;
+  for (const auto scheme : coll::kAllSchemes) {
+    spec.scheme = scheme;
+    const auto r = measure_collective(cfg, spec);
+    ASSERT_TRUE(r.completed) << coll::to_string(scheme);
+    if (scheme == coll::PowerScheme::kNone) base = r.latency;
+    EXPECT_LT(r.latency.sec(), base.sec() * 1.4);
+  }
+}
+
+TEST(Integration, MixedCollectiveSequenceStaysMatched) {
+  // Interleave different collectives on the same comm — tags must line up.
+  ClusterConfig cfg = test::small_cluster(2, 16, 8);
+  Simulation sim(cfg);
+  std::vector<int> ok(16, 0);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    const Bytes block = 2048;
+    const auto blk = static_cast<std::size_t>(block);
+    std::vector<std::byte> a2a_send(16 * blk), a2a_recv(16 * blk);
+    std::vector<std::byte> buf(8192);
+    std::vector<std::byte> red_send(1024), red_recv(1024);
+
+    for (int round = 0; round < 3; ++round) {
+      co_await coll::alltoall(self, world, a2a_send, a2a_recv, block,
+                              {.scheme = coll::PowerScheme::kProposed});
+      co_await coll::bcast(self, world, buf, round % 16,
+                           {.scheme = coll::PowerScheme::kFreqScaling});
+      co_await coll::allreduce(self, world, red_send, red_recv,
+                               {.scheme = coll::PowerScheme::kProposed});
+      co_await coll::barrier(self, world);
+    }
+    ok[static_cast<std::size_t>(me)] = 1;
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1);
+}
+
+TEST(Integration, SubCommunicatorCollectivesCoexist) {
+  // Run collectives on node comms and the leader comm explicitly, like the
+  // two-level algorithms do internally.
+  ClusterConfig cfg = test::small_cluster(4, 16, 4);
+  Simulation sim(cfg);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    mpi::Comm& node = world.node_comm(world.node_of(me));
+    std::vector<std::byte> buf(4096);
+    co_await coll::bcast_binomial(self, node, buf, 0);
+    if (world.is_leader(me)) {
+      mpi::Comm& leaders = world.leader_comm();
+      std::vector<std::byte> lb(4096);
+      co_await coll::bcast_binomial(self, leaders, lb, 0);
+    }
+    co_await coll::barrier(self, world);
+  };
+  EXPECT_TRUE(test::run_all(sim, body).all_tasks_finished);
+}
+
+TEST(Integration, CpmdEnergySavingsShape) {
+  // Table I shape at reduced scale: proposed < freq-scaling < default
+  // energy; overhead within 2-5 %-ish bounds.
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.ranks = 32;
+  cfg.ranks_per_node = 4;
+  auto spec = apps::cpmd_workload("wat-32-inp-1", 32);
+  spec.simulated_iterations = 3;  // keep the test fast
+
+  const auto none = apps::run_workload(cfg, spec, coll::PowerScheme::kNone);
+  const auto dvfs =
+      apps::run_workload(cfg, spec, coll::PowerScheme::kFreqScaling);
+  const auto prop = apps::run_workload(cfg, spec, coll::PowerScheme::kProposed);
+  ASSERT_TRUE(none.completed && dvfs.completed && prop.completed);
+  EXPECT_LT(dvfs.energy, none.energy);
+  EXPECT_LE(prop.energy, dvfs.energy * 1.01);
+  EXPECT_LT(prop.total_time.sec(), none.total_time.sec() * 1.10);
+}
+
+TEST(Integration, NasIsRunsUnderAllSchemes) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.ranks = 32;
+  cfg.ranks_per_node = 4;
+  auto spec = apps::nas_is(32);
+  spec.simulated_iterations = 2;
+  for (const auto scheme : coll::kAllSchemes) {
+    const auto r = apps::run_workload(cfg, spec, scheme);
+    EXPECT_TRUE(r.completed) << coll::to_string(scheme);
+    EXPECT_GT(r.alltoall_time.ns(), 0);
+  }
+}
+
+TEST(Integration, StrongScalingHalvesCpmdRuntime) {
+  // Fig 9: 32 → 64 ranks halves compute; Alltoall time roughly constant.
+  ClusterConfig cfg32;
+  cfg32.nodes = 8;
+  cfg32.ranks = 32;
+  cfg32.ranks_per_node = 4;
+  ClusterConfig cfg64;
+  cfg64.nodes = 8;
+  cfg64.ranks = 64;
+  cfg64.ranks_per_node = 8;
+
+  auto spec32 = apps::cpmd_workload("wat-32-inp-1", 32);
+  auto spec64 = apps::cpmd_workload("wat-32-inp-1", 64);
+  spec32.simulated_iterations = 3;
+  spec64.simulated_iterations = 3;
+
+  const auto r32 = apps::run_workload(cfg32, spec32, coll::PowerScheme::kNone);
+  const auto r64 = apps::run_workload(cfg64, spec64, coll::PowerScheme::kNone);
+  ASSERT_TRUE(r32.completed && r64.completed);
+  EXPECT_LT(r64.total_time.sec(), r32.total_time.sec() * 0.75);
+  // Alltoall time changes "only by a small amount" (§VII-F).
+  EXPECT_GT(r64.alltoall_time.sec(), r32.alltoall_time.sec() * 0.5);
+  EXPECT_LT(r64.alltoall_time.sec(), r32.alltoall_time.sec() * 2.0);
+}
+
+TEST(Integration, CoreLevelThrottlingSavesMoreOnBcast) {
+  // §V-B: core-granular throttling should save at least as much energy as
+  // socket-granular with lower overhead.
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kBcast;
+  spec.message = 1 << 20;
+  spec.scheme = coll::PowerScheme::kProposed;
+  spec.iterations = 2;
+  spec.warmup = 1;
+
+  ClusterConfig socket_cfg;
+  socket_cfg.nodes = 4;
+  socket_cfg.ranks = 32;
+  socket_cfg.ranks_per_node = 8;
+  const auto socket_level = measure_collective(socket_cfg, spec);
+
+  ClusterConfig core_cfg = socket_cfg;
+  core_cfg.core_level_throttling = true;
+  const auto core_level = measure_collective(core_cfg, spec);
+
+  ASSERT_TRUE(socket_level.completed && core_level.completed);
+  EXPECT_LE(core_level.energy_per_op, socket_level.energy_per_op * 1.02);
+  EXPECT_LE(core_level.latency.ns(),
+            static_cast<std::int64_t>(socket_level.latency.ns() * 1.02));
+}
+
+}  // namespace
+}  // namespace pacc

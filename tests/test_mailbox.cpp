@@ -1,0 +1,132 @@
+#include "mpi/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace pacc::mpi {
+namespace {
+
+Message make_msg(int src, int tag, std::size_t n = 4) {
+  Message m;
+  m.src = src;
+  m.tag = tag;
+  m.payload.assign(n, std::byte{static_cast<unsigned char>(src)});
+  return m;
+}
+
+TEST(Mailbox, TryTakeMatchesSourceAndTag) {
+  sim::Engine e;
+  Mailbox box(e);
+  box.deliver(make_msg(1, 10));
+  box.deliver(make_msg(2, 10));
+  EXPECT_FALSE(box.try_take(3, 10).has_value());
+  EXPECT_FALSE(box.try_take(1, 11).has_value());
+  const auto m = box.try_take(2, 10);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src, 2);
+  EXPECT_EQ(box.unexpected_count(), 1u);
+}
+
+TEST(Mailbox, FifoPerSourceAndTag) {
+  sim::Engine e;
+  Mailbox box(e);
+  Message first = make_msg(1, 5);
+  first.payload[0] = std::byte{0xAA};
+  Message second = make_msg(1, 5);
+  second.payload[0] = std::byte{0xBB};
+  box.deliver(std::move(first));
+  box.deliver(std::move(second));
+  EXPECT_EQ(box.try_take(1, 5)->payload[0], std::byte{0xAA});
+  EXPECT_EQ(box.try_take(1, 5)->payload[0], std::byte{0xBB});
+}
+
+sim::Task<> recv_task(Mailbox& box, int src, int tag,
+                      std::optional<Message>& out) {
+  out = co_await box.recv(src, tag);
+}
+
+TEST(Mailbox, PostedRecvCompletesOnDelivery) {
+  sim::Engine e;
+  Mailbox box(e);
+  std::optional<Message> got;
+  e.spawn(recv_task(box, 3, 7, got));
+  e.schedule(Duration::micros(10), [&] { box.deliver(make_msg(3, 7)); });
+  EXPECT_TRUE(e.run().all_tasks_finished);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src, 3);
+  EXPECT_EQ(box.posted_count(), 0u);
+}
+
+TEST(Mailbox, RecvFindsAlreadyDeliveredMessage) {
+  sim::Engine e;
+  Mailbox box(e);
+  box.deliver(make_msg(4, 1));
+  std::optional<Message> got;
+  e.spawn(recv_task(box, 4, 1, got));
+  e.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src, 4);
+}
+
+TEST(Mailbox, DeliveryMatchesOnlyTheRightPost) {
+  sim::Engine e;
+  Mailbox box(e);
+  std::optional<Message> got_a, got_b;
+  e.spawn(recv_task(box, 1, 1, got_a));
+  e.spawn(recv_task(box, 2, 1, got_b));
+  e.schedule(Duration::micros(1), [&] { box.deliver(make_msg(2, 1)); });
+  e.schedule(Duration::micros(2), [&] { box.deliver(make_msg(1, 1)); });
+  EXPECT_TRUE(e.run().all_tasks_finished);
+  ASSERT_TRUE(got_a.has_value());
+  ASSERT_TRUE(got_b.has_value());
+  EXPECT_EQ(got_a->src, 1);
+  EXPECT_EQ(got_b->src, 2);
+}
+
+sim::Task<> timed_recv_task(Mailbox& box, int src, int tag, Duration timeout,
+                            std::optional<Message>& out, bool& resumed) {
+  out = co_await box.recv_for(src, tag, timeout);
+  resumed = true;
+}
+
+TEST(Mailbox, TimedRecvExpiresWithNullopt) {
+  sim::Engine e;
+  Mailbox box(e);
+  std::optional<Message> got;
+  bool resumed = false;
+  e.spawn(timed_recv_task(box, 1, 1, Duration::micros(50), got, resumed));
+  EXPECT_TRUE(e.run().all_tasks_finished);
+  EXPECT_TRUE(resumed);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(e.now().ns(), 50'000);
+}
+
+TEST(Mailbox, TimedRecvCompletesBeforeTimeout) {
+  sim::Engine e;
+  Mailbox box(e);
+  std::optional<Message> got;
+  bool resumed = false;
+  e.spawn(timed_recv_task(box, 1, 1, Duration::micros(50), got, resumed));
+  e.schedule(Duration::micros(10), [&] { box.deliver(make_msg(1, 1)); });
+  EXPECT_TRUE(e.run().all_tasks_finished);
+  ASSERT_TRUE(got.has_value());
+  // The cancelled timer must not fire anything weird later.
+  EXPECT_EQ(box.posted_count(), 0u);
+}
+
+TEST(Mailbox, MessageAfterTimeoutBecomesUnexpected) {
+  sim::Engine e;
+  Mailbox box(e);
+  std::optional<Message> got;
+  bool resumed = false;
+  e.spawn(timed_recv_task(box, 1, 1, Duration::micros(5), got, resumed));
+  e.schedule(Duration::micros(10), [&] { box.deliver(make_msg(1, 1)); });
+  e.run();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(box.unexpected_count(), 1u);
+  EXPECT_TRUE(box.try_take(1, 1).has_value());
+}
+
+}  // namespace
+}  // namespace pacc::mpi

@@ -1,0 +1,84 @@
+#include "hw/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pacc/presets.hpp"
+
+namespace pacc::hw {
+namespace {
+
+const Frequency kFmax = Frequency::ghz(2.4);
+const Frequency kFmin = Frequency::ghz(1.6);
+
+TEST(ThrottleLevel, ActivityFactorsMatchPaper) {
+  EXPECT_DOUBLE_EQ(ThrottleLevel::activity_factor(0), 1.0);  // T0: 100 %
+  EXPECT_NEAR(ThrottleLevel::activity_factor(7), 0.125, 1e-12);  // T7 ≈ 12 %
+  for (int t = 0; t < 7; ++t) {
+    EXPECT_GT(ThrottleLevel::activity_factor(t),
+              ThrottleLevel::activity_factor(t + 1))
+        << "c_j must decrease with deeper throttling (paper: c1 > c7)";
+  }
+}
+
+TEST(PowerParams, IdleIgnoresFrequencyAndThrottle) {
+  PowerParams p;
+  EXPECT_DOUBLE_EQ(p.core_power(kFmin, kFmax, 7, Activity::kIdle),
+                   p.core_idle);
+  EXPECT_DOUBLE_EQ(p.core_power(kFmax, kFmax, 0, Activity::kIdle),
+                   p.core_idle);
+}
+
+TEST(PowerParams, BusyAtFmaxT0IsFullPower) {
+  PowerParams p;
+  EXPECT_DOUBLE_EQ(p.core_power(kFmax, kFmax, 0, Activity::kBusy),
+                   p.core_idle + p.core_dynamic_fmax);
+}
+
+TEST(PowerParams, DvfsReducesDynamicPowerCubically) {
+  PowerParams p;
+  const Watts busy_min = p.core_power(kFmin, kFmax, 0, Activity::kBusy);
+  const double ratio = (1.6 / 2.4);
+  EXPECT_NEAR(busy_min, p.core_idle + p.core_dynamic_fmax * ratio * ratio * ratio,
+              1e-9);
+}
+
+TEST(PowerParams, ThrottlingScalesDynamicPart) {
+  PowerParams p;
+  const Watts t0 = p.core_power(kFmax, kFmax, 0, Activity::kBusy);
+  const Watts t7 = p.core_power(kFmax, kFmax, 7, Activity::kBusy);
+  EXPECT_NEAR(t7 - p.core_idle, (t0 - p.core_idle) * 0.125, 1e-9);
+}
+
+TEST(PowerParams, MonotoneInThrottleLevel) {
+  PowerParams p;
+  for (int t = 0; t < 7; ++t) {
+    EXPECT_GT(p.core_power(kFmax, kFmax, t, Activity::kBusy),
+              p.core_power(kFmax, kFmax, t + 1, Activity::kBusy));
+  }
+}
+
+TEST(Presets, PaperSystemPowerBands) {
+  // DESIGN.md §7: default ≈ 2.3 KW, DVFS ≈ 1.8 KW, half-T7 ≈ 1.6-1.7 KW.
+  const auto m = presets::paper_machine(8);
+  const auto& p = m.power;
+  const int cores = m.shape.total_cores();
+  const Watts base = p.node_base * m.shape.nodes +
+                     p.socket_uncore * m.shape.sockets_total();
+
+  const Watts default_kw =
+      base + cores * p.core_power(m.fmax, m.fmax, 0, Activity::kBusy);
+  EXPECT_NEAR(default_kw, 2300.0, 100.0);
+
+  const Watts dvfs_kw =
+      base + cores * p.core_power(m.fmin, m.fmax, 0, Activity::kBusy);
+  EXPECT_NEAR(dvfs_kw, 1800.0, 100.0);
+
+  const Watts proposed_kw =
+      base +
+      cores / 2 * p.core_power(m.fmin, m.fmax, 0, Activity::kBusy) +
+      cores / 2 * p.core_power(m.fmin, m.fmax, 7, Activity::kBusy);
+  EXPECT_NEAR(proposed_kw, 1650.0, 100.0);
+}
+
+}  // namespace
+}  // namespace pacc::hw

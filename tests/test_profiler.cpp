@@ -1,0 +1,87 @@
+// Tests for the per-operation profiler and its collective-layer hooks.
+#include "mpi/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::mpi {
+namespace {
+
+TEST(Profiler, AccumulatesPerOperation) {
+  Profiler p;
+  p.record("alltoall", 1024, Duration::micros(10));
+  p.record("alltoall", 2048, Duration::micros(30));
+  p.record("bcast", 512, Duration::micros(5));
+
+  ASSERT_EQ(p.stats().size(), 2u);
+  const auto& a2a = p.stats().at("alltoall");
+  EXPECT_EQ(a2a.calls, 2u);
+  EXPECT_EQ(a2a.bytes, 3072u);
+  EXPECT_EQ(a2a.total_time.us(), 40.0);
+  EXPECT_EQ(a2a.max_time.us(), 30.0);
+  EXPECT_DOUBLE_EQ(a2a.mean_us(), 20.0);
+  EXPECT_EQ(p.total_time().us(), 45.0);
+}
+
+TEST(Profiler, ClearResets) {
+  Profiler p;
+  p.record("x", 1, Duration::micros(1));
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.total_time().ns(), 0);
+}
+
+TEST(ProfilerIntegration, CollectivesReportThemselves) {
+  Simulation sim(test::small_cluster(2, 8, 4));
+  const Bytes block = 4096;
+  const auto blk = static_cast<std::size_t>(block);
+
+  auto body = [&](Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    std::vector<std::byte> send(8 * blk), recv(8 * blk);
+    std::vector<std::byte> red_send(1024), red_recv(1024);
+    co_await coll::alltoall(self, world, send, recv, block, {});
+    co_await coll::alltoall(self, world, send, recv, block, {});
+    co_await coll::allreduce(self, world, red_send, red_recv, {});
+    co_await coll::barrier(self, world);
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+
+  const auto& stats = sim.runtime().profiler().stats();
+  ASSERT_TRUE(stats.contains("alltoall"));
+  ASSERT_TRUE(stats.contains("allreduce"));
+  ASSERT_TRUE(stats.contains("barrier"));
+  // 8 ranks × 2 calls each.
+  EXPECT_EQ(stats.at("alltoall").calls, 16u);
+  EXPECT_EQ(stats.at("alltoall").bytes,
+            16u * 8u * static_cast<std::uint64_t>(block));
+  EXPECT_EQ(stats.at("allreduce").calls, 8u);
+  EXPECT_GT(stats.at("alltoall").total_time.ns(), 0);
+}
+
+TEST(ProfilerIntegration, TimesReflectRankSeconds) {
+  // Total profiled alltoall time across 8 ranks must be roughly
+  // 8 × the per-op latency (every rank is inside the call concurrently).
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  Simulation sim(cfg);
+  const Bytes block = 64 * 1024;
+  const auto blk = static_cast<std::size_t>(block);
+  TimePoint done;
+  auto body = [&](Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    std::vector<std::byte> send(8 * blk), recv(8 * blk);
+    co_await coll::alltoall(self, world, send, recv, block, {});
+    done = self.engine().now();
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  const auto& a2a = sim.runtime().profiler().stats().at("alltoall");
+  EXPECT_GT(a2a.total_time.sec(), done.sec() * 8 * 0.7);
+  EXPECT_LE(a2a.total_time.sec(), done.sec() * 8 * 1.001);
+  EXPECT_LE(a2a.max_time.ns(), done.ns());
+}
+
+}  // namespace
+}  // namespace pacc::mpi

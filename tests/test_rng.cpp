@@ -1,0 +1,51 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(5);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = r.uniform(-2.0, 2.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 2.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.0, 0.1);  // roughly centred
+}
+
+}  // namespace
+}  // namespace pacc

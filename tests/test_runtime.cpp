@@ -1,0 +1,225 @@
+#include "mpi/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "test_support.hpp"
+
+namespace pacc::mpi {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+using test::run_all;
+using test::small_cluster;
+
+TEST(Runtime, UnoccupiedCoresStartIdle) {
+  // 2 ranks per node on 8-core nodes: 6 cores per node must be idle.
+  Simulation sim(test::small_cluster(2, 4, 2));
+  auto& machine = sim.machine();
+  int busy = 0;
+  const auto& shape = machine.shape();
+  for (int c = 0; c < shape.total_cores(); ++c) {
+    if (machine.activity(hw::core_from_linear(shape, c)) ==
+        hw::Activity::kBusy) {
+      ++busy;
+    }
+  }
+  EXPECT_EQ(busy, 4);
+}
+
+sim::Task<> ping_pong(Rank& self, Duration& rtt) {
+  std::array<std::byte, 64> buf{};
+  if (self.id() == 0) {
+    const TimePoint start = self.engine().now();
+    fill_pattern(buf, 0, 1);
+    co_await self.send(1, 1, buf);
+    co_await self.recv(1, 2, buf);
+    rtt = self.engine().now() - start;
+  } else if (self.id() == 1) {
+    co_await self.recv(0, 1, buf);
+    co_await self.send(0, 2, buf);
+  }
+}
+
+TEST(Runtime, PingPongDeliversAndTakesTime) {
+  Simulation sim(small_cluster(2, 2, 1));
+  Duration rtt;
+  auto result = run_all(sim, [&](Rank& r) { return ping_pong(r, rtt); });
+  EXPECT_TRUE(result.all_tasks_finished);
+  EXPECT_GT(rtt.ns(), 0);
+}
+
+sim::Task<> send_payload(Rank& self, Bytes n, bool& ok) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(n));
+  if (self.id() == 0) {
+    fill_pattern(buf, 0, 1);
+    co_await self.send(1, 9, buf);
+  } else if (self.id() == 1) {
+    co_await self.recv(0, 9, buf);
+    ok = check_pattern(buf, 0, 1);
+  }
+}
+
+TEST(Runtime, PayloadIntegrityEager) {
+  Simulation sim(small_cluster(2, 2, 1));
+  bool ok = false;
+  EXPECT_TRUE(
+      run_all(sim, [&](Rank& r) { return send_payload(r, 1024, ok); })
+          .all_tasks_finished);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Runtime, PayloadIntegrityRendezvous) {
+  Simulation sim(small_cluster(2, 2, 1));
+  bool ok = false;
+  EXPECT_TRUE(
+      run_all(sim, [&](Rank& r) { return send_payload(r, 256 * 1024, ok); })
+          .all_tasks_finished);
+  EXPECT_TRUE(ok);
+}
+
+sim::Task<> large_vs_small_sender(Rank& self, TimePoint& sender_done) {
+  std::vector<std::byte> big(1 << 20);
+  if (self.id() == 0) {
+    co_await self.send(1, 1, big);
+    sender_done = self.engine().now();
+  } else {
+    co_await self.recv(0, 1, big);
+  }
+}
+
+TEST(Runtime, RendezvousHoldsSenderUntilDelivery) {
+  Simulation sim(small_cluster(2, 2, 1));
+  TimePoint sender_done;
+  run_all(sim, [&](Rank& r) { return large_vs_small_sender(r, sender_done); });
+  // 1 MiB at 3.2 GB/s ≈ 328 µs; an eager send would return in ~2 µs.
+  EXPECT_GT(sender_done.us(), 300.0);
+}
+
+sim::Task<> eager_sender(Rank& self, TimePoint& sender_done) {
+  std::vector<std::byte> small(512);
+  if (self.id() == 0) {
+    co_await self.send(1, 1, small);
+    sender_done = self.engine().now();
+    // Give the detached transfer time to complete.
+    co_await self.engine().delay(Duration::millis(5));
+  } else {
+    co_await self.recv(0, 1, small);
+  }
+}
+
+TEST(Runtime, EagerSendReturnsBeforeDelivery) {
+  Simulation sim(small_cluster(2, 2, 1));
+  TimePoint sender_done;
+  EXPECT_TRUE(
+      run_all(sim, [&](Rank& r) { return eager_sender(r, sender_done); })
+          .all_tasks_finished);
+  EXPECT_LT(sender_done.us(), 50.0);
+}
+
+TEST(Runtime, MissingSendIsReportedAsDeadlock) {
+  Simulation sim(small_cluster(2, 2, 1));
+  auto result = run_all(sim, [](Rank& r) -> sim::Task<> {
+    std::array<std::byte, 8> buf{};
+    if (r.id() == 1) {
+      co_await r.recv(0, 1, buf);  // rank 0 never sends
+    }
+    co_return;
+  });
+  EXPECT_FALSE(result.all_tasks_finished);
+  EXPECT_EQ(result.stuck_tasks, 1u);
+}
+
+sim::Task<> compute_probe(Rank& self, Duration& took) {
+  const TimePoint start = self.engine().now();
+  co_await self.compute(Duration::millis(10));
+  took = self.engine().now() - start;
+}
+
+TEST(Runtime, ComputeScalesWithDvfs) {
+  Simulation sim(small_cluster(1, 1, 1));
+  Duration took;
+  run_all(sim, [&](Rank& r) -> sim::Task<> {
+    co_await r.dvfs(r.machine().params().fmin);
+    co_await compute_probe(r, took);
+  });
+  // 10 ms of fmax work at 1.6/2.4 GHz takes 15 ms.
+  EXPECT_NEAR(took.ms(), 15.0, 0.01);
+}
+
+TEST(Runtime, ComputeScalesWithThrottle) {
+  Simulation sim(small_cluster(1, 1, 1));
+  Duration took;
+  run_all(sim, [&](Rank& r) -> sim::Task<> {
+    co_await r.throttle(4);  // c4 = 0.5 → 2× slower
+    co_await compute_probe(r, took);
+    co_await r.throttle(0);
+  });
+  EXPECT_NEAR(took.ms(), 20.0, 0.01);
+}
+
+// --- progression modes -----------------------------------------------
+
+sim::Task<> late_sender(Rank& self, Duration& wait_power_probe) {
+  std::array<std::byte, 256> buf{};
+  if (self.id() == 0) {
+    co_await self.engine().delay(Duration::millis(2));
+    fill_pattern(buf, 0, 1);
+    co_await self.send(1, 1, buf);
+  } else {
+    co_await self.recv(0, 1, buf);
+  }
+  (void)wait_power_probe;
+}
+
+TEST(Runtime, PollingKeepsWaitingCoreBusy) {
+  ClusterConfig cfg = small_cluster(2, 2, 1);
+  cfg.progress = ProgressMode::kPolling;
+  Simulation sim(cfg);
+  Duration unused;
+  run_all(sim, [&](Rank& r) { return late_sender(r, unused); });
+  const auto stats = sim.machine().core_stats(sim.runtime().rank(1).core());
+  EXPECT_EQ(stats.idle_time.ns(), 0);
+}
+
+TEST(Runtime, BlockingSleepsAfterSpinWindow) {
+  ClusterConfig cfg = small_cluster(2, 2, 1);
+  cfg.progress = ProgressMode::kBlocking;
+  Simulation sim(cfg);
+  Duration unused;
+  run_all(sim, [&](Rank& r) { return late_sender(r, unused); });
+  const auto stats = sim.machine().core_stats(sim.runtime().rank(1).core());
+  // Waited ~2 ms for the sender: most of it asleep.
+  EXPECT_GT(stats.idle_time.ms(), 1.0);
+}
+
+sim::Task<> local_pair(Rank& self, TimePoint& done) {
+  std::vector<std::byte> buf(1 << 20);
+  if (self.id() == 0) {
+    co_await self.send(1, 1, buf);
+  } else {
+    co_await self.recv(0, 1, buf);
+    done = self.engine().now();
+  }
+}
+
+TEST(Runtime, BlockingModeLosesSharedMemoryPath) {
+  // §II-B: blocking mode falls back to HCA loopback for intra-node pairs.
+  ClusterConfig polling_cfg = small_cluster(1, 2, 2);
+  Simulation polling_sim(polling_cfg);
+  TimePoint polling_done;
+  run_all(polling_sim, [&](Rank& r) { return local_pair(r, polling_done); });
+
+  ClusterConfig blocking_cfg = small_cluster(1, 2, 2);
+  blocking_cfg.progress = ProgressMode::kBlocking;
+  Simulation blocking_sim(blocking_cfg);
+  TimePoint blocking_done;
+  run_all(blocking_sim, [&](Rank& r) { return local_pair(r, blocking_done); });
+
+  EXPECT_GT(blocking_done.us(), polling_done.us() * 1.5);
+}
+
+}  // namespace
+}  // namespace pacc::mpi

@@ -1,0 +1,188 @@
+// Tests for the shared-memory publish/read primitives and cross-cutting
+// determinism / conservation properties of the whole simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "test_support.hpp"
+
+namespace pacc {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+using test::run_all;
+
+TEST(ShmHandoff, PublishReachesAllReaders) {
+  Simulation sim(test::small_cluster(1, 8, 8));
+  std::vector<int> ok(8, 0);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    std::vector<std::byte> buf(64 * 1024);
+    if (self.id() == 0) {
+      fill_pattern(buf, 0, 99);
+      const std::vector<int> readers{1, 2, 3, 4, 5, 6, 7};
+      co_await self.shm_publish(5, buf, readers);
+      ok[0] = 1;
+    } else {
+      co_await self.shm_read(0, 5, buf);
+      ok[static_cast<std::size_t>(self.id())] = check_pattern(buf, 0, 99);
+    }
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1);
+}
+
+TEST(ShmHandoff, ConcurrentReadsBeatSerializedSends) {
+  // The write-once/read-concurrently handoff must outperform 7 sequential
+  // rendezvous sends of the same payload.
+  const Bytes big = 1 << 20;
+
+  auto handoff_time = [&](bool use_shm) {
+    Simulation sim(test::small_cluster(1, 8, 8));
+    TimePoint done;
+    auto body = [&, use_shm](mpi::Rank& self) -> sim::Task<> {
+      std::vector<std::byte> buf(static_cast<std::size_t>(big));
+      if (use_shm) {
+        if (self.id() == 0) {
+          const std::vector<int> readers{1, 2, 3, 4, 5, 6, 7};
+          co_await self.shm_publish(1, buf, readers);
+        } else {
+          co_await self.shm_read(0, 1, buf);
+        }
+      } else {
+        if (self.id() == 0) {
+          for (int dst = 1; dst < 8; ++dst) {
+            co_await self.send(dst, 1, buf);
+          }
+        } else {
+          co_await self.recv(0, 1, buf);
+        }
+      }
+      if (self.id() == 7) done = self.engine().now();
+    };
+    EXPECT_TRUE(run_all(sim, body).all_tasks_finished);
+    return done;
+  };
+
+  const TimePoint shm = handoff_time(true);
+  const TimePoint serial = handoff_time(false);
+  EXPECT_LT(shm.us(), serial.us());
+}
+
+TEST(ShmHandoffDeath, RejectsCrossNodeReaders) {
+  Simulation sim(test::small_cluster(2, 4, 2));
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    if (self.id() == 0) {
+      std::vector<std::byte> buf(128);
+      const std::vector<int> readers{2};  // rank 2 lives on node 1
+      co_await self.shm_publish(1, buf, readers);
+    }
+  };
+  EXPECT_DEATH(
+      {
+        sim.runtime().launch(body);
+        sim.engine().run();
+      },
+      "node");
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalResults) {
+  auto run_once = [] {
+    ClusterConfig cfg = test::small_cluster(2, 16, 8);
+    CollectiveBenchSpec spec;
+    spec.op = coll::Op::kAlltoall;
+    spec.message = 64 * 1024;
+    spec.scheme = coll::PowerScheme::kProposed;
+    spec.iterations = 3;
+    spec.warmup = 1;
+    return measure_collective(cfg, spec);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.latency.ns(), b.latency.ns());
+  EXPECT_DOUBLE_EQ(a.energy_per_op, b.energy_per_op);
+}
+
+TEST(Determinism, WorkloadRunsAreReproducible) {
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  apps::WorkloadSpec spec;
+  spec.name = "repro";
+  spec.simulated_iterations = 2;
+  spec.seed = 7;
+  spec.phases = {
+      apps::Phase{.kind = apps::Phase::Kind::kCompute,
+                  .compute = Duration::millis(1.0),
+                  .imbalance = 0.2},
+      apps::Phase{.kind = apps::Phase::Kind::kAlltoallv,
+                  .bytes = 16 * 1024,
+                  .imbalance = 0.3},
+  };
+  const auto a = apps::run_workload(cfg, spec, coll::PowerScheme::kProposed);
+  const auto b = apps::run_workload(cfg, spec, coll::PowerScheme::kProposed);
+  EXPECT_EQ(a.total_time.ns(), b.total_time.ns());
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST(Conservation, NetworkDeliversExactlyWhatWasSent) {
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  Simulation sim(cfg);
+  const Bytes block = 32 * 1024;
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const auto blk = static_cast<std::size_t>(block);
+    std::vector<std::byte> send(8 * blk), recv(8 * blk);
+    co_await coll::alltoall(self, world, send, recv, block, {});
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  // Every non-self block crossed the network exactly once: 8 ranks × 7
+  // peers × 32 KiB.
+  EXPECT_EQ(sim.network().bytes_delivered(),
+            static_cast<std::uint64_t>(8 * 7) *
+                static_cast<std::uint64_t>(block));
+  EXPECT_EQ(sim.network().active_flows(), 0u);
+}
+
+TEST(Conservation, EnergyIsMonotoneInTime) {
+  ClusterConfig cfg = test::small_cluster(1, 4, 4);
+  Simulation sim(cfg);
+  std::vector<Joules> checkpoints;
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    for (int i = 0; i < 5; ++i) {
+      co_await self.compute(Duration::millis(1.0));
+      if (self.id() == 0) {
+        checkpoints.push_back(self.machine().total_energy());
+      }
+    }
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  ASSERT_EQ(checkpoints.size(), 5u);
+  for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+    EXPECT_GT(checkpoints[i], checkpoints[i - 1]);
+  }
+}
+
+TEST(Conservation, ThrottledRunUsesLessEnergyThanUnthrottled) {
+  auto energy_with_throttle = [](int tstate) {
+    ClusterConfig cfg = test::small_cluster(1, 8, 8);
+    Simulation sim(cfg);
+    auto body = [tstate](mpi::Rank& self) -> sim::Task<> {
+      co_await self.throttle(tstate);
+      // Fixed simulated interval (not fixed work): idle-wait at the
+      // throttled power level.
+      co_await self.engine().delay(Duration::millis(10.0));
+      co_await self.throttle(0);
+    };
+    sim.runtime().launch(body);
+    sim.engine().run();
+    return sim.machine().total_energy();
+  };
+  const Joules t0 = energy_with_throttle(0);
+  const Joules t4 = energy_with_throttle(4);
+  const Joules t7 = energy_with_throttle(7);
+  EXPECT_GT(t0, t4);
+  EXPECT_GT(t4, t7);
+}
+
+}  // namespace
+}  // namespace pacc

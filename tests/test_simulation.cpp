@@ -1,0 +1,143 @@
+#include "pacc/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace pacc {
+namespace {
+
+TEST(Simulation, BuildsPaperTestbedByDefault) {
+  ClusterConfig cfg;
+  Simulation sim(cfg);
+  EXPECT_EQ(sim.machine().shape().nodes, 8);
+  EXPECT_EQ(sim.machine().shape().cores_per_node(), 8);
+  EXPECT_EQ(sim.runtime().size(), 64);
+  // Fully-loaded polling power near the paper's 2.3 KW.
+  EXPECT_NEAR(sim.machine().system_power(), 2304.0, 1.0);
+}
+
+TEST(Simulation, RunReportsElapsedAndEnergy) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks = 4;
+  cfg.ranks_per_node = 2;
+  Simulation sim(cfg);
+  const auto report = sim.run([](mpi::Rank& r) -> sim::Task<> {
+    co_await r.compute(Duration::millis(10));
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_NEAR(report.elapsed.ms(), 10.0, 0.1);
+  EXPECT_NEAR(report.energy, sim.machine().system_power() * 0.010, 1e-3);
+  EXPECT_GT(report.mean_power, 0.0);
+}
+
+TEST(Simulation, MeterSamplesLongRuns) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 2;
+  Simulation sim(cfg);
+  const auto report = sim.run([](mpi::Rank& r) -> sim::Task<> {
+    co_await r.compute(Duration::seconds(2.0));
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.power.samples().size(), 3u);  // 0.5, 1.0, 1.5 s
+}
+
+TEST(Simulation, DeadlockSurfacesInReport) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1;
+  Simulation sim(cfg);
+  const auto report = sim.run([](mpi::Rank& r) -> sim::Task<> {
+    std::array<std::byte, 8> buf{};
+    if (r.id() == 0) co_await r.recv(1, 1, buf);  // never sent
+  });
+  EXPECT_FALSE(report.completed);
+}
+
+TEST(MeasureCollective, ProducesPlausibleAlltoallLatency) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks = 8;
+  cfg.ranks_per_node = 4;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 64 * 1024;
+  spec.iterations = 4;
+  spec.warmup = 1;
+  const auto report = measure_collective(cfg, spec);
+  ASSERT_TRUE(report.completed);
+  // Rough bound: 6 inter-node steps × ~(4-flow shared uplink).
+  EXPECT_GT(report.latency.us(), 100.0);
+  EXPECT_LT(report.latency.us(), 5000.0);
+  EXPECT_GT(report.energy_per_op, 0.0);
+  // 2 nodes fully polling draw 2·(120+40) + 8·16 + 8·4 = 480 W.
+  EXPECT_GT(report.mean_power, 400.0);
+}
+
+TEST(MeasureCollective, WarmupExcludedFromTiming) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks = 4;
+  cfg.ranks_per_node = 2;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kBcast;
+  spec.message = 32 * 1024;
+  spec.iterations = 2;
+
+  spec.warmup = 0;
+  const auto no_warm = measure_collective(cfg, spec);
+  spec.warmup = 5;
+  const auto with_warm = measure_collective(cfg, spec);
+  ASSERT_TRUE(no_warm.completed && with_warm.completed);
+  EXPECT_NEAR(no_warm.latency.us(), with_warm.latency.us(),
+              no_warm.latency.us() * 0.2);
+}
+
+TEST(MeasureCollective, BlockingModeIsSlowerButCheaper) {
+  // Fig 6: blocking loses latency but saves power on large alltoalls.
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks = 8;
+  cfg.ranks_per_node = 4;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 128 * 1024;
+  spec.iterations = 3;
+  spec.warmup = 1;
+
+  cfg.progress = mpi::ProgressMode::kPolling;
+  const auto polling = measure_collective(cfg, spec);
+  cfg.progress = mpi::ProgressMode::kBlocking;
+  const auto blocking = measure_collective(cfg, spec);
+  ASSERT_TRUE(polling.completed && blocking.completed);
+  EXPECT_GT(blocking.latency.ns(), polling.latency.ns());
+  EXPECT_LT(blocking.mean_power, polling.mean_power);
+}
+
+TEST(Simulation, CustomNetworkParamsRespected) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks = 2;
+  cfg.ranks_per_node = 1;
+  net::NetworkParams slow = presets::paper_network();
+  slow.link_bandwidth = 1e8;  // 10× slower
+  cfg.network = slow;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kBcast;
+  spec.message = 1 << 20;
+  spec.iterations = 1;
+  spec.warmup = 0;
+  const auto slow_report = measure_collective(cfg, spec);
+
+  cfg.network.reset();
+  const auto fast_report = measure_collective(cfg, spec);
+  ASSERT_TRUE(slow_report.completed && fast_report.completed);
+  EXPECT_GT(slow_report.latency.sec(), fast_report.latency.sec() * 5);
+}
+
+}  // namespace
+}  // namespace pacc

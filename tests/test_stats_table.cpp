@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace pacc {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (double v : {4.0, 8.0, 6.0}) s.add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(RunningStats, VarianceMatchesDefinition) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(PowerSeries, MeanAndPeak) {
+  PowerSeries series;
+  series.add(TimePoint{} + Duration::millis(500), 2000.0);
+  series.add(TimePoint{} + Duration::millis(1000), 2400.0);
+  series.add(TimePoint{} + Duration::millis(1500), 1600.0);
+  EXPECT_DOUBLE_EQ(series.mean_watts(), 2000.0);
+  EXPECT_DOUBLE_EQ(series.peak_watts(), 2400.0);
+  EXPECT_EQ(series.samples().size(), 3u);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Table, PrintsAlignedMarkdown) {
+  Table t({"size", "latency"});
+  t.add_row({"4K", "10.25"});
+  t.add_row({"1M", "12345.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| size |"), std::string::npos);
+  EXPECT_NE(out.find("12345.00"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(FormatBytes, OsuStyleLabels) {
+  EXPECT_EQ(format_bytes(512), "512");
+  EXPECT_EQ(format_bytes(4096), "4K");
+  EXPECT_EQ(format_bytes(1048576), "1M");
+  EXPECT_EQ(format_bytes(1500), "1500");
+}
+
+}  // namespace
+}  // namespace pacc

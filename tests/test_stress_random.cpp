@@ -1,0 +1,162 @@
+// Randomized stress test: seeded pseudo-random schedules of mixed
+// collectives over the world comm and random sub-communicators, under
+// randomly chosen power schemes. Asserts completion (no deadlock, no tag
+// cross-matching), data integrity on checkable ops, full core-state
+// restoration, and run-to-run determinism.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "coll/comm_split.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace pacc::coll {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+
+struct StressOutcome {
+  bool completed = false;
+  int data_errors = 0;
+  Joules energy = 0.0;
+  std::int64_t end_ns = 0;
+};
+
+StressOutcome run_stress(std::uint64_t seed, int rounds) {
+  ClusterConfig cfg = test::small_cluster(4, 16, 4);
+  Simulation sim(cfg);
+  std::vector<int> errors(16, 0);
+
+  auto body = [&, seed, rounds](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    // Every rank derives the identical schedule from the seed.
+    Rng schedule(seed);
+
+    std::vector<std::byte> big_send(16 * 8192), big_recv(16 * 8192);
+    std::vector<std::byte> buf(8192);
+    std::vector<std::byte> red_a(1024), red_b(1024);
+
+    for (int round = 0; round < rounds; ++round) {
+      const auto op = schedule.next_below(7);
+      const auto scheme = static_cast<PowerScheme>(schedule.next_below(3));
+      const int root = static_cast<int>(schedule.next_below(16));
+      const Bytes block = 512 << schedule.next_below(4);  // 512..4096
+
+      // Half the rounds run on a split comm (group by rank mod 2..4).
+      mpi::Comm* comm = &world;
+      if (schedule.next_below(2) == 1) {
+        const int groups = 2 + static_cast<int>(schedule.next_below(3));
+        comm = co_await comm_split(self, world, me % groups, me);
+      }
+      const int sub_me = comm->comm_rank_of(self.id());
+      const int sub_root = root % comm->size();
+      const auto blk = static_cast<std::size_t>(block);
+
+      switch (op) {
+        case 0: {  // alltoall with data check
+          const auto P = static_cast<std::size_t>(comm->size());
+          for (int dst = 0; dst < comm->size(); ++dst) {
+            fill_pattern(std::span(big_send).subspan(
+                             static_cast<std::size_t>(dst) * blk, blk),
+                         sub_me, dst);
+          }
+          const auto n = P * blk;
+          co_await coll::alltoall(self, *comm,
+                                  std::span<const std::byte>(big_send).first(n),
+                                  std::span(big_recv).first(n), block,
+                                  {.scheme = scheme});
+          for (int src = 0; src < comm->size(); ++src) {
+            if (!check_pattern(std::span<const std::byte>(big_recv).subspan(
+                                   static_cast<std::size_t>(src) * blk, blk),
+                               src, sub_me)) {
+              ++errors[static_cast<std::size_t>(me)];
+            }
+          }
+          break;
+        }
+        case 1: {  // bcast with data check
+          auto span = std::span(buf).first(blk);
+          if (sub_me == sub_root) fill_pattern(span, sub_root, round & 0xFF);
+          co_await coll::bcast(self, *comm, span, sub_root,
+                               {.scheme = scheme});
+          if (!check_pattern(span, sub_root, round & 0xFF)) {
+            ++errors[static_cast<std::size_t>(me)];
+          }
+          break;
+        }
+        case 2:
+          co_await coll::allreduce(self, *comm, red_a, red_b,
+                                   {.scheme = scheme});
+          break;
+        case 3:
+          co_await coll::reduce(self, *comm, red_a, red_b, sub_root,
+                                {.scheme = scheme});
+          break;
+        case 4: {
+          std::vector<std::byte> gat(
+              static_cast<std::size_t>(comm->size()) * blk);
+          co_await coll::allgather(self, *comm, std::span(buf).first(blk),
+                                   gat, block, {.scheme = scheme});
+          break;
+        }
+        case 5:
+          co_await coll::barrier(self, *comm, {.scheme = scheme});
+          break;
+        case 6:
+          co_await coll::scan(self, *comm, red_a, red_b, {.scheme = scheme});
+          break;
+      }
+    }
+  };
+
+  sim.runtime().launch(body);
+  const auto run = sim.engine().run_active();
+
+  StressOutcome outcome;
+  outcome.completed = run.all_tasks_finished;
+  for (const int e : errors) outcome.data_errors += e;
+  outcome.energy = sim.machine().total_energy();
+  outcome.end_ns = run.end_time.ns();
+
+  // Core state restored after the storm.
+  if (outcome.completed) {
+    for (int r = 0; r < 16; ++r) {
+      const auto core = sim.runtime().placement().core_of(r);
+      if (sim.machine().throttle(core) != 0 ||
+          sim.machine().frequency(core) != sim.machine().params().fmax) {
+        ++outcome.data_errors;
+      }
+    }
+  }
+  return outcome;
+}
+
+class StressSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSeeds, MixedScheduleCompletesCleanly) {
+  const auto outcome = run_stress(GetParam(), 24);
+  EXPECT_TRUE(outcome.completed) << "deadlock under seed " << GetParam();
+  EXPECT_EQ(outcome.data_errors, 0);
+  EXPECT_GT(outcome.energy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSeeds,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 0xDEADBEEFu),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.index);
+                         });
+
+TEST(StressDeterminism, SameSeedSameTrace) {
+  const auto a = run_stress(99, 16);
+  const auto b = run_stress(99, 16);
+  ASSERT_TRUE(a.completed && b.completed);
+  EXPECT_EQ(a.end_ns, b.end_ns);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+}  // namespace
+}  // namespace pacc::coll

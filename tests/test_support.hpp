@@ -1,0 +1,66 @@
+// Shared helpers for the pacc test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "pacc/simulation.hpp"
+
+namespace pacc::test {
+
+/// Small cluster config for fast tests (defaults: 4 nodes × 4 ranks).
+inline ClusterConfig small_cluster(int nodes = 4, int ranks = 16,
+                                   int ranks_per_node = 4) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = ranks_per_node;
+  return cfg;
+}
+
+/// Deterministic byte identifying (src, dst, offset) — used to verify that
+/// collectives deliver exactly the right data.
+inline std::byte pattern(int src, int dst, std::size_t offset) {
+  return static_cast<std::byte>(
+      (static_cast<unsigned>(src) * 131u + static_cast<unsigned>(dst) * 31u +
+       static_cast<unsigned>(offset)) &
+      0xFFu);
+}
+
+/// Fills `buf` as the data rank `src` wants delivered to `dst`.
+inline void fill_pattern(std::span<std::byte> buf, int src, int dst) {
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = pattern(src, dst, i);
+}
+
+/// True when `buf` matches the (src, dst) pattern.
+inline bool check_pattern(std::span<const std::byte> buf, int src, int dst) {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (buf[i] != pattern(src, dst, i)) return false;
+  }
+  return true;
+}
+
+/// Scheme label safe for gtest parameterized-test names (no hyphens).
+inline std::string scheme_tag(coll::PowerScheme s) {
+  switch (s) {
+    case coll::PowerScheme::kNone:
+      return "none";
+    case coll::PowerScheme::kFreqScaling:
+      return "dvfs";
+    case coll::PowerScheme::kProposed:
+      return "proposed";
+  }
+  return "unknown";
+}
+
+/// Runs `body` on every rank and asserts the simulation drains cleanly.
+inline sim::RunResult run_all(Simulation& sim,
+                              const std::function<sim::Task<>(mpi::Rank&)>& body) {
+  sim.runtime().launch(body);
+  return sim.engine().run();
+}
+
+}  // namespace pacc::test

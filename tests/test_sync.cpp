@@ -1,0 +1,146 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pacc::sim {
+namespace {
+
+Task<> wait_signal(Signal& s, int id, std::vector<int>& log) {
+  co_await s.wait();
+  log.push_back(id);
+}
+
+TEST(Signal, PulseWakesAllCurrentWaiters) {
+  Engine e;
+  Signal s(e);
+  std::vector<int> log;
+  e.spawn(wait_signal(s, 1, log));
+  e.spawn(wait_signal(s, 2, log));
+  e.schedule(Duration::micros(5), [&] { s.pulse(); });
+  const RunResult r = e.run();
+  EXPECT_TRUE(r.all_tasks_finished);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+Task<> wait_twice(Engine& e, Signal& s, int& count) {
+  co_await s.wait();
+  ++count;
+  co_await s.wait();
+  ++count;
+  (void)e;
+}
+
+TEST(Signal, RewaitTargetsNextPulse) {
+  Engine e;
+  Signal s(e);
+  int count = 0;
+  e.spawn(wait_twice(e, s, count));
+  e.schedule(Duration::micros(1), [&] { s.pulse(); });
+  e.schedule(Duration::micros(2), [&] { s.pulse(); });
+  const RunResult r = e.run();
+  EXPECT_TRUE(r.all_tasks_finished);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Signal, NoWaitersPulseIsNoop) {
+  Engine e;
+  Signal s(e);
+  s.pulse();
+  EXPECT_TRUE(e.run().all_tasks_finished);
+}
+
+Task<> wait_latch(Latch& l, int& hits) {
+  co_await l.wait();
+  ++hits;
+}
+
+TEST(Latch, WaitAfterFireCompletesImmediately) {
+  Engine e;
+  Latch l(e);
+  l.fire();
+  int hits = 0;
+  e.spawn(wait_latch(l, hits));
+  e.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Latch, FireReleasesAllWaiters) {
+  Engine e;
+  Latch l(e);
+  int hits = 0;
+  for (int i = 0; i < 4; ++i) e.spawn(wait_latch(l, hits));
+  e.schedule(Duration::micros(3), [&] { l.fire(); });
+  e.run();
+  EXPECT_EQ(hits, 4);
+}
+
+TEST(Latch, DoubleFireIsIdempotent) {
+  Engine e;
+  Latch l(e);
+  int hits = 0;
+  e.spawn(wait_latch(l, hits));
+  e.schedule(Duration::micros(1), [&] {
+    l.fire();
+    l.fire();
+  });
+  e.run();
+  EXPECT_EQ(hits, 1);
+}
+
+Task<> barrier_party(Engine& e, Barrier& b, Duration arrive_after,
+                     std::vector<std::int64_t>& release_times) {
+  co_await e.delay(arrive_after);
+  co_await b.arrive_and_wait();
+  release_times.push_back(e.now().ns());
+}
+
+TEST(Barrier, ReleasesWhenLastArrives) {
+  Engine e;
+  Barrier b(e, 3);
+  std::vector<std::int64_t> times;
+  e.spawn(barrier_party(e, b, Duration::micros(10), times));
+  e.spawn(barrier_party(e, b, Duration::micros(20), times));
+  e.spawn(barrier_party(e, b, Duration::micros(30), times));
+  const RunResult r = e.run();
+  EXPECT_TRUE(r.all_tasks_finished);
+  ASSERT_EQ(times.size(), 3u);
+  for (auto t : times) EXPECT_EQ(t, 30'000);
+}
+
+Task<> barrier_loop(Engine& e, Barrier& b, int rounds, int id,
+                    std::vector<int>& log) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await e.delay(Duration::micros(id));  // stagger arrivals
+    co_await b.arrive_and_wait();
+    log.push_back(i * 10 + id);
+  }
+}
+
+TEST(Barrier, IsReusableAcrossRounds) {
+  Engine e;
+  Barrier b(e, 2);
+  std::vector<int> log;
+  e.spawn(barrier_loop(e, b, 3, 1, log));
+  e.spawn(barrier_loop(e, b, 3, 2, log));
+  const RunResult r = e.run();
+  EXPECT_TRUE(r.all_tasks_finished);
+  ASSERT_EQ(log.size(), 6u);
+  // Rounds must be strictly ordered: both round-i entries precede round-i+1.
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i] / 10, static_cast<int>(i / 2));
+  }
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Engine e;
+  Barrier b(e, 1);
+  std::vector<std::int64_t> times;
+  e.spawn(barrier_party(e, b, Duration::micros(1), times));
+  EXPECT_TRUE(e.run().all_tasks_finished);
+  ASSERT_EQ(times.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pacc::sim

@@ -1,0 +1,116 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pacc::sim {
+namespace {
+
+Task<> delayer(Engine& e, Duration d, int id, std::vector<int>& log) {
+  co_await e.delay(d);
+  log.push_back(id);
+}
+
+TEST(Task, SpawnedTaskRunsToCompletion) {
+  Engine e;
+  std::vector<int> log;
+  e.spawn(delayer(e, Duration::micros(5), 1, log));
+  const RunResult r = e.run();
+  EXPECT_TRUE(r.all_tasks_finished);
+  EXPECT_EQ(log, (std::vector<int>{1}));
+}
+
+TEST(Task, ConcurrentTasksInterleaveByTime) {
+  Engine e;
+  std::vector<int> log;
+  e.spawn(delayer(e, Duration::micros(20), 2, log));
+  e.spawn(delayer(e, Duration::micros(10), 1, log));
+  e.spawn(delayer(e, Duration::micros(30), 3, log));
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+Task<> child(Engine& e, std::vector<int>& log) {
+  log.push_back(1);
+  co_await e.delay(Duration::micros(1));
+  log.push_back(2);
+}
+
+Task<> parent(Engine& e, std::vector<int>& log) {
+  log.push_back(0);
+  co_await child(e, log);
+  log.push_back(3);
+}
+
+TEST(Task, NestedAwaitRunsChildInline) {
+  Engine e;
+  std::vector<int> log;
+  e.spawn(parent(e, log));
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+}
+
+Task<int> produce(Engine& e, int v) {
+  co_await e.delay(Duration::micros(1));
+  co_return v;
+}
+
+Task<> consume(Engine& e, int& out) { out = co_await produce(e, 42); }
+
+TEST(Task, ValueTaskDeliversResult) {
+  Engine e;
+  int out = 0;
+  e.spawn(consume(e, out));
+  e.run();
+  EXPECT_EQ(out, 42);
+}
+
+Task<> deep(Engine& e, int depth, int& leaves) {
+  if (depth == 0) {
+    ++leaves;
+    co_return;
+  }
+  co_await deep(e, depth - 1, leaves);
+}
+
+TEST(Task, DeepNestingDoesNotOverflow) {
+  Engine e;
+  int leaves = 0;
+  e.spawn(deep(e, 1000, leaves));
+  e.run();
+  EXPECT_EQ(leaves, 1);
+}
+
+Task<> never_finishes(Engine& e) {
+  co_await e.delay(Duration::seconds(1e9));
+}
+
+TEST(Task, StuckTaskReportedAsDeadlock) {
+  Engine e;
+  e.spawn(never_finishes(e));
+  const RunResult r = e.run_until(TimePoint{} + Duration::seconds(1.0));
+  EXPECT_FALSE(r.all_tasks_finished);
+  EXPECT_EQ(r.stuck_tasks, 1u);
+}
+
+Task<> bump_after_delay(Engine& e, int& d) {
+  co_await e.delay(Duration::nanos(1));
+  ++d;
+}
+
+TEST(Task, ManySpawnsGetReclaimed) {
+  Engine e;
+  int done = 0;
+  for (int i = 0; i < 5000; ++i) {
+    e.spawn(bump_after_delay(e, done));
+  }
+  const RunResult r = e.run();
+  EXPECT_TRUE(r.all_tasks_finished);
+  EXPECT_EQ(done, 5000);
+}
+
+}  // namespace
+}  // namespace pacc::sim

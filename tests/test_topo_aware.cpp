@@ -1,0 +1,264 @@
+// Tests for the rack layer and the topology-aware Scatter/Gather extension
+// (the paper's §VIII future work).
+#include "coll/topo_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coll/power_scheme.hpp"
+#include "net/network.hpp"
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+using test::run_all;
+
+ClusterConfig racked_cluster(int nodes = 8, int ranks = 32, int ppn = 4,
+                             int nodes_per_rack = 4) {
+  ClusterConfig cfg = test::small_cluster(nodes, ranks, ppn);
+  cfg.nodes_per_rack = nodes_per_rack;
+  return cfg;
+}
+
+TEST(RackShape, DerivedStructure) {
+  hw::ClusterShape shape{8, 2, 4, /*nodes_per_rack=*/4};
+  EXPECT_TRUE(shape.has_racks());
+  EXPECT_EQ(shape.racks(), 2);
+  EXPECT_EQ(shape.rack_of(0), 0);
+  EXPECT_EQ(shape.rack_of(3), 0);
+  EXPECT_EQ(shape.rack_of(4), 1);
+  EXPECT_EQ(shape.rack_of(7), 1);
+
+  hw::ClusterShape flat{8, 2, 4};
+  EXPECT_FALSE(flat.has_racks());
+  EXPECT_EQ(flat.racks(), 1);
+  EXPECT_EQ(flat.rack_of(7), 0);
+}
+
+TEST(RackComm, StructureAndLeaders) {
+  Simulation sim(racked_cluster());
+  mpi::Comm& world = sim.runtime().world();
+  ASSERT_EQ(world.racks().size(), 2u);
+  EXPECT_EQ(world.members_on_rack(0).size(), 16u);
+  EXPECT_EQ(world.rack_leader_of(0), 0);
+  EXPECT_EQ(world.rack_leader_of(1), 16);
+  EXPECT_TRUE(world.is_rack_leader(0));
+  EXPECT_FALSE(world.is_rack_leader(1));
+  mpi::Comm& leaders = world.rack_leader_comm();
+  EXPECT_EQ(leaders.size(), 2);
+  EXPECT_EQ(leaders.global_rank(1), 16);
+}
+
+TEST(RackNetwork, InterRackFlowsShareTheAggregationLink) {
+  // Two flows from different nodes of rack 0 to rack 1 share the rack
+  // uplink even though their node links are disjoint.
+  sim::Engine engine;
+  hw::ClusterShape shape{4, 2, 4, /*nodes_per_rack=*/2};
+  net::NetworkParams params;
+  params.link_bandwidth = 1e9;
+  params.rack_bandwidth = 1e9;  // heavily oversubscribed: 2 nodes per rack
+  params.contention_penalty = 0.0;
+  net::FlowNetwork net(engine, shape, params);
+
+  struct Probe {
+    TimePoint done;
+  } a, b;
+  auto xfer = [&](int src, int dst, Probe& p) -> sim::Task<> {
+    co_await net.transfer(src, dst, 1'000'000);
+    p.done = engine.now();
+  };
+  engine.spawn(xfer(0, 2, a));
+  engine.spawn(xfer(1, 3, b));
+  EXPECT_TRUE(engine.run().all_tasks_finished);
+  // Node links are disjoint (1 GB/s each) but the rack uplink carries both:
+  // each flow gets 0.5 GB/s → 2 ms.
+  EXPECT_NEAR(a.done.us(), 2000.0, 10.0);
+  EXPECT_NEAR(b.done.us(), 2000.0, 10.0);
+}
+
+TEST(RackNetwork, IntraRackFlowsSkipTheAggregationLink) {
+  sim::Engine engine;
+  hw::ClusterShape shape{4, 2, 4, /*nodes_per_rack=*/2};
+  net::NetworkParams params;
+  params.link_bandwidth = 1e9;
+  params.rack_bandwidth = 1e8;  // would be very slow if (wrongly) used
+  params.contention_penalty = 0.0;
+  net::FlowNetwork net(engine, shape, params);
+  TimePoint done;
+  auto xfer = [&]() -> sim::Task<> {
+    co_await net.transfer(0, 1, 1'000'000);  // same rack
+    done = engine.now();
+  };
+  engine.spawn(xfer());
+  EXPECT_TRUE(engine.run().all_tasks_finished);
+  EXPECT_NEAR(done.us(), 1000.0, 5.0);
+}
+
+TEST(TopoAware, ApplicabilityRules) {
+  Simulation racked(racked_cluster());
+  EXPECT_TRUE(topo_aware_applicable(racked.runtime().world()));
+
+  Simulation flat(test::small_cluster(4, 16, 4));
+  EXPECT_FALSE(topo_aware_applicable(flat.runtime().world()));
+}
+
+void verify_topo_scatter(const ClusterConfig& cfg, int root,
+                         PowerScheme scheme) {
+  Simulation sim(cfg);
+  const int P = cfg.ranks;
+  const Bytes block = 8192;
+  const auto blk = static_cast<std::size_t>(block);
+  std::vector<int> ok(static_cast<std::size_t>(P), 0);
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send;
+    if (me == root) {
+      send.resize(static_cast<std::size_t>(P) * blk);
+      for (int dst = 0; dst < P; ++dst) {
+        fill_pattern(
+            std::span(send).subspan(static_cast<std::size_t>(dst) * blk, blk),
+            root, dst);
+      }
+    }
+    std::vector<std::byte> mine(blk);
+    co_await scatter_topo_aware(self, world, send, mine, block, root,
+                                {.scheme = scheme});
+    ok[static_cast<std::size_t>(me)] = check_pattern(mine, root, me);
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+  // Power management must be transparent.
+  for (int r = 0; r < P; ++r) {
+    const auto core = sim.runtime().placement().core_of(r);
+    EXPECT_EQ(sim.machine().throttle(core), 0);
+    EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+  }
+}
+
+TEST(TopoAware, ScatterCorrectRootZero) {
+  verify_topo_scatter(racked_cluster(), 0, PowerScheme::kNone);
+}
+
+TEST(TopoAware, ScatterCorrectNonLeaderRoot) {
+  verify_topo_scatter(racked_cluster(), 21, PowerScheme::kNone);
+}
+
+TEST(TopoAware, ScatterPowerAware) {
+  verify_topo_scatter(racked_cluster(), 0, PowerScheme::kProposed);
+  verify_topo_scatter(racked_cluster(), 9, PowerScheme::kProposed);
+}
+
+TEST(TopoAware, ScatterFourRacks) {
+  verify_topo_scatter(racked_cluster(8, 64, 8, 2), 0, PowerScheme::kProposed);
+}
+
+void verify_topo_gather(const ClusterConfig& cfg, int root,
+                        PowerScheme scheme) {
+  Simulation sim(cfg);
+  const int P = cfg.ranks;
+  const Bytes block = 8192;
+  const auto blk = static_cast<std::size_t>(block);
+  bool root_ok = false;
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> mine(blk);
+    fill_pattern(mine, me, root);
+    std::vector<std::byte> gathered;
+    if (me == root) gathered.resize(static_cast<std::size_t>(P) * blk);
+    co_await gather_topo_aware(self, world, mine, gathered, block, root,
+                               {.scheme = scheme});
+    if (me == root) {
+      bool good = true;
+      for (int src = 0; src < P; ++src) {
+        good = good && check_pattern(
+                           std::span<const std::byte>(gathered).subspan(
+                               static_cast<std::size_t>(src) * blk, blk),
+                           src, root);
+      }
+      root_ok = good;
+    }
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  EXPECT_TRUE(root_ok);
+}
+
+TEST(TopoAware, GatherCorrect) {
+  verify_topo_gather(racked_cluster(), 0, PowerScheme::kNone);
+  verify_topo_gather(racked_cluster(), 13, PowerScheme::kFreqScaling);
+}
+
+TEST(TopoAware, FlatFallbackStillCorrect) {
+  // Without racks the calls degrade to the binomial algorithms.
+  ClusterConfig cfg = test::small_cluster(4, 16, 4);
+  Simulation sim(cfg);
+  const Bytes block = 4096;
+  const auto blk = static_cast<std::size_t>(block);
+  std::vector<int> ok(16, 0);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send;
+    if (me == 0) {
+      send.resize(16 * blk);
+      for (int dst = 0; dst < 16; ++dst) {
+        fill_pattern(
+            std::span(send).subspan(static_cast<std::size_t>(dst) * blk, blk),
+            0, dst);
+      }
+    }
+    std::vector<std::byte> mine(blk);
+    co_await scatter_topo_aware(self, world, send, mine, block, 0,
+                                {.scheme = PowerScheme::kProposed});
+    ok[static_cast<std::size_t>(me)] = check_pattern(mine, 0, me);
+  };
+  ASSERT_TRUE(run_all(sim, body).all_tasks_finished);
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1);
+}
+
+TEST(TopoAware, SavesEnergyOnOversubscribedFabric) {
+  // On an oversubscribed fabric the hierarchical scatter crosses each rack
+  // boundary once, and the power-aware variant throttles the waiting ranks:
+  // energy must drop versus the flat binomial tree.
+  auto energy_with = [&](bool topo, PowerScheme scheme) {
+    ClusterConfig cfg = racked_cluster(8, 64, 8, 4);
+    Simulation sim(cfg);
+    const Bytes block = 256 * 1024;
+    const auto blk = static_cast<std::size_t>(block);
+    auto body = [&, topo, scheme](mpi::Rank& self) -> sim::Task<> {
+      mpi::Comm& world = sim.runtime().world();
+      const int me = world.comm_rank_of(self.id());
+      std::vector<std::byte> send;
+      if (me == 0) send.resize(64 * blk);
+      std::vector<std::byte> mine(blk);
+      if (topo) {
+        co_await scatter_topo_aware(self, world, send, mine, block, 0,
+                                    {.scheme = scheme});
+      } else {
+        co_await enter_low_power(self, scheme);
+        co_await scatter_binomial(self, world, send, mine, block, 0);
+        co_await exit_low_power(self, scheme);
+      }
+    };
+    EXPECT_TRUE(run_all(sim, body).all_tasks_finished);
+    return sim.machine().total_energy();
+  };
+
+  const Joules flat = energy_with(false, PowerScheme::kNone);
+  const Joules topo = energy_with(true, PowerScheme::kNone);
+  const Joules topo_power = energy_with(true, PowerScheme::kProposed);
+  EXPECT_LT(topo, flat);
+  EXPECT_LT(topo_power, topo);
+}
+
+}  // namespace
+}  // namespace pacc::coll

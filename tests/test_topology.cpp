@@ -1,0 +1,91 @@
+#include "hw/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacc::hw {
+namespace {
+
+const ClusterShape kPaperShape{8, 2, 4};
+
+TEST(ClusterShape, DerivedCounts) {
+  EXPECT_EQ(kPaperShape.cores_per_node(), 8);
+  EXPECT_EQ(kPaperShape.total_cores(), 64);
+  EXPECT_EQ(kPaperShape.sockets_total(), 16);
+  EXPECT_TRUE(kPaperShape.valid());
+}
+
+TEST(CoreId, LinearRoundTrips) {
+  for (int l = 0; l < kPaperShape.total_cores(); ++l) {
+    const CoreId id = core_from_linear(kPaperShape, l);
+    EXPECT_EQ(linear_core(kPaperShape, id), l);
+  }
+}
+
+TEST(CoreId, OsNumberingMatchesFig5) {
+  // Fig 5: socket A hosts OS cores 0 2 4 6, socket B hosts 1 3 5 7.
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(os_core_number(kPaperShape, CoreId{0, 0, c}), 2 * c);
+    EXPECT_EQ(os_core_number(kPaperShape, CoreId{0, 1, c}), 2 * c + 1);
+  }
+}
+
+TEST(Placement, BunchFillsSocketAFirst) {
+  // MVAPICH2 default: local ranks 0..3 on socket A, 4..7 on socket B.
+  const auto p = place_ranks(kPaperShape, 64, 8, AffinityPolicy::kBunch);
+  ASSERT_EQ(p.ranks(), 64);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(p.node_of(r), 0);
+    EXPECT_EQ(p.socket_of(r), r < 4 ? 0 : 1);
+  }
+  EXPECT_EQ(p.node_of(8), 1);
+  EXPECT_EQ(p.node_of(63), 7);
+}
+
+TEST(Placement, ScatterAlternatesSockets) {
+  const auto p = place_ranks(kPaperShape, 64, 8, AffinityPolicy::kScatter);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(p.socket_of(r), r % 2);
+  }
+}
+
+TEST(Placement, FourWayUsesEightNodes) {
+  // Fig 2a: 32 ranks, 4 per node across 8 nodes.
+  const auto p = place_ranks(kPaperShape, 32, 4, AffinityPolicy::kBunch);
+  EXPECT_EQ(p.node_of(0), 0);
+  EXPECT_EQ(p.node_of(31), 7);
+  // With bunch affinity all four land on socket A.
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(p.socket_of(r), 0);
+}
+
+TEST(Placement, EightWayUsesFourNodes) {
+  const auto p = place_ranks(kPaperShape, 32, 8, AffinityPolicy::kBunch);
+  EXPECT_EQ(p.node_of(31), 3);
+}
+
+TEST(Placement, DistinctCoresPerRank) {
+  const auto p = place_ranks(kPaperShape, 64, 8, AffinityPolicy::kBunch);
+  for (int a = 0; a < p.ranks(); ++a) {
+    for (int b = a + 1; b < p.ranks(); ++b) {
+      EXPECT_FALSE(p.core_of(a) == p.core_of(b))
+          << "ranks " << a << " and " << b << " share a core";
+    }
+  }
+}
+
+TEST(Placement, PolicyNames) {
+  EXPECT_EQ(to_string(AffinityPolicy::kBunch), "bunch");
+  EXPECT_EQ(to_string(AffinityPolicy::kScatter), "scatter");
+}
+
+TEST(PlacementDeath, RejectsOversubscription) {
+  EXPECT_DEATH(place_ranks(kPaperShape, 128, 16, AffinityPolicy::kBunch),
+               "cores");
+}
+
+TEST(PlacementDeath, RejectsNonDivisibleRanks) {
+  EXPECT_DEATH(place_ranks(kPaperShape, 30, 4, AffinityPolicy::kBunch),
+               "multiple");
+}
+
+}  // namespace
+}  // namespace pacc::hw

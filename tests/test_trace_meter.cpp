@@ -1,0 +1,114 @@
+// Tests for the per-node meter channels and the message trace.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "test_support.hpp"
+
+namespace pacc {
+namespace {
+
+TEST(PerNodeMeter, ChannelsSumToSystemPower) {
+  sim::Engine engine;
+  hw::Machine machine(engine, presets::paper_machine(4));
+  hw::SamplingMeter meter(machine, Duration::millis(500), /*per_node=*/true);
+  meter.start();
+  engine.schedule(Duration::seconds(1.1), [&] { meter.stop(); });
+  engine.run();
+
+  ASSERT_EQ(meter.node_series().size(), 4u);
+  ASSERT_EQ(meter.series().samples().size(), 2u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    Watts sum = 0.0;
+    for (const auto& node : meter.node_series()) {
+      ASSERT_EQ(node.samples().size(), 2u);
+      sum += node.samples()[s].watts;
+    }
+    EXPECT_NEAR(sum, meter.series().samples()[s].watts, 1e-6);
+  }
+}
+
+TEST(PerNodeMeter, DisabledByDefault) {
+  sim::Engine engine;
+  hw::Machine machine(engine, presets::paper_machine(2));
+  hw::SamplingMeter meter(machine);
+  meter.start();
+  engine.schedule(Duration::seconds(0.6), [&] { meter.stop(); });
+  engine.run();
+  EXPECT_TRUE(meter.node_series().empty());
+}
+
+TEST(PerNodeMeter, PlumbsThroughSimulationFacade) {
+  ClusterConfig cfg = test::small_cluster(2, 4, 2);
+  cfg.per_node_meter = true;
+  Simulation sim(cfg);
+  const auto report = sim.run([](mpi::Rank& r) -> sim::Task<> {
+    co_await r.compute(Duration::seconds(1.2));
+  });
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.node_power.size(), 2u);
+  EXPECT_EQ(report.node_power[0].samples().size(),
+            report.power.samples().size());
+}
+
+TEST(MessageTrace, RecordsEverySend) {
+  Simulation sim(test::small_cluster(2, 4, 2));
+  sim.runtime().enable_message_trace();
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    std::array<std::byte, 128> buf{};
+    if (self.id() == 0) {
+      co_await self.send(1, 5, buf);   // intra-node
+      co_await self.send(2, 6, buf);   // inter-node
+    } else if (self.id() == 1) {
+      co_await self.recv(0, 5, buf);
+    } else if (self.id() == 2) {
+      co_await self.recv(0, 6, buf);
+    }
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+
+  const auto& trace = sim.runtime().message_trace();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].src, 0);
+  EXPECT_EQ(trace[0].dst, 1);
+  EXPECT_EQ(trace[0].tag, 5);
+  EXPECT_EQ(trace[0].bytes, 128);
+  EXPECT_TRUE(trace[0].intra_node);
+  EXPECT_FALSE(trace[1].intra_node);
+  EXPECT_GE(trace[1].time.ns(), trace[0].time.ns());
+}
+
+TEST(MessageTrace, OffByDefaultAndToggleable) {
+  Simulation sim(test::small_cluster(2, 2, 1));
+  EXPECT_FALSE(sim.runtime().message_trace_enabled());
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    std::array<std::byte, 8> buf{};
+    if (self.id() == 0) {
+      co_await self.send(1, 1, buf);
+    } else {
+      co_await self.recv(0, 1, buf);
+    }
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  EXPECT_TRUE(sim.runtime().message_trace().empty());
+}
+
+TEST(MessageTrace, CollectiveMessageCountMatchesAlgorithm) {
+  // Pairwise alltoall on P ranks: each rank sends P-1 messages.
+  Simulation sim(test::small_cluster(2, 8, 4));
+  sim.runtime().enable_message_trace();
+  const Bytes block = 16 * 1024;
+  const auto blk = static_cast<std::size_t>(block);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    std::vector<std::byte> send(8 * blk), recv(8 * blk);
+    co_await coll::alltoall_pairwise(self, world, send, recv, block);
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  EXPECT_EQ(sim.runtime().message_trace().size(), 8u * 7u);
+}
+
+}  // namespace
+}  // namespace pacc

@@ -1,0 +1,55 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacc {
+namespace {
+
+TEST(Duration, ConversionsRoundTrip) {
+  EXPECT_EQ(Duration::micros(1.5).ns(), 1500);
+  EXPECT_EQ(Duration::millis(2.0).ns(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(3.0).ns(), 3'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::nanos(2500).us(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::seconds(0.25).sec(), 0.25);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::micros(10);
+  const Duration b = Duration::micros(4);
+  EXPECT_EQ((a + b).ns(), 14'000);
+  EXPECT_EQ((a - b).ns(), 6'000);
+  EXPECT_EQ((a * 2.5).ns(), 25'000);
+  EXPECT_EQ((a / 2.0).ns(), 5'000);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c.ns(), 14'000);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::micros(1), Duration::micros(2));
+  EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(TimePoint, OffsetAndDifference) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::millis(5);
+  EXPECT_EQ((t1 - t0).ns(), 5'000'000);
+  EXPECT_LT(t0, t1);
+  EXPECT_LT(t1, TimePoint::max());
+}
+
+TEST(Frequency, Conversions) {
+  EXPECT_DOUBLE_EQ(Frequency::ghz(2.4).hz(), 2.4e9);
+  EXPECT_DOUBLE_EQ(Frequency::mhz(1600).ghz(), 1.6);
+  EXPECT_LT(Frequency::ghz(1.6), Frequency::ghz(2.4));
+}
+
+TEST(Bytes, Literals) {
+  EXPECT_EQ(4_KiB, 4096);
+  EXPECT_EQ(1_MiB, 1048576);
+}
+
+}  // namespace
+}  // namespace pacc

@@ -1,0 +1,127 @@
+#include "apps/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/cpmd.hpp"
+#include "apps/nas.hpp"
+
+namespace pacc::apps {
+namespace {
+
+ClusterConfig small_cfg(int ranks, int ppn) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = ppn;
+  return cfg;
+}
+
+WorkloadSpec tiny_spec() {
+  WorkloadSpec spec;
+  spec.name = "tiny";
+  spec.simulated_iterations = 2;
+  // The communication phase must carry real weight for the power schemes
+  // to matter (as in the paper's Alltoall-heavy applications).
+  spec.phases = {
+      Phase{.kind = Phase::Kind::kCompute, .compute = Duration::millis(1.0)},
+      Phase{.kind = Phase::Kind::kAlltoall, .bytes = 64 * 1024, .repeat = 2},
+      Phase{.kind = Phase::Kind::kAllreduce, .bytes = 8192},
+  };
+  return spec;
+}
+
+TEST(Workload, RunsToCompletionAndAccounts) {
+  const auto report =
+      run_workload(small_cfg(8, 4), tiny_spec(), coll::PowerScheme::kNone);
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.total_time.ns(), 0);
+  EXPECT_GT(report.comm_time.ns(), 0);
+  EXPECT_GT(report.alltoall_time.ns(), 0);
+  EXPECT_LE(report.alltoall_time.ns(), report.comm_time.ns());
+  EXPECT_LT(report.comm_time.ns(), report.total_time.ns());
+  EXPECT_GT(report.energy, 0.0);
+  EXPECT_GT(report.mean_power, 0.0);
+}
+
+TEST(Workload, ExtrapolationScalesTotals) {
+  WorkloadSpec spec = tiny_spec();
+  const auto base =
+      run_workload(small_cfg(8, 4), spec, coll::PowerScheme::kNone);
+  spec.extrapolation = 3.0;
+  const auto scaled =
+      run_workload(small_cfg(8, 4), spec, coll::PowerScheme::kNone);
+  EXPECT_NEAR(scaled.total_time.sec(), base.total_time.sec() * 3.0,
+              base.total_time.sec() * 0.01);
+  EXPECT_NEAR(scaled.energy, base.energy * 3.0, base.energy * 0.01);
+}
+
+TEST(Workload, PowerSchemesPreserveStructureAndSaveEnergy) {
+  const WorkloadSpec spec = tiny_spec();
+  const auto none =
+      run_workload(small_cfg(16, 8), spec, coll::PowerScheme::kNone);
+  const auto dvfs =
+      run_workload(small_cfg(16, 8), spec, coll::PowerScheme::kFreqScaling);
+  const auto prop =
+      run_workload(small_cfg(16, 8), spec, coll::PowerScheme::kProposed);
+  ASSERT_TRUE(none.completed && dvfs.completed && prop.completed);
+  // Paper Figs 9-10: small runtime overhead, real energy savings.
+  EXPECT_GE(dvfs.total_time.ns(), none.total_time.ns());
+  EXPECT_LT(dvfs.total_time.sec(), none.total_time.sec() * 1.15);
+  EXPECT_LT(dvfs.energy, none.energy);
+  EXPECT_LE(prop.energy, dvfs.energy * 1.02);
+}
+
+TEST(Workload, AlltoallvImbalanceStaysConsistent) {
+  WorkloadSpec spec;
+  spec.name = "vtest";
+  spec.simulated_iterations = 1;
+  spec.phases = {Phase{.kind = Phase::Kind::kAlltoallv,
+                       .bytes = 2048,
+                       .repeat = 1,
+                       .imbalance = 0.3}};
+  const auto report =
+      run_workload(small_cfg(8, 4), spec, coll::PowerScheme::kNone);
+  EXPECT_TRUE(report.completed);  // mismatched counts would deadlock/abort
+}
+
+TEST(CpmdProfiles, AllDatasetsBuildAndScale) {
+  for (const auto name : kCpmdDatasets) {
+    const auto w32 = cpmd_workload(name, 32);
+    const auto w64 = cpmd_workload(name, 64);
+    EXPECT_EQ(w32.name, name);
+    // Strong scaling: compute halves, transpose block quarters.
+    ASSERT_FALSE(w32.phases.empty());
+    EXPECT_NEAR(w64.phases[0].compute.sec(), w32.phases[0].compute.sec() / 2,
+                1e-9);
+    EXPECT_EQ(w64.phases[1].bytes, w32.phases[1].bytes / 4);
+  }
+}
+
+TEST(CpmdProfiles, TaInpMdIsTheLongRun) {
+  const auto wat = cpmd_workload("wat-32-inp-1", 32);
+  const auto ta = cpmd_workload("ta-inp-md", 32);
+  EXPECT_GT(ta.extrapolation, wat.extrapolation * 5);
+}
+
+TEST(NasProfiles, FtIsAlltoallHeavy) {
+  const auto ft = nas_ft(32);
+  bool has_alltoall = false;
+  for (const auto& ph : ft.phases) {
+    if (ph.kind == Phase::Kind::kAlltoall) has_alltoall = true;
+  }
+  EXPECT_TRUE(has_alltoall);
+}
+
+TEST(NasProfiles, IsUsesAlltoallvAndAllreduce) {
+  const auto is = nas_is(32);
+  bool has_v = false, has_ar = false;
+  for (const auto& ph : is.phases) {
+    has_v = has_v || ph.kind == Phase::Kind::kAlltoallv;
+    has_ar = has_ar || ph.kind == Phase::Kind::kAllreduce;
+  }
+  EXPECT_TRUE(has_v);
+  EXPECT_TRUE(has_ar);
+}
+
+}  // namespace
+}  // namespace pacc::apps

@@ -1,0 +1,225 @@
+// paccbench — OSU-style command-line harness for the simulated cluster.
+//
+// Collective sweep:
+//   paccbench --op alltoall --ranks 64 --ppn 8 --min 16K --max 1M \
+//             --scheme proposed --iters 5 --warmup 2 [--csv]
+//
+// Application workload from a trace file (see src/apps/trace.hpp):
+//   paccbench --workload my_app.wl --ranks 32 --ppn 4 --scheme dvfs
+//
+// Cluster knobs: --nodes, --affinity bunch|scatter, --mode polling|blocking,
+// --governor [threshold_us], --core-throttle, --racks <nodes_per_rack>.
+#include <iostream>
+#include <string>
+
+#include "apps/trace.hpp"
+#include "pacc/simulation.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pacc;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --op NAME          alltoall|alltoallv|bcast|reduce|allreduce|\n"
+      << "                     allgather|gather|scatter|scan|reduce_scatter|barrier\n"
+      << "  --workload FILE    run a workload trace instead of a collective\n"
+      << "  --scheme NAME      none|dvfs|proposed (default none)\n"
+      << "  --ranks N          MPI ranks (default 64)\n"
+      << "  --ppn N            ranks per node (default 8)\n"
+      << "  --nodes N          nodes (default ranks/ppn)\n"
+      << "  --min SIZE         sweep start (default 16K)\n"
+      << "  --max SIZE         sweep end (default 1M)\n"
+      << "  --iters N          timed iterations per size (default 5)\n"
+      << "  --warmup N         warmup iterations (default 2)\n"
+      << "  --affinity NAME    bunch|scatter (default bunch)\n"
+      << "  --mode NAME        polling|blocking (default polling)\n"
+      << "  --governor [US]    enable the black-box DVFS governor\n"
+      << "  --core-throttle    core-granular T-states (default socket)\n"
+      << "  --racks N          nodes per rack (default: no rack layer)\n"
+      << "  --csv              emit CSV instead of an aligned table\n"
+      << "  --profile          print a per-operation profile (workload mode)\n"
+      << "  --node-power       print per-node mean power (workload mode)\n";
+  return 2;
+}
+
+std::optional<coll::Op> parse_op(const std::string& name) {
+  if (name == "alltoall") return coll::Op::kAlltoall;
+  if (name == "alltoallv") return coll::Op::kAlltoallv;
+  if (name == "bcast") return coll::Op::kBcast;
+  if (name == "reduce") return coll::Op::kReduce;
+  if (name == "allreduce") return coll::Op::kAllreduce;
+  if (name == "allgather") return coll::Op::kAllgather;
+  if (name == "gather") return coll::Op::kGather;
+  if (name == "scatter") return coll::Op::kScatter;
+  if (name == "scan") return coll::Op::kScan;
+  if (name == "reduce_scatter") return coll::Op::kReduceScatter;
+  if (name == "barrier") return coll::Op::kBarrier;
+  return std::nullopt;
+}
+
+std::optional<coll::PowerScheme> parse_scheme(const std::string& name) {
+  if (name == "none" || name == "no-power") return coll::PowerScheme::kNone;
+  if (name == "dvfs" || name == "freq-scaling") {
+    return coll::PowerScheme::kFreqScaling;
+  }
+  if (name == "proposed") return coll::PowerScheme::kProposed;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+
+  if (args.has("help")) return usage(argv[0]);
+
+  const auto scheme = parse_scheme(args.get_or("scheme", "none"));
+  if (!scheme) {
+    std::cerr << "bad --scheme\n";
+    return usage(argv[0]);
+  }
+
+  ClusterConfig cfg;
+  cfg.ranks = static_cast<int>(args.int_or("ranks", 64));
+  cfg.ranks_per_node = static_cast<int>(args.int_or("ppn", 8));
+  cfg.nodes = static_cast<int>(
+      args.int_or("nodes", cfg.ranks / std::max(1, cfg.ranks_per_node)));
+  cfg.nodes_per_rack = static_cast<int>(args.int_or("racks", 0));
+  cfg.core_level_throttling = args.has("core-throttle");
+  const std::string affinity = args.get_or("affinity", "bunch");
+  if (affinity == "scatter") {
+    cfg.affinity = hw::AffinityPolicy::kScatter;
+  } else if (affinity != "bunch") {
+    std::cerr << "bad --affinity\n";
+    return usage(argv[0]);
+  }
+  const std::string mode = args.get_or("mode", "polling");
+  if (mode == "blocking") {
+    cfg.progress = mpi::ProgressMode::kBlocking;
+  } else if (mode != "polling") {
+    std::cerr << "bad --mode\n";
+    return usage(argv[0]);
+  }
+  if (args.has("governor")) {
+    cfg.governor.enabled = true;
+    const auto us = args.double_or("governor", 50.0);
+    if (us > 0) cfg.governor.wait_threshold = Duration::micros(us);
+  }
+
+  const bool csv = args.has("csv");
+  const bool profile = args.has("profile");
+  const bool node_power = args.has("node-power");
+  cfg.per_node_meter = node_power;
+  const auto workload_file = args.get("workload");
+  const auto op = parse_op(args.get_or("op", "alltoall"));
+  const Bytes min_size = args.bytes_or("min", 16 * 1024);
+  const Bytes max_size = args.bytes_or("max", 1 << 20);
+  const int iters = static_cast<int>(args.int_or("iters", 5));
+  const int warmup = static_cast<int>(args.int_or("warmup", 2));
+
+  const auto unknown = args.unknown();
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag(s):";
+    for (const auto& f : unknown) std::cerr << " " << f;
+    std::cerr << "\n";
+    return usage(argv[0]);
+  }
+
+  if (workload_file) {
+    const auto parsed = apps::load_workload(*workload_file);
+    if (!parsed.ok()) {
+      std::cerr << "error: " << parsed.error << "\n";
+      return 1;
+    }
+    const auto report = apps::run_workload(cfg, parsed.spec, *scheme);
+    if (!report.completed) {
+      std::cerr << "simulation did not complete (deadlock?)\n";
+      return 1;
+    }
+    Table t({"workload", "scheme", "ranks", "total_s", "comm_s", "alltoall_s",
+             "energy_KJ", "mean_kW"});
+    t.add_row({report.workload, coll::to_string(report.scheme),
+               std::to_string(report.ranks),
+               Table::num(report.total_time.sec(), 3),
+               Table::num(report.comm_time.sec(), 3),
+               Table::num(report.alltoall_time.sec(), 3),
+               Table::num(report.energy / 1000.0, 3),
+               Table::num(report.mean_power / 1000.0, 3)});
+    if (csv) {
+      t.print_csv(std::cout);
+    } else {
+      t.print(std::cout);
+    }
+    if (node_power && !report.mean_node_power.empty()) {
+      const bool sampled = report.mean_node_power.front() > 0.0;
+      if (!sampled) {
+        std::cout << "\nper-node power: no samples — the simulated run is\n"
+                     "shorter than the 0.5 s meter interval; raise the\n"
+                     "workload's `iterations`.\n";
+      } else {
+        std::cout << "\nper-node mean power (kW):\n";
+        Table nt({"node", "mean_kW"});
+        for (std::size_t n = 0; n < report.mean_node_power.size(); ++n) {
+          nt.add_row({std::to_string(n),
+                      Table::num(report.mean_node_power[n] / 1000.0, 3)});
+        }
+        nt.print(std::cout);
+      }
+    }
+    if (profile && !report.profile.empty()) {
+      std::cout << "\nper-operation profile (simulated iterations only):\n";
+      Table pt({"op", "calls", "bytes", "rank_time_s", "mean_us", "max_us"});
+      for (const auto& [name, s] : report.profile) {
+        pt.add_row({name, std::to_string(s.calls), std::to_string(s.bytes),
+                    Table::num(s.total_time.sec(), 4),
+                    Table::num(s.mean_us(), 1),
+                    Table::num(s.max_time.us(), 1)});
+      }
+      pt.print(std::cout);
+    }
+    return 0;
+  }
+
+  if (!op) {
+    std::cerr << "bad --op\n";
+    return usage(argv[0]);
+  }
+  if (min_size <= 0 || max_size < min_size) {
+    std::cerr << "bad --min/--max\n";
+    return usage(argv[0]);
+  }
+
+  Table t({"size", "latency_us", "energy_per_op_J", "mean_kW"});
+  for (Bytes size = min_size; size <= max_size; size *= 4) {
+    CollectiveBenchSpec spec;
+    spec.op = *op;
+    spec.message = size;
+    spec.scheme = *scheme;
+    spec.iterations = iters;
+    spec.warmup = warmup;
+    const auto report = measure_collective(cfg, spec);
+    if (!report.completed) {
+      std::cerr << "simulation did not complete (deadlock?)\n";
+      return 1;
+    }
+    t.add_row({format_bytes(size), Table::num(report.latency.us(), 2),
+               Table::num(report.energy_per_op, 3),
+               Table::num(report.mean_power / 1000.0, 3)});
+    if (*op == coll::Op::kBarrier) break;  // size is meaningless
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    std::cout << "# pacc " << coll::to_string(*op) << ", "
+              << coll::to_string(*scheme) << ", " << cfg.ranks << " ranks ("
+              << cfg.ranks_per_node << "/node), "
+              << hw::to_string(cfg.affinity) << ", " << to_string(cfg.progress)
+              << (cfg.governor.enabled ? ", governor" : "") << "\n";
+    t.print(std::cout);
+  }
+  return 0;
+}
