@@ -21,6 +21,12 @@ std::vector<std::size_t> displacements(std::span<const Bytes> counts) {
   return displs;
 }
 
+/// memcpy requires non-null pointers even for n == 0, and an all-zero
+/// segment over an empty buffer is exactly a null span.
+void copy_bytes(std::byte* dst, const std::byte* src, std::size_t n) {
+  if (n > 0) std::memcpy(dst, src, n);
+}
+
 void check(const mpi::Comm& comm, std::span<const std::byte> send,
            std::span<const Bytes> send_counts, std::span<std::byte> recv,
            std::span<const Bytes> recv_counts) {
@@ -52,9 +58,9 @@ sim::Task<> alltoallv_pairwise(mpi::Rank& self, mpi::Comm& comm,
   PACC_EXPECTS_MSG(send_counts[static_cast<std::size_t>(me)] ==
                        recv_counts[static_cast<std::size_t>(me)],
                    "self segment sizes must agree");
-  std::memcpy(recv.data() + rdispl[static_cast<std::size_t>(me)],
-              send.data() + sdispl[static_cast<std::size_t>(me)],
-              static_cast<std::size_t>(send_counts[static_cast<std::size_t>(me)]));
+  copy_bytes(recv.data() + rdispl[static_cast<std::size_t>(me)],
+             send.data() + sdispl[static_cast<std::size_t>(me)],
+             static_cast<std::size_t>(send_counts[static_cast<std::size_t>(me)]));
 
   for (int step = 1; step < P; ++step) {
     const int dst = is_pow2(P) ? (me ^ step) : (me + step) % P;
@@ -84,9 +90,9 @@ sim::Task<> alltoallv_power_aware(mpi::Rank& self, mpi::Comm& comm,
   const auto sdispl = displacements(send_counts);
   const auto rdispl = displacements(recv_counts);
 
-  std::memcpy(recv.data() + rdispl[static_cast<std::size_t>(me)],
-              send.data() + sdispl[static_cast<std::size_t>(me)],
-              static_cast<std::size_t>(send_counts[static_cast<std::size_t>(me)]));
+  copy_bytes(recv.data() + rdispl[static_cast<std::size_t>(me)],
+             send.data() + sdispl[static_cast<std::size_t>(me)],
+             static_cast<std::size_t>(send_counts[static_cast<std::size_t>(me)]));
 
   ExchangeOps ops;
   ops.send_to = [&self, &comm, send, &sdispl, send_counts,

@@ -16,6 +16,12 @@ int subtree_blocks(int vr, int mask, int P) {
   return std::min(mask, P - vr);
 }
 
+/// memcpy requires non-null pointers even for n == 0, and a zero-count
+/// segment over an empty buffer is exactly a null span.
+void copy_bytes(std::byte* dst, const std::byte* src, std::size_t n) {
+  if (n > 0) std::memcpy(dst, src, n);
+}
+
 }  // namespace
 
 sim::Task<> scatter_binomial(mpi::Rank& self, mpi::Comm& comm,
@@ -160,7 +166,7 @@ sim::Task<> scatterv_linear(mpi::Rank& self, mpi::Comm& comm,
       const auto segment =
           send.subspan(displs[p], static_cast<std::size_t>(counts[p]));
       if (peer == me) {
-        std::memcpy(recv.data(), segment.data(), segment.size());
+        copy_bytes(recv.data(), segment.data(), segment.size());
       } else {
         co_await self.send(comm.global_rank(peer), tag, segment);
       }
@@ -191,7 +197,7 @@ sim::Task<> gatherv_linear(mpi::Rank& self, mpi::Comm& comm,
       const auto segment =
           recv.subspan(displs[p], static_cast<std::size_t>(counts[p]));
       if (peer == me) {
-        std::memcpy(segment.data(), send.data(), send.size());
+        copy_bytes(segment.data(), send.data(), send.size());
       } else {
         co_await self.recv(comm.global_rank(peer), tag, segment);
       }

@@ -56,16 +56,19 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
   Message msg{id_, tag, to_payload(data)};
   const Bytes bytes = static_cast<Bytes>(data.size());
   if (bytes <= np.eager_threshold) {
-    // Eager: the sender resumes immediately; delivery happens when the
-    // transfer completes.
-    auto deliver = [](Runtime& rtime, int src_node, int dnode, Bytes n,
-                      bool loop, double mult, int target,
-                      Message m) -> sim::Task<> {
-      co_await rtime.network().transfer(src_node, dnode, n, loop, mult);
-      rtime.rank(target).mailbox().deliver(std::move(m));
-    };
-    rt.spawn_detached(deliver(rt, node(), dst_node, bytes, loopback, wire_mult,
-                              dst, std::move(msg)));
+    // Eager: the sender resumes immediately; the flow's completion hook
+    // delivers the payload. Small messages dominate many collectives, so
+    // this path deliberately avoids a detached coroutine frame per send.
+    // The in-flight payload still holds run_active() open until delivery,
+    // exactly as the old detached-task implementation did.
+    Runtime* rtp = &rt;
+    rt.engine().retain_active();
+    rt.network().start_flow(
+        node(), dst_node, bytes, loopback, wire_mult,
+        [rtp, dst, m = std::move(msg)]() mutable {
+          rtp->rank(dst).mailbox().deliver(std::move(m));
+          rtp->engine().release_active();
+        });
     co_return;
   }
   // Rendezvous: the sender is held until the payload lands. In blocking

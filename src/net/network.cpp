@@ -18,8 +18,9 @@ FlowNetwork::FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
     : engine_(engine), shape_(shape), params_(params) {
   PACC_EXPECTS(shape_.valid());
   PACC_EXPECTS(params_.link_bandwidth > 0.0 && params_.shm_bandwidth > 0.0);
-  link_bandwidth_.assign(
-      static_cast<std::size_t>(3 * shape_.nodes + 2 * shape_.racks()), 0.0);
+  const auto link_count =
+      static_cast<std::size_t>(3 * shape_.nodes + 2 * shape_.racks());
+  link_bandwidth_.assign(link_count, 0.0);
   for (int n = 0; n < shape_.nodes; ++n) {
     link_bandwidth_[static_cast<std::size_t>(uplink(n))] =
         params_.link_bandwidth;
@@ -34,6 +35,11 @@ FlowNetwork::FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
     link_bandwidth_[static_cast<std::size_t>(rack_uplink(r))] = bw;
     link_bandwidth_[static_cast<std::size_t>(rack_downlink(r))] = bw;
   }
+  link_head_.assign(link_count, kNullFlow);
+  link_nflows_.assign(link_count, 0);
+  residual_.assign(link_count, 0.0);
+  wf_active_.assign(link_count, 0);
+  link_epoch_.assign(link_count, 0);
 }
 
 double NetworkParams::wire_multiplier(double sender_freq_slowdown,
@@ -48,148 +54,324 @@ double NetworkParams::wire_multiplier(double sender_freq_slowdown,
                   endpoint(receiver_freq_slowdown, receiver_throttle_slowdown));
 }
 
+// ------------------------------------------------------------- slab ----
+
+std::uint32_t FlowNetwork::alloc_flow() {
+  if (!free_flows_.empty()) {
+    const std::uint32_t slot = free_flows_.back();
+    free_flows_.pop_back();
+    return slot;
+  }
+  flows_.emplace_back();
+  flow_epoch_.push_back(0);
+  return static_cast<std::uint32_t>(flows_.size() - 1);
+}
+
+int FlowNetwork::link_index_of(const Flow& flow, std::int32_t link) const {
+  for (int k = 0; k < flow.nlinks; ++k) {
+    if (flow.links[k] == link) return k;
+  }
+  PACC_ASSERT(false);  // flow is not on this link's list
+  return -1;
+}
+
+void FlowNetwork::link_flow(std::uint32_t slot) {
+  Flow& flow = flows_[slot];
+  for (int k = 0; k < flow.nlinks; ++k) {
+    const auto l = static_cast<std::size_t>(flow.links[k]);
+    const std::uint32_t head = link_head_[l];
+    flow.prev[k] = kNullFlow;
+    flow.next[k] = head;
+    if (head != kNullFlow) {
+      Flow& head_flow = flows_[head];
+      head_flow.prev[link_index_of(head_flow, flow.links[k])] = slot;
+    }
+    link_head_[l] = slot;
+    ++link_nflows_[l];
+  }
+}
+
+void FlowNetwork::unlink_flow(std::uint32_t slot) {
+  Flow& flow = flows_[slot];
+  for (int k = 0; k < flow.nlinks; ++k) {
+    const std::int32_t link = flow.links[k];
+    const auto l = static_cast<std::size_t>(link);
+    const std::uint32_t prev = flow.prev[k];
+    const std::uint32_t next = flow.next[k];
+    if (prev != kNullFlow) {
+      flows_[prev].next[link_index_of(flows_[prev], link)] = next;
+    } else {
+      link_head_[l] = next;
+    }
+    if (next != kNullFlow) {
+      flows_[next].prev[link_index_of(flows_[next], link)] = prev;
+    }
+    --link_nflows_[l];
+  }
+}
+
+// ------------------------------------------------------------ API ----
+
 sim::Task<> FlowNetwork::transfer(int src_node, int dst_node, Bytes bytes,
                                   bool force_loopback,
                                   double wire_multiplier) {
+  if (bytes == 0) co_return;
+  const FlowHandle h = start_flow_impl(src_node, dst_node, bytes,
+                                       force_loopback, wire_multiplier, {});
+  co_await FlowAwaiter{*this, h};
+}
+
+FlowNetwork::FlowHandle FlowNetwork::start_flow(int src_node, int dst_node,
+                                                Bytes bytes,
+                                                bool force_loopback,
+                                                double wire_multiplier,
+                                                sim::Callback on_delivered) {
+  if (bytes == 0) {
+    // Nothing crosses the fabric; deliver from the engine at now() so the
+    // callback still runs in event context, like any other delivery.
+    if (on_delivered) {
+      engine_.schedule(Duration::zero(), std::move(on_delivered));
+    }
+    return FlowHandle{};
+  }
+  return start_flow_impl(src_node, dst_node, bytes, force_loopback,
+                         wire_multiplier, std::move(on_delivered));
+}
+
+FlowNetwork::FlowHandle FlowNetwork::start_flow_impl(
+    int src_node, int dst_node, Bytes bytes, bool force_loopback,
+    double wire_multiplier, sim::Callback on_delivered) {
   PACC_EXPECTS(src_node >= 0 && src_node < shape_.nodes);
   PACC_EXPECTS(dst_node >= 0 && dst_node < shape_.nodes);
-  PACC_EXPECTS(bytes >= 0);
+  PACC_EXPECTS(bytes > 0);
   PACC_EXPECTS(wire_multiplier >= 1.0);
-  if (bytes == 0) co_return;
 
-  const std::uint64_t id = next_flow_id_++;
-  update_progress();
-  Flow flow;
+  const std::uint32_t slot = alloc_flow();
+  Flow& flow = flows_[slot];
+  flow.rate = 0.0;
+  flow.rate_cap = 0.0;
+  flow.wf_rate = 0.0;
+  flow.payload = bytes;
+  flow.remaining = static_cast<double>(bytes) * wire_multiplier;
+  flow.last_update = engine_.now();
+  flow.completion = 0;
+  flow.waiter = {};
+  flow.on_delivered = std::move(on_delivered);
+  flow.active = true;
+
   if (src_node == dst_node && !force_loopback) {
-    flow.links = {shm_link(src_node)};
+    flow.links[0] = shm_link(src_node);
+    flow.nlinks = 1;
     // One core drives this copy; it cannot exceed the per-core copy rate
     // even when the aggregate memory channel has headroom.
     flow.rate_cap = params_.shm_per_flow_bandwidth;
   } else {
-    flow.links = {uplink(src_node), downlink(dst_node)};
+    flow.links[0] = uplink(src_node);
+    flow.links[1] = downlink(dst_node);
+    flow.nlinks = 2;
     const int src_rack = shape_.rack_of(src_node);
     const int dst_rack = shape_.rack_of(dst_node);
     if (rack_layer_enabled() && src_rack != dst_rack) {
-      flow.links.push_back(rack_uplink(src_rack));
-      flow.links.push_back(rack_downlink(dst_rack));
+      flow.links[2] = rack_uplink(src_rack);
+      flow.links[3] = rack_downlink(dst_rack);
+      flow.nlinks = 4;
     }
   }
-  flow.remaining = static_cast<double>(bytes) * wire_multiplier;
-  flow.last_update = engine_.now();
-  flows_.emplace(id, std::move(flow));
-  recompute_rates();
 
-  co_await FlowAwaiter{*this, id};
-  bytes_delivered_ += static_cast<std::uint64_t>(bytes);
+  link_flow(slot);
+  ++active_count_;
+  recompute_component(flow.links, flow.nlinks);
+  return FlowHandle{slot, flow.gen};
 }
 
-void FlowNetwork::update_progress() {
+// ------------------------------------------------- incremental core ----
+
+void FlowNetwork::recompute_component(const std::int32_t* seeds, int nseeds) {
+  ++recomputes_;
+  if (++epoch_ == 0) {  // u32 wrap: invalidate all stale stamps once
+    std::fill(link_epoch_.begin(), link_epoch_.end(), 0u);
+    std::fill(flow_epoch_.begin(), flow_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+
+  // Dirty-set propagation: close over the flow/link incidence starting from
+  // the links the triggering flow traverses. Rates outside this connected
+  // component share no link with any flow inside it, so max–min filling
+  // cannot change them — the component is exactly the set that needs work.
+  comp_links_.clear();
+  comp_flows_.clear();
+  for (int i = 0; i < nseeds; ++i) {
+    const std::int32_t l = seeds[i];
+    if (link_epoch_[static_cast<std::size_t>(l)] != epoch_) {
+      link_epoch_[static_cast<std::size_t>(l)] = epoch_;
+      comp_links_.push_back(l);
+    }
+  }
+  for (std::size_t i = 0; i < comp_links_.size(); ++i) {
+    const std::int32_t link = comp_links_[i];
+    for (std::uint32_t f = link_head_[static_cast<std::size_t>(link)];
+         f != kNullFlow;) {
+      const Flow& flow = flows_[f];
+      if (flow_epoch_[f] != epoch_) {
+        flow_epoch_[f] = epoch_;
+        comp_flows_.push_back(f);
+        for (int k = 0; k < flow.nlinks; ++k) {
+          const auto lf = static_cast<std::size_t>(flow.links[k]);
+          if (link_epoch_[lf] != epoch_) {
+            link_epoch_[lf] = epoch_;
+            comp_links_.push_back(flow.links[k]);
+          }
+        }
+      }
+      f = flow.next[link_index_of(flow, link)];
+    }
+  }
+  if (comp_flows_.empty()) return;  // e.g. the last flow on a link departed
+
+  // Contention penalty: an HCA link serving n flows runs at reduced
+  // efficiency; the shared-memory channel is exempt.
+  const int first_shm_link = 2 * shape_.nodes;
+  for (const std::int32_t link : comp_links_) {
+    const auto l = static_cast<std::size_t>(link);
+    const auto n = static_cast<int>(link_nflows_[l]);
+    const bool is_shm = link >= first_shm_link;
+    const double eff =
+        (!is_shm && n > 1)
+            ? 1.0 / (1.0 + params_.contention_penalty * (n - 1))
+            : 1.0;
+    wf_active_[l] = n;
+    residual_[l] = link_bandwidth_[l] * eff;
+  }
+
+  // Max–min fairness by progressive filling: repeatedly find the tightest
+  // link (smallest equal-share), freeze its flows at that share, remove the
+  // consumed bandwidth, and iterate. Each round marks first and applies
+  // second, so the frozen set depends only on round-start state — the
+  // result is independent of flow iteration order.
+  unfrozen_.assign(comp_flows_.begin(), comp_flows_.end());
+  while (!unfrozen_.empty()) {
+    double best_share = std::numeric_limits<double>::infinity();
+    for (const std::int32_t link : comp_links_) {
+      const auto l = static_cast<std::size_t>(link);
+      if (wf_active_[l] > 0) {
+        best_share = std::min(best_share, residual_[l] / wf_active_[l]);
+      }
+    }
+    PACC_ASSERT(std::isfinite(best_share) && best_share > 0.0);
+
+    frozen_mark_.resize(unfrozen_.size());
+    for (std::size_t i = 0; i < unfrozen_.size(); ++i) {
+      const Flow& flow = flows_[unfrozen_[i]];
+      bool bottlenecked = false;
+      for (int k = 0; k < flow.nlinks; ++k) {
+        const auto l = static_cast<std::size_t>(flow.links[k]);
+        if (residual_[l] / wf_active_[l] <= best_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      frozen_mark_[i] = bottlenecked ? 1 : 0;
+    }
+
+    std::size_t kept = 0;
+    std::size_t frozen = 0;
+    for (std::size_t i = 0; i < unfrozen_.size(); ++i) {
+      const std::uint32_t slot = unfrozen_[i];
+      if (frozen_mark_[i]) {
+        Flow& flow = flows_[slot];
+        flow.wf_rate = best_share;
+        for (int k = 0; k < flow.nlinks; ++k) {
+          const auto l = static_cast<std::size_t>(flow.links[k]);
+          residual_[l] -= best_share;
+          --wf_active_[l];
+        }
+        ++frozen;
+      } else {
+        unfrozen_[kept++] = slot;
+      }
+    }
+    PACC_ASSERT(frozen > 0);
+    unfrozen_.resize(kept);
+  }
+
+  // Apply per-flow ceilings (single-core copy rate on the shm channel) —
+  // the unclaimed remainder stays unused, as it would on real hardware —
+  // then reschedule only the completions whose rate actually changed.
   const TimePoint now = engine_.now();
-  for (auto& [id, flow] : flows_) {
+  for (const std::uint32_t slot : comp_flows_) {
+    Flow& flow = flows_[slot];
+    double rate = flow.wf_rate;
+    if (flow.rate_cap > 0.0 && rate > flow.rate_cap) rate = flow.rate_cap;
+    if (rate == flow.rate) continue;  // exact equality: event stays put
+
+    // Advance the flow's progress at the old rate before adopting the new
+    // one; untouched flows keep their original (rate, completion) pair.
     const double dt = (now - flow.last_update).sec();
     if (dt > 0.0) {
       flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
     }
     flow.last_update = now;
-  }
-}
+    flow.rate = rate;
 
-void FlowNetwork::recompute_rates() {
-  // Max–min fairness by progressive filling: repeatedly find the tightest
-  // link (smallest equal-share), freeze its flows at that share, remove the
-  // consumed bandwidth, and iterate.
-  const std::size_t link_count = link_bandwidth_.size();
-  std::vector<int> active(link_count, 0);
-
-  std::vector<Flow*> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) {
-    unfrozen.push_back(&flow);
-    for (int l : flow.links) ++active[static_cast<std::size_t>(l)];
-  }
-
-  // Contention penalty: an HCA link serving n flows runs at reduced
-  // efficiency; the shared-memory channel is exempt.
-  const int first_shm_link = 2 * shape_.nodes;
-  std::vector<double> residual(link_count);
-  for (std::size_t l = 0; l < link_count; ++l) {
-    const int n = active[l];
-    const bool is_shm = static_cast<int>(l) >= first_shm_link;
-    const double eff =
-        (!is_shm && n > 1)
-            ? 1.0 / (1.0 + params_.contention_penalty * (n - 1))
-            : 1.0;
-    residual[l] = link_bandwidth_[l] * eff;
-  }
-
-  while (!unfrozen.empty()) {
-    double best_share = std::numeric_limits<double>::infinity();
-    for (std::size_t l = 0; l < link_count; ++l) {
-      if (active[l] > 0) {
-        best_share = std::min(best_share, residual[l] / active[l]);
-      }
-    }
-    PACC_ASSERT(std::isfinite(best_share) && best_share > 0.0);
-
-    // Freeze every unfrozen flow that crosses a bottleneck link.
-    std::vector<Flow*> still;
-    still.reserve(unfrozen.size());
-    for (Flow* f : unfrozen) {
-      bool bottlenecked = false;
-      for (int l : f->links) {
-        const auto li = static_cast<std::size_t>(l);
-        if (residual[li] / active[li] <= best_share * (1.0 + 1e-12)) {
-          bottlenecked = true;
-          break;
-        }
-      }
-      if (bottlenecked) {
-        f->rate = best_share;
-        for (int l : f->links) {
-          const auto li = static_cast<std::size_t>(l);
-          residual[li] -= best_share;
-          --active[li];
-        }
-      } else {
-        still.push_back(f);
-      }
-    }
-    PACC_ASSERT(still.size() < unfrozen.size());
-    unfrozen.swap(still);
-  }
-
-  // Apply per-flow ceilings (single-core copy rate on the shm channel).
-  // The unclaimed remainder stays unused, as it would on real hardware.
-  for (auto& [id, flow] : flows_) {
-    if (flow.rate_cap > 0.0 && flow.rate > flow.rate_cap) {
-      flow.rate = flow.rate_cap;
-    }
-  }
-
-  // Reschedule every flow's completion at its new finish time.
-  for (auto& [id, flow] : flows_) {
     if (flow.completion != 0) engine_.cancel(flow.completion);
     const double secs = flow.remaining / flow.rate;
     const auto delay =
         Duration::nanos(static_cast<std::int64_t>(std::ceil(secs * 1e9)));
-    const std::uint64_t flow_id = id;
-    flow.completion =
-        engine_.schedule(delay, [this, flow_id] { on_complete(flow_id); });
+    ++reschedules_;
+    flow.completion = engine_.schedule(
+        delay,
+        [this, slot, gen = flow.gen] { on_complete(slot, gen); });
   }
 }
 
-void FlowNetwork::on_complete(std::uint64_t id) {
-  auto it = flows_.find(id);
-  PACC_ASSERT(it != flows_.end());
-  update_progress();
-  PACC_ASSERT(it->second.remaining <= 1.0 + kByteEpsilon);
+void FlowNetwork::on_complete(std::uint32_t slot, std::uint32_t gen) {
+  Flow& flow = flows_[slot];
+  PACC_ASSERT(flow.active && flow.gen == gen);
+  const double dt = (engine_.now() - flow.last_update).sec();
+  if (dt > 0.0) {
+    flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+  }
+  PACC_ASSERT(flow.remaining <= 1.0 + kByteEpsilon);
 
-  const std::coroutine_handle<> waiter = it->second.waiter;
-  flows_.erase(it);
-  recompute_rates();
+  const std::coroutine_handle<> waiter = flow.waiter;
+  sim::Callback on_delivered = std::move(flow.on_delivered);
+  bytes_delivered_ += static_cast<std::uint64_t>(flow.payload);
 
-  PACC_ASSERT(waiter != nullptr);
-  engine_.schedule(Duration::zero(), [waiter] { waiter.resume(); });
+  std::int32_t dead_links[kMaxLinks];
+  const int nlinks = flow.nlinks;
+  for (int k = 0; k < nlinks; ++k) dead_links[k] = flow.links[k];
+
+  unlink_flow(slot);
+  flow.active = false;
+  flow.waiter = {};
+  flow.completion = 0;
+  ++flow.gen;
+  free_flows_.push_back(slot);
+  --active_count_;
+
+  recompute_component(dead_links, nlinks);
+
+  if (waiter) {
+    engine_.schedule(Duration::zero(), [waiter] { waiter.resume(); });
+  }
+  if (on_delivered) {
+    engine_.schedule(Duration::zero(), std::move(on_delivered));
+  }
+}
+
+std::vector<FlowNetwork::FlowView> FlowNetwork::snapshot_flows() const {
+  std::vector<FlowView> views;
+  views.reserve(active_count_);
+  for (const Flow& flow : flows_) {
+    if (!flow.active) continue;
+    FlowView view;
+    view.links.assign(flow.links, flow.links + flow.nlinks);
+    view.rate = flow.rate;
+    view.rate_cap = flow.rate_cap;
+    view.remaining = flow.remaining;
+    views.push_back(std::move(view));
+  }
+  return views;
 }
 
 }  // namespace pacc::net

@@ -7,6 +7,16 @@
 // links it traverses; rates are recomputed by max–min water-filling whenever
 // a flow starts or ends, and completion events are rescheduled accordingly.
 //
+// Hot-path structure (see docs/PERF.md): flows live in a slab
+// (std::vector + free list, stable slot indices) threaded onto intrusive
+// per-link lists. A flow arrival/departure recomputes rates only for the
+// connected component of links it can actually affect — discovered by
+// dirty-set propagation over the flow/link incidence — and reschedules only
+// the completion events whose rate changed under an exact equality check.
+// Rates outside the component are provably unchanged (their constraint set
+// is untouched), so the incremental result is identical to a full global
+// recompute.
+//
 // This is what makes the paper's observations emerge organically:
 //  - Fig 2(a): 8 ranks/node sharing one uplink are slower than 4 ranks/node.
 //  - §V-A:     scheduling only one socket's ranks onto the network at a time
@@ -15,10 +25,10 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "hw/topology.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "util/units.hpp"
@@ -91,6 +101,14 @@ struct NetworkParams {
 /// Fluid-flow network over a cluster.
 class FlowNetwork {
  public:
+  /// Stable reference to an in-flight flow: slab slot + generation. The
+  /// generation disambiguates slot reuse, so a stale handle is simply
+  /// "no longer active". A default-constructed handle is never active.
+  struct FlowHandle {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
   FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
               NetworkParams params);
   FlowNetwork(const FlowNetwork&) = delete;
@@ -108,29 +126,75 @@ class FlowNetwork {
                        bool force_loopback = false,
                        double wire_multiplier = 1.0);
 
+  /// Fire-and-forget variant for hot paths (e.g. eager sends): starts the
+  /// flow immediately — no coroutine frame — and runs `on_delivered` from
+  /// the engine once the payload lands. A zero-byte flow schedules the
+  /// callback at now() and returns an inactive handle.
+  FlowHandle start_flow(int src_node, int dst_node, Bytes bytes,
+                        bool force_loopback, double wire_multiplier,
+                        sim::Callback on_delivered);
+
+  /// Whether the flow behind `h` is still in flight.
+  bool flow_active(FlowHandle h) const {
+    return h.slot < flows_.size() && flows_[h.slot].gen == h.gen &&
+           flows_[h.slot].active;
+  }
+
   /// Number of flows currently in flight (for tests / instrumentation).
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return active_count_; }
 
   /// Total bytes fully delivered so far.
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
- private:
-  struct Flow {
+  /// Incremental rate recomputations performed (one per flow add/remove).
+  std::uint64_t rate_recomputes() const { return recomputes_; }
+
+  /// Completion events actually rescheduled — flows whose rate survived the
+  /// exact-equality check are left untouched, so this is typically far
+  /// below (recomputes × active flows).
+  std::uint64_t completion_reschedules() const { return reschedules_; }
+
+  /// Introspection snapshot of the active flows (tests / tools): links
+  /// traversed, current max–min rate, and the per-flow ceiling.
+  struct FlowView {
     std::vector<int> links;
-    double remaining = 0.0;  ///< bytes
+    double rate = 0.0;
+    double rate_cap = 0.0;
+    double remaining = 0.0;
+  };
+  std::vector<FlowView> snapshot_flows() const;
+
+ private:
+  static constexpr int kMaxLinks = 4;  ///< up + down + rack up + rack down
+  static constexpr std::uint32_t kNullFlow = 0xffffffffu;
+
+  /// Slab-allocated flow. Intrusive per-link list hooks (prev/next per
+  /// traversed link) give O(1) unlink without touching a hash map, and the
+  /// slot index stays stable for the flow's lifetime.
+  struct Flow {
+    double remaining = 0.0;  ///< bytes (wire-multiplied)
     double rate = 0.0;       ///< bytes/second
     double rate_cap = 0.0;   ///< per-flow ceiling; 0 = unlimited
-    TimePoint last_update;
+    double wf_rate = 0.0;    ///< water-filling scratch (uncapped share)
+    TimePoint last_update;   ///< when `remaining` was last advanced
+    Bytes payload = 0;       ///< un-multiplied bytes, credited on delivery
     sim::EventId completion = 0;
     std::coroutine_handle<> waiter;
+    sim::Callback on_delivered;
+    std::uint32_t gen = 1;
+    std::uint8_t nlinks = 0;
+    bool active = false;
+    std::int32_t links[kMaxLinks] = {};
+    std::uint32_t prev[kMaxLinks] = {};  ///< intrusive list, per links[i]
+    std::uint32_t next[kMaxLinks] = {};
   };
 
   struct FlowAwaiter {
     FlowNetwork& net;
-    std::uint64_t id;
-    bool await_ready() const noexcept { return !net.flows_.contains(id); }
-    void await_suspend(std::coroutine_handle<> h) {
-      net.flows_.at(id).waiter = h;
+    FlowHandle h;
+    bool await_ready() const noexcept { return !net.flow_active(h); }
+    void await_suspend(std::coroutine_handle<> handle) {
+      net.flows_[h.slot].waiter = handle;
     }
     void await_resume() const noexcept {}
   };
@@ -146,22 +210,50 @@ class FlowNetwork {
     return shape_.has_racks() && params_.rack_bandwidth > 0.0;
   }
 
-  /// Advances every flow's remaining-bytes to the current time.
-  void update_progress();
+  FlowHandle start_flow_impl(int src_node, int dst_node, Bytes bytes,
+                             bool force_loopback, double wire_multiplier,
+                             sim::Callback on_delivered);
 
-  /// Max–min water-filling over all active flows, then reschedules each
-  /// flow's completion event.
-  void recompute_rates();
+  std::uint32_t alloc_flow();
+  void link_flow(std::uint32_t slot);
+  void unlink_flow(std::uint32_t slot);
+  int link_index_of(const Flow& flow, std::int32_t link) const;
 
-  void on_complete(std::uint64_t id);
+  /// Max–min water-filling restricted to the connected component of links
+  /// reachable from `seeds`; reschedules completions whose rate changed.
+  void recompute_component(const std::int32_t* seeds, int nseeds);
+
+  void on_complete(std::uint32_t slot, std::uint32_t gen);
 
   sim::Engine& engine_;
   hw::ClusterShape shape_;
   NetworkParams params_;
-  std::vector<double> link_bandwidth_;  ///< indexed by link id
-  std::unordered_map<std::uint64_t, Flow> flows_;
-  std::uint64_t next_flow_id_ = 1;
+
+  // Per-link state, indexed by link id.
+  std::vector<double> link_bandwidth_;
+  std::vector<std::uint32_t> link_head_;    ///< intrusive list head (slot)
+  std::vector<std::uint32_t> link_nflows_;  ///< active flows crossing link
+
+  // Flow slab.
+  std::vector<Flow> flows_;
+  std::vector<std::uint32_t> free_flows_;
+  std::size_t active_count_ = 0;
+
+  // Reusable recompute scratch (no allocation in steady state). Epoch
+  // stamps mark visited links/flows without per-call clearing.
+  std::vector<double> residual_;
+  std::vector<std::int32_t> wf_active_;
+  std::vector<std::uint32_t> link_epoch_;
+  std::vector<std::uint32_t> flow_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::int32_t> comp_links_;
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<std::uint32_t> unfrozen_;
+  std::vector<unsigned char> frozen_mark_;
+
   std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t recomputes_ = 0;
+  std::uint64_t reschedules_ = 0;
 };
 
 }  // namespace pacc::net

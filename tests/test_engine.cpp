@@ -96,5 +96,111 @@ TEST(Engine, EmptyRunFinishesCleanly) {
   EXPECT_EQ(r.stuck_tasks, 0u);
 }
 
+// Regression: the cancelled-event bookkeeping used to grow without bound —
+// cancelling an already-fired event left a permanent entry. Tombstones must
+// be fully reclaimed by the time the queue drains.
+TEST(Engine, CancelledBacklogIsReclaimedByRun) {
+  Engine e;
+  int fired = 0;
+  const EventId a = e.schedule(Duration::micros(1), [&] { ++fired; });
+  e.schedule(Duration::micros(2), [&] { ++fired; });
+  const EventId c = e.schedule(Duration::micros(3), [&] { ++fired; });
+  e.cancel(a);
+  e.cancel(c);
+  EXPECT_EQ(e.cancelled_backlog(), 2u);
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.cancelled_backlog(), 0u);
+  EXPECT_EQ(e.live_event_nodes(), 0u);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, CancelAfterFireLeavesNoResidue) {
+  Engine e;
+  const EventId id = e.schedule(Duration::micros(1), [] {});
+  e.run();
+  for (int i = 0; i < 100; ++i) e.cancel(id);  // fired: every cancel no-ops
+  EXPECT_EQ(e.cancelled_backlog(), 0u);
+  EXPECT_EQ(e.live_event_nodes(), 0u);
+}
+
+TEST(Engine, DoubleCancelCountsOnce) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule(Duration::micros(1), [&] { ran = true; });
+  e.cancel(id);
+  e.cancel(id);  // second cancel must be a no-op, not a second tombstone
+  EXPECT_EQ(e.cancelled_backlog(), 1u);
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.cancelled_backlog(), 0u);
+  EXPECT_EQ(e.live_event_nodes(), 0u);
+}
+
+TEST(Engine, EventPoolDrainsAfterHeavyChurn) {
+  Engine e;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int round = 0; round < 32; ++round) {
+    ids.clear();
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(e.schedule(Duration::micros(i + 1), [&] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) e.cancel(ids[i]);
+    e.run();
+    EXPECT_EQ(e.cancelled_backlog(), 0u);
+    EXPECT_EQ(e.live_event_nodes(), 0u);
+  }
+  EXPECT_EQ(fired, 32 * 32);
+}
+
+TEST(Engine, StaleIdFromReusedSlotDoesNotCancelNewEvent) {
+  Engine e;
+  const EventId old_id = e.schedule(Duration::micros(1), [] {});
+  e.run();  // fires; the pool slot is released
+  bool ran = false;
+  e.schedule(Duration::micros(1), [&] { ran = true; });  // likely same slot
+  e.cancel(old_id);  // stale generation: must not hit the new event
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, MoveOnlyCallbackTakesHeapPath) {
+  Engine e;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  e.schedule(Duration::micros(1),
+             [p = std::move(payload), &seen]() mutable { seen = *p + 1; });
+  e.run();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(e.live_event_nodes(), 0u);
+}
+
+TEST(Engine, CancelledHeapCallbackIsDestroyed) {
+  Engine e;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const EventId id =
+      e.schedule(Duration::micros(1), [t = std::move(token)] { (void)t; });
+  EXPECT_FALSE(watch.expired());
+  e.cancel(id);  // must release the captured state immediately
+  EXPECT_TRUE(watch.expired());
+  e.run();
+}
+
+TEST(Engine, SpawnReclamationKeepsRegistryBounded) {
+  // Thousands of short-lived detached tasks (eager sends, meters) must not
+  // accumulate; this exercises the amortized compaction path.
+  Engine e;
+  auto noop = [](Engine& eng) -> Task<> { co_await eng.delay(Duration::nanos(1)); };
+  for (int i = 0; i < 5000; ++i) {
+    e.spawn(noop(e));
+    if (i % 16 == 0) e.run();
+  }
+  e.run();
+  EXPECT_EQ(e.active_tasks(), 0u);
+  EXPECT_EQ(e.live_event_nodes(), 0u);
+}
+
 }  // namespace
 }  // namespace pacc::sim

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace pacc::net {
 namespace {
@@ -222,6 +227,202 @@ TEST(FlowNetwork, ZeroByteTransferCompletesInstantly) {
   EXPECT_TRUE(probe.finished);
   EXPECT_EQ(probe.done.ns(), 0);
   EXPECT_EQ(net.active_flows(), 0u);
+}
+
+// ------------------------------------------------------------------------
+// Property: the incremental, component-restricted water-filling must agree
+// with an independent full global recompute at every instant. The reference
+// below re-derives every active flow's max–min rate from scratch using only
+// the public snapshot (links traversed, per-flow cap) and NetworkParams.
+
+/// Full-network reference water-filler: progressive filling with two-phase
+/// freeze rounds, per-flow caps applied after filling — the model the
+/// incremental path must reproduce.
+std::vector<double> reference_global_rates(
+    const std::vector<FlowNetwork::FlowView>& flows, int nodes, int racks,
+    const NetworkParams& p) {
+  const int nlinks = 3 * nodes + 2 * racks;
+  std::vector<int> count(static_cast<std::size_t>(nlinks), 0);
+  for (const auto& f : flows) {
+    for (const int l : f.links) ++count[static_cast<std::size_t>(l)];
+  }
+  std::vector<double> residual(static_cast<std::size_t>(nlinks), 0.0);
+  std::vector<int> unfrozen(static_cast<std::size_t>(nlinks), 0);
+  for (int l = 0; l < nlinks; ++l) {
+    const auto li = static_cast<std::size_t>(l);
+    if (count[li] == 0) continue;
+    double bw = l < 2 * nodes   ? p.link_bandwidth
+                : l < 3 * nodes ? p.shm_bandwidth
+                                : p.rack_bandwidth;
+    // Only HCA endpoint links pay the contention penalty; the shm channel
+    // (and the rack layer, which models a switch fabric) are exempt.
+    if (l < 2 * nodes && count[li] > 1) {
+      bw /= 1.0 + p.contention_penalty * (count[li] - 1);
+    }
+    residual[li] = bw;
+    unfrozen[li] = count[li];
+  }
+  std::vector<double> wf(flows.size(), 0.0);
+  std::vector<bool> frozen(flows.size(), false);
+  std::size_t remaining = flows.size();
+  while (remaining > 0) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int l = 0; l < nlinks; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      if (unfrozen[li] > 0) best = std::min(best, residual[li] / unfrozen[li]);
+    }
+    std::vector<std::size_t> to_freeze;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (frozen[i]) continue;
+      for (const int l : flows[i].links) {
+        const auto li = static_cast<std::size_t>(l);
+        if (residual[li] / unfrozen[li] <= best * (1.0 + 1e-12)) {
+          to_freeze.push_back(i);
+          break;
+        }
+      }
+    }
+    if (to_freeze.empty()) {
+      ADD_FAILURE() << "water-filling failed to progress";
+      return wf;
+    }
+    for (const std::size_t i : to_freeze) {
+      frozen[i] = true;
+      wf[i] = best;
+      for (const int l : flows[i].links) {
+        residual[static_cast<std::size_t>(l)] -= best;
+        --unfrozen[static_cast<std::size_t>(l)];
+      }
+    }
+    remaining -= to_freeze.size();
+  }
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].rate_cap > 0.0) wf[i] = std::min(wf[i], flows[i].rate_cap);
+  }
+  return wf;
+}
+
+TEST(FlowNetwork, IncrementalRatesMatchFullRecompute) {
+  // Randomized arrival/departure churn over an oversubscribed two-rack
+  // cluster with contention penalty and shm caps active, checkpointed at
+  // fixed simulated times: every active flow's incremental rate must match
+  // the from-scratch global recompute to 1e-12 (relative).
+  const hw::ClusterShape shape{8, 2, 4, /*nodes_per_rack=*/4};
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    sim::Engine e;
+    NetworkParams params = clean_params();
+    params.contention_penalty = 0.07;
+    params.shm_per_flow_bandwidth = 0.9e9;
+    params.rack_bandwidth = 1.5e9;  // 4 nodes/rack × 1 GB/s over 1.5 GB/s
+    FlowNetwork net(e, shape, params);
+    Rng rng(seed);
+    for (int i = 0; i < 120; ++i) {
+      const int src = static_cast<int>(rng.next_below(8));
+      const int dst = static_cast<int>(rng.next_below(8));  // ==src → shm
+      const Bytes bytes = 20'000 + static_cast<Bytes>(rng.next_below(400'000));
+      const double mult = 1.0 + 0.3 * rng.next_double();
+      const auto start =
+          Duration::micros(static_cast<double>(rng.next_below(3000)));
+      e.schedule(start, [&net, src, dst, bytes, mult] {
+        net.start_flow(src, dst, bytes, /*force_loopback=*/false, mult, [] {});
+      });
+    }
+    int flows_checked = 0;
+    const auto checkpoint = [&net, &params, &flows_checked, shape] {
+      const auto flows = net.snapshot_flows();
+      const auto ref =
+          reference_global_rates(flows, shape.nodes, shape.racks(), params);
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        const double tol = 1e-12 * std::max(1.0, std::abs(ref[i]));
+        EXPECT_NEAR(flows[i].rate, ref[i], tol) << "flow " << i;
+        ++flows_checked;
+      }
+    };
+    // Prime-ish stride so checkpoints land between, not on, arrival ticks.
+    for (int t = 13; t < 6000; t += 37) {
+      e.schedule(Duration::micros(static_cast<double>(t)), checkpoint);
+    }
+    e.run();
+    EXPECT_EQ(net.active_flows(), 0u);
+    EXPECT_GT(flows_checked, 200) << "churn did not overlap the checkpoints";
+  }
+}
+
+TEST(FlowNetwork, SnapshotFlowsReportsLinksAndRates) {
+  sim::Engine e;
+  FlowNetwork net(e, kShape, clean_params());
+  Probe a, b;
+  e.spawn(transfer_probe(net, e, 0, 1, 1'000'000, a));
+  e.spawn(transfer_probe(net, e, 0, 2, 1'000'000, b));
+  e.run_until(TimePoint{} + Duration::micros(100));
+  const auto flows = net.snapshot_flows();
+  ASSERT_EQ(flows.size(), 2u);
+  for (const auto& f : flows) {
+    ASSERT_EQ(f.links.size(), 2u);  // uplink + downlink, no rack layer
+    EXPECT_EQ(f.links[0], 0);       // both leave node 0
+    EXPECT_NEAR(f.rate, 0.5e9, 1.0);
+    EXPECT_GT(f.remaining, 0.0);
+  }
+  e.run();
+}
+
+TEST(FlowNetwork, StartFlowDeliversViaCallback) {
+  sim::Engine e;
+  FlowNetwork net(e, kShape, clean_params());
+  TimePoint delivered_at;
+  bool delivered = false;
+  const auto h = net.start_flow(0, 1, 1'000'000, /*force_loopback=*/false,
+                                1.0, [&] {
+                                  delivered = true;
+                                  delivered_at = e.now();
+                                });
+  EXPECT_TRUE(net.flow_active(h));
+  e.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_NEAR(delivered_at.us(), 1000.0, 1.0);
+  EXPECT_FALSE(net.flow_active(h));
+  EXPECT_EQ(net.bytes_delivered(), 1'000'000u);
+}
+
+TEST(FlowNetwork, StaleFlowHandleIsInactiveAfterSlotReuse) {
+  sim::Engine e;
+  FlowNetwork net(e, kShape, clean_params());
+  const auto first = net.start_flow(0, 1, 1'000, false, 1.0, [] {});
+  e.run();
+  EXPECT_FALSE(net.flow_active(first));
+  const auto second = net.start_flow(0, 1, 1'000, false, 1.0, [] {});
+  EXPECT_EQ(second.slot, first.slot);  // slab reuses the freed slot…
+  EXPECT_NE(second.gen, first.gen);    // …under a fresh generation
+  EXPECT_FALSE(net.flow_active(first));
+  EXPECT_TRUE(net.flow_active(second));
+  e.run();
+}
+
+TEST(FlowNetwork, ReschedulesOnlyFlowsWhoseRateChanged) {
+  sim::Engine e;
+  FlowNetwork net(e, kShape, clean_params());
+  // Two disjoint-path flows plus a short one that contends with the first:
+  // starting and finishing the third must never touch the second flow's
+  // completion event — its component is disjoint.
+  Probe a, b;
+  e.spawn(transfer_probe(net, e, 0, 1, 4'000'000, a));
+  e.spawn(transfer_probe(net, e, 2, 3, 4'000'000, b));
+  std::uint64_t before = 0, after_arrival = 0, after_departure = 0;
+  e.schedule(Duration::micros(99),
+             [&] { before = net.completion_reschedules(); });
+  // c shares both of a's links; at max–min 0.5 GB/s its 100 KB take 200 µs.
+  e.schedule(Duration::micros(100), [&] {
+    net.start_flow(0, 1, 100'000, /*force_loopback=*/false, 1.0, [] {});
+  });
+  e.schedule(Duration::micros(150),
+             [&] { after_arrival = net.completion_reschedules(); });
+  e.schedule(Duration::micros(350),
+             [&] { after_departure = net.completion_reschedules(); });
+  e.run();
+  EXPECT_EQ(after_arrival - before, 2u);    // c scheduled + a repriced
+  EXPECT_EQ(after_departure - after_arrival, 1u);  // a repriced; b untouched
+  EXPECT_TRUE(a.finished);
+  EXPECT_TRUE(b.finished);
 }
 
 TEST(FlowNetwork, ManyConcurrentFlowsAllComplete) {

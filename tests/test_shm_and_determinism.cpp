@@ -2,6 +2,8 @@
 // determinism / conservation properties of the whole simulator.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "apps/workload.hpp"
@@ -102,6 +104,56 @@ TEST(Determinism, IdenticalRunsProduceIdenticalResults) {
   const auto b = run_once();
   EXPECT_EQ(a.latency.ns(), b.latency.ns());
   EXPECT_DOUBLE_EQ(a.energy_per_op, b.energy_per_op);
+}
+
+// Regression for the incremental water-filling + pooled event core: the
+// whole point of the rework was to keep traces byte-identical, so two
+// identical 32-rank proposed-scheme Alltoall runs must agree on every
+// observable — dispatched event counts, end times, and the raw sampled
+// power series — not merely on rounded summaries.
+TEST(Determinism, ProposedAlltoall32RanksIsByteIdentical) {
+  struct Trace {
+    std::uint64_t events = 0;
+    std::int64_t end_ns = 0;
+    std::uint64_t bytes = 0;
+    std::vector<PowerSample> power;
+  };
+  auto run_once = [] {
+    Simulation sim(test::small_cluster(4, 32, 8));
+    // The paper's clamp meter samples at 0.5 s — far coarser than one
+    // collective. Sample at 20 µs here so the series actually exercises the
+    // power model along the whole run.
+    hw::SamplingMeter meter(sim.machine(), Duration::micros(20.0));
+    auto body = [&sim](mpi::Rank& self) -> sim::Task<> {
+      mpi::Comm& world = sim.runtime().world();
+      const Bytes block = 16 * 1024;
+      std::vector<std::byte> send(32 * static_cast<std::size_t>(block));
+      std::vector<std::byte> recv(send.size());
+      co_await coll::alltoall(
+          self, world, send, recv, block,
+          {.scheme = coll::PowerScheme::kProposed});
+    };
+    meter.start();
+    sim.runtime().launch(body);
+    EXPECT_TRUE(sim.engine().run_active().all_tasks_finished);
+    meter.stop();
+    return Trace{sim.engine().events_dispatched(), sim.engine().now().ns(),
+                 sim.network().bytes_delivered(), meter.series().samples()};
+  };
+  const Trace a = run_once();
+  const Trace b = run_once();
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_ns, b.end_ns);
+  EXPECT_EQ(a.bytes, b.bytes);
+  ASSERT_EQ(a.power.size(), b.power.size());
+  ASSERT_GT(a.power.size(), 10u);
+  for (std::size_t i = 0; i < a.power.size(); ++i) {
+    EXPECT_EQ(a.power[i].time.ns(), b.power[i].time.ns()) << "sample " << i;
+    // Bitwise, not approximate: the fluid model is deterministic.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.power[i].watts),
+              std::bit_cast<std::uint64_t>(b.power[i].watts))
+        << "sample " << i;
+  }
 }
 
 TEST(Determinism, WorkloadRunsAreReproducible) {
