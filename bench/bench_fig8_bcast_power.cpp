@@ -61,5 +61,19 @@ int main() {
   std::cout << "\nShape check (paper): ≤15% overhead at 1 MB; power bands\n"
                "2.3 / 1.8 / 1.6 KW; socket B fully throttled to T7 while\n"
                "the leader socket runs at T4 (§V-B).\n";
+
+  // Exact per-phase energy attribution of the power-aware Bcast at 1 MB,
+  // from a separate traced run (the figures above stay untraced).
+  ClusterConfig traced = bench::paper_cluster(64, 8);
+  traced.trace = true;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kBcast;
+  spec.message = big;
+  spec.scheme = coll::PowerScheme::kProposed;
+  spec.iterations = 3;
+  spec.warmup = 1;
+  const auto attributed = measure_collective(traced, spec);
+  std::cout << "\nPer-phase energy, proposed scheme at 1 MB:\n";
+  bench::print_energy_breakdown(attributed.energy_phases);
   return 0;
 }

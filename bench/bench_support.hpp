@@ -30,6 +30,23 @@ inline void print_header(const std::string& title, const std::string& paper) {
             << "==========================================================\n";
 }
 
+/// Prints the exact per-phase energy attribution of a traced run (see
+/// docs/OBSERVABILITY.md): every joule lands in exactly one bucket, so the
+/// rows sum to the run's total energy integral.
+inline void print_energy_breakdown(
+    const std::vector<obs::PhaseEnergy>& phases) {
+  Joules total = 0.0;
+  for (const auto& p : phases) total += p.joules;
+  Table t({"phase", "joules", "time_ms", "calls", "share_pct"});
+  for (const auto& p : phases) {
+    t.add_row({p.name, Table::num(p.joules, 3), Table::num(p.time.ms(), 3),
+               std::to_string(p.calls),
+               Table::num(total > 0 ? 100.0 * p.joules / total : 0.0, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "total: " << Table::num(total, 3) << " J (exact integral)\n";
+}
+
 /// Prints one power time-series in the style of the paper's meter plots.
 inline void print_power_series(const std::string& label,
                                const PowerSeries& series) {

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace JSON produced by pacc's TraceRecorder.
+
+Checks:
+  1. The file parses as JSON with a top-level "traceEvents" list.
+  2. Every event has the required fields for its phase type.
+  3. Timestamps and durations are non-negative.
+  4. Per (pid, tid) track, "X" spans obey stack discipline: sorted by
+     begin time, spans either nest properly or are disjoint — partial
+     overlaps mean a broken begin/end pairing.
+
+Exit status: 0 on a valid trace, 1 on any violation.
+
+Usage: validate_trace.py TRACE.json
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+REQUIRED = {"name", "ph", "ts", "pid", "tid"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('top level must contain a "traceEvents" list')
+
+    spans = defaultdict(list)  # (pid, tid) -> [(ts, dur, name)]
+    counts = defaultdict(int)
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        counts[ph] += 1
+        if ph == "M":
+            # Metadata carries no timestamp semantics.
+            if {"name", "pid", "tid"} - e.keys():
+                fail(f"metadata event {i} missing fields: {e}")
+            continue
+        missing = REQUIRED - e.keys()
+        if missing:
+            fail(f"event {i} missing fields {sorted(missing)}: {e}")
+        ts = float(e["ts"])
+        if ts < 0:
+            fail(f"event {i} has negative ts: {e}")
+        if ph == "X":
+            dur = float(e.get("dur", -1))
+            if dur < 0:
+                fail(f"span {i} missing or negative dur: {e}")
+            spans[(e["pid"], e["tid"])].append((ts, dur, e["name"]))
+        elif ph == "i":
+            if e.get("s") not in ("t", "p", "g"):
+                fail(f"instant {i} has bad scope: {e}")
+        elif ph == "C":
+            if "args" not in e:
+                fail(f"counter {i} missing args: {e}")
+        else:
+            fail(f"event {i} has unknown phase type {ph!r}")
+
+    # Stack discipline per track: after sorting by (begin, -dur) — an outer
+    # span sorts before the inner span it starts with — every span must
+    # either nest inside the enclosing open span or begin after it ends.
+    for track, track_spans in spans.items():
+        track_spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # (end, name) of currently open spans
+        for ts, dur, name in track_spans:
+            end = ts + dur
+            while stack and ts >= stack[-1][0] - 1e-9:
+                stack.pop()
+            if stack and end > stack[-1][0] + 1e-9:
+                fail(
+                    f"track {track}: span {name!r} [{ts}, {end}] partially "
+                    f"overlaps enclosing span ending at {stack[-1][0]} "
+                    f"({stack[-1][1]!r})"
+                )
+            stack.append((end, name))
+
+    total = sum(counts.values())
+    summary = ", ".join(f"{ph}:{n}" for ph, n in sorted(counts.items()))
+    print(f"validate_trace: OK: {total} events ({summary}), "
+          f"{len(spans)} span tracks")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

@@ -1,9 +1,9 @@
 #include "coll/allgather.hpp"
 
-#include <cstring>
 #include <vector>
 
 #include "coll/bcast.hpp"
+#include "coll/copy.hpp"
 #include "coll/gather_scatter.hpp"
 #include "coll/power_scheme.hpp"
 #include "hw/power.hpp"
@@ -33,8 +33,8 @@ sim::Task<> allgather_ring(mpi::Rank& self, mpi::Comm& comm,
   const int tag = comm.begin_collective(me);
   const auto blk = static_cast<std::size_t>(block);
 
-  std::memcpy(recv.data() + static_cast<std::size_t>(me) * blk, send.data(),
-              blk);
+  copy_bytes(recv.data() + static_cast<std::size_t>(me) * blk, send.data(),
+             blk);
   const int right = (me + 1) % P;
   const int left = (me - 1 + P) % P;
   for (int step = 0; step < P - 1; ++step) {
@@ -61,8 +61,8 @@ sim::Task<> allgather_recursive_doubling(mpi::Rank& self, mpi::Comm& comm,
   const int tag = comm.begin_collective(me);
   const auto blk = static_cast<std::size_t>(block);
 
-  std::memcpy(recv.data() + static_cast<std::size_t>(me) * blk, send.data(),
-              blk);
+  copy_bytes(recv.data() + static_cast<std::size_t>(me) * blk, send.data(),
+             blk);
   // After round k this rank owns the 2^(k+1)-aligned window containing it.
   for (int mask = 1; mask < P; mask <<= 1) {
     const int partner = me ^ mask;
@@ -98,44 +98,53 @@ sim::Task<> allgather_smp(mpi::Rank& self, mpi::Comm& comm,
 
   // Stage 1: intra-node gather of c blocks to the leader.
   std::vector<std::byte> node_blocks;
-  if (leader) node_blocks.resize(static_cast<std::size_t>(c) * blk);
-  co_await gather_binomial(self, node_comm, send, node_blocks, block,
-                           node_root);
+  {
+    CollPhase phase(self, "allgather.gather");
+    if (leader) node_blocks.resize(static_cast<std::size_t>(c) * blk);
+    co_await gather_binomial(self, node_comm, send, node_blocks, block,
+                             node_root);
+  }
 
   // Stage 2: leaders exchange node aggregates; non-leaders throttle (§V-B).
-  const bool core_level = self.machine().params().core_level_throttling;
-  if (power && !leader) {
-    const int level =
-        (!core_level &&
-         self.socket() == comm.socket_of(comm.leader_of(my_node)))
-            ? 4
-            : hw::ThrottleLevel::kMax;
-    co_await throttle_self(self, level);
-  }
   std::vector<std::byte> gathered;
-  if (leader) {
-    mpi::Comm& leaders = comm.leader_comm();
-    if (power && !core_level) co_await throttle_self(self, 4);
-    gathered.resize(recv.size());
-    co_await allgather_ring(self, leaders, node_blocks, gathered,
-                            static_cast<Bytes>(c) * block);
-  }
+  {
+    CollPhase phase(self, "allgather.inter_leader");
+    const bool core_level = self.machine().params().core_level_throttling;
+    if (power && !leader) {
+      const int level =
+          (!core_level &&
+           self.socket() == comm.socket_of(comm.leader_of(my_node)))
+              ? 4
+              : hw::ThrottleLevel::kMax;
+      co_await throttle_self(self, level);
+    }
+    if (leader) {
+      mpi::Comm& leaders = comm.leader_comm();
+      if (power && !core_level) co_await throttle_self(self, 4);
+      gathered.resize(recv.size());
+      co_await allgather_ring(self, leaders, node_blocks, gathered,
+                              static_cast<Bytes>(c) * block);
+    }
 
-  // End of the inter-leader operation: node rendezvous, everyone back to
-  // T0 before the intra-node fan-out (§V-B).
-  if (power) {
-    co_await comm.node_barrier(my_node).arrive_and_wait();
-    if (self.machine().throttle(self.core()) != hw::ThrottleLevel::kMin) {
-      co_await unthrottle_self(self);
+    // End of the inter-leader operation: node rendezvous, everyone back to
+    // T0 before the intra-node fan-out (§V-B).
+    if (power) {
+      co_await comm.node_barrier(my_node).arrive_and_wait();
+      if (self.machine().throttle(self.core()) != hw::ThrottleLevel::kMin) {
+        co_await unthrottle_self(self);
+      }
     }
   }
 
   // Stage 3: leader broadcasts the assembled buffer within the node over
   // shared memory.
-  std::span<std::byte> full =
-      leader ? std::span<std::byte>(gathered) : recv;
-  co_await bcast_intra_node(self, node_comm, full, node_root);
-  if (leader) std::memcpy(recv.data(), gathered.data(), recv.size());
+  {
+    CollPhase phase(self, "allgather.intra_bcast");
+    std::span<std::byte> full =
+        leader ? std::span<std::byte>(gathered) : recv;
+    co_await bcast_intra_node(self, node_comm, full, node_root);
+    if (leader) copy_bytes(recv.data(), gathered.data(), recv.size());
+  }
 }
 
 sim::Task<> allgatherv_ring(mpi::Rank& self, mpi::Comm& comm,
@@ -159,8 +168,8 @@ sim::Task<> allgatherv_ring(mpi::Rank& self, mpi::Comm& comm,
   PACC_EXPECTS(send.size() ==
                static_cast<std::size_t>(counts[static_cast<std::size_t>(me)]));
 
-  std::memcpy(recv.data() + displs[static_cast<std::size_t>(me)], send.data(),
-              send.size());
+  copy_bytes(recv.data() + displs[static_cast<std::size_t>(me)], send.data(),
+             send.size());
   const int right = (me + 1) % P;
   const int left = (me - 1 + P) % P;
   for (int step = 0; step < P - 1; ++step) {

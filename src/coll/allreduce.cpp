@@ -1,10 +1,10 @@
 #include "coll/allreduce.hpp"
 
-#include <cstring>
 #include <vector>
 
 #include "coll/allgather.hpp"
 #include "coll/bcast.hpp"
+#include "coll/copy.hpp"
 #include "coll/power_scheme.hpp"
 #include "coll/reduce.hpp"
 #include "coll/reduce_scatter.hpp"
@@ -24,7 +24,7 @@ sim::Task<> allreduce_recursive_doubling(mpi::Rank& self, mpi::Comm& comm,
   PACC_EXPECTS(me >= 0);
   const int tag = comm.begin_collective(me);
 
-  std::memcpy(recv.data(), send.data(), send.size());
+  copy_bytes(recv.data(), send.data(), send.size());
   if (P == 1) co_return;
 
   if (is_pow2(P)) {
@@ -53,7 +53,7 @@ sim::Task<> allreduce_rabenseifner(mpi::Rank& self, mpi::Comm& comm,
                        blk_bytes % sizeof(double) == 0,
                    "buffer must split into P double-aligned blocks");
   if (P == 1) {
-    std::memcpy(recv.data(), send.data(), send.size());
+    copy_bytes(recv.data(), send.data(), send.size());
     co_return;
   }
   const auto block = static_cast<Bytes>(blk_bytes);

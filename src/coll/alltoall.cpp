@@ -1,9 +1,9 @@
 #include "coll/alltoall.hpp"
 
-#include <cstring>
 #include <vector>
 
 #include "coll/alltoall_power.hpp"
+#include "coll/copy.hpp"
 #include "coll/power_scheme.hpp"
 #include "util/expect.hpp"
 
@@ -46,9 +46,9 @@ sim::Task<> alltoall_pairwise(mpi::Rank& self, mpi::Comm& comm,
   const int tag = comm.begin_collective(me);
 
   // Own block moves locally.
-  std::memcpy(block_of(recv, me, block).data(),
-              block_of(send, me, block).data(),
-              static_cast<std::size_t>(block));
+  copy_bytes(block_of(recv, me, block).data(),
+             block_of(send, me, block).data(),
+             static_cast<std::size_t>(block));
 
   for (int step = 1; step < P; ++step) {
     if (is_pow2(P)) {
@@ -81,8 +81,8 @@ sim::Task<> alltoall_bruck(mpi::Rank& self, mpi::Comm& comm,
   // Step 1 — local rotation: tmp[i] = block destined to rank (me + i) % P.
   std::vector<std::byte> tmp(static_cast<std::size_t>(P) * blk);
   for (int i = 0; i < P; ++i) {
-    std::memcpy(tmp.data() + static_cast<std::size_t>(i) * blk,
-                block_of(send, (me + i) % P, block).data(), blk);
+    copy_bytes(tmp.data() + static_cast<std::size_t>(i) * blk,
+               block_of(send, (me + i) % P, block).data(), blk);
   }
 
   // Step 2 — log rounds. A block at index i still has to travel i hops
@@ -96,9 +96,9 @@ sim::Task<> alltoall_bruck(mpi::Rank& self, mpi::Comm& comm,
     }
     packed.resize(indices.size() * blk);
     for (std::size_t j = 0; j < indices.size(); ++j) {
-      std::memcpy(packed.data() + j * blk,
-                  tmp.data() + static_cast<std::size_t>(indices[j]) * blk,
-                  blk);
+      copy_bytes(packed.data() + j * blk,
+                 tmp.data() + static_cast<std::size_t>(indices[j]) * blk,
+                 blk);
     }
     incoming.resize(packed.size());
     const int dst = (me + k) % P;
@@ -106,15 +106,15 @@ sim::Task<> alltoall_bruck(mpi::Rank& self, mpi::Comm& comm,
     co_await self.sendrecv(comm.global_rank(dst), tag, packed,
                            comm.global_rank(src), tag, incoming);
     for (std::size_t j = 0; j < indices.size(); ++j) {
-      std::memcpy(tmp.data() + static_cast<std::size_t>(indices[j]) * blk,
-                  incoming.data() + j * blk, blk);
+      copy_bytes(tmp.data() + static_cast<std::size_t>(indices[j]) * blk,
+                 incoming.data() + j * blk, blk);
     }
   }
 
   // Step 3 — inverse rotation: tmp[i] now holds the block from (me - i).
   for (int i = 0; i < P; ++i) {
-    std::memcpy(block_of(recv, (me - i + P) % P, block).data(),
-                tmp.data() + static_cast<std::size_t>(i) * blk, blk);
+    copy_bytes(block_of(recv, (me - i + P) % P, block).data(),
+               tmp.data() + static_cast<std::size_t>(i) * blk, blk);
   }
 }
 

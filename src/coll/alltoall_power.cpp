@@ -1,8 +1,8 @@
 #include "coll/alltoall_power.hpp"
 
 #include <algorithm>
-#include <cstring>
 
+#include "coll/copy.hpp"
 #include "coll/power_scheme.hpp"
 #include "hw/power.hpp"
 #include "util/expect.hpp"
@@ -93,6 +93,7 @@ sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
 
   // ---- Phase 1: intra-node exchanges --------------------------------
   {
+    CollPhase phase(self, "alltoall_power.phase1");
     const auto it = std::find(locals.begin(), locals.end(), me);
     PACC_ASSERT(it != locals.end());
     const int li = static_cast<int>(it - locals.begin());
@@ -108,89 +109,98 @@ sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
         co_await ops.recv_from(src);
       }
     }
+    co_await barrier.arrive_and_wait();
   }
-  co_await barrier.arrive_and_wait();
 
   // ---- Phase 2: A↔A inter-node; socket B throttled to T7 ------------
-  if (my_socket == kSocketA) {
-    for (int off = 1; off < N; ++off) {
-      const int to_node = node_at((ni + off) % N);
-      const int from_node = node_at((ni - off + N) % N);
-      for (int peer : comm.socket_group(to_node, kSocketA)) {
-        co_await ops.send_to(peer);
+  {
+    CollPhase phase(self, "alltoall_power.phase2");
+    if (my_socket == kSocketA) {
+      for (int off = 1; off < N; ++off) {
+        const int to_node = node_at((ni + off) % N);
+        const int from_node = node_at((ni - off + N) % N);
+        for (int peer : comm.socket_group(to_node, kSocketA)) {
+          co_await ops.send_to(peer);
+        }
+        for (int peer : comm.socket_group(from_node, kSocketA)) {
+          co_await ops.recv_from(peer);
+        }
       }
-      for (int peer : comm.socket_group(from_node, kSocketA)) {
-        co_await ops.recv_from(peer);
-      }
+    } else {
+      co_await throttle_self(self, hw::ThrottleLevel::kMax);
     }
-  } else {
-    co_await throttle_self(self, hw::ThrottleLevel::kMax);
+    co_await barrier.arrive_and_wait();
   }
-  co_await barrier.arrive_and_wait();
 
   // ---- Phase 3: roles swap: B↔B inter-node; socket A at T7 ----------
-  if (my_socket == kSocketB) {
-    co_await ensure_unthrottled(self);
-    for (int off = 1; off < N; ++off) {
-      const int to_node = node_at((ni + off) % N);
-      const int from_node = node_at((ni - off + N) % N);
-      for (int peer : comm.socket_group(to_node, kSocketB)) {
-        co_await ops.send_to(peer);
+  {
+    CollPhase phase(self, "alltoall_power.phase3");
+    if (my_socket == kSocketB) {
+      co_await ensure_unthrottled(self);
+      for (int off = 1; off < N; ++off) {
+        const int to_node = node_at((ni + off) % N);
+        const int from_node = node_at((ni - off + N) % N);
+        for (int peer : comm.socket_group(to_node, kSocketB)) {
+          co_await ops.send_to(peer);
+        }
+        for (int peer : comm.socket_group(from_node, kSocketB)) {
+          co_await ops.recv_from(peer);
+        }
       }
-      for (int peer : comm.socket_group(from_node, kSocketB)) {
-        co_await ops.recv_from(peer);
-      }
+    } else {
+      co_await throttle_self(self, hw::ThrottleLevel::kMax);
     }
-  } else {
-    co_await throttle_self(self, hw::ThrottleLevel::kMax);
+    co_await barrier.arrive_and_wait();
   }
-  co_await barrier.arrive_and_wait();
 
   // ---- Phase 4: cross-socket inter-node exchanges -------------------
-  const int rounds = tournament_rounds(N);
-  for (int round = 0; round < rounds; ++round) {
-    const int pi = tournament_peer(ni, round, N);
-    if (pi < 0) {
-      // Idle this round: stay throttled through both sub-steps.
-      if (self.machine().throttle(self.core()) == hw::ThrottleLevel::kMin) {
+  {
+    CollPhase phase(self, "alltoall_power.phase4");
+    const int rounds = tournament_rounds(N);
+    for (int round = 0; round < rounds; ++round) {
+      const int pi = tournament_peer(ni, round, N);
+      if (pi < 0) {
+        // Idle this round: stay throttled through both sub-steps.
+        if (self.machine().throttle(self.core()) == hw::ThrottleLevel::kMin) {
+          co_await throttle_self(self, hw::ThrottleLevel::kMax);
+        }
+        co_await barrier.arrive_and_wait();
+        co_await barrier.arrive_and_wait();
+        continue;
+      }
+      const int lo = std::min(ni, pi);
+      const int hi = std::max(ni, pi);
+      const int lo_node = node_at(lo);
+      const int hi_node = node_at(hi);
+
+      // Sub-step a: A(lo) ↔ B(hi); everyone else throttled.
+      const bool in_a = (ni == lo && my_socket == kSocketA) ||
+                        (ni == hi && my_socket == kSocketB);
+      if (in_a) {
+        co_await ensure_unthrottled(self);
+        const auto& counterpart = (ni == lo)
+                                      ? comm.socket_group(hi_node, kSocketB)
+                                      : comm.socket_group(lo_node, kSocketA);
+        co_await exchange_group(counterpart);
+      } else {
         co_await throttle_self(self, hw::ThrottleLevel::kMax);
       }
       co_await barrier.arrive_and_wait();
+
+      // Sub-step b: B(lo) ↔ A(hi).
+      const bool in_b = (ni == lo && my_socket == kSocketB) ||
+                        (ni == hi && my_socket == kSocketA);
+      if (in_b) {
+        co_await ensure_unthrottled(self);
+        const auto& counterpart = (ni == lo)
+                                      ? comm.socket_group(hi_node, kSocketA)
+                                      : comm.socket_group(lo_node, kSocketB);
+        co_await exchange_group(counterpart);
+      } else {
+        co_await throttle_self(self, hw::ThrottleLevel::kMax);
+      }
       co_await barrier.arrive_and_wait();
-      continue;
     }
-    const int lo = std::min(ni, pi);
-    const int hi = std::max(ni, pi);
-    const int lo_node = node_at(lo);
-    const int hi_node = node_at(hi);
-
-    // Sub-step a: A(lo) ↔ B(hi); everyone else throttled.
-    const bool in_a = (ni == lo && my_socket == kSocketA) ||
-                      (ni == hi && my_socket == kSocketB);
-    if (in_a) {
-      co_await ensure_unthrottled(self);
-      const auto& counterpart = (ni == lo)
-                                    ? comm.socket_group(hi_node, kSocketB)
-                                    : comm.socket_group(lo_node, kSocketA);
-      co_await exchange_group(counterpart);
-    } else {
-      co_await throttle_self(self, hw::ThrottleLevel::kMax);
-    }
-    co_await barrier.arrive_and_wait();
-
-    // Sub-step b: B(lo) ↔ A(hi).
-    const bool in_b = (ni == lo && my_socket == kSocketB) ||
-                      (ni == hi && my_socket == kSocketA);
-    if (in_b) {
-      co_await ensure_unthrottled(self);
-      const auto& counterpart = (ni == lo)
-                                    ? comm.socket_group(hi_node, kSocketA)
-                                    : comm.socket_group(lo_node, kSocketB);
-      co_await exchange_group(counterpart);
-    } else {
-      co_await throttle_self(self, hw::ThrottleLevel::kMax);
-    }
-    co_await barrier.arrive_and_wait();
   }
 
   // Restore T0 before returning to the application.
@@ -208,9 +218,9 @@ sim::Task<> alltoall_power_aware(mpi::Rank& self, mpi::Comm& comm,
                    static_cast<std::size_t>(comm.size()) * blk &&
                recv.size() == send.size());
 
-  // Own block.
-  std::memcpy(recv.data() + static_cast<std::size_t>(me) * blk,
-              send.data() + static_cast<std::size_t>(me) * blk, blk);
+  // Own block (guarded: empty spans have null data() when block == 0).
+  copy_bytes(recv.data() + static_cast<std::size_t>(me) * blk,
+             send.data() + static_cast<std::size_t>(me) * blk, blk);
 
   ExchangeOps ops;
   ops.send_to = [&self, &comm, send, blk, tag](int peer) -> sim::Task<> {

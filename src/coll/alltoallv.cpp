@@ -1,10 +1,10 @@
 #include "coll/alltoallv.hpp"
 
-#include <cstring>
 #include <numeric>
 #include <vector>
 
 #include "coll/alltoall_power.hpp"
+#include "coll/copy.hpp"
 #include "coll/power_scheme.hpp"
 #include "util/expect.hpp"
 
@@ -19,12 +19,6 @@ std::vector<std::size_t> displacements(std::span<const Bytes> counts) {
     displs[i + 1] = displs[i] + static_cast<std::size_t>(counts[i]);
   }
   return displs;
-}
-
-/// memcpy requires non-null pointers even for n == 0, and an all-zero
-/// segment over an empty buffer is exactly a null span.
-void copy_bytes(std::byte* dst, const std::byte* src, std::size_t n) {
-  if (n > 0) std::memcpy(dst, src, n);
 }
 
 void check(const mpi::Comm& comm, std::span<const std::byte> send,

@@ -1,9 +1,9 @@
 #include "coll/bcast.hpp"
 
-#include <cstring>
 #include <vector>
 
 #include "coll/allgather.hpp"
+#include "coll/copy.hpp"
 #include "coll/gather_scatter.hpp"
 #include "coll/power_scheme.hpp"
 #include "hw/power.hpp"
@@ -85,7 +85,7 @@ sim::Task<> bcast_scatter_allgather(mpi::Rank& self, mpi::Comm& comm,
   // Scatter equal chunks from a padded copy, then ring-allgather them.
   std::vector<std::byte> padded(padded_size);
   if (me == root) {
-    std::memcpy(padded.data(), buf.data(), total);
+    copy_bytes(padded.data(), buf.data(), total);
   }
   std::vector<std::byte> my_chunk(chunk);
   co_await scatter_binomial(
@@ -95,7 +95,7 @@ sim::Task<> bcast_scatter_allgather(mpi::Rank& self, mpi::Comm& comm,
       my_chunk, static_cast<Bytes>(chunk), root);
   co_await allgather_ring(self, comm, my_chunk, padded,
                           static_cast<Bytes>(chunk));
-  std::memcpy(buf.data(), padded.data(), total);
+  copy_bytes(buf.data(), padded.data(), total);
 }
 
 sim::Task<> bcast_intra_node(mpi::Rank& self, mpi::Comm& node_comm,
@@ -136,6 +136,7 @@ sim::Task<> bcast_smp(mpi::Rank& self, mpi::Comm& comm,
 
   // Fix-up: the root hands its buffer to its node leader if necessary.
   if (root != root_leader) {
+    CollPhase phase(self, "bcast.fixup");
     if (me == root) {
       co_await self.send(comm.global_rank(root_leader), tag, buf);
     } else if (me == root_leader) {
@@ -143,47 +144,54 @@ sim::Task<> bcast_smp(mpi::Rank& self, mpi::Comm& comm,
     }
   }
 
-  // Network phase: only leaders move data; everyone else throttles (§V-B).
-  if (power) {
-    if (leader) {
-      // Socket-granular hardware forces the leader's socket to a partial
-      // T4; with core-granular throttling the leader stays at T0 (§V-B
-      // "future architectures").
-      if (!self.machine().params().core_level_throttling) {
-        co_await throttle_self(self, 4);
+  {
+    CollPhase phase(self, "bcast.inter_leader");
+    // Network phase: only leaders move data; everyone else throttles (§V-B).
+    if (power) {
+      if (leader) {
+        // Socket-granular hardware forces the leader's socket to a partial
+        // T4; with core-granular throttling the leader stays at T0 (§V-B
+        // "future architectures").
+        if (!self.machine().params().core_level_throttling) {
+          co_await throttle_self(self, 4);
+        }
+      } else {
+        const int leader_socket =
+            comm.socket_of(comm.leader_of(comm.node_of(me)));
+        const bool core_level =
+            self.machine().params().core_level_throttling;
+        // With core-granular throttling every non-leader can go to T7; on
+        // socket-granular hardware the leader's socket-mates share its T4.
+        const int level = (!core_level && self.socket() == leader_socket)
+                              ? 4
+                              : hw::ThrottleLevel::kMax;
+        co_await throttle_self(self, level);
       }
-    } else {
-      const int leader_socket = comm.socket_of(comm.leader_of(comm.node_of(me)));
-      const bool core_level =
-          self.machine().params().core_level_throttling;
-      // With core-granular throttling every non-leader can go to T7; on
-      // socket-granular hardware the leader's socket-mates share its T4.
-      const int level = (!core_level && self.socket() == leader_socket)
-                            ? 4
-                            : hw::ThrottleLevel::kMax;
-      co_await throttle_self(self, level);
+    }
+
+    if (leader) {
+      mpi::Comm& leaders = comm.leader_comm();
+      const int leader_root =
+          leaders.comm_rank_of(comm.global_rank(root_leader));
+      PACC_ASSERT(leader_root >= 0);
+      co_await inter_leader_bcast(self, leaders, buf, leader_root, options);
+    }
+
+    // End of the inter-leader operation: everyone throttles back up (§V-B
+    // "throttled down at the start of the inter-leader operation and
+    // throttled up at the end of it"), synchronised by a node rendezvous.
+    if (power) {
+      co_await comm.node_barrier(comm.node_of(me)).arrive_and_wait();
+      co_await maybe_unthrottle(self);
     }
   }
 
-  if (leader) {
-    mpi::Comm& leaders = comm.leader_comm();
-    const int leader_root =
-        leaders.comm_rank_of(comm.global_rank(root_leader));
-    PACC_ASSERT(leader_root >= 0);
-    co_await inter_leader_bcast(self, leaders, buf, leader_root, options);
-  }
-
-  // End of the inter-leader operation: everyone throttles back up (§V-B
-  // "throttled down at the start of the inter-leader operation and
-  // throttled up at the end of it"), synchronised by a node rendezvous.
-  if (power) {
-    co_await comm.node_barrier(comm.node_of(me)).arrive_and_wait();
-    co_await maybe_unthrottle(self);
-  }
-
   // Intra-node phase over shared memory, at full throttle (fmin).
-  mpi::Comm& node = comm.node_comm(comm.node_of(me));
-  co_await bcast_intra_node(self, node, buf, 0);
+  {
+    CollPhase phase(self, "bcast.intra_node");
+    mpi::Comm& node = comm.node_comm(comm.node_of(me));
+    co_await bcast_intra_node(self, node, buf, 0);
+  }
 }
 
 sim::Task<> bcast(mpi::Rank& self, mpi::Comm& comm, std::span<std::byte> buf,

@@ -1,0 +1,16 @@
+// Shared zero-byte-safe copy for the collective algorithms.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+namespace pacc::coll {
+
+/// memcpy requires non-null pointers even for n == 0, and an all-zero
+/// segment over an empty buffer is exactly a null span — so every self-block
+/// and pack/unpack copy in the collectives must go through this guard.
+inline void copy_bytes(std::byte* dst, const std::byte* src, std::size_t n) {
+  if (n > 0) std::memcpy(dst, src, n);
+}
+
+}  // namespace pacc::coll

@@ -1,9 +1,9 @@
 #include "coll/gather_scatter.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <vector>
 
+#include "coll/copy.hpp"
 #include "util/expect.hpp"
 
 namespace pacc::coll {
@@ -14,12 +14,6 @@ namespace {
 /// is its lowest set bit, clipped to P). For vr == 0 the span is P.
 int subtree_blocks(int vr, int mask, int P) {
   return std::min(mask, P - vr);
-}
-
-/// memcpy requires non-null pointers even for n == 0, and a zero-count
-/// segment over an empty buffer is exactly a null span.
-void copy_bytes(std::byte* dst, const std::byte* src, std::size_t n) {
-  if (n > 0) std::memcpy(dst, src, n);
 }
 
 }  // namespace
@@ -46,9 +40,9 @@ sim::Task<> scatter_binomial(mpi::Rank& self, mpi::Comm& comm,
     tmp.resize(static_cast<std::size_t>(P) * blk);
     for (int i = 0; i < P; ++i) {
       // Relative block i belongs to actual rank (i + root) % P.
-      std::memcpy(tmp.data() + static_cast<std::size_t>(i) * blk,
-                  send.data() + static_cast<std::size_t>((i + root) % P) * blk,
-                  blk);
+      copy_bytes(tmp.data() + static_cast<std::size_t>(i) * blk,
+                 send.data() + static_cast<std::size_t>((i + root) % P) * blk,
+                 blk);
     }
     span_mask = ceil_pow2(P);
   } else {
@@ -79,7 +73,7 @@ sim::Task<> scatter_binomial(mpi::Rank& self, mpi::Comm& comm,
     }
   }
 
-  std::memcpy(recv.data(), tmp.data(), blk);
+  copy_bytes(recv.data(), tmp.data(), blk);
 }
 
 sim::Task<> gather_binomial(mpi::Rank& self, mpi::Comm& comm,
@@ -97,7 +91,7 @@ sim::Task<> gather_binomial(mpi::Rank& self, mpi::Comm& comm,
   // tmp accumulates the subtree rooted at vr in relative block order.
   const int max_span = (vr == 0) ? P : subtree_blocks(vr, vr & -vr, P);
   std::vector<std::byte> tmp(static_cast<std::size_t>(max_span) * blk);
-  std::memcpy(tmp.data(), send.data(), blk);
+  copy_bytes(tmp.data(), send.data(), blk);
 
   int mask = 1;
   while (mask < P) {
@@ -126,8 +120,8 @@ sim::Task<> gather_binomial(mpi::Rank& self, mpi::Comm& comm,
   if (vr == 0) {
     PACC_EXPECTS(recv.size() == static_cast<std::size_t>(P) * blk);
     for (int i = 0; i < P; ++i) {
-      std::memcpy(recv.data() + static_cast<std::size_t>((i + root) % P) * blk,
-                  tmp.data() + static_cast<std::size_t>(i) * blk, blk);
+      copy_bytes(recv.data() + static_cast<std::size_t>((i + root) % P) * blk,
+                 tmp.data() + static_cast<std::size_t>(i) * blk, blk);
     }
   }
 }

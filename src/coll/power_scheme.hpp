@@ -7,6 +7,7 @@
 #pragma once
 
 #include "coll/types.hpp"
+#include "obs/trace.hpp"
 #include "sim/task.hpp"
 
 namespace pacc::coll {
@@ -24,16 +25,28 @@ sim::Task<> throttle_self(mpi::Rank& self, int tstate);
 
 /// Frame-local profiling scope: records (op, bytes, elapsed) into the
 /// runtime's Profiler when the enclosing coroutine body finishes. Declared
-/// at the top of every collective dispatcher.
+/// at the top of every collective dispatcher. When a TraceRecorder is
+/// attached, the Profiler also emits the matching "coll" span; global rank 0
+/// additionally brackets the op as an energy-attribution phase, so every
+/// joule of a run lands in exactly one named bucket.
 class ProfileScope {
  public:
   ProfileScope(mpi::Rank& self, const char* op, Bytes bytes)
-      : self_(self), op_(op), bytes_(bytes), start_(self.engine().now()) {}
+      : self_(self), op_(op), bytes_(bytes), start_(self.engine().now()) {
+    if (self_.id() == 0) {
+      if (auto* tr = self_.engine().tracer(); tr != nullptr && tr->enabled()) {
+        tr->phase_begin(op_);
+        drives_phase_ = true;
+      }
+    }
+  }
   ProfileScope(const ProfileScope&) = delete;
   ProfileScope& operator=(const ProfileScope&) = delete;
   ~ProfileScope() {
     self_.runtime().profiler().record(op_, bytes_,
-                                      self_.engine().now() - start_);
+                                      self_.engine().now() - start_,
+                                      self_.core());
+    if (drives_phase_) self_.engine().tracer()->phase_end();
   }
 
  private:
@@ -41,6 +54,39 @@ class ProfileScope {
   const char* op_;
   Bytes bytes_;
   TimePoint start_;
+  bool drives_phase_ = false;
+};
+
+/// Scope guard for one named phase *inside* a collective (e.g. the throttled
+/// Phase 2 of the power-aware Alltoall). Every rank gets a span on its own
+/// track; global rank 0 additionally drives the exact energy-attribution
+/// bucket, nested under the enclosing ProfileScope's op bucket.
+class CollPhase {
+ public:
+  CollPhase(mpi::Rank& self, const char* name)
+      : self_(self), name_(name), start_(self.engine().now()) {
+    auto* tr = self_.engine().tracer();
+    if (tr == nullptr || !tr->enabled()) return;
+    tr_ = tr;
+    if (self_.id() == 0) {
+      tr_->phase_begin(name_);
+      drives_phase_ = true;
+    }
+  }
+  CollPhase(const CollPhase&) = delete;
+  CollPhase& operator=(const CollPhase&) = delete;
+  ~CollPhase() {
+    if (tr_ == nullptr) return;
+    tr_->complete_span(tr_->core_track(self_.core()), name_, "phase", start_);
+    if (drives_phase_) tr_->phase_end();
+  }
+
+ private:
+  mpi::Rank& self_;
+  const char* name_;
+  TimePoint start_;
+  obs::TraceRecorder* tr_ = nullptr;
+  bool drives_phase_ = false;
 };
 
 /// Restores the calling rank's throttle to T0, charging O_throttle.

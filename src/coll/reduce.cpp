@@ -1,8 +1,8 @@
 #include "coll/reduce.hpp"
 
-#include <cstring>
 #include <vector>
 
+#include "coll/copy.hpp"
 #include "coll/power_scheme.hpp"
 #include "hw/power.hpp"
 #include "util/expect.hpp"
@@ -51,7 +51,7 @@ sim::Task<> reduce_binomial(mpi::Rank& self, mpi::Comm& comm,
 
   if (me == root) {
     PACC_EXPECTS(recv.size() == send.size());
-    std::memcpy(recv.data(), accum.data(), accum.size());
+    copy_bytes(recv.data(), accum.data(), accum.size());
   }
 }
 
@@ -123,7 +123,7 @@ sim::Task<> reduce_smp(mpi::Rank& self, mpi::Comm& comm,
     }
   } else if (me == root) {
     PACC_EXPECTS(recv.size() == send.size());
-    std::memcpy(recv.data(), node_result.data(), node_result.size());
+    copy_bytes(recv.data(), node_result.data(), node_result.size());
   }
 }
 

@@ -1,8 +1,8 @@
 #include "coll/reduce_scatter.hpp"
 
-#include <cstring>
 #include <vector>
 
+#include "coll/copy.hpp"
 #include "coll/gather_scatter.hpp"
 #include "coll/power_scheme.hpp"
 #include "coll/reduce.hpp"
@@ -65,8 +65,8 @@ sim::Task<> reduce_scatter_halving(mpi::Rank& self, mpi::Comm& comm,
     span /= 2;
   }
   PACC_ASSERT(span == 1 && lo == me);
-  std::memcpy(recv.data(), accum.data() + static_cast<std::size_t>(me) * blk,
-              blk);
+  copy_bytes(recv.data(), accum.data() + static_cast<std::size_t>(me) * blk,
+             blk);
 }
 
 sim::Task<> reduce_scatter(mpi::Rank& self, mpi::Comm& comm,

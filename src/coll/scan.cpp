@@ -1,8 +1,8 @@
 #include "coll/scan.hpp"
 
-#include <cstring>
 #include <vector>
 
+#include "coll/copy.hpp"
 #include "coll/power_scheme.hpp"
 #include "util/expect.hpp"
 
@@ -20,7 +20,7 @@ sim::Task<> scan_recursive_doubling(mpi::Rank& self, mpi::Comm& comm,
 
   // recv accumulates the inclusive prefix; partial the trailing window
   // [me - 2^k + 1, me] that gets forwarded.
-  std::memcpy(recv.data(), send.data(), send.size());
+  copy_bytes(recv.data(), send.data(), send.size());
   std::vector<std::byte> partial(send.begin(), send.end());
   std::vector<std::byte> incoming(send.size());
 

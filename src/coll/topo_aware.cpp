@@ -1,8 +1,8 @@
 #include "coll/topo_aware.hpp"
 
-#include <cstring>
 #include <vector>
 
+#include "coll/copy.hpp"
 #include "coll/gather_scatter.hpp"
 #include "coll/power_scheme.hpp"
 #include "hw/power.hpp"
@@ -151,7 +151,7 @@ sim::Task<> scatter_topo_aware(mpi::Rank& self, mpi::Comm& comm,
     for (std::size_t i = 0; i < locals.size(); ++i) {
       const int peer = locals[i];
       if (peer == me) {
-        std::memcpy(recv.data(), node_data.data() + i * blk, blk);
+        copy_bytes(recv.data(), node_data.data() + i * blk, blk);
       } else {
         co_await self.send(comm.global_rank(peer), tag,
                            node_data.subspan(i * blk, blk));
@@ -199,7 +199,7 @@ sim::Task<> gather_topo_aware(mpi::Rank& self, mpi::Comm& comm,
     for (std::size_t i = 0; i < locals.size(); ++i) {
       const int peer = locals[i];
       if (peer == me) {
-        std::memcpy(node_range.data() + i * blk, send.data(), blk);
+        copy_bytes(node_range.data() + i * blk, send.data(), blk);
       } else {
         co_await self.recv(
             comm.global_rank(peer), tag,
@@ -219,8 +219,8 @@ sim::Task<> gather_topo_aware(mpi::Rank& self, mpi::Comm& comm,
       const auto& locals = comm.members_on_node(my_node);
       const auto offset =
           static_cast<std::size_t>(first_of(locals) - first_of(mine)) * blk;
-      std::memcpy(rack_range.data() + offset, node_range.data(),
-                  node_range.size());
+      copy_bytes(rack_range.data() + offset, node_range.data(),
+                 node_range.size());
     }
     for (const int node : comm.nodes()) {
       if (comm.runtime().placement().shape.rack_of(node) != my_rack ||
@@ -246,9 +246,9 @@ sim::Task<> gather_topo_aware(mpi::Rank& self, mpi::Comm& comm,
     PACC_EXPECTS(recv.size() == static_cast<std::size_t>(P) * blk);
     {
       const auto& mine = comm.members_on_rack(my_rack);
-      std::memcpy(recv.data() +
-                      static_cast<std::size_t>(first_of(mine)) * blk,
-                  rack_range.data(), rack_range.size());
+      copy_bytes(recv.data() +
+                     static_cast<std::size_t>(first_of(mine)) * blk,
+                 rack_range.data(), rack_range.size());
     }
     for (const int rack : comm.racks()) {
       if (rack == my_rack) continue;

@@ -1,5 +1,7 @@
 #include "hw/machine.hpp"
 
+#include "obs/trace.hpp"
+
 namespace pacc::hw {
 
 Machine::Machine(sim::Engine& engine, MachineParams params)
@@ -17,7 +19,8 @@ Machine::Machine(sim::Engine& engine, MachineParams params)
     cs.freq = params_.fmax;
     refresh_power(cs);
   }
-  last_flush_ = engine_.now();
+  created_ = engine_.now();
+  last_flush_ = created_;
 }
 
 Machine::CoreState& Machine::state(const CoreId& core) {
@@ -59,6 +62,9 @@ void Machine::set_frequency(const CoreId& core, Frequency f) {
   auto& cs = state(core);
   cs.freq = f;
   refresh_power(cs);
+  if (auto* tr = engine_.tracer()) {
+    tr->counter(tr->core_track(core), "freq_mhz", f.hz() / 1e6);
+  }
 }
 
 void Machine::set_activity(const CoreId& core, Activity a) {
@@ -74,6 +80,9 @@ void Machine::set_core_throttle(const CoreId& core, int tstate) {
   auto& cs = state(core);
   cs.tstate = tstate;
   refresh_power(cs);
+  if (auto* tr = engine_.tracer()) {
+    tr->counter(tr->core_track(core), "tstate", tstate);
+  }
 }
 
 void Machine::set_socket_throttle(int node, int socket, int tstate) {
@@ -86,20 +95,35 @@ void Machine::set_socket_throttle(int node, int socket, int tstate) {
     cs.tstate = tstate;
     refresh_power(cs);
   }
+  if (auto* tr = engine_.tracer()) {
+    tr->counter(tr->core_track(CoreId{node, socket, 0}), "tstate", tstate);
+  }
 }
 
 sim::Task<> Machine::dvfs_transition(CoreId core, Frequency target) {
+  const TimePoint begin = engine_.now();
   set_frequency(core, target);
   co_await engine_.delay(params_.dvfs_overhead);
+  if (auto* tr = engine_.tracer()) {
+    tr->complete_span(
+        tr->core_track(core), "dvfs", "power", begin,
+        {{"mhz", static_cast<std::int64_t>(target.hz() / 1e6)}});
+  }
 }
 
 sim::Task<> Machine::throttle_transition(CoreId issuer, int tstate) {
+  const TimePoint begin = engine_.now();
   if (params_.core_level_throttling) {
     set_core_throttle(issuer, tstate);
   } else {
     set_socket_throttle(issuer.node, issuer.socket, tstate);
   }
   co_await engine_.delay(params_.throttle_overhead);
+  if (auto* tr = engine_.tracer()) {
+    tr->complete_span(tr->core_track(issuer), "throttle", "power", begin,
+                      {{"tstate", tstate},
+                       {"socket_wide", params_.core_level_throttling ? 0 : 1}});
+  }
 }
 
 Frequency Machine::frequency(const CoreId& core) const {
@@ -138,6 +162,31 @@ Watts Machine::node_power(int node) const {
 Joules Machine::total_energy() {
   flush();
   return energy_;
+}
+
+Joules Machine::node_energy(int node) {
+  PACC_EXPECTS(node >= 0 && node < params_.shape.nodes);
+  flush();
+  const Watts static_share =
+      params_.power.node_base +
+      params_.power.socket_uncore * params_.shape.sockets_per_node;
+  Joules total = static_share * (engine_.now() - created_).sec();
+  const int base = node * params_.shape.cores_per_node();
+  for (int c = 0; c < params_.shape.cores_per_node(); ++c) {
+    total += cores_[static_cast<std::size_t>(base + c)].stats.energy;
+  }
+  return total;
+}
+
+Joules Machine::socket_energy(int node, int socket) {
+  PACC_EXPECTS(node >= 0 && node < params_.shape.nodes);
+  PACC_EXPECTS(socket >= 0 && socket < params_.shape.sockets_per_node);
+  flush();
+  Joules total = params_.power.socket_uncore * (engine_.now() - created_).sec();
+  for (int c = 0; c < params_.shape.cores_per_socket; ++c) {
+    total += state(CoreId{node, socket, c}).stats.energy;
+  }
+  return total;
 }
 
 CoreStats Machine::core_stats(const CoreId& core) {

@@ -86,6 +86,15 @@ class Machine {
   /// Total system energy consumed up to the current simulated time.
   Joules total_energy();
 
+  /// Energy of one node up to now: its cores' integrals plus the node's
+  /// static share (node base + uncore) × elapsed time.
+  Joules node_energy(int node);
+
+  /// Energy of one socket up to now: its cores' integrals plus the socket's
+  /// uncore × elapsed time. The node-base power is not divisible between
+  /// sockets and is excluded (so node_energy ≠ Σ socket_energy in general).
+  Joules socket_energy(int node, int socket);
+
   /// Per-core statistics up to the current simulated time.
   CoreStats core_stats(const CoreId& core);
 
@@ -113,6 +122,7 @@ class Machine {
   Watts static_power_ = 0.0;  ///< node base + uncore, never varies
   Watts system_power_ = 0.0;
   Joules energy_ = 0.0;
+  TimePoint created_;  ///< for apportioning static power in node/socket energy
   TimePoint last_flush_;
 };
 

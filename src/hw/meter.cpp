@@ -13,29 +13,45 @@ SamplingMeter::SamplingMeter(Machine& machine, Duration interval,
 
 SamplingMeter::~SamplingMeter() { stop(); }
 
+void SamplingMeter::sample() {
+  const TimePoint now = machine_.engine().now();
+  series_.add(now, machine_.system_power());
+  if (per_node_) {
+    for (int n = 0; n < machine_.shape().nodes; ++n) {
+      node_series_[static_cast<std::size_t>(n)].add(now,
+                                                    machine_.node_power(n));
+    }
+  }
+  last_sample_ = now;
+}
+
 void SamplingMeter::start() {
   PACC_EXPECTS_MSG(!running_, "meter already running");
   running_ = true;
+  start_energy_ = machine_.total_energy();
+  sample();  // boundary sample at t = start
   arm();
 }
 
 void SamplingMeter::stop() {
   if (!running_) return;
   running_ = false;
+  window_energy_ = machine_.total_energy() - start_energy_;
+  // Close the final partial interval, unless a sample already landed at
+  // this exact instant (e.g. stop immediately after start).
+  if (machine_.engine().now() > last_sample_) sample();
   machine_.engine().cancel(pending_);
+}
+
+Joules SamplingMeter::window_energy() {
+  if (running_) return machine_.total_energy() - start_energy_;
+  return window_energy_;
 }
 
 void SamplingMeter::arm() {
   pending_ = machine_.engine().schedule(interval_, [this] {
     if (!running_) return;
-    const TimePoint now = machine_.engine().now();
-    series_.add(now, machine_.system_power());
-    if (per_node_) {
-      for (int n = 0; n < machine_.shape().nodes; ++n) {
-        node_series_[static_cast<std::size_t>(n)].add(now,
-                                                      machine_.node_power(n));
-      }
-    }
+    sample();
     arm();
   });
 }

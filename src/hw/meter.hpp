@@ -4,6 +4,12 @@
 // fixed interval (0.5 s in the paper) and records a time series. Implemented
 // as a self-rescheduling event rather than a task so that stopping it cannot
 // leave a "stuck" coroutine behind.
+//
+// Both window boundaries are sampled: start() records a sample at the start
+// instant and stop() records the final partial interval, so short runs are
+// no longer biased low. The meter is a *view* for plotting — exact energy
+// comes from Machine's event-driven integral, which window_energy() exposes
+// for the sampled window.
 #pragma once
 
 #include <vector>
@@ -23,10 +29,12 @@ class SamplingMeter {
   SamplingMeter(const SamplingMeter&) = delete;
   SamplingMeter& operator=(const SamplingMeter&) = delete;
 
-  /// Starts sampling; the first sample is taken one interval from now.
+  /// Starts sampling. Records a boundary sample at the start instant; the
+  /// next samples follow one interval apart.
   void start();
 
-  /// Stops sampling and cancels the pending sample event.
+  /// Stops sampling: records the final partial interval (unless a sample
+  /// already landed at this instant) and cancels the pending sample event.
   void stop();
 
   bool running() const { return running_; }
@@ -35,8 +43,14 @@ class SamplingMeter {
   const std::vector<PowerSeries>& node_series() const { return node_series_; }
   Duration interval() const { return interval_; }
 
+  /// Exact energy of the metered window so far — Machine's event-driven
+  /// integral sliced at start()/now (or start()/stop() once stopped). This
+  /// is the source of truth the sampled series only approximates.
+  Joules window_energy();
+
  private:
   void arm();
+  void sample();
 
   Machine& machine_;
   Duration interval_;
@@ -45,6 +59,9 @@ class SamplingMeter {
   bool per_node_ = false;
   bool running_ = false;
   sim::EventId pending_ = 0;
+  TimePoint last_sample_;
+  Joules start_energy_ = 0.0;
+  Joules window_energy_ = 0.0;  ///< frozen at stop()
 };
 
 }  // namespace pacc::hw

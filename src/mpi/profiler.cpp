@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 
 namespace pacc::mpi {
@@ -17,6 +18,16 @@ void Profiler::record(std::string_view op, Bytes bytes, Duration elapsed) {
   s.bytes += static_cast<std::uint64_t>(bytes);
   s.total_time += elapsed;
   s.max_time = std::max(s.max_time, elapsed);
+}
+
+void Profiler::record(std::string_view op, Bytes bytes, Duration elapsed,
+                      const hw::CoreId& core) {
+  record(op, bytes, elapsed);
+  if (trace_ != nullptr && trace_->enabled()) {
+    const TimePoint begin{trace_->engine().now().ns() - elapsed.ns()};
+    trace_->complete_span(trace_->core_track(core), op, "coll", begin,
+                          {{"bytes", bytes}});
+  }
 }
 
 Duration Profiler::total_time() const {

@@ -4,13 +4,24 @@
 // applications to learn about how much time processes spend in various
 // collective operations" (§VII-A). The collective dispatchers report every
 // call here; reports aggregate per operation across ranks.
+//
+// Lookups are heterogeneous over a transparent-hash map, so the hot
+// record() path never materialises a std::string — the only allocation is
+// the one-time insert of each distinct operation name. When a TraceRecorder
+// sink is attached, record() also emits the matching trace span from the
+// same measurement, so op stats and trace spans cannot disagree.
 #pragma once
 
-#include <map>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
+#include "hw/topology.hpp"
 #include "util/units.hpp"
+
+namespace pacc::obs {
+class TraceRecorder;
+}  // namespace pacc::obs
 
 namespace pacc::mpi {
 
@@ -28,11 +39,28 @@ struct OpStats {
 
 class Profiler {
  public:
+  /// Records one completed operation ending now.
   void record(std::string_view op, Bytes bytes, Duration elapsed);
 
-  const std::map<std::string, OpStats, std::less<>>& stats() const {
-    return stats_;
-  }
+  /// Same, but also emits a "coll" trace span on `core`'s track when a
+  /// recorder is attached — derived from the identical (elapsed, now)
+  /// measurement that feeds the stats.
+  void record(std::string_view op, Bytes bytes, Duration elapsed,
+              const hw::CoreId& core);
+
+  /// Attaches the trace sink (nullptr detaches).
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using StatsMap =
+      std::unordered_map<std::string, OpStats, StringHash, std::equal_to<>>;
+
+  const StatsMap& stats() const { return stats_; }
   bool empty() const { return stats_.empty(); }
 
   /// Total rank-time across all recorded operations.
@@ -41,7 +69,8 @@ class Profiler {
   void clear() { stats_.clear(); }
 
  private:
-  std::map<std::string, OpStats, std::less<>> stats_;
+  StatsMap stats_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace pacc::mpi

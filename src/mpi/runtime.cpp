@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/expect.hpp"
 
 namespace pacc::mpi {
@@ -28,6 +29,13 @@ sim::Engine& Rank::engine() { return rt_.engine(); }
 sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
   PACC_EXPECTS(dst >= 0 && dst < rt_.size());
   Runtime& rt = rt_;
+  // The span guard outlives the eager early co_return: the coroutine frame
+  // is destroyed right there, which is exactly when the sender resumes.
+  auto* tracer = engine().tracer();
+  obs::PhaseSpan send_span(
+      tracer, tracer != nullptr ? tracer->core_track(core_) : obs::TrackId{},
+      "send", "net",
+      {{"dst", dst}, {"tag", tag}, {"bytes", static_cast<Bytes>(data.size())}});
   const auto& np = rt.network().params();
   const int dst_node = rt.placement().node_of(dst);
   const bool intra = dst_node == node();
@@ -131,6 +139,11 @@ sim::Task<Message> Rank::await_message(int src, int tag) {
 
 sim::Task<> Rank::recv(int src, int tag, std::span<std::byte> out) {
   PACC_EXPECTS(src >= 0 && src < rt_.size());
+  auto* tracer = engine().tracer();
+  obs::PhaseSpan recv_span(
+      tracer, tracer != nullptr ? tracer->core_track(core_) : obs::TrackId{},
+      "recv", "net",
+      {{"src", src}, {"tag", tag}, {"bytes", static_cast<Bytes>(out.size())}});
   Message msg = co_await await_message(src, tag);
   PACC_EXPECTS_MSG(msg.size() == out.size(),
                    "received payload size does not match the posted buffer");

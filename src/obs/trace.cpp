@@ -1,0 +1,235 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "hw/machine.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::obs {
+namespace {
+
+constexpr std::string_view kUntracked = "(untracked)";
+
+/// JSON string escape for names/categories (control chars, quote, backslash).
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Microseconds with nanosecond precision, as Chrome trace expects.
+void write_us(std::ostream& os, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  os << buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(sim::Engine& engine) : engine_(engine) {
+  last_mark_ = engine_.now();
+}
+
+void TraceRecorder::attach_machine(hw::Machine& machine) {
+  machine_ = &machine;
+  shape_ = machine.shape();
+  last_energy_ = machine.total_energy();
+  last_mark_ = engine_.now();
+}
+
+TrackId TraceRecorder::core_track(const hw::CoreId& core) const {
+  const int tid = machine_ != nullptr
+                      ? core.socket * shape_.cores_per_socket + core.core_in_socket
+                      : core.core_in_socket;
+  return TrackId{core.node, tid};
+}
+
+void TraceRecorder::set_track_name(TrackId track, std::string name) {
+  track_names_[{track.pid, track.tid}] = std::move(name);
+}
+
+TraceRecorder::Event& TraceRecorder::push(Event::Kind kind, TrackId track,
+                                          std::string_view name,
+                                          std::string_view cat,
+                                          std::initializer_list<Arg> args) {
+  Event& e = events_.emplace_back();
+  e.kind = kind;
+  e.track = track;
+  e.name.assign(name);
+  e.cat.assign(cat);
+  PACC_EXPECTS(args.size() <= 3);
+  for (const Arg& a : args) e.args[e.nargs++] = a;
+  return e;
+}
+
+void TraceRecorder::complete_span(TrackId track, std::string_view name,
+                                  std::string_view cat, TimePoint begin,
+                                  std::initializer_list<Arg> args) {
+  if (!enabled_) return;
+  Event& e = push(Event::Kind::kSpan, track, name, cat, args);
+  e.begin = begin;
+  e.dur = engine_.now() - begin;
+}
+
+void TraceRecorder::complete_span(TrackId track, std::string_view name,
+                                  std::string_view cat, TimePoint begin,
+                                  const Arg* args, int nargs) {
+  if (!enabled_) return;
+  PACC_EXPECTS(nargs >= 0 && nargs <= 3);
+  Event& e = push(Event::Kind::kSpan, track, name, cat, {});
+  for (int i = 0; i < nargs; ++i) e.args[e.nargs++] = args[i];
+  e.begin = begin;
+  e.dur = engine_.now() - begin;
+}
+
+void TraceRecorder::instant(TrackId track, std::string_view name,
+                            std::string_view cat,
+                            std::initializer_list<Arg> args) {
+  if (!enabled_) return;
+  Event& e = push(Event::Kind::kInstant, track, name, cat, args);
+  e.begin = engine_.now();
+}
+
+void TraceRecorder::counter(TrackId track, std::string_view name,
+                            double value) {
+  if (!enabled_) return;
+  Event& e = push(Event::Kind::kCounter, track, name, {}, {});
+  e.begin = engine_.now();
+  e.value = value;
+}
+
+std::size_t TraceRecorder::bucket_index(std::string_view name) {
+  if (auto it = bucket_by_name_.find(name); it != bucket_by_name_.end()) {
+    return it->second;
+  }
+  const std::size_t idx = buckets_.size();
+  PhaseEnergy& b = buckets_.emplace_back();
+  b.name.assign(name);
+  bucket_by_name_.emplace(b.name, idx);
+  return idx;
+}
+
+void TraceRecorder::flush_energy() {
+  if (machine_ == nullptr) return;
+  const Joules e = machine_->total_energy();
+  const TimePoint t = engine_.now();
+  const std::size_t idx = phase_stack_.empty() ? bucket_index(kUntracked)
+                                               : phase_stack_.back();
+  buckets_[idx].joules += e - last_energy_;
+  buckets_[idx].time += t - last_mark_;
+  last_energy_ = e;
+  last_mark_ = t;
+}
+
+void TraceRecorder::phase_begin(std::string_view name) {
+  if (!enabled_) return;
+  flush_energy();
+  const std::size_t idx = bucket_index(name);
+  buckets_[idx].calls += 1;
+  phase_stack_.push_back(idx);
+}
+
+void TraceRecorder::phase_end() {
+  if (!enabled_) return;
+  PACC_EXPECTS_MSG(!phase_stack_.empty(), "phase_end without phase_begin");
+  flush_energy();
+  phase_stack_.pop_back();
+}
+
+std::vector<PhaseEnergy> TraceRecorder::energy_breakdown() {
+  flush_energy();
+  return buckets_;
+}
+
+Joules TraceRecorder::attributed_energy() {
+  flush_energy();
+  Joules total = 0.0;
+  for (const PhaseEnergy& b : buckets_) total += b.joules;
+  return total;
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Metadata: process (node) and thread (core) names.
+  std::int32_t last_pid = -1;
+  for (const auto& [key, name] : track_names_) {
+    if (key.first != last_pid) {
+      last_pid = key.first;
+      sep();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << key.first
+         << ",\"tid\":0,\"args\":{\"name\":\"node" << key.first << "\"}}";
+    }
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\"";
+    write_escaped(os, name);
+    os << "\"}}";
+  }
+
+  for (const Event& e : events_) {
+    sep();
+    os << "{\"name\":\"";
+    write_escaped(os, e.name);
+    os << "\",";
+    if (!e.cat.empty()) {
+      os << "\"cat\":\"";
+      write_escaped(os, e.cat);
+      os << "\",";
+    }
+    switch (e.kind) {
+      case Event::Kind::kSpan:
+        os << "\"ph\":\"X\",\"ts\":";
+        write_us(os, e.begin.ns());
+        os << ",\"dur\":";
+        write_us(os, e.dur.ns());
+        break;
+      case Event::Kind::kInstant:
+        os << "\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+        write_us(os, e.begin.ns());
+        break;
+      case Event::Kind::kCounter:
+        os << "\"ph\":\"C\",\"ts\":";
+        write_us(os, e.begin.ns());
+        break;
+    }
+    os << ",\"pid\":" << e.track.pid << ",\"tid\":" << e.track.tid;
+    if (e.kind == Event::Kind::kCounter) {
+      os << ",\"args\":{\"value\":" << e.value << "}";
+    } else if (e.nargs > 0) {
+      os << ",\"args\":{";
+      for (int i = 0; i < e.nargs; ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << e.args[i].key << "\":" << e.args[i].value;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace pacc::obs

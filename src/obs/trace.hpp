@@ -1,0 +1,199 @@
+// Observability layer: Chrome-trace recording + exact energy attribution.
+//
+// TraceRecorder collects spans (collective phases, P/T-state transitions,
+// point-to-point sends/recvs), instants and counters on (pid, tid) tracks —
+// one pid per node, one tid per core — and writes them in the Chrome trace
+// event format (chrome://tracing / Perfetto, "X"/"i"/"C" events).
+//
+// It also owns the *exact* per-phase energy attribution: hw::Machine already
+// integrates power event-driven at every state change, so a phase boundary
+// only has to snapshot Machine::total_energy(). A single designated rank
+// (global rank 0) drives a stack of named phases; every joule of the run
+// lands in exactly one bucket (the interval deltas telescope), so the
+// per-phase breakdown sums to the machine's total energy integral exactly —
+// unlike the sampled clamp meter, which is now just a view.
+//
+// Everything is zero-overhead when disabled: hook sites read one pointer
+// from the engine (sim::Engine::tracer(), nullptr by default) and skip.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace pacc::hw {
+class Machine;
+}  // namespace pacc::hw
+
+namespace pacc::obs {
+
+/// Chrome-trace track: pid = node, tid = linear core within the node.
+struct TrackId {
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+};
+
+/// One integer argument attached to an event. Keys must have static storage
+/// duration (string literals at the hook sites).
+struct Arg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+/// Aggregated exact energy of one named phase across a run.
+struct PhaseEnergy {
+  std::string name;
+  Joules joules = 0.0;
+  Duration time;          ///< wall time attributed to the phase
+  std::uint64_t calls = 0;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(sim::Engine& engine);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Enables energy attribution (phase_begin/phase_end) and core→track
+  /// mapping; snapshots the machine's current energy as the baseline.
+  void attach_machine(hw::Machine& machine);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  sim::Engine& engine() { return engine_; }
+
+  /// Track of a core: pid = node, tid = socket·cores_per_socket + core.
+  /// Requires attach_machine (falls back to tid = core otherwise).
+  TrackId core_track(const hw::CoreId& core) const;
+
+  /// Names a track in the JSON metadata (thread_name).
+  void set_track_name(TrackId track, std::string name);
+
+  // --- event emission (no-ops while disabled) ---
+
+  /// Complete span ("X") from `begin` to now.
+  void complete_span(TrackId track, std::string_view name,
+                     std::string_view cat, TimePoint begin,
+                     std::initializer_list<Arg> args = {});
+  void complete_span(TrackId track, std::string_view name,
+                     std::string_view cat, TimePoint begin, const Arg* args,
+                     int nargs);
+  /// Instant event ("i").
+  void instant(TrackId track, std::string_view name, std::string_view cat,
+               std::initializer_list<Arg> args = {});
+  /// Counter sample ("C").
+  void counter(TrackId track, std::string_view name, double value);
+
+  // --- exact energy attribution ---
+  //
+  // A single driver (by convention global rank 0) brackets phases; nesting
+  // uses self-time semantics: while a child phase is open, energy accrues
+  // to the child. Energy outside any phase accrues to "(untracked)".
+
+  void phase_begin(std::string_view name);
+  void phase_end();
+
+  /// Flushes the open interval and returns the per-phase buckets in
+  /// first-seen order. The joules over all buckets sum to the machine's
+  /// total energy integral since attach_machine (exact, event-driven).
+  std::vector<PhaseEnergy> energy_breakdown();
+
+  /// Sum of all attributed joules (equals the breakdown's total).
+  Joules attributed_energy();
+
+  // --- inspection / output ---
+
+  struct Event {
+    enum class Kind : std::uint8_t { kSpan, kInstant, kCounter };
+    Kind kind = Kind::kSpan;
+    TrackId track;
+    std::string name;
+    std::string cat;
+    TimePoint begin;
+    Duration dur;        ///< spans only
+    double value = 0.0;  ///< counters only
+    int nargs = 0;
+    Arg args[3];
+  };
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Writes the full Chrome trace JSON ({"traceEvents": [...]}).
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  Event& push(Event::Kind kind, TrackId track, std::string_view name,
+              std::string_view cat, std::initializer_list<Arg> args);
+  std::size_t bucket_index(std::string_view name);
+  void flush_energy();
+
+  sim::Engine& engine_;
+  hw::Machine* machine_ = nullptr;
+  hw::ClusterShape shape_;
+  bool enabled_ = true;
+
+  std::vector<Event> events_;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::string> track_names_;
+
+  // Energy attribution state.
+  std::vector<PhaseEnergy> buckets_;  ///< first-seen order
+  std::unordered_map<std::string, std::size_t, StringHash, std::equal_to<>>
+      bucket_by_name_;
+  std::vector<std::size_t> phase_stack_;
+  Joules last_energy_ = 0.0;
+  TimePoint last_mark_;
+};
+
+/// RAII span guard: emits one complete span on `track` for the scope's
+/// lifetime — including coroutine frames destroyed at an early co_return.
+/// A null recorder (tracing disabled) makes it a no-op.
+class PhaseSpan {
+ public:
+  PhaseSpan(TraceRecorder* recorder, TrackId track, const char* name,
+            const char* cat, std::initializer_list<Arg> args = {})
+      : tr_(recorder != nullptr && recorder->enabled() ? recorder : nullptr),
+        track_(track),
+        name_(name),
+        cat_(cat) {
+    if (tr_ == nullptr) return;
+    begin_ = tr_->engine().now();
+    for (const Arg& a : args) {
+      if (nargs_ < 3) args_[nargs_++] = a;
+    }
+  }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+  ~PhaseSpan() {
+    if (tr_ != nullptr) {
+      tr_->complete_span(track_, name_, cat_, begin_, args_, nargs_);
+    }
+  }
+
+ private:
+  TraceRecorder* tr_;
+  TrackId track_;
+  const char* name_;
+  const char* cat_;
+  TimePoint begin_;
+  Arg args_[3];
+  int nargs_ = 0;
+};
+
+}  // namespace pacc::obs

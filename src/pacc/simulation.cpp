@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "util/expect.hpp"
@@ -35,6 +36,20 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
                                             std::move(placement), rt_params);
   meter_ = std::make_unique<hw::SamplingMeter>(
       *machine_, Duration::millis(500.0), config.per_node_meter);
+
+  if (config.trace) {
+    // Attach the recorder only after construction so the setup noise
+    // (initial activity states) stays out of the trace.
+    tracer_ = std::make_unique<obs::TraceRecorder>(*engine_);
+    tracer_->attach_machine(*machine_);
+    engine_->set_tracer(tracer_.get());
+    runtime_->profiler().set_trace(tracer_.get());
+    const auto& placement = runtime_->placement();
+    for (int r = 0; r < placement.ranks(); ++r) {
+      tracer_->set_track_name(tracer_->core_track(placement.core_of(r)),
+                              "rank " + std::to_string(r));
+    }
+  }
 }
 
 RunReport Simulation::run(
@@ -54,6 +69,7 @@ RunReport Simulation::run(
   report.energy = machine_->total_energy();
   report.power = meter_->series();
   report.node_power = meter_->node_series();
+  if (tracer_ != nullptr) report.energy_phases = tracer_->energy_breakdown();
   if (report.elapsed.ns() > 0) {
     report.mean_power = report.energy / report.elapsed.sec();
   }
@@ -227,6 +243,12 @@ CollectiveReport measure_collective(const ClusterConfig& config,
     if (sample.time >= window->t0 && sample.time <= window->t1) {
       report.power.add(sample.time, sample.watts);
     }
+  }
+  if (obs::TraceRecorder* tracer = sim.tracer()) {
+    report.energy_phases = run.energy_phases;
+    std::ostringstream json;
+    tracer->write_json(json);
+    report.trace_json = std::move(json).str();
   }
   return report;
 }

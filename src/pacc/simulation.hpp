@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "coll/registry.hpp"
@@ -25,6 +26,7 @@
 #include "hw/meter.hpp"
 #include "mpi/runtime.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "pacc/presets.hpp"
 #include "sim/engine.hpp"
 #include "util/stats.hpp"
@@ -45,6 +47,10 @@ struct ClusterConfig {
   mpi::GovernorParams governor;
   /// Record per-node meter channels in addition to the system series.
   bool per_node_meter = false;
+  /// Attach an obs::TraceRecorder: Chrome-trace spans for collective
+  /// phases / power transitions / sends+recvs, plus exact per-phase energy
+  /// attribution. Off by default — the hooks then cost one pointer test.
+  bool trace = false;
   /// Safety bound on simulated time: a deadlocked program is reported as
   /// incomplete instead of letting the meter tick forever.
   Duration max_sim_time = Duration::seconds(3600.0);
@@ -60,6 +66,9 @@ struct RunReport {
   PowerSeries power;        ///< clamp-meter samples (0.5 s)
   /// Per-node meter channels (only with ClusterConfig::per_node_meter).
   std::vector<PowerSeries> node_power;
+  /// Exact per-phase energy buckets (only with ClusterConfig::trace); the
+  /// joules sum to `energy` exactly — see docs/OBSERVABILITY.md.
+  std::vector<obs::PhaseEnergy> energy_phases;
   bool completed = false;   ///< false: deadlock / starvation detected
 };
 
@@ -69,6 +78,12 @@ struct CollectiveReport {
   Joules energy_per_op = 0.0;
   Watts mean_power = 0.0;   ///< mean sampled power during the timed loop
   PowerSeries power;
+  /// Exact per-phase energy buckets over the whole run, incl. warmup
+  /// (only with ClusterConfig::trace).
+  std::vector<obs::PhaseEnergy> energy_phases;
+  /// Chrome-trace JSON of the run (only with ClusterConfig::trace);
+  /// serialised before the Simulation is torn down.
+  std::string trace_json;
   bool completed = false;
 };
 
@@ -95,6 +110,8 @@ class Simulation {
   net::FlowNetwork& network() { return *network_; }
   mpi::Runtime& runtime() { return *runtime_; }
   hw::SamplingMeter& meter() { return *meter_; }
+  /// Null unless ClusterConfig::trace was set.
+  obs::TraceRecorder* tracer() { return tracer_.get(); }
 
   /// Spawns `body` on every rank, runs to completion with the power meter
   /// sampling, and reports elapsed time / energy / power.
@@ -107,6 +124,7 @@ class Simulation {
   std::unique_ptr<net::FlowNetwork> network_;
   std::unique_ptr<mpi::Runtime> runtime_;
   std::unique_ptr<hw::SamplingMeter> meter_;
+  std::unique_ptr<obs::TraceRecorder> tracer_;
 };
 
 /// Builds a cluster, runs `spec.warmup + spec.iterations` matched calls of

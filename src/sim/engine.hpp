@@ -19,6 +19,10 @@
 #include "util/expect.hpp"
 #include "util/units.hpp"
 
+namespace pacc::obs {
+class TraceRecorder;
+}  // namespace pacc::obs
+
 namespace pacc::sim {
 
 /// Identifier of a scheduled event, usable for cancellation. Encodes the
@@ -81,6 +85,12 @@ class Engine {
   /// callback); an unreleased hold reads as a stuck task.
   void retain_active() { ++active_tasks_; }
   void release_active() { --active_tasks_; }
+
+  /// Observability hook: components on the hot path (machine, runtime,
+  /// collectives) read this pointer and skip all instrumentation when it is
+  /// null — the recorder costs nothing unless a trace was requested.
+  obs::TraceRecorder* tracer() const { return tracer_; }
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
 
   /// Number of events dispatched so far (for micro-benchmarks / tests).
   std::uint64_t events_dispatched() const { return dispatched_; }
@@ -156,6 +166,7 @@ class Engine {
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> free_nodes_;
   std::vector<Task<>> spawned_;
+  obs::TraceRecorder* tracer_ = nullptr;
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;

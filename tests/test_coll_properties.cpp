@@ -2,9 +2,12 @@
 // paper's claims rest on, checked across operations and schemes.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "coll/alltoall_power.hpp"
 #include "test_support.hpp"
 
 namespace pacc::coll {
@@ -161,6 +164,73 @@ TEST(PowerBands, SchemesLandInPaperBands) {
   EXPECT_NEAR(proposed.mean_power, 1650.0, 150.0);
   EXPECT_LT(proposed.mean_power, dvfs.mean_power);
 }
+
+/// Property 6: the Phase-4 tournament schedule (circle method) is a valid
+/// round-robin pairing. For every N — even and odd, where the ghost node
+/// idles one real node per round — the pairing must be symmetric, never
+/// self-referential, and cover every unordered node pair exactly once.
+TEST(TournamentSchedule, ValidRoundRobinPairingForAllN) {
+  for (int N = 2; N <= 33; ++N) {
+    const int rounds = tournament_rounds(N);
+    std::set<std::pair<int, int>> seen;
+    for (int round = 0; round < rounds; ++round) {
+      int idle = 0;
+      for (int i = 0; i < N; ++i) {
+        const int peer = tournament_peer(i, round, N);
+        if (peer < 0) {  // paired with the ghost this round (odd N only)
+          ++idle;
+          continue;
+        }
+        ASSERT_LT(peer, N) << "N=" << N << " round=" << round << " i=" << i;
+        EXPECT_NE(peer, i) << "self-pairing: N=" << N << " round=" << round;
+        EXPECT_EQ(tournament_peer(peer, round, N), i)
+            << "asymmetric: N=" << N << " round=" << round << " i=" << i;
+        if (i < peer) {
+          const bool fresh = seen.emplace(i, peer).second;
+          EXPECT_TRUE(fresh) << "pair (" << i << "," << peer
+                             << ") repeated: N=" << N << " round=" << round;
+        }
+      }
+      EXPECT_EQ(idle, N % 2) << "N=" << N << " round=" << round;
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(N) * (N - 1) / 2)
+        << "incomplete coverage at N=" << N;
+  }
+}
+
+/// Property 7: zero-byte messages. Every collective must complete cleanly
+/// with empty payloads under every scheme — regression for the
+/// memcpy(nullptr, nullptr, 0) UB on the own-block copy paths.
+class ZeroByteMessages
+    : public ::testing::TestWithParam<std::tuple<Op, PowerScheme>> {};
+
+TEST_P(ZeroByteMessages, CompletesWithEmptyPayloads) {
+  const auto& [op, scheme] = GetParam();
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  CollectiveBenchSpec spec;
+  spec.op = op;
+  spec.scheme = scheme;
+  spec.message = 0;
+  spec.iterations = 1;
+  spec.warmup = 0;
+
+  const CollectiveReport report = measure_collective(cfg, spec);
+  ASSERT_TRUE(report.completed) << to_string(op) << "/" << to_string(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsTimesSchemes, ZeroByteMessages,
+    ::testing::Combine(
+        ::testing::Values(Op::kAlltoall, Op::kAlltoallv, Op::kBcast,
+                          Op::kReduce, Op::kAllreduce, Op::kAllgather,
+                          Op::kGather, Op::kScatter, Op::kScan,
+                          Op::kReduceScatter, Op::kBarrier),
+        ::testing::Values(PowerScheme::kNone, PowerScheme::kFreqScaling,
+                          PowerScheme::kProposed)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_" +
+             test::scheme_tag(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace pacc::coll

@@ -20,9 +20,11 @@ TEST_F(MeterTest, SamplesAtConfiguredInterval) {
   meter.start();
   engine_.schedule(Duration::seconds(2.9), [&] { meter.stop(); });
   engine_.run();
-  // Samples at 0.5, 1.0, 1.5, 2.0, 2.5 s.
-  EXPECT_EQ(meter.series().samples().size(), 5u);
-  EXPECT_EQ(meter.series().samples().front().time.ns(), 500'000'000);
+  // Boundary sample at 0, interval samples at 0.5..2.5, boundary at 2.9 s.
+  EXPECT_EQ(meter.series().samples().size(), 7u);
+  EXPECT_EQ(meter.series().samples().front().time.ns(), 0);
+  EXPECT_EQ(meter.series().samples()[1].time.ns(), 500'000'000);
+  EXPECT_EQ(meter.series().samples().back().time.ns(), 2'900'000'000);
 }
 
 TEST_F(MeterTest, SamplesReflectCurrentPower) {
@@ -38,11 +40,14 @@ TEST_F(MeterTest, SamplesReflectCurrentPower) {
   });
   engine_.schedule(Duration::millis(1600), [&] { meter.stop(); });
   engine_.run();
+  // Samples at 0 (boundary), 0.5, 1.0, 1.5, 1.6 s (boundary).
   const auto& samples = meter.series().samples();
-  ASSERT_EQ(samples.size(), 3u);
-  EXPECT_NEAR(samples[0].watts, full, 1e-9);   // 0.5 s: all busy
-  EXPECT_LT(samples[1].watts, full);           // 1.0 s: idle
-  EXPECT_NEAR(samples[1].watts, samples[2].watts, 1e-9);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_NEAR(samples[0].watts, full, 1e-9);   // 0 s: all busy
+  EXPECT_NEAR(samples[1].watts, full, 1e-9);   // 0.5 s: all busy
+  EXPECT_LT(samples[2].watts, full);           // 1.0 s: idle
+  EXPECT_NEAR(samples[2].watts, samples[3].watts, 1e-9);
+  EXPECT_NEAR(samples[3].watts, samples[4].watts, 1e-9);
 }
 
 TEST_F(MeterTest, StopPreventsFurtherEvents) {
@@ -51,7 +56,10 @@ TEST_F(MeterTest, StopPreventsFurtherEvents) {
   meter.stop();
   const auto r = engine_.run();
   EXPECT_TRUE(r.all_tasks_finished);
-  EXPECT_TRUE(meter.series().empty());
+  // Only the start-boundary sample: stop() at the same instant must not
+  // record a duplicate, and no interval sample may fire afterwards.
+  EXPECT_EQ(meter.series().samples().size(), 1u);
+  EXPECT_EQ(meter.series().samples().front().time.ns(), 0);
 }
 
 TEST_F(MeterTest, DestructorStopsCleanly) {
@@ -73,6 +81,35 @@ TEST_F(MeterTest, RestartAfterStop) {
   engine_.schedule(Duration::millis(1200), [&] { meter.stop(); });
   engine_.run();
   EXPECT_GT(meter.series().samples().size(), first);
+}
+
+// Regression for the boundary-sample bug: start() never recorded t=0 and
+// stop() discarded the final partial interval, so a run shorter than one
+// interval produced an empty series and zero integrated energy.
+TEST_F(MeterTest, ShortRunIsBracketedByBoundarySamples) {
+  SamplingMeter meter(machine_, Duration::millis(500));
+  meter.start();
+  engine_.schedule(Duration::millis(200), [&] { meter.stop(); });
+  engine_.run();
+  const auto& samples = meter.series().samples();
+  ASSERT_EQ(samples.size(), 2u);  // t = 0 and t = 0.2 s, no interval sample
+  EXPECT_EQ(samples.front().time.ns(), 0);
+  EXPECT_EQ(samples.back().time.ns(), 200'000'000);
+  EXPECT_NEAR(samples.front().watts, machine_.system_power(), 1e-9);
+}
+
+// The meter is a view: its window energy is Machine's event-driven
+// integral sliced at start/stop, not a Riemann sum of the samples.
+TEST_F(MeterTest, WindowEnergyMatchesMachineIntegral) {
+  SamplingMeter meter(machine_, Duration::millis(500));
+  engine_.schedule(Duration::millis(250), [&] { meter.start(); });
+  engine_.schedule(Duration::millis(1250), [&] { meter.stop(); });
+  engine_.run();
+  // Constant power over the window: the exact integral is power × 1 s.
+  const Joules expected = machine_.system_power() * 1.0;
+  EXPECT_NEAR(meter.window_energy(), expected, 1e-6);
+  // And the window slice is consistent with the machine's total integral.
+  EXPECT_LT(meter.window_energy(), machine_.total_energy());
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+// Tests for the observability layer: Chrome-trace recording and the exact
+// per-phase energy attribution (docs/OBSERVABILITY.md).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::obs {
+namespace {
+
+Joules breakdown_total(const std::vector<PhaseEnergy>& phases) {
+  Joules sum = 0.0;
+  for (const auto& p : phases) sum += p.joules;
+  return sum;
+}
+
+const PhaseEnergy* find_phase(const std::vector<PhaseEnergy>& phases,
+                              std::string_view name) {
+  for (const auto& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+bool has_event(const TraceRecorder& tr, std::string_view cat,
+               std::string_view name_prefix) {
+  return std::any_of(tr.events().begin(), tr.events().end(),
+                     [&](const TraceRecorder::Event& e) {
+                       return e.cat == cat &&
+                              e.name.starts_with(name_prefix);
+                     });
+}
+
+TEST(TraceRecorder, RecordsManualEvents) {
+  sim::Engine engine;
+  TraceRecorder tr(engine);
+  const TrackId t{0, 0};
+  tr.set_track_name(t, "main");
+  const TimePoint begin = engine.now();
+  engine.schedule(Duration::micros(5), [&] {
+    tr.complete_span(t, "work", "test", begin, {{"bytes", 42}});
+    tr.instant(t, "tick", "test");
+    tr.counter(t, "gauge", 1.5);
+  });
+  engine.run();
+
+  ASSERT_EQ(tr.event_count(), 3u);
+  const auto& span = tr.events()[0];
+  EXPECT_EQ(span.kind, TraceRecorder::Event::Kind::kSpan);
+  EXPECT_EQ(span.name, "work");
+  EXPECT_EQ(span.begin.ns(), 0);
+  EXPECT_EQ(span.dur.ns(), 5000);
+  ASSERT_EQ(span.nargs, 1);
+  EXPECT_STREQ(span.args[0].key, "bytes");
+  EXPECT_EQ(span.args[0].value, 42);
+
+  std::ostringstream os;
+  tr.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json.starts_with("{\"traceEvents\":["));
+  EXPECT_TRUE(json.ends_with("]}\n"));
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // thread_name
+  EXPECT_NE(json.find("\"bytes\":42"), std::string::npos);
+}
+
+TEST(TraceRecorder, DisabledRecorderEmitsNothing) {
+  sim::Engine engine;
+  TraceRecorder tr(engine);
+  tr.set_enabled(false);
+  tr.complete_span({0, 0}, "work", "test", engine.now());
+  tr.instant({0, 0}, "tick", "test");
+  tr.counter({0, 0}, "gauge", 1.0);
+  tr.phase_begin("p");  // must not touch the (absent) phase stack
+  tr.phase_end();
+  EXPECT_EQ(tr.event_count(), 0u);
+
+  // A null recorder makes PhaseSpan a complete no-op.
+  { PhaseSpan guard(nullptr, {0, 0}, "noop", "test"); }
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+TEST(TraceObservability, TracingDoesNotPerturbTheSimulation) {
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.scheme = coll::PowerScheme::kProposed;
+  spec.message = 64 * 1024;
+  spec.iterations = 2;
+  spec.warmup = 1;
+
+  const auto off = measure_collective(cfg, spec);
+  cfg.trace = true;
+  const auto on = measure_collective(cfg, spec);
+  ASSERT_TRUE(off.completed && on.completed);
+
+  // The recorder never advances simulated time, so latencies agree exactly;
+  // it does take extra energy snapshots, which may reorder the floating-
+  // point summation — hence 1e-9 relative on energy rather than bitwise.
+  EXPECT_EQ(on.latency.ns(), off.latency.ns());
+  EXPECT_NEAR(on.energy_per_op, off.energy_per_op,
+              std::abs(off.energy_per_op) * 1e-9);
+  EXPECT_TRUE(off.trace_json.empty());
+  EXPECT_TRUE(off.energy_phases.empty());
+  EXPECT_FALSE(on.trace_json.empty());
+  EXPECT_TRUE(on.trace_json.starts_with("{\"traceEvents\":["));
+  EXPECT_TRUE(on.trace_json.ends_with("]}\n"));
+}
+
+TEST(TraceObservability, EnergyBreakdownSumsToMachineIntegral) {
+  // Both sockets per node populated: the power-aware Alltoall path needs a
+  // full bunch mapping (§V-C), and we want its Phase-2 bucket in the trace.
+  ClusterConfig cfg = test::small_cluster(2, 16, 8);
+  cfg.trace = true;
+  Simulation sim(cfg);
+  const Bytes block = 64 * 1024;
+  const auto blk = static_cast<std::size_t>(block);
+  const int iterations = 3;
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    std::vector<std::byte> send(16 * blk), recv(16 * blk);
+    for (int i = 0; i < iterations; ++i) {
+      co_await coll::alltoall(self, world, send, recv, block,
+                              {.scheme = coll::PowerScheme::kProposed});
+    }
+  };
+  const RunReport report = sim.run(body);
+  ASSERT_TRUE(report.completed);
+  ASSERT_FALSE(report.energy_phases.empty());
+
+  // Every joule of the run lands in exactly one bucket: the buckets sum to
+  // the machine's event-driven total energy integral.
+  EXPECT_NEAR(breakdown_total(report.energy_phases), report.energy,
+              report.energy * 1e-9);
+  EXPECT_NEAR(sim.tracer()->attributed_energy(), report.energy,
+              report.energy * 1e-9);
+
+  // The driver (global rank 0) bracketed each collective call once, and the
+  // throttled Phase 2 shows up as a nested self-time bucket.
+  const PhaseEnergy* op = find_phase(report.energy_phases, "alltoall");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->calls, static_cast<std::uint64_t>(iterations));
+  const PhaseEnergy* phase2 =
+      find_phase(report.energy_phases, "alltoall_power.phase2");
+  ASSERT_NE(phase2, nullptr);
+  EXPECT_GT(phase2->joules, 0.0);
+  EXPECT_GT(phase2->time.ns(), 0);
+}
+
+TEST(TraceObservability, SpansCoverAllHookLayers) {
+  ClusterConfig cfg = test::small_cluster(2, 16, 8);
+  cfg.trace = true;
+  Simulation sim(cfg);
+  const Bytes block = 32 * 1024;
+  const auto blk = static_cast<std::size_t>(block);
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    std::vector<std::byte> send(16 * blk), recv(16 * blk);
+    co_await coll::alltoall(self, world, send, recv, block,
+                            {.scheme = coll::PowerScheme::kProposed});
+  };
+  ASSERT_TRUE(sim.run(body).completed);
+
+  const TraceRecorder& tr = *sim.tracer();
+  EXPECT_TRUE(has_event(tr, "coll", "alltoall"));           // profiler
+  EXPECT_TRUE(has_event(tr, "phase", "alltoall_power."));   // CollPhase
+  EXPECT_TRUE(has_event(tr, "net", "send"));                // Rank::send
+  EXPECT_TRUE(has_event(tr, "net", "recv"));                // Rank::recv
+  EXPECT_TRUE(has_event(tr, "power", "throttle"));          // hw::Machine
+  const bool has_tstate_counter = std::any_of(
+      tr.events().begin(), tr.events().end(), [](const auto& e) {
+        return e.kind == TraceRecorder::Event::Kind::kCounter &&
+               e.name == "tstate";
+      });
+  EXPECT_TRUE(has_tstate_counter);
+}
+
+TEST(TraceObservability, ProfilerStatsAgreeWithTraceSpans) {
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  cfg.trace = true;
+  Simulation sim(cfg);
+  const Bytes block = 16 * 1024;
+  const auto blk = static_cast<std::size_t>(block);
+  const int iterations = 2;
+
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    std::vector<std::byte> send(8 * blk), recv(8 * blk);
+    for (int i = 0; i < iterations; ++i) {
+      co_await coll::alltoall(self, world, send, recv, block, {});
+    }
+  };
+  ASSERT_TRUE(sim.run(body).completed);
+
+  // The profiler emits the span from the same measurement it aggregates, so
+  // the stats and the trace cannot disagree: one "coll" span per record().
+  const auto& stats = sim.runtime().profiler().stats();
+  const auto it = stats.find("alltoall");
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->second.calls, static_cast<std::uint64_t>(8 * iterations));
+  const auto spans = std::count_if(
+      sim.tracer()->events().begin(), sim.tracer()->events().end(),
+      [](const auto& e) { return e.cat == "coll" && e.name == "alltoall"; });
+  EXPECT_EQ(static_cast<std::uint64_t>(spans), it->second.calls);
+}
+
+TEST(TraceObservability, ComputeOnlyRunIsUntracked) {
+  ClusterConfig cfg = test::small_cluster(1, 2, 2);
+  cfg.trace = true;
+  Simulation sim(cfg);
+  const RunReport report = sim.run([](mpi::Rank& r) -> sim::Task<> {
+    co_await r.compute(Duration::millis(2));
+  });
+  ASSERT_TRUE(report.completed);
+
+  // No collective ran, so no phase was ever opened: all energy falls into
+  // the "(untracked)" catch-all bucket — and still sums to the total.
+  ASSERT_EQ(report.energy_phases.size(), 1u);
+  EXPECT_EQ(report.energy_phases[0].name, "(untracked)");
+  EXPECT_NEAR(report.energy_phases[0].joules, report.energy,
+              report.energy * 1e-9);
+}
+
+}  // namespace
+}  // namespace pacc::obs

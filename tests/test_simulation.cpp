@@ -42,7 +42,8 @@ TEST(Simulation, MeterSamplesLongRuns) {
     co_await r.compute(Duration::seconds(2.0));
   });
   EXPECT_TRUE(report.completed);
-  EXPECT_EQ(report.power.samples().size(), 3u);  // 0.5, 1.0, 1.5 s
+  // Boundary samples at 0 and 2.0 s plus interval samples at 0.5/1.0/1.5 s.
+  EXPECT_EQ(report.power.samples().size(), 5u);
 }
 
 TEST(Simulation, DeadlockSurfacesInReport) {

@@ -16,12 +16,13 @@ TEST(PerNodeMeter, ChannelsSumToSystemPower) {
   engine.schedule(Duration::seconds(1.1), [&] { meter.stop(); });
   engine.run();
 
+  // Boundary samples at 0 and 1.1 s plus interval samples at 0.5 and 1.0 s.
   ASSERT_EQ(meter.node_series().size(), 4u);
-  ASSERT_EQ(meter.series().samples().size(), 2u);
-  for (std::size_t s = 0; s < 2; ++s) {
+  ASSERT_EQ(meter.series().samples().size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
     Watts sum = 0.0;
     for (const auto& node : meter.node_series()) {
-      ASSERT_EQ(node.samples().size(), 2u);
+      ASSERT_EQ(node.samples().size(), 4u);
       sum += node.samples()[s].watts;
     }
     EXPECT_NEAR(sum, meter.series().samples()[s].watts, 1e-6);

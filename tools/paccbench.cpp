@@ -9,8 +9,11 @@
 //
 // Cluster knobs: --nodes, --affinity bunch|scatter, --mode polling|blocking,
 // --governor [threshold_us], --core-throttle, --racks <nodes_per_rack>.
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/trace.hpp"
 #include "pacc/simulation.hpp"
@@ -42,7 +45,11 @@ int usage(const char* argv0) {
       << "  --racks N          nodes per rack (default: no rack layer)\n"
       << "  --csv              emit CSV instead of an aligned table\n"
       << "  --profile          print a per-operation profile (workload mode)\n"
-      << "  --node-power       print per-node mean power (workload mode)\n";
+      << "  --node-power       print per-node mean power (workload mode)\n"
+      << "  --trace FILE       write a Chrome trace (chrome://tracing) of the\n"
+      << "                     last sweep point (collective mode)\n"
+      << "  --energy-breakdown print exact per-phase joules per sweep point\n"
+      << "                     (collective mode)\n";
   return 2;
 }
 
@@ -115,6 +122,9 @@ int main(int argc, char** argv) {
   const bool node_power = args.has("node-power");
   cfg.per_node_meter = node_power;
   const auto workload_file = args.get("workload");
+  const auto trace_file = args.get("trace");
+  const bool energy_breakdown = args.has("energy-breakdown");
+  cfg.trace = trace_file.has_value() || energy_breakdown;
   const auto op = parse_op(args.get_or("op", "alltoall"));
   const Bytes min_size = args.bytes_or("min", 16 * 1024);
   const Bytes max_size = args.bytes_or("max", 1 << 20);
@@ -130,6 +140,10 @@ int main(int argc, char** argv) {
   }
 
   if (workload_file) {
+    if (cfg.trace) {
+      std::cerr << "--trace/--energy-breakdown apply to collective mode only\n";
+      return usage(argv[0]);
+    }
     const auto parsed = apps::load_workload(*workload_file);
     if (!parsed.ok()) {
       std::cerr << "error: " << parsed.error << "\n";
@@ -188,13 +202,17 @@ int main(int argc, char** argv) {
     std::cerr << "bad --op\n";
     return usage(argv[0]);
   }
-  if (min_size <= 0 || max_size < min_size) {
+  if (min_size < 0 || max_size < min_size) {
     std::cerr << "bad --min/--max\n";
     return usage(argv[0]);
   }
 
   Table t({"size", "latency_us", "energy_per_op_J", "mean_kW"});
-  for (Bytes size = min_size; size <= max_size; size *= 4) {
+  std::vector<std::pair<Bytes, std::vector<obs::PhaseEnergy>>> breakdowns;
+  std::string last_trace;
+  // 0 (zero-byte regression point) steps to 1, then ×4 like OSU.
+  for (Bytes size = min_size; size <= max_size;
+       size = size == 0 ? Bytes{1} : size * 4) {
     CollectiveBenchSpec spec;
     spec.op = *op;
     spec.message = size;
@@ -209,6 +227,8 @@ int main(int argc, char** argv) {
     t.add_row({format_bytes(size), Table::num(report.latency.us(), 2),
                Table::num(report.energy_per_op, 3),
                Table::num(report.mean_power / 1000.0, 3)});
+    if (energy_breakdown) breakdowns.emplace_back(size, report.energy_phases);
+    if (trace_file) last_trace = report.trace_json;
     if (*op == coll::Op::kBarrier) break;  // size is meaningless
   }
   if (csv) {
@@ -220,6 +240,33 @@ int main(int argc, char** argv) {
               << hw::to_string(cfg.affinity) << ", " << to_string(cfg.progress)
               << (cfg.governor.enabled ? ", governor" : "") << "\n";
     t.print(std::cout);
+  }
+  for (const auto& [size, phases] : breakdowns) {
+    Joules total = 0.0;
+    for (const auto& p : phases) total += p.joules;
+    std::cout << "\n# per-phase energy at " << format_bytes(size)
+              << " (exact; sums to the run's total integral)\n";
+    Table et({"phase", "joules", "time_ms", "calls", "share_pct"});
+    for (const auto& p : phases) {
+      et.add_row({p.name, Table::num(p.joules, 3),
+                  Table::num(p.time.ms(), 3), std::to_string(p.calls),
+                  Table::num(total > 0 ? 100.0 * p.joules / total : 0.0, 1)});
+    }
+    if (csv) {
+      et.print_csv(std::cout);
+    } else {
+      et.print(std::cout);
+    }
+  }
+  if (trace_file) {
+    std::ofstream out(*trace_file);
+    if (!out) {
+      std::cerr << "cannot write " << *trace_file << "\n";
+      return 1;
+    }
+    out << last_trace;
+    std::cerr << "# trace (last sweep point) written to " << *trace_file
+              << "\n";
   }
   return 0;
 }
