@@ -7,32 +7,12 @@
 
 #include "bench_support.hpp"
 
-namespace {
-
-using namespace pacc;
-
-CollectiveReport run_one(int ranks, int ppn, hw::AffinityPolicy affinity,
-                         coll::Op op, coll::PowerScheme scheme) {
-  ClusterConfig cfg = bench::paper_cluster(ranks, ppn);
-  cfg.affinity = affinity;
-  CollectiveBenchSpec spec;
-  spec.op = op;
-  spec.message = 256 * 1024;
-  spec.scheme = scheme;
-  spec.iterations = 3;
-  spec.warmup = 1;
-  return measure_collective(cfg, spec);
-}
-
-}  // namespace
-
 int main() {
   using namespace pacc;
   bench::print_header("Affinity ablation: bunch vs scatter mapping",
                       "§V-C discussion, Kandalla et al., ICPP 2010");
 
-  Table table({"op", "ranks", "ppn", "affinity", "scheme", "latency_us",
-               "energy_per_op_J"});
+  SweepSpec sweep;
   for (const coll::Op op : {coll::Op::kAlltoall, coll::Op::kBcast}) {
     for (const int ppn : {4, 8}) {
       const int ranks = 8 * ppn;
@@ -40,19 +20,27 @@ int main() {
            {hw::AffinityPolicy::kBunch, hw::AffinityPolicy::kScatter}) {
         for (const auto scheme :
              {coll::PowerScheme::kNone, coll::PowerScheme::kProposed}) {
-          const auto r = run_one(ranks, ppn, affinity, op, scheme);
-          if (!r.completed) {
-            std::cerr << "run did not complete\n";
-            return 1;
-          }
-          table.add_row({coll::to_string(op), std::to_string(ranks),
-                         std::to_string(ppn), hw::to_string(affinity),
-                         coll::to_string(scheme),
-                         Table::num(r.latency.us(), 1),
-                         Table::num(r.energy_per_op, 3)});
+          ClusterConfig cfg = bench::paper_cluster(ranks, ppn);
+          cfg.affinity = affinity;
+          sweep.add(cfg,
+                    bench::collective_spec(op, 256 * 1024, scheme));
         }
       }
     }
+  }
+  const auto reports = bench::run_cells_or_exit(sweep);
+
+  Table table({"op", "ranks", "ppn", "affinity", "scheme", "latency_us",
+               "energy_per_op_J"});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const SweepCell& cell = sweep.cells[i];
+    table.add_row({coll::to_string(cell.bench.op),
+                   std::to_string(cell.cluster.ranks),
+                   std::to_string(cell.cluster.ranks_per_node),
+                   hw::to_string(cell.cluster.affinity),
+                   coll::to_string(cell.bench.scheme),
+                   Table::num(reports[i].latency.us(), 1),
+                   Table::num(reports[i].energy_per_op, 3)});
   }
   table.print(std::cout);
   std::cout

@@ -6,6 +6,7 @@
 // M·log2(P) bytes per rank, Rabenseifner 2·M·(P−1)/P — the crossover puts
 // Rabenseifner ahead for large vectors.
 #include <iostream>
+#include <stdexcept>
 #include <vector>
 
 #include "bench_support.hpp"
@@ -43,7 +44,9 @@ Outcome run_algo(bool rabenseifner, Bytes size) {
     if (self.id() == 0) done = self.engine().now();
   };
   sim.runtime().launch(body);
-  if (!sim.engine().run_active().all_tasks_finished) std::exit(1);
+  if (!sim.engine().run_active().all_tasks_finished) {
+    throw std::runtime_error("allreduce run did not drain");
+  }
   Outcome o;
   o.latency = Duration::nanos(done.ns() / 3);
   o.bytes_moved = sim.network().bytes_delivered() / 3;
@@ -58,13 +61,20 @@ int main() {
       "Allreduce algorithm ablation: recursive doubling vs Rabenseifner",
       "library threshold rationale (16 flat ranks)");
 
+  const std::vector<Bytes> sizes = {Bytes{1024}, Bytes{16 * 1024},
+                                    Bytes{128 * 1024}, Bytes{1 << 20}};
+  // Two runs per size, recursive doubling first — same layout as the table.
+  std::vector<Outcome> outcomes(sizes.size() * 2);
+  bench::parallel_or_exit(outcomes.size(), [&](std::size_t i) {
+    outcomes[i] = run_algo(/*rabenseifner=*/i % 2 == 1, sizes[i / 2]);
+  });
+
   Table t({"size", "rec-doubling_us", "rabenseifner_us", "rd_bytes",
            "rab_bytes", "winner"});
-  for (const Bytes size : {Bytes{1024}, Bytes{16 * 1024}, Bytes{128 * 1024},
-                           Bytes{1 << 20}}) {
-    const auto rd = run_algo(false, size);
-    const auto rab = run_algo(true, size);
-    t.add_row({format_bytes(size), Table::num(rd.latency.us(), 1),
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& rd = outcomes[2 * i];
+    const auto& rab = outcomes[2 * i + 1];
+    t.add_row({format_bytes(sizes[i]), Table::num(rd.latency.us(), 1),
                Table::num(rab.latency.us(), 1),
                std::to_string(rd.bytes_moved), std::to_string(rab.bytes_moved),
                rab.latency < rd.latency ? "rabenseifner" : "rec-doubling"});

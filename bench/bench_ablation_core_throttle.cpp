@@ -6,49 +6,36 @@
 
 #include "bench_support.hpp"
 
-namespace {
-
-using namespace pacc;
-
-CollectiveReport run_one(bool core_level, coll::Op op,
-                         coll::PowerScheme scheme, Bytes message) {
-  ClusterConfig cfg = bench::paper_cluster(64, 8);
-  cfg.core_level_throttling = core_level;
-  CollectiveBenchSpec spec;
-  spec.op = op;
-  spec.message = message;
-  spec.scheme = scheme;
-  spec.iterations = 3;
-  spec.warmup = 1;
-  return measure_collective(cfg, spec);
-}
-
-}  // namespace
-
 int main() {
   using namespace pacc;
   bench::print_header(
       "Throttling granularity ablation: socket-level vs core-level",
       "§V-B / §VI 'future architectures', Kandalla et al., ICPP 2010");
 
-  Table table({"op", "granularity", "latency_us", "energy_per_op_J",
-               "mean_power_kW"});
+  SweepSpec sweep;
   for (const coll::Op op :
        {coll::Op::kBcast, coll::Op::kReduce, coll::Op::kAllreduce,
         coll::Op::kAlltoall}) {
     for (const bool core_level : {false, true}) {
-      const auto r = run_one(core_level, op, coll::PowerScheme::kProposed,
-                             1 << 20);
-      if (!r.completed) {
-        std::cerr << "run did not complete\n";
-        return 1;
-      }
-      table.add_row({coll::to_string(op),
-                     core_level ? "core (future)" : "socket (Nehalem)",
-                     Table::num(r.latency.us(), 1),
-                     Table::num(r.energy_per_op, 3),
-                     Table::num(r.mean_power / 1000.0, 3)});
+      ClusterConfig cfg = bench::paper_cluster(64, 8);
+      cfg.core_level_throttling = core_level;
+      sweep.add(cfg, bench::collective_spec(op, 1 << 20,
+                                            coll::PowerScheme::kProposed));
     }
+  }
+  const auto reports = bench::run_cells_or_exit(sweep);
+
+  Table table({"op", "granularity", "latency_us", "energy_per_op_J",
+               "mean_power_kW"});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const SweepCell& cell = sweep.cells[i];
+    const auto& r = reports[i];
+    table.add_row({coll::to_string(cell.bench.op),
+                   cell.cluster.core_level_throttling ? "core (future)"
+                                                      : "socket (Nehalem)",
+                   Table::num(r.latency.us(), 1),
+                   Table::num(r.energy_per_op, 3),
+                   Table::num(r.mean_power / 1000.0, 3)});
   }
   table.print(std::cout);
   std::cout

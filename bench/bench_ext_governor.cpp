@@ -7,26 +7,10 @@
 // communication as a black box leaves savings on the table; this bench
 // quantifies that claim on the simulated testbed.
 #include <iostream>
+#include <vector>
 
 #include "apps/cpmd.hpp"
 #include "bench_support.hpp"
-
-namespace {
-
-using namespace pacc;
-
-CollectiveReport alltoall_with(ClusterConfig cfg, coll::PowerScheme scheme,
-                               Bytes message) {
-  CollectiveBenchSpec spec;
-  spec.op = coll::Op::kAlltoall;
-  spec.message = message;
-  spec.scheme = scheme;
-  spec.iterations = 3;
-  spec.warmup = 1;
-  return measure_collective(cfg, spec);
-}
-
-}  // namespace
 
 int main() {
   using namespace pacc;
@@ -34,62 +18,61 @@ int main() {
       "Extension: reactive black-box DVFS governor vs in-collective schemes",
       "§III related-work comparison, Kandalla et al., ICPP 2010");
 
+  const ClusterConfig plain = bench::paper_cluster(64, 8);
+  ClusterConfig governed = bench::paper_cluster(64, 8);
+  governed.governor.enabled = true;
+
+  // The four variants, in table order: default, black-box governor,
+  // per-call DVFS, proposed.
+  struct Variant {
+    const char* micro_label;
+    const char* app_label;
+    const ClusterConfig* cluster;
+    coll::PowerScheme scheme;
+  };
+  const std::vector<Variant> variants = {
+      {"default", "default", &plain, coll::PowerScheme::kNone},
+      {"black-box governor", "black-box governor", &governed,
+       coll::PowerScheme::kNone},
+      {"per-call DVFS", "per-call DVFS", &plain,
+       coll::PowerScheme::kFreqScaling},
+      {"proposed (§V-A)", "proposed (§V)", &plain,
+       coll::PowerScheme::kProposed},
+  };
+
   std::cout << "\nMPI_Alltoall, 64 ranks:\n";
-  Table micro({"size", "variant", "latency_us", "energy_per_op_J"});
+  SweepSpec sweep;
   for (const Bytes message : {Bytes{64 * 1024}, Bytes{1 << 20}}) {
-    ClusterConfig plain = bench::paper_cluster(64, 8);
-    const auto none = alltoall_with(plain, coll::PowerScheme::kNone, message);
+    for (const auto& v : variants) {
+      sweep.add(*v.cluster,
+                bench::collective_spec(coll::Op::kAlltoall, message, v.scheme));
+    }
+  }
+  const auto reports = bench::run_cells_or_exit(sweep);
 
-    ClusterConfig governed = bench::paper_cluster(64, 8);
-    governed.governor.enabled = true;
-    const auto governor =
-        alltoall_with(governed, coll::PowerScheme::kNone, message);
-
-    const auto dvfs =
-        alltoall_with(plain, coll::PowerScheme::kFreqScaling, message);
-    const auto proposed =
-        alltoall_with(plain, coll::PowerScheme::kProposed, message);
-
-    micro.add_row({format_bytes(message), "default",
-                   Table::num(none.latency.us(), 1),
-                   Table::num(none.energy_per_op, 2)});
-    micro.add_row({format_bytes(message), "black-box governor",
-                   Table::num(governor.latency.us(), 1),
-                   Table::num(governor.energy_per_op, 2)});
-    micro.add_row({format_bytes(message), "per-call DVFS",
-                   Table::num(dvfs.latency.us(), 1),
-                   Table::num(dvfs.energy_per_op, 2)});
-    micro.add_row({format_bytes(message), "proposed (§V-A)",
-                   Table::num(proposed.latency.us(), 1),
-                   Table::num(proposed.energy_per_op, 2)});
+  Table micro({"size", "variant", "latency_us", "energy_per_op_J"});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    micro.add_row({format_bytes(sweep.cells[i].bench.message),
+                   variants[i % variants.size()].micro_label,
+                   Table::num(reports[i].latency.us(), 1),
+                   Table::num(reports[i].energy_per_op, 2)});
   }
   micro.print(std::cout);
 
   std::cout << "\nCPMD wat-32-inp-1, 64 processes:\n";
+  const auto spec = apps::cpmd_workload("wat-32-inp-1", 64);
+  std::vector<apps::AppReport> app_reports(variants.size());
+  bench::parallel_or_exit(variants.size(), [&](std::size_t i) {
+    app_reports[i] =
+        bench::run_workload_or_exit(*variants[i].cluster, spec,
+                                    variants[i].scheme);
+  });
+
   Table app({"variant", "total_s", "energy_KJ"});
-  {
-    const auto spec = apps::cpmd_workload("wat-32-inp-1", 64);
-    ClusterConfig cfg = bench::paper_cluster(64, 8);
-    const auto none = apps::run_workload(cfg, spec, coll::PowerScheme::kNone);
-
-    ClusterConfig governed = bench::paper_cluster(64, 8);
-    governed.governor.enabled = true;
-    const auto governor =
-        apps::run_workload(governed, spec, coll::PowerScheme::kNone);
-
-    const auto dvfs =
-        apps::run_workload(cfg, spec, coll::PowerScheme::kFreqScaling);
-    const auto proposed =
-        apps::run_workload(cfg, spec, coll::PowerScheme::kProposed);
-
-    app.add_row({"default", Table::num(none.total_time.sec(), 2),
-                 Table::num(none.energy / 1000.0, 2)});
-    app.add_row({"black-box governor", Table::num(governor.total_time.sec(), 2),
-                 Table::num(governor.energy / 1000.0, 2)});
-    app.add_row({"per-call DVFS", Table::num(dvfs.total_time.sec(), 2),
-                 Table::num(dvfs.energy / 1000.0, 2)});
-    app.add_row({"proposed (§V)", Table::num(proposed.total_time.sec(), 2),
-                 Table::num(proposed.energy / 1000.0, 2)});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    app.add_row({variants[i].app_label,
+                 Table::num(app_reports[i].total_time.sec(), 2),
+                 Table::num(app_reports[i].energy / 1000.0, 2)});
   }
   app.print(std::cout);
 

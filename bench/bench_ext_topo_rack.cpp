@@ -10,6 +10,7 @@
 //               window to throttle)
 #include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <vector>
 
 #include "bench_support.hpp"
@@ -54,7 +55,9 @@ Result run_scatter(bool topo, coll::PowerScheme scheme, Bytes block,
   Result r;
   r.latency = Duration::nanos(done.ns() / 4);
   r.energy = sim.machine().total_energy() / 4.0;
-  if (!run.all_tasks_finished) std::exit(1);
+  if (!run.all_tasks_finished) {
+    throw std::runtime_error("scatter run did not drain");
+  }
   return r;
 }
 
@@ -85,7 +88,9 @@ Result run_gather(bool topo, Bytes block) {
   Result r;
   r.latency = Duration::nanos(done.ns() / 4);
   r.energy = sim.machine().total_energy() / 4.0;
-  if (!run.all_tasks_finished) std::exit(1);
+  if (!run.all_tasks_finished) {
+    throw std::runtime_error("gather run did not drain");
+  }
   return r;
 }
 
@@ -98,43 +103,64 @@ int main() {
       "§VIII future work, Kandalla et al., ICPP 2010");
 
   std::cout << "\nMPI_Scatter, 64 ranks, 2 racks (4:1 oversubscribed):\n";
-  Table scatter({"block", "root", "variant", "latency_us", "energy_J"});
+  struct ScatterCase {
+    Bytes block;
+    int root;
+    bool topo;
+    coll::PowerScheme scheme;
+    const char* variant;
+  };
+  std::vector<ScatterCase> scatter_cases;
   for (const Bytes block : {Bytes{64 * 1024}, Bytes{256 * 1024}}) {
     // root 0: the binomial tree happens to align with the rack layout.
     // root 21: the rotated tree pushes subtree payloads across the rack
     // uplink repeatedly — where topology-aware routing wins.
     for (const int root : {0, 21}) {
-      const auto flat =
-          run_scatter(false, coll::PowerScheme::kNone, block, root);
-      const auto topo =
-          run_scatter(true, coll::PowerScheme::kNone, block, root);
-      const auto topo_power =
-          run_scatter(true, coll::PowerScheme::kProposed, block, root);
-      scatter.add_row({format_bytes(block), std::to_string(root),
-                       "flat binomial", Table::num(flat.latency.us(), 1),
-                       Table::num(flat.energy, 2)});
-      scatter.add_row({format_bytes(block), std::to_string(root),
-                       "topology-aware", Table::num(topo.latency.us(), 1),
-                       Table::num(topo.energy, 2)});
-      scatter.add_row({format_bytes(block), std::to_string(root),
-                       "topo + rack throttling",
-                       Table::num(topo_power.latency.us(), 1),
-                       Table::num(topo_power.energy, 2)});
+      scatter_cases.push_back({block, root, false, coll::PowerScheme::kNone,
+                               "flat binomial"});
+      scatter_cases.push_back({block, root, true, coll::PowerScheme::kNone,
+                               "topology-aware"});
+      scatter_cases.push_back({block, root, true, coll::PowerScheme::kProposed,
+                               "topo + rack throttling"});
     }
+  }
+  std::vector<Result> scatter_results(scatter_cases.size());
+  bench::parallel_or_exit(scatter_cases.size(), [&](std::size_t i) {
+    const auto& c = scatter_cases[i];
+    scatter_results[i] = run_scatter(c.topo, c.scheme, c.block, c.root);
+  });
+
+  Table scatter({"block", "root", "variant", "latency_us", "energy_J"});
+  for (std::size_t i = 0; i < scatter_cases.size(); ++i) {
+    const auto& c = scatter_cases[i];
+    const auto& r = scatter_results[i];
+    scatter.add_row({format_bytes(c.block), std::to_string(c.root), c.variant,
+                     Table::num(r.latency.us(), 1), Table::num(r.energy, 2)});
   }
   scatter.print(std::cout);
 
   std::cout << "\nMPI_Gather, 64 ranks, same fabric:\n";
-  Table gather({"block", "variant", "latency_us", "energy_J"});
+  struct GatherCase {
+    Bytes block;
+    bool topo;
+    const char* variant;
+  };
+  std::vector<GatherCase> gather_cases;
   for (const Bytes block : {Bytes{64 * 1024}, Bytes{256 * 1024}}) {
-    const auto flat = run_gather(false, block);
-    const auto topo = run_gather(true, block);
-    gather.add_row({format_bytes(block), "flat binomial",
-                    Table::num(flat.latency.us(), 1),
-                    Table::num(flat.energy, 2)});
-    gather.add_row({format_bytes(block), "topology-aware",
-                    Table::num(topo.latency.us(), 1),
-                    Table::num(topo.energy, 2)});
+    gather_cases.push_back({block, false, "flat binomial"});
+    gather_cases.push_back({block, true, "topology-aware"});
+  }
+  std::vector<Result> gather_results(gather_cases.size());
+  bench::parallel_or_exit(gather_cases.size(), [&](std::size_t i) {
+    gather_results[i] = run_gather(gather_cases[i].topo, gather_cases[i].block);
+  });
+
+  Table gather({"block", "variant", "latency_us", "energy_J"});
+  for (std::size_t i = 0; i < gather_cases.size(); ++i) {
+    const auto& c = gather_cases[i];
+    const auto& r = gather_results[i];
+    gather.add_row({format_bytes(c.block), c.variant,
+                    Table::num(r.latency.us(), 1), Table::num(r.energy, 2)});
   }
   gather.print(std::cout);
 

@@ -4,6 +4,7 @@
 // Expected shape (paper Table II): FT ≈ 15.5-17.1 KJ and IS ≈ 3.2-3.8 KJ
 // bands with proposed < freq-scaling < default; ≈8 % savings on IS.
 #include <iostream>
+#include <vector>
 
 #include "apps/nas.hpp"
 #include "bench_support.hpp"
@@ -13,43 +14,56 @@ int main() {
   bench::print_header("NAS FT / IS kernels: runtime, Alltoall time, energy",
                       "Fig 10(a,b) and Table II, Kandalla et al., ICPP 2010");
 
-  Table time_table(
-      {"kernel", "ranks", "scheme", "total_s", "alltoall_s", "overhead"});
-  Table energy_table({"kernel", "ranks", "scheme", "energy_KJ", "vs_default"});
-
   struct Kernel {
     const char* name;
     apps::WorkloadSpec (*make)(int);
   };
   const Kernel kernels[] = {{"FT", apps::nas_ft}, {"IS", apps::nas_is}};
 
+  // Fan the kernel × ranks × scheme grid over the worker pool, then build
+  // the tables in order; kNone is first per group and supplies the baseline.
+  struct Case {
+    const Kernel* kernel;
+    int ranks;
+    coll::PowerScheme scheme;
+  };
+  std::vector<Case> cases;
   for (const auto& kernel : kernels) {
     for (const int ranks : {32, 64}) {
-      const auto spec = kernel.make(ranks);
-      const ClusterConfig cfg = bench::paper_cluster(ranks, ranks / 8);
-      double base_time = 0.0;
-      double base_energy = 0.0;
       for (const auto scheme : coll::kAllSchemes) {
-        const auto report = apps::run_workload(cfg, spec, scheme);
-        if (!report.completed) {
-          std::cerr << "run did not complete: " << kernel.name << "\n";
-          return 1;
-        }
-        if (scheme == coll::PowerScheme::kNone) {
-          base_time = report.total_time.sec();
-          base_energy = report.energy;
-        }
-        time_table.add_row(
-            {kernel.name, std::to_string(ranks), coll::to_string(scheme),
-             Table::num(report.total_time.sec(), 2),
-             Table::num(report.alltoall_time.sec(), 2),
-             Table::num(report.total_time.sec() / base_time, 3)});
-        energy_table.add_row(
-            {kernel.name, std::to_string(ranks), coll::to_string(scheme),
-             Table::num(report.energy / 1000.0, 3),
-             Table::num(report.energy / base_energy, 3)});
+        cases.push_back({&kernel, ranks, scheme});
       }
     }
+  }
+  std::vector<apps::AppReport> results(cases.size());
+  bench::parallel_or_exit(cases.size(), [&](std::size_t i) {
+    const auto& c = cases[i];
+    results[i] = bench::run_workload_or_exit(
+        bench::paper_cluster(c.ranks, c.ranks / 8), c.kernel->make(c.ranks),
+        c.scheme);
+  });
+
+  Table time_table(
+      {"kernel", "ranks", "scheme", "total_s", "alltoall_s", "overhead"});
+  Table energy_table({"kernel", "ranks", "scheme", "energy_KJ", "vs_default"});
+  double base_time = 0.0;
+  double base_energy = 0.0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const auto& report = results[i];
+    if (c.scheme == coll::PowerScheme::kNone) {
+      base_time = report.total_time.sec();
+      base_energy = report.energy;
+    }
+    time_table.add_row(
+        {c.kernel->name, std::to_string(c.ranks), coll::to_string(c.scheme),
+         Table::num(report.total_time.sec(), 2),
+         Table::num(report.alltoall_time.sec(), 2),
+         Table::num(report.total_time.sec() / base_time, 3)});
+    energy_table.add_row(
+        {c.kernel->name, std::to_string(c.ranks), coll::to_string(c.scheme),
+         Table::num(report.energy / 1000.0, 3),
+         Table::num(report.energy / base_energy, 3)});
   }
 
   std::cout << "\nFig 10 — execution / Alltoall time:\n";

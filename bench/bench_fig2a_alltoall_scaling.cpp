@@ -16,22 +16,22 @@ int main() {
   const auto model = model::PerfModelParams::from(presets::paper_machine(8),
                                                   presets::paper_network());
 
+  const Bytes sizes[] = {1024,   4096,   16384,
+                         65536,  262144, 1048576};
+  SweepSpec sweep;
+  for (const Bytes message : sizes) {
+    const auto spec = bench::collective_spec(coll::Op::kAlltoall, message);
+    sweep.add(bench::paper_cluster(32, 4), spec);
+    sweep.add(bench::paper_cluster(32, 8), spec);
+  }
+  const auto reports = bench::run_cells_or_exit(sweep);
+
   Table table({"size", "4way_us", "8way_us", "theory_4way_us", "8way/4way"});
-  for (const Bytes message :
-       {Bytes{1024}, Bytes{4096}, Bytes{16384}, Bytes{65536}, Bytes{262144},
-        Bytes{1048576}}) {
-    CollectiveBenchSpec spec;
-    spec.op = coll::Op::kAlltoall;
-    spec.message = message;
-    spec.iterations = 3;
-    spec.warmup = 1;
-
-    const auto four_way =
-        measure_collective(bench::paper_cluster(32, 4), spec);
-    const auto eight_way =
-        measure_collective(bench::paper_cluster(32, 8), spec);
+  for (std::size_t i = 0; i < reports.size(); i += 2) {
+    const Bytes message = sweep.cells[i].bench.message;
+    const auto& four_way = reports[i];
+    const auto& eight_way = reports[i + 1];
     const auto theory = model::alltoall_pairwise_time(model, 8, 4, message);
-
     table.add_row({format_bytes(message),
                    Table::num(four_way.latency.us(), 1),
                    Table::num(eight_way.latency.us(), 1),

@@ -11,33 +11,27 @@ namespace {
 
 using namespace pacc;
 
-/// Measures the inter-leader stage alone by running the same collective on
-/// a communicator holding only the 8 node leaders.
-Duration network_phase(coll::Op op, Bytes message) {
-  ClusterConfig cfg = bench::paper_cluster(64, 8);
-  cfg.ranks = 8;
-  cfg.ranks_per_node = 1;  // one leader per node
-  CollectiveBenchSpec spec;
-  spec.op = op;
-  spec.message = message;
-  spec.iterations = 3;
-  spec.warmup = 1;
-  return measure_collective(cfg, spec).latency;
-}
-
 void sweep(coll::Op op, const std::vector<Bytes>& sizes) {
-  Table table({"size", "total_us", "network_us", "network_share"});
+  // Leaders-only cluster: the same collective on a communicator holding
+  // just the 8 node leaders isolates the inter-leader network stage.
+  ClusterConfig leaders = bench::paper_cluster(64, 8);
+  leaders.ranks = 8;
+  leaders.ranks_per_node = 1;
+
+  SweepSpec cells;
   for (const Bytes message : sizes) {
-    CollectiveBenchSpec spec;
-    spec.op = op;
-    spec.message = message;
-    spec.iterations = 3;
-    spec.warmup = 1;
-    const auto total =
-        measure_collective(bench::paper_cluster(64, 8), spec).latency;
-    const auto network = network_phase(op, message);
-    table.add_row({format_bytes(message), Table::num(total.us(), 2),
-                   Table::num(network.us(), 2),
+    const auto spec = bench::collective_spec(op, message);
+    cells.add(bench::paper_cluster(64, 8), spec);
+    cells.add(leaders, spec);
+  }
+  const auto reports = bench::run_cells_or_exit(cells);
+
+  Table table({"size", "total_us", "network_us", "network_share"});
+  for (std::size_t i = 0; i < reports.size(); i += 2) {
+    const auto total = reports[i].latency;
+    const auto network = reports[i + 1].latency;
+    table.add_row({format_bytes(cells.cells[i].bench.message),
+                   Table::num(total.us(), 2), Table::num(network.us(), 2),
                    Table::num(network.us() / total.us(), 2)});
   }
   table.print(std::cout);

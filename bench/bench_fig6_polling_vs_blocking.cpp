@@ -14,20 +14,15 @@ namespace {
 
 using namespace pacc;
 
-CollectiveBenchSpec alltoall_spec(Bytes message, int iterations, int warmup) {
-  CollectiveBenchSpec spec;
-  spec.op = coll::Op::kAlltoall;
-  spec.message = message;
-  spec.iterations = iterations;
-  spec.warmup = warmup;
-  return spec;
+ClusterConfig mode_cluster(mpi::ProgressMode mode) {
+  ClusterConfig cfg = bench::paper_cluster(64, 8);
+  cfg.progress = mode;
+  return cfg;
 }
 
 CollectiveReport run_mode(mpi::ProgressMode mode,
                           const CollectiveBenchSpec& spec) {
-  ClusterConfig cfg = bench::paper_cluster(64, 8);
-  cfg.progress = mode;
-  return measure_collective(cfg, spec);
+  return bench::measure_or_exit(mode_cluster(mode), spec);
 }
 
 }  // namespace
@@ -38,13 +33,18 @@ int main() {
                       "Fig 6(a,b), Kandalla et al., ICPP 2010");
 
   // --- (a) latency -----------------------------------------------------
-  Table latency({"size", "polling_us", "blocking_us", "blocking/polling"});
+  SweepSpec sweep;
   for (const Bytes message : bench::kLargeSweep) {
-    const auto polling =
-        run_mode(mpi::ProgressMode::kPolling, alltoall_spec(message, 3, 1));
-    const auto blocking =
-        run_mode(mpi::ProgressMode::kBlocking, alltoall_spec(message, 3, 1));
-    latency.add_row({format_bytes(message),
+    const auto spec = bench::collective_spec(coll::Op::kAlltoall, message);
+    sweep.add(mode_cluster(mpi::ProgressMode::kPolling), spec);
+    sweep.add(mode_cluster(mpi::ProgressMode::kBlocking), spec);
+  }
+  const auto reports = bench::run_cells_or_exit(sweep);
+  Table latency({"size", "polling_us", "blocking_us", "blocking/polling"});
+  for (std::size_t i = 0; i < reports.size(); i += 2) {
+    const auto& polling = reports[i];
+    const auto& blocking = reports[i + 1];
+    latency.add_row({format_bytes(sweep.cells[i].bench.message),
                      Table::num(polling.latency.us(), 1),
                      Table::num(blocking.latency.us(), 1),
                      Table::num(blocking.latency.us() / polling.latency.us(),
@@ -56,10 +56,14 @@ int main() {
   const Bytes big = 1 << 20;
   for (const auto mode :
        {mpi::ProgressMode::kPolling, mpi::ProgressMode::kBlocking}) {
-    const auto probe = run_mode(mode, alltoall_spec(big, 2, 1));
+    const auto probe = run_mode(
+        mode, bench::collective_spec(coll::Op::kAlltoall, big,
+                                     coll::PowerScheme::kNone, 2, 1));
     const int iters = std::max(
         4, static_cast<int>(10.0 / std::max(1e-3, probe.latency.sec())));
-    const auto loop = run_mode(mode, alltoall_spec(big, iters, 1));
+    const auto loop = run_mode(
+        mode, bench::collective_spec(coll::Op::kAlltoall, big,
+                                     coll::PowerScheme::kNone, iters, 1));
     bench::print_power_series(to_string(mode), loop.power);
     std::cout << to_string(mode)
               << ": mean power " << Table::num(loop.mean_power / 1000.0, 3)

@@ -5,78 +5,19 @@
 //
 // Expected shape (paper): ~10 % latency overhead for either power scheme,
 // negligible difference between the two; power bands ≈ 2.3 / 1.8 / 1.6 KW.
-#include <algorithm>
 #include <iostream>
 
 #include "bench_support.hpp"
-
-namespace {
-
-using namespace pacc;
-
-CollectiveReport run_scheme(coll::PowerScheme scheme, Bytes message,
-                            int iterations, int warmup) {
-  CollectiveBenchSpec spec;
-  spec.op = coll::Op::kAlltoall;
-  spec.message = message;
-  spec.scheme = scheme;
-  spec.iterations = iterations;
-  spec.warmup = warmup;
-  return measure_collective(bench::paper_cluster(64, 8), spec);
-}
-
-}  // namespace
 
 int main() {
   using namespace pacc;
   bench::print_header("Power-aware MPI_Alltoall, 64 processes",
                       "Fig 7(a,b), Kandalla et al., ICPP 2010");
 
-  Table latency({"size", "no-power_us", "freq-scaling_us", "proposed_us",
-                 "freq/none", "prop/none"});
-  for (const Bytes message : bench::kLargeSweep) {
-    const auto none = run_scheme(coll::PowerScheme::kNone, message, 3, 1);
-    const auto dvfs =
-        run_scheme(coll::PowerScheme::kFreqScaling, message, 3, 1);
-    const auto prop = run_scheme(coll::PowerScheme::kProposed, message, 3, 1);
-    latency.add_row(
-        {format_bytes(message), Table::num(none.latency.us(), 1),
-         Table::num(dvfs.latency.us(), 1), Table::num(prop.latency.us(), 1),
-         Table::num(dvfs.latency.us() / none.latency.us(), 2),
-         Table::num(prop.latency.us() / none.latency.us(), 2)});
-  }
-  latency.print(std::cout);
+  bench::scheme_latency_and_power_report(coll::Op::kAlltoall,
+                                         bench::paper_cluster(64, 8), 10.0);
 
-  const Bytes big = 1 << 20;
-  Table power({"scheme", "mean_kW", "peak_kW"});
-  for (const auto scheme : coll::kAllSchemes) {
-    const auto probe = run_scheme(scheme, big, 2, 1);
-    const int iters = std::max(
-        4, static_cast<int>(10.0 / std::max(1e-3, probe.latency.sec())));
-    const auto loop = run_scheme(scheme, big, iters, 1);
-    bench::print_power_series(coll::to_string(scheme), loop.power);
-    power.add_row({coll::to_string(scheme),
-                   Table::num(loop.mean_power / 1000.0, 3),
-                   Table::num(loop.power.peak_watts() / 1000.0, 3)});
-  }
-  std::cout << "\nSummary:\n";
-  power.print(std::cout);
   std::cout << "\nShape check (paper): ≈2.3 KW default, ≈1.8 KW with DVFS,\n"
                "≈1.6 KW proposed, at ~10% latency overhead.\n";
-
-  // Exact per-phase energy attribution of the proposed algorithm at 1 MB.
-  // A separate traced run keeps the figures above byte-identical to the
-  // untraced configuration.
-  ClusterConfig traced = bench::paper_cluster(64, 8);
-  traced.trace = true;
-  CollectiveBenchSpec spec;
-  spec.op = coll::Op::kAlltoall;
-  spec.message = big;
-  spec.scheme = coll::PowerScheme::kProposed;
-  spec.iterations = 3;
-  spec.warmup = 1;
-  const auto attributed = measure_collective(traced, spec);
-  std::cout << "\nPer-phase energy, proposed scheme at 1 MB:\n";
-  bench::print_energy_breakdown(attributed.energy_phases);
   return 0;
 }

@@ -8,6 +8,7 @@
 // proposed ≤ freq-scaling ≤ default energy, up to ≈8 % savings
 // (ta-inp-md, 64 processes).
 #include <iostream>
+#include <vector>
 
 #include "apps/cpmd.hpp"
 #include "bench_support.hpp"
@@ -17,37 +18,50 @@ int main() {
   bench::print_header("CPMD application: runtime, Alltoall time, energy",
                       "Fig 9(a-c) and Table I, Kandalla et al., ICPP 2010");
 
+  // Fan the dataset × ranks × scheme grid over the worker pool, then build
+  // the tables in order; kNone is first per group and supplies the baseline.
+  struct Case {
+    std::string_view dataset;
+    int ranks;
+    coll::PowerScheme scheme;
+  };
+  std::vector<Case> cases;
+  for (const auto dataset : apps::kCpmdDatasets) {
+    for (const int ranks : {32, 64}) {
+      for (const auto scheme : coll::kAllSchemes) {
+        cases.push_back({dataset, ranks, scheme});
+      }
+    }
+  }
+  std::vector<apps::AppReport> results(cases.size());
+  bench::parallel_or_exit(cases.size(), [&](std::size_t i) {
+    const auto& c = cases[i];
+    results[i] = bench::run_workload_or_exit(
+        bench::paper_cluster(c.ranks, c.ranks / 8),
+        apps::cpmd_workload(c.dataset, c.ranks), c.scheme);
+  });
+
   Table time_table({"dataset", "ranks", "scheme", "total_s", "alltoall_s",
                     "overhead"});
   Table energy_table({"dataset", "ranks", "scheme", "energy_KJ", "vs_default"});
-
-  for (const auto dataset : apps::kCpmdDatasets) {
-    for (const int ranks : {32, 64}) {
-      const auto spec = apps::cpmd_workload(dataset, ranks);
-      const ClusterConfig cfg = bench::paper_cluster(ranks, ranks / 8);
-      double base_time = 0.0;
-      double base_energy = 0.0;
-      for (const auto scheme : coll::kAllSchemes) {
-        const auto report = apps::run_workload(cfg, spec, scheme);
-        if (!report.completed) {
-          std::cerr << "run did not complete: " << dataset << "\n";
-          return 1;
-        }
-        if (scheme == coll::PowerScheme::kNone) {
-          base_time = report.total_time.sec();
-          base_energy = report.energy;
-        }
-        time_table.add_row(
-            {std::string(dataset), std::to_string(ranks),
-             coll::to_string(scheme), Table::num(report.total_time.sec(), 2),
-             Table::num(report.alltoall_time.sec(), 2),
-             Table::num(report.total_time.sec() / base_time, 3)});
-        energy_table.add_row(
-            {std::string(dataset), std::to_string(ranks),
-             coll::to_string(scheme), Table::num(report.energy / 1000.0, 2),
-             Table::num(report.energy / base_energy, 3)});
-      }
+  double base_time = 0.0;
+  double base_energy = 0.0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const auto& report = results[i];
+    if (c.scheme == coll::PowerScheme::kNone) {
+      base_time = report.total_time.sec();
+      base_energy = report.energy;
     }
+    time_table.add_row(
+        {std::string(c.dataset), std::to_string(c.ranks),
+         coll::to_string(c.scheme), Table::num(report.total_time.sec(), 2),
+         Table::num(report.alltoall_time.sec(), 2),
+         Table::num(report.total_time.sec() / base_time, 3)});
+    energy_table.add_row(
+        {std::string(c.dataset), std::to_string(c.ranks),
+         coll::to_string(c.scheme), Table::num(report.energy / 1000.0, 2),
+         Table::num(report.energy / base_energy, 3)});
   }
 
   std::cout << "\nFig 9 — execution / Alltoall time:\n";

@@ -13,22 +13,23 @@ int main() {
 
   const auto perf = model::PerfModelParams::from(presets::paper_machine(8),
                                                  presets::paper_network());
+  const ClusterConfig cluster = bench::paper_cluster(64, 8);
 
   // --- eq (1): default pair-wise Alltoall, 64 ranks --------------------
   std::cout << "\nEquation (1) — pair-wise Alltoall, 8 nodes x 8 ranks:\n";
   {
-    Table t({"size", "model_us", "sim_us", "sim/model"});
+    SweepSpec sweep;
     for (const Bytes m : bench::kLargeSweep) {
-      CollectiveBenchSpec spec;
-      spec.op = coll::Op::kAlltoall;
-      spec.message = m;
-      spec.iterations = 3;
-      spec.warmup = 1;
-      const auto sim = measure_collective(bench::paper_cluster(64, 8), spec);
+      sweep.add(cluster, bench::collective_spec(coll::Op::kAlltoall, m));
+    }
+    const auto sims = bench::run_cells_or_exit(sweep);
+    Table t({"size", "model_us", "sim_us", "sim/model"});
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      const Bytes m = sweep.cells[i].bench.message;
       const auto predicted = model::alltoall_pairwise_time(perf, 8, 8, m);
       t.add_row({format_bytes(m), Table::num(predicted.us(), 1),
-                 Table::num(sim.latency.us(), 1),
-                 Table::num(sim.latency.us() / predicted.us(), 3)});
+                 Table::num(sims[i].latency.us(), 1),
+                 Table::num(sims[i].latency.us() / predicted.us(), 3)});
     }
     t.print(std::cout);
   }
@@ -36,23 +37,22 @@ int main() {
   // --- eq (2) and (4): Bcast, default and proposed ----------------------
   std::cout << "\nEquations (2) and (4) — Bcast over 8 leaders:\n";
   {
-    Table t({"size", "model_us", "sim_us", "model_prop_us", "sim_prop_us"});
+    SweepSpec sweep;
     for (const Bytes m : bench::kLargeSweep) {
-      CollectiveBenchSpec spec;
-      spec.op = coll::Op::kBcast;
-      spec.message = m;
-      spec.iterations = 3;
-      spec.warmup = 1;
-      const auto sim_default =
-          measure_collective(bench::paper_cluster(64, 8), spec);
-      spec.scheme = coll::PowerScheme::kProposed;
-      const auto sim_prop =
-          measure_collective(bench::paper_cluster(64, 8), spec);
-      t.add_row({format_bytes(m),
-                 Table::num(model::bcast_scatter_allgather_time(perf, 8, m).us(), 1),
-                 Table::num(sim_default.latency.us(), 1),
-                 Table::num(model::bcast_power_aware_time(perf, 8, m).us(), 1),
-                 Table::num(sim_prop.latency.us(), 1)});
+      sweep.add(cluster, bench::collective_spec(coll::Op::kBcast, m));
+      sweep.add(cluster, bench::collective_spec(coll::Op::kBcast, m,
+                                                coll::PowerScheme::kProposed));
+    }
+    const auto sims = bench::run_cells_or_exit(sweep);
+    Table t({"size", "model_us", "sim_us", "model_prop_us", "sim_prop_us"});
+    for (std::size_t i = 0; i < sims.size(); i += 2) {
+      const Bytes m = sweep.cells[i].bench.message;
+      t.add_row(
+          {format_bytes(m),
+           Table::num(model::bcast_scatter_allgather_time(perf, 8, m).us(), 1),
+           Table::num(sims[i].latency.us(), 1),
+           Table::num(model::bcast_power_aware_time(perf, 8, m).us(), 1),
+           Table::num(sims[i + 1].latency.us(), 1)});
     }
     t.print(std::cout);
   }
@@ -60,19 +60,19 @@ int main() {
   // --- eq (3): proposed Alltoall ----------------------------------------
   std::cout << "\nEquation (3) — proposed power-aware Alltoall:\n";
   {
-    Table t({"size", "model_us", "sim_us", "sim/model"});
+    SweepSpec sweep;
     for (const Bytes m : bench::kLargeSweep) {
-      CollectiveBenchSpec spec;
-      spec.op = coll::Op::kAlltoall;
-      spec.message = m;
-      spec.scheme = coll::PowerScheme::kProposed;
-      spec.iterations = 3;
-      spec.warmup = 1;
-      const auto sim = measure_collective(bench::paper_cluster(64, 8), spec);
+      sweep.add(cluster, bench::collective_spec(coll::Op::kAlltoall, m,
+                                                coll::PowerScheme::kProposed));
+    }
+    const auto sims = bench::run_cells_or_exit(sweep);
+    Table t({"size", "model_us", "sim_us", "sim/model"});
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      const Bytes m = sweep.cells[i].bench.message;
       const auto predicted = model::alltoall_power_aware_time(perf, 8, 8, m);
       t.add_row({format_bytes(m), Table::num(predicted.us(), 1),
-                 Table::num(sim.latency.us(), 1),
-                 Table::num(sim.latency.us() / predicted.us(), 3)});
+                 Table::num(sims[i].latency.us(), 1),
+                 Table::num(sims[i].latency.us() / predicted.us(), 3)});
     }
     t.print(std::cout);
   }
@@ -82,31 +82,28 @@ int main() {
   {
     const auto power = model::PowerModelParams::from(presets::paper_machine(8),
                                                      64);
-    Table t({"scheme", "model_J", "sim_J"});
     const Bytes m = 1 << 20;
-    CollectiveBenchSpec spec;
-    spec.op = coll::Op::kAlltoall;
-    spec.message = m;
-    spec.iterations = 3;
-    spec.warmup = 1;
+    SweepSpec sweep;
+    for (const auto scheme : coll::kAllSchemes) {
+      sweep.add(cluster, bench::collective_spec(coll::Op::kAlltoall, m,
+                                                scheme));
+    }
+    const auto sims = bench::run_cells_or_exit(sweep);
+    const auto& none = sims[0];
+    const auto& dvfs = sims[1];
+    const auto& prop = sims[2];
 
-    spec.scheme = coll::PowerScheme::kNone;
-    const auto none = measure_collective(bench::paper_cluster(64, 8), spec);
+    Table t({"scheme", "model_J", "sim_J"});
     t.add_row({"default (eq 5)",
                Table::num(model::energy_default(power, none.latency), 2),
                Table::num(none.energy_per_op, 2)});
-
-    spec.scheme = coll::PowerScheme::kFreqScaling;
-    const auto dvfs = measure_collective(bench::paper_cluster(64, 8), spec);
     t.add_row({"freq-scaling (eq 6)",
                Table::num(model::energy_dvfs_only(power, dvfs.latency), 2),
                Table::num(dvfs.energy_per_op, 2)});
-
-    spec.scheme = coll::PowerScheme::kProposed;
-    const auto prop = measure_collective(bench::paper_cluster(64, 8), spec);
-    t.add_row({"proposed (eq 7)",
-               Table::num(model::energy_alltoall_proposed(power, prop.latency), 2),
-               Table::num(prop.energy_per_op, 2)});
+    t.add_row(
+        {"proposed (eq 7)",
+         Table::num(model::energy_alltoall_proposed(power, prop.latency), 2),
+         Table::num(prop.energy_per_op, 2)});
     t.print(std::cout);
   }
 

@@ -1,10 +1,14 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
 
 #include "apps/workload.hpp"
+#include "pacc/campaign.hpp"
 #include "pacc/simulation.hpp"
 #include "util/table.hpp"
 
@@ -56,6 +60,150 @@ inline void print_power_series(const std::string& label,
     t.add_row({Table::num(s.time.sec(), 1), Table::num(s.watts / 1000.0, 3)});
   }
   t.print(std::cout);
+}
+
+/// Worker threads for bench sweeps: $PACC_BENCH_JOBS (0 = one per hardware
+/// thread). Defaults to 1 — each cell stands up a full simulated cluster,
+/// and the paper-testbed cells at 1 MB reach gigabytes of rank buffers, so
+/// parallelism is opt-in. The tables are byte-identical for every value.
+inline int bench_jobs() {
+  if (const char* env = std::getenv("PACC_BENCH_JOBS")) {
+    return std::atoi(env);
+  }
+  return 1;
+}
+
+/// The one-liner every bench used to hand-roll.
+inline CollectiveBenchSpec collective_spec(
+    coll::Op op, Bytes message,
+    coll::PowerScheme scheme = coll::PowerScheme::kNone, int iterations = 3,
+    int warmup = 1) {
+  CollectiveBenchSpec spec;
+  spec.op = op;
+  spec.message = message;
+  spec.scheme = scheme;
+  spec.iterations = iterations;
+  spec.warmup = warmup;
+  return spec;
+}
+
+/// Runs every cell of the sweep through a Campaign on bench_jobs() workers
+/// and returns the reports in cell order. A figure bench has no meaningful
+/// partial output, so any failed cell aborts with its structured status.
+inline std::vector<CollectiveReport> run_cells_or_exit(const SweepSpec& sweep) {
+  CampaignOptions opts;
+  opts.jobs = bench_jobs();
+  const auto results = Campaign(sweep, opts).run();
+  std::vector<CollectiveReport> reports;
+  reports.reserve(results.size());
+  for (const auto& r : results) {
+    if (!r.status.ok()) {
+      std::cerr << "cell "
+                << (r.label.empty() ? std::to_string(r.index) : r.label)
+                << " failed: " << r.status.describe() << "\n";
+      std::exit(1);
+    }
+    reports.push_back(r.report);
+  }
+  return reports;
+}
+
+/// Single-cell convenience for sequential spots (probe-then-loop power
+/// measurements) that still want the fail-fast behaviour.
+inline CollectiveReport measure_or_exit(const ClusterConfig& cluster,
+                                        const CollectiveBenchSpec& spec) {
+  SweepSpec sweep;
+  sweep.add(cluster, spec);
+  return run_cells_or_exit(sweep).front();
+}
+
+/// run_workload with the same fail-fast contract as run_cells_or_exit.
+inline apps::AppReport run_workload_or_exit(const ClusterConfig& cluster,
+                                            const apps::WorkloadSpec& spec,
+                                            coll::PowerScheme scheme) {
+  const auto report = apps::run_workload(cluster, spec, scheme);
+  if (!report.status.ok()) {
+    std::cerr << "workload " << spec.name
+              << " failed: " << report.status.describe() << "\n";
+    std::exit(1);
+  }
+  return report;
+}
+
+/// Fans independent thunks over Campaign's work-stealing pool with
+/// bench_jobs() workers, exiting on the first failure. The caller indexes
+/// into its own results array, so output stays deterministic.
+inline void parallel_or_exit(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  const auto statuses = Campaign::for_each(count, bench_jobs(), fn);
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    if (!statuses[i].ok()) {
+      std::cerr << "run " << i << " failed: " << statuses[i].describe()
+                << "\n";
+      std::exit(1);
+    }
+  }
+}
+
+/// Fig 7/8 shared skeleton: per-size latency table across the three power
+/// schemes, looping power series with mean/peak summary, and a traced
+/// per-phase energy attribution of the proposed scheme at 1 MB. The two
+/// figures differ only in the collective and the loop's target duration.
+inline void scheme_latency_and_power_report(coll::Op op,
+                                            const ClusterConfig& cluster,
+                                            double loop_seconds) {
+  // (a) latency sweep — all sizes × schemes fan out as one Campaign.
+  SweepSpec sweep;
+  for (const Bytes message : kLargeSweep) {
+    for (const auto scheme : coll::kAllSchemes) {
+      sweep.add(cluster, collective_spec(op, message, scheme));
+    }
+  }
+  const auto reports = run_cells_or_exit(sweep);
+  Table latency({"size", "no-power_us", "freq-scaling_us", "proposed_us",
+                 "freq/none", "prop/none"});
+  for (std::size_t i = 0; i < reports.size(); i += 3) {
+    const auto& none = reports[i];
+    const auto& dvfs = reports[i + 1];
+    const auto& prop = reports[i + 2];
+    latency.add_row(
+        {format_bytes(sweep.cells[i].bench.message),
+         Table::num(none.latency.us(), 1), Table::num(dvfs.latency.us(), 1),
+         Table::num(prop.latency.us(), 1),
+         Table::num(dvfs.latency.us() / none.latency.us(), 2),
+         Table::num(prop.latency.us() / none.latency.us(), 2)});
+  }
+  latency.print(std::cout);
+
+  // (b) power series at 1 MB: probe the latency, then loop long enough for
+  // the 0.5 s meter to accumulate a band. Inherently sequential per scheme.
+  const Bytes big = 1 << 20;
+  Table power({"scheme", "mean_kW", "peak_kW"});
+  for (const auto scheme : coll::kAllSchemes) {
+    const auto probe =
+        measure_or_exit(cluster, collective_spec(op, big, scheme, 2, 1));
+    const int iters = std::max(
+        4, static_cast<int>(loop_seconds /
+                            std::max(1e-3, probe.latency.sec())));
+    const auto loop =
+        measure_or_exit(cluster, collective_spec(op, big, scheme, iters, 1));
+    print_power_series(coll::to_string(scheme), loop.power);
+    power.add_row({coll::to_string(scheme),
+                   Table::num(loop.mean_power / 1000.0, 3),
+                   Table::num(loop.power.peak_watts() / 1000.0, 3)});
+  }
+  std::cout << "\nSummary:\n";
+  power.print(std::cout);
+
+  // Exact per-phase energy attribution of the proposed scheme at 1 MB. A
+  // separate traced run keeps the figures above byte-identical to the
+  // untraced configuration.
+  ClusterConfig traced = cluster;
+  traced.obs.trace = true;
+  const auto attributed = measure_or_exit(
+      traced, collective_spec(op, big, coll::PowerScheme::kProposed));
+  std::cout << "\nPer-phase energy, proposed scheme at 1 MB:\n";
+  print_energy_breakdown(attributed.energy_phases);
 }
 
 }  // namespace pacc::bench

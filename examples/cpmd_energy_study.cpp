@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     double base_energy = 0.0;
     for (const auto scheme : coll::kAllSchemes) {
       const auto report = apps::run_workload(cluster, spec, scheme);
-      if (!report.completed) {
+      if (!report.status.ok()) {
         std::cerr << "run did not complete\n";
         return 1;
       }

@@ -137,7 +137,7 @@ SortOutcome run_sort(coll::PowerScheme scheme) {
 
   const RunReport run = sim.run(body);
   SortOutcome outcome;
-  outcome.completed = run.completed;
+  outcome.completed = run.status.ok();
   outcome.elapsed = run.elapsed;
   outcome.energy = run.energy;
   outcome.checksum_ok = checksum_delta == 0.0;

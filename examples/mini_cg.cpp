@@ -140,7 +140,7 @@ CgResult run_cg(coll::PowerScheme scheme) {
 
   const RunReport run = sim.run(body);
   CgResult result;
-  result.completed = run.completed;
+  result.completed = run.status.ok();
   result.iterations = iterations;
   result.residual = final_residual;
   result.elapsed = run.elapsed;

@@ -177,7 +177,7 @@ SchemeResult run_fft(coll::PowerScheme scheme) {
   const RunReport run = sim.run(body);
   SchemeResult result;
   result.scheme = scheme;
-  result.completed = run.completed;
+  result.completed = run.status.ok();
   result.elapsed = run.elapsed;
   result.energy = run.energy;
   for (const double e : max_error) {

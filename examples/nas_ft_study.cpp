@@ -22,7 +22,7 @@ int main() {
     std::cout << ranks << " processes:\n";
     for (const auto scheme : coll::kAllSchemes) {
       const auto report = apps::run_workload(cluster, spec, scheme);
-      if (!report.completed) {
+      if (!report.status.ok()) {
         std::cerr << "run did not complete\n";
         return 1;
       }

@@ -53,7 +53,7 @@ int main() {
 
   Simulation sim(cluster);
   const RunReport report = sim.run(rank_program);
-  if (!report.completed) {
+  if (!report.status.ok()) {
     std::cerr << "deadlock detected\n";
     return 1;
   }

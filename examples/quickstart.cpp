@@ -31,7 +31,7 @@ int main() {
     spec.warmup = 1;
 
     const CollectiveReport report = measure_collective(cluster, spec);
-    if (!report.completed) {
+    if (!report.status.ok()) {
       std::cerr << "simulation did not complete\n";
       return 1;
     }

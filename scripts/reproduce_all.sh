@@ -3,7 +3,15 @@
 # figure/table plus the extension experiments, and archives the output.
 #
 #   scripts/reproduce_all.sh [build-dir]
+#
+# PACC_BENCH_JOBS=N parallelises each bench's sweep cells over N worker
+# threads (0 = one per hardware thread) via pacc::Campaign; the output is
+# byte-identical for any value (see docs/CAMPAIGN.md). The default of 1
+# keeps peak memory low — paper-testbed cells at 1 MiB allocate gigabytes
+# of simulated rank buffers.
 set -euo pipefail
+
+export PACC_BENCH_JOBS="${PACC_BENCH_JOBS:-1}"
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO/build}"
@@ -15,6 +23,7 @@ echo "== tests =="
 ctest --test-dir "$BUILD" -j"$(nproc)" 2>&1 | tee "$REPO/test_output.txt" | tail -3
 
 echo "== benches (one per paper figure/table + extensions) =="
+echo "   (sweep cells on PACC_BENCH_JOBS=$PACC_BENCH_JOBS worker thread(s))"
 : > "$REPO/bench_output.txt"
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] || continue

@@ -195,7 +195,7 @@ AppReport run_workload(const ClusterConfig& config, const WorkloadSpec& spec,
   report.workload = spec.name;
   report.scheme = scheme;
   report.ranks = config.ranks;
-  report.completed = run.completed;
+  report.status = run.status;
   const Duration measured = acct->end - acct->start;
   report.total_time = measured * spec.extrapolation;
   report.alltoall_time = acct->alltoall * spec.extrapolation;

@@ -59,16 +59,21 @@ struct AppReport {
   std::string workload;
   coll::PowerScheme scheme = coll::PowerScheme::kNone;
   int ranks = 0;
+  /// Structured outcome of the underlying run (see pacc/status.hpp).
+  RunStatus status;
   Duration total_time;
   Duration alltoall_time;  ///< time rank 0 spent in Alltoall(v) phases
   Duration comm_time;      ///< time rank 0 spent in all collective phases
   Joules energy = 0.0;
   Watts mean_power = 0.0;
-  bool completed = false;
   /// Per-operation profile (calls / bytes / rank-time), un-extrapolated.
   std::map<std::string, mpi::OpStats> profile;
-  /// Mean power per node (only with ClusterConfig::per_node_meter).
+  /// Mean power per node (only with ObsOptions::per_node_meter).
   std::vector<Watts> mean_node_power;
+
+  [[deprecated("use status.ok() / status.outcome")]] bool completed() const {
+    return status.ok();
+  }
 };
 
 /// Runs the workload on a simulated cluster under the given power scheme.

@@ -30,4 +30,31 @@ std::string to_string(Op op) {
   return "?";
 }
 
+bool supported(Op op, PowerScheme scheme) {
+  if (scheme == PowerScheme::kNone) return true;
+  switch (op) {
+    case Op::kGather:
+    case Op::kScatter:
+      return false;  // binomial-only entry points, no power variant
+    default:
+      return true;
+  }
+}
+
+std::optional<Op> parse_op(std::string_view name) {
+  for (const Op op : kAllOps) {
+    if (name == to_string(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<PowerScheme> parse_scheme(std::string_view name) {
+  if (name == "none" || name == "no-power") return PowerScheme::kNone;
+  if (name == "dvfs" || name == "freq-scaling") {
+    return PowerScheme::kFreqScaling;
+  }
+  if (name == "proposed") return PowerScheme::kProposed;
+  return std::nullopt;
+}
+
 }  // namespace pacc::coll

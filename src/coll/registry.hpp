@@ -1,7 +1,14 @@
 // Umbrella header + operation registry for the collective layer.
+//
+// The registry is the single source of truth for what the library can run:
+// `kAllOps` enumerates every operation and `supported(op, scheme)` says
+// which power schemes apply to it, so benches, paccbench and the Campaign
+// sweep engine never hard-code valid op×scheme combinations.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "coll/allgather.hpp"
 #include "coll/allreduce.hpp"
@@ -37,8 +44,29 @@ enum class Op {
 
 std::string to_string(Op op);
 
+/// Every operation, in declaration order — iterable so sweeps and tests can
+/// enumerate the library instead of hard-coding subsets.
+inline constexpr Op kAllOps[] = {
+    Op::kAlltoall, Op::kAlltoallv,     Op::kBcast,   Op::kReduce,
+    Op::kAllreduce, Op::kAllgather,    Op::kGather,  Op::kScatter,
+    Op::kScan,      Op::kReduceScatter, Op::kBarrier,
+};
+
 /// All power schemes, in the order the paper's figures present them.
 inline constexpr PowerScheme kAllSchemes[] = {
     PowerScheme::kNone, PowerScheme::kFreqScaling, PowerScheme::kProposed};
+
+/// Capability matrix: true if `op` implements `scheme`. Every op runs the
+/// default algorithm (kNone); the binomial Gather/Scatter have no
+/// power-aware variant (their topology-aware §VIII cousins are separate
+/// entry points), so they accept only kNone.
+bool supported(Op op, PowerScheme scheme);
+
+/// The flag names the tools accept ("alltoall", "reduce_scatter", …);
+/// returns nullopt for unknown names.
+std::optional<Op> parse_op(std::string_view name);
+
+/// "none"/"no-power", "dvfs"/"freq-scaling", "proposed".
+std::optional<PowerScheme> parse_scheme(std::string_view name);
 
 }  // namespace pacc::coll

@@ -1,0 +1,245 @@
+#include "pacc/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "util/expect.hpp"
+#include "util/table.hpp"
+
+namespace pacc {
+
+namespace {
+
+int resolve_jobs(int requested, std::size_t work) {
+  int jobs = requested;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  const auto cap = static_cast<int>(std::max<std::size_t>(1, work));
+  return std::clamp(jobs, 1, cap);
+}
+
+/// Work-stealing index scheduler. Indices are dealt round-robin into
+/// per-worker deques; a worker pops its own share front-to-back and, once
+/// empty, steals from the *back* of the next non-empty victim (classic
+/// owner-front / thief-back discipline, which keeps neighbouring cells —
+/// typically similar sizes — on their original worker). Plain mutexes per
+/// deque: a cell is an entire simulation, so scheduling cost is noise; the
+/// locks only have to be contention-correct.
+class StealQueues {
+ public:
+  StealQueues(std::size_t count, int workers) : queues_(workers) {
+    for (std::size_t i = 0; i < count; ++i) {
+      queues_[i % static_cast<std::size_t>(workers)].items.push_back(i);
+    }
+  }
+
+  /// Next index for `worker`; nullopt once every deque is empty.
+  std::optional<std::size_t> next(int worker) {
+    const int n = static_cast<int>(queues_.size());
+    for (int k = 0; k < n; ++k) {
+      Deque& q = queues_[static_cast<std::size_t>((worker + k) % n)];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.items.empty()) continue;
+      std::size_t index;
+      if (k == 0) {
+        index = q.items.front();
+        q.items.pop_front();
+      } else {
+        index = q.items.back();
+        q.items.pop_back();
+      }
+      return index;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<std::size_t> items;
+  };
+  std::vector<Deque> queues_;
+};
+
+/// Runs body(i) for every i in [0, count) on `jobs` workers. jobs == 1
+/// stays on the calling thread (no pool, debugger-friendly).
+void run_pool(std::size_t count, int jobs,
+              const std::function<void(std::size_t)>& body) {
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  StealQueues queues(count, jobs);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back([&queues, &body, w] {
+      while (const auto index = queues.next(w)) body(*index);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+/// Guards the PACC_EXPECTS contracts measure_collective would abort on, so
+/// a malformed cell degrades to a status instead of killing the sweep.
+RunStatus validate(const SweepCell& cell) {
+  if (cell.cluster.nodes < 1 || cell.cluster.ranks < 1 ||
+      cell.cluster.ranks_per_node < 1) {
+    return RunStatus::error("invalid cluster shape");
+  }
+  if (cell.bench.iterations < 1 || cell.bench.warmup < 0) {
+    return RunStatus::error("invalid iterations/warmup");
+  }
+  if (cell.bench.message < 0) {
+    return RunStatus::error("negative message size");
+  }
+  return {};
+}
+
+void json_escape(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+SweepSpec& SweepSpec::add(const ClusterConfig& cluster,
+                          const CollectiveBenchSpec& bench,
+                          std::string label) {
+  cells.push_back(SweepCell{std::move(label), cluster, bench});
+  return *this;
+}
+
+SweepSpec SweepSpec::grid(const std::vector<ClusterConfig>& clusters,
+                          const std::vector<CollectiveBenchSpec>& benches) {
+  SweepSpec spec;
+  spec.cells.reserve(clusters.size() * benches.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (const CollectiveBenchSpec& bench : benches) {
+      spec.add(clusters[c], bench,
+               std::to_string(c) + "/" + coll::to_string(bench.op) + "/" +
+                   coll::to_string(bench.scheme) + "/" +
+                   format_bytes(bench.message));
+    }
+  }
+  return spec;
+}
+
+Campaign::Campaign(SweepSpec spec, CampaignOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+std::vector<CellResult> Campaign::run() {
+  const std::size_t total = spec_.cells.size();
+  std::vector<CellResult> results(total);
+  std::mutex progress_mu;
+  std::size_t finished = 0;
+
+  const auto run_cell = [&](std::size_t i) {
+    const SweepCell& cell = spec_.cells[i];
+    CellResult& result = results[i];
+    result.index = i;
+    result.label = cell.label;
+    if (cancelled()) {
+      result.status = RunStatus::error("cancelled");
+    } else if (RunStatus invalid = validate(cell); !invalid.ok()) {
+      result.status = std::move(invalid);
+    } else {
+      ClusterConfig cluster = cell.cluster;
+      if (options_.cell_timeout) {
+        cluster.max_sim_time = *options_.cell_timeout;
+      }
+      try {
+        result.report = measure_collective(cluster, cell.bench);
+        result.status = result.report.status;
+      } catch (const std::exception& e) {
+        result.status = RunStatus::error(e.what());
+      } catch (...) {
+        result.status = RunStatus::error("unknown exception");
+      }
+    }
+    if (options_.on_progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      ++finished;
+      const CampaignProgress progress{finished, total, &result};
+      options_.on_progress(progress);
+    }
+  };
+
+  run_pool(total, resolve_jobs(options_.jobs, total), run_cell);
+  return results;
+}
+
+std::vector<RunStatus> Campaign::for_each(
+    std::size_t count, int jobs, const std::function<void(std::size_t)>& fn) {
+  std::vector<RunStatus> statuses(count);
+  run_pool(count, resolve_jobs(jobs, count), [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (const std::exception& e) {
+      statuses[i] = RunStatus::error(e.what());
+    } catch (...) {
+      statuses[i] = RunStatus::error("unknown exception");
+    }
+  });
+  return statuses;
+}
+
+void write_campaign_json(std::ostream& out, const SweepSpec& spec,
+                         const std::vector<CellResult>& results) {
+  PACC_EXPECTS(spec.cells.size() == results.size());
+  out << "{\n  \"schema\": \"pacc-campaign-v1\",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepCell& cell = spec.cells[i];
+    const CellResult& r = results[i];
+    std::string label, message;
+    json_escape(label, r.label);
+    json_escape(message, r.status.message);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"index\": %zu, \"label\": \"%s\", \"op\": \"%s\", "
+        "\"scheme\": \"%s\", \"ranks\": %d, \"ppn\": %d, \"nodes\": %d, "
+        "\"message\": %lld, \"iterations\": %d, \"warmup\": %d, "
+        "\"status\": \"%s\", \"status_message\": \"%s\", "
+        "\"latency_us\": %.3f, \"energy_per_op_j\": %.6f, "
+        "\"mean_power_w\": %.3f}%s\n",
+        i, label.c_str(), coll::to_string(cell.bench.op).c_str(),
+        coll::to_string(cell.bench.scheme).c_str(), cell.cluster.ranks,
+        cell.cluster.ranks_per_node, cell.cluster.nodes,
+        static_cast<long long>(cell.bench.message), cell.bench.iterations,
+        cell.bench.warmup, to_string(r.status.outcome).c_str(),
+        message.c_str(), r.report.latency.us(), r.report.energy_per_op,
+        r.report.mean_power, i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace pacc

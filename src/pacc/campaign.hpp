@@ -1,0 +1,125 @@
+// Multi-threaded sweep engine for the pacc:: facade.
+//
+// Every figure in the paper is a matrix of *independent* simulated runs —
+// message sizes × power schemes × cluster shapes. A Campaign fans such a
+// matrix (a declarative SweepSpec) out across a work-stealing worker pool:
+// each cell builds its own single-threaded Simulation, so cells parallelise
+// without sharing anything, and results are aggregated in cell order —
+// byte-for-byte identical whether run on 1 or N threads.
+//
+//   pacc::SweepSpec sweep = pacc::SweepSpec::grid(clusters, specs);
+//   auto results = pacc::Campaign(sweep, {.jobs = 8}).run();
+//   pacc::write_campaign_json(file, sweep, results);   // "pacc-campaign-v1"
+//
+// Failure isolation: a deadlocked, timed-out or invalid cell yields a
+// structured RunStatus at its slot; the sweep always completes. See
+// docs/CAMPAIGN.md for the execution and determinism model.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pacc/simulation.hpp"
+#include "pacc/status.hpp"
+
+namespace pacc {
+
+/// One cell of a sweep: a cluster to stand up and a measurement to run on
+/// it. `label` is free-form and lands in results and JSON artifacts.
+struct SweepCell {
+  std::string label;
+  ClusterConfig cluster;
+  CollectiveBenchSpec bench;
+};
+
+/// Declarative run matrix. Build cell-by-cell with add() or as a cartesian
+/// grid; cell order defines result and artifact order.
+struct SweepSpec {
+  std::vector<SweepCell> cells;
+
+  SweepSpec& add(const ClusterConfig& cluster, const CollectiveBenchSpec& bench,
+                 std::string label = "");
+
+  /// Cartesian product, cluster-major: for each cluster, every bench spec.
+  /// Labels are "<cluster index>/<op>/<scheme>/<message>" unless the caller
+  /// relabels afterwards.
+  static SweepSpec grid(const std::vector<ClusterConfig>& clusters,
+                        const std::vector<CollectiveBenchSpec>& benches);
+
+  std::size_t size() const { return cells.size(); }
+};
+
+/// Outcome of one cell, stored at the cell's index regardless of which
+/// worker ran it or when it finished.
+struct CellResult {
+  std::size_t index = 0;
+  std::string label;
+  RunStatus status;
+  /// Measurement payload; meaningful only when status.ok().
+  CollectiveReport report;
+};
+
+/// Argument of CampaignOptions::on_progress.
+struct CampaignProgress {
+  std::size_t finished = 0;        ///< cells done so far (including failed)
+  std::size_t total = 0;
+  const CellResult* last = nullptr;  ///< the cell that just finished
+};
+
+struct CampaignOptions {
+  /// Worker threads; <= 0 means one per hardware thread. The aggregated
+  /// results are byte-identical for every value.
+  int jobs = 1;
+  /// Overrides each cell's ClusterConfig::max_sim_time, so a deadlocked or
+  /// runaway cell yields kTimeout quickly instead of simulating the
+  /// default hour-long safety bound.
+  std::optional<Duration> cell_timeout;
+  /// Called after every finished cell, serialized under an internal lock
+  /// (safe to print or cancel() from). Completion order, not cell order.
+  std::function<void(const CampaignProgress&)> on_progress;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(SweepSpec spec, CampaignOptions options = {});
+
+  /// Runs every cell to a result (blocking). Cell failures never throw and
+  /// never abort the sweep — they come back as RunStatus entries.
+  std::vector<CellResult> run();
+
+  /// Thread-safe: cells already running finish normally; cells not yet
+  /// started complete immediately as kError/"cancelled".
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  const SweepSpec& spec() const { return spec_; }
+  const CampaignOptions& options() const { return options_; }
+
+  /// Fans `count` arbitrary independent thunks over the same work-stealing
+  /// pool (for sweeps that are not measure_collective cells — workload
+  /// runs, custom simulation bodies). Exceptions thrown by `fn(i)` become
+  /// kError statuses at index i; everything else is kOk.
+  static std::vector<RunStatus> for_each(
+      std::size_t count, int jobs, const std::function<void(std::size_t)>& fn);
+
+ private:
+  SweepSpec spec_;
+  CampaignOptions options_;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Writes results as a machine-readable artifact in the BENCH_micro.json
+/// style: {"schema": "pacc-campaign-v1", "cells": [...]} with one entry
+/// per cell in index order and fixed-precision number formatting, so the
+/// bytes do not depend on CampaignOptions::jobs.
+void write_campaign_json(std::ostream& out, const SweepSpec& spec,
+                         const std::vector<CellResult>& results);
+
+}  // namespace pacc

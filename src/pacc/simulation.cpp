@@ -35,9 +35,9 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
   runtime_ = std::make_unique<mpi::Runtime>(*engine_, *machine_, *network_,
                                             std::move(placement), rt_params);
   meter_ = std::make_unique<hw::SamplingMeter>(
-      *machine_, Duration::millis(500.0), config.per_node_meter);
+      *machine_, config.obs.meter_interval, config.obs.per_node_meter);
 
-  if (config.trace) {
+  if (config.obs.trace) {
     // Attach the recorder only after construction so the setup noise
     // (initial activity states) stays out of the trace.
     tracer_ = std::make_unique<obs::TraceRecorder>(*engine_);
@@ -52,6 +52,14 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
   }
 }
 
+Simulation::~Simulation() {
+  // Suspended task frames (left over from a cut-short or deadlocked run)
+  // hold references to ranks and communicators owned by runtime_, which is
+  // destroyed before engine_. Destroy the frames first, while everything
+  // they reference is still alive.
+  engine_->drop_tasks();
+}
+
 RunReport Simulation::run(
     const std::function<sim::Task<>(mpi::Rank&)>& body) {
   meter_->start();
@@ -64,7 +72,18 @@ RunReport Simulation::run(
   meter_->stop();
 
   RunReport report;
-  report.completed = result.all_tasks_finished;
+  if (!result.all_tasks_finished) {
+    // The meter's pending sample is cancelled by stop(), so any event left
+    // in the queue belongs to a rank (or the machine acting on its behalf)
+    // that was still making progress when the deadline cut the run short.
+    // An empty queue means nothing can ever resume the stuck tasks.
+    const bool cut_short = engine_->pending_events() > 0;
+    report.status.outcome =
+        cut_short ? RunOutcome::kTimeout : RunOutcome::kDeadlock;
+    report.status.message =
+        std::to_string(result.stuck_tasks) + " task(s) stuck" +
+        (cut_short ? " at max_sim_time" : ", event queue drained");
+  }
   report.elapsed = result.end_time - start;
   report.energy = machine_->total_energy();
   report.power = meter_->series();
@@ -203,6 +222,13 @@ sim::Task<> run_op_once(mpi::Rank& self, mpi::Comm& comm,
 CollectiveReport measure_collective(const ClusterConfig& config,
                                     const CollectiveBenchSpec& spec) {
   PACC_EXPECTS(spec.iterations >= 1 && spec.warmup >= 0);
+  if (!coll::supported(spec.op, spec.scheme)) {
+    CollectiveReport report;
+    report.status = RunStatus::error("unsupported combination " +
+                                     coll::to_string(spec.op) + " × " +
+                                     coll::to_string(spec.scheme));
+    return report;
+  }
   Simulation sim(config);
   auto window = std::make_shared<TimedWindow>();
 
@@ -231,7 +257,7 @@ CollectiveReport measure_collective(const ClusterConfig& config,
   const RunReport run = sim.run(body);
 
   CollectiveReport report;
-  report.completed = run.completed;
+  report.status = run.status;
   const Duration window_time = window->t1 - window->t0;
   report.latency = window_time / static_cast<double>(spec.iterations);
   report.energy_per_op =

@@ -28,10 +28,26 @@
 #include "net/network.hpp"
 #include "obs/trace.hpp"
 #include "pacc/presets.hpp"
+#include "pacc/status.hpp"
 #include "sim/engine.hpp"
 #include "util/stats.hpp"
 
 namespace pacc {
+
+/// Observability knobs, grouped so ClusterConfig stays a flat description
+/// of the cluster itself. Designated-initializer friendly:
+///   cfg.obs = {.trace = true};
+struct ObsOptions {
+  /// Attach an obs::TraceRecorder: Chrome-trace spans for collective
+  /// phases / power transitions / sends+recvs, plus exact per-phase energy
+  /// attribution. Off by default — the hooks then cost one pointer test.
+  bool trace = false;
+  /// Record per-node meter channels in addition to the system series.
+  bool per_node_meter = false;
+  /// Clamp-meter sampling period (the paper's MASTECH MS2205 samples at
+  /// 0.5 s; shorten for finer power series on sub-second runs).
+  Duration meter_interval = Duration::millis(500.0);
+};
 
 /// Everything needed to stand up a simulated cluster.
 struct ClusterConfig {
@@ -45,12 +61,8 @@ struct ClusterConfig {
   bool core_level_throttling = false;  ///< §V-B "future architectures"
   /// Reactive black-box DVFS governor (prior work, §III); off by default.
   mpi::GovernorParams governor;
-  /// Record per-node meter channels in addition to the system series.
-  bool per_node_meter = false;
-  /// Attach an obs::TraceRecorder: Chrome-trace spans for collective
-  /// phases / power transitions / sends+recvs, plus exact per-phase energy
-  /// attribution. Off by default — the hooks then cost one pointer test.
-  bool trace = false;
+  /// Tracing / metering options (see ObsOptions above).
+  ObsOptions obs;
   /// Safety bound on simulated time: a deadlocked program is reported as
   /// incomplete instead of letting the meter tick forever.
   Duration max_sim_time = Duration::seconds(3600.0);
@@ -60,31 +72,43 @@ struct ClusterConfig {
 
 /// Outcome of one simulated program run.
 struct RunReport {
+  /// Structured outcome: kOk, or kDeadlock / kTimeout with a detail
+  /// message naming the stuck tasks. Replaces the old `completed` bool.
+  RunStatus status;
   Duration elapsed;
   Joules energy = 0.0;
   Watts mean_power = 0.0;
   PowerSeries power;        ///< clamp-meter samples (0.5 s)
-  /// Per-node meter channels (only with ClusterConfig::per_node_meter).
+  /// Per-node meter channels (only with ObsOptions::per_node_meter).
   std::vector<PowerSeries> node_power;
-  /// Exact per-phase energy buckets (only with ClusterConfig::trace); the
+  /// Exact per-phase energy buckets (only with ObsOptions::trace); the
   /// joules sum to `energy` exactly — see docs/OBSERVABILITY.md.
   std::vector<obs::PhaseEnergy> energy_phases;
-  bool completed = false;   ///< false: deadlock / starvation detected
+
+  [[deprecated("use status.ok() / status.outcome")]] bool completed() const {
+    return status.ok();
+  }
 };
 
 /// Outcome of an OSU-style collective measurement.
 struct CollectiveReport {
+  /// Structured outcome (kError also covers unsupported op×scheme
+  /// combinations — see coll::supported()).
+  RunStatus status;
   Duration latency;         ///< average per-operation latency
   Joules energy_per_op = 0.0;
   Watts mean_power = 0.0;   ///< mean sampled power during the timed loop
   PowerSeries power;
   /// Exact per-phase energy buckets over the whole run, incl. warmup
-  /// (only with ClusterConfig::trace).
+  /// (only with ObsOptions::trace).
   std::vector<obs::PhaseEnergy> energy_phases;
-  /// Chrome-trace JSON of the run (only with ClusterConfig::trace);
+  /// Chrome-trace JSON of the run (only with ObsOptions::trace);
   /// serialised before the Simulation is torn down.
   std::string trace_json;
-  bool completed = false;
+
+  [[deprecated("use status.ok() / status.outcome")]] bool completed() const {
+    return status.ok();
+  }
 };
 
 /// Parameters of an OSU-style collective measurement.
@@ -101,6 +125,7 @@ struct CollectiveBenchSpec {
 class Simulation {
  public:
   explicit Simulation(const ClusterConfig& config);
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -110,7 +135,7 @@ class Simulation {
   net::FlowNetwork& network() { return *network_; }
   mpi::Runtime& runtime() { return *runtime_; }
   hw::SamplingMeter& meter() { return *meter_; }
-  /// Null unless ClusterConfig::trace was set.
+  /// Null unless ObsOptions::trace was set.
   obs::TraceRecorder* tracer() { return tracer_.get(); }
 
   /// Spawns `body` on every rank, runs to completion with the power meter

@@ -1,0 +1,59 @@
+// Structured run outcomes for the pacc:: facade.
+//
+// Every simulated run — Simulation::run, measure_collective,
+// apps::run_workload, and each Campaign cell — reports a RunStatus instead
+// of a bare bool, so callers (and the sweep engine's JSON artifacts) can
+// tell a deadlocked program from one that hit the simulated-time safety
+// bound or failed validation. See docs/CAMPAIGN.md for migration notes.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace pacc {
+
+/// How a simulated run ended.
+enum class RunOutcome {
+  kOk,        ///< every rank ran to completion
+  kDeadlock,  ///< no pending event can ever resume the stuck ranks
+  kTimeout,   ///< the simulated clock hit the max_sim_time safety bound
+              ///< (or a Campaign cell_timeout) while ranks were still live
+  kError,     ///< validation failure or an exception escaped the run
+};
+
+inline std::string to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kOk:
+      return "ok";
+    case RunOutcome::kDeadlock:
+      return "deadlock";
+    case RunOutcome::kTimeout:
+      return "timeout";
+    case RunOutcome::kError:
+      return "error";
+  }
+  return "?";
+}
+
+/// Machine-readable cause plus a human-readable detail message (stuck task
+/// counts, an exception's what(), the offending op×scheme combination, …).
+struct RunStatus {
+  RunOutcome outcome = RunOutcome::kOk;
+  std::string message;
+
+  bool ok() const { return outcome == RunOutcome::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  static RunStatus error(std::string msg) {
+    return {RunOutcome::kError, std::move(msg)};
+  }
+
+  /// "ok", or "timeout: 3 task(s) stuck" — for logs and table footers.
+  std::string describe() const {
+    std::string s = to_string(outcome);
+    if (!message.empty()) s += ": " + message;
+    return s;
+  }
+};
+
+}  // namespace pacc

@@ -79,6 +79,18 @@ class Engine {
   /// Spawned tasks that have not yet finished.
   std::uint64_t active_tasks() const { return active_tasks_; }
 
+  /// Destroys every spawned task frame, including ones still suspended
+  /// after a cut-short run. Owners of objects the frames reference (ranks,
+  /// communicators, buffers) must call this before those objects die: the
+  /// engine outlives them in the usual member order, and destroying a
+  /// suspended frame runs the destructors of its locals. The engine is
+  /// reusable afterwards (the event queue is left untouched).
+  void drop_tasks() {
+    spawned_.clear();
+    active_tasks_ = 0;
+    retired_tasks_ = 0;
+  }
+
   /// Holds run_active() open for pending work that is not a spawned task —
   /// e.g. an eager message in flight between send and delivery. Pair every
   /// retain with exactly one release (typically from the completion

@@ -144,7 +144,7 @@ phase allreduce 1K
   cfg.ranks_per_node = 4;
   const auto report =
       apps::run_workload(cfg, result.spec, coll::PowerScheme::kProposed);
-  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.status.ok());
   EXPECT_GT(report.total_time.ns(), 0);
   EXPECT_GT(report.alltoall_time.ns(), 0);
 }

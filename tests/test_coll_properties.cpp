@@ -13,6 +13,17 @@
 namespace pacc::coll {
 namespace {
 
+/// Every (op, scheme) pair the registry's capability matrix admits.
+std::vector<std::tuple<Op, PowerScheme>> supported_combos() {
+  std::vector<std::tuple<Op, PowerScheme>> combos;
+  for (const Op op : kAllOps) {
+    for (const PowerScheme scheme : kAllSchemes) {
+      if (supported(op, scheme)) combos.emplace_back(op, scheme);
+    }
+  }
+  return combos;
+}
+
 /// Property 1: for every collective and scheme, all core states (frequency,
 /// throttle, activity) are restored after the call — power management must
 /// be transparent to the application.
@@ -30,18 +41,12 @@ TEST_P(StateRestoration, CoresReturnToFmaxT0Busy) {
   spec.warmup = 0;
 
   const CollectiveReport report = measure_collective(cfg, spec);
-  ASSERT_TRUE(report.completed) << to_string(op) << "/" << to_string(scheme);
+  ASSERT_TRUE(report.status.ok()) << to_string(op) << "/" << to_string(scheme);
   EXPECT_GT(report.latency.ns(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    OpsTimesSchemes, StateRestoration,
-    ::testing::Combine(
-        ::testing::Values(Op::kAlltoall, Op::kAlltoallv, Op::kBcast,
-                          Op::kReduce, Op::kAllreduce, Op::kAllgather,
-                          Op::kScan, Op::kReduceScatter, Op::kBarrier),
-        ::testing::Values(PowerScheme::kNone, PowerScheme::kFreqScaling,
-                          PowerScheme::kProposed)),
+    OpsTimesSchemes, StateRestoration, ::testing::ValuesIn(supported_combos()),
     [](const auto& info) {
       return to_string(std::get<0>(info.param)) + "_" +
              test::scheme_tag(std::get<1>(info.param));
@@ -65,7 +70,7 @@ TEST_P(EnergyOrdering, ProposedNeverWorseThanDvfsOnLargeMessages) {
   for (const auto scheme : kAllSchemes) {
     spec.scheme = scheme;
     const auto report = measure_collective(cfg, spec);
-    ASSERT_TRUE(report.completed);
+    ASSERT_TRUE(report.status.ok());
     energy.push_back(report.energy_per_op);
   }
   EXPECT_LT(energy[1], energy[0]) << "freq-scaling must save energy";
@@ -101,12 +106,12 @@ TEST_P(LatencyOverhead, PowerSchemesWithinBoundsOnLargeMessages) {
 
   spec.scheme = PowerScheme::kNone;
   const auto base = measure_collective(cfg, spec);
-  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(base.status.ok());
   for (const auto scheme :
        {PowerScheme::kFreqScaling, PowerScheme::kProposed}) {
     spec.scheme = scheme;
     const auto r = measure_collective(cfg, spec);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.status.ok());
     // The proposed Alltoall's halved endpoint contention can even edge out
     // the default at some scales (§VI-A); allow a small win.
     EXPECT_GE(r.latency.sec(), base.latency.sec() * 0.93)
@@ -132,7 +137,7 @@ TEST(Monotonicity, AlltoallLatencyGrowsWithMessageSize) {
   for (const Bytes m : {Bytes{1024}, Bytes{16384}, Bytes{262144}}) {
     spec.message = m;
     const auto r = measure_collective(cfg, spec);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.status.ok());
     EXPECT_GT(r.latency, last) << "at message " << m;
     last = r.latency;
   }
@@ -215,22 +220,43 @@ TEST_P(ZeroByteMessages, CompletesWithEmptyPayloads) {
   spec.warmup = 0;
 
   const CollectiveReport report = measure_collective(cfg, spec);
-  ASSERT_TRUE(report.completed) << to_string(op) << "/" << to_string(scheme);
+  ASSERT_TRUE(report.status.ok()) << to_string(op) << "/" << to_string(scheme);
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    OpsTimesSchemes, ZeroByteMessages,
-    ::testing::Combine(
-        ::testing::Values(Op::kAlltoall, Op::kAlltoallv, Op::kBcast,
-                          Op::kReduce, Op::kAllreduce, Op::kAllgather,
-                          Op::kGather, Op::kScatter, Op::kScan,
-                          Op::kReduceScatter, Op::kBarrier),
-        ::testing::Values(PowerScheme::kNone, PowerScheme::kFreqScaling,
-                          PowerScheme::kProposed)),
+    OpsTimesSchemes, ZeroByteMessages, ::testing::ValuesIn(supported_combos()),
     [](const auto& info) {
       return to_string(std::get<0>(info.param)) + "_" +
              test::scheme_tag(std::get<1>(info.param));
     });
+
+/// Property 8: the capability matrix itself. Every op runs under kNone,
+/// parse round-trips every name, and measure_collective rejects unsupported
+/// combinations with a structured kError instead of silently ignoring the
+/// scheme (the pre-matrix behaviour).
+TEST(CapabilityMatrix, UnsupportedCombosYieldErrorStatus) {
+  for (const Op op : kAllOps) {
+    EXPECT_TRUE(supported(op, PowerScheme::kNone)) << to_string(op);
+    EXPECT_EQ(parse_op(to_string(op)), op);
+  }
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  for (const Op op : {Op::kGather, Op::kScatter}) {
+    for (const PowerScheme scheme :
+         {PowerScheme::kFreqScaling, PowerScheme::kProposed}) {
+      ASSERT_FALSE(supported(op, scheme));
+      CollectiveBenchSpec spec;
+      spec.op = op;
+      spec.scheme = scheme;
+      spec.message = 1024;
+      spec.iterations = 1;
+      spec.warmup = 0;
+      const CollectiveReport report = measure_collective(cfg, spec);
+      EXPECT_EQ(report.status.outcome, RunOutcome::kError)
+          << to_string(op) << "/" << to_string(scheme);
+      EXPECT_FALSE(report.status.message.empty());
+    }
+  }
+}
 
 }  // namespace
 }  // namespace pacc::coll

@@ -126,7 +126,7 @@ TEST(Governor, PerCallDvfsBeatsGovernorOnCollectives) {
   spec.scheme = coll::PowerScheme::kFreqScaling;
   const auto percall = measure_collective(plain, spec);
 
-  ASSERT_TRUE(governor.completed && percall.completed);
+  ASSERT_TRUE(governor.status.ok() && percall.status.ok());
   EXPECT_LE(percall.energy_per_op, governor.energy_per_op * 1.02);
 }
 

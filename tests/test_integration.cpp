@@ -23,7 +23,7 @@ TEST(Integration, PaperScaleAlltoallAllSchemes) {
   for (const auto scheme : coll::kAllSchemes) {
     spec.scheme = scheme;
     const auto r = measure_collective(cfg, spec);
-    ASSERT_TRUE(r.completed) << coll::to_string(scheme);
+    ASSERT_TRUE(r.status.ok()) << coll::to_string(scheme);
     if (scheme == coll::PowerScheme::kNone) base = r.latency;
     EXPECT_LT(r.latency.sec(), base.sec() * 1.4);
   }
@@ -93,7 +93,7 @@ TEST(Integration, CpmdEnergySavingsShape) {
   const auto dvfs =
       apps::run_workload(cfg, spec, coll::PowerScheme::kFreqScaling);
   const auto prop = apps::run_workload(cfg, spec, coll::PowerScheme::kProposed);
-  ASSERT_TRUE(none.completed && dvfs.completed && prop.completed);
+  ASSERT_TRUE(none.status.ok() && dvfs.status.ok() && prop.status.ok());
   EXPECT_LT(dvfs.energy, none.energy);
   EXPECT_LE(prop.energy, dvfs.energy * 1.01);
   EXPECT_LT(prop.total_time.sec(), none.total_time.sec() * 1.10);
@@ -108,7 +108,7 @@ TEST(Integration, NasIsRunsUnderAllSchemes) {
   spec.simulated_iterations = 2;
   for (const auto scheme : coll::kAllSchemes) {
     const auto r = apps::run_workload(cfg, spec, scheme);
-    EXPECT_TRUE(r.completed) << coll::to_string(scheme);
+    EXPECT_TRUE(r.status.ok()) << coll::to_string(scheme);
     EXPECT_GT(r.alltoall_time.ns(), 0);
   }
 }
@@ -131,7 +131,7 @@ TEST(Integration, StrongScalingHalvesCpmdRuntime) {
 
   const auto r32 = apps::run_workload(cfg32, spec32, coll::PowerScheme::kNone);
   const auto r64 = apps::run_workload(cfg64, spec64, coll::PowerScheme::kNone);
-  ASSERT_TRUE(r32.completed && r64.completed);
+  ASSERT_TRUE(r32.status.ok() && r64.status.ok());
   EXPECT_LT(r64.total_time.sec(), r32.total_time.sec() * 0.75);
   // Alltoall time changes "only by a small amount" (§VII-F).
   EXPECT_GT(r64.alltoall_time.sec(), r32.alltoall_time.sec() * 0.5);
@@ -158,7 +158,7 @@ TEST(Integration, CoreLevelThrottlingSavesMoreOnBcast) {
   core_cfg.core_level_throttling = true;
   const auto core_level = measure_collective(core_cfg, spec);
 
-  ASSERT_TRUE(socket_level.completed && core_level.completed);
+  ASSERT_TRUE(socket_level.status.ok() && core_level.status.ok());
   EXPECT_LE(core_level.energy_per_op, socket_level.energy_per_op * 1.02);
   EXPECT_LE(core_level.latency.ns(),
             static_cast<std::int64_t>(socket_level.latency.ns() * 1.02));

@@ -109,7 +109,7 @@ TEST(ModelVsSimulation, AlltoallWithinTolerance) {
   spec.iterations = 3;
   spec.warmup = 1;
   const auto report = measure_collective(cfg, spec);
-  ASSERT_TRUE(report.completed);
+  ASSERT_TRUE(report.status.ok());
 
   const auto p = paper_model();
   const auto predicted = alltoall_pairwise_time(p, 4, 8, spec.message);
@@ -129,7 +129,7 @@ TEST(ModelVsSimulation, BcastWithinTolerance) {
   spec.iterations = 3;
   spec.warmup = 1;
   const auto report = measure_collective(cfg, spec);
-  ASSERT_TRUE(report.completed);
+  ASSERT_TRUE(report.status.ok());
 
   const auto p = paper_model();
   const auto predicted = bcast_scatter_allgather_time(p, 4, spec.message);

@@ -99,9 +99,9 @@ TEST(TraceObservability, TracingDoesNotPerturbTheSimulation) {
   spec.warmup = 1;
 
   const auto off = measure_collective(cfg, spec);
-  cfg.trace = true;
+  cfg.obs.trace = true;
   const auto on = measure_collective(cfg, spec);
-  ASSERT_TRUE(off.completed && on.completed);
+  ASSERT_TRUE(off.status.ok() && on.status.ok());
 
   // The recorder never advances simulated time, so latencies agree exactly;
   // it does take extra energy snapshots, which may reorder the floating-
@@ -120,7 +120,7 @@ TEST(TraceObservability, EnergyBreakdownSumsToMachineIntegral) {
   // Both sockets per node populated: the power-aware Alltoall path needs a
   // full bunch mapping (§V-C), and we want its Phase-2 bucket in the trace.
   ClusterConfig cfg = test::small_cluster(2, 16, 8);
-  cfg.trace = true;
+  cfg.obs.trace = true;
   Simulation sim(cfg);
   const Bytes block = 64 * 1024;
   const auto blk = static_cast<std::size_t>(block);
@@ -135,7 +135,7 @@ TEST(TraceObservability, EnergyBreakdownSumsToMachineIntegral) {
     }
   };
   const RunReport report = sim.run(body);
-  ASSERT_TRUE(report.completed);
+  ASSERT_TRUE(report.status.ok());
   ASSERT_FALSE(report.energy_phases.empty());
 
   // Every joule of the run lands in exactly one bucket: the buckets sum to
@@ -159,7 +159,7 @@ TEST(TraceObservability, EnergyBreakdownSumsToMachineIntegral) {
 
 TEST(TraceObservability, SpansCoverAllHookLayers) {
   ClusterConfig cfg = test::small_cluster(2, 16, 8);
-  cfg.trace = true;
+  cfg.obs.trace = true;
   Simulation sim(cfg);
   const Bytes block = 32 * 1024;
   const auto blk = static_cast<std::size_t>(block);
@@ -170,7 +170,7 @@ TEST(TraceObservability, SpansCoverAllHookLayers) {
     co_await coll::alltoall(self, world, send, recv, block,
                             {.scheme = coll::PowerScheme::kProposed});
   };
-  ASSERT_TRUE(sim.run(body).completed);
+  ASSERT_TRUE(sim.run(body).status.ok());
 
   const TraceRecorder& tr = *sim.tracer();
   EXPECT_TRUE(has_event(tr, "coll", "alltoall"));           // profiler
@@ -188,7 +188,7 @@ TEST(TraceObservability, SpansCoverAllHookLayers) {
 
 TEST(TraceObservability, ProfilerStatsAgreeWithTraceSpans) {
   ClusterConfig cfg = test::small_cluster(2, 8, 4);
-  cfg.trace = true;
+  cfg.obs.trace = true;
   Simulation sim(cfg);
   const Bytes block = 16 * 1024;
   const auto blk = static_cast<std::size_t>(block);
@@ -201,7 +201,7 @@ TEST(TraceObservability, ProfilerStatsAgreeWithTraceSpans) {
       co_await coll::alltoall(self, world, send, recv, block, {});
     }
   };
-  ASSERT_TRUE(sim.run(body).completed);
+  ASSERT_TRUE(sim.run(body).status.ok());
 
   // The profiler emits the span from the same measurement it aggregates, so
   // the stats and the trace cannot disagree: one "coll" span per record().
@@ -217,12 +217,12 @@ TEST(TraceObservability, ProfilerStatsAgreeWithTraceSpans) {
 
 TEST(TraceObservability, ComputeOnlyRunIsUntracked) {
   ClusterConfig cfg = test::small_cluster(1, 2, 2);
-  cfg.trace = true;
+  cfg.obs.trace = true;
   Simulation sim(cfg);
   const RunReport report = sim.run([](mpi::Rank& r) -> sim::Task<> {
     co_await r.compute(Duration::millis(2));
   });
-  ASSERT_TRUE(report.completed);
+  ASSERT_TRUE(report.status.ok());
 
   // No collective ran, so no phase was ever opened: all energy falls into
   // the "(untracked)" catch-all bucket — and still sums to the total.

@@ -26,7 +26,7 @@ TEST(Simulation, RunReportsElapsedAndEnergy) {
   const auto report = sim.run([](mpi::Rank& r) -> sim::Task<> {
     co_await r.compute(Duration::millis(10));
   });
-  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.status.ok());
   EXPECT_NEAR(report.elapsed.ms(), 10.0, 0.1);
   EXPECT_NEAR(report.energy, sim.machine().system_power() * 0.010, 1e-3);
   EXPECT_GT(report.mean_power, 0.0);
@@ -41,7 +41,7 @@ TEST(Simulation, MeterSamplesLongRuns) {
   const auto report = sim.run([](mpi::Rank& r) -> sim::Task<> {
     co_await r.compute(Duration::seconds(2.0));
   });
-  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.status.ok());
   // Boundary samples at 0 and 2.0 s plus interval samples at 0.5/1.0/1.5 s.
   EXPECT_EQ(report.power.samples().size(), 5u);
 }
@@ -56,7 +56,9 @@ TEST(Simulation, DeadlockSurfacesInReport) {
     std::array<std::byte, 8> buf{};
     if (r.id() == 0) co_await r.recv(1, 1, buf);  // never sent
   });
-  EXPECT_FALSE(report.completed);
+  EXPECT_FALSE(report.status.ok());
+  EXPECT_EQ(report.status.outcome, RunOutcome::kDeadlock);
+  EXPECT_FALSE(report.status.message.empty());
 }
 
 TEST(MeasureCollective, ProducesPlausibleAlltoallLatency) {
@@ -70,7 +72,7 @@ TEST(MeasureCollective, ProducesPlausibleAlltoallLatency) {
   spec.iterations = 4;
   spec.warmup = 1;
   const auto report = measure_collective(cfg, spec);
-  ASSERT_TRUE(report.completed);
+  ASSERT_TRUE(report.status.ok());
   // Rough bound: 6 inter-node steps × ~(4-flow shared uplink).
   EXPECT_GT(report.latency.us(), 100.0);
   EXPECT_LT(report.latency.us(), 5000.0);
@@ -93,7 +95,7 @@ TEST(MeasureCollective, WarmupExcludedFromTiming) {
   const auto no_warm = measure_collective(cfg, spec);
   spec.warmup = 5;
   const auto with_warm = measure_collective(cfg, spec);
-  ASSERT_TRUE(no_warm.completed && with_warm.completed);
+  ASSERT_TRUE(no_warm.status.ok() && with_warm.status.ok());
   EXPECT_NEAR(no_warm.latency.us(), with_warm.latency.us(),
               no_warm.latency.us() * 0.2);
 }
@@ -114,7 +116,7 @@ TEST(MeasureCollective, BlockingModeIsSlowerButCheaper) {
   const auto polling = measure_collective(cfg, spec);
   cfg.progress = mpi::ProgressMode::kBlocking;
   const auto blocking = measure_collective(cfg, spec);
-  ASSERT_TRUE(polling.completed && blocking.completed);
+  ASSERT_TRUE(polling.status.ok() && blocking.status.ok());
   EXPECT_GT(blocking.latency.ns(), polling.latency.ns());
   EXPECT_LT(blocking.mean_power, polling.mean_power);
 }
@@ -136,7 +138,7 @@ TEST(Simulation, CustomNetworkParamsRespected) {
 
   cfg.network.reset();
   const auto fast_report = measure_collective(cfg, spec);
-  ASSERT_TRUE(slow_report.completed && fast_report.completed);
+  ASSERT_TRUE(slow_report.status.ok() && fast_report.status.ok());
   EXPECT_GT(slow_report.latency.sec(), fast_report.latency.sec() * 5);
 }
 

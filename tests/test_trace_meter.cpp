@@ -41,12 +41,12 @@ TEST(PerNodeMeter, DisabledByDefault) {
 
 TEST(PerNodeMeter, PlumbsThroughSimulationFacade) {
   ClusterConfig cfg = test::small_cluster(2, 4, 2);
-  cfg.per_node_meter = true;
+  cfg.obs.per_node_meter = true;
   Simulation sim(cfg);
   const auto report = sim.run([](mpi::Rank& r) -> sim::Task<> {
     co_await r.compute(Duration::seconds(1.2));
   });
-  ASSERT_TRUE(report.completed);
+  ASSERT_TRUE(report.status.ok());
   ASSERT_EQ(report.node_power.size(), 2u);
   EXPECT_EQ(report.node_power[0].samples().size(),
             report.power.samples().size());

@@ -33,7 +33,7 @@ WorkloadSpec tiny_spec() {
 TEST(Workload, RunsToCompletionAndAccounts) {
   const auto report =
       run_workload(small_cfg(8, 4), tiny_spec(), coll::PowerScheme::kNone);
-  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.status.ok());
   EXPECT_GT(report.total_time.ns(), 0);
   EXPECT_GT(report.comm_time.ns(), 0);
   EXPECT_GT(report.alltoall_time.ns(), 0);
@@ -63,7 +63,7 @@ TEST(Workload, PowerSchemesPreserveStructureAndSaveEnergy) {
       run_workload(small_cfg(16, 8), spec, coll::PowerScheme::kFreqScaling);
   const auto prop =
       run_workload(small_cfg(16, 8), spec, coll::PowerScheme::kProposed);
-  ASSERT_TRUE(none.completed && dvfs.completed && prop.completed);
+  ASSERT_TRUE(none.status.ok() && dvfs.status.ok() && prop.status.ok());
   // Paper Figs 9-10: small runtime overhead, real energy savings.
   EXPECT_GE(dvfs.total_time.ns(), none.total_time.ns());
   EXPECT_LT(dvfs.total_time.sec(), none.total_time.sec() * 1.15);
@@ -81,7 +81,7 @@ TEST(Workload, AlltoallvImbalanceStaysConsistent) {
                        .imbalance = 0.3}};
   const auto report =
       run_workload(small_cfg(8, 4), spec, coll::PowerScheme::kNone);
-  EXPECT_TRUE(report.completed);  // mismatched counts would deadlock/abort
+  EXPECT_TRUE(report.status.ok());  // mismatched counts would deadlock/abort
 }
 
 TEST(CpmdProfiles, AllDatasetsBuildAndScale) {

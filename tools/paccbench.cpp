@@ -1,8 +1,12 @@
 // paccbench — OSU-style command-line harness for the simulated cluster.
 //
-// Collective sweep:
+// Collective sweep (one op, sizes stepped ×4; --jobs parallelises the cells):
 //   paccbench --op alltoall --ranks 64 --ppn 8 --min 16K --max 1M \
-//             --scheme proposed --iters 5 --warmup 2 [--csv]
+//             --scheme proposed --iters 5 --warmup 2 [--csv] [--jobs 8]
+//
+// Full capability-matrix sweep (every supported op × scheme per size):
+//   paccbench --sweep --ranks 32 --ppn 4 --min 16K --max 256K --jobs 8 \
+//             --json sweep.json
 //
 // Application workload from a trace file (see src/apps/trace.hpp):
 //   paccbench --workload my_app.wl --ranks 32 --ppn 4 --scheme dvfs
@@ -16,6 +20,8 @@
 #include <vector>
 
 #include "apps/trace.hpp"
+#include "coll/registry.hpp"
+#include "pacc/campaign.hpp"
 #include "pacc/simulation.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -29,6 +35,7 @@ int usage(const char* argv0) {
       << "usage: " << argv0 << " [options]\n"
       << "  --op NAME          alltoall|alltoallv|bcast|reduce|allreduce|\n"
       << "                     allgather|gather|scatter|scan|reduce_scatter|barrier\n"
+      << "  --sweep            run every supported op x scheme combination\n"
       << "  --workload FILE    run a workload trace instead of a collective\n"
       << "  --scheme NAME      none|dvfs|proposed (default none)\n"
       << "  --ranks N          MPI ranks (default 64)\n"
@@ -38,6 +45,10 @@ int usage(const char* argv0) {
       << "  --max SIZE         sweep end (default 1M)\n"
       << "  --iters N          timed iterations per size (default 5)\n"
       << "  --warmup N         warmup iterations (default 2)\n"
+      << "  --jobs N           worker threads for sweep cells (default 1;\n"
+      << "                     0 = one per hardware thread); output is\n"
+      << "                     identical for every value\n"
+      << "  --json FILE        also write a pacc-campaign-v1 JSON artifact\n"
       << "  --affinity NAME    bunch|scatter (default bunch)\n"
       << "  --mode NAME        polling|blocking (default polling)\n"
       << "  --governor [US]    enable the black-box DVFS governor\n"
@@ -53,30 +64,6 @@ int usage(const char* argv0) {
   return 2;
 }
 
-std::optional<coll::Op> parse_op(const std::string& name) {
-  if (name == "alltoall") return coll::Op::kAlltoall;
-  if (name == "alltoallv") return coll::Op::kAlltoallv;
-  if (name == "bcast") return coll::Op::kBcast;
-  if (name == "reduce") return coll::Op::kReduce;
-  if (name == "allreduce") return coll::Op::kAllreduce;
-  if (name == "allgather") return coll::Op::kAllgather;
-  if (name == "gather") return coll::Op::kGather;
-  if (name == "scatter") return coll::Op::kScatter;
-  if (name == "scan") return coll::Op::kScan;
-  if (name == "reduce_scatter") return coll::Op::kReduceScatter;
-  if (name == "barrier") return coll::Op::kBarrier;
-  return std::nullopt;
-}
-
-std::optional<coll::PowerScheme> parse_scheme(const std::string& name) {
-  if (name == "none" || name == "no-power") return coll::PowerScheme::kNone;
-  if (name == "dvfs" || name == "freq-scaling") {
-    return coll::PowerScheme::kFreqScaling;
-  }
-  if (name == "proposed") return coll::PowerScheme::kProposed;
-  return std::nullopt;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,7 +71,7 @@ int main(int argc, char** argv) {
 
   if (args.has("help")) return usage(argv[0]);
 
-  const auto scheme = parse_scheme(args.get_or("scheme", "none"));
+  const auto scheme = coll::parse_scheme(args.get_or("scheme", "none"));
   if (!scheme) {
     std::cerr << "bad --scheme\n";
     return usage(argv[0]);
@@ -120,16 +107,19 @@ int main(int argc, char** argv) {
   const bool csv = args.has("csv");
   const bool profile = args.has("profile");
   const bool node_power = args.has("node-power");
-  cfg.per_node_meter = node_power;
+  cfg.obs.per_node_meter = node_power;
   const auto workload_file = args.get("workload");
   const auto trace_file = args.get("trace");
   const bool energy_breakdown = args.has("energy-breakdown");
-  cfg.trace = trace_file.has_value() || energy_breakdown;
-  const auto op = parse_op(args.get_or("op", "alltoall"));
+  cfg.obs.trace = trace_file.has_value() || energy_breakdown;
+  const auto op = coll::parse_op(args.get_or("op", "alltoall"));
+  const bool sweep_all = args.has("sweep");
   const Bytes min_size = args.bytes_or("min", 16 * 1024);
   const Bytes max_size = args.bytes_or("max", 1 << 20);
   const int iters = static_cast<int>(args.int_or("iters", 5));
   const int warmup = static_cast<int>(args.int_or("warmup", 2));
+  const int jobs = static_cast<int>(args.int_or("jobs", 1));
+  const auto json_file = args.get("json");
 
   const auto unknown = args.unknown();
   if (!unknown.empty()) {
@@ -140,7 +130,7 @@ int main(int argc, char** argv) {
   }
 
   if (workload_file) {
-    if (cfg.trace) {
+    if (cfg.obs.trace) {
       std::cerr << "--trace/--energy-breakdown apply to collective mode only\n";
       return usage(argv[0]);
     }
@@ -150,8 +140,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto report = apps::run_workload(cfg, parsed.spec, *scheme);
-    if (!report.completed) {
-      std::cerr << "simulation did not complete (deadlock?)\n";
+    if (!report.status.ok()) {
+      std::cerr << "simulation failed: " << report.status.describe() << "\n";
       return 1;
     }
     Table t({"workload", "scheme", "ranks", "total_s", "comm_s", "alltoall_s",
@@ -198,7 +188,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (!op) {
+  if (!sweep_all && !op) {
     std::cerr << "bad --op\n";
     return usage(argv[0]);
   }
@@ -207,35 +197,94 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
-  Table t({"size", "latency_us", "energy_per_op_J", "mean_kW"});
-  std::vector<std::pair<Bytes, std::vector<obs::PhaseEnergy>>> breakdowns;
-  std::string last_trace;
   // 0 (zero-byte regression point) steps to 1, then ×4 like OSU.
+  std::vector<Bytes> sizes;
   for (Bytes size = min_size; size <= max_size;
        size = size == 0 ? Bytes{1} : size * 4) {
+    sizes.push_back(size);
+  }
+
+  auto make_spec = [&](coll::Op o, coll::PowerScheme s, Bytes size) {
     CollectiveBenchSpec spec;
-    spec.op = *op;
+    spec.op = o;
     spec.message = size;
-    spec.scheme = *scheme;
+    spec.scheme = s;
     spec.iterations = iters;
     spec.warmup = warmup;
-    const auto report = measure_collective(cfg, spec);
-    if (!report.completed) {
-      std::cerr << "simulation did not complete (deadlock?)\n";
+    return spec;
+  };
+
+  SweepSpec sweep;
+  if (sweep_all) {
+    // Capability matrix: every op × scheme the registry supports, per size.
+    for (const coll::Op o : coll::kAllOps) {
+      for (const coll::PowerScheme s : coll::kAllSchemes) {
+        if (!coll::supported(o, s)) continue;
+        for (const Bytes size : sizes) {
+          sweep.add(cfg, make_spec(o, s, size));
+          if (o == coll::Op::kBarrier) break;  // size is meaningless
+        }
+      }
+    }
+  } else {
+    for (const Bytes size : sizes) {
+      sweep.add(cfg, make_spec(*op, *scheme, size));
+      if (*op == coll::Op::kBarrier) break;  // size is meaningless
+    }
+  }
+
+  CampaignOptions opts;
+  opts.jobs = jobs;
+  const auto results = Campaign(sweep, opts).run();
+
+  Table t(sweep_all
+              ? std::vector<std::string>{"op", "scheme", "size", "latency_us",
+                                         "energy_per_op_J", "mean_kW"}
+              : std::vector<std::string>{"size", "latency_us",
+                                         "energy_per_op_J", "mean_kW"});
+  std::vector<std::pair<Bytes, std::vector<obs::PhaseEnergy>>> breakdowns;
+  std::string last_trace;
+  for (const CellResult& r : results) {
+    const SweepCell& cell = sweep.cells[r.index];
+    if (!r.status.ok()) {
+      std::cerr << "cell " << coll::to_string(cell.bench.op) << "/"
+                << coll::to_string(cell.bench.scheme) << "/"
+                << format_bytes(cell.bench.message)
+                << " failed: " << r.status.describe() << "\n";
       return 1;
     }
-    t.add_row({format_bytes(size), Table::num(report.latency.us(), 2),
-               Table::num(report.energy_per_op, 3),
-               Table::num(report.mean_power / 1000.0, 3)});
-    if (energy_breakdown) breakdowns.emplace_back(size, report.energy_phases);
-    if (trace_file) last_trace = report.trace_json;
-    if (*op == coll::Op::kBarrier) break;  // size is meaningless
+    std::vector<std::string> row;
+    if (sweep_all) {
+      row.push_back(coll::to_string(cell.bench.op));
+      row.push_back(coll::to_string(cell.bench.scheme));
+    }
+    row.push_back(format_bytes(cell.bench.message));
+    row.push_back(Table::num(r.report.latency.us(), 2));
+    row.push_back(Table::num(r.report.energy_per_op, 3));
+    row.push_back(Table::num(r.report.mean_power / 1000.0, 3));
+    t.add_row(row);
+    if (energy_breakdown) {
+      breakdowns.emplace_back(cell.bench.message, r.report.energy_phases);
+    }
+    if (trace_file) last_trace = r.report.trace_json;
+  }
+  if (json_file) {
+    std::ofstream out(*json_file);
+    if (!out) {
+      std::cerr << "cannot write " << *json_file << "\n";
+      return 1;
+    }
+    write_campaign_json(out, sweep, results);
+    std::cerr << "# campaign artifact written to " << *json_file << "\n";
   }
   if (csv) {
     t.print_csv(std::cout);
   } else {
-    std::cout << "# pacc " << coll::to_string(*op) << ", "
-              << coll::to_string(*scheme) << ", " << cfg.ranks << " ranks ("
+    std::cout << "# pacc "
+              << (sweep_all ? std::string("capability sweep")
+                            : coll::to_string(*op) + ", " +
+                                  coll::to_string(*scheme))
+              << ", " << cfg.ranks << " ranks ("
               << cfg.ranks_per_node << "/node), "
               << hw::to_string(cfg.affinity) << ", " << to_string(cfg.progress)
               << (cfg.governor.enabled ? ", governor" : "") << "\n";
