@@ -120,9 +120,11 @@ sim::Task<> allreduce(mpi::Rank& self, mpi::Comm& comm,
   ProfileScope prof(self, "allreduce", static_cast<Bytes>(send.size()));
   const bool two_level = comm.nodes().size() >= 2 && comm.uniform_ppn() &&
                          comm.ranks_per_node() >= 2;
-  co_await enter_low_power(self, options.scheme);
+  AllreduceOptions opts = options;
+  opts.scheme = co_await negotiate_scheme(self, comm, options.scheme);
+  co_await enter_low_power(self, opts.scheme);
   if (two_level) {
-    co_await allreduce_smp(self, comm, send, recv, options);
+    co_await allreduce_smp(self, comm, send, recv, opts);
   } else {
     const int P = comm.size();
     const bool rabenseifner_fits =
@@ -136,7 +138,7 @@ sim::Task<> allreduce(mpi::Rank& self, mpi::Comm& comm,
                                             options.op);
     }
   }
-  co_await exit_low_power(self, options.scheme);
+  co_await exit_low_power(self, opts.scheme);
 }
 
 }  // namespace pacc::coll

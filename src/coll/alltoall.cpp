@@ -123,7 +123,9 @@ sim::Task<> alltoall(mpi::Rank& self, mpi::Comm& comm,
                      Bytes block, const AlltoallOptions& options) {
   ProfileScope prof(self, "alltoall", static_cast<Bytes>(send.size()));
   const bool small = block <= options.bruck_threshold;
-  switch (options.scheme) {
+  const PowerScheme scheme =
+      co_await negotiate_scheme(self, comm, options.scheme);
+  switch (scheme) {
     case PowerScheme::kNone:
       if (small) {
         co_await alltoall_bruck(self, comm, send, recv, block);

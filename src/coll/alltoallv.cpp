@@ -113,19 +113,21 @@ sim::Task<> alltoallv(mpi::Rank& self, mpi::Comm& comm,
                       std::span<const Bytes> recv_counts,
                       const AlltoallvOptions& options) {
   ProfileScope prof(self, "alltoallv", static_cast<Bytes>(send.size()));
-  switch (options.scheme) {
+  const PowerScheme scheme =
+      co_await negotiate_scheme(self, comm, options.scheme);
+  switch (scheme) {
     case PowerScheme::kNone:
       co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
                                   recv_counts);
       co_return;
     case PowerScheme::kFreqScaling:
-      co_await enter_low_power(self, options.scheme);
+      co_await enter_low_power(self, scheme);
       co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
                                   recv_counts);
-      co_await exit_low_power(self, options.scheme);
+      co_await exit_low_power(self, scheme);
       co_return;
     case PowerScheme::kProposed:
-      co_await enter_low_power(self, options.scheme);
+      co_await enter_low_power(self, scheme);
       if (power_aware_alltoall_applicable(comm)) {
         co_await alltoallv_power_aware(self, comm, send, send_counts, recv,
                                        recv_counts);
@@ -133,7 +135,7 @@ sim::Task<> alltoallv(mpi::Rank& self, mpi::Comm& comm,
         co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
                                     recv_counts);
       }
-      co_await exit_low_power(self, options.scheme);
+      co_await exit_low_power(self, scheme);
       co_return;
   }
 }

@@ -27,9 +27,11 @@ sim::Task<> barrier_dissemination(mpi::Rank& self, mpi::Comm& comm) {
 sim::Task<> barrier(mpi::Rank& self, mpi::Comm& comm,
                     const BarrierOptions& options) {
   ProfileScope prof(self, "barrier", 0);
-  co_await enter_low_power(self, options.scheme);
+  const PowerScheme scheme =
+      co_await negotiate_scheme(self, comm, options.scheme);
+  co_await enter_low_power(self, scheme);
   co_await barrier_dissemination(self, comm);
-  co_await exit_low_power(self, options.scheme);
+  co_await exit_low_power(self, scheme);
 }
 
 }  // namespace pacc::coll

@@ -198,9 +198,11 @@ sim::Task<> bcast(mpi::Rank& self, mpi::Comm& comm, std::span<std::byte> buf,
                   int root, const BcastOptions& options) {
   ProfileScope prof(self, "bcast", static_cast<Bytes>(buf.size()));
   const bool two_level = comm.nodes().size() >= 2;
-  co_await enter_low_power(self, options.scheme);
+  BcastOptions opts = options;
+  opts.scheme = co_await negotiate_scheme(self, comm, options.scheme);
+  co_await enter_low_power(self, opts.scheme);
   if (two_level) {
-    co_await bcast_smp(self, comm, buf, root, options);
+    co_await bcast_smp(self, comm, buf, root, opts);
   } else if (static_cast<Bytes>(buf.size()) >=
              options.scatter_allgather_threshold &&
              comm.size() >= 2) {
@@ -208,7 +210,7 @@ sim::Task<> bcast(mpi::Rank& self, mpi::Comm& comm, std::span<std::byte> buf,
   } else {
     co_await bcast_binomial(self, comm, buf, root);
   }
-  co_await exit_low_power(self, options.scheme);
+  co_await exit_low_power(self, opts.scheme);
 }
 
 }  // namespace pacc::coll

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "hw/power.hpp"
 #include "util/expect.hpp"
 
@@ -66,6 +67,38 @@ int floor_log2(int x) {
   int l = 0;
   while ((1 << (l + 1)) <= x) ++l;
   return l;
+}
+
+sim::Task<PowerScheme> negotiate_scheme(mpi::Rank& self, mpi::Comm& comm,
+                                        PowerScheme requested) {
+  if (requested == PowerScheme::kNone) co_return requested;
+  fault::FaultInjector* inj = self.runtime().fault_injector();
+  if (inj == nullptr) co_return requested;
+  const int me = comm.comm_rank_of(self.id());
+  if (!inj->scheme_entry_doomed(comm.context_id(), comm.next_call_seq(me)))
+    co_return requested;
+  // Doomed: the entry transition fails. Every member pays the (wasted)
+  // O_dvfs wall-clock here by hand rather than through the machine's
+  // transition path — the machine hook draws from per-core counter streams,
+  // and consuming a draw on this shared verdict would shift every later
+  // per-core outcome depending on comm membership.
+  const TimePoint begin = self.engine().now();
+  co_await self.engine().delay(self.machine().params().dvfs_overhead);
+  if (auto* tr = self.engine().tracer(); tr != nullptr && tr->enabled()) {
+    const auto track = tr->core_track(self.core());
+    tr->complete_span(
+        track, "dvfs", "power", begin,
+        {{"mhz", static_cast<std::int64_t>(
+             self.machine().params().fmin.hz() / 1e6)},
+         {"failed", std::int64_t{1}},
+         {"stretched", std::int64_t{0}}});
+    tr->instant(track, "scheme_fallback", "fault",
+                {{"requested", static_cast<std::int64_t>(requested)},
+                 {"comm", std::int64_t{comm.context_id()}},
+                 {"call", std::int64_t{comm.next_call_seq(me)}}});
+  }
+  if (me == 0) ++inj->stats().scheme_fallbacks;
+  co_return PowerScheme::kNone;
 }
 
 sim::Task<> enter_low_power(mpi::Rank& self, PowerScheme scheme) {

@@ -12,6 +12,18 @@
 
 namespace pacc::coll {
 
+/// Fault-aware scheme gate: the scheme this call should actually run with.
+/// Returns `requested` on a healthy run. When the run's fault injector
+/// dooms this call's power transition, the caller pays the failed O_dvfs,
+/// the fallback is reported (stats + trace instant), and PowerScheme::kNone
+/// comes back — the collective then runs the paper's default algorithm at
+/// full power instead of silently computing in a wrong power state. Every
+/// member of `comm` reaches the same verdict: the doom draw is keyed on
+/// (context id, call sequence), state all members share, so the fallback
+/// algorithm stays symmetric and matched calls cannot deadlock.
+sim::Task<PowerScheme> negotiate_scheme(mpi::Rank& self, mpi::Comm& comm,
+                                        PowerScheme requested);
+
 /// Drops the calling rank's core to fmin (O_dvfs charged) when the scheme
 /// performs per-call DVFS; no-op for PowerScheme::kNone.
 sim::Task<> enter_low_power(mpi::Rank& self, PowerScheme scheme);

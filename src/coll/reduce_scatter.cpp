@@ -75,7 +75,9 @@ sim::Task<> reduce_scatter(mpi::Rank& self, mpi::Comm& comm,
                            const ReduceScatterOptions& options) {
   check(comm, send, recv, block);
   ProfileScope prof(self, "reduce_scatter", static_cast<Bytes>(send.size()));
-  co_await enter_low_power(self, options.scheme);
+  const PowerScheme scheme =
+      co_await negotiate_scheme(self, comm, options.scheme);
+  co_await enter_low_power(self, scheme);
   if (is_pow2(comm.size())) {
     co_await reduce_scatter_halving(self, comm, send, recv, block,
                                     options.op);
@@ -90,7 +92,7 @@ sim::Task<> reduce_scatter(mpi::Rank& self, mpi::Comm& comm,
                 : std::span<const std::byte>{},
         recv, block, 0);
   }
-  co_await exit_low_power(self, options.scheme);
+  co_await exit_low_power(self, scheme);
 }
 
 }  // namespace pacc::coll

@@ -61,10 +61,12 @@ sim::Task<> scatter_topo_aware(mpi::Rank& self, mpi::Comm& comm,
                                std::span<const std::byte> send,
                                std::span<std::byte> recv, Bytes block,
                                int root, const TopoAwareOptions& options) {
+  const PowerScheme scheme =
+      co_await negotiate_scheme(self, comm, options.scheme);
   if (!topo_aware_applicable(comm)) {
-    co_await enter_low_power(self, options.scheme);
+    co_await enter_low_power(self, scheme);
     co_await scatter_binomial(self, comm, send, recv, block, root);
-    co_await exit_low_power(self, options.scheme);
+    co_await exit_low_power(self, scheme);
     co_return;
   }
 
@@ -75,7 +77,7 @@ sim::Task<> scatter_topo_aware(mpi::Rank& self, mpi::Comm& comm,
   const auto blk = static_cast<std::size_t>(block);
   PACC_EXPECTS(recv.size() == blk);
   const int tag = comm.begin_collective(me);
-  const bool power = options.scheme == PowerScheme::kProposed;
+  const bool power = scheme == PowerScheme::kProposed;
   const Roles roles{comm, root};
 
   const int my_rack = comm.rack_of(me);
@@ -83,7 +85,7 @@ sim::Task<> scatter_topo_aware(mpi::Rank& self, mpi::Comm& comm,
   const bool i_am_rack_src = roles.rack_src(my_rack) == me;
   const bool i_am_node_src = roles.node_src(my_node) == me;
 
-  co_await enter_low_power(self, options.scheme);
+  co_await enter_low_power(self, scheme);
 
   // §VIII: only the per-rack sources stay at T0 during the inter-rack
   // phase; everyone else parks at T7 until its data arrives.
@@ -162,17 +164,19 @@ sim::Task<> scatter_topo_aware(mpi::Rank& self, mpi::Comm& comm,
     if (power) co_await maybe_unthrottle(self);
   }
 
-  co_await exit_low_power(self, options.scheme);
+  co_await exit_low_power(self, scheme);
 }
 
 sim::Task<> gather_topo_aware(mpi::Rank& self, mpi::Comm& comm,
                               std::span<const std::byte> send,
                               std::span<std::byte> recv, Bytes block,
                               int root, const TopoAwareOptions& options) {
+  const PowerScheme scheme =
+      co_await negotiate_scheme(self, comm, options.scheme);
   if (!topo_aware_applicable(comm)) {
-    co_await enter_low_power(self, options.scheme);
+    co_await enter_low_power(self, scheme);
     co_await gather_binomial(self, comm, send, recv, block, root);
-    co_await exit_low_power(self, options.scheme);
+    co_await exit_low_power(self, scheme);
     co_return;
   }
 
@@ -189,7 +193,7 @@ sim::Task<> gather_topo_aware(mpi::Rank& self, mpi::Comm& comm,
   const bool i_am_rack_dst = roles.rack_src(my_rack) == me;
   const bool i_am_node_dst = roles.node_src(my_node) == me;
 
-  co_await enter_low_power(self, options.scheme);
+  co_await enter_low_power(self, scheme);
 
   // Phase A (intra-node): locals push their block to the node sink.
   std::vector<std::byte> node_range;
@@ -262,7 +266,7 @@ sim::Task<> gather_topo_aware(mpi::Rank& self, mpi::Comm& comm,
     co_await self.send(comm.global_rank(root), tag, rack_range);
   }
 
-  co_await exit_low_power(self, options.scheme);
+  co_await exit_low_power(self, scheme);
 }
 
 }  // namespace pacc::coll

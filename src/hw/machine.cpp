@@ -10,6 +10,7 @@ Machine::Machine(sim::Engine& engine, MachineParams params)
   PACC_EXPECTS(params_.fmin.hz() > 0.0 &&
                params_.fmin.hz() <= params_.fmax.hz());
 
+  node_slowdown_.assign(static_cast<std::size_t>(params_.shape.nodes), 1.0);
   cores_.resize(static_cast<std::size_t>(params_.shape.total_cores()));
   static_power_ =
       params_.power.node_base * params_.shape.nodes +
@@ -100,30 +101,67 @@ void Machine::set_socket_throttle(int node, int socket, int tstate) {
   }
 }
 
-sim::Task<> Machine::dvfs_transition(CoreId core, Frequency target) {
+sim::Task<bool> Machine::dvfs_transition(CoreId core, Frequency target) {
   const TimePoint begin = engine_.now();
-  set_frequency(core, target);
-  co_await engine_.delay(params_.dvfs_overhead);
+  TransitionOutcome outcome;
+  if (fault_hook_) outcome = fault_hook_(core, TransitionKind::kDvfs);
+  // The old P-state's power is charged across the window; the frequency
+  // changes only once the PLL has relocked (and only if it relocked at all).
+  co_await engine_.delay(params_.dvfs_overhead * outcome.latency_scale);
+  if (outcome.apply) set_frequency(core, target);
   if (auto* tr = engine_.tracer()) {
-    tr->complete_span(
-        tr->core_track(core), "dvfs", "power", begin,
-        {{"mhz", static_cast<std::int64_t>(target.hz() / 1e6)}});
+    if (outcome.apply && outcome.latency_scale == 1.0) {
+      tr->complete_span(
+          tr->core_track(core), "dvfs", "power", begin,
+          {{"mhz", static_cast<std::int64_t>(target.hz() / 1e6)}});
+    } else {
+      tr->complete_span(
+          tr->core_track(core), "dvfs", "power", begin,
+          {{"mhz", static_cast<std::int64_t>(target.hz() / 1e6)},
+           {"failed", outcome.apply ? 0 : 1},
+           {"stretched", outcome.latency_scale == 1.0 ? 0 : 1}});
+    }
   }
+  co_return outcome.apply;
 }
 
-sim::Task<> Machine::throttle_transition(CoreId issuer, int tstate) {
+sim::Task<bool> Machine::throttle_transition(CoreId issuer, int tstate) {
   const TimePoint begin = engine_.now();
-  if (params_.core_level_throttling) {
-    set_core_throttle(issuer, tstate);
-  } else {
-    set_socket_throttle(issuer.node, issuer.socket, tstate);
+  TransitionOutcome outcome;
+  if (fault_hook_) outcome = fault_hook_(issuer, TransitionKind::kThrottle);
+  co_await engine_.delay(params_.throttle_overhead * outcome.latency_scale);
+  if (outcome.apply) {
+    if (params_.core_level_throttling) {
+      set_core_throttle(issuer, tstate);
+    } else {
+      set_socket_throttle(issuer.node, issuer.socket, tstate);
+    }
   }
-  co_await engine_.delay(params_.throttle_overhead);
   if (auto* tr = engine_.tracer()) {
-    tr->complete_span(tr->core_track(issuer), "throttle", "power", begin,
-                      {{"tstate", tstate},
-                       {"socket_wide", params_.core_level_throttling ? 0 : 1}});
+    if (outcome.apply && outcome.latency_scale == 1.0) {
+      tr->complete_span(tr->core_track(issuer), "throttle", "power", begin,
+                        {{"tstate", tstate},
+                         {"socket_wide",
+                          params_.core_level_throttling ? 0 : 1}});
+    } else {
+      tr->complete_span(tr->core_track(issuer), "throttle", "power", begin,
+                        {{"tstate", tstate},
+                         {"failed", outcome.apply ? 0 : 1},
+                         {"stretched", outcome.latency_scale == 1.0 ? 0 : 1}});
+    }
   }
+  co_return outcome.apply;
+}
+
+void Machine::set_node_slowdown(int node, double factor) {
+  PACC_EXPECTS(node >= 0 && node < params_.shape.nodes);
+  PACC_EXPECTS(factor >= 1.0);
+  node_slowdown_[static_cast<std::size_t>(node)] = factor;
+}
+
+double Machine::node_slowdown(int node) const {
+  PACC_EXPECTS(node >= 0 && node < params_.shape.nodes);
+  return node_slowdown_[static_cast<std::size_t>(node)];
 }
 
 Frequency Machine::frequency(const CoreId& core) const {
@@ -137,7 +175,8 @@ Activity Machine::activity(const CoreId& core) const {
 }
 
 double Machine::cpu_slowdown(const CoreId& core) const {
-  return freq_slowdown(core) * throttle_slowdown(core);
+  return freq_slowdown(core) * throttle_slowdown(core) *
+         node_slowdown_[static_cast<std::size_t>(core.node)];
 }
 
 double Machine::freq_slowdown(const CoreId& core) const {

@@ -8,6 +8,7 @@
 // latencies to the issuing core.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "hw/power.hpp"
@@ -30,6 +31,23 @@ struct MachineParams {
   /// the Nehalem's socket-granular throttling.
   bool core_level_throttling = false;
 };
+
+/// Which architectural transition a fault hook is consulted about.
+enum class TransitionKind { kDvfs, kThrottle };
+
+/// Verdict of a transition fault hook. `apply == false` models a rejected
+/// request (PLL / PCU error): the P/T state is left unchanged but the
+/// architectural latency is still paid. `latency_scale` stretches that
+/// latency (relock taking longer than nominal).
+struct TransitionOutcome {
+  bool apply = true;
+  double latency_scale = 1.0;
+};
+
+/// Consulted before every dvfs/throttle transition when installed; null
+/// (the default) means every transition succeeds at nominal cost.
+using TransitionFaultHook =
+    std::function<TransitionOutcome(const CoreId&, TransitionKind)>;
 
 /// Lifetime statistics for one core.
 struct CoreStats {
@@ -56,14 +74,33 @@ class Machine {
   void set_socket_throttle(int node, int socket, int tstate);
 
   // --- transitions that charge the architectural overhead to the caller ---
+  //
+  // The new P/T state takes effect at the END of the latency window (the
+  // PLL relocks only then), so the old state's power is charged during the
+  // transition — the energy integral reflects the in-transition interval.
+  // Both return whether the state was applied: an installed fault hook may
+  // reject the request or stretch its latency.
 
   /// Changes the core's P-state, stalling the caller for O_dvfs.
-  sim::Task<> dvfs_transition(CoreId core, Frequency target);
+  sim::Task<bool> dvfs_transition(CoreId core, Frequency target);
 
   /// Throttles at the architecture's granularity: the issuing core's whole
   /// socket on Nehalem-style machines, just the core when
   /// core_level_throttling is enabled. Stalls the caller for O_throttle.
-  sim::Task<> throttle_transition(CoreId issuer, int tstate);
+  sim::Task<bool> throttle_transition(CoreId issuer, int tstate);
+
+  /// Installs (or clears, with null) the fault hook consulted before every
+  /// transition.
+  void set_transition_fault_hook(TransitionFaultHook hook) {
+    fault_hook_ = std::move(hook);
+  }
+
+  // --- straggler model ---
+
+  /// Multiplies cpu_slowdown for every core of `node` (compute and message
+  /// start-up costs stretch; the P/T state and its power are untouched).
+  void set_node_slowdown(int node, double factor);
+  double node_slowdown(int node) const;
 
   // --- queries ---
   Frequency frequency(const CoreId& core) const;
@@ -118,6 +155,8 @@ class Machine {
 
   sim::Engine& engine_;
   MachineParams params_;
+  TransitionFaultHook fault_hook_;
+  std::vector<double> node_slowdown_;  ///< straggler factor per node
   std::vector<CoreState> cores_;
   Watts static_power_ = 0.0;  ///< node base + uncore, never varies
   Watts system_power_ = 0.0;

@@ -82,6 +82,13 @@ class Comm {
   /// All members make matched calls, so matched calls get equal tags.
   int begin_collective(int comm_rank);
 
+  /// Sequence number the member's NEXT begin_collective will use. Matched
+  /// calls see the same value on every member — the fault layer keys its
+  /// collective-consistent degradation draw on (context_id, this).
+  int next_call_seq(int comm_rank) const {
+    return call_count_[static_cast<std::size_t>(comm_rank)];
+  }
+
  private:
   Runtime& rt_;
   int context_id_;

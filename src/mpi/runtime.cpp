@@ -1,8 +1,10 @@
 #include "mpi/runtime.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "util/expect.hpp"
 
@@ -63,6 +65,36 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
 
   Message msg{id_, tag, to_payload(data)};
   const Bytes bytes = static_cast<Bytes>(data.size());
+
+  // Message faults force the reliable path for everything that crosses HCA
+  // links (inter-node traffic and the blocking-mode loopback); the
+  // shared-memory channel cannot drop and keeps the fast path.
+  fault::FaultInjector* inj = rt.fault_injector();
+  if (inj != nullptr && inj->message_faults() && (!intra || loopback)) {
+    if (bytes <= np.eager_threshold) {
+      // Eager: the sender resumes now; the detached reliability task (the
+      // HCA's reliability engine — the CPU start-up was already charged
+      // above) owns the message until it lands or is abandoned.
+      rt.spawn_detached(rt.transmit_reliably(id_, dst, std::move(msg),
+                                             loopback, wire_mult, nullptr));
+      co_return;
+    }
+    // Rendezvous: the sender is held until delivery (or abandonment), with
+    // the usual blocking-mode idle/interrupt behaviour.
+    auto done = std::make_shared<sim::Latch>(rt.engine());
+    rt.spawn_detached(rt.transmit_reliably(id_, dst, std::move(msg), loopback,
+                                           wire_mult, done));
+    if (rt.params().mode == ProgressMode::kBlocking) {
+      machine().set_activity(core_, hw::Activity::kIdle);
+      co_await done->wait();
+      machine().set_activity(core_, hw::Activity::kBusy);
+      co_await engine().delay(np.interrupt_latency + np.reschedule_latency);
+    } else {
+      co_await done->wait();
+    }
+    co_return;
+  }
+
   if (bytes <= np.eager_threshold) {
     // Eager: the sender resumes immediately; the flow's completion hook
     // delivers the payload. Small messages dominate many collectives, so
@@ -74,7 +106,7 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
     rt.network().start_flow(
         node(), dst_node, bytes, loopback, wire_mult,
         [rtp, dst, m = std::move(msg)]() mutable {
-          rtp->rank(dst).mailbox().deliver(std::move(m));
+          rtp->deliver_to(dst, std::move(m));
           rtp->engine().release_active();
         });
     co_return;
@@ -93,7 +125,7 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
     co_await rt.network().transfer(node(), dst_node, bytes, loopback,
                                    wire_mult);
   }
-  rt.rank(dst).mailbox().deliver(std::move(msg));
+  rt.deliver_to(dst, std::move(msg));
 }
 
 sim::Task<Message> Rank::await_message(int src, int tag) {
@@ -220,7 +252,7 @@ sim::Task<> Rank::shm_publish(int tag, std::span<const std::byte> data,
   for (const int reader : readers) {
     PACC_EXPECTS_MSG(rt_.placement().node_of(reader) == node(),
                      "shm readers must share the writer's node");
-    rt_.rank(reader).mailbox().deliver(Message{id_, tag, to_payload(data)});
+    rt_.deliver_to(reader, Message{id_, tag, to_payload(data)});
   }
 }
 
@@ -313,6 +345,77 @@ Comm& Runtime::intern_comm(const std::vector<int>& global_ranks) {
   Comm& created = create_comm(global_ranks);
   interned_comms_.emplace(std::move(key), &created);
   return created;
+}
+
+void Runtime::deliver_to(int dst, Message msg) {
+  ++deliveries_;
+  rank(dst).mailbox().deliver(std::move(msg));
+}
+
+void Runtime::report_unreachable(int src, int dst, int attempts) {
+  if (!unreachable_) {
+    unreachable_ = true;
+    unreachable_detail_ = "rank " + std::to_string(dst) +
+                          " unreachable from rank " + std::to_string(src) +
+                          " after " + std::to_string(attempts) + " attempts";
+  }
+  if (auto* tr = engine_.tracer()) {
+    tr->instant(tr->core_track(placement_.core_of(src)), "unreachable",
+                "fault", {{"src", src}, {"dst", dst}});
+  }
+  engine_.request_stop();
+}
+
+sim::Task<> Runtime::transmit_reliably(int src, int dst, Message msg,
+                                       bool loopback, double wire_mult,
+                                       std::shared_ptr<sim::Latch> done) {
+  fault::FaultInjector& inj = *injector_;
+  const fault::FaultSpec& spec = inj.spec();
+  const int src_node = placement_.node_of(src);
+  const int dst_node = placement_.node_of(dst);
+  const Bytes bytes = static_cast<Bytes>(msg.size());
+  auto* tracer = engine_.tracer();
+  int track_tid = -1;
+
+  for (int attempt = 0;; ++attempt) {
+    const auto draw = inj.next_message_draw(src, dst);
+    // A dropped message still occupies the wire for its full transfer time
+    // — the HCA only learns of the loss by ack timeout. A transfer across
+    // a link that is (or goes) down fails outright.
+    const bool wire_ok = co_await network_.transfer(src_node, dst_node, bytes,
+                                                    loopback, wire_mult);
+    if (wire_ok && !draw.drop) {
+      if (draw.extra_delay.ns() > 0) {
+        co_await engine_.delay(draw.extra_delay);
+      }
+      deliver_to(dst, std::move(msg));
+      if (done != nullptr) done->fire();
+      co_return;
+    }
+    if (attempt >= spec.retry_budget) {
+      ++inj.stats().messages_abandoned;
+      report_unreachable(src, dst, attempt + 1);
+      // Release a rendezvousing sender anyway: the run is stopping, and a
+      // sender stuck on the latch would read as an extra failure.
+      if (done != nullptr) done->fire();
+      co_return;
+    }
+    // IB-RC-style recovery: wait out the ack timeout with exponential
+    // backoff, then retransmit. Each reliable transmission gets its own
+    // trace track — concurrent retries would otherwise interleave spans on
+    // one track and break the per-track stack discipline.
+    ++inj.stats().retransmits;
+    const TimePoint backoff_begin = engine_.now();
+    co_await engine_.delay(spec.ack_timeout *
+                           std::pow(spec.backoff_factor, attempt));
+    if (tracer != nullptr) {
+      if (track_tid < 0) track_tid = inj.next_transmission_track();
+      tracer->complete_span(
+          obs::TrackId{fault::FaultInjector::kRetryTrackPid, track_tid},
+          "retransmit", "fault", backoff_begin,
+          {{"src", src}, {"dst", dst}, {"attempt", attempt + 1}});
+    }
+  }
 }
 
 void Runtime::launch(std::function<sim::Task<>(Rank&)> body) {

@@ -31,6 +31,10 @@
 #include "sim/sync.hpp"
 #include "util/expect.hpp"
 
+namespace pacc::fault {
+class FaultInjector;
+}  // namespace pacc::fault
+
 namespace pacc::mpi {
 
 enum class ProgressMode { kPolling, kBlocking };
@@ -224,6 +228,25 @@ class Runtime {
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
 
+  // --- fault injection / recovery ---
+
+  /// Attaches the run's fault injector (owned by the caller; may be null).
+  /// With message faults enabled, every inter-node or loopback send takes
+  /// the reliable path: IB-RC-style retransmit with per-message ack
+  /// timeout, exponential backoff and a bounded retry budget.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() { return injector_; }
+
+  /// Whether some message exhausted its retry budget; the run was stopped.
+  bool unreachable() const { return unreachable_; }
+  const std::string& unreachable_detail() const { return unreachable_detail_; }
+
+  /// Messages handed to a mailbox so far — one term of the quiescence
+  /// watchdog's progress probe.
+  std::uint64_t deliveries() const { return deliveries_; }
+
   /// Starts recording every point-to-point message (off by default: a full
   /// Alltoall sweep generates hundreds of thousands of entries).
   void enable_message_trace() { trace_enabled_ = true; }
@@ -234,11 +257,27 @@ class Runtime {
   }
 
  private:
+  /// Detached reliability engine for one message: transmit, retransmit on
+  /// loss with exponential backoff, deliver (after any injected delivery
+  /// delay), fire `done` if the sender rendezvouses. Declares the
+  /// destination unreachable — and stops the engine — when the retry
+  /// budget runs out.
+  sim::Task<> transmit_reliably(int src, int dst, Message msg, bool loopback,
+                                double wire_mult,
+                                std::shared_ptr<sim::Latch> done);
+
+  void deliver_to(int dst, Message msg);
+  void report_unreachable(int src, int dst, int attempts);
+
   sim::Engine& engine_;
   hw::Machine& machine_;
   net::FlowNetwork& network_;
   hw::RankPlacement placement_;
   RuntimeParams params_;
+  fault::FaultInjector* injector_ = nullptr;
+  bool unreachable_ = false;
+  std::string unreachable_detail_;
+  std::uint64_t deliveries_ = 0;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::vector<std::unique_ptr<Comm>> comms_;
   std::unordered_map<std::string, Comm*> interned_comms_;

@@ -35,6 +35,7 @@ FlowNetwork::FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
     link_bandwidth_[static_cast<std::size_t>(rack_uplink(r))] = bw;
     link_bandwidth_[static_cast<std::size_t>(rack_downlink(r))] = bw;
   }
+  link_efficiency_.assign(link_count, 1.0);
   link_head_.assign(link_count, kNullFlow);
   link_nflows_.assign(link_count, 0);
   residual_.assign(link_count, 0.0);
@@ -112,13 +113,16 @@ void FlowNetwork::unlink_flow(std::uint32_t slot) {
 
 // ------------------------------------------------------------ API ----
 
-sim::Task<> FlowNetwork::transfer(int src_node, int dst_node, Bytes bytes,
-                                  bool force_loopback,
-                                  double wire_multiplier) {
-  if (bytes == 0) co_return;
+sim::Task<bool> FlowNetwork::transfer(int src_node, int dst_node, Bytes bytes,
+                                      bool force_loopback,
+                                      double wire_multiplier) {
+  // A down link refuses new work before any bandwidth is allocated — even
+  // a zero-byte header cannot cross it.
+  if (!path_up(src_node, dst_node, force_loopback)) co_return false;
+  if (bytes == 0) co_return true;
   const FlowHandle h = start_flow_impl(src_node, dst_node, bytes,
                                        force_loopback, wire_multiplier, {});
-  co_await FlowAwaiter{*this, h};
+  co_return co_await FlowAwaiter{*this, h};
 }
 
 FlowNetwork::FlowHandle FlowNetwork::start_flow(int src_node, int dst_node,
@@ -145,6 +149,9 @@ FlowNetwork::FlowHandle FlowNetwork::start_flow_impl(
   PACC_EXPECTS(dst_node >= 0 && dst_node < shape_.nodes);
   PACC_EXPECTS(bytes > 0);
   PACC_EXPECTS(wire_multiplier >= 1.0);
+  // Down links never host flows: transfer() refuses them up front, and the
+  // water-filling below relies on every participating link having capacity.
+  PACC_ASSERT(path_up(src_node, dst_node, force_loopback));
 
   const std::uint32_t slot = alloc_flow();
   Flow& flow = flows_[slot];
@@ -156,6 +163,7 @@ FlowNetwork::FlowHandle FlowNetwork::start_flow_impl(
   flow.last_update = engine_.now();
   flow.completion = 0;
   flow.waiter = {};
+  flow.failed_flag = nullptr;
   flow.on_delivered = std::move(on_delivered);
   flow.active = true;
 
@@ -240,7 +248,7 @@ void FlowNetwork::recompute_component(const std::int32_t* seeds, int nseeds) {
             ? 1.0 / (1.0 + params_.contention_penalty * (n - 1))
             : 1.0;
     wf_active_[l] = n;
-    residual_[l] = link_bandwidth_[l] * eff;
+    residual_[l] = link_bandwidth_[l] * link_efficiency_[l] * eff;
   }
 
   // Max–min fairness by progressive filling: repeatedly find the tightest
@@ -344,6 +352,7 @@ void FlowNetwork::on_complete(std::uint32_t slot, std::uint32_t gen) {
   unlink_flow(slot);
   flow.active = false;
   flow.waiter = {};
+  flow.failed_flag = nullptr;
   flow.completion = 0;
   ++flow.gen;
   free_flows_.push_back(slot);
@@ -356,6 +365,101 @@ void FlowNetwork::on_complete(std::uint32_t slot, std::uint32_t gen) {
   }
   if (on_delivered) {
     engine_.schedule(Duration::zero(), std::move(on_delivered));
+  }
+}
+
+// ------------------------------------------------- link state (faults) ----
+
+bool FlowNetwork::path_up(int src_node, int dst_node,
+                          bool force_loopback) const {
+  if (src_node == dst_node && !force_loopback) {
+    return true;  // the shared-memory channel never faults
+  }
+  auto up = [this](int link) {
+    return link_efficiency_[static_cast<std::size_t>(link)] > 0.0;
+  };
+  if (!up(uplink(src_node)) || !up(downlink(dst_node))) return false;
+  if (rack_layer_enabled()) {
+    const int src_rack = shape_.rack_of(src_node);
+    const int dst_rack = shape_.rack_of(dst_node);
+    if (src_rack != dst_rack &&
+        (!up(rack_uplink(src_rack)) || !up(rack_downlink(dst_rack)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FlowNetwork::set_hca_efficiency(int node, double efficiency) {
+  PACC_EXPECTS(node >= 0 && node < shape_.nodes);
+  set_unit_efficiency(uplink(node), downlink(node), efficiency);
+}
+
+void FlowNetwork::set_rack_efficiency(int rack, double efficiency) {
+  PACC_EXPECTS(rack >= 0 && rack < shape_.racks());
+  set_unit_efficiency(rack_uplink(rack), rack_downlink(rack), efficiency);
+}
+
+double FlowNetwork::hca_efficiency(int node) const {
+  PACC_EXPECTS(node >= 0 && node < shape_.nodes);
+  return link_efficiency_[static_cast<std::size_t>(uplink(node))];
+}
+
+double FlowNetwork::rack_efficiency(int rack) const {
+  PACC_EXPECTS(rack >= 0 && rack < shape_.racks());
+  return link_efficiency_[static_cast<std::size_t>(rack_uplink(rack))];
+}
+
+void FlowNetwork::set_unit_efficiency(std::int32_t l1, std::int32_t l2,
+                                      double efficiency) {
+  PACC_EXPECTS(efficiency >= 0.0 && efficiency <= 1.0);
+  link_efficiency_[static_cast<std::size_t>(l1)] = efficiency;
+  link_efficiency_[static_cast<std::size_t>(l2)] = efficiency;
+  // Recompute seeds: the unit's own links plus every link of every
+  // preempted flow — a departing flow frees bandwidth in components the
+  // downed unit itself is not part of. Cold path; allocation is fine.
+  std::vector<std::int32_t> seeds = {l1, l2};
+  if (efficiency <= 0.0) {
+    preempt_link_flows(l1, seeds);
+    preempt_link_flows(l2, seeds);
+  }
+  recompute_component(seeds.data(), static_cast<int>(seeds.size()));
+}
+
+void FlowNetwork::preempt_link_flows(std::int32_t link,
+                                     std::vector<std::int32_t>& seeds) {
+  const auto l = static_cast<std::size_t>(link);
+  std::vector<std::uint32_t> victims;
+  for (std::uint32_t f = link_head_[l]; f != kNullFlow;) {
+    victims.push_back(f);
+    f = flows_[f].next[link_index_of(flows_[f], link)];
+  }
+  for (const std::uint32_t slot : victims) {
+    Flow& flow = flows_[slot];
+    if (!flow.active) continue;  // shared both directions: already killed
+    // Only the reliability layer (transfer + awaiter) may own flows on a
+    // fault-capable fabric; a fire-and-forget flow has no way to learn its
+    // payload was lost.
+    PACC_ASSERT(!flow.on_delivered);
+    for (int k = 0; k < flow.nlinks; ++k) seeds.push_back(flow.links[k]);
+    if (flow.completion != 0) {
+      engine_.cancel(flow.completion);
+      flow.completion = 0;
+    }
+    const std::coroutine_handle<> waiter = flow.waiter;
+    bool* failed = flow.failed_flag;
+    unlink_flow(slot);
+    flow.active = false;
+    flow.waiter = {};
+    flow.failed_flag = nullptr;
+    ++flow.gen;
+    free_flows_.push_back(slot);
+    --active_count_;
+    ++preempted_;
+    if (failed != nullptr) *failed = true;
+    if (waiter) {
+      engine_.schedule(Duration::zero(), [waiter] { waiter.resume(); });
+    }
   }
 }
 

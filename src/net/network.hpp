@@ -121,10 +121,13 @@ class FlowNetwork {
   /// With `force_loopback`, an intra-node transfer is routed out and back
   /// through the HCA instead of shared memory — the paper's blocking-mode
   /// fallback (§II-B). `wire_multiplier` inflates the transfer's wire
-  /// occupancy (see NetworkParams::wire_multiplier).
-  sim::Task<> transfer(int src_node, int dst_node, Bytes bytes,
-                       bool force_loopback = false,
-                       double wire_multiplier = 1.0);
+  /// occupancy (see NetworkParams::wire_multiplier). Returns whether the
+  /// payload landed: false when the path crosses a downed link, either at
+  /// start or mid-flight (the flow is preempted). On a healthy fabric the
+  /// result is always true.
+  sim::Task<bool> transfer(int src_node, int dst_node, Bytes bytes,
+                           bool force_loopback = false,
+                           double wire_multiplier = 1.0);
 
   /// Fire-and-forget variant for hot paths (e.g. eager sends): starts the
   /// flow immediately — no coroutine frame — and runs `on_delivered` from
@@ -139,6 +142,29 @@ class FlowNetwork {
     return h.slot < flows_.size() && flows_[h.slot].gen == h.gen &&
            flows_[h.slot].active;
   }
+
+  // --- link state (fault layer) ---
+  //
+  // Efficiency of a node's HCA (both directions together) or of a rack's
+  // aggregation link: 1 = healthy, in (0,1) = degraded bandwidth, 0 = down.
+  // Taking a unit down preempts every flow crossing it — their transfer()
+  // awaiters resume with false — and new flows across a down link are
+  // refused by transfer() before any bandwidth is allocated. Only the
+  // reliability layer may own flows on a fault-capable fabric:
+  // fire-and-forget flows (start_flow) must not cross flapping links.
+
+  void set_hca_efficiency(int node, double efficiency);
+  void set_rack_efficiency(int rack, double efficiency);
+  double hca_efficiency(int node) const;
+  double rack_efficiency(int rack) const;
+
+  /// Whether every link of the path src→dst currently has bandwidth. The
+  /// shared-memory channel never faults, so intra-node paths (unless forced
+  /// through the HCA loopback) are always up.
+  bool path_up(int src_node, int dst_node, bool force_loopback = false) const;
+
+  /// Flows killed mid-flight by a link going down.
+  std::uint64_t flows_preempted() const { return preempted_; }
 
   /// Number of flows currently in flight (for tests / instrumentation).
   std::size_t active_flows() const { return active_count_; }
@@ -180,6 +206,7 @@ class FlowNetwork {
     Bytes payload = 0;       ///< un-multiplied bytes, credited on delivery
     sim::EventId completion = 0;
     std::coroutine_handle<> waiter;
+    bool* failed_flag = nullptr;  ///< awaiter-owned; set on preemption
     sim::Callback on_delivered;
     std::uint32_t gen = 1;
     std::uint8_t nlinks = 0;
@@ -189,14 +216,20 @@ class FlowNetwork {
     std::uint32_t next[kMaxLinks] = {};
   };
 
+  /// The failure verdict lives in the awaiter (the caller's coroutine
+  /// frame), not the flow: by the time the waiter resumes, the flow slot
+  /// has already been recycled.
   struct FlowAwaiter {
     FlowNetwork& net;
     FlowHandle h;
+    bool failed = false;
     bool await_ready() const noexcept { return !net.flow_active(h); }
     void await_suspend(std::coroutine_handle<> handle) {
-      net.flows_[h.slot].waiter = handle;
+      Flow& flow = net.flows_[h.slot];
+      flow.waiter = handle;
+      flow.failed_flag = &failed;
     }
-    void await_resume() const noexcept {}
+    bool await_resume() const noexcept { return !failed; }
   };
 
   int uplink(int node) const { return node; }
@@ -213,6 +246,11 @@ class FlowNetwork {
   FlowHandle start_flow_impl(int src_node, int dst_node, Bytes bytes,
                              bool force_loopback, double wire_multiplier,
                              sim::Callback on_delivered);
+
+  void set_unit_efficiency(std::int32_t l1, std::int32_t l2,
+                           double efficiency);
+  void preempt_link_flows(std::int32_t link,
+                          std::vector<std::int32_t>& seeds);
 
   std::uint32_t alloc_flow();
   void link_flow(std::uint32_t slot);
@@ -231,6 +269,7 @@ class FlowNetwork {
 
   // Per-link state, indexed by link id.
   std::vector<double> link_bandwidth_;
+  std::vector<double> link_efficiency_;     ///< fault layer; 1 = healthy
   std::vector<std::uint32_t> link_head_;    ///< intrusive list head (slot)
   std::vector<std::uint32_t> link_nflows_;  ///< active flows crossing link
 
@@ -254,6 +293,7 @@ class FlowNetwork {
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t recomputes_ = 0;
   std::uint64_t reschedules_ = 0;
+  std::uint64_t preempted_ = 0;
 };
 
 }  // namespace pacc::net

@@ -175,6 +175,12 @@ std::vector<CellResult> Campaign::run() {
       if (options_.cell_timeout) {
         cluster.max_sim_time = *options_.cell_timeout;
       }
+      if (cluster.faults.active()) {
+        // Seed from the CELL INDEX, never the worker: which thread runs a
+        // cell depends on --jobs and steal timing, and the artifacts must
+        // be identical for any --jobs value.
+        cluster.faults.seed = fault::derive_cell_seed(cluster.faults.seed, i);
+      }
       try {
         result.report = measure_collective(cluster, cell.bench);
         result.status = result.report.status;
@@ -221,7 +227,11 @@ void write_campaign_json(std::ostream& out, const SweepSpec& spec,
     std::string label, message;
     json_escape(label, r.label);
     json_escape(message, r.status.message);
-    char buf[512];
+    // Fault-stat fields are emitted unconditionally (zeros on a fault-free
+    // cell) so the schema — and a zero-rate run's artifact bytes — never
+    // depend on whether fault injection was compiled in or armed.
+    const fault::FaultStats& f = r.report.faults;
+    char buf[768];
     std::snprintf(
         buf, sizeof buf,
         "    {\"index\": %zu, \"label\": \"%s\", \"op\": \"%s\", "
@@ -229,14 +239,29 @@ void write_campaign_json(std::ostream& out, const SweepSpec& spec,
         "\"message\": %lld, \"iterations\": %d, \"warmup\": %d, "
         "\"status\": \"%s\", \"status_message\": \"%s\", "
         "\"latency_us\": %.3f, \"energy_per_op_j\": %.6f, "
-        "\"mean_power_w\": %.3f}%s\n",
+        "\"mean_power_w\": %.3f, "
+        "\"fault_drops\": %llu, \"fault_delays\": %llu, "
+        "\"fault_retransmits\": %llu, \"fault_abandoned\": %llu, "
+        "\"fault_link_flaps\": %llu, \"fault_flows_preempted\": %llu, "
+        "\"fault_transition_failures\": %llu, "
+        "\"fault_transition_stretches\": %llu, "
+        "\"fault_scheme_fallbacks\": %llu}%s\n",
         i, label.c_str(), coll::to_string(cell.bench.op).c_str(),
         coll::to_string(cell.bench.scheme).c_str(), cell.cluster.ranks,
         cell.cluster.ranks_per_node, cell.cluster.nodes,
         static_cast<long long>(cell.bench.message), cell.bench.iterations,
         cell.bench.warmup, to_string(r.status.outcome).c_str(),
         message.c_str(), r.report.latency.us(), r.report.energy_per_op,
-        r.report.mean_power, i + 1 < results.size() ? "," : "");
+        r.report.mean_power, static_cast<unsigned long long>(f.drops),
+        static_cast<unsigned long long>(f.delays),
+        static_cast<unsigned long long>(f.retransmits),
+        static_cast<unsigned long long>(f.messages_abandoned),
+        static_cast<unsigned long long>(f.link_flaps),
+        static_cast<unsigned long long>(f.flows_preempted),
+        static_cast<unsigned long long>(f.transition_failures),
+        static_cast<unsigned long long>(f.transition_stretches),
+        static_cast<unsigned long long>(f.scheme_fallbacks),
+        i + 1 < results.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";

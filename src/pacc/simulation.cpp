@@ -50,6 +50,23 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
                               "rank " + std::to_string(r));
     }
   }
+
+  if (config.faults.active()) {
+    // After the tracer: arm() names the fabric-outage tracks when a
+    // recorder is attached. An inactive spec creates nothing at all, so
+    // the fault-free hot path stays exactly as before.
+    injector_ = std::make_unique<fault::FaultInjector>(config.faults, *engine_,
+                                                       *machine_, *network_);
+    injector_->arm();
+    runtime_->set_fault_injector(injector_.get());
+    // The probe must move only on real progress: injector timer events
+    // (link flaps) keep firing during a true deadlock.
+    watchdog_ = std::make_unique<sim::Watchdog>(
+        *engine_, sim::Watchdog::Params{}, [this] {
+          return injector_->attempt_count() + runtime_->deliveries() +
+                 network_->bytes_delivered();
+        });
+  }
 }
 
 Simulation::~Simulation() {
@@ -63,6 +80,7 @@ Simulation::~Simulation() {
 RunReport Simulation::run(
     const std::function<sim::Task<>(mpi::Rank&)>& body) {
   meter_->start();
+  if (watchdog_ != nullptr) watchdog_->start();
   const TimePoint start = engine_->now();
   runtime_->launch(body);
   // run_active: the meter's self-rescheduling sampling would keep a plain
@@ -70,20 +88,42 @@ RunReport Simulation::run(
   const sim::RunResult result =
       engine_->run_active_until(start + config_.max_sim_time);
   meter_->stop();
+  // Cancel the fault machinery's self-rescheduling events (flap timers,
+  // watchdog samples) BEFORE reading pending_events(): a pending flap
+  // would make a drained deadlock look like a timeout.
+  if (watchdog_ != nullptr) watchdog_->stop();
+  if (injector_ != nullptr) injector_->stop();
 
   RunReport report;
-  if (!result.all_tasks_finished) {
-    // The meter's pending sample is cancelled by stop(), so any event left
-    // in the queue belongs to a rank (or the machine acting on its behalf)
-    // that was still making progress when the deadline cut the run short.
-    // An empty queue means nothing can ever resume the stuck tasks.
-    const bool cut_short = engine_->pending_events() > 0;
-    report.status.outcome =
-        cut_short ? RunOutcome::kTimeout : RunOutcome::kDeadlock;
-    report.status.message =
-        std::to_string(result.stuck_tasks) + " task(s) stuck" +
-        (cut_short ? " at max_sim_time" : ", event queue drained");
+  if (runtime_->unreachable()) {
+    report.status.outcome = RunOutcome::kUnreachable;
+    report.status.message = runtime_->unreachable_detail();
+  } else if (!result.all_tasks_finished) {
+    if (watchdog_ != nullptr && watchdog_->fired()) {
+      report.status.outcome = RunOutcome::kDeadlock;
+      report.status.message =
+          std::to_string(result.stuck_tasks) +
+          " task(s) stuck, no progress for " +
+          std::to_string(watchdog_->stall_window().ns() / 1000000) +
+          " ms (quiescence watchdog)";
+    } else {
+      // The meter's pending sample is cancelled by stop(), so any event
+      // left in the queue belongs to a rank (or the machine acting on its
+      // behalf) that was still making progress when the deadline cut the
+      // run short. An empty queue means nothing can ever resume the stuck
+      // tasks.
+      const bool cut_short = engine_->pending_events() > 0;
+      report.status.outcome =
+          cut_short ? RunOutcome::kTimeout : RunOutcome::kDeadlock;
+      report.status.message =
+          std::to_string(result.stuck_tasks) + " task(s) stuck" +
+          (cut_short ? " at max_sim_time" : ", event queue drained");
+    }
+  } else if (injector_ != nullptr && injector_->stats().disturbed()) {
+    report.status.outcome = RunOutcome::kFaulted;
+    report.status.message = injector_->stats().summary();
   }
+  if (injector_ != nullptr) report.faults = injector_->stats();
   report.elapsed = result.end_time - start;
   report.energy = machine_->total_energy();
   report.power = meter_->series();
@@ -258,6 +298,7 @@ CollectiveReport measure_collective(const ClusterConfig& config,
 
   CollectiveReport report;
   report.status = run.status;
+  report.faults = run.faults;
   const Duration window_time = window->t1 - window->t0;
   report.latency = window_time / static_cast<double>(spec.iterations);
   report.energy_per_op =

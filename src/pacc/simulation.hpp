@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "coll/registry.hpp"
+#include "fault/fault.hpp"
 #include "hw/machine.hpp"
 #include "hw/meter.hpp"
 #include "mpi/runtime.hpp"
@@ -30,6 +31,7 @@
 #include "pacc/presets.hpp"
 #include "pacc/status.hpp"
 #include "sim/engine.hpp"
+#include "sim/watchdog.hpp"
 #include "util/stats.hpp"
 
 namespace pacc {
@@ -63,6 +65,11 @@ struct ClusterConfig {
   mpi::GovernorParams governor;
   /// Tracing / metering options (see ObsOptions above).
   ObsOptions obs;
+  /// Fault injection (drops, flaps, stragglers, transition failures) plus
+  /// the recovery knobs — all-zero rates (the default) disable the whole
+  /// subsystem and leave the run byte-identical to a fault-free build.
+  /// See docs/FAULTS.md.
+  fault::FaultSpec faults;
   /// Safety bound on simulated time: a deadlocked program is reported as
   /// incomplete instead of letting the meter tick forever.
   Duration max_sim_time = Duration::seconds(3600.0);
@@ -84,6 +91,8 @@ struct RunReport {
   /// Exact per-phase energy buckets (only with ObsOptions::trace); the
   /// joules sum to `energy` exactly — see docs/OBSERVABILITY.md.
   std::vector<obs::PhaseEnergy> energy_phases;
+  /// Injected-fault / recovery counters (all zero on a fault-free run).
+  fault::FaultStats faults;
 
   [[deprecated("use status.ok() / status.outcome")]] bool completed() const {
     return status.ok();
@@ -105,6 +114,8 @@ struct CollectiveReport {
   /// Chrome-trace JSON of the run (only with ObsOptions::trace);
   /// serialised before the Simulation is torn down.
   std::string trace_json;
+  /// Injected-fault / recovery counters (all zero on a fault-free run).
+  fault::FaultStats faults;
 
   [[deprecated("use status.ok() / status.outcome")]] bool completed() const {
     return status.ok();
@@ -137,6 +148,8 @@ class Simulation {
   hw::SamplingMeter& meter() { return *meter_; }
   /// Null unless ObsOptions::trace was set.
   obs::TraceRecorder* tracer() { return tracer_.get(); }
+  /// Null unless ClusterConfig::faults is active.
+  fault::FaultInjector* injector() { return injector_.get(); }
 
   /// Spawns `body` on every rank, runs to completion with the power meter
   /// sampling, and reports elapsed time / energy / power.
@@ -150,6 +163,8 @@ class Simulation {
   std::unique_ptr<mpi::Runtime> runtime_;
   std::unique_ptr<hw::SamplingMeter> meter_;
   std::unique_ptr<obs::TraceRecorder> tracer_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<sim::Watchdog> watchdog_;
 };
 
 /// Builds a cluster, runs `spec.warmup + spec.iterations` matched calls of

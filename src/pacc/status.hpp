@@ -14,11 +14,16 @@ namespace pacc {
 
 /// How a simulated run ended.
 enum class RunOutcome {
-  kOk,        ///< every rank ran to completion
-  kDeadlock,  ///< no pending event can ever resume the stuck ranks
-  kTimeout,   ///< the simulated clock hit the max_sim_time safety bound
-              ///< (or a Campaign cell_timeout) while ranks were still live
-  kError,     ///< validation failure or an exception escaped the run
+  kOk,           ///< every rank ran to completion
+  kDeadlock,     ///< no pending event can ever resume the stuck ranks
+                 ///< (or the quiescence watchdog saw zero progress)
+  kTimeout,      ///< the simulated clock hit the max_sim_time safety bound
+                 ///< (or a Campaign cell_timeout) while ranks were still live
+  kError,        ///< validation failure or an exception escaped the run
+  kFaulted,      ///< completed correctly, but fault injection disturbed the
+                 ///< run (retransmits, flaps, transition failures, …)
+  kUnreachable,  ///< a message exhausted its retry budget; the destination
+                 ///< was declared unreachable and the run stopped
 };
 
 inline std::string to_string(RunOutcome outcome) {
@@ -31,6 +36,10 @@ inline std::string to_string(RunOutcome outcome) {
       return "timeout";
     case RunOutcome::kError:
       return "error";
+    case RunOutcome::kFaulted:
+      return "faulted";
+    case RunOutcome::kUnreachable:
+      return "unreachable";
   }
   return "?";
 }
@@ -43,6 +52,13 @@ struct RunStatus {
 
   bool ok() const { return outcome == RunOutcome::kOk; }
   explicit operator bool() const { return ok(); }
+
+  /// The run produced correct results — clean, or disturbed-but-recovered.
+  /// Faulted runs validated their buffers; their numbers are real (if
+  /// slower/hotter than a healthy run), so sweeps keep the cell.
+  bool usable() const {
+    return outcome == RunOutcome::kOk || outcome == RunOutcome::kFaulted;
+  }
 
   static RunStatus error(std::string msg) {
     return {RunOutcome::kError, std::move(msg)};

@@ -124,8 +124,9 @@ RunResult Engine::run_active_until(TimePoint deadline) {
 }
 
 RunResult Engine::drain(TimePoint deadline, bool stop_when_idle) {
+  stop_requested_ = false;
   while (!heap_.empty() && heap_[0].when_ns <= deadline.ns() &&
-         !(stop_when_idle && active_tasks_ == 0)) {
+         !(stop_when_idle && active_tasks_ == 0) && !stop_requested_) {
     const HeapEntry top = heap_[0];
     heap_pop_top();
     Node& node = nodes_[top.slot];
@@ -143,6 +144,7 @@ RunResult Engine::drain(TimePoint deadline, bool stop_when_idle) {
   }
   RunResult result;
   result.end_time = now_;
+  result.stopped = stop_requested_;
   result.stuck_tasks = static_cast<std::size_t>(active_tasks_);
   result.all_tasks_finished = result.stuck_tasks == 0;
   return result;

@@ -33,6 +33,7 @@ using EventId = std::uint64_t;
 /// Result of draining the event queue.
 struct RunResult {
   bool all_tasks_finished = false;  ///< false indicates deadlock / starvation
+  bool stopped = false;             ///< ended early via request_stop()
   std::size_t stuck_tasks = 0;      ///< spawned tasks still pending
   TimePoint end_time;               ///< simulated clock when the queue drained
 };
@@ -78,6 +79,14 @@ class Engine {
 
   /// Spawned tasks that have not yet finished.
   std::uint64_t active_tasks() const { return active_tasks_; }
+
+  /// Cooperative abort: the current drain loop stops before dispatching the
+  /// next event. For machinery that must end a run from deep inside an
+  /// event callback or coroutine — exceptions cannot cross the event core
+  /// (Task terminates on unhandled ones). The flag clears when the next
+  /// run*() starts; the queue and task registry are left intact.
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
 
   /// Destroys every spawned task frame, including ones still suspended
   /// after a cut-short run. Owners of objects the frames reference (ranks,
@@ -185,6 +194,7 @@ class Engine {
   std::uint64_t active_tasks_ = 0;
   std::uint64_t retired_tasks_ = 0;  ///< finished since last reclamation
   std::uint64_t cancelled_backlog_ = 0;
+  bool stop_requested_ = false;
 };
 
 }  // namespace pacc::sim

@@ -1,0 +1,46 @@
+#include "sim/watchdog.hpp"
+
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace pacc::sim {
+
+Watchdog::Watchdog(Engine& engine, Params params, ProgressProbe probe)
+    : engine_(engine), params_(params), probe_(std::move(probe)) {
+  PACC_EXPECTS(params_.interval.ns() > 0 && params_.stall_ticks >= 1);
+  PACC_EXPECTS(probe_ != nullptr);
+}
+
+void Watchdog::start() {
+  last_mark_ = probe_();
+  strikes_ = 0;
+  fired_ = false;
+  pending_ = engine_.schedule(params_.interval, [this] { tick(); });
+}
+
+void Watchdog::stop() {
+  if (pending_ != 0) {
+    engine_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void Watchdog::tick() {
+  pending_ = 0;
+  const std::uint64_t mark = probe_();
+  if (mark != last_mark_) {
+    last_mark_ = mark;
+    strikes_ = 0;
+  } else if (++strikes_ >= params_.stall_ticks) {
+    // Nothing retried, nothing landed for the whole stall window — every
+    // rank is waiting on a message that no pending event can produce. Stop
+    // now instead of simulating to the max_sim_time bound.
+    fired_ = true;
+    engine_.request_stop();
+    return;
+  }
+  pending_ = engine_.schedule(params_.interval, [this] { tick(); });
+}
+
+}  // namespace pacc::sim

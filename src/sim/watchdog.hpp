@@ -1,0 +1,67 @@
+// Quiescence watchdog: distinguishes true deadlock from fault-induced stall.
+//
+// Under fault injection a run can look stuck while it is actually retrying:
+// a dropped message's retransmit timer is a pending event, so the engine's
+// "queue drained" deadlock signal never fires, and without help a genuinely
+// deadlocked faulted run would burn simulated time all the way to the
+// max_sim_time safety bound (the injector's own flap timers keep the queue
+// non-empty forever). The watchdog samples an externally supplied progress
+// counter — transmission attempts + deliveries + bytes on the wire — at a
+// fixed interval; only when the counter has not moved for a whole stall
+// window does it declare deadlock and stop the engine.
+//
+// The interval must comfortably exceed the longest legitimate quiet gap
+// (the retransmit layer's maximum backoff), and the probe must NOT count
+// injector timer events: link flaps fire during a true deadlock too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace pacc::sim {
+
+class Watchdog {
+ public:
+  struct Params {
+    Duration interval = Duration::millis(50.0);
+    int stall_ticks = 4;  ///< consecutive still intervals before firing
+  };
+
+  /// Monotone counter that moves whenever the run makes real progress.
+  using ProgressProbe = std::function<std::uint64_t()>;
+
+  Watchdog(Engine& engine, Params params, ProgressProbe probe);
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Begins sampling; the first check fires one interval from now.
+  void start();
+
+  /// Cancels the pending sample. Call before classifying a run's outcome —
+  /// a live watchdog event would read as pending forward progress.
+  void stop();
+
+  /// Whether the watchdog declared deadlock (and stopped the engine).
+  bool fired() const { return fired_; }
+
+  /// Quiet time needed to fire: interval × stall_ticks.
+  Duration stall_window() const {
+    return Duration::nanos(params_.interval.ns() * params_.stall_ticks);
+  }
+
+ private:
+  void tick();
+
+  Engine& engine_;
+  Params params_;
+  ProgressProbe probe_;
+  EventId pending_ = 0;
+  std::uint64_t last_mark_ = 0;
+  int strikes_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace pacc::sim

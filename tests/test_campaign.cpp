@@ -63,6 +63,35 @@ TEST(Campaign, ResultsAreByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(artifact(sweep, a), artifact(sweep, b));
 }
 
+TEST(Campaign, FaultedResultsAreByteIdenticalAcrossJobCounts) {
+  // The stressed variant of the contract: fault draws must key off the
+  // cell's index (derive_cell_seed), never the worker thread that happened
+  // to pick the cell up, or --jobs would reshuffle every outcome.
+  SweepSpec sweep = small_sweep();
+  for (SweepCell& cell : sweep.cells) {
+    cell.cluster.faults =
+        *fault::FaultSpec::parse("seed=13,drop=0.01,flap=40,tfail=0.25");
+  }
+  Campaign serial(sweep, {.jobs = 1});
+  Campaign pooled(sweep, {.jobs = 4});
+  const auto a = serial.run();
+  const auto b = pooled.run();
+  ASSERT_EQ(a.size(), sweep.size());
+  bool any_disturbed = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].status.usable() ||
+                a[i].status.outcome == RunOutcome::kUnreachable)
+        << a[i].label << ": " << a[i].status.describe();
+    EXPECT_EQ(a[i].status.outcome, b[i].status.outcome) << a[i].label;
+    EXPECT_EQ(a[i].report.latency.ns(), b[i].report.latency.ns()) << i;
+    EXPECT_EQ(a[i].report.faults.retransmits, b[i].report.faults.retransmits)
+        << i;
+    any_disturbed |= a[i].report.faults.disturbed();
+  }
+  EXPECT_TRUE(any_disturbed);  // the spec actually bit somewhere
+  EXPECT_EQ(artifact(sweep, a), artifact(sweep, b));
+}
+
 TEST(Campaign, DeadlockedCellIsIsolatedAsTimeout) {
   SweepSpec sweep;
   CollectiveBenchSpec ok_spec;

@@ -98,6 +98,56 @@ TEST_F(MachineTest, DvfsTransitionChargesOverhead) {
   EXPECT_EQ(machine_.frequency(CoreId{0, 0, 0}), machine_.params().fmin);
 }
 
+TEST_F(MachineTest, TransitionChargesOldPowerDuringOverheadWindow) {
+  // Regression: the P-state used to flip at request time, charging the NEW
+  // state's power across the O_dvfs window. The PLL is still relocking
+  // during that window, so the OLD state's power must be integrated until
+  // the transition completes.
+  const Watts p_fmax = machine_.system_power();
+  Joules mid_energy = 0.0;
+  auto task = [](Machine& m, sim::Engine& e, Joules& mid) -> sim::Task<> {
+    co_await m.dvfs_transition(CoreId{0, 0, 0}, m.params().fmin);
+    mid = m.total_energy();
+    co_await e.delay(m.params().dvfs_overhead);  // equal window after
+  }(machine_, engine_, mid_energy);
+  engine_.spawn(std::move(task));
+  engine_.run();
+  const double w = machine_.params().dvfs_overhead.sec();
+  EXPECT_NEAR(mid_energy, p_fmax * w, 1e-9);
+  const Watts p_after = machine_.system_power();
+  EXPECT_LT(p_after, p_fmax);
+  EXPECT_NEAR(machine_.total_energy() - mid_energy, p_after * w, 1e-9);
+}
+
+TEST_F(MachineTest, TransitionFaultHookRejectsAndStretches) {
+  machine_.set_transition_fault_hook([](const CoreId&, TransitionKind) {
+    return TransitionOutcome{.apply = false, .latency_scale = 3.0};
+  });
+  bool applied = true;
+  Duration paid;
+  auto task = [](Machine& m, sim::Engine& e, bool& ok,
+                 Duration& cost) -> sim::Task<> {
+    const TimePoint t0 = e.now();
+    ok = co_await m.dvfs_transition(CoreId{0, 0, 0}, m.params().fmin);
+    cost = e.now() - t0;
+  }(machine_, engine_, applied, paid);
+  engine_.spawn(std::move(task));
+  engine_.run();
+  EXPECT_FALSE(applied);
+  // Rejected AND stretched: the frequency is unchanged but the (tripled)
+  // overhead was still paid.
+  EXPECT_EQ(machine_.frequency(CoreId{0, 0, 0}), machine_.params().fmax);
+  EXPECT_EQ(paid.ns(), machine_.params().dvfs_overhead.ns() * 3);
+}
+
+TEST_F(MachineTest, NodeSlowdownMultipliesCpuSlowdown) {
+  machine_.set_node_slowdown(1, 2.5);
+  EXPECT_DOUBLE_EQ(machine_.cpu_slowdown(CoreId{0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(machine_.cpu_slowdown(CoreId{1, 0, 0}), 2.5);
+  machine_.set_core_throttle(CoreId{1, 0, 0}, 4);  // c4 = 0.5 → ×2
+  EXPECT_DOUBLE_EQ(machine_.cpu_slowdown(CoreId{1, 0, 0}), 5.0);
+}
+
 TEST_F(MachineTest, ThrottleTransitionGranularityFollowsParams) {
   auto task = [](Machine& m) -> sim::Task<> {
     co_await m.throttle_transition(CoreId{0, 0, 0}, 7);

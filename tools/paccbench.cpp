@@ -54,6 +54,12 @@ int usage(const char* argv0) {
       << "  --governor [US]    enable the black-box DVFS governor\n"
       << "  --core-throttle    core-granular T-states (default socket)\n"
       << "  --racks N          nodes per rack (default: no rack layer)\n"
+      << "  --faults SPEC      inject faults; SPEC is comma-separated\n"
+      << "                     key=value pairs, e.g.\n"
+      << "                     seed=7,drop=0.01,flap=200,tfail=0.2\n"
+      << "                     (see docs/FAULTS.md for every key). Adds a\n"
+      << "                     status column; faulted/unreachable cells are\n"
+      << "                     expected outcomes, not failures\n"
       << "  --csv              emit CSV instead of an aligned table\n"
       << "  --profile          print a per-operation profile (workload mode)\n"
       << "  --node-power       print per-node mean power (workload mode)\n"
@@ -103,6 +109,16 @@ int main(int argc, char** argv) {
     const auto us = args.double_or("governor", 50.0);
     if (us > 0) cfg.governor.wait_threshold = Duration::micros(us);
   }
+  if (const auto faults_arg = args.get("faults")) {
+    std::string error;
+    const auto parsed = fault::FaultSpec::parse(*faults_arg, &error);
+    if (!parsed) {
+      std::cerr << "bad --faults: " << error << "\n";
+      return usage(argv[0]);
+    }
+    cfg.faults = *parsed;
+  }
+  const bool faulty = cfg.faults.active();
 
   const bool csv = args.has("csv");
   const bool profile = args.has("profile");
@@ -140,9 +156,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto report = apps::run_workload(cfg, parsed.spec, *scheme);
-    if (!report.status.ok()) {
+    if (!report.status.usable()) {
       std::cerr << "simulation failed: " << report.status.describe() << "\n";
       return 1;
+    }
+    if (!report.status.ok()) {
+      std::cerr << "# run disturbed by injected faults: "
+                << report.status.describe() << "\n";
     }
     Table t({"workload", "scheme", "ranks", "total_s", "comm_s", "alltoall_s",
              "energy_KJ", "mean_kW"});
@@ -237,21 +257,34 @@ int main(int argc, char** argv) {
   opts.jobs = jobs;
   const auto results = Campaign(sweep, opts).run();
 
-  Table t(sweep_all
-              ? std::vector<std::string>{"op", "scheme", "size", "latency_us",
-                                         "energy_per_op_J", "mean_kW"}
-              : std::vector<std::string>{"size", "latency_us",
-                                         "energy_per_op_J", "mean_kW"});
+  std::vector<std::string> columns;
+  if (sweep_all) {
+    columns.insert(columns.end(), {"op", "scheme"});
+  }
+  columns.insert(columns.end(),
+                 {"size", "latency_us", "energy_per_op_J", "mean_kW"});
+  if (faulty) columns.push_back("status");
+  Table t(columns);
   std::vector<std::pair<Bytes, std::vector<obs::PhaseEnergy>>> breakdowns;
   std::string last_trace;
+  int hard_failures = 0;
   for (const CellResult& r : results) {
     const SweepCell& cell = sweep.cells[r.index];
-    if (!r.status.ok()) {
+    // Under fault injection, disturbed-but-correct (faulted) and
+    // retry-budget-exhausted (unreachable) cells are CLASSIFIED outcomes
+    // the sweep reports and carries on from; only an unclassified ending
+    // (timeout, deadlock, error) fails the harness.
+    const bool classified =
+        r.status.usable() ||
+        (faulty && r.status.outcome == RunOutcome::kUnreachable);
+    if (!classified) {
       std::cerr << "cell " << coll::to_string(cell.bench.op) << "/"
                 << coll::to_string(cell.bench.scheme) << "/"
                 << format_bytes(cell.bench.message)
                 << " failed: " << r.status.describe() << "\n";
-      return 1;
+      if (!faulty) return 1;
+      ++hard_failures;
+      continue;
     }
     std::vector<std::string> row;
     if (sweep_all) {
@@ -259,9 +292,15 @@ int main(int argc, char** argv) {
       row.push_back(coll::to_string(cell.bench.scheme));
     }
     row.push_back(format_bytes(cell.bench.message));
-    row.push_back(Table::num(r.report.latency.us(), 2));
-    row.push_back(Table::num(r.report.energy_per_op, 3));
-    row.push_back(Table::num(r.report.mean_power / 1000.0, 3));
+    if (r.status.usable()) {
+      row.push_back(Table::num(r.report.latency.us(), 2));
+      row.push_back(Table::num(r.report.energy_per_op, 3));
+      row.push_back(Table::num(r.report.mean_power / 1000.0, 3));
+    } else {
+      // Unreachable: the timed window never closed, the numbers are void.
+      row.insert(row.end(), {"-", "-", "-"});
+    }
+    if (faulty) row.push_back(to_string(r.status.outcome));
     t.add_row(row);
     if (energy_breakdown) {
       breakdowns.emplace_back(cell.bench.message, r.report.energy_phases);
@@ -287,7 +326,9 @@ int main(int argc, char** argv) {
               << ", " << cfg.ranks << " ranks ("
               << cfg.ranks_per_node << "/node), "
               << hw::to_string(cfg.affinity) << ", " << to_string(cfg.progress)
-              << (cfg.governor.enabled ? ", governor" : "") << "\n";
+              << (cfg.governor.enabled ? ", governor" : "")
+              << (faulty ? ", faults[" + args.get_or("faults", "") + "]" : "")
+              << "\n";
     t.print(std::cout);
   }
   for (const auto& [size, phases] : breakdowns) {
@@ -316,6 +357,11 @@ int main(int argc, char** argv) {
     out << last_trace;
     std::cerr << "# trace (last sweep point) written to " << *trace_file
               << "\n";
+  }
+  if (hard_failures > 0) {
+    std::cerr << hard_failures
+              << " cell(s) ended without a classified outcome\n";
+    return 1;
   }
   return 0;
 }
