@@ -9,17 +9,24 @@
 //
 // The JSON baseline records events/sec for the event core and
 // recomputes/sec + ns/recompute for the incremental water-filling path at
-// 16/64/256 concurrent flows, plus the 64-rank 1 MiB Alltoall wall time.
+// 16/64/256 concurrent flows, plus the 64-rank 1 MiB Alltoall wall time,
+// the steady-state fast-forward counters (batched completions, no-op
+// recomputes) and the collective plan cache's hit/miss counts.
+// scripts/check_bench_regression.py gates CI on the two wall-clock
+// figures against the committed copy.
 // The committed BENCH_micro.json also carries the pre-optimization seed
 // numbers measured on the same machine (see docs/PERF.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "coll/plan.hpp"
 #include "pacc/simulation.hpp"
 
 namespace {
@@ -54,6 +61,9 @@ struct ChurnStats {
   std::uint64_t events = 0;
   std::uint64_t recomputes = 0;
   std::uint64_t reschedules = 0;
+  std::uint64_t completion_batches = 0;
+  std::uint64_t batched_completions = 0;
+  std::uint64_t noop_recomputes = 0;
 };
 
 /// The contended-fabric scenario at `flows` concurrent flows: every flow
@@ -67,8 +77,52 @@ ChurnStats flow_churn_round(int flows) {
     engine.spawn(one_transfer(net, f % 8, (f + 1) % 8, 64 * 1024));
   }
   engine.run();
-  return ChurnStats{engine.events_dispatched(), net.rate_recomputes(),
-                    net.completion_reschedules()};
+  return ChurnStats{engine.events_dispatched(),      net.rate_recomputes(),
+                    net.completion_reschedules(),    net.completion_batches(),
+                    net.batched_completions(),       net.noop_recomputes()};
+}
+
+/// Steady-state fast-forward effectiveness on one 64-rank 64 KiB alltoall:
+/// how many same-instant completions shared an event and how many
+/// recompute passes were skipped outright. Counts are deterministic. (The
+/// churn fixture above never batches — its flows complete one at a time —
+/// so this reads the counters off a real collective instead.)
+ChurnStats steady_state_round() {
+  ClusterConfig cfg;
+  cfg.synthetic_payloads = true;  // contents unread, as in measure_collective
+  Simulation sim(cfg);
+  mpi::Comm& world = sim.runtime().world();
+  const Bytes msg = 64 * 1024;
+  const auto total = static_cast<std::size_t>(world.size()) *
+                     static_cast<std::size_t>(msg);
+  std::vector<std::byte> send(total), recv(total);
+  const auto report = sim.run([&](mpi::Rank& r) -> sim::Task<> {
+    co_await coll::alltoall(r, world, send, recv, msg, coll::AlltoallOptions{});
+  });
+  benchmark::DoNotOptimize(report.elapsed);
+  const net::FlowNetwork& net = sim.network();
+  return ChurnStats{0,
+                    net.rate_recomputes(),
+                    net.completion_reschedules(),
+                    net.completion_batches(),
+                    net.batched_completions(),
+                    net.noop_recomputes()};
+}
+
+/// Plan-cache behaviour on an iterated measurement: the first iteration
+/// builds each schedule, every later one hits. Counts are deterministic.
+std::pair<std::uint64_t, std::uint64_t> plan_cache_counters() {
+  ClusterConfig cfg;
+  cfg.plan_cache = std::make_shared<coll::PlanCache>();
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 16 * 1024;
+  spec.scheme = coll::PowerScheme::kNone;
+  spec.iterations = 4;
+  spec.warmup = 1;
+  const auto report = measure_collective(cfg, spec);
+  benchmark::DoNotOptimize(report.latency);
+  return {cfg.plan_cache->hits(), cfg.plan_cache->misses()};
 }
 
 double alltoall64_seconds(Bytes message) {
@@ -190,10 +244,18 @@ std::pair<double, int> run_for(double min_seconds, Fn&& round) {
 }
 
 int emit_json(const std::string& path) {
-  // Event core: schedule+dispatch throughput.
-  const auto [disp_secs, disp_rounds] =
-      run_for(0.5, [] { dispatch_round(); });
-  const double events_per_sec = 1024.0 * disp_rounds / disp_secs;
+  // Event core: schedule+dispatch throughput. Best-of-round, not the
+  // average: scheduler preemption on a shared CI box only ever slows a
+  // round down, so the fastest round is the least-noisy estimate.
+  double events_per_sec = 0.0;
+  run_for(0.5, [&events_per_sec] {
+    const double start = now_seconds();
+    dispatch_round();
+    const double secs = now_seconds() - start;
+    if (secs > 0.0) {
+      events_per_sec = std::max(events_per_sec, 1024.0 / secs);
+    }
+  });
 
   // Incremental water-filling at 16/64/256 concurrent flows.
   struct Row {
@@ -223,6 +285,13 @@ int emit_json(const std::string& path) {
   // End-to-end: 64-rank 1 MiB pairwise Alltoall (the Fig 2(a)/7 regime).
   const double alltoall_secs = alltoall64_seconds(1_MiB);
 
+  // Steady-state fast-forward effectiveness (counts, not timings —
+  // deterministic on any machine).
+  const ChurnStats steady = steady_state_round();
+
+  // Plan cache hit/miss on an iterated measurement.
+  const auto [plan_hits, plan_misses] = plan_cache_counters();
+
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -246,6 +315,16 @@ int emit_json(const std::string& path) {
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"alltoall64_1mib\": {\"wall_seconds\": %.3f},\n",
                alltoall_secs);
+  std::fprintf(out,
+               "  \"steady_state\": {\"completion_batches\": %llu, "
+               "\"batched_completions\": %llu, \"noop_recomputes\": %llu},\n",
+               static_cast<unsigned long long>(steady.completion_batches),
+               static_cast<unsigned long long>(steady.batched_completions),
+               static_cast<unsigned long long>(steady.noop_recomputes));
+  std::fprintf(out,
+               "  \"plan_cache\": {\"hits\": %llu, \"misses\": %llu},\n",
+               static_cast<unsigned long long>(plan_hits),
+               static_cast<unsigned long long>(plan_misses));
   // Pre-optimization numbers, measured once from the seed tree (b434d80)
   // with the same fixtures, flags and machine as the live numbers above.
   // The seed recomputed rates exactly twice per flow per churn round (once

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate on simulator micro-benchmark regressions.
+
+Compares a freshly emitted ``bench_micro_sim --emit-json`` report against
+the committed ``BENCH_micro.json`` baseline and fails (exit 1) when either
+wall-clock figure regresses by more than the threshold (default 10%):
+
+  * ``event_dispatch.events_per_sec``   — lower is a regression
+  * ``alltoall64_1mib.wall_seconds``    — higher is a regression
+
+Counter sections (``steady_state``, ``plan_cache``) are reported but never
+gated: they are deterministic counts, and a change there means behaviour
+changed — the byte-identity test suite, not this gate, judges that.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_micro.json --current new.json
+  check_bench_regression.py --baseline BENCH_micro.json --bench build/bench/bench_micro_sim
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    with path.open() as f:
+        return json.load(f)
+
+
+def emit_current(bench: Path) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench_current.json"
+        subprocess.run([str(bench), "--emit-json", str(out)], check=True)
+        return load(out)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_micro.json")
+    parser.add_argument("--current", type=Path,
+                        help="freshly emitted report (alternative: --bench)")
+    parser.add_argument("--bench", type=Path,
+                        help="bench_micro_sim binary to run --emit-json with")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed relative regression (default 0.10)")
+    args = parser.parse_args()
+    if (args.current is None) == (args.bench is None):
+        parser.error("exactly one of --current / --bench is required")
+
+    baseline = load(args.baseline)
+    current = load(args.current) if args.current else emit_current(args.bench)
+
+    failures = []
+
+    def check(name: str, base: float, cur: float, higher_is_better: bool):
+        if base <= 0:
+            print(f"  {name}: baseline {base} unusable, skipped")
+            return
+        ratio = cur / base
+        regressed = (ratio < 1 - args.threshold if higher_is_better
+                     else ratio > 1 + args.threshold)
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"  {name}: baseline {base:g}, current {cur:g} "
+              f"({ratio:.1%} of baseline) -> {verdict}")
+        if regressed:
+            failures.append(name)
+
+    print("bench regression gate "
+          f"(threshold {args.threshold:.0%}):")
+    check("event_dispatch.events_per_sec",
+          baseline["event_dispatch"]["events_per_sec"],
+          current["event_dispatch"]["events_per_sec"],
+          higher_is_better=True)
+    check("alltoall64_1mib.wall_seconds",
+          baseline["alltoall64_1mib"]["wall_seconds"],
+          current["alltoall64_1mib"]["wall_seconds"],
+          higher_is_better=False)
+
+    for section in ("steady_state", "plan_cache"):
+        if section in current:
+            print(f"  {section} (informational): "
+                  f"{json.dumps(current[section], sort_keys=True)}")
+
+    if failures:
+        print(f"FAIL: {', '.join(failures)} regressed more than "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

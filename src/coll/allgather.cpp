@@ -192,17 +192,19 @@ sim::Task<> allgather(mpi::Rank& self, mpi::Comm& comm,
   ProfileScope prof(self, "allgather", static_cast<Bytes>(recv.size()));
   const bool two_level = comm.uniform_ppn() && comm.nodes().size() >= 2 &&
                          comm.ranks_per_node() >= 2;
-  AllgatherOptions opts = options;
-  opts.scheme = co_await negotiate_scheme(self, comm, options.scheme);
-  co_await enter_low_power(self, opts.scheme);
-  if (two_level) {
-    co_await allgather_smp(self, comm, send, recv, block, opts);
-  } else if (is_pow2(comm.size())) {
-    co_await allgather_recursive_doubling(self, comm, send, recv, block);
-  } else {
-    co_await allgather_ring(self, comm, send, recv, block);
-  }
-  co_await exit_low_power(self, opts.scheme);
+  co_await run_with_scheme(
+      self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
+        AllgatherOptions opts = options;
+        opts.scheme = scheme;
+        if (two_level) {
+          co_await allgather_smp(self, comm, send, recv, block, opts);
+        } else if (is_pow2(comm.size())) {
+          co_await allgather_recursive_doubling(self, comm, send, recv,
+                                                block);
+        } else {
+          co_await allgather_ring(self, comm, send, recv, block);
+        }
+      });
 }
 
 }  // namespace pacc::coll

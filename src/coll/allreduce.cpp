@@ -120,25 +120,27 @@ sim::Task<> allreduce(mpi::Rank& self, mpi::Comm& comm,
   ProfileScope prof(self, "allreduce", static_cast<Bytes>(send.size()));
   const bool two_level = comm.nodes().size() >= 2 && comm.uniform_ppn() &&
                          comm.ranks_per_node() >= 2;
-  AllreduceOptions opts = options;
-  opts.scheme = co_await negotiate_scheme(self, comm, options.scheme);
-  co_await enter_low_power(self, opts.scheme);
-  if (two_level) {
-    co_await allreduce_smp(self, comm, send, recv, opts);
-  } else {
-    const int P = comm.size();
-    const bool rabenseifner_fits =
-        is_pow2(P) &&
-        static_cast<Bytes>(send.size()) >= options.rabenseifner_threshold &&
-        send.size() % (static_cast<std::size_t>(P) * sizeof(double)) == 0;
-    if (rabenseifner_fits) {
-      co_await allreduce_rabenseifner(self, comm, send, recv, options.op);
-    } else {
-      co_await allreduce_recursive_doubling(self, comm, send, recv,
-                                            options.op);
-    }
-  }
-  co_await exit_low_power(self, opts.scheme);
+  co_await run_with_scheme(
+      self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
+        AllreduceOptions opts = options;
+        opts.scheme = scheme;
+        if (two_level) {
+          co_await allreduce_smp(self, comm, send, recv, opts);
+          co_return;
+        }
+        const int P = comm.size();
+        const bool rabenseifner_fits =
+            is_pow2(P) &&
+            static_cast<Bytes>(send.size()) >=
+                options.rabenseifner_threshold &&
+            send.size() % (static_cast<std::size_t>(P) * sizeof(double)) == 0;
+        if (rabenseifner_fits) {
+          co_await allreduce_rabenseifner(self, comm, send, recv, options.op);
+        } else {
+          co_await allreduce_recursive_doubling(self, comm, send, recv,
+                                                options.op);
+        }
+      });
 }
 
 }  // namespace pacc::coll

@@ -4,6 +4,7 @@
 
 #include "coll/alltoall_power.hpp"
 #include "coll/copy.hpp"
+#include "coll/plan.hpp"
 #include "coll/power_scheme.hpp"
 #include "util/expect.hpp"
 
@@ -40,30 +41,28 @@ sim::Task<> alltoall_pairwise(mpi::Rank& self, mpi::Comm& comm,
                               std::span<const std::byte> send,
                               std::span<std::byte> recv, Bytes block) {
   check_buffers(comm, send, recv, block);
-  const int P = comm.size();
   const int me = comm.comm_rank_of(self.id());
   PACC_EXPECTS_MSG(me >= 0, "caller is not a member of this communicator");
   const int tag = comm.begin_collective(me);
+  const PlanPtr plan = get_plan(comm, PlanKind::kAlltoallPairwise,
+                                static_cast<Bytes>(send.size()));
 
   // Own block moves locally.
   copy_bytes(block_of(recv, me, block).data(),
              block_of(send, me, block).data(),
              static_cast<std::size_t>(block));
 
-  for (int step = 1; step < P; ++step) {
-    if (is_pow2(P)) {
-      const int partner = me ^ step;
-      co_await self.sendrecv(comm.global_rank(partner), tag,
-                             block_of(send, partner, block),
-                             comm.global_rank(partner), tag,
-                             block_of(recv, partner, block));
+  for (const PairStep& step : plan->pair_steps[static_cast<std::size_t>(me)]) {
+    if (plan->pairwise_sendrecv) {
+      co_await self.sendrecv(comm.global_rank(step.dst), tag,
+                             block_of(send, step.dst, block),
+                             comm.global_rank(step.src), tag,
+                             block_of(recv, step.src, block));
     } else {
-      const int dst = (me + step) % P;
-      const int src = (me - step + P) % P;
-      co_await self.send(comm.global_rank(dst), tag,
-                         block_of(send, dst, block));
-      co_await self.recv(comm.global_rank(src), tag,
-                         block_of(recv, src, block));
+      co_await self.send(comm.global_rank(step.dst), tag,
+                         block_of(send, step.dst, block));
+      co_await self.recv(comm.global_rank(step.src), tag,
+                         block_of(recv, step.src, block));
     }
   }
 }
@@ -77,6 +76,8 @@ sim::Task<> alltoall_bruck(mpi::Rank& self, mpi::Comm& comm,
   PACC_EXPECTS(me >= 0);
   const int tag = comm.begin_collective(me);
   const auto blk = static_cast<std::size_t>(block);
+  const PlanPtr plan = get_plan(comm, PlanKind::kAlltoallBruck,
+                                static_cast<Bytes>(send.size()));
 
   // Step 1 — local rotation: tmp[i] = block destined to rank (me + i) % P.
   std::vector<std::byte> tmp(static_cast<std::size_t>(P) * blk);
@@ -89,11 +90,8 @@ sim::Task<> alltoall_bruck(mpi::Rank& self, mpi::Comm& comm,
   // forward; in round k every block whose index has bit k set moves k hops.
   std::vector<std::byte> packed;
   std::vector<std::byte> incoming;
-  for (int k = 1; k < P; k <<= 1) {
-    std::vector<int> indices;
-    for (int i = 1; i < P; ++i) {
-      if ((i & k) != 0) indices.push_back(i);
-    }
+  int k = 1;
+  for (const auto& indices : plan->bruck_rounds) {
     packed.resize(indices.size() * blk);
     for (std::size_t j = 0; j < indices.size(); ++j) {
       copy_bytes(packed.data() + j * blk,
@@ -109,6 +107,7 @@ sim::Task<> alltoall_bruck(mpi::Rank& self, mpi::Comm& comm,
       copy_bytes(tmp.data() + static_cast<std::size_t>(indices[j]) * blk,
                  incoming.data() + j * blk, blk);
     }
+    k <<= 1;
   }
 
   // Step 3 — inverse rotation: tmp[i] now holds the block from (me - i).
@@ -123,41 +122,19 @@ sim::Task<> alltoall(mpi::Rank& self, mpi::Comm& comm,
                      Bytes block, const AlltoallOptions& options) {
   ProfileScope prof(self, "alltoall", static_cast<Bytes>(send.size()));
   const bool small = block <= options.bruck_threshold;
-  const PowerScheme scheme =
-      co_await negotiate_scheme(self, comm, options.scheme);
-  switch (scheme) {
-    case PowerScheme::kNone:
-      if (small) {
-        co_await alltoall_bruck(self, comm, send, recv, block);
-      } else {
-        co_await alltoall_pairwise(self, comm, send, recv, block);
-      }
-      co_return;
-    case PowerScheme::kFreqScaling:
-      co_await enter_low_power(self, PowerScheme::kFreqScaling);
-      if (small) {
-        co_await alltoall_bruck(self, comm, send, recv, block);
-      } else {
-        co_await alltoall_pairwise(self, comm, send, recv, block);
-      }
-      co_await exit_low_power(self, PowerScheme::kFreqScaling);
-      co_return;
-    case PowerScheme::kProposed:
-      co_await enter_low_power(self, PowerScheme::kProposed);
-      if (small || !power_aware_alltoall_applicable(comm)) {
+  co_await run_with_scheme(
+      self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
         // The paper's re-design targets the large-message pair-wise path;
         // small messages get per-call DVFS over the default algorithm.
-        if (small) {
+        if (scheme == PowerScheme::kProposed && !small &&
+            power_aware_alltoall_applicable(comm)) {
+          co_await alltoall_power_aware(self, comm, send, recv, block);
+        } else if (small) {
           co_await alltoall_bruck(self, comm, send, recv, block);
         } else {
           co_await alltoall_pairwise(self, comm, send, recv, block);
         }
-      } else {
-        co_await alltoall_power_aware(self, comm, send, recv, block);
-      }
-      co_await exit_low_power(self, PowerScheme::kProposed);
-      co_return;
-  }
+      });
 }
 
 }  // namespace pacc::coll

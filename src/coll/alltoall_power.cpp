@@ -1,8 +1,9 @@
 #include "coll/alltoall_power.hpp"
 
-#include <algorithm>
+#include <optional>
 
 #include "coll/copy.hpp"
+#include "coll/plan.hpp"
 #include "coll/power_scheme.hpp"
 #include "hw/power.hpp"
 #include "util/expect.hpp"
@@ -68,143 +69,50 @@ bool power_aware_alltoall_applicable(const mpi::Comm& comm) {
 }
 
 sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
-                                          const ExchangeOps& ops) {
+                                          const ExchangeOps& ops,
+                                          Bytes bytes) {
   PACC_EXPECTS(power_aware_alltoall_applicable(comm));
   const int me = comm.comm_rank_of(self.id());
   PACC_EXPECTS(me >= 0);
+  auto& barrier = comm.node_barrier(comm.node_of(me));
+  const PlanPtr plan = get_plan(comm, PlanKind::kPowerExchange, bytes);
 
-  const int my_node = comm.node_of(me);
-  const int ni = comm.node_index(my_node);
-  const int N = static_cast<int>(comm.nodes().size());
-  const int my_socket = comm.socket_of(me);
-  auto& barrier = comm.node_barrier(my_node);
-  const auto& locals = comm.members_on_node(my_node);
-  const int c = static_cast<int>(locals.size());
-
-  auto node_at = [&](int index) {
-    return comm.nodes()[static_cast<std::size_t>(index)];
-  };
-
-  // Exchanges this rank's blocks with every member of `group`.
-  auto exchange_group = [&](const std::vector<int>& group) -> sim::Task<> {
-    for (int peer : group) co_await ops.send_to(peer);
-    for (int peer : group) co_await ops.recv_from(peer);
-  };
-
-  // ---- Phase 1: intra-node exchanges --------------------------------
-  {
-    CollPhase phase(self, "alltoall_power.phase1");
-    const auto it = std::find(locals.begin(), locals.end(), me);
-    PACC_ASSERT(it != locals.end());
-    const int li = static_cast<int>(it - locals.begin());
-    for (int step = 1; step < c; ++step) {
-      if (is_pow2(c)) {
-        const int peer = locals[static_cast<std::size_t>(li ^ step)];
-        co_await ops.send_to(peer);
-        co_await ops.recv_from(peer);
-      } else {
-        const int dst = locals[static_cast<std::size_t>((li + step) % c)];
-        const int src = locals[static_cast<std::size_t>((li - step + c) % c)];
-        co_await ops.send_to(dst);
-        co_await ops.recv_from(src);
-      }
-    }
-    co_await barrier.arrive_and_wait();
-  }
-
-  // ---- Phase 2: A↔A inter-node; socket B throttled to T7 ------------
-  {
-    CollPhase phase(self, "alltoall_power.phase2");
-    if (my_socket == kSocketA) {
-      for (int off = 1; off < N; ++off) {
-        const int to_node = node_at((ni + off) % N);
-        const int from_node = node_at((ni - off + N) % N);
-        for (int peer : comm.socket_group(to_node, kSocketA)) {
-          co_await ops.send_to(peer);
-        }
-        for (int peer : comm.socket_group(from_node, kSocketA)) {
-          co_await ops.recv_from(peer);
-        }
-      }
-    } else {
-      co_await throttle_self(self, hw::ThrottleLevel::kMax);
-    }
-    co_await barrier.arrive_and_wait();
-  }
-
-  // ---- Phase 3: roles swap: B↔B inter-node; socket A at T7 ----------
-  {
-    CollPhase phase(self, "alltoall_power.phase3");
-    if (my_socket == kSocketB) {
-      co_await ensure_unthrottled(self);
-      for (int off = 1; off < N; ++off) {
-        const int to_node = node_at((ni + off) % N);
-        const int from_node = node_at((ni - off + N) % N);
-        for (int peer : comm.socket_group(to_node, kSocketB)) {
-          co_await ops.send_to(peer);
-        }
-        for (int peer : comm.socket_group(from_node, kSocketB)) {
-          co_await ops.recv_from(peer);
-        }
-      }
-    } else {
-      co_await throttle_self(self, hw::ThrottleLevel::kMax);
-    }
-    co_await barrier.arrive_and_wait();
-  }
-
-  // ---- Phase 4: cross-socket inter-node exchanges -------------------
-  {
-    CollPhase phase(self, "alltoall_power.phase4");
-    const int rounds = tournament_rounds(N);
-    for (int round = 0; round < rounds; ++round) {
-      const int pi = tournament_peer(ni, round, N);
-      if (pi < 0) {
-        // Idle this round: stay throttled through both sub-steps.
+  // Walk this rank's precomputed program (see build_power_exchange in
+  // plan.cpp, which documents the §V schedule the actions encode). The
+  // phase span is emplaced/reset so its open/close instants match the
+  // historical block-scoped CollPhase objects exactly.
+  std::optional<CollPhase> phase;
+  for (const PowerAction& action :
+       plan->actions[static_cast<std::size_t>(me)]) {
+    switch (action.kind) {
+      case PowerAction::kSend:
+        co_await ops.send_to(action.arg);
+        break;
+      case PowerAction::kRecv:
+        co_await ops.recv_from(action.arg);
+        break;
+      case PowerAction::kBarrier:
+        co_await barrier.arrive_and_wait();
+        break;
+      case PowerAction::kThrottle:
+        co_await throttle_self(self, action.arg);
+        break;
+      case PowerAction::kEnsureUnthrottled:
+        co_await ensure_unthrottled(self);
+        break;
+      case PowerAction::kEnsureThrottledMax:
         if (self.machine().throttle(self.core()) == hw::ThrottleLevel::kMin) {
           co_await throttle_self(self, hw::ThrottleLevel::kMax);
         }
-        co_await barrier.arrive_and_wait();
-        co_await barrier.arrive_and_wait();
-        continue;
-      }
-      const int lo = std::min(ni, pi);
-      const int hi = std::max(ni, pi);
-      const int lo_node = node_at(lo);
-      const int hi_node = node_at(hi);
-
-      // Sub-step a: A(lo) ↔ B(hi); everyone else throttled.
-      const bool in_a = (ni == lo && my_socket == kSocketA) ||
-                        (ni == hi && my_socket == kSocketB);
-      if (in_a) {
-        co_await ensure_unthrottled(self);
-        const auto& counterpart = (ni == lo)
-                                      ? comm.socket_group(hi_node, kSocketB)
-                                      : comm.socket_group(lo_node, kSocketA);
-        co_await exchange_group(counterpart);
-      } else {
-        co_await throttle_self(self, hw::ThrottleLevel::kMax);
-      }
-      co_await barrier.arrive_and_wait();
-
-      // Sub-step b: B(lo) ↔ A(hi).
-      const bool in_b = (ni == lo && my_socket == kSocketB) ||
-                        (ni == hi && my_socket == kSocketA);
-      if (in_b) {
-        co_await ensure_unthrottled(self);
-        const auto& counterpart = (ni == lo)
-                                      ? comm.socket_group(hi_node, kSocketA)
-                                      : comm.socket_group(lo_node, kSocketB);
-        co_await exchange_group(counterpart);
-      } else {
-        co_await throttle_self(self, hw::ThrottleLevel::kMax);
-      }
-      co_await barrier.arrive_and_wait();
+        break;
+      case PowerAction::kPhaseBegin:
+        phase.emplace(self, kPowerPhaseNames[action.arg]);
+        break;
+      case PowerAction::kPhaseEnd:
+        phase.reset();
+        break;
     }
   }
-
-  // Restore T0 before returning to the application.
-  co_await ensure_unthrottled(self);
 }
 
 sim::Task<> alltoall_power_aware(mpi::Rank& self, mpi::Comm& comm,
@@ -231,7 +139,8 @@ sim::Task<> alltoall_power_aware(mpi::Rank& self, mpi::Comm& comm,
     co_await self.recv(comm.global_rank(peer), tag,
                        recv.subspan(static_cast<std::size_t>(peer) * blk, blk));
   };
-  co_await power_aware_exchange_schedule(self, comm, ops);
+  co_await power_aware_exchange_schedule(self, comm, ops,
+                                         static_cast<Bytes>(send.size()));
 }
 
 }  // namespace pacc::coll

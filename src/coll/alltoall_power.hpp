@@ -38,8 +38,11 @@ bool power_aware_alltoall_applicable(const mpi::Comm& comm);
 
 /// Runs the 4-phase power-aware exchange schedule; every peer pair is
 /// exchanged exactly once. Caller is responsible for per-call DVFS.
+/// `bytes` is the caller's total payload, used only as the plan-cache key
+/// (the schedule itself is size-invariant).
 sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
-                                          const ExchangeOps& ops);
+                                          const ExchangeOps& ops,
+                                          Bytes bytes = 0);
 
 /// Power-aware MPI_Alltoall over contiguous blocks.
 sim::Task<> alltoall_power_aware(mpi::Rank& self, mpi::Comm& comm,

@@ -5,6 +5,7 @@
 
 #include "coll/alltoall_power.hpp"
 #include "coll/copy.hpp"
+#include "coll/plan.hpp"
 #include "coll/power_scheme.hpp"
 #include "util/expect.hpp"
 
@@ -42,10 +43,11 @@ sim::Task<> alltoallv_pairwise(mpi::Rank& self, mpi::Comm& comm,
                                std::span<std::byte> recv,
                                std::span<const Bytes> recv_counts) {
   check(comm, send, send_counts, recv, recv_counts);
-  const int P = comm.size();
   const int me = comm.comm_rank_of(self.id());
   PACC_EXPECTS(me >= 0);
   const int tag = comm.begin_collective(me);
+  const PlanPtr plan = get_plan(comm, PlanKind::kAlltoallvPairwise,
+                                static_cast<Bytes>(send.size()));
   const auto sdispl = displacements(send_counts);
   const auto rdispl = displacements(recv_counts);
 
@@ -56,19 +58,17 @@ sim::Task<> alltoallv_pairwise(mpi::Rank& self, mpi::Comm& comm,
              send.data() + sdispl[static_cast<std::size_t>(me)],
              static_cast<std::size_t>(send_counts[static_cast<std::size_t>(me)]));
 
-  for (int step = 1; step < P; ++step) {
-    const int dst = is_pow2(P) ? (me ^ step) : (me + step) % P;
-    const int src = is_pow2(P) ? dst : (me - step + P) % P;
+  for (const PairStep& step : plan->pair_steps[static_cast<std::size_t>(me)]) {
     co_await self.send(
-        comm.global_rank(dst), tag,
-        send.subspan(sdispl[static_cast<std::size_t>(dst)],
+        comm.global_rank(step.dst), tag,
+        send.subspan(sdispl[static_cast<std::size_t>(step.dst)],
                      static_cast<std::size_t>(
-                         send_counts[static_cast<std::size_t>(dst)])));
+                         send_counts[static_cast<std::size_t>(step.dst)])));
     co_await self.recv(
-        comm.global_rank(src), tag,
-        recv.subspan(rdispl[static_cast<std::size_t>(src)],
+        comm.global_rank(step.src), tag,
+        recv.subspan(rdispl[static_cast<std::size_t>(step.src)],
                      static_cast<std::size_t>(
-                         recv_counts[static_cast<std::size_t>(src)])));
+                         recv_counts[static_cast<std::size_t>(step.src)])));
   }
 }
 
@@ -103,7 +103,8 @@ sim::Task<> alltoallv_power_aware(mpi::Rank& self, mpi::Comm& comm,
         comm.global_rank(peer), tag,
         recv.subspan(rdispl[p], static_cast<std::size_t>(recv_counts[p])));
   };
-  co_await power_aware_exchange_schedule(self, comm, ops);
+  co_await power_aware_exchange_schedule(self, comm, ops,
+                                         static_cast<Bytes>(send.size()));
 }
 
 sim::Task<> alltoallv(mpi::Rank& self, mpi::Comm& comm,
@@ -113,31 +114,17 @@ sim::Task<> alltoallv(mpi::Rank& self, mpi::Comm& comm,
                       std::span<const Bytes> recv_counts,
                       const AlltoallvOptions& options) {
   ProfileScope prof(self, "alltoallv", static_cast<Bytes>(send.size()));
-  const PowerScheme scheme =
-      co_await negotiate_scheme(self, comm, options.scheme);
-  switch (scheme) {
-    case PowerScheme::kNone:
-      co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
-                                  recv_counts);
-      co_return;
-    case PowerScheme::kFreqScaling:
-      co_await enter_low_power(self, scheme);
-      co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
-                                  recv_counts);
-      co_await exit_low_power(self, scheme);
-      co_return;
-    case PowerScheme::kProposed:
-      co_await enter_low_power(self, scheme);
-      if (power_aware_alltoall_applicable(comm)) {
-        co_await alltoallv_power_aware(self, comm, send, send_counts, recv,
-                                       recv_counts);
-      } else {
-        co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
-                                    recv_counts);
-      }
-      co_await exit_low_power(self, scheme);
-      co_return;
-  }
+  co_await run_with_scheme(
+      self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
+        if (scheme == PowerScheme::kProposed &&
+            power_aware_alltoall_applicable(comm)) {
+          co_await alltoallv_power_aware(self, comm, send, send_counts, recv,
+                                         recv_counts);
+        } else {
+          co_await alltoallv_pairwise(self, comm, send, send_counts, recv,
+                                      recv_counts);
+        }
+      });
 }
 
 }  // namespace pacc::coll

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "coll/plan.hpp"
 #include "coll/power_scheme.hpp"
 #include "util/expect.hpp"
 
@@ -13,25 +14,23 @@ sim::Task<> barrier_dissemination(mpi::Rank& self, mpi::Comm& comm) {
   PACC_EXPECTS(me >= 0);
   const int tag = comm.begin_collective(me);
   if (P == 1) co_return;
+  const PlanPtr plan = get_plan(comm, PlanKind::kBarrierDissemination, 0);
 
   std::array<std::byte, 1> token{std::byte{0x42}};
   std::array<std::byte, 1> sink{};
-  for (int dist = 1; dist < P; dist <<= 1) {
-    const int dst = (me + dist) % P;
-    const int src = (me - dist + P) % P;
-    co_await self.send(comm.global_rank(dst), tag, token);
-    co_await self.recv(comm.global_rank(src), tag, sink);
+  for (const PairStep& step : plan->pair_steps[static_cast<std::size_t>(me)]) {
+    co_await self.send(comm.global_rank(step.dst), tag, token);
+    co_await self.recv(comm.global_rank(step.src), tag, sink);
   }
 }
 
 sim::Task<> barrier(mpi::Rank& self, mpi::Comm& comm,
                     const BarrierOptions& options) {
   ProfileScope prof(self, "barrier", 0);
-  const PowerScheme scheme =
-      co_await negotiate_scheme(self, comm, options.scheme);
-  co_await enter_low_power(self, scheme);
-  co_await barrier_dissemination(self, comm);
-  co_await exit_low_power(self, scheme);
+  co_await run_with_scheme(self, comm, options.scheme,
+                           [&](PowerScheme) -> sim::Task<> {
+                             co_await barrier_dissemination(self, comm);
+                           });
 }
 
 }  // namespace pacc::coll

@@ -5,6 +5,7 @@
 #include "coll/allgather.hpp"
 #include "coll/copy.hpp"
 #include "coll/gather_scatter.hpp"
+#include "coll/plan.hpp"
 #include "coll/power_scheme.hpp"
 #include "hw/power.hpp"
 #include "util/expect.hpp"
@@ -42,30 +43,21 @@ sim::Task<> bcast_binomial(mpi::Rank& self, mpi::Comm& comm,
   PACC_EXPECTS(me >= 0);
   PACC_EXPECTS(root >= 0 && root < P);
   const int tag = comm.begin_collective(me);
-  const int vr = (me - root + P) % P;
+  const PlanPtr plan = get_plan(comm, PlanKind::kBcastBinomial,
+                                static_cast<Bytes>(buf.size()), root);
 
   // Receive from the parent (the rank that differs in my lowest set bit).
-  int mask = 1;
-  while (mask < P) {
-    if ((vr & mask) != 0) {
-      const int parent = ((vr - mask) + root) % P;
-      co_await self.recv(comm.global_rank(parent), tag, buf);
-      if (unthrottle_on_receive) co_await maybe_unthrottle(self);
-      break;
-    }
-    mask <<= 1;
-  }
-  if (vr == 0) {
-    mask = ceil_pow2(P);
+  const int parent = plan->parent[static_cast<std::size_t>(me)];
+  if (parent >= 0) {
+    co_await self.recv(comm.global_rank(parent), tag, buf);
     if (unthrottle_on_receive) co_await maybe_unthrottle(self);
+  } else if (unthrottle_on_receive) {
+    co_await maybe_unthrottle(self);
   }
 
   // Forward to children.
-  for (mask >>= 1; mask > 0; mask >>= 1) {
-    const int child_vr = vr + mask;
-    if (child_vr < P) {
-      co_await self.send(comm.global_rank((child_vr + root) % P), tag, buf);
-    }
+  for (const int child : plan->children[static_cast<std::size_t>(me)]) {
+    co_await self.send(comm.global_rank(child), tag, buf);
   }
 }
 
@@ -198,19 +190,20 @@ sim::Task<> bcast(mpi::Rank& self, mpi::Comm& comm, std::span<std::byte> buf,
                   int root, const BcastOptions& options) {
   ProfileScope prof(self, "bcast", static_cast<Bytes>(buf.size()));
   const bool two_level = comm.nodes().size() >= 2;
-  BcastOptions opts = options;
-  opts.scheme = co_await negotiate_scheme(self, comm, options.scheme);
-  co_await enter_low_power(self, opts.scheme);
-  if (two_level) {
-    co_await bcast_smp(self, comm, buf, root, opts);
-  } else if (static_cast<Bytes>(buf.size()) >=
-             options.scatter_allgather_threshold &&
-             comm.size() >= 2) {
-    co_await bcast_scatter_allgather(self, comm, buf, root);
-  } else {
-    co_await bcast_binomial(self, comm, buf, root);
-  }
-  co_await exit_low_power(self, opts.scheme);
+  co_await run_with_scheme(
+      self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
+        BcastOptions opts = options;
+        opts.scheme = scheme;
+        if (two_level) {
+          co_await bcast_smp(self, comm, buf, root, opts);
+        } else if (static_cast<Bytes>(buf.size()) >=
+                       options.scatter_allgather_threshold &&
+                   comm.size() >= 2) {
+          co_await bcast_scatter_allgather(self, comm, buf, root);
+        } else {
+          co_await bcast_binomial(self, comm, buf, root);
+        }
+      });
 }
 
 }  // namespace pacc::coll

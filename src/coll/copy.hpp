@@ -8,9 +8,12 @@ namespace pacc::coll {
 
 /// memcpy requires non-null pointers even for n == 0, and an all-zero
 /// segment over an empty buffer is exactly a null span — so every self-block
-/// and pack/unpack copy in the collectives must go through this guard.
+/// and pack/unpack copy in the collectives must go through this guard. The
+/// dst == src case is equally off-limits for memcpy; it arises when a
+/// measurement harness deliberately aliases rank buffers (the simulation is
+/// payload-content-blind), and the copy is then a no-op by definition.
 inline void copy_bytes(std::byte* dst, const std::byte* src, std::size_t n) {
-  if (n > 0) std::memcpy(dst, src, n);
+  if (n > 0 && dst != src) std::memcpy(dst, src, n);
 }
 
 }  // namespace pacc::coll

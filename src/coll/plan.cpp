@@ -1,0 +1,314 @@
+#include "coll/plan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "coll/alltoall_power.hpp"
+#include "hw/power.hpp"
+#include "mpi/runtime.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::coll {
+
+const char* const kPowerPhaseNames[4] = {
+    "alltoall_power.phase1", "alltoall_power.phase2", "alltoall_power.phase3",
+    "alltoall_power.phase4"};
+
+namespace {
+
+constexpr int kSocketA = 0;
+constexpr int kSocketB = 1;
+
+/// Pairwise step tables; the same (dst, src) sequence drives both the
+/// alltoall (combined sendrecv on power-of-two comms) and the alltoallv
+/// (always split send + recv) executors.
+void build_pairwise(const mpi::Comm& comm, CollPlan& plan) {
+  const int P = comm.size();
+  plan.pairwise_sendrecv =
+      plan.kind == PlanKind::kAlltoallPairwise && is_pow2(P);
+  plan.pair_steps.resize(static_cast<std::size_t>(P));
+  for (int me = 0; me < P; ++me) {
+    auto& steps = plan.pair_steps[static_cast<std::size_t>(me)];
+    steps.reserve(static_cast<std::size_t>(P - 1));
+    for (int step = 1; step < P; ++step) {
+      PairStep s;
+      if (is_pow2(P)) {
+        s.dst = s.src = me ^ step;
+      } else {
+        s.dst = (me + step) % P;
+        s.src = (me - step + P) % P;
+      }
+      steps.push_back(s);
+    }
+  }
+}
+
+void build_bruck(const mpi::Comm& comm, CollPlan& plan) {
+  const int P = comm.size();
+  for (int k = 1; k < P; k <<= 1) {
+    std::vector<std::int32_t> indices;
+    for (int i = 1; i < P; ++i) {
+      if ((i & k) != 0) indices.push_back(i);
+    }
+    plan.bruck_rounds.push_back(std::move(indices));
+  }
+}
+
+void build_dissemination(const mpi::Comm& comm, CollPlan& plan) {
+  const int P = comm.size();
+  plan.pair_steps.resize(static_cast<std::size_t>(P));
+  for (int me = 0; me < P; ++me) {
+    auto& steps = plan.pair_steps[static_cast<std::size_t>(me)];
+    for (int dist = 1; dist < P; dist <<= 1) {
+      steps.push_back(PairStep{.dst = (me + dist) % P,
+                               .src = (me - dist + P) % P});
+    }
+  }
+}
+
+void build_bcast_binomial(const mpi::Comm& comm, int root, CollPlan& plan) {
+  const int P = comm.size();
+  PACC_EXPECTS(root >= 0 && root < P);
+  plan.parent.assign(static_cast<std::size_t>(P), -1);
+  plan.children.resize(static_cast<std::size_t>(P));
+  for (int me = 0; me < P; ++me) {
+    const int vr = (me - root + P) % P;
+    int mask = 1;
+    while (mask < P) {
+      if ((vr & mask) != 0) {
+        plan.parent[static_cast<std::size_t>(me)] =
+            ((vr - mask) + root) % P;
+        break;
+      }
+      mask <<= 1;
+    }
+    if (vr == 0) mask = ceil_pow2(P);
+    for (mask >>= 1; mask > 0; mask >>= 1) {
+      const int child_vr = vr + mask;
+      if (child_vr < P) {
+        plan.children[static_cast<std::size_t>(me)].push_back(
+            (child_vr + root) % P);
+      }
+    }
+  }
+}
+
+/// The §V power-aware exchange, emitted as a per-rank program instead of
+/// executed. Every branch of the historical inline schedule maps to one
+/// action, in the same order, so the interpreter's awaits are identical.
+void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
+  PACC_EXPECTS(power_aware_alltoall_applicable(comm));
+  const int P = comm.size();
+  const int N = static_cast<int>(comm.nodes().size());
+  plan.actions.resize(static_cast<std::size_t>(P));
+
+  auto node_at = [&](int index) {
+    return comm.nodes()[static_cast<std::size_t>(index)];
+  };
+
+  for (int me = 0; me < P; ++me) {
+    auto& acts = plan.actions[static_cast<std::size_t>(me)];
+    auto emit = [&acts](PowerAction::Kind kind, std::int32_t arg = 0) {
+      acts.push_back(PowerAction{kind, arg});
+    };
+    const int my_node = comm.node_of(me);
+    const int ni = comm.node_index(my_node);
+    const int my_socket = comm.socket_of(me);
+    const auto& locals = comm.members_on_node(my_node);
+    const int c = static_cast<int>(locals.size());
+
+    auto emit_group_exchange = [&](const std::vector<int>& group) {
+      for (const int peer : group) emit(PowerAction::kSend, peer);
+      for (const int peer : group) emit(PowerAction::kRecv, peer);
+    };
+
+    // ---- Phase 1: intra-node exchanges ------------------------------
+    emit(PowerAction::kPhaseBegin, 0);
+    const auto it = std::find(locals.begin(), locals.end(), me);
+    PACC_ASSERT(it != locals.end());
+    const int li = static_cast<int>(it - locals.begin());
+    for (int step = 1; step < c; ++step) {
+      if (is_pow2(c)) {
+        const int peer = locals[static_cast<std::size_t>(li ^ step)];
+        emit(PowerAction::kSend, peer);
+        emit(PowerAction::kRecv, peer);
+      } else {
+        emit(PowerAction::kSend,
+             locals[static_cast<std::size_t>((li + step) % c)]);
+        emit(PowerAction::kRecv,
+             locals[static_cast<std::size_t>((li - step + c) % c)]);
+      }
+    }
+    emit(PowerAction::kBarrier);
+    emit(PowerAction::kPhaseEnd);
+
+    // ---- Phase 2: A↔A inter-node; socket B throttled to T7 ----------
+    emit(PowerAction::kPhaseBegin, 1);
+    if (my_socket == kSocketA) {
+      for (int off = 1; off < N; ++off) {
+        const int to_node = node_at((ni + off) % N);
+        const int from_node = node_at((ni - off + N) % N);
+        for (const int peer : comm.socket_group(to_node, kSocketA)) {
+          emit(PowerAction::kSend, peer);
+        }
+        for (const int peer : comm.socket_group(from_node, kSocketA)) {
+          emit(PowerAction::kRecv, peer);
+        }
+      }
+    } else {
+      emit(PowerAction::kThrottle, hw::ThrottleLevel::kMax);
+    }
+    emit(PowerAction::kBarrier);
+    emit(PowerAction::kPhaseEnd);
+
+    // ---- Phase 3: roles swap: B↔B inter-node; socket A at T7 --------
+    emit(PowerAction::kPhaseBegin, 2);
+    if (my_socket == kSocketB) {
+      emit(PowerAction::kEnsureUnthrottled);
+      for (int off = 1; off < N; ++off) {
+        const int to_node = node_at((ni + off) % N);
+        const int from_node = node_at((ni - off + N) % N);
+        for (const int peer : comm.socket_group(to_node, kSocketB)) {
+          emit(PowerAction::kSend, peer);
+        }
+        for (const int peer : comm.socket_group(from_node, kSocketB)) {
+          emit(PowerAction::kRecv, peer);
+        }
+      }
+    } else {
+      emit(PowerAction::kThrottle, hw::ThrottleLevel::kMax);
+    }
+    emit(PowerAction::kBarrier);
+    emit(PowerAction::kPhaseEnd);
+
+    // ---- Phase 4: cross-socket inter-node tournament ----------------
+    emit(PowerAction::kPhaseBegin, 3);
+    const int rounds = tournament_rounds(N);
+    for (int round = 0; round < rounds; ++round) {
+      const int pi = tournament_peer(ni, round, N);
+      if (pi < 0) {
+        // Idle this round: stay throttled through both sub-steps.
+        emit(PowerAction::kEnsureThrottledMax);
+        emit(PowerAction::kBarrier);
+        emit(PowerAction::kBarrier);
+        continue;
+      }
+      const int lo = std::min(ni, pi);
+      const int hi = std::max(ni, pi);
+      const int lo_node = node_at(lo);
+      const int hi_node = node_at(hi);
+
+      // Sub-step a: A(lo) ↔ B(hi); everyone else throttled.
+      const bool in_a = (ni == lo && my_socket == kSocketA) ||
+                        (ni == hi && my_socket == kSocketB);
+      if (in_a) {
+        emit(PowerAction::kEnsureUnthrottled);
+        emit_group_exchange(ni == lo ? comm.socket_group(hi_node, kSocketB)
+                                     : comm.socket_group(lo_node, kSocketA));
+      } else {
+        emit(PowerAction::kThrottle, hw::ThrottleLevel::kMax);
+      }
+      emit(PowerAction::kBarrier);
+
+      // Sub-step b: B(lo) ↔ A(hi).
+      const bool in_b = (ni == lo && my_socket == kSocketB) ||
+                        (ni == hi && my_socket == kSocketA);
+      if (in_b) {
+        emit(PowerAction::kEnsureUnthrottled);
+        emit_group_exchange(ni == lo ? comm.socket_group(hi_node, kSocketA)
+                                     : comm.socket_group(lo_node, kSocketB));
+      } else {
+        emit(PowerAction::kThrottle, hw::ThrottleLevel::kMax);
+      }
+      emit(PowerAction::kBarrier);
+    }
+    emit(PowerAction::kPhaseEnd);
+
+    // Restore T0 before returning to the application.
+    emit(PowerAction::kEnsureUnthrottled);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ PlanCache --
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  PACC_EXPECTS(capacity >= 1);
+}
+
+PlanPtr PlanCache::lookup(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.splice(lru_.begin(), lru_, it->second.pos);
+  return it->second.plan;
+}
+
+void PlanCache::insert(const PlanKey& key, PlanPtr plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{std::move(plan), lru_.begin()});
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+// ---------------------------------------------------------- build/fetch --
+
+PlanPtr build_plan(const mpi::Comm& comm, PlanKind kind, int root) {
+  auto plan = std::make_shared<CollPlan>();
+  plan->kind = kind;
+  switch (kind) {
+    case PlanKind::kAlltoallPairwise:
+    case PlanKind::kAlltoallvPairwise:
+      build_pairwise(comm, *plan);
+      break;
+    case PlanKind::kAlltoallBruck:
+      build_bruck(comm, *plan);
+      break;
+    case PlanKind::kPowerExchange:
+      build_power_exchange(comm, *plan);
+      break;
+    case PlanKind::kBcastBinomial:
+      build_bcast_binomial(comm, root, *plan);
+      break;
+    case PlanKind::kBarrierDissemination:
+      build_dissemination(comm, *plan);
+      break;
+  }
+  return plan;
+}
+
+PlanPtr get_plan(mpi::Comm& comm, PlanKind kind, Bytes bytes, int root) {
+  const PlanKey key{.comm_fingerprint = comm.structure_fingerprint(),
+                    .kind = kind,
+                    .bytes = bytes,
+                    .root = root};
+  PlanCache* cache = comm.runtime().plan_cache().get();
+  if (cache != nullptr) {
+    if (PlanPtr cached = cache->lookup(key)) return cached;
+  }
+  PlanPtr plan = build_plan(comm, kind, root);
+  if (cache != nullptr) cache->insert(key, plan);
+  return plan;
+}
+
+}  // namespace pacc::coll

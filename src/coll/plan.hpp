@@ -1,0 +1,167 @@
+// Collective plan cache: pure build / cheap execute for the schedule
+// tables the collective algorithms otherwise re-derive on every call.
+//
+// A plan is the rank-indexed, immutable description of one leaf algorithm's
+// communication schedule on one communicator: pairwise (dst, src) step
+// tables, Bruck round index sets, binomial parent/children trees, and — for
+// the paper's power-aware exchange — the full per-rank program of sends,
+// receives, node rendezvous and throttle transitions (§V). Building a plan
+// is pure (no simulated time, no events), so executing from a cached plan
+// is byte-identical to the historical compute-as-you-go paths.
+//
+// Plans are memoized in a thread-safe LRU keyed on (communicator
+// fingerprint, algorithm, bytes, root). The fingerprint folds in the
+// context id, the ordered membership and its node/socket placement, and
+// the machine shape, so a cache can safely outlive one Simulation: a
+// Campaign injects a single shared cache into every sweep cell, and cells
+// with identical cluster configs reuse each other's plans.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "coll/types.hpp"
+
+namespace pacc::coll {
+
+/// Leaf algorithms with cacheable schedules. The dispatch layer picks the
+/// algorithm from (op, bytes, scheme, comm shape) exactly as before; the
+/// kind names the result of that decision, so one plan never serves two
+/// different schedules.
+enum class PlanKind : std::uint8_t {
+  kAlltoallPairwise,
+  kAlltoallBruck,
+  kAlltoallvPairwise,
+  kPowerExchange,  ///< §V power-aware exchange (alltoall and alltoallv)
+  kBcastBinomial,
+  kBarrierDissemination,
+};
+
+struct PlanKey {
+  std::uint64_t comm_fingerprint = 0;
+  PlanKind kind = PlanKind::kAlltoallPairwise;
+  Bytes bytes = 0;  ///< call size; schedules are size-invariant but the
+                    ///< key keeps sizes distinct for exact attribution
+  std::int32_t root = 0;
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const {
+    std::uint64_t h = k.comm_fingerprint;
+    h ^= (static_cast<std::uint64_t>(k.kind) << 56) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint64_t>(k.bytes)) *
+          0x9e3779b97f4a7c15ull) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.root)) *
+          0xc2b2ae3d27d4eb4full);
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One step of the power-aware exchange interpreter.
+struct PowerAction {
+  enum Kind : std::uint8_t {
+    kSend,               ///< arg = peer comm rank
+    kRecv,               ///< arg = peer comm rank
+    kBarrier,            ///< node rendezvous on the executing rank's node
+    kThrottle,           ///< arg = T-state (unconditional, as scheduled)
+    kEnsureUnthrottled,  ///< back to T0 only if currently throttled
+    kEnsureThrottledMax, ///< to T7 only if currently at T0 (idle rounds)
+    kPhaseBegin,         ///< arg = index into kPowerPhaseNames
+    kPhaseEnd,
+  };
+  Kind kind;
+  std::int32_t arg = 0;
+};
+
+/// (destination, source) of one pairwise / dissemination step.
+struct PairStep {
+  std::int32_t dst = 0;
+  std::int32_t src = 0;
+};
+
+/// Immutable schedule tables for one (comm, kind, root) tuple. Only the
+/// section matching the kind is populated; everything is indexed by comm
+/// rank where per-rank.
+struct CollPlan {
+  PlanKind kind = PlanKind::kAlltoallPairwise;
+  /// kAlltoallPairwise / kAlltoallvPairwise / kBarrierDissemination.
+  std::vector<std::vector<PairStep>> pair_steps;
+  /// Power-of-two pairwise alltoall exchanges both directions in one
+  /// sendrecv; the non-pow2 schedule (and alltoallv always) splits them.
+  bool pairwise_sendrecv = false;
+  /// kAlltoallBruck: block indices moved in each round (rank-invariant).
+  std::vector<std::vector<std::int32_t>> bruck_rounds;
+  /// kBcastBinomial: parent comm rank (-1 at the root) and children in
+  /// send order.
+  std::vector<std::int32_t> parent;
+  std::vector<std::vector<std::int32_t>> children;
+  /// kPowerExchange: per-rank interpreter program.
+  std::vector<std::vector<PowerAction>> actions;
+};
+
+using PlanPtr = std::shared_ptr<const CollPlan>;
+
+/// Phase labels the kPowerExchange interpreter emits (index = PhaseBegin
+/// arg); shared with the historical inline spans byte-for-byte.
+extern const char* const kPowerPhaseNames[4];
+
+/// Thread-safe LRU of built plans. Lookup and insert are O(1); plans are
+/// immutable shared_ptrs, so a plan evicted while a rank still walks it
+/// simply outlives its cache entry.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 256);
+
+  /// The cached plan, refreshing its LRU position — or nullptr on a miss.
+  PlanPtr lookup(const PlanKey& key);
+
+  /// Inserts (or replaces) the plan, evicting the least recently used
+  /// entry beyond capacity. Concurrent builders of the same key may both
+  /// insert; the plans are identical so last-write-wins is harmless.
+  void insert(const PlanKey& key, PlanPtr plan);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    PlanPtr plan;
+    std::list<PlanKey>::iterator pos;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<PlanKey> lru_;  ///< front = most recently used
+  std::unordered_map<PlanKey, Entry, PlanKeyHash> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// Pure plan construction — no cache, no simulated side effects. `root`
+/// matters only for kBcastBinomial.
+PlanPtr build_plan(const mpi::Comm& comm, PlanKind kind, int root = 0);
+
+/// Cache-aware fetch: looks up the runtime's shared cache (every member of
+/// a matched call maps to the same key, so the first rank's build serves
+/// the whole communicator and every later iteration or sweep cell),
+/// building and inserting on a miss. Falls back to an uncached build when
+/// the runtime has no cache attached. Costs zero simulated time.
+PlanPtr get_plan(mpi::Comm& comm, PlanKind kind, Bytes bytes, int root = 0);
+
+}  // namespace pacc::coll

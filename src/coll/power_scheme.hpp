@@ -35,6 +35,22 @@ sim::Task<> exit_low_power(mpi::Rank& self, PowerScheme scheme);
 /// charging O_throttle.
 sim::Task<> throttle_self(mpi::Rank& self, int tstate);
 
+/// Shared dispatch skeleton for the collective entry points: negotiates the
+/// effective scheme (fault-aware fallback to kNone), brackets the body with
+/// the per-call DVFS enter/exit — both no-ops under kNone — and hands the
+/// body the scheme that actually runs so it can pick the power-aware
+/// algorithm variant. `body` is any callable returning sim::Task<>; it may
+/// capture the dispatcher's locals by reference (the dispatcher's frame
+/// outlives this call).
+template <typename Body>
+sim::Task<> run_with_scheme(mpi::Rank& self, mpi::Comm& comm,
+                            PowerScheme requested, Body body) {
+  const PowerScheme scheme = co_await negotiate_scheme(self, comm, requested);
+  co_await enter_low_power(self, scheme);
+  co_await body(scheme);
+  co_await exit_low_power(self, scheme);
+}
+
 /// Frame-local profiling scope: records (op, bytes, elapsed) into the
 /// runtime's Profiler when the enclosing coroutine body finishes. Declared
 /// at the top of every collective dispatcher. When a TraceRecorder is

@@ -132,15 +132,16 @@ sim::Task<> reduce(mpi::Rank& self, mpi::Comm& comm,
                    int root, const ReduceOptions& options) {
   ProfileScope prof(self, "reduce", static_cast<Bytes>(send.size()));
   const bool two_level = comm.nodes().size() >= 2;
-  ReduceOptions opts = options;
-  opts.scheme = co_await negotiate_scheme(self, comm, options.scheme);
-  co_await enter_low_power(self, opts.scheme);
-  if (two_level) {
-    co_await reduce_smp(self, comm, send, recv, opts, root);
-  } else {
-    co_await reduce_binomial(self, comm, send, recv, options.op, root);
-  }
-  co_await exit_low_power(self, opts.scheme);
+  co_await run_with_scheme(
+      self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
+        ReduceOptions opts = options;
+        opts.scheme = scheme;
+        if (two_level) {
+          co_await reduce_smp(self, comm, send, recv, opts, root);
+        } else {
+          co_await reduce_binomial(self, comm, send, recv, options.op, root);
+        }
+      });
 }
 
 }  // namespace pacc::coll

@@ -75,24 +75,23 @@ sim::Task<> reduce_scatter(mpi::Rank& self, mpi::Comm& comm,
                            const ReduceScatterOptions& options) {
   check(comm, send, recv, block);
   ProfileScope prof(self, "reduce_scatter", static_cast<Bytes>(send.size()));
-  const PowerScheme scheme =
-      co_await negotiate_scheme(self, comm, options.scheme);
-  co_await enter_low_power(self, scheme);
-  if (is_pow2(comm.size())) {
-    co_await reduce_scatter_halving(self, comm, send, recv, block,
-                                    options.op);
-  } else {
-    // Reduce the full vector to rank 0, then scatter the blocks.
-    const int me = comm.comm_rank_of(self.id());
-    std::vector<std::byte> reduced(me == 0 ? send.size() : 0);
-    co_await reduce_binomial(self, comm, send, reduced, options.op, 0);
-    co_await scatter_binomial(
-        self, comm,
-        me == 0 ? std::span<const std::byte>(reduced)
-                : std::span<const std::byte>{},
-        recv, block, 0);
-  }
-  co_await exit_low_power(self, scheme);
+  co_await run_with_scheme(
+      self, comm, options.scheme, [&](PowerScheme) -> sim::Task<> {
+        if (is_pow2(comm.size())) {
+          co_await reduce_scatter_halving(self, comm, send, recv, block,
+                                          options.op);
+          co_return;
+        }
+        // Reduce the full vector to rank 0, then scatter the blocks.
+        const int me = comm.comm_rank_of(self.id());
+        std::vector<std::byte> reduced(me == 0 ? send.size() : 0);
+        co_await reduce_binomial(self, comm, send, reduced, options.op, 0);
+        co_await scatter_binomial(
+            self, comm,
+            me == 0 ? std::span<const std::byte>(reduced)
+                    : std::span<const std::byte>{},
+            recv, block, 0);
+      });
 }
 
 }  // namespace pacc::coll

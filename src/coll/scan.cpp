@@ -43,11 +43,11 @@ sim::Task<> scan(mpi::Rank& self, mpi::Comm& comm,
                  std::span<const std::byte> send, std::span<std::byte> recv,
                  const ScanOptions& options) {
   ProfileScope prof(self, "scan", static_cast<Bytes>(send.size()));
-  const PowerScheme scheme =
-      co_await negotiate_scheme(self, comm, options.scheme);
-  co_await enter_low_power(self, scheme);
-  co_await scan_recursive_doubling(self, comm, send, recv, options.op);
-  co_await exit_low_power(self, scheme);
+  co_await run_with_scheme(self, comm, options.scheme,
+                           [&](PowerScheme) -> sim::Task<> {
+                             co_await scan_recursive_doubling(
+                                 self, comm, send, recv, options.op);
+                           });
 }
 
 }  // namespace pacc::coll

@@ -61,12 +61,10 @@ sim::Task<> scatter_topo_aware(mpi::Rank& self, mpi::Comm& comm,
                                std::span<const std::byte> send,
                                std::span<std::byte> recv, Bytes block,
                                int root, const TopoAwareOptions& options) {
-  const PowerScheme scheme =
-      co_await negotiate_scheme(self, comm, options.scheme);
+  co_await run_with_scheme(
+      self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
   if (!topo_aware_applicable(comm)) {
-    co_await enter_low_power(self, scheme);
     co_await scatter_binomial(self, comm, send, recv, block, root);
-    co_await exit_low_power(self, scheme);
     co_return;
   }
 
@@ -84,8 +82,6 @@ sim::Task<> scatter_topo_aware(mpi::Rank& self, mpi::Comm& comm,
   const int my_node = comm.node_of(me);
   const bool i_am_rack_src = roles.rack_src(my_rack) == me;
   const bool i_am_node_src = roles.node_src(my_node) == me;
-
-  co_await enter_low_power(self, scheme);
 
   // §VIII: only the per-rack sources stay at T0 during the inter-rack
   // phase; everyone else parks at T7 until its data arrives.
@@ -163,22 +159,20 @@ sim::Task<> scatter_topo_aware(mpi::Rank& self, mpi::Comm& comm,
     co_await self.recv(comm.global_rank(roles.node_src(my_node)), tag, recv);
     if (power) co_await maybe_unthrottle(self);
   }
-
-  co_await exit_low_power(self, scheme);
+      });
 }
 
 sim::Task<> gather_topo_aware(mpi::Rank& self, mpi::Comm& comm,
                               std::span<const std::byte> send,
                               std::span<std::byte> recv, Bytes block,
                               int root, const TopoAwareOptions& options) {
-  const PowerScheme scheme =
-      co_await negotiate_scheme(self, comm, options.scheme);
+  co_await run_with_scheme(
+      self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
   if (!topo_aware_applicable(comm)) {
-    co_await enter_low_power(self, scheme);
     co_await gather_binomial(self, comm, send, recv, block, root);
-    co_await exit_low_power(self, scheme);
     co_return;
   }
+  (void)scheme;  // the gather has no throttled phase (§VIII)
 
   const int P = comm.size();
   const int me = comm.comm_rank_of(self.id());
@@ -192,8 +186,6 @@ sim::Task<> gather_topo_aware(mpi::Rank& self, mpi::Comm& comm,
   const int my_node = comm.node_of(me);
   const bool i_am_rack_dst = roles.rack_src(my_rack) == me;
   const bool i_am_node_dst = roles.node_src(my_node) == me;
-
-  co_await enter_low_power(self, scheme);
 
   // Phase A (intra-node): locals push their block to the node sink.
   std::vector<std::byte> node_range;
@@ -265,8 +257,7 @@ sim::Task<> gather_topo_aware(mpi::Rank& self, mpi::Comm& comm,
   } else if (i_am_rack_dst) {
     co_await self.send(comm.global_rank(root), tag, rack_range);
   }
-
-  co_await exit_low_power(self, scheme);
+      });
 }
 
 }  // namespace pacc::coll

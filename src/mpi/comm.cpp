@@ -158,6 +158,32 @@ sim::Barrier& Comm::node_barrier(int node) {
   return *it->second;
 }
 
+std::uint64_t Comm::structure_fingerprint() const {
+  if (fingerprint_ != 0) return fingerprint_;
+  // FNV-1a over the schedule-relevant structure. Membership order matters
+  // (comm ranks are positional), so the fold is order-sensitive.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  const auto& placement = rt_.placement();
+  mix(static_cast<std::uint64_t>(context_id_));
+  mix(static_cast<std::uint64_t>(placement.shape.nodes));
+  mix(static_cast<std::uint64_t>(placement.shape.sockets_per_node));
+  mix(static_cast<std::uint64_t>(placement.shape.cores_per_socket));
+  mix(static_cast<std::uint64_t>(placement.shape.nodes_per_rack));
+  mix(static_cast<std::uint64_t>(members_.size()));
+  for (const int g : members_) {
+    mix(static_cast<std::uint64_t>(g));
+    mix(static_cast<std::uint64_t>(placement.node_of(g)));
+    mix(static_cast<std::uint64_t>(placement.socket_of(g)));
+  }
+  if (h == 0) h = 1;  // 0 is the "not computed" sentinel
+  fingerprint_ = h;
+  return h;
+}
+
 int Comm::begin_collective(int comm_rank) {
   PACC_EXPECTS(comm_rank >= 0 && comm_rank < size());
   const int seq = call_count_[static_cast<std::size_t>(comm_rank)]++;

@@ -8,6 +8,7 @@
 // node-leader comm) are created lazily and cached.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -89,6 +90,13 @@ class Comm {
     return call_count_[static_cast<std::size_t>(comm_rank)];
   }
 
+  /// Hash of everything a communication schedule can depend on: context
+  /// id, ordered membership, each member's node and socket, and the
+  /// machine shape. Equal configurations in different Runtimes produce
+  /// equal fingerprints — the collective plan cache keys on this so one
+  /// cache can serve every cell of a sweep. Computed once, lazily.
+  std::uint64_t structure_fingerprint() const;
+
  private:
   Runtime& rt_;
   int context_id_;
@@ -107,6 +115,7 @@ class Comm {
   bool uniform_ppn_ = true;
   Comm* leader_comm_ = nullptr;
   std::unordered_map<int, Comm*> node_comms_;
+  mutable std::uint64_t fingerprint_ = 0;  ///< 0 = not yet computed
 };
 
 }  // namespace pacc::mpi

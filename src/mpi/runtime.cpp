@@ -63,7 +63,7 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
       machine().freq_slowdown(dst_core),
       machine().throttle_slowdown(dst_core));
 
-  Message msg{id_, tag, to_payload(data)};
+  Message msg = make_message(id_, tag, data, rt.params().synthetic_payloads);
   const Bytes bytes = static_cast<Bytes>(data.size());
 
   // Message faults force the reliable path for everything that crosses HCA
@@ -179,7 +179,9 @@ sim::Task<> Rank::recv(int src, int tag, std::span<std::byte> out) {
   Message msg = co_await await_message(src, tag);
   PACC_EXPECTS_MSG(msg.size() == out.size(),
                    "received payload size does not match the posted buffer");
-  if (!out.empty()) {
+  // A synthetic-payload message carries only its size; the posted buffer
+  // keeps whatever it held.
+  if (!msg.payload.empty()) {
     std::memcpy(out.data(), msg.payload.data(), out.size());
   }
   // Receive-side CPU cost (message unpacking / matching).
@@ -213,13 +215,26 @@ sim::Task<> irecv_body(Rank& self, int src, int tag, std::span<std::byte> out,
   latch->fire();
 }
 
+sim::Task<> isend_span_body(Rank& self, int dst, int tag,
+                            std::span<const std::byte> data,
+                            std::shared_ptr<sim::Latch> latch) {
+  co_await self.send(dst, tag, data);
+  latch->fire();
+}
+
 }  // namespace
 
 Rank::Request Rank::isend(int dst, int tag, std::span<const std::byte> data) {
   auto latch = std::make_shared<sim::Latch>(engine());
-  rt_.spawn_detached(isend_body(
-      *this, dst, tag, std::vector<std::byte>(data.begin(), data.end()),
-      latch));
+  if (rt_.params().synthetic_payloads) {
+    // send() reads only the span's extent in this mode, so the defensive
+    // copy of the contents buys nothing.
+    rt_.spawn_detached(isend_span_body(*this, dst, tag, data, latch));
+  } else {
+    rt_.spawn_detached(isend_body(
+        *this, dst, tag, std::vector<std::byte>(data.begin(), data.end()),
+        latch));
+  }
   return Request(std::move(latch));
 }
 
@@ -252,7 +267,8 @@ sim::Task<> Rank::shm_publish(int tag, std::span<const std::byte> data,
   for (const int reader : readers) {
     PACC_EXPECTS_MSG(rt_.placement().node_of(reader) == node(),
                      "shm readers must share the writer's node");
-    rt_.deliver_to(reader, Message{id_, tag, to_payload(data)});
+    rt_.deliver_to(reader,
+                   make_message(id_, tag, data, rt_.params().synthetic_payloads));
   }
 }
 
@@ -267,7 +283,7 @@ sim::Task<> Rank::shm_read(int writer, int tag, std::span<std::byte> out) {
       1.0);
   co_await rt_.network().transfer(node(), node(), static_cast<Bytes>(out.size()),
                                   /*force_loopback=*/false, mult);
-  if (!out.empty()) {
+  if (!msg.payload.empty()) {
     std::memcpy(out.data(), msg.payload.data(), out.size());
   }
 }

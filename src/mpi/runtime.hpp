@@ -35,6 +35,10 @@ namespace pacc::fault {
 class FaultInjector;
 }  // namespace pacc::fault
 
+namespace pacc::coll {
+class PlanCache;
+}  // namespace pacc::coll
+
 namespace pacc::mpi {
 
 enum class ProgressMode { kPolling, kBlocking };
@@ -67,6 +71,13 @@ struct RuntimeParams {
   /// Blocking mode: how long a receiver spins before yielding the CPU.
   Duration blocking_spin = Duration::micros(20.0);
   GovernorParams governor;
+  /// Ship message sizes without their contents: sends skip the payload
+  /// copy and receives leave the posted buffer untouched. Every simulated
+  /// quantity (timing, energy, traces, fault draws) depends only on sizes,
+  /// so measurement harnesses that never read received bytes get identical
+  /// results minus GiBs of memcpy traffic. Leave off for programs that do
+  /// read what they receive.
+  bool synthetic_payloads = false;
 };
 
 class Runtime;
@@ -228,6 +239,16 @@ class Runtime {
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
 
+  /// Memoized collective schedules (may be shared across Runtimes — a
+  /// Campaign hands every sweep cell the same cache). Null means the
+  /// collective layer rebuilds its plan on every call.
+  void set_plan_cache(std::shared_ptr<coll::PlanCache> cache) {
+    plan_cache_ = std::move(cache);
+  }
+  const std::shared_ptr<coll::PlanCache>& plan_cache() const {
+    return plan_cache_;
+  }
+
   // --- fault injection / recovery ---
 
   /// Attaches the run's fault injector (owned by the caller; may be null).
@@ -284,6 +305,7 @@ class Runtime {
   std::deque<std::function<sim::Task<>(Rank&)>> bodies_;  ///< stable storage: frames reference the lambdas
   std::uint64_t governor_transitions_ = 0;
   Profiler profiler_;
+  std::shared_ptr<coll::PlanCache> plan_cache_;
   bool trace_enabled_ = false;
   std::vector<MessageTraceEntry> trace_;
   Comm* world_ = nullptr;

@@ -162,6 +162,7 @@ FlowNetwork::FlowHandle FlowNetwork::start_flow_impl(
   flow.remaining = static_cast<double>(bytes) * wire_multiplier;
   flow.last_update = engine_.now();
   flow.completion = 0;
+  flow.batch = kNoBatch;
   flow.waiter = {};
   flow.failed_flag = nullptr;
   flow.on_delivered = std::move(on_delivered);
@@ -302,10 +303,34 @@ void FlowNetwork::recompute_component(const std::int32_t* seeds, int nseeds) {
     unfrozen_.resize(kept);
   }
 
+  // When the filling reproduced every flow's current (capped) rate, the
+  // whole reschedule pass is moot: skip it before reading the clock or
+  // touching the heap. Common after a no-op topology event or when a
+  // deferred flush races an eager recompute at the same instant.
+  bool any_change = false;
+  for (const std::uint32_t slot : comp_flows_) {
+    const Flow& flow = flows_[slot];
+    double rate = flow.wf_rate;
+    if (flow.rate_cap > 0.0 && rate > flow.rate_cap) rate = flow.rate_cap;
+    if (rate != flow.rate) {
+      any_change = true;
+      break;
+    }
+  }
+  if (!any_change) {
+    ++noop_recomputes_;
+    return;
+  }
+
   // Apply per-flow ceilings (single-core copy rate on the shm channel) —
   // the unclaimed remainder stays unused, as it would on real hardware —
   // then reschedule only the completions whose rate actually changed.
+  // Same-instant reschedules within this pass share one engine event
+  // (steady-state fast-forward); the pass scratch tracks the batches
+  // opened so far.
   const TimePoint now = engine_.now();
+  pass_batch_when_.clear();
+  pass_batch_ids_.clear();
   for (const std::uint32_t slot : comp_flows_) {
     Flow& flow = flows_[slot];
     double rate = flow.wf_rate;
@@ -321,15 +346,86 @@ void FlowNetwork::recompute_component(const std::int32_t* seeds, int nseeds) {
     flow.last_update = now;
     flow.rate = rate;
 
-    if (flow.completion != 0) engine_.cancel(flow.completion);
+    detach_completion(flow);
     const double secs = flow.remaining / flow.rate;
     const auto delay =
         Duration::nanos(static_cast<std::int64_t>(std::ceil(secs * 1e9)));
     ++reschedules_;
-    flow.completion = engine_.schedule(
-        delay,
-        [this, slot, gen = flow.gen] { on_complete(slot, gen); });
+    schedule_completion(slot, delay);
   }
+}
+
+void FlowNetwork::detach_completion(Flow& flow) {
+  if (flow.batch != kNoBatch) {
+    // Leaving a shared event: the event itself stays queued for the other
+    // members; run_batch skips this flow via the membership check.
+    flow.batch = kNoBatch;
+  } else if (flow.completion != 0) {
+    engine_.cancel(flow.completion);
+    flow.completion = 0;
+  }
+}
+
+void FlowNetwork::schedule_completion(std::uint32_t slot, Duration delay) {
+  Flow& flow = flows_[slot];
+  if (!params_.steady_state_fast_forward) {
+    flow.completion = engine_.schedule(
+        delay, [this, slot, gen = flow.gen] { on_complete(slot, gen); });
+    return;
+  }
+  // One shared event per (apply pass, target instant). The per-flow events
+  // this stands in for would have been scheduled back to back — their
+  // sequence numbers consecutive, nothing able to queue between them — so
+  // popping once and completing the members in join order reproduces the
+  // per-flow pop order exactly.
+  const std::int64_t when = (engine_.now() + delay).ns();
+  for (std::size_t i = 0; i < pass_batch_when_.size(); ++i) {
+    if (pass_batch_when_[i] == when) {
+      const std::uint32_t b = pass_batch_ids_[i];
+      batches_[b].members.emplace_back(slot, flow.gen);
+      flow.batch = b;
+      flow.completion = 0;
+      return;
+    }
+  }
+  const std::uint32_t b = alloc_batch();
+  batches_[b].members.emplace_back(slot, flow.gen);
+  flow.batch = b;
+  flow.completion = 0;
+  engine_.schedule(delay, [this, b] { run_batch(b); });
+  pass_batch_when_.push_back(when);
+  pass_batch_ids_.push_back(b);
+}
+
+std::uint32_t FlowNetwork::alloc_batch() {
+  if (!free_batches_.empty()) {
+    const std::uint32_t b = free_batches_.back();
+    free_batches_.pop_back();
+    return b;
+  }
+  batches_.emplace_back();
+  return static_cast<std::uint32_t>(batches_.size() - 1);
+}
+
+void FlowNetwork::run_batch(std::uint32_t b) {
+  // Deliberately indexed: a member's on_complete can re-rate later members
+  // (detaching them) but never grows this batch — new reschedules always
+  // open fresh batches in their own pass.
+  std::uint64_t live = 0;
+  for (std::size_t i = 0; i < batches_[b].members.size(); ++i) {
+    const auto [slot, gen] = batches_[b].members[i];
+    Flow& flow = flows_[slot];
+    if (!flow.active || flow.gen != gen || flow.batch != b) continue;
+    flow.batch = kNoBatch;
+    ++live;
+    on_complete(slot, gen);
+  }
+  if (live >= 2) {
+    ++completion_batches_;
+    batched_completions_ += live - 1;
+  }
+  batches_[b].members.clear();
+  free_batches_.push_back(b);
 }
 
 void FlowNetwork::on_complete(std::uint32_t slot, std::uint32_t gen) {
@@ -442,10 +538,7 @@ void FlowNetwork::preempt_link_flows(std::int32_t link,
     // payload was lost.
     PACC_ASSERT(!flow.on_delivered);
     for (int k = 0; k < flow.nlinks; ++k) seeds.push_back(flow.links[k]);
-    if (flow.completion != 0) {
-      engine_.cancel(flow.completion);
-      flow.completion = 0;
-    }
+    detach_completion(flow);
     const std::coroutine_handle<> waiter = flow.waiter;
     bool* failed = flow.failed_flag;
     unlink_flow(slot);

@@ -90,6 +90,22 @@ struct NetworkParams {
   double freq_wire_penalty = 0.2;
   double throttle_wire_weight = 0.1;
 
+  /// Steady-state fast-forward: between rate recomputes the flow set and
+  /// every rate are constant, so when one water-filling pass reschedules
+  /// several flows to the same completion instant (the common case in a
+  /// symmetric collective phase, where a whole socket group drains in
+  /// lockstep), those completions share a single engine event instead of
+  /// one heap entry each — O(flows) heap traffic per quiescent interval
+  /// collapses to O(1). The shared event pops at exactly the position the
+  /// first per-flow event would have (the per-flow events would have held
+  /// consecutive sequence numbers, so nothing can schedule between them)
+  /// and completes the members in order; any event that re-rates a member
+  /// before then — a new arrival, a fault, a flap — detaches it from the
+  /// batch (the epoch break), so timestamps, energy integrals and traces
+  /// stay byte-identical to the per-flow path. Off = one event per
+  /// completion, kept for the equivalence suite.
+  bool steady_state_fast_forward = true;
+
   /// Wire-occupancy multiplier for a transfer between endpoints with the
   /// given CPU slowdown factors (1.0 = full speed).
   double wire_multiplier(double sender_freq_slowdown,
@@ -180,6 +196,18 @@ class FlowNetwork {
   /// below (recomputes × active flows).
   std::uint64_t completion_reschedules() const { return reschedules_; }
 
+  /// Shared events that completed two or more same-instant flows in one
+  /// heap pop (steady-state fast-forward; 0 while the toggle is off).
+  std::uint64_t completion_batches() const { return completion_batches_; }
+
+  /// Completions delivered through a shared event beyond the first member
+  /// — i.e. heap events the fast-forward elided.
+  std::uint64_t batched_completions() const { return batched_completions_; }
+
+  /// Recomputes that changed no flow's rate and skipped the reschedule
+  /// pass entirely (the heap is never touched).
+  std::uint64_t noop_recomputes() const { return noop_recomputes_; }
+
   /// Introspection snapshot of the active flows (tests / tools): links
   /// traversed, current max–min rate, and the per-flow ceiling.
   struct FlowView {
@@ -193,6 +221,7 @@ class FlowNetwork {
  private:
   static constexpr int kMaxLinks = 4;  ///< up + down + rack up + rack down
   static constexpr std::uint32_t kNullFlow = 0xffffffffu;
+  static constexpr std::uint32_t kNoBatch = 0xffffffffu;
 
   /// Slab-allocated flow. Intrusive per-link list hooks (prev/next per
   /// traversed link) give O(1) unlink without touching a hash map, and the
@@ -205,6 +234,7 @@ class FlowNetwork {
     TimePoint last_update;   ///< when `remaining` was last advanced
     Bytes payload = 0;       ///< un-multiplied bytes, credited on delivery
     sim::EventId completion = 0;
+    std::uint32_t batch = kNoBatch;  ///< shared completion event, if any
     std::coroutine_handle<> waiter;
     bool* failed_flag = nullptr;  ///< awaiter-owned; set on preemption
     sim::Callback on_delivered;
@@ -263,6 +293,29 @@ class FlowNetwork {
 
   void on_complete(std::uint32_t slot, std::uint32_t gen);
 
+  // --- steady-state fast-forward (shared completion events) ---
+
+  /// One engine event standing in for the per-flow completion events of
+  /// every member, in the order the per-flow path would have scheduled
+  /// (and therefore popped) them.
+  struct CompletionBatch {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> members;  // slot,gen
+  };
+
+  /// Removes the flow's pending completion: cancels its private event or
+  /// detaches it from its shared one (remaining members are unaffected).
+  void detach_completion(Flow& flow);
+
+  /// (Re)schedules a completion `delay` from now, joining the shared event
+  /// of an earlier flow in the same recompute pass when the target instant
+  /// matches (fast-forward on), else as a private event.
+  void schedule_completion(std::uint32_t slot, Duration delay);
+
+  /// Completes the still-attached members of a shared event, in order.
+  void run_batch(std::uint32_t b);
+
+  std::uint32_t alloc_batch();
+
   sim::Engine& engine_;
   hw::ClusterShape shape_;
   NetworkParams params_;
@@ -290,10 +343,21 @@ class FlowNetwork {
   std::vector<std::uint32_t> unfrozen_;
   std::vector<unsigned char> frozen_mark_;
 
+  // Shared-completion-event slab (steady-state fast-forward), recycled via
+  // a free list; the per-pass scratch maps a reschedule target instant to
+  // the batch already opened for it in the current apply pass.
+  std::vector<CompletionBatch> batches_;
+  std::vector<std::uint32_t> free_batches_;
+  std::vector<std::int64_t> pass_batch_when_;
+  std::vector<std::uint32_t> pass_batch_ids_;
+
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t recomputes_ = 0;
   std::uint64_t reschedules_ = 0;
   std::uint64_t preempted_ = 0;
+  std::uint64_t completion_batches_ = 0;
+  std::uint64_t batched_completions_ = 0;
+  std::uint64_t noop_recomputes_ = 0;
 };
 
 }  // namespace pacc::net

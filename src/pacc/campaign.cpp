@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "coll/plan.hpp"
 #include "util/expect.hpp"
 #include "util/table.hpp"
 
@@ -161,6 +162,12 @@ std::vector<CellResult> Campaign::run() {
   std::mutex progress_mu;
   std::size_t finished = 0;
 
+  // One plan cache for the whole sweep: cells with equal cluster configs
+  // (the common case — a sweep varies op/scheme/size over one cluster)
+  // build each collective schedule once instead of once per cell. Cells
+  // that arrived with their own cache keep it.
+  const auto shared_plans = std::make_shared<coll::PlanCache>();
+
   const auto run_cell = [&](std::size_t i) {
     const SweepCell& cell = spec_.cells[i];
     CellResult& result = results[i];
@@ -172,6 +179,7 @@ std::vector<CellResult> Campaign::run() {
       result.status = std::move(invalid);
     } else {
       ClusterConfig cluster = cell.cluster;
+      if (!cluster.plan_cache) cluster.plan_cache = shared_plans;
       if (options_.cell_timeout) {
         cluster.max_sim_time = *options_.cell_timeout;
       }

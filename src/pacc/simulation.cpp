@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "coll/plan.hpp"
 #include "util/expect.hpp"
 
 namespace pacc {
@@ -32,8 +33,14 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
   mpi::RuntimeParams rt_params;
   rt_params.mode = config.progress;
   rt_params.governor = config.governor;
+  rt_params.synthetic_payloads = config.synthetic_payloads;
   runtime_ = std::make_unique<mpi::Runtime>(*engine_, *machine_, *network_,
                                             std::move(placement), rt_params);
+  // Private cache unless the caller injected a shared one (Campaign does,
+  // so equal-shaped sweep cells reuse each other's schedules).
+  runtime_->set_plan_cache(config.plan_cache
+                               ? config.plan_cache
+                               : std::make_shared<coll::PlanCache>());
   meter_ = std::make_unique<hw::SamplingMeter>(
       *machine_, config.obs.meter_interval, config.obs.per_node_meter);
 
@@ -269,12 +276,23 @@ CollectiveReport measure_collective(const ClusterConfig& config,
                                      coll::to_string(spec.scheme));
     return report;
   }
-  Simulation sim(config);
+  // The harness never reads received bytes, so the runtime can ship sizes
+  // without contents (synthetic payloads) — every simulated quantity
+  // depends only on sizes, and the per-message copy traffic (GiBs per cell
+  // at MiB block sizes) dominated wall time.
+  ClusterConfig harness_config = config;
+  harness_config.synthetic_payloads = true;
+  Simulation sim(harness_config);
   auto window = std::make_shared<TimedWindow>();
 
-  auto body = [&sim, &spec, window](mpi::Rank& self) -> sim::Task<> {
+  // One arena shared by every simulated rank, for the same reason: the
+  // simulator is payload-content-blind, so the measurement loop gains
+  // nothing from 64 private copies of up to P·message bytes each. Aliased
+  // self-copies the sharing introduces are guarded in coll::copy_bytes.
+  Buffers buffers = make_buffers(spec, config.ranks);
+
+  auto body = [&sim, &spec, window, &buffers](mpi::Rank& self) -> sim::Task<> {
     mpi::Comm& world = sim.runtime().world();
-    Buffers buffers = make_buffers(spec, world.size());
 
     for (int i = 0; i < spec.warmup; ++i) {
       co_await run_op_once(self, world, spec, buffers);

@@ -63,6 +63,12 @@ struct ClusterConfig {
   bool core_level_throttling = false;  ///< §V-B "future architectures"
   /// Reactive black-box DVFS governor (prior work, §III); off by default.
   mpi::GovernorParams governor;
+  /// Ship message sizes without contents (see
+  /// mpi::RuntimeParams::synthetic_payloads). measure_collective turns this
+  /// on for its own runs — the harness never reads received bytes — which
+  /// removes the per-message copy traffic that dominated wall time at MiB
+  /// block sizes. Leave off for programs that read what they receive.
+  bool synthetic_payloads = false;
   /// Tracing / metering options (see ObsOptions above).
   ObsOptions obs;
   /// Fault injection (drops, flaps, stragglers, transition failures) plus
@@ -70,6 +76,12 @@ struct ClusterConfig {
   /// subsystem and leave the run byte-identical to a fault-free build.
   /// See docs/FAULTS.md.
   fault::FaultSpec faults;
+  /// Collective plan cache to attach to the run's Runtime. Null (the
+  /// default) gives the Simulation a private cache; a Campaign injects one
+  /// shared cache so sweep cells with equal cluster configs reuse each
+  /// other's schedules (plans are keyed on a structural fingerprint, so
+  /// sharing is always safe).
+  std::shared_ptr<coll::PlanCache> plan_cache;
   /// Safety bound on simulated time: a deadlocked program is reported as
   /// incomplete instead of letting the meter tick forever.
   Duration max_sim_time = Duration::seconds(3600.0);

@@ -1,0 +1,190 @@
+// Equivalence suite for the steady-state fast-forward and assertions on
+// the collective plan cache.
+//
+// The fast-forward batches same-instant flow completions behind one shared
+// event and skips no-op recomputes; its contract is that every observable
+// artifact — campaign JSON, Chrome traces, exact per-phase energy buckets,
+// fault/recovery counters — is byte-identical with the toggle on or off,
+// clean or faulted, at any --jobs. The plan cache's contract is weaker
+// (plans are rebuilt deterministically on a miss), so its tests assert the
+// caching itself: hits on iterated workloads and sharing across sweep
+// cells.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "apps/cpmd.hpp"
+#include "apps/workload.hpp"
+#include "coll/plan.hpp"
+#include "pacc/campaign.hpp"
+#include "pacc/simulation.hpp"
+
+namespace pacc {
+namespace {
+
+SweepSpec fig7_sweep(bool fast_forward) {
+  // Fig-7 testbed (64 ranks, 8 per node), one small size per op × scheme,
+  // traced so the comparison covers spans and energy buckets too.
+  SweepSpec sweep;
+  for (const coll::Op op :
+       {coll::Op::kAlltoall, coll::Op::kBcast, coll::Op::kAllreduce}) {
+    for (const coll::PowerScheme scheme :
+         {coll::PowerScheme::kNone, coll::PowerScheme::kFreqScaling,
+          coll::PowerScheme::kProposed}) {
+      ClusterConfig cfg;
+      cfg.obs.trace = true;
+      cfg.network = presets::paper_network();
+      cfg.network->steady_state_fast_forward = fast_forward;
+      CollectiveBenchSpec bench;
+      bench.op = op;
+      bench.scheme = scheme;
+      bench.message = 16 * 1024;
+      bench.iterations = 1;
+      bench.warmup = 0;
+      sweep.add(cfg, bench,
+                coll::to_string(op) + "/" + coll::to_string(scheme));
+    }
+  }
+  return sweep;
+}
+
+void expect_identical_artifacts(const SweepSpec& on_spec,
+                                const std::vector<CellResult>& on,
+                                const SweepSpec& off_spec,
+                                const std::vector<CellResult>& off) {
+  std::ostringstream on_json, off_json;
+  write_campaign_json(on_json, on_spec, on);
+  write_campaign_json(off_json, off_spec, off);
+  EXPECT_EQ(on_json.str(), off_json.str());
+
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    SCOPED_TRACE(on[i].label);
+    EXPECT_TRUE(on[i].status.ok()) << on[i].status.describe();
+    ASSERT_FALSE(on[i].report.trace_json.empty());
+    EXPECT_EQ(on[i].report.trace_json, off[i].report.trace_json);
+    ASSERT_EQ(on[i].report.energy_phases.size(),
+              off[i].report.energy_phases.size());
+    for (std::size_t p = 0; p < on[i].report.energy_phases.size(); ++p) {
+      const auto& a = on[i].report.energy_phases[p];
+      const auto& b = off[i].report.energy_phases[p];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.joules, b.joules);  // bit-exact, not approximate
+      EXPECT_EQ(a.time.ns(), b.time.ns());
+      EXPECT_EQ(a.calls, b.calls);
+    }
+  }
+}
+
+TEST(SteadyStateFastForward, ByteIdenticalFig7SweepAtAnyJobs) {
+  const SweepSpec on_spec = fig7_sweep(true);
+  const SweepSpec off_spec = fig7_sweep(false);
+  CampaignOptions serial;
+  serial.jobs = 1;
+  CampaignOptions threaded;
+  threaded.jobs = 3;  // deliberately != 1: artifacts must not depend on it
+  const auto on = Campaign(on_spec, threaded).run();
+  const auto off = Campaign(off_spec, serial).run();
+  expect_identical_artifacts(on_spec, on, off_spec, off);
+}
+
+TEST(SteadyStateFastForward, ByteIdenticalUnderFaults) {
+  // Drop + flap + straggler exercises retransmit timers, flap-triggered
+  // recomputes and stretched transfers — the paths where a fast-forward
+  // bug would shift timestamps or fault draws.
+  ClusterConfig cfg;  // Fig-7 testbed
+  cfg.obs.trace = true;
+  cfg.faults = *fault::FaultSpec::parse(
+      "seed=17,drop=0.02,flap=50,stragglers=1,slow=1.5");
+  cfg.network = presets::paper_network();
+  ClusterConfig cfg_off = cfg;
+  cfg_off.network->steady_state_fast_forward = false;
+
+  CollectiveBenchSpec bench;
+  bench.op = coll::Op::kAlltoall;
+  bench.scheme = coll::PowerScheme::kProposed;
+  bench.message = 16 * 1024;
+  bench.iterations = 2;
+  bench.warmup = 1;
+
+  const auto on = measure_collective(cfg, bench);
+  const auto off = measure_collective(cfg_off, bench);
+  ASSERT_TRUE(on.status.usable()) << on.status.describe();
+  EXPECT_EQ(on.status.outcome, off.status.outcome);
+  EXPECT_EQ(on.latency.ns(), off.latency.ns());
+  EXPECT_EQ(on.energy_per_op, off.energy_per_op);
+  EXPECT_EQ(on.trace_json, off.trace_json);
+  EXPECT_EQ(on.faults.drops, off.faults.drops);
+  EXPECT_EQ(on.faults.retransmits, off.faults.retransmits);
+  EXPECT_EQ(on.faults.link_flaps, off.faults.link_flaps);
+}
+
+TEST(PlanCache, HitsDominateOnIteratedCpmdWorkload) {
+  // CPMD iterates alltoall transposes + an allreduce 12 times per run: the
+  // first iteration builds each (kind, bytes) plan, every later one hits.
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.ranks = 32;
+  cfg.ranks_per_node = 8;
+  cfg.plan_cache = std::make_shared<coll::PlanCache>();
+  const auto report = apps::run_workload(
+      cfg, apps::cpmd_workload("wat-32-inp-1", 32), coll::PowerScheme::kNone);
+  ASSERT_TRUE(report.status.ok()) << report.status.describe();
+  EXPECT_GT(cfg.plan_cache->misses(), 0u);
+  EXPECT_GT(cfg.plan_cache->hits(), cfg.plan_cache->misses());
+  EXPECT_EQ(cfg.plan_cache->evictions(), 0u);
+}
+
+TEST(PlanCache, SharedCacheServesEqualShapedSweepCells) {
+  // Cells of a sweep share one injected cache; cells that run the same
+  // algorithm on the same cluster shape reuse each other's plans even
+  // though every cell is its own Simulation.
+  const auto cache = std::make_shared<coll::PlanCache>();
+  SweepSpec sweep;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    ClusterConfig cfg;  // Fig-7 testbed
+    cfg.plan_cache = cache;
+    CollectiveBenchSpec bench;
+    bench.op = coll::Op::kAlltoall;
+    bench.scheme = coll::PowerScheme::kNone;
+    bench.message = 16 * 1024;
+    bench.iterations = 1;
+    bench.warmup = 0;
+    sweep.add(cfg, bench, "cell" + std::to_string(repeat));
+  }
+  CampaignOptions opts;
+  opts.jobs = 1;
+  const auto results = Campaign(sweep, opts).run();
+  for (const CellResult& r : results) {
+    EXPECT_TRUE(r.status.ok()) << r.label << ": " << r.status.describe();
+  }
+  // 64 ranks make the same matched call: one build, 63 same-cell hits,
+  // then two more full-hit cells.
+  EXPECT_GT(cache->hits(), cache->misses());
+  EXPECT_GT(cache->hits(), 0u);
+}
+
+TEST(PlanCache, LruEvictsBeyondCapacityAndCounts) {
+  coll::PlanCache cache(2);
+  const auto plan = std::make_shared<const coll::CollPlan>();
+  const auto key = [](std::uint64_t fp) {
+    coll::PlanKey k;
+    k.comm_fingerprint = fp;
+    k.kind = coll::PlanKind::kBarrierDissemination;
+    return k;
+  };
+  cache.insert(key(1), plan);
+  cache.insert(key(2), plan);
+  EXPECT_NE(cache.lookup(key(1)), nullptr);  // refresh: 2 becomes LRU
+  cache.insert(key(3), plan);                // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(key(2)), nullptr);
+  EXPECT_NE(cache.lookup(key(1)), nullptr);
+  EXPECT_NE(cache.lookup(key(3)), nullptr);
+}
+
+}  // namespace
+}  // namespace pacc
