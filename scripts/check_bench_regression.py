@@ -2,15 +2,20 @@
 """Gate on simulator micro-benchmark regressions.
 
 Compares a freshly emitted ``bench_micro_sim --emit-json`` report against
-the committed ``BENCH_micro.json`` baseline and fails (exit 1) when either
-wall-clock figure regresses by more than the threshold (default 10%):
+the committed ``BENCH_micro.json`` baseline and fails (exit 1) when any
+gated figure regresses by more than the threshold (default 10%):
 
   * ``event_dispatch.events_per_sec``   — lower is a regression
   * ``alltoall64_1mib.wall_seconds``    — higher is a regression
+  * ``fattree4096_1mib.wall_seconds``   — higher is a regression, and also
+    capped at an absolute 10 s budget: the collapsed 4096-rank fat-tree
+    sweep cell must stay interactive regardless of what the committed
+    baseline says.
 
-Counter sections (``steady_state``, ``plan_cache``) are reported but never
-gated: they are deterministic counts, and a change there means behaviour
-changed — the byte-identity test suite, not this gate, judges that.
+Counter sections (``steady_state``, ``plan_cache``, ``symmetry_collapse``)
+are reported but never gated: they are deterministic counts, and a change
+there means behaviour changed — the byte-identity test suite, not this
+gate, judges that.
 
 Usage:
   check_bench_regression.py --baseline BENCH_micro.json --current new.json
@@ -81,8 +86,25 @@ def main() -> int:
           baseline["alltoall64_1mib"]["wall_seconds"],
           current["alltoall64_1mib"]["wall_seconds"],
           higher_is_better=False)
+    if "fattree4096_1mib" in current:
+        fattree = current["fattree4096_1mib"]["wall_seconds"]
+        # Relative gate only once the committed baseline records the figure
+        # (older baselines predate the fat-tree bench).
+        if "fattree4096_1mib" in baseline:
+            check("fattree4096_1mib.wall_seconds",
+                  baseline["fattree4096_1mib"]["wall_seconds"],
+                  fattree, higher_is_better=False)
+        budget = 10.0
+        verdict = "REGRESSED" if fattree > budget else "ok"
+        print(f"  fattree4096_1mib.wall_seconds: absolute budget {budget:g}, "
+              f"current {fattree:g} -> {verdict}")
+        if fattree > budget:
+            failures.append("fattree4096_1mib.wall_seconds (absolute budget)")
+    else:
+        print("  fattree4096_1mib.wall_seconds: missing from current report, "
+              "skipped")
 
-    for section in ("steady_state", "plan_cache"):
+    for section in ("steady_state", "plan_cache", "symmetry_collapse"):
         if section in current:
             print(f"  {section} (informational): "
                   f"{json.dumps(current[section], sort_keys=True)}")

@@ -46,6 +46,7 @@ sim::Task<> alltoall_pairwise(mpi::Rank& self, mpi::Comm& comm,
   const int tag = comm.begin_collective(me);
   const PlanPtr plan = get_plan(comm, PlanKind::kAlltoallPairwise,
                                 static_cast<Bytes>(send.size()));
+  mpi::Rank::ActionScope action(self, plan->action);
 
   // Own block moves locally.
   copy_bytes(block_of(recv, me, block).data(),
@@ -78,6 +79,7 @@ sim::Task<> alltoall_bruck(mpi::Rank& self, mpi::Comm& comm,
   const auto blk = static_cast<std::size_t>(block);
   const PlanPtr plan = get_plan(comm, PlanKind::kAlltoallBruck,
                                 static_cast<Bytes>(send.size()));
+  mpi::Rank::ActionScope action(self, plan->action);
 
   // Step 1 — local rotation: tmp[i] = block destined to rank (me + i) % P.
   std::vector<std::byte> tmp(static_cast<std::size_t>(P) * blk);

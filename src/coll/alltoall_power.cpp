@@ -76,6 +76,7 @@ sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
   PACC_EXPECTS(me >= 0);
   auto& barrier = comm.node_barrier(comm.node_of(me));
   const PlanPtr plan = get_plan(comm, PlanKind::kPowerExchange, bytes);
+  mpi::Rank::ActionScope action(self, plan->action);
 
   // Walk this rank's precomputed program (see build_power_exchange in
   // plan.cpp, which documents the §V schedule the actions encode). The

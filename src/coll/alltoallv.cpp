@@ -48,6 +48,7 @@ sim::Task<> alltoallv_pairwise(mpi::Rank& self, mpi::Comm& comm,
   const int tag = comm.begin_collective(me);
   const PlanPtr plan = get_plan(comm, PlanKind::kAlltoallvPairwise,
                                 static_cast<Bytes>(send.size()));
+  mpi::Rank::ActionScope action(self, plan->action);
   const auto sdispl = displacements(send_counts);
   const auto rdispl = displacements(recv_counts);
 

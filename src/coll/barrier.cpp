@@ -15,6 +15,7 @@ sim::Task<> barrier_dissemination(mpi::Rank& self, mpi::Comm& comm) {
   const int tag = comm.begin_collective(me);
   if (P == 1) co_return;
   const PlanPtr plan = get_plan(comm, PlanKind::kBarrierDissemination, 0);
+  mpi::Rank::ActionScope action(self, plan->action);
 
   std::array<std::byte, 1> token{std::byte{0x42}};
   std::array<std::byte, 1> sink{};

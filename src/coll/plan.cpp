@@ -26,6 +26,8 @@ void build_pairwise(const mpi::Comm& comm, CollPlan& plan) {
   const int P = comm.size();
   plan.pairwise_sendrecv =
       plan.kind == PlanKind::kAlltoallPairwise && is_pow2(P);
+  plan.action =
+      is_pow2(P) ? sym::CollapseAction::kXor : sym::CollapseAction::kCyclic;
   plan.pair_steps.resize(static_cast<std::size_t>(P));
   for (int me = 0; me < P; ++me) {
     auto& steps = plan.pair_steps[static_cast<std::size_t>(me)];
@@ -45,6 +47,7 @@ void build_pairwise(const mpi::Comm& comm, CollPlan& plan) {
 
 void build_bruck(const mpi::Comm& comm, CollPlan& plan) {
   const int P = comm.size();
+  plan.action = sym::CollapseAction::kCyclic;
   for (int k = 1; k < P; k <<= 1) {
     std::vector<std::int32_t> indices;
     for (int i = 1; i < P; ++i) {
@@ -56,6 +59,7 @@ void build_bruck(const mpi::Comm& comm, CollPlan& plan) {
 
 void build_dissemination(const mpi::Comm& comm, CollPlan& plan) {
   const int P = comm.size();
+  plan.action = sym::CollapseAction::kCyclic;
   plan.pair_steps.resize(static_cast<std::size_t>(P));
   for (int me = 0; me < P; ++me) {
     auto& steps = plan.pair_steps[static_cast<std::size_t>(me)];
@@ -93,13 +97,46 @@ void build_bcast_binomial(const mpi::Comm& comm, int root, CollPlan& plan) {
   }
 }
 
+/// Whether the comm gets the XOR-structured §V schedule instead of the
+/// historical circle-method one. On fat-tree shapes with power-of-two node
+/// and per-node rank counts, every phase's peer pattern can be expressed
+/// through XOR distances, which commute with the XOR translations the
+/// rank-symmetry collapse uses — so huge fabric communicators can run the
+/// proposed scheme collapsed. The flat-switch testbed keeps the circle
+/// tournament byte-identical to the historical schedule.
+bool power_exchange_is_xor(const mpi::Comm& comm) {
+  const auto& shape = comm.runtime().placement().shape;
+  const int N = static_cast<int>(comm.nodes().size());
+  return shape.has_fabric() && is_pow2(N) && comm.uniform_ppn() &&
+         is_pow2(static_cast<int>(
+             comm.members_on_node(comm.nodes().front()).size()));
+}
+
 /// The §V power-aware exchange, emitted as a per-rank program instead of
 /// executed. Every branch of the historical inline schedule maps to one
 /// action, in the same order, so the interpreter's awaits are identical.
+///
+/// XOR variant (power_exchange_is_xor): phases 2/3 enumerate peer nodes by
+/// XOR distance instead of ring offset, and phase 4 replaces the circle
+/// tournament with XOR rounds s = 1..N-1 pairing node n with n^s. A round's
+/// two sub-steps split socket roles by the lowest set bit of s (bit 0 nodes
+/// lend socket A first) — one socket per node on the wire, the paper's §V
+/// property. The exception: rounds whose distance is a multiple of the
+/// top-level fabric group size pair nodes that are translation images of
+/// each other, where no translation-invariant role split exists, so both
+/// sockets run in one merged sub-step. On a fat-tree those are (groups−1)
+/// of (N−1) rounds — a few percent of the phase.
 void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
   PACC_EXPECTS(power_aware_alltoall_applicable(comm));
   const int P = comm.size();
   const int N = static_cast<int>(comm.nodes().size());
+  const bool xor_sched = power_exchange_is_xor(comm);
+  const auto& shape = comm.runtime().placement().shape;
+  const int group_nodes =
+      shape.has_fabric() ? shape.fabric_nodes_per_group(shape.fabric_levels() - 1)
+                         : N;
+  plan.action =
+      xor_sched ? sym::CollapseAction::kXor : sym::CollapseAction::kNone;
   plan.actions.resize(static_cast<std::size_t>(P));
 
   auto node_at = [&](int index) {
@@ -146,8 +183,8 @@ void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
     emit(PowerAction::kPhaseBegin, 1);
     if (my_socket == kSocketA) {
       for (int off = 1; off < N; ++off) {
-        const int to_node = node_at((ni + off) % N);
-        const int from_node = node_at((ni - off + N) % N);
+        const int to_node = node_at(xor_sched ? ni ^ off : (ni + off) % N);
+        const int from_node = node_at(xor_sched ? ni ^ off : (ni - off + N) % N);
         for (const int peer : comm.socket_group(to_node, kSocketA)) {
           emit(PowerAction::kSend, peer);
         }
@@ -166,8 +203,8 @@ void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
     if (my_socket == kSocketB) {
       emit(PowerAction::kEnsureUnthrottled);
       for (int off = 1; off < N; ++off) {
-        const int to_node = node_at((ni + off) % N);
-        const int from_node = node_at((ni - off + N) % N);
+        const int to_node = node_at(xor_sched ? ni ^ off : (ni + off) % N);
+        const int from_node = node_at(xor_sched ? ni ^ off : (ni - off + N) % N);
         for (const int peer : comm.socket_group(to_node, kSocketB)) {
           emit(PowerAction::kSend, peer);
         }
@@ -183,6 +220,44 @@ void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
 
     // ---- Phase 4: cross-socket inter-node tournament ----------------
     emit(PowerAction::kPhaseBegin, 3);
+    if (xor_sched) {
+      for (int s = 1; s < N; ++s) {
+        const int pnode = node_at(ni ^ s);
+        if (s % group_nodes == 0) {
+          // Translation-symmetric distance: merged sub-step, both sockets.
+          emit(PowerAction::kEnsureUnthrottled);
+          emit_group_exchange(comm.socket_group(
+              pnode, my_socket == kSocketA ? kSocketB : kSocketA));
+          emit(PowerAction::kBarrier);
+          continue;
+        }
+        const int bit = s & -s;
+        const bool upper = (ni & bit) != 0;
+        // Sub-step a: A of bit-0 nodes ↔ B of bit-1 nodes.
+        if ((!upper && my_socket == kSocketA) ||
+            (upper && my_socket == kSocketB)) {
+          emit(PowerAction::kEnsureUnthrottled);
+          emit_group_exchange(
+              comm.socket_group(pnode, upper ? kSocketA : kSocketB));
+        } else {
+          emit(PowerAction::kEnsureThrottledMax);
+        }
+        emit(PowerAction::kBarrier);
+        // Sub-step b: roles swap.
+        if ((!upper && my_socket == kSocketB) ||
+            (upper && my_socket == kSocketA)) {
+          emit(PowerAction::kEnsureUnthrottled);
+          emit_group_exchange(
+              comm.socket_group(pnode, upper ? kSocketB : kSocketA));
+        } else {
+          emit(PowerAction::kEnsureThrottledMax);
+        }
+        emit(PowerAction::kBarrier);
+      }
+      emit(PowerAction::kPhaseEnd);
+      emit(PowerAction::kEnsureUnthrottled);
+      continue;
+    }
     const int rounds = tournament_rounds(N);
     for (int round = 0; round < rounds; ++round) {
       const int pi = tournament_peer(ni, round, N);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "coll/types.hpp"
+#include "sym/collapse.hpp"
 
 namespace pacc::coll {
 
@@ -105,6 +106,11 @@ struct CollPlan {
   std::vector<std::vector<std::int32_t>> children;
   /// kPowerExchange: per-rank interpreter program.
   std::vector<std::vector<PowerAction>> actions;
+  /// Group action the schedule commutes with (kXor for the power-of-two
+  /// pairwise exchange, kCyclic for distance-based schedules, kNone when
+  /// the schedule singles ranks out). Executors stamp this on the running
+  /// rank so a collapsed runtime can relabel cross-group traffic.
+  sym::CollapseAction action = sym::CollapseAction::kNone;
 };
 
 using PlanPtr = std::shared_ptr<const CollPlan>;

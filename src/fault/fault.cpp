@@ -63,6 +63,32 @@ std::uint64_t derive_cell_seed(std::uint64_t campaign_seed,
   return mix64(campaign_seed ^ mix64(0xc3a5c85c97cb3127ull + cell_index));
 }
 
+std::vector<int> FaultInjector::straggler_nodes(const FaultSpec& spec,
+                                                int nodes) {
+  std::vector<int> picked;
+  if (spec.stragglers <= 0 || spec.straggler_slowdown <= 1.0 || nodes <= 0) {
+    return picked;
+  }
+  std::vector<int> order(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) order[static_cast<std::size_t>(n)] = n;
+  const int count = std::min(spec.stragglers, nodes);
+  picked.reserve(static_cast<std::size_t>(count));
+  // Partial Fisher–Yates with per-position draws: the straggler set is a
+  // function of (seed, nodes) alone.
+  for (int i = 0; i < count; ++i) {
+    const double u = static_cast<double>(
+                         hash3(spec.seed, kStragglerPick,
+                               static_cast<std::uint64_t>(i), 0) >>
+                         11) *
+                     0x1.0p-53;
+    const int j = i + static_cast<int>(u * static_cast<double>(nodes - i));
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(j)]);
+    picked.push_back(order[static_cast<std::size_t>(i)]);
+  }
+  return picked;
+}
+
 // ---------------------------------------------------------- FaultSpec ----
 
 std::optional<FaultSpec> FaultSpec::parse(std::string_view text,
@@ -188,23 +214,8 @@ void FaultInjector::arm() {
         });
   }
 
-  if (spec_.stragglers > 0 && spec_.straggler_slowdown > 1.0) {
-    const int nodes = machine_.shape().nodes;
-    std::vector<int> order(static_cast<std::size_t>(nodes));
-    for (int n = 0; n < nodes; ++n) order[static_cast<std::size_t>(n)] = n;
-    const int count = std::min(spec_.stragglers, nodes);
-    // Partial Fisher–Yates with per-position draws: the straggler set is a
-    // function of (seed, nodes) alone.
-    for (int i = 0; i < count; ++i) {
-      const auto span = static_cast<double>(nodes - i);
-      const int j =
-          i + static_cast<int>(u01(kStragglerPick,
-                                   static_cast<std::uint64_t>(i), 0) * span);
-      std::swap(order[static_cast<std::size_t>(i)],
-                order[static_cast<std::size_t>(j)]);
-      machine_.set_node_slowdown(order[static_cast<std::size_t>(i)],
-                                 spec_.straggler_slowdown);
-    }
+  for (int node : straggler_nodes(spec_, machine_.shape().nodes)) {
+    machine_.set_node_slowdown(node, spec_.straggler_slowdown);
   }
 
   if (spec_.flap_rate_hz > 0.0) {

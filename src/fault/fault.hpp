@@ -158,6 +158,13 @@ class FaultInjector {
   static constexpr std::int32_t kFabricTrackPid = -1;  ///< per-link flaps
   static constexpr std::int32_t kRetryTrackPid = -2;   ///< per-transmission
 
+  /// The straggler node set `spec` selects on an `nodes`-node cluster — a
+  /// pure function of (spec.seed, nodes), exactly the nodes arm() slows.
+  /// Lets the symmetry-collapse gate name the classes a spec would break
+  /// without standing up an injector. Empty when the spec has no effective
+  /// stragglers.
+  static std::vector<int> straggler_nodes(const FaultSpec& spec, int nodes);
+
  private:
   hw::TransitionOutcome on_transition(const hw::CoreId& core,
                                       hw::TransitionKind kind);

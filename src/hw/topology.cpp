@@ -2,6 +2,44 @@
 
 namespace pacc::hw {
 
+int ClusterShape::fabric_nodes_per_group(int level) const {
+  PACC_EXPECTS(level >= 0 && level < fabric_levels());
+  int per_group = 1;
+  for (int l = 0; l <= level; ++l) {
+    per_group *= fabric[static_cast<std::size_t>(l)].group_size;
+  }
+  return per_group;
+}
+
+double ClusterShape::fabric_link_bandwidth(int level,
+                                           double node_link_bandwidth) const {
+  const auto& spec = fabric[static_cast<std::size_t>(level)];
+  if (spec.bandwidth > 0.0) return spec.bandwidth;
+  // Full bisection at this level would carry every child node's HCA
+  // bandwidth; the oversubscription ratio thins that out.
+  return node_link_bandwidth * fabric_nodes_per_group(level) /
+         spec.oversubscription;
+}
+
+bool ClusterShape::valid() const {
+  if (!(nodes >= 1 && sockets_per_node >= 1 && cores_per_socket >= 1 &&
+        nodes_per_rack >= 0)) {
+    return false;
+  }
+  if (fabric.empty()) return true;
+  if (nodes_per_rack != 0) return false;  // fabric replaces the rack layer
+  int per_group = 1;
+  for (const FabricLevelSpec& level : fabric) {
+    if (level.group_size < 2 || level.oversubscription < 1.0 ||
+        level.bandwidth < 0.0) {
+      return false;
+    }
+    per_group *= level.group_size;
+    if (per_group > nodes || nodes % per_group != 0) return false;
+  }
+  return true;
+}
+
 int linear_core(const ClusterShape& shape, const CoreId& id) {
   PACC_EXPECTS(id.node >= 0 && id.node < shape.nodes);
   PACC_EXPECTS(id.socket >= 0 && id.socket < shape.sockets_per_node);

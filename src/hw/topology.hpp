@@ -14,6 +14,26 @@
 
 namespace pacc::hw {
 
+/// One level of a fat-tree fabric, described bottom-up. Level 0 groups
+/// `group_size` *nodes* behind a shared pair of aggregation up/downlinks;
+/// level 1 groups `group_size` level-0 groups, and so on. The top level's
+/// groups hang off a non-blocking core crossbar (so the trivial
+/// single-level case with one group is today's flat switch).
+///
+/// The aggregation links of a level-ℓ group carry the traffic of
+/// `children(ℓ)` child units; at `oversubscription` 1.0 the uplink is
+/// provisioned with the full sum of the child bandwidths, at 2.0 with half
+/// of it, and so on. `bandwidth` (bytes/sec), when non-zero, overrides the
+/// derived value outright.
+struct FabricLevelSpec {
+  int group_size = 2;            ///< child units per group at this level
+  double oversubscription = 1.0; ///< >= 1.0; 1.0 = non-blocking
+  double bandwidth = 0.0;        ///< explicit per-direction link bw, 0 = derive
+
+  friend bool operator==(const FabricLevelSpec&,
+                         const FabricLevelSpec&) = default;
+};
+
 struct ClusterShape {
   int nodes = 8;
   int sockets_per_node = 2;
@@ -23,6 +43,14 @@ struct ClusterShape {
   /// 0 means "no rack layer" (every node in one rack, no aggregation
   /// switches). Nodes are grouped consecutively.
   int nodes_per_rack = 0;
+
+  /// Multi-level fat-tree fabric, bottom-up (see FabricLevelSpec). Empty
+  /// means the legacy shape: one non-blocking switch, plus the optional
+  /// `nodes_per_rack` aggregation layer above it. Non-empty replaces the
+  /// rack layer entirely (`nodes_per_rack` must then be 0); nodes are
+  /// grouped consecutively at every level, and the product of the level
+  /// group sizes must divide `nodes` evenly.
+  std::vector<FabricLevelSpec> fabric;
 
   int cores_per_node() const { return sockets_per_node * cores_per_socket; }
   int total_cores() const { return nodes * cores_per_node(); }
@@ -36,10 +64,23 @@ struct ClusterShape {
     return has_racks() ? node / nodes_per_rack : 0;
   }
 
-  bool valid() const {
-    return nodes >= 1 && sockets_per_node >= 1 && cores_per_socket >= 1 &&
-           nodes_per_rack >= 0;
+  bool has_fabric() const { return !fabric.empty(); }
+  int fabric_levels() const { return static_cast<int>(fabric.size()); }
+  /// Nodes per group at fabric level ℓ (cumulative product of group sizes).
+  int fabric_nodes_per_group(int level) const;
+  /// Number of level-ℓ groups.
+  int fabric_groups(int level) const {
+    return nodes / fabric_nodes_per_group(level);
   }
+  /// Which level-ℓ group `node` belongs to.
+  int fabric_group_of(int node, int level) const {
+    return node / fabric_nodes_per_group(level);
+  }
+  /// Derived (or explicit) per-direction aggregation-link bandwidth of one
+  /// level-ℓ group, given the per-node HCA link bandwidth.
+  double fabric_link_bandwidth(int level, double node_link_bandwidth) const;
+
+  bool valid() const;
 };
 
 /// Physical location of one core.

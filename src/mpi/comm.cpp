@@ -1,6 +1,7 @@
 #include "mpi/comm.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "mpi/message.hpp"
 #include "mpi/runtime.hpp"
@@ -173,6 +174,15 @@ std::uint64_t Comm::structure_fingerprint() const {
   mix(static_cast<std::uint64_t>(placement.shape.sockets_per_node));
   mix(static_cast<std::uint64_t>(placement.shape.cores_per_socket));
   mix(static_cast<std::uint64_t>(placement.shape.nodes_per_rack));
+  // Fabric shape and oversubscription: two fabrics sharing a rank count
+  // must never alias — plan-cache entries and symmetry-collapse classes
+  // are both keyed off this fingerprint.
+  mix(static_cast<std::uint64_t>(placement.shape.fabric.size()));
+  for (const hw::FabricLevelSpec& level : placement.shape.fabric) {
+    mix(static_cast<std::uint64_t>(level.group_size));
+    mix(std::bit_cast<std::uint64_t>(level.oversubscription));
+    mix(std::bit_cast<std::uint64_t>(level.bandwidth));
+  }
   mix(static_cast<std::uint64_t>(members_.size()));
   for (const int g : members_) {
     mix(static_cast<std::uint64_t>(g));

@@ -39,7 +39,39 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
       "send", "net",
       {{"dst", dst}, {"tag", tag}, {"bytes", static_cast<Bytes>(data.size())}});
   const auto& np = rt.network().params();
+
+  // Symmetry collapse: a destination beyond the representatives lives in a
+  // merged fabric group g. By equivariance the send r → dst is the
+  // g-translate of σ_g⁻¹(r) → σ_g⁻¹(dst), whose receiver IS a
+  // representative — so simulate that image: deliver to σ_g⁻¹(dst),
+  // labelled from σ_g⁻¹(r), with the flow forced over the top of the
+  // fabric exactly like the original. Startup costs still follow the
+  // LOGICAL geometry (cross-group is always inter-node).
+  int deliver_dst = dst;
+  int src_label = id_;
+  bool via_top = false;
+  if (const int physical = rt.physical_size(); dst >= physical) {
+    const int group = dst / physical;
+    deliver_dst = dst - group * physical;
+    switch (collapse_action_) {
+      case sym::CollapseAction::kXor:
+        // group·physical only has bits above the representative range, so
+        // the translate is the same subtraction as the cyclic case.
+        src_label = id_ ^ (group * physical);
+        break;
+      case sym::CollapseAction::kCyclic:
+        src_label = id_ - group * physical;
+        if (src_label < 0) src_label += rt.size();
+        break;
+      case sym::CollapseAction::kNone:
+        PACC_EXPECTS_MSG(false,
+                         "cross-group send outside an equivariant plan");
+    }
+    via_top = true;
+  }
+
   const int dst_node = rt.placement().node_of(dst);
+  const int wire_dst_node = rt.placement().node_of(deliver_dst);
   const bool intra = dst_node == node();
   // Blocking mode cannot use the shared-memory channel (§II-B): intra-node
   // traffic is pushed through the HCA loopback path.
@@ -56,14 +88,17 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
                                           intra});
   }
 
-  // Endpoints running below fmax / throttled leave gaps on the wire.
-  const hw::CoreId dst_core = rt.placement().core_of(dst);
+  // Endpoints running below fmax / throttled leave gaps on the wire. The
+  // receiving endpoint is the physical representative (whose DVFS/throttle
+  // state equals the logical destination's, by symmetry).
+  const hw::CoreId dst_core = rt.placement().core_of(deliver_dst);
   const double wire_mult = np.wire_multiplier(
       machine().freq_slowdown(core_), machine().throttle_slowdown(core_),
       machine().freq_slowdown(dst_core),
       machine().throttle_slowdown(dst_core));
 
-  Message msg = make_message(id_, tag, data, rt.params().synthetic_payloads);
+  Message msg =
+      make_message(src_label, tag, data, rt.params().synthetic_payloads);
   const Bytes bytes = static_cast<Bytes>(data.size());
 
   // Message faults force the reliable path for everything that crosses HCA
@@ -104,11 +139,12 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
     Runtime* rtp = &rt;
     rt.engine().retain_active();
     rt.network().start_flow(
-        node(), dst_node, bytes, loopback, wire_mult,
-        [rtp, dst, m = std::move(msg)]() mutable {
-          rtp->deliver_to(dst, std::move(m));
+        node(), wire_dst_node, bytes, loopback, wire_mult,
+        [rtp, deliver_dst, m = std::move(msg)]() mutable {
+          rtp->deliver_to(deliver_dst, std::move(m));
           rtp->engine().release_active();
-        });
+        },
+        via_top);
     co_return;
   }
   // Rendezvous: the sender is held until the payload lands. In blocking
@@ -117,15 +153,15 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
   // spins at full power.
   if (rt.params().mode == ProgressMode::kBlocking) {
     machine().set_activity(core_, hw::Activity::kIdle);
-    co_await rt.network().transfer(node(), dst_node, bytes, loopback,
-                                   wire_mult);
+    co_await rt.network().transfer(node(), wire_dst_node, bytes, loopback,
+                                   wire_mult, via_top);
     machine().set_activity(core_, hw::Activity::kBusy);
     co_await engine().delay(np.interrupt_latency + np.reschedule_latency);
   } else {
-    co_await rt.network().transfer(node(), dst_node, bytes, loopback,
-                                   wire_mult);
+    co_await rt.network().transfer(node(), wire_dst_node, bytes, loopback,
+                                   wire_mult, via_top);
   }
-  rt.deliver_to(dst, std::move(msg));
+  rt.deliver_to(deliver_dst, std::move(msg));
 }
 
 sim::Task<Message> Rank::await_message(int src, int tag) {
@@ -312,14 +348,22 @@ Runtime::Runtime(sim::Engine& engine, hw::Machine& machine,
       placement_(std::move(placement)),
       params_(params) {
   PACC_EXPECTS(placement_.ranks() >= 1);
+  PACC_EXPECTS(params_.collapse_multiplicity >= 1);
+  PACC_EXPECTS_MSG(placement_.ranks() % params_.collapse_multiplicity == 0,
+                   "collapse multiplicity must divide the rank count");
   // Cores without a pinned rank sit idle (C-state) instead of polling.
   const auto& shape = machine_.shape();
   for (int c = 0; c < shape.total_cores(); ++c) {
     machine_.set_activity(hw::core_from_linear(shape, c),
                           hw::Activity::kIdle);
   }
-  ranks_.reserve(static_cast<std::size_t>(placement_.ranks()));
-  for (int r = 0; r < placement_.ranks(); ++r) {
+  // Only the representatives are instantiated; on a 1:1 runtime that is
+  // every rank. The machine (quotient when collapsed) must hold them all.
+  const int physical = placement_.ranks() / params_.collapse_multiplicity;
+  PACC_EXPECTS_MSG(placement_.node_of(physical - 1) < shape.nodes,
+                   "representative ranks must fit the machine's nodes");
+  ranks_.reserve(static_cast<std::size_t>(physical));
+  for (int r = 0; r < physical; ++r) {
     const auto core = placement_.core_of(r);
     machine_.set_activity(core, hw::Activity::kBusy);
     ranks_.push_back(std::make_unique<Rank>(*this, r, core));
@@ -327,7 +371,7 @@ Runtime::Runtime(sim::Engine& engine, hw::Machine& machine,
 }
 
 Rank& Runtime::rank(int global_rank) {
-  PACC_EXPECTS(global_rank >= 0 && global_rank < size());
+  PACC_EXPECTS(global_rank >= 0 && global_rank < physical_size());
   return *ranks_[static_cast<std::size_t>(global_rank)];
 }
 

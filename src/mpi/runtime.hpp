@@ -29,6 +29,7 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
+#include "sym/collapse.hpp"
 #include "util/expect.hpp"
 
 namespace pacc::fault {
@@ -78,6 +79,15 @@ struct RuntimeParams {
   /// results minus GiBs of memcpy traffic. Leave off for programs that do
   /// read what they receive.
   bool synthetic_payloads = false;
+  /// Rank-symmetry collapse (see src/sym/collapse.hpp). The placement
+  /// still describes the FULL logical cluster, but only the first
+  /// `ranks / collapse_multiplicity` ranks — the representatives, which
+  /// occupy the machine's (quotient) nodes — are instantiated. A send to a
+  /// logical rank beyond the representatives is relabelled through the
+  /// executing plan's group action and lands on the representative of the
+  /// destination's class, over the fabric links the original would have
+  /// loaded. 1 = the normal 1:1 runtime.
+  int collapse_multiplicity = 1;
 };
 
 class Runtime;
@@ -181,6 +191,30 @@ class Rank {
   /// core under core_level_throttling), paying O_throttle.
   sim::Task<> throttle(int tstate);
 
+  // --- symmetry collapse ---
+
+  /// Group action of the collective plan currently executing on this rank
+  /// (kNone outside any plan walk). A collapsed runtime consults it to
+  /// relabel cross-group sends; see RuntimeParams::collapse_multiplicity.
+  sym::CollapseAction collapse_action() const { return collapse_action_; }
+
+  /// RAII: stamps a plan's group action on the rank for the duration of
+  /// the executor's walk. Nests safely (restores the previous action).
+  class ActionScope {
+   public:
+    ActionScope(Rank& rank, sym::CollapseAction action)
+        : rank_(rank), prev_(rank.collapse_action_) {
+      rank.collapse_action_ = action;
+    }
+    ~ActionScope() { rank_.collapse_action_ = prev_; }
+    ActionScope(const ActionScope&) = delete;
+    ActionScope& operator=(const ActionScope&) = delete;
+
+   private:
+    Rank& rank_;
+    sym::CollapseAction prev_;
+  };
+
  private:
   friend class Runtime;
 
@@ -191,6 +225,7 @@ class Rank {
   int id_;
   hw::CoreId core_;
   Mailbox mailbox_;
+  sym::CollapseAction collapse_action_ = sym::CollapseAction::kNone;
 };
 
 class Runtime {
@@ -200,7 +235,15 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  int size() const { return static_cast<int>(ranks_.size()); }
+  /// Logical cluster size: what world() spans and what send()/recv()
+  /// destinations are bounded by. Equals physical_size() except on a
+  /// collapsed runtime.
+  int size() const { return static_cast<int>(placement_.ranks()); }
+  /// Ranks actually instantiated (the representatives when collapsed).
+  int physical_size() const { return static_cast<int>(ranks_.size()); }
+  bool collapsed() const { return params_.collapse_multiplicity > 1; }
+  int collapse_multiplicity() const { return params_.collapse_multiplicity; }
+  /// A physical rank; global_rank must be below physical_size().
   Rank& rank(int global_rank);
   const hw::RankPlacement& placement() const { return placement_; }
   const RuntimeParams& params() const { return params_; }
@@ -254,8 +297,11 @@ class Runtime {
   /// Attaches the run's fault injector (owned by the caller; may be null).
   /// With message faults enabled, every inter-node or loopback send takes
   /// the reliable path: IB-RC-style retransmit with per-message ack
-  /// timeout, exponential backoff and a bounded retry budget.
+  /// timeout, exponential backoff and a bounded retry budget. Faults pin
+  /// events to named entities, so a collapsed runtime refuses an injector.
   void set_fault_injector(fault::FaultInjector* injector) {
+    PACC_EXPECTS_MSG(injector == nullptr || !collapsed(),
+                     "fault injection breaks rank symmetry — run 1:1");
     injector_ = injector;
   }
   fault::FaultInjector* fault_injector() { return injector_; }

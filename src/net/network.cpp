@@ -18,8 +18,15 @@ FlowNetwork::FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
     : engine_(engine), shape_(shape), params_(params) {
   PACC_EXPECTS(shape_.valid());
   PACC_EXPECTS(params_.link_bandwidth > 0.0 && params_.shm_bandwidth > 0.0);
-  const auto link_count =
+  PACC_EXPECTS_MSG(shape_.fabric_levels() <= kMaxFabricLevels,
+                   "at most three fat-tree fabric levels are supported");
+  std::size_t link_count =
       static_cast<std::size_t>(3 * shape_.nodes + 2 * shape_.racks());
+  fabric_link_base_.reserve(static_cast<std::size_t>(shape_.fabric_levels()));
+  for (int level = 0; level < shape_.fabric_levels(); ++level) {
+    fabric_link_base_.push_back(static_cast<int>(link_count));
+    link_count += static_cast<std::size_t>(2 * shape_.fabric_groups(level));
+  }
   link_bandwidth_.assign(link_count, 0.0);
   for (int n = 0; n < shape_.nodes; ++n) {
     link_bandwidth_[static_cast<std::size_t>(uplink(n))] =
@@ -34,6 +41,15 @@ FlowNetwork::FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
         rack_layer_enabled() ? params_.rack_bandwidth : params_.link_bandwidth;
     link_bandwidth_[static_cast<std::size_t>(rack_uplink(r))] = bw;
     link_bandwidth_[static_cast<std::size_t>(rack_downlink(r))] = bw;
+  }
+  for (int level = 0; level < shape_.fabric_levels(); ++level) {
+    const double bw =
+        shape_.fabric_link_bandwidth(level, params_.link_bandwidth);
+    for (int g = 0; g < shape_.fabric_groups(level); ++g) {
+      link_bandwidth_[static_cast<std::size_t>(fabric_uplink(level, g))] = bw;
+      link_bandwidth_[static_cast<std::size_t>(fabric_downlink(level, g))] =
+          bw;
+    }
   }
   link_efficiency_.assign(link_count, 1.0);
   link_head_.assign(link_count, kNullFlow);
@@ -115,13 +131,14 @@ void FlowNetwork::unlink_flow(std::uint32_t slot) {
 
 sim::Task<bool> FlowNetwork::transfer(int src_node, int dst_node, Bytes bytes,
                                       bool force_loopback,
-                                      double wire_multiplier) {
+                                      double wire_multiplier, bool via_top) {
   // A down link refuses new work before any bandwidth is allocated — even
   // a zero-byte header cannot cross it.
-  if (!path_up(src_node, dst_node, force_loopback)) co_return false;
+  if (!path_up(src_node, dst_node, force_loopback, via_top)) co_return false;
   if (bytes == 0) co_return true;
   const FlowHandle h = start_flow_impl(src_node, dst_node, bytes,
-                                       force_loopback, wire_multiplier, {});
+                                       force_loopback, wire_multiplier, {},
+                                       via_top);
   co_return co_await FlowAwaiter{*this, h};
 }
 
@@ -129,7 +146,8 @@ FlowNetwork::FlowHandle FlowNetwork::start_flow(int src_node, int dst_node,
                                                 Bytes bytes,
                                                 bool force_loopback,
                                                 double wire_multiplier,
-                                                sim::Callback on_delivered) {
+                                                sim::Callback on_delivered,
+                                                bool via_top) {
   if (bytes == 0) {
     // Nothing crosses the fabric; deliver from the engine at now() so the
     // callback still runs in event context, like any other delivery.
@@ -139,19 +157,54 @@ FlowNetwork::FlowHandle FlowNetwork::start_flow(int src_node, int dst_node,
     return FlowHandle{};
   }
   return start_flow_impl(src_node, dst_node, bytes, force_loopback,
-                         wire_multiplier, std::move(on_delivered));
+                         wire_multiplier, std::move(on_delivered), via_top);
+}
+
+void FlowNetwork::route_flow(Flow& flow, int src_node, int dst_node,
+                             bool force_loopback, bool via_top) const {
+  if (src_node == dst_node && !force_loopback && !via_top) {
+    flow.links[0] = shm_link(src_node);
+    flow.nlinks = 1;
+    // One core drives this copy; it cannot exceed the per-core copy rate
+    // even when the aggregate memory channel has headroom.
+    flow.rate_cap = params_.shm_per_flow_bandwidth;
+    return;
+  }
+  flow.links[0] = uplink(src_node);
+  flow.links[1] = downlink(dst_node);
+  flow.nlinks = 2;
+  if (shape_.has_fabric()) {
+    // Climb level by level until the endpoints share a group (or, via_top,
+    // all the way to the core crossbar): each level crossed costs the
+    // source group's uplink and the destination group's downlink.
+    for (int level = 0; level < shape_.fabric_levels(); ++level) {
+      const int sg = shape_.fabric_group_of(src_node, level);
+      const int dg = shape_.fabric_group_of(dst_node, level);
+      if (sg == dg && !via_top) break;
+      flow.links[flow.nlinks++] = fabric_uplink(level, sg);
+      flow.links[flow.nlinks++] = fabric_downlink(level, dg);
+    }
+    return;
+  }
+  const int src_rack = shape_.rack_of(src_node);
+  const int dst_rack = shape_.rack_of(dst_node);
+  if (rack_layer_enabled() && (src_rack != dst_rack || via_top)) {
+    flow.links[2] = rack_uplink(src_rack);
+    flow.links[3] = rack_downlink(dst_rack);
+    flow.nlinks = 4;
+  }
 }
 
 FlowNetwork::FlowHandle FlowNetwork::start_flow_impl(
     int src_node, int dst_node, Bytes bytes, bool force_loopback,
-    double wire_multiplier, sim::Callback on_delivered) {
+    double wire_multiplier, sim::Callback on_delivered, bool via_top) {
   PACC_EXPECTS(src_node >= 0 && src_node < shape_.nodes);
   PACC_EXPECTS(dst_node >= 0 && dst_node < shape_.nodes);
   PACC_EXPECTS(bytes > 0);
   PACC_EXPECTS(wire_multiplier >= 1.0);
   // Down links never host flows: transfer() refuses them up front, and the
   // water-filling below relies on every participating link having capacity.
-  PACC_ASSERT(path_up(src_node, dst_node, force_loopback));
+  PACC_ASSERT(path_up(src_node, dst_node, force_loopback, via_top));
 
   const std::uint32_t slot = alloc_flow();
   Flow& flow = flows_[slot];
@@ -168,29 +221,41 @@ FlowNetwork::FlowHandle FlowNetwork::start_flow_impl(
   flow.on_delivered = std::move(on_delivered);
   flow.active = true;
 
-  if (src_node == dst_node && !force_loopback) {
-    flow.links[0] = shm_link(src_node);
-    flow.nlinks = 1;
-    // One core drives this copy; it cannot exceed the per-core copy rate
-    // even when the aggregate memory channel has headroom.
-    flow.rate_cap = params_.shm_per_flow_bandwidth;
-  } else {
-    flow.links[0] = uplink(src_node);
-    flow.links[1] = downlink(dst_node);
-    flow.nlinks = 2;
-    const int src_rack = shape_.rack_of(src_node);
-    const int dst_rack = shape_.rack_of(dst_node);
-    if (rack_layer_enabled() && src_rack != dst_rack) {
-      flow.links[2] = rack_uplink(src_rack);
-      flow.links[3] = rack_downlink(dst_rack);
-      flow.nlinks = 4;
-    }
-  }
+  route_flow(flow, src_node, dst_node, force_loopback, via_top);
 
   link_flow(slot);
   ++active_count_;
-  recompute_component(flow.links, flow.nlinks);
+  ++flows_started_;
+  note_dirty(flow.links, flow.nlinks);
   return FlowHandle{slot, flow.gen};
+}
+
+// -------------------------------------------- deferred recompute flush ----
+
+void FlowNetwork::note_dirty(const std::int32_t* seeds, int nseeds) {
+  if (!params_.coalesce_rate_recomputes) {
+    recompute_component(seeds, nseeds);
+    return;
+  }
+  ++coalesced_;
+  dirty_seeds_.insert(dirty_seeds_.end(), seeds, seeds + nseeds);
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    engine_.schedule(Duration::zero(), [this] { flush_dirty(); });
+  }
+}
+
+void FlowNetwork::flush_dirty() {
+  flush_scheduled_ = false;
+  if (dirty_seeds_.empty()) return;
+  ++flushes_;
+  // recompute_component can enqueue follow-up dirt only through note_dirty,
+  // which appends to a fresh list (this one is moved out first).
+  std::vector<std::int32_t> seeds;
+  seeds.swap(dirty_seeds_);
+  recompute_component(seeds.data(), static_cast<int>(seeds.size()));
+  seeds.clear();
+  if (dirty_seeds_.empty()) dirty_seeds_.swap(seeds);  // keep the capacity
 }
 
 // ------------------------------------------------- incremental core ----
@@ -454,7 +519,7 @@ void FlowNetwork::on_complete(std::uint32_t slot, std::uint32_t gen) {
   free_flows_.push_back(slot);
   --active_count_;
 
-  recompute_component(dead_links, nlinks);
+  note_dirty(dead_links, nlinks);
 
   if (waiter) {
     engine_.schedule(Duration::zero(), [waiter] { waiter.resume(); });
@@ -467,18 +532,29 @@ void FlowNetwork::on_complete(std::uint32_t slot, std::uint32_t gen) {
 // ------------------------------------------------- link state (faults) ----
 
 bool FlowNetwork::path_up(int src_node, int dst_node,
-                          bool force_loopback) const {
-  if (src_node == dst_node && !force_loopback) {
+                          bool force_loopback, bool via_top) const {
+  if (src_node == dst_node && !force_loopback && !via_top) {
     return true;  // the shared-memory channel never faults
   }
   auto up = [this](int link) {
     return link_efficiency_[static_cast<std::size_t>(link)] > 0.0;
   };
   if (!up(uplink(src_node)) || !up(downlink(dst_node))) return false;
+  if (shape_.has_fabric()) {
+    for (int level = 0; level < shape_.fabric_levels(); ++level) {
+      const int sg = shape_.fabric_group_of(src_node, level);
+      const int dg = shape_.fabric_group_of(dst_node, level);
+      if (sg == dg && !via_top) break;
+      if (!up(fabric_uplink(level, sg)) || !up(fabric_downlink(level, dg))) {
+        return false;
+      }
+    }
+    return true;
+  }
   if (rack_layer_enabled()) {
     const int src_rack = shape_.rack_of(src_node);
     const int dst_rack = shape_.rack_of(dst_node);
-    if (src_rack != dst_rack &&
+    if ((src_rack != dst_rack || via_top) &&
         (!up(rack_uplink(src_rack)) || !up(rack_downlink(dst_rack)))) {
       return false;
     }
@@ -506,9 +582,26 @@ double FlowNetwork::rack_efficiency(int rack) const {
   return link_efficiency_[static_cast<std::size_t>(rack_uplink(rack))];
 }
 
+void FlowNetwork::set_fabric_efficiency(int level, int group,
+                                        double efficiency) {
+  PACC_EXPECTS(level >= 0 && level < shape_.fabric_levels());
+  PACC_EXPECTS(group >= 0 && group < shape_.fabric_groups(level));
+  set_unit_efficiency(fabric_uplink(level, group),
+                      fabric_downlink(level, group), efficiency);
+}
+
+double FlowNetwork::fabric_efficiency(int level, int group) const {
+  PACC_EXPECTS(level >= 0 && level < shape_.fabric_levels());
+  PACC_EXPECTS(group >= 0 && group < shape_.fabric_groups(level));
+  return link_efficiency_[static_cast<std::size_t>(fabric_uplink(level, group))];
+}
+
 void FlowNetwork::set_unit_efficiency(std::int32_t l1, std::int32_t l2,
                                       double efficiency) {
   PACC_EXPECTS(efficiency >= 0.0 && efficiency <= 1.0);
+  // Settle any rates deferred to the pending zero-delay flush before the
+  // preemption below inspects and kills flows.
+  flush_dirty();
   link_efficiency_[static_cast<std::size_t>(l1)] = efficiency;
   link_efficiency_[static_cast<std::size_t>(l2)] = efficiency;
   // Recompute seeds: the unit's own links plus every link of every
@@ -556,7 +649,8 @@ void FlowNetwork::preempt_link_flows(std::int32_t link,
   }
 }
 
-std::vector<FlowNetwork::FlowView> FlowNetwork::snapshot_flows() const {
+std::vector<FlowNetwork::FlowView> FlowNetwork::snapshot_flows() {
+  flush_dirty();
   std::vector<FlowView> views;
   views.reserve(active_count_);
   for (const Flow& flow : flows_) {

@@ -1,11 +1,17 @@
 // InfiniBand-like fabric model: fluid flows with max–min fair sharing.
 //
-// The switch is non-blocking (as the paper's Mellanox QDR switch is for this
-// scale), so contention arises only at the endpoints: every node has one HCA
-// uplink and one downlink of fixed bandwidth, and one intra-node
-// shared-memory channel. Each in-flight message is a fluid flow across the
-// links it traverses; rates are recomputed by max–min water-filling whenever
-// a flow starts or ends, and completion events are rescheduled accordingly.
+// The leaf switch is non-blocking (as the paper's Mellanox QDR switch is
+// for this scale), so at the paper's scale contention arises only at the
+// endpoints: every node has one HCA uplink and one downlink of fixed
+// bandwidth, and one intra-node shared-memory channel. Beyond that scale
+// the shape may describe a multi-level fat-tree (ClusterShape::fabric):
+// each level groups nodes behind a shared pair of aggregation up/downlinks
+// whose bandwidth the level's oversubscription ratio thins out, and a flow
+// additionally traverses the aggregation links of every level below its
+// endpoints' lowest common group. Each in-flight message is a fluid flow
+// across the links it traverses; rates are recomputed by max–min
+// water-filling whenever a flow starts or ends, and completion events are
+// rescheduled accordingly.
 //
 // Hot-path structure (see docs/PERF.md): flows live in a slab
 // (std::vector + free list, stable slot indices) threaded onto intrusive
@@ -53,7 +59,10 @@ struct NetworkParams {
   /// extension, §VIII). Inter-rack traffic of all of a rack's nodes shares
   /// this; with nodes_per_rack·link_bandwidth greater than this, the fabric
   /// is oversubscribed, as production rack switches are. 0 disables the
-  /// rack layer even when the shape defines racks.
+  /// rack layer even when the shape defines racks. Ignored when the shape
+  /// carries a multi-level fabric (ClusterShape::fabric), whose per-level
+  /// aggregation bandwidths derive from link_bandwidth and each level's
+  /// oversubscription ratio instead.
   double rack_bandwidth = 6.4e9;  ///< bytes/second
 
   /// Per-message CPU start-up cost for an inter-node send at fmax/T0
@@ -106,6 +115,20 @@ struct NetworkParams {
   /// completion, kept for the equivalence suite.
   bool steady_state_fast_forward = true;
 
+  /// Coalesce same-instant rate recomputes: a flow arrival or departure
+  /// only records its links as dirty seeds and schedules one zero-delay
+  /// flush; the water-filling pass runs once per simulated instant over the
+  /// union of dirty components instead of once per flow event. A wave of n
+  /// simultaneous arrivals (a socket group released from a barrier, a
+  /// completion batch draining) costs one O(component) pass instead of n.
+  /// Rates and completion instants are unchanged — every deferred pass runs
+  /// at the same timestamp the eager passes would have, over the same final
+  /// flow set, and max–min water-filling depends only on that set — so all
+  /// simulated times are identical; only the interleaving of same-instant
+  /// bookkeeping events differs. Off = recompute on every event, kept for
+  /// the equivalence suite.
+  bool coalesce_rate_recomputes = true;
+
   /// Wire-occupancy multiplier for a transfer between endpoints with the
   /// given CPU slowdown factors (1.0 = full speed).
   double wire_multiplier(double sender_freq_slowdown,
@@ -137,13 +160,18 @@ class FlowNetwork {
   /// With `force_loopback`, an intra-node transfer is routed out and back
   /// through the HCA instead of shared memory — the paper's blocking-mode
   /// fallback (§II-B). `wire_multiplier` inflates the transfer's wire
-  /// occupancy (see NetworkParams::wire_multiplier). Returns whether the
-  /// payload landed: false when the path crosses a downed link, either at
-  /// start or mid-flight (the flow is preempted). On a healthy fabric the
-  /// result is always true.
+  /// occupancy (see NetworkParams::wire_multiplier). With `via_top` the
+  /// flow climbs the whole fabric hierarchy to the core crossbar and back
+  /// down regardless of where the endpoints actually sit — the
+  /// symmetry-collapse runtime uses this to route a representative of a
+  /// cross-group flow over the links its original would have loaded.
+  /// Returns whether the payload landed: false when the path crosses a
+  /// downed link, either at start or mid-flight (the flow is preempted).
+  /// On a healthy fabric the result is always true.
   sim::Task<bool> transfer(int src_node, int dst_node, Bytes bytes,
                            bool force_loopback = false,
-                           double wire_multiplier = 1.0);
+                           double wire_multiplier = 1.0,
+                           bool via_top = false);
 
   /// Fire-and-forget variant for hot paths (e.g. eager sends): starts the
   /// flow immediately — no coroutine frame — and runs `on_delivered` from
@@ -151,7 +179,7 @@ class FlowNetwork {
   /// callback at now() and returns an inactive handle.
   FlowHandle start_flow(int src_node, int dst_node, Bytes bytes,
                         bool force_loopback, double wire_multiplier,
-                        sim::Callback on_delivered);
+                        sim::Callback on_delivered, bool via_top = false);
 
   /// Whether the flow behind `h` is still in flight.
   bool flow_active(FlowHandle h) const {
@@ -174,13 +202,25 @@ class FlowNetwork {
   double hca_efficiency(int node) const;
   double rack_efficiency(int rack) const;
 
+  /// Efficiency of one fat-tree aggregation group's up/down link pair
+  /// (multi-level fabrics only; `level` / `group` follow ClusterShape's
+  /// fabric indexing).
+  void set_fabric_efficiency(int level, int group, double efficiency);
+  double fabric_efficiency(int level, int group) const;
+
   /// Whether every link of the path src→dst currently has bandwidth. The
   /// shared-memory channel never faults, so intra-node paths (unless forced
   /// through the HCA loopback) are always up.
-  bool path_up(int src_node, int dst_node, bool force_loopback = false) const;
+  bool path_up(int src_node, int dst_node, bool force_loopback = false,
+               bool via_top = false) const;
 
   /// Flows killed mid-flight by a link going down.
   std::uint64_t flows_preempted() const { return preempted_; }
+
+  /// Flows started over the network's lifetime (shared-memory and fabric
+  /// alike). Under rank-symmetry collapse each flow stands for
+  /// `multiplicity` logical flows, so this is the representative count.
+  std::uint64_t flows_started() const { return flows_started_; }
 
   /// Number of flows currently in flight (for tests / instrumentation).
   std::size_t active_flows() const { return active_count_; }
@@ -208,18 +248,32 @@ class FlowNetwork {
   /// pass entirely (the heap is never touched).
   std::uint64_t noop_recomputes() const { return noop_recomputes_; }
 
+  /// Deferred-recompute flushes run (coalesce_rate_recomputes on): one per
+  /// simulated instant with flow churn, regardless of how many arrivals
+  /// and departures that instant saw.
+  std::uint64_t recompute_flushes() const { return flushes_; }
+
+  /// Flow add/remove events whose rate recompute was folded into a flush
+  /// instead of running eagerly.
+  std::uint64_t coalesced_recomputes() const { return coalesced_; }
+
   /// Introspection snapshot of the active flows (tests / tools): links
-  /// traversed, current max–min rate, and the per-flow ceiling.
+  /// traversed, current max–min rate, and the per-flow ceiling. Settles any
+  /// recompute deferred to the pending zero-delay flush first, so the rates
+  /// observed are the ones the current flow set will actually run at.
   struct FlowView {
     std::vector<int> links;
     double rate = 0.0;
     double rate_cap = 0.0;
     double remaining = 0.0;
   };
-  std::vector<FlowView> snapshot_flows() const;
+  std::vector<FlowView> snapshot_flows();
 
  private:
-  static constexpr int kMaxLinks = 4;  ///< up + down + rack up + rack down
+  /// HCA up + down, plus an aggregation up + down pair at every fat-tree
+  /// level (the legacy rack layer counts as one level).
+  static constexpr int kMaxFabricLevels = 3;
+  static constexpr int kMaxLinks = 2 + 2 * kMaxFabricLevels;
   static constexpr std::uint32_t kNullFlow = 0xffffffffu;
   static constexpr std::uint32_t kNoBatch = 0xffffffffu;
 
@@ -269,13 +323,37 @@ class FlowNetwork {
   int rack_downlink(int rack) const {
     return 3 * shape_.nodes + shape_.racks() + rack;
   }
+  // Fat-tree aggregation links live past the legacy id space; per level,
+  // all up links first, then all down links.
+  int fabric_uplink(int level, int group) const {
+    return fabric_link_base_[static_cast<std::size_t>(level)] + group;
+  }
+  int fabric_downlink(int level, int group) const {
+    return fabric_link_base_[static_cast<std::size_t>(level)] +
+           shape_.fabric_groups(level) + group;
+  }
   bool rack_layer_enabled() const {
     return shape_.has_racks() && params_.rack_bandwidth > 0.0;
   }
 
+  /// Fills flow.links/nlinks with the path src→dst (see transfer() for
+  /// force_loopback / via_top semantics) and sets the shm rate cap when the
+  /// path is the intra-node channel.
+  void route_flow(Flow& flow, int src_node, int dst_node, bool force_loopback,
+                  bool via_top) const;
+
   FlowHandle start_flow_impl(int src_node, int dst_node, Bytes bytes,
                              bool force_loopback, double wire_multiplier,
-                             sim::Callback on_delivered);
+                             sim::Callback on_delivered, bool via_top);
+
+  /// Runs — or, with coalesce_rate_recomputes, defers to a zero-delay
+  /// flush — the water-filling pass for an arrival/departure touching
+  /// `seeds`.
+  void note_dirty(const std::int32_t* seeds, int nseeds);
+
+  /// Processes every deferred seed now (the scheduled flush, and fault
+  /// entry points that need rates current before they act).
+  void flush_dirty();
 
   void set_unit_efficiency(std::int32_t l1, std::int32_t l2,
                            double efficiency);
@@ -320,6 +398,13 @@ class FlowNetwork {
   hw::ClusterShape shape_;
   NetworkParams params_;
 
+  /// First link id of each fabric level's aggregation links.
+  std::vector<int> fabric_link_base_;
+
+  // Deferred-recompute state (coalesce_rate_recomputes).
+  std::vector<std::int32_t> dirty_seeds_;
+  bool flush_scheduled_ = false;
+
   // Per-link state, indexed by link id.
   std::vector<double> link_bandwidth_;
   std::vector<double> link_efficiency_;     ///< fault layer; 1 = healthy
@@ -355,9 +440,12 @@ class FlowNetwork {
   std::uint64_t recomputes_ = 0;
   std::uint64_t reschedules_ = 0;
   std::uint64_t preempted_ = 0;
+  std::uint64_t flows_started_ = 0;
   std::uint64_t completion_batches_ = 0;
   std::uint64_t batched_completions_ = 0;
   std::uint64_t noop_recomputes_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t coalesced_ = 0;
 };
 
 }  // namespace pacc::net

@@ -102,6 +102,15 @@ RunStatus validate(const SweepCell& cell) {
   if (cell.bench.message < 0) {
     return RunStatus::error("negative message size");
   }
+  if (!cell.cluster.fabric.empty()) {
+    hw::ClusterShape shape;
+    shape.nodes = cell.cluster.nodes;
+    shape.nodes_per_rack = cell.cluster.nodes_per_rack;
+    shape.fabric = cell.cluster.fabric;
+    if (!shape.valid()) {
+      return RunStatus::error("invalid fabric description");
+    }
+  }
   return {};
 }
 
@@ -248,6 +257,7 @@ void write_campaign_json(std::ostream& out, const SweepSpec& spec,
         "\"status\": \"%s\", \"status_message\": \"%s\", "
         "\"latency_us\": %.3f, \"energy_per_op_j\": %.6f, "
         "\"mean_power_w\": %.3f, "
+        "\"collapse_multiplicity\": %d, \"collapse_classes\": %d, "
         "\"fault_drops\": %llu, \"fault_delays\": %llu, "
         "\"fault_retransmits\": %llu, \"fault_abandoned\": %llu, "
         "\"fault_link_flaps\": %llu, \"fault_flows_preempted\": %llu, "
@@ -260,7 +270,8 @@ void write_campaign_json(std::ostream& out, const SweepSpec& spec,
         static_cast<long long>(cell.bench.message), cell.bench.iterations,
         cell.bench.warmup, to_string(r.status.outcome).c_str(),
         message.c_str(), r.report.latency.us(), r.report.energy_per_op,
-        r.report.mean_power, static_cast<unsigned long long>(f.drops),
+        r.report.mean_power, r.report.collapse.multiplicity,
+        r.report.collapse.classes, static_cast<unsigned long long>(f.drops),
         static_cast<unsigned long long>(f.delays),
         static_cast<unsigned long long>(f.retransmits),
         static_cast<unsigned long long>(f.messages_abandoned),

@@ -13,7 +13,7 @@ hw::MachineParams paper_machine(int nodes) {
   m.fmax = Frequency::ghz(2.4);
   m.dvfs_overhead = Duration::micros(12.0);      // "within 10-15 usecs"
   m.throttle_overhead = Duration::micros(10.0);
-  // Calibration (see DESIGN.md §7): with 8 nodes fully polling at fmax the
+  // Calibration (see DESIGN.md §8): with 8 nodes fully polling at fmax the
   // system draws 8·(120 + 2·20 + 8·(4+12)) = 2.304 KW; at fmin ≈ 1.79 KW;
   // with half the cores at T7 ≈ 1.66 KW.
   m.power.node_base = 120.0;

@@ -2,10 +2,12 @@
 
 #include <cstring>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <vector>
 
 #include "coll/plan.hpp"
+#include "sym/collapse.hpp"
 #include "util/expect.hpp"
 
 namespace pacc {
@@ -19,21 +21,46 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
   if (config.nodes_per_rack > 0) {
     machine_params.shape.nodes_per_rack = config.nodes_per_rack;
   }
+  machine_params.shape.fabric = config.fabric;
   machine_params.core_level_throttling = config.core_level_throttling;
   const net::NetworkParams network_params =
       config.network.value_or(presets::paper_network());
+
+  // Rank-symmetry collapse (src/sym/collapse.hpp): the machine and network
+  // model only the first top-level fabric group — the quotient — while the
+  // placement below keeps the full logical cluster, so communicators and
+  // schedules still see every rank. The quotient keeps the same fabric
+  // vector: its top level simply has one group, and per-level link
+  // bandwidths derive identically.
+  const hw::ClusterShape full_shape = machine_params.shape;
+  const int multiplicity =
+      config.collapse_multiplicity > 1 ? config.collapse_multiplicity : 1;
+  if (multiplicity > 1) {
+    PACC_EXPECTS_MSG(!config.obs.trace && !config.governor.enabled &&
+                         !config.faults.active(),
+                     "collapse requires a symmetric, unobserved run "
+                     "(no trace, no governor, no faults)");
+    PACC_EXPECTS_MSG(config.nodes % multiplicity == 0 &&
+                         config.ranks % multiplicity == 0,
+                     "collapse multiplicity must divide nodes and ranks");
+    PACC_EXPECTS_MSG(config.ranks == config.nodes * config.ranks_per_node,
+                     "collapse requires full uniform occupancy");
+    machine_params.shape.nodes = config.nodes / multiplicity;
+  }
+  PACC_EXPECTS_MSG(machine_params.shape.valid(), "invalid cluster shape");
 
   engine_ = std::make_unique<sim::Engine>();
   machine_ = std::make_unique<hw::Machine>(*engine_, machine_params);
   network_ = std::make_unique<net::FlowNetwork>(
       *engine_, machine_params.shape, network_params);
 
-  auto placement = hw::place_ranks(machine_params.shape, config.ranks,
+  auto placement = hw::place_ranks(full_shape, config.ranks,
                                    config.ranks_per_node, config.affinity);
   mpi::RuntimeParams rt_params;
   rt_params.mode = config.progress;
   rt_params.governor = config.governor;
   rt_params.synthetic_payloads = config.synthetic_payloads;
+  rt_params.collapse_multiplicity = multiplicity;
   runtime_ = std::make_unique<mpi::Runtime>(*engine_, *machine_, *network_,
                                             std::move(placement), rt_params);
   // Private cache unless the caller injected a shared one (Campaign does,
@@ -162,6 +189,15 @@ struct Buffers {
   std::vector<std::byte> recv;
   std::vector<Bytes> send_counts;
   std::vector<Bytes> recv_counts;
+  /// kAlltoall / kAlltoallv: one uninitialized arena backing both views.
+  /// At 4096 ranks × 1 MiB blocks each buffer spans 4 GiB of address
+  /// space; the pure data-movement executors never do arithmetic on the
+  /// contents, so leaving the pages untouched until a rank copies into
+  /// its own slices keeps resident memory bounded by the actual working
+  /// set. Ops that compute on their buffers keep the zeroed vectors.
+  std::unique_ptr<std::byte[]> arena;
+  std::span<std::byte> send_view;
+  std::span<std::byte> recv_view;
 };
 
 Buffers make_buffers(const CollectiveBenchSpec& spec, int ranks) {
@@ -171,15 +207,15 @@ Buffers make_buffers(const CollectiveBenchSpec& spec, int ranks) {
   const auto m = static_cast<std::size_t>(msg);
   switch (spec.op) {
     case coll::Op::kAlltoall:
-      b.send.resize(P * m);
-      b.recv.resize(P * m);
-      break;
     case coll::Op::kAlltoallv:
-      b.send_counts.assign(P, msg);
-      b.recv_counts.assign(P, msg);
-      b.send.resize(P * m);
-      b.recv.resize(P * m);
-      break;
+      if (spec.op == coll::Op::kAlltoallv) {
+        b.send_counts.assign(P, msg);
+        b.recv_counts.assign(P, msg);
+      }
+      b.arena.reset(new std::byte[2 * P * m]);
+      b.send_view = std::span<std::byte>(b.arena.get(), P * m);
+      b.recv_view = std::span<std::byte>(b.arena.get() + P * m, P * m);
+      return b;
     case coll::Op::kBcast:
       b.send.resize(m);
       break;
@@ -211,6 +247,8 @@ Buffers make_buffers(const CollectiveBenchSpec& spec, int ranks) {
     case coll::Op::kBarrier:
       break;
   }
+  b.send_view = b.send;
+  b.recv_view = b.recv;
   return b;
 }
 
@@ -219,12 +257,13 @@ sim::Task<> run_op_once(mpi::Rank& self, mpi::Comm& comm,
   const Bytes msg = round_to_doubles(spec.message);
   switch (spec.op) {
     case coll::Op::kAlltoall:
-      co_await coll::alltoall(self, comm, b.send, b.recv, msg,
+      co_await coll::alltoall(self, comm, b.send_view, b.recv_view, msg,
                               {.scheme = spec.scheme});
       break;
     case coll::Op::kAlltoallv:
-      co_await coll::alltoallv(self, comm, b.send, b.send_counts, b.recv,
-                               b.recv_counts, {.scheme = spec.scheme});
+      co_await coll::alltoallv(self, comm, b.send_view, b.send_counts,
+                               b.recv_view, b.recv_counts,
+                               {.scheme = spec.scheme});
       break;
     case coll::Op::kBcast:
       co_await coll::bcast(self, comm, b.send, spec.root,
@@ -282,6 +321,12 @@ CollectiveReport measure_collective(const ClusterConfig& config,
   // at MiB block sizes) dominated wall time.
   ClusterConfig harness_config = config;
   harness_config.synthetic_payloads = true;
+  // Rank-symmetry collapse: when the whole measurement commutes with the
+  // fabric's top-level group symmetry, simulate one representative group
+  // and scale the energy integrals back up (timing needs no scaling — the
+  // representative's window IS the full system's, bit for bit).
+  const sym::CollapseDecision collapse = sym::decide(config, spec);
+  harness_config.collapse_multiplicity = collapse.multiplicity;
   Simulation sim(harness_config);
   auto window = std::make_shared<TimedWindow>();
 
@@ -317,16 +362,27 @@ CollectiveReport measure_collective(const ClusterConfig& config,
   CollectiveReport report;
   report.status = run.status;
   report.faults = run.faults;
+  report.collapse.multiplicity = collapse.multiplicity;
+  report.collapse.classes = collapse.classes;
+  report.collapse.logical_ranks = config.ranks;
+  report.collapse.simulated_ranks = config.ranks / collapse.multiplicity;
+  report.collapse.reason = collapse.reason;
+  report.collapse.broken_classes = collapse.broken_classes;
+  report.collapse.representative_flows = sim.network().flows_started();
+  // Latency is the representative group's window verbatim; energy and
+  // power integrate over the quotient machine and scale by the class size.
+  const double scale = static_cast<double>(collapse.multiplicity);
   const Duration window_time = window->t1 - window->t0;
   report.latency = window_time / static_cast<double>(spec.iterations);
   report.energy_per_op =
-      (window->e1 - window->e0) / static_cast<double>(spec.iterations);
+      (window->e1 - window->e0) / static_cast<double>(spec.iterations) * scale;
   if (window_time.ns() > 0) {
-    report.mean_power = (window->e1 - window->e0) / window_time.sec();
+    report.mean_power =
+        (window->e1 - window->e0) / window_time.sec() * scale;
   }
   for (const auto& sample : run.power.samples()) {
     if (sample.time >= window->t0 && sample.time <= window->t1) {
-      report.power.add(sample.time, sample.watts);
+      report.power.add(sample.time, sample.watts * scale);
     }
   }
   if (obs::TraceRecorder* tracer = sim.tracer()) {

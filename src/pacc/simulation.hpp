@@ -15,6 +15,7 @@
 // handles warmup, timing barriers and per-iteration averaging.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -58,6 +59,17 @@ struct ClusterConfig {
   int ranks_per_node = 8;
   /// Rack layer for the topology-aware extension (§VIII); 0 disables it.
   int nodes_per_rack = 0;
+  /// Multi-level fat-tree fabric, bottom-up (see hw::FabricLevelSpec).
+  /// Empty keeps the legacy flat switch (+ optional rack layer); non-empty
+  /// requires nodes_per_rack == 0 and the cumulative group sizes to divide
+  /// `nodes`.
+  std::vector<hw::FabricLevelSpec> fabric;
+  /// Rank-symmetry collapse (see src/sym/collapse.hpp): 0 lets
+  /// measure_collective collapse eligible runs automatically, 1 forces the
+  /// full 1:1 simulation, >1 demands exactly that multiplicity (and errors
+  /// if the fabric's top level does not provide it). Only
+  /// measure_collective honors this; Simulation::run is always 1:1.
+  int collapse_multiplicity = 0;
   hw::AffinityPolicy affinity = hw::AffinityPolicy::kBunch;
   mpi::ProgressMode progress = mpi::ProgressMode::kPolling;
   bool core_level_throttling = false;  ///< §V-B "future architectures"
@@ -111,6 +123,27 @@ struct RunReport {
   }
 };
 
+/// How a measurement's rank-symmetry collapse went (see
+/// src/sym/collapse.hpp). Default-constructed = ran 1:1 with no reason
+/// recorded (ops that never consult the gate).
+struct CollapseStats {
+  int multiplicity = 1;       ///< logical ranks per simulated rank
+  int classes = 0;            ///< representative ranks simulated (0 = 1:1)
+  int logical_ranks = 0;      ///< what the report describes
+  int simulated_ranks = 0;    ///< what actually ran
+  std::string reason;         ///< why the run stayed 1:1 ("" when collapsed)
+  /// Node classes whose symmetry the fault spec broke (straggler blame).
+  std::vector<int> broken_classes;
+  /// Flows the simulation actually started; each stands for `multiplicity`
+  /// logical flows, so logical_flows() is the full cluster's count.
+  std::uint64_t representative_flows = 0;
+
+  bool active() const { return multiplicity > 1; }
+  std::uint64_t logical_flows() const {
+    return representative_flows * static_cast<std::uint64_t>(multiplicity);
+  }
+};
+
 /// Outcome of an OSU-style collective measurement.
 struct CollectiveReport {
   /// Structured outcome (kError also covers unsupported op×scheme
@@ -128,6 +161,9 @@ struct CollectiveReport {
   std::string trace_json;
   /// Injected-fault / recovery counters (all zero on a fault-free run).
   fault::FaultStats faults;
+  /// Rank-symmetry collapse outcome; energy_per_op / mean_power / power
+  /// are already scaled back up to the logical cluster when it is active.
+  CollapseStats collapse;
 
   [[deprecated("use status.ok() / status.outcome")]] bool completed() const {
     return status.ok();

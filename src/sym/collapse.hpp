@@ -1,0 +1,73 @@
+// Rank-symmetry collapse: simulate one representative per symmetry class.
+//
+// Since the collective layer became a pure per-rank plan program (PR 5), a
+// rank's behaviour is a function of (plan program, placement class, fabric
+// position class) alone. On a fabric whose top level consists of m
+// identical groups — or a flat switch, where every node is such a group —
+// the ranks split into N/m classes of m interchangeable members each, and
+// the whole run can be simulated on the quotient cluster holding just the
+// first group: every flow, completion and energy integral of the missing
+// groups is a byte-exact image of a representative's, so reports scale by
+// the multiplicity m instead of being simulated m times.
+//
+// The collapse is sound only when the whole run commutes with the group
+// action that permutes the classes:
+//  - kCyclic: rank translation x → (x + k·R) mod N. Satisfied by the
+//    non-power-of-two pairwise schedule, Bruck, and the dissemination
+//    barrier, whose peer offsets depend only on distance.
+//  - kXor: rank reflection x → x ⊕ (k·R) (N, R powers of two). Satisfied
+//    by the power-of-two pairwise schedule (peer = me ^ step).
+// The proposed power-aware exchange is NOT equivariant — its phase-4
+// tournament (circle method, fixed player 0) singles ranks out — so it
+// always runs 1:1, as do rooted collectives, traced runs and faulted runs
+// (a straggler or link flap breaks exactly the classes it lands on).
+//
+// decide() is the single eligibility gate: it inspects a measurement's
+// cluster + spec and returns the multiplicity to run with, the reason when
+// it degrades to 1:1, and the classes a fault spec would break.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pacc {
+struct ClusterConfig;
+struct CollectiveBenchSpec;
+}  // namespace pacc
+
+namespace pacc::sym {
+
+/// Group action a plan's schedule commutes with; executors stamp the
+/// action on the sending rank while walking a plan, and the collapsed
+/// runtime uses it to relabel cross-group messages (see mpi::Rank::send).
+enum class CollapseAction : std::uint8_t {
+  kNone,    ///< no rewrite legal — cross-group sends assert
+  kCyclic,  ///< x → (x + k·R) mod N
+  kXor,     ///< x → x ⊕ (k·R); requires power-of-two N and R
+};
+
+/// Verdict of the eligibility gate for one measurement.
+struct CollapseDecision {
+  /// Class size m: every simulated rank stands for m logical ranks.
+  /// 1 = run uncollapsed.
+  int multiplicity = 1;
+  /// Distinct rank-symmetry classes (= representative ranks simulated).
+  int classes = 0;
+  /// Why the run stays 1:1 (empty when collapsed).
+  std::string reason;
+  /// Node classes (node index within the representative group, or the
+  /// straggler's own node for pinned faults) whose symmetry the fault spec
+  /// breaks. Non-empty only when faults forced multiplicity 1.
+  std::vector<int> broken_classes;
+
+  bool active() const { return multiplicity > 1; }
+};
+
+/// Eligibility gate: the multiplicity measure_collective should run
+/// `spec` on `config` with. Honors ClusterConfig::collapse_multiplicity
+/// (0 = decide here, 1 = forced full, >1 = forced — validated).
+CollapseDecision decide(const ClusterConfig& config,
+                        const CollectiveBenchSpec& spec);
+
+}  // namespace pacc::sym

@@ -58,7 +58,7 @@ TEST(PowerParams, MonotoneInThrottleLevel) {
 }
 
 TEST(Presets, PaperSystemPowerBands) {
-  // DESIGN.md §7: default ≈ 2.3 KW, DVFS ≈ 1.8 KW, half-T7 ≈ 1.6-1.7 KW.
+  // DESIGN.md §8: default ≈ 2.3 KW, DVFS ≈ 1.8 KW, half-T7 ≈ 1.6-1.7 KW.
   const auto m = presets::paper_machine(8);
   const auto& p = m.power;
   const int cores = m.shape.total_cores();

@@ -12,7 +12,10 @@
 //   paccbench --workload my_app.wl --ranks 32 --ppn 4 --scheme dvfs
 //
 // Cluster knobs: --nodes, --affinity bunch|scatter, --mode polling|blocking,
-// --governor [threshold_us], --core-throttle, --racks <nodes_per_rack>.
+// --governor [threshold_us], --core-throttle, --racks <nodes_per_rack>,
+// --fabric <size[:oversub],...> (fat-tree levels, bottom-up), --collapse
+// <0 auto | 1 full | N forced multiplicity>.
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -54,6 +57,13 @@ int usage(const char* argv0) {
       << "  --governor [US]    enable the black-box DVFS governor\n"
       << "  --core-throttle    core-granular T-states (default socket)\n"
       << "  --racks N          nodes per rack (default: no rack layer)\n"
+      << "  --fabric SPEC      multi-level fat-tree, bottom-up; SPEC is\n"
+      << "                     comma-separated size[:oversub] levels, e.g.\n"
+      << "                     4:2 (4-node groups, 2:1 oversubscribed) or\n"
+      << "                     4:2,2 (plus a non-blocking 2-group level)\n"
+      << "  --collapse N       rank-symmetry collapse: 0 = automatic\n"
+      << "                     (default), 1 = force the full 1:1 run,\n"
+      << "                     N>1 = demand exactly that multiplicity\n"
       << "  --faults SPEC      inject faults; SPEC is comma-separated\n"
       << "                     key=value pairs, e.g.\n"
       << "                     seed=7,drop=0.01,flap=200,tfail=0.2\n"
@@ -89,6 +99,35 @@ int main(int argc, char** argv) {
   cfg.nodes = static_cast<int>(
       args.int_or("nodes", cfg.ranks / std::max(1, cfg.ranks_per_node)));
   cfg.nodes_per_rack = static_cast<int>(args.int_or("racks", 0));
+  if (const auto fabric_arg = args.get("fabric")) {
+    // size[:oversub] per level, comma-separated, bottom-up.
+    std::string spec = *fabric_arg;
+    while (!spec.empty()) {
+      const auto comma = spec.find(',');
+      std::string level = spec.substr(0, comma);
+      spec = comma == std::string::npos ? "" : spec.substr(comma + 1);
+      hw::FabricLevelSpec parsed;
+      const auto colon = level.find(':');
+      try {
+        parsed.group_size = std::stoi(level.substr(0, colon));
+        if (colon != std::string::npos) {
+          parsed.oversubscription = std::stod(level.substr(colon + 1));
+        }
+      } catch (const std::exception&) {
+        parsed.group_size = 0;
+      }
+      if (parsed.group_size < 2 || parsed.oversubscription < 1.0) {
+        std::cerr << "bad --fabric level \"" << level << "\"\n";
+        return usage(argv[0]);
+      }
+      cfg.fabric.push_back(parsed);
+    }
+  }
+  cfg.collapse_multiplicity = static_cast<int>(args.int_or("collapse", 0));
+  if (cfg.collapse_multiplicity < 0) {
+    std::cerr << "bad --collapse\n";
+    return usage(argv[0]);
+  }
   cfg.core_level_throttling = args.has("core-throttle");
   const std::string affinity = args.get_or("affinity", "bunch");
   if (affinity == "scatter") {
