@@ -17,9 +17,26 @@ are reported but never gated: they are deterministic counts, and a change
 there means behaviour changed — the byte-identity test suite, not this
 gate, judges that.
 
+With ``--governor-current`` (or ``--governor-bench``) the gate also judges
+the ``bench_ext_governor --emit-json`` report (committed baseline:
+``BENCH_governor.json``). Its simulated figures are deterministic, so the
+gate enforces the acceptance invariants directly rather than ratios:
+
+  * slack energy_per_op  ≤ reactive energy_per_op  (slack saves at least
+    as much as the reactive black-box governor)
+  * slack latency        ≤ 1.01 × static latency   (equal-runtime bound)
+  * every powercap cell's redistribution speedup > 1.0
+  * each sweep's wall_seconds capped at an absolute 30 s budget,
+    mirroring the fattree4096_1mib treatment
+
+Drift of the simulated figures against ``--governor-baseline`` is printed
+informationally; the byte-identity suite judges behavioural change.
+
 Usage:
   check_bench_regression.py --baseline BENCH_micro.json --current new.json
   check_bench_regression.py --baseline BENCH_micro.json --bench build/bench/bench_micro_sim
+  check_bench_regression.py --baseline BENCH_micro.json --current new.json \
+      --governor-baseline BENCH_governor.json --governor-current gov.json
 """
 
 from __future__ import annotations
@@ -44,6 +61,55 @@ def emit_current(bench: Path) -> dict:
         return load(out)
 
 
+#: Absolute wall budget per governor sweep, mirroring fattree4096_1mib's
+#: 10 s cap (the governor sweeps carry three full-testbed cells each, so
+#: they get proportionally more headroom).
+GOVERNOR_WALL_BUDGET = 30.0
+
+
+def check_governor(current: dict, baseline: dict | None,
+                   failures: list[str]) -> None:
+    """Gates the pacc-bench-governor-v1 acceptance invariants."""
+    eq = current["equal_runtime"]
+    static_e = eq["static"]["energy_per_op_j"]
+    reactive_e = eq["reactive"]["energy_per_op_j"]
+    slack_e = eq["slack"]["energy_per_op_j"]
+    static_lat = eq["static"]["latency_us"]
+    slack_lat = eq["slack"]["latency_us"]
+
+    def gate(name: str, ok: bool, detail: str) -> None:
+        print(f"  {name}: {detail} -> {'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(name)
+
+    gate("governor.slack_energy_vs_reactive", slack_e <= reactive_e,
+         f"slack {slack_e:g} J vs reactive {reactive_e:g} J")
+    gate("governor.slack_equal_runtime", slack_lat <= 1.01 * static_lat,
+         f"slack {slack_lat:g} us vs static {static_lat:g} us (1% budget)")
+    print(f"  governor.slack_savings (informational): "
+          f"{1 - slack_e / static_e:.1%} of static energy")
+
+    for cell in current["powercap_step"]["caps"]:
+        gate(f"governor.powercap_{cell['cap_watts']:g}W_speedup",
+             cell["speedup"] > 1.0,
+             f"redistribution speedup {cell['speedup']:g}")
+
+    for section in ("equal_runtime", "powercap_step"):
+        wall = current[section]["wall_seconds"]
+        gate(f"governor.{section}.wall_seconds",
+             wall <= GOVERNOR_WALL_BUDGET,
+             f"absolute budget {GOVERNOR_WALL_BUDGET:g}, current {wall:g}")
+
+    if baseline is not None:
+        base_eq = baseline["equal_runtime"]
+        for variant in ("static", "reactive", "slack"):
+            b = base_eq[variant]["energy_per_op_j"]
+            c = eq[variant]["energy_per_op_j"]
+            if b != c:
+                print(f"  governor.{variant}.energy_per_op_j "
+                      f"(informational drift): baseline {b:g}, current {c:g}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True,
@@ -54,9 +120,18 @@ def main() -> int:
                         help="bench_micro_sim binary to run --emit-json with")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed relative regression (default 0.10)")
+    parser.add_argument("--governor-baseline", type=Path,
+                        help="committed BENCH_governor.json (informational)")
+    parser.add_argument("--governor-current", type=Path,
+                        help="freshly emitted bench_ext_governor report")
+    parser.add_argument("--governor-bench", type=Path,
+                        help="bench_ext_governor binary to run --emit-json "
+                             "with")
     args = parser.parse_args()
     if (args.current is None) == (args.bench is None):
         parser.error("exactly one of --current / --bench is required")
+    if args.governor_current is not None and args.governor_bench is not None:
+        parser.error("at most one of --governor-current / --governor-bench")
 
     baseline = load(args.baseline)
     current = load(args.current) if args.current else emit_current(args.bench)
@@ -108,6 +183,17 @@ def main() -> int:
         if section in current:
             print(f"  {section} (informational): "
                   f"{json.dumps(current[section], sort_keys=True)}")
+
+    governor = None
+    if args.governor_current is not None:
+        governor = load(args.governor_current)
+    elif args.governor_bench is not None:
+        governor = emit_current(args.governor_bench)
+    if governor is not None:
+        print("governor gate:")
+        gov_baseline = (load(args.governor_baseline)
+                        if args.governor_baseline else None)
+        check_governor(governor, gov_baseline, failures)
 
     if failures:
         print(f"FAIL: {', '.join(failures)} regressed more than "

@@ -93,7 +93,13 @@ sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
         co_await ops.recv_from(action.arg);
         break;
       case PowerAction::kBarrier:
-        co_await barrier.arrive_and_wait();
+        if (mpi::Governor* gov = self.wait_governor()) {
+          gov->wait_begin(self, mpi::WaitSite::kBarrier);
+          co_await barrier.arrive_and_wait();
+          co_await gov->wait_end(self, mpi::WaitSite::kBarrier);
+        } else {
+          co_await barrier.arrive_and_wait();
+        }
         break;
       case PowerAction::kThrottle:
         co_await throttle_self(self, action.arg);

@@ -41,6 +41,13 @@ bool supported(Op op, PowerScheme scheme) {
   }
 }
 
+bool governor_supported(mpi::GovernorKind kind, PowerScheme scheme) {
+  if (kind == mpi::GovernorKind::kPowerCap) {
+    return scheme == PowerScheme::kNone;
+  }
+  return true;
+}
+
 std::optional<Op> parse_op(std::string_view name) {
   for (const Op op : kAllOps) {
     if (name == to_string(op)) return op;

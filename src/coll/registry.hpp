@@ -24,6 +24,7 @@
 #include "coll/scan.hpp"
 #include "coll/topo_aware.hpp"
 #include "coll/types.hpp"
+#include "mpi/governor.hpp"
 
 namespace pacc::coll {
 
@@ -61,6 +62,12 @@ inline constexpr PowerScheme kAllSchemes[] = {
 /// power-aware variant (their topology-aware §VIII cousins are separate
 /// entry points), so they accept only kNone.
 bool supported(Op op, PowerScheme scheme);
+
+/// Governor × scheme capability matrix. The reactive and slack governors
+/// compose with every scheme (their restores clamp to the scheme's floor);
+/// the power-cap governor owns every core's frequency outright, which a §V
+/// scheme would fight, so it runs only with kNone.
+bool governor_supported(mpi::GovernorKind kind, PowerScheme scheme);
 
 /// The flag names the tools accept ("alltoall", "reduce_scatter", …);
 /// returns nullopt for unknown names.

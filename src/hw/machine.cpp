@@ -1,5 +1,8 @@
 #include "hw/machine.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "obs/trace.hpp"
 
 namespace pacc::hw {
@@ -11,6 +14,7 @@ Machine::Machine(sim::Engine& engine, MachineParams params)
                params_.fmin.hz() <= params_.fmax.hz());
 
   node_slowdown_.assign(static_cast<std::size_t>(params_.shape.nodes), 1.0);
+  node_power_cap_.assign(static_cast<std::size_t>(params_.shape.nodes), 0.0);
   cores_.resize(static_cast<std::size_t>(params_.shape.total_cores()));
   static_power_ =
       params_.power.node_base * params_.shape.nodes +
@@ -162,6 +166,42 @@ void Machine::set_node_slowdown(int node, double factor) {
 double Machine::node_slowdown(int node) const {
   PACC_EXPECTS(node >= 0 && node < params_.shape.nodes);
   return node_slowdown_[static_cast<std::size_t>(node)];
+}
+
+void Machine::set_node_power_cap(int node, Watts cap) {
+  PACC_EXPECTS(node >= 0 && node < params_.shape.nodes);
+  PACC_EXPECTS(cap >= 0.0);
+  node_power_cap_[static_cast<std::size_t>(node)] = cap;
+}
+
+Watts Machine::node_power_cap(int node) const {
+  PACC_EXPECTS(node >= 0 && node < params_.shape.nodes);
+  return node_power_cap_[static_cast<std::size_t>(node)];
+}
+
+Watts Machine::node_dynamic_budget(int node) const {
+  const Watts static_draw =
+      params_.power.node_base +
+      params_.power.socket_uncore * params_.shape.sockets_per_node +
+      params_.power.core_idle * params_.shape.cores_per_node();
+  return node_power_cap(node) - static_draw;
+}
+
+Watts Machine::core_dynamic_power(Frequency f) const {
+  return params_.power.core_dynamic_fmax *
+         std::pow(f.hz() / params_.fmax.hz(), params_.power.freq_exponent);
+}
+
+Frequency Machine::frequency_for_dynamic_budget(Watts dynamic_budget,
+                                                int cores) const {
+  PACC_EXPECTS(cores >= 1);
+  const double per_core = dynamic_budget / cores;
+  if (per_core <= 0.0) return params_.fmin;
+  const double ratio =
+      std::min(1.0, per_core / params_.power.core_dynamic_fmax);
+  const Frequency f{params_.fmax.hz() *
+                    std::pow(ratio, 1.0 / params_.power.freq_exponent)};
+  return std::clamp(f, params_.fmin, params_.fmax);
 }
 
 Frequency Machine::frequency(const CoreId& core) const {

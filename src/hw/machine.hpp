@@ -102,6 +102,30 @@ class Machine {
   void set_node_slowdown(int node, double factor);
   double node_slowdown(int node) const;
 
+  // --- per-node power caps (RAPL-like budget bookkeeping) ---
+  //
+  // The machine only records the budget; the mpi::PowerCapGovernor enforces
+  // it by allocating core frequencies through the helpers below, which
+  // invert the §VI-B power model.
+
+  /// Sets a node's watt budget (0, the default, means uncapped).
+  void set_node_power_cap(int node, Watts cap);
+  Watts node_power_cap(int node) const;
+
+  /// The cap's dynamic headroom: the budget minus the node's static draw
+  /// (node base + uncore + every core's idle power). Negative for an
+  /// infeasible cap — frequency_for_dynamic_budget then clamps to fmin.
+  Watts node_dynamic_budget(int node) const;
+
+  /// Dynamic power of one busy, unthrottled core at frequency f:
+  /// P_dyn,max · (f/fmax)^k.
+  Watts core_dynamic_power(Frequency f) const;
+
+  /// Inverts the model: the highest frequency in [fmin, fmax] at which
+  /// `cores` busy T0 cores spend at most `dynamic_budget` watts in total.
+  Frequency frequency_for_dynamic_budget(Watts dynamic_budget,
+                                         int cores) const;
+
   // --- queries ---
   Frequency frequency(const CoreId& core) const;
   int throttle(const CoreId& core) const;
@@ -157,6 +181,7 @@ class Machine {
   MachineParams params_;
   TransitionFaultHook fault_hook_;
   std::vector<double> node_slowdown_;  ///< straggler factor per node
+  std::vector<Watts> node_power_cap_;  ///< RAPL-like budget; 0 = uncapped
   std::vector<CoreState> cores_;
   Watts static_power_ = 0.0;  ///< node base + uncore, never varies
   Watts system_power_ = 0.0;

@@ -1,0 +1,353 @@
+#include "mpi/governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "mpi/runtime.hpp"
+#include "obs/trace.hpp"
+#include "sim/sync.hpp"
+#include "util/expect.hpp"
+
+namespace pacc::mpi {
+
+std::string to_string(GovernorKind kind) {
+  switch (kind) {
+    case GovernorKind::kReactive:
+      return "reactive";
+    case GovernorKind::kSlack:
+      return "slack";
+    case GovernorKind::kPowerCap:
+      return "powercap";
+  }
+  return "?";
+}
+
+std::optional<GovernorKind> parse_governor_kind(std::string_view name) {
+  if (name == "reactive") return GovernorKind::kReactive;
+  if (name == "slack") return GovernorKind::kSlack;
+  if (name == "powercap" || name == "power-cap") return GovernorKind::kPowerCap;
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------ Governor ----
+
+Governor::Governor(Runtime& rt) : rt_(rt) {
+  // No scheme has spoken yet: the floor starts at fmax (no clamp).
+  scheme_target_.assign(
+      static_cast<std::size_t>(rt.machine().shape().total_cores()),
+      rt.machine().params().fmax);
+}
+
+void Governor::note_scheme_dvfs(const hw::CoreId& core, Frequency target) {
+  scheme_target_[static_cast<std::size_t>(
+      hw::linear_core(rt_.machine().shape(), core))] = target;
+}
+
+Frequency Governor::restore_target(const hw::CoreId& core, Frequency prior) {
+  const Frequency floor = scheme_target_[static_cast<std::size_t>(
+      hw::linear_core(rt_.machine().shape(), core))];
+  if (floor < prior) {
+    ++stats_.scheme_clamps;
+    return floor;
+  }
+  return prior;
+}
+
+void Governor::mark_park(Rank& self, bool* phase_open) {
+  auto* tr = rt_.engine().tracer();
+  if (tr == nullptr || !tr->enabled()) return;
+  tr->instant(tr->core_track(self.core()), "gov-park", "power",
+              {{"downclocks", static_cast<std::int64_t>(stats_.downclocks)}});
+  if (self.id() == 0) {
+    tr->phase_begin("governor-park");
+    *phase_open = true;
+  }
+}
+
+void Governor::mark_restore(Rank& self, bool* phase_open) {
+  auto* tr = rt_.engine().tracer();
+  if (tr == nullptr || !tr->enabled()) return;
+  tr->instant(tr->core_track(self.core()), "gov-restore", "power",
+              {{"restores", static_cast<std::int64_t>(stats_.restores)}});
+  if (*phase_open) {
+    tr->phase_end();
+    *phase_open = false;
+  }
+}
+
+sim::Task<Message> Governor::recv_governed(Rank& self, int src, int tag) {
+  wait_begin(self, WaitSite::kRecv);
+  auto msg = co_await self.mailbox().recv(src, tag);
+  PACC_ASSERT(msg.has_value());
+  co_await wait_end(self, WaitSite::kRecv);
+  co_return std::move(*msg);
+}
+
+void Governor::wait_begin(Rank&, WaitSite) {}
+
+sim::Task<> Governor::wait_end(Rank&, WaitSite) { co_return; }
+
+// ---------------------------------------------------- ReactiveGovernor ----
+
+namespace {
+
+/// §III prior work: the MPI library watches its own receives and downclocks
+/// the core once a wait exceeds the threshold, restoring on arrival. Pays
+/// 2·O_dvfs per long wait, never touches T-states, and engages only at
+/// mailbox receives (the other wait sites are no-ops) — the event sequence
+/// is byte-identical to the historical hardwired implementation.
+class ReactiveGovernor final : public Governor {
+ public:
+  ReactiveGovernor(Runtime& rt, GovernorParams params)
+      : Governor(rt), params_(params) {}
+
+  GovernorKind kind() const override { return GovernorKind::kReactive; }
+
+  sim::Task<Message> recv_governed(Rank& self, int src, int tag) override {
+    auto quick =
+        co_await self.mailbox().recv_for(src, tag, params_.wait_threshold);
+    if (quick) {
+      ++stats_.short_waits;
+      co_return std::move(*quick);
+    }
+    ++stats_.armed_waits;
+    const Frequency prior = self.machine().frequency(self.core());
+    const Frequency fmin = self.machine().params().fmin;
+    bool phase_open = false;
+    if (prior > fmin) {
+      if (co_await self.machine().dvfs_transition(self.core(), fmin)) {
+        ++stats_.downclocks;
+        mark_park(self, &phase_open);
+      } else {
+        ++stats_.park_failures;
+      }
+    }
+    auto msg = co_await self.mailbox().recv(src, tag);
+    PACC_ASSERT(msg.has_value());
+    if (prior > fmin) {
+      // The historical governor attempted the restore whenever it had
+      // attempted the downclock; keep that event sequence and classify the
+      // outcome instead of assuming a completed pair.
+      const Frequency target = restore_target(self.core(), prior);
+      if (co_await self.machine().dvfs_transition(self.core(), target)) {
+        ++stats_.restores;
+      } else {
+        ++stats_.restore_failures;
+      }
+      mark_restore(self, &phase_open);
+    }
+    co_return std::move(*msg);
+  }
+
+ private:
+  GovernorParams params_;
+};
+
+// ------------------------------------------------------- SlackGovernor ----
+
+/// COUNTDOWN-style timer hysteresis, engaged at every wait site. Arming a
+/// wait schedules a cancellable deadline event; a wait that ends first
+/// cancels it at zero simulated cost. When the deadline fires, a detached
+/// task performs the downclock — its O_dvfs hides inside the wait — and the
+/// wait's end restores the prior frequency (clamped to any scheme floor),
+/// paying the only rank-visible O_dvfs. Concurrent waits of one rank
+/// (waitall over irecvs) nest via a depth counter: the first bracket arms,
+/// the last one restores.
+class SlackGovernor final : public Governor {
+ public:
+  SlackGovernor(Runtime& rt, GovernorParams params)
+      : Governor(rt), params_(params),
+        waits_(static_cast<std::size_t>(rt.physical_size())) {}
+
+  GovernorKind kind() const override { return GovernorKind::kSlack; }
+
+  void wait_begin(Rank& self, WaitSite) override {
+    RankWait& w = wait_of(self);
+    if (++w.depth > 1) return;  // an outer bracket already governs
+    const Frequency prior = self.machine().frequency(self.core());
+    if (!(prior > self.machine().params().fmin)) return;  // nothing to save
+    w.prior = prior;
+    ++stats_.armed_waits;
+    Rank* rank = &self;
+    w.timer = rt_.engine().schedule(params_.slack_threshold,
+                                    [this, rank] { deadline(*rank); });
+  }
+
+  sim::Task<> wait_end(Rank& self, WaitSite) override {
+    RankWait& w = wait_of(self);
+    PACC_ASSERT(w.depth > 0);
+    if (--w.depth > 0) co_return;  // inner bracket of a nested wait
+    if (w.timer != 0) {
+      // Short wait: the deadline never fired — cancel it, zero cost.
+      rt_.engine().cancel(w.timer);
+      w.timer = 0;
+      ++stats_.short_waits;
+      co_return;
+    }
+    if (w.parking == nullptr) co_return;  // never armed (core was at fmin)
+    // The downclock may still be inside its O_dvfs window (the message
+    // arrived mid-transition); wait it out before deciding the restore.
+    const auto parking = w.parking;
+    if (!parking->fired()) co_await parking->wait();
+    w.parking = nullptr;
+    const bool applied = w.park_applied;
+    w.park_applied = false;
+    if (!applied) co_return;  // park was rejected: nothing to restore
+    const Frequency target = restore_target(self.core(), w.prior);
+    if (target == self.machine().frequency(self.core())) {
+      // A scheme parked the core while we held it: restoring to the same
+      // frequency would only waste O_dvfs. restore_target counted the
+      // clamp; the scheme's own exit raises the core later.
+      mark_restore(self, &w.phase_open);
+      co_return;
+    }
+    if (co_await self.machine().dvfs_transition(self.core(), target)) {
+      ++stats_.restores;
+    } else {
+      ++stats_.restore_failures;
+    }
+    mark_restore(self, &w.phase_open);
+  }
+
+ private:
+  struct RankWait {
+    int depth = 0;
+    sim::EventId timer = 0;  ///< armed deadline; 0 when fired or cancelled
+    std::shared_ptr<sim::Latch> parking;  ///< down transition in flight/done
+    bool park_applied = false;
+    bool phase_open = false;
+    Frequency prior;
+  };
+
+  RankWait& wait_of(Rank& self) {
+    return waits_[static_cast<std::size_t>(self.id())];
+  }
+
+  void deadline(Rank& self) {
+    RankWait& w = wait_of(self);
+    w.timer = 0;
+    auto done = std::make_shared<sim::Latch>(rt_.engine());
+    w.parking = done;
+    rt_.spawn_detached(park(self, std::move(done)));
+  }
+
+  sim::Task<> park(Rank& self, std::shared_ptr<sim::Latch> done) {
+    RankWait& w = wait_of(self);
+    const bool applied = co_await self.machine().dvfs_transition(
+        self.core(), self.machine().params().fmin);
+    w.park_applied = applied;
+    if (applied) {
+      ++stats_.downclocks;
+      mark_park(self, &w.phase_open);
+    } else {
+      ++stats_.park_failures;
+    }
+    done->fire();
+  }
+
+  GovernorParams params_;
+  std::vector<RankWait> waits_;
+};
+
+// ---------------------------------------------------- PowerCapGovernor ----
+
+/// Medhat-style per-node power capping. Each node's watt budget is split
+/// between its rank cores by solving the §VI-B model for the highest
+/// frequency that fits; with `redistribute`, every wait boundary drops the
+/// waiting cores to fmin and hands their freed dynamic headroom to the
+/// still-busy cores (clamped to fmax). Frequency moves are PCU-driven
+/// (instantaneous, no O_dvfs stall), modelling the hardware power
+/// controller. Requires PowerScheme::kNone — the cap owns the frequency
+/// plane (coll::governor_supported enforces this for measured runs).
+class PowerCapGovernor final : public Governor {
+ public:
+  PowerCapGovernor(Runtime& rt, GovernorParams params)
+      : Governor(rt), params_(params),
+        waiting_(static_cast<std::size_t>(rt.physical_size()), 0) {
+    PACC_EXPECTS_MSG(params_.node_power_cap > 0.0,
+                     "powercap governor requires node_power_cap > 0");
+    const auto& shape = rt.machine().shape();
+    node_ranks_.resize(static_cast<std::size_t>(shape.nodes));
+    for (int r = 0; r < rt.physical_size(); ++r) {
+      const int node = rt.placement().node_of(r);
+      node_ranks_[static_cast<std::size_t>(node)].push_back(r);
+      rt.machine().set_node_power_cap(node, params_.node_power_cap);
+    }
+    for (int n = 0; n < shape.nodes; ++n) reallocate(n);
+  }
+
+  GovernorKind kind() const override { return GovernorKind::kPowerCap; }
+
+  void wait_begin(Rank& self, WaitSite) override {
+    int& nested = waiting_[static_cast<std::size_t>(self.id())];
+    if (++nested > 1 || !params_.redistribute) return;
+    reallocate(self.node());
+  }
+
+  sim::Task<> wait_end(Rank& self, WaitSite) override {
+    int& nested = waiting_[static_cast<std::size_t>(self.id())];
+    PACC_ASSERT(nested > 0);
+    if (--nested > 0 || !params_.redistribute) co_return;
+    reallocate(self.node());
+    co_return;
+  }
+
+ private:
+  /// Re-solves one node's allocation: waiting cores at fmin, busy cores at
+  /// the highest uniform frequency the remaining dynamic budget affords.
+  /// Without redistribution every core gets the all-busy solution, fixed at
+  /// construction. Deterministic: runs synchronously inside the engine.
+  void reallocate(int node) {
+    hw::Machine& m = rt_.machine();
+    const auto& ranks = node_ranks_[static_cast<std::size_t>(node)];
+    if (ranks.empty()) return;
+    int busy = 0;
+    for (const int r : ranks) {
+      if (waiting_[static_cast<std::size_t>(r)] == 0) ++busy;
+    }
+    Watts dynamic_budget = m.node_dynamic_budget(node);
+    if (params_.redistribute && busy < static_cast<int>(ranks.size())) {
+      const int parked = static_cast<int>(ranks.size()) - busy;
+      dynamic_budget -= m.core_dynamic_power(m.params().fmin) * parked;
+    }
+    const Frequency f_busy = m.frequency_for_dynamic_budget(
+        dynamic_budget, std::max(busy, 1));
+    bool changed = false;
+    for (const int r : ranks) {
+      const bool parked = params_.redistribute &&
+                          waiting_[static_cast<std::size_t>(r)] > 0;
+      const Frequency target = parked ? m.params().fmin : f_busy;
+      const hw::CoreId core = rt_.placement().core_of(r);
+      const Frequency current = m.frequency(core);
+      if (target == current) continue;
+      if (target < current) ++stats_.downclocks; else ++stats_.restores;
+      m.set_frequency(core, target);
+      changed = true;
+    }
+    if (changed) ++stats_.cap_updates;
+  }
+
+  GovernorParams params_;
+  std::vector<int> waiting_;  ///< nested-wait depth per rank
+  std::vector<std::vector<int>> node_ranks_;
+};
+
+}  // namespace
+
+std::unique_ptr<Governor> make_governor(const GovernorParams& params,
+                                        Runtime& rt) {
+  PACC_EXPECTS(params.enabled);
+  switch (params.kind) {
+    case GovernorKind::kReactive:
+      return std::make_unique<ReactiveGovernor>(rt, params);
+    case GovernorKind::kSlack:
+      return std::make_unique<SlackGovernor>(rt, params);
+    case GovernorKind::kPowerCap:
+      return std::make_unique<PowerCapGovernor>(rt, params);
+  }
+  PACC_EXPECTS_MSG(false, "unknown governor kind");
+  return nullptr;
+}
+
+}  // namespace pacc::mpi

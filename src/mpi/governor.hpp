@@ -1,0 +1,166 @@
+// Pluggable runtime power governors.
+//
+// A Governor watches the MPI library's own waits — polling-mode receives,
+// rendezvous sends held on the wire, waitall latches, the §V node barriers
+// and the reliable path's ack waits — and manages the waiting core's power
+// state. Three policies are provided:
+//
+//   kReactive  — the prior-work "black-box" DVFS governor the paper's §III
+//                contrasts with (refs [5][6][9]): downclock to fmin once a
+//                receive outlasts a threshold, restore on arrival. Engages
+//                only at mailbox receives and pays 2·O_dvfs per long wait.
+//                Byte-identical to the historical hardwired implementation.
+//   kSlack     — COUNTDOWN-style timer hysteresis (arXiv:1806.07258): a
+//                deferred timer (~500 µs) arms at EVERY wait site and only
+//                pays O_dvfs when the wait provably outlasts it, so short
+//                waits cost exactly nothing. The downclock itself happens in
+//                a detached task, hiding its O_dvfs inside the wait; only
+//                the restore stalls the rank.
+//   kPowerCap  — Medhat-style cluster power capping (arXiv:1410.6824): each
+//                node gets a RAPL-like watt budget; the governor solves for
+//                the highest uniform core frequency that fits and, with
+//                `redistribute`, re-allocates headroom from waiting cores
+//                toward the still-busy (critical-path) cores at every wait
+//                boundary — speeding up capped runs. Frequency moves are
+//                PCU-driven (instantaneous set_frequency, no O_dvfs stall),
+//                modelling the hardware power controller rather than an
+//                OS-driven P-state request.
+//
+// Governors require the polling progress mode: a blocking-mode wait already
+// sleeps at idle power, which in the §VI-B model is frequency-independent,
+// so there is nothing for DVFS to save — the Runtime refuses the
+// combination instead of running silently at full power.
+//
+// Scheme interplay: a governed wait must never "restore" a core above the
+// state a §V scheme chose for it. Rank::dvfs reports every scheme-driven
+// frequency change through note_scheme_dvfs; restores clamp to that floor
+// (counted in GovernorStats::scheme_clamps).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "mpi/message.hpp"
+#include "sim/task.hpp"
+#include "util/units.hpp"
+
+namespace pacc::mpi {
+
+class Rank;
+class Runtime;
+
+enum class GovernorKind : std::uint8_t {
+  kReactive,  ///< §III black-box: threshold receive, downclock, restore
+  kSlack,     ///< COUNTDOWN timer hysteresis at every wait site
+  kPowerCap,  ///< per-node watt budget with optional redistribution
+};
+
+std::string to_string(GovernorKind kind);
+
+/// "reactive", "slack", "powercap"; nullopt for unknown names.
+std::optional<GovernorKind> parse_governor_kind(std::string_view name);
+
+/// Runtime power-governor configuration; `enabled == false` (the default)
+/// builds no governor at all and leaves every wait site untouched.
+struct GovernorParams {
+  bool enabled = false;
+  GovernorKind kind = GovernorKind::kReactive;
+  /// kReactive: receives longer than this trigger a downclock to fmin.
+  Duration wait_threshold = Duration::micros(50.0);
+  /// kSlack: the deferred timer — only waits outlasting it pay any O_dvfs.
+  Duration slack_threshold = Duration::micros(500.0);
+  /// kPowerCap: the per-node budget in watts (must be > 0 for that kind).
+  Watts node_power_cap = 0.0;
+  /// kPowerCap: shift waiting cores' headroom to busy cores (true) or hold
+  /// every core at the static uniform-cap frequency (false — the baseline
+  /// the redistribution benches compare against).
+  bool redistribute = true;
+};
+
+/// Which kind of wait a wait_begin/wait_end bracket covers (trace labels
+/// and per-site accounting; the policies themselves treat sites uniformly).
+enum class WaitSite : std::uint8_t {
+  kRecv,        ///< polling-mode mailbox receive
+  kRendezvous,  ///< sender held until the payload lands
+  kAck,         ///< reliable-path sender held on the delivery latch
+  kWaitall,     ///< MPI_Waitall over outstanding requests
+  kBarrier,     ///< node-local rendezvous of the §V exchange schedule
+};
+
+/// Transition/outcome counters, split by direction so a run that faults or
+/// terminates while a core is parked still reconciles: every armed wait
+/// ends as a short wait, a park failure, or a downclock; every downclock
+/// ends as a restore, a restore failure, or a scheme clamp.
+struct GovernorStats {
+  std::uint64_t armed_waits = 0;       ///< waits that started governance
+  std::uint64_t short_waits = 0;       ///< ended before the threshold fired
+  std::uint64_t downclocks = 0;        ///< applied down transitions
+  std::uint64_t restores = 0;          ///< applied up transitions
+  std::uint64_t park_failures = 0;     ///< down transition rejected (fault)
+  std::uint64_t restore_failures = 0;  ///< up transition rejected (fault)
+  std::uint64_t scheme_clamps = 0;     ///< restore held at a scheme's floor
+  std::uint64_t cap_updates = 0;       ///< power-cap re-allocations applied
+};
+
+/// Policy interface. One instance per Runtime, consulted from every wait
+/// site; per-core state is the implementation's own.
+class Governor {
+ public:
+  explicit Governor(Runtime& rt);
+  virtual ~Governor() = default;
+  Governor(const Governor&) = delete;
+  Governor& operator=(const Governor&) = delete;
+
+  virtual GovernorKind kind() const = 0;
+
+  /// Polling-mode mailbox receive under governance. The default brackets
+  /// the plain receive with wait_begin/wait_end; kReactive overrides it
+  /// with the historical threshold-receive event sequence.
+  virtual sim::Task<Message> recv_governed(Rank& self, int src, int tag);
+
+  /// Brackets a non-mailbox wait (rendezvous transfer, ack latch, waitall,
+  /// node barrier). wait_begin is synchronous (arming must not cost
+  /// simulated time); wait_end may stall the rank to restore its P-state.
+  /// Brackets nest: concurrent waits of one rank (waitall over irecvs) are
+  /// governed once, by the outermost bracket.
+  virtual void wait_begin(Rank& self, WaitSite site);
+  virtual sim::Task<> wait_end(Rank& self, WaitSite site);
+
+  /// A §V scheme (or any caller of Rank::dvfs) changed this core's
+  /// frequency; restores never exceed the most recent such target.
+  virtual void note_scheme_dvfs(const hw::CoreId& core, Frequency target);
+
+  const GovernorStats& stats() const { return stats_; }
+
+ protected:
+  /// min(prior, the scheme's most recent target for `core`); counts a
+  /// scheme_clamp when the floor bites.
+  Frequency restore_target(const hw::CoreId& core, Frequency prior);
+
+  /// Rank 0 + tracer: opens/closes the "governor-park" energy bucket so a
+  /// parked interval's joules land in a named phase (docs/OBSERVABILITY.md)
+  /// — and a run cut short mid-park still flushes into it. Every policy
+  /// also drops "gov-park"/"gov-restore" trace instants on the core track,
+  /// so unmatched downclocks reconcile in the trace.
+  void mark_park(Rank& self, bool* phase_open);
+  void mark_restore(Rank& self, bool* phase_open);
+
+  Runtime& rt_;
+  GovernorStats stats_;
+
+ private:
+  std::vector<Frequency> scheme_target_;  ///< per linear core
+};
+
+/// Builds the configured policy; params.enabled must be true. Aborts (with
+/// a message) on a kPowerCap request without a positive node_power_cap —
+/// the friendly validation lives in measure_collective / Campaign.
+std::unique_ptr<Governor> make_governor(const GovernorParams& params,
+                                        Runtime& rt);
+
+}  // namespace pacc::mpi

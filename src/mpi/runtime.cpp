@@ -124,6 +124,10 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
       co_await done->wait();
       machine().set_activity(core_, hw::Activity::kBusy);
       co_await engine().delay(np.interrupt_latency + np.reschedule_latency);
+    } else if (Governor* gov = rt.governor()) {
+      gov->wait_begin(*this, WaitSite::kAck);
+      co_await done->wait();
+      co_await gov->wait_end(*this, WaitSite::kAck);
     } else {
       co_await done->wait();
     }
@@ -157,6 +161,18 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
                                    wire_mult, via_top);
     machine().set_activity(core_, hw::Activity::kBusy);
     co_await engine().delay(np.interrupt_latency + np.reschedule_latency);
+  } else if (Governor* gov = rt.governor()) {
+    // The sender is merely spinning on the wire here: its DVFS state was
+    // already folded into wire_mult at flow start, so parking the core
+    // mid-transfer does not slow its own payload. Deliver BEFORE the
+    // restoring wait_end — only the sender pays the restore stall, never
+    // the receiver.
+    gov->wait_begin(*this, WaitSite::kRendezvous);
+    co_await rt.network().transfer(node(), wire_dst_node, bytes, loopback,
+                                   wire_mult, via_top);
+    rt.deliver_to(deliver_dst, std::move(msg));
+    co_await gov->wait_end(*this, WaitSite::kRendezvous);
+    co_return;
   } else {
     co_await rt.network().transfer(node(), wire_dst_node, bytes, loopback,
                                    wire_mult, via_top);
@@ -166,25 +182,8 @@ sim::Task<> Rank::send(int dst, int tag, std::span<const std::byte> data) {
 
 sim::Task<Message> Rank::await_message(int src, int tag) {
   if (rt_.params().mode == ProgressMode::kPolling) {
-    const auto& gov = rt_.params().governor;
-    if (gov.enabled) {
-      // Reactive black-box governor (§III prior work): still spinning after
-      // the threshold → downclock, restore on arrival. Pays 2·O_dvfs per
-      // long wait and never touches T-states.
-      auto quick = co_await mailbox_.recv_for(src, tag, gov.wait_threshold);
-      if (quick) co_return std::move(*quick);
-      const Frequency prior = machine().frequency(core_);
-      const Frequency fmin = machine().params().fmin;
-      if (prior > fmin) {
-        co_await machine().dvfs_transition(core_, fmin);
-      }
-      auto msg = co_await mailbox_.recv(src, tag);
-      PACC_ASSERT(msg.has_value());
-      if (prior > fmin) {
-        co_await machine().dvfs_transition(core_, prior);
-        ++rt_.governor_transitions_;
-      }
-      co_return std::move(*msg);
+    if (Governor* gov = rt_.governor()) {
+      co_return co_await gov->recv_governed(*this, src, tag);
     }
     // The core keeps spinning (Busy) — this is exactly the power cost the
     // paper's algorithms attack.
@@ -281,9 +280,14 @@ Rank::Request Rank::irecv(int src, int tag, std::span<std::byte> out) {
 }
 
 sim::Task<> Rank::waitall(std::span<Request> requests) {
+  // One outer bracket, not one per request: the irecv bodies' own governed
+  // receives nest inside it and the rank is restored once, at the end.
+  Governor* gov = rt_.governor();
+  if (gov != nullptr) gov->wait_begin(*this, WaitSite::kWaitall);
   for (auto& request : requests) {
     co_await request.wait();
   }
+  if (gov != nullptr) co_await gov->wait_end(*this, WaitSite::kWaitall);
 }
 
 sim::Task<> Rank::shm_publish(int tag, std::span<const std::byte> data,
@@ -330,7 +334,12 @@ sim::Task<> Rank::compute(Duration work_at_fmax) {
 }
 
 sim::Task<> Rank::dvfs(Frequency f) {
-  co_await machine().dvfs_transition(core_, f);
+  const bool applied = co_await machine().dvfs_transition(core_, f);
+  // Scheme-driven frequency choices floor any governed restore (a governed
+  // wait inside a §V collective must not undo enter_low_power).
+  if (applied && rt_.governor_ != nullptr) {
+    rt_.governor_->note_scheme_dvfs(core_, f);
+  }
 }
 
 sim::Task<> Rank::throttle(int tstate) {
@@ -367,6 +376,15 @@ Runtime::Runtime(sim::Engine& engine, hw::Machine& machine,
     const auto core = placement_.core_of(r);
     machine_.set_activity(core, hw::Activity::kBusy);
     ranks_.push_back(std::make_unique<Rank>(*this, r, core));
+  }
+  if (params_.governor.enabled) {
+    // Blocking-mode waits sleep at idle power, which the §VI-B model makes
+    // frequency-independent — a governor would run silently with nothing to
+    // save, so refuse the combination instead (ISSUE 7 satellite).
+    PACC_EXPECTS_MSG(params_.mode == ProgressMode::kPolling,
+                     "power governors require the polling progress mode: "
+                     "blocking waits already sleep at idle power");
+    governor_ = make_governor(params_.governor, *this);
   }
 }
 

@@ -24,6 +24,7 @@
 #include "hw/machine.hpp"
 #include "hw/topology.hpp"
 #include "mpi/comm.hpp"
+#include "mpi/governor.hpp"
 #include "mpi/mailbox.hpp"
 #include "mpi/profiler.hpp"
 #include "net/network.hpp"
@@ -56,21 +57,13 @@ struct MessageTraceEntry {
   bool intra_node = false;
 };
 
-/// Reactive "black-box" DVFS governor, emulating the prior-work approach
-/// the paper contrasts with (§III, refs [5][6][9]): the MPI library watches
-/// its own waits and downclocks the core once a wait exceeds a threshold,
-/// restoring full frequency when the message arrives. No algorithm
-/// knowledge, no throttling — and O_dvfs paid on every long wait.
-struct GovernorParams {
-  bool enabled = false;
-  /// Waits longer than this trigger a downclock to fmin.
-  Duration wait_threshold = Duration::micros(50.0);
-};
-
 struct RuntimeParams {
   ProgressMode mode = ProgressMode::kPolling;
   /// Blocking mode: how long a receiver spins before yielding the CPU.
   Duration blocking_spin = Duration::micros(20.0);
+  /// Runtime power governor (mpi/governor.hpp). Requires polling mode:
+  /// blocking waits already sleep at frequency-independent idle power, so
+  /// the Runtime constructor refuses enabled + kBlocking outright.
   GovernorParams governor;
   /// Ship message sizes without their contents: sends skip the payload
   /// copy and receives leave the posted buffer untouched. Every simulated
@@ -215,6 +208,10 @@ class Rank {
     sym::CollapseAction prev_;
   };
 
+  /// The runtime's governor, for bracketing non-mailbox waits (rendezvous
+  /// transfers, node barriers); null when no governor is configured.
+  Governor* wait_governor();
+
  private:
   friend class Runtime;
 
@@ -275,8 +272,19 @@ class Runtime {
   /// Drains the event queue; reports deadlock via RunResult.
   sim::RunResult run() { return engine_.run(); }
 
-  /// Number of downclock/upclock pairs the reactive governor performed.
-  std::uint64_t governor_transitions() const { return governor_transitions_; }
+  /// The configured governor, or null when GovernorParams::enabled is off.
+  Governor* governor() { return governor_.get(); }
+
+  /// The governor's counters (all zero when no governor is configured).
+  GovernorStats governor_stats() const {
+    return governor_ != nullptr ? governor_->stats() : GovernorStats{};
+  }
+
+  /// Completed downclock/upclock pairs: applied restores. Kept for the
+  /// pre-refactor callers; the full split lives in governor_stats().
+  std::uint64_t governor_transitions() const {
+    return governor_ != nullptr ? governor_->stats().restores : 0;
+  }
 
   /// Per-operation call/byte/time accounting, fed by the collective layer.
   Profiler& profiler() { return profiler_; }
@@ -349,7 +357,7 @@ class Runtime {
   std::vector<std::unique_ptr<Comm>> comms_;
   std::unordered_map<std::string, Comm*> interned_comms_;
   std::deque<std::function<sim::Task<>(Rank&)>> bodies_;  ///< stable storage: frames reference the lambdas
-  std::uint64_t governor_transitions_ = 0;
+  std::unique_ptr<Governor> governor_;
   Profiler profiler_;
   std::shared_ptr<coll::PlanCache> plan_cache_;
   bool trace_enabled_ = false;
@@ -358,5 +366,7 @@ class Runtime {
 
   friend class Rank;
 };
+
+inline Governor* Rank::wait_governor() { return rt_.governor(); }
 
 }  // namespace pacc::mpi

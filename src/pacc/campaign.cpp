@@ -248,7 +248,14 @@ void write_campaign_json(std::ostream& out, const SweepSpec& spec,
     // cell) so the schema — and a zero-rate run's artifact bytes — never
     // depend on whether fault injection was compiled in or armed.
     const fault::FaultStats& f = r.report.faults;
-    char buf[768];
+    // Governor fields follow the same rule: "none" / zeros on an
+    // ungoverned cell, so the schema never depends on the configuration.
+    const mpi::GovernorStats& g = r.report.governor;
+    const std::string governor_name =
+        cell.cluster.governor.enabled
+            ? mpi::to_string(cell.cluster.governor.kind)
+            : "none";
+    char buf[1152];
     std::snprintf(
         buf, sizeof buf,
         "    {\"index\": %zu, \"label\": \"%s\", \"op\": \"%s\", "
@@ -263,7 +270,12 @@ void write_campaign_json(std::ostream& out, const SweepSpec& spec,
         "\"fault_link_flaps\": %llu, \"fault_flows_preempted\": %llu, "
         "\"fault_transition_failures\": %llu, "
         "\"fault_transition_stretches\": %llu, "
-        "\"fault_scheme_fallbacks\": %llu}%s\n",
+        "\"fault_scheme_fallbacks\": %llu, "
+        "\"governor\": \"%s\", \"gov_armed_waits\": %llu, "
+        "\"gov_short_waits\": %llu, \"gov_downclocks\": %llu, "
+        "\"gov_restores\": %llu, \"gov_park_failures\": %llu, "
+        "\"gov_restore_failures\": %llu, \"gov_scheme_clamps\": %llu, "
+        "\"gov_cap_updates\": %llu}%s\n",
         i, label.c_str(), coll::to_string(cell.bench.op).c_str(),
         coll::to_string(cell.bench.scheme).c_str(), cell.cluster.ranks,
         cell.cluster.ranks_per_node, cell.cluster.nodes,
@@ -280,6 +292,15 @@ void write_campaign_json(std::ostream& out, const SweepSpec& spec,
         static_cast<unsigned long long>(f.transition_failures),
         static_cast<unsigned long long>(f.transition_stretches),
         static_cast<unsigned long long>(f.scheme_fallbacks),
+        governor_name.c_str(),
+        static_cast<unsigned long long>(g.armed_waits),
+        static_cast<unsigned long long>(g.short_waits),
+        static_cast<unsigned long long>(g.downclocks),
+        static_cast<unsigned long long>(g.restores),
+        static_cast<unsigned long long>(g.park_failures),
+        static_cast<unsigned long long>(g.restore_failures),
+        static_cast<unsigned long long>(g.scheme_clamps),
+        static_cast<unsigned long long>(g.cap_updates),
         i + 1 < results.size() ? "," : "");
     out << buf;
   }

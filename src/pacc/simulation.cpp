@@ -36,10 +36,17 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
   const int multiplicity =
       config.collapse_multiplicity > 1 ? config.collapse_multiplicity : 1;
   if (multiplicity > 1) {
-    PACC_EXPECTS_MSG(!config.obs.trace && !config.governor.enabled &&
+    // The slack governor is a deterministic, translation-equivariant
+    // per-core policy, so it collapses; the reactive and power-cap
+    // governors keep asymmetric per-core / per-node state and must run 1:1
+    // (sym::decide enforces the same split).
+    const bool symmetric_governor =
+        !config.governor.enabled ||
+        config.governor.kind == mpi::GovernorKind::kSlack;
+    PACC_EXPECTS_MSG(!config.obs.trace && symmetric_governor &&
                          !config.faults.active(),
                      "collapse requires a symmetric, unobserved run "
-                     "(no trace, no governor, no faults)");
+                     "(no trace, no asymmetric governor, no faults)");
     PACC_EXPECTS_MSG(config.nodes % multiplicity == 0 &&
                          config.ranks % multiplicity == 0,
                      "collapse multiplicity must divide nodes and ranks");
@@ -158,6 +165,7 @@ RunReport Simulation::run(
     report.status.message = injector_->stats().summary();
   }
   if (injector_ != nullptr) report.faults = injector_->stats();
+  report.governor = runtime_->governor_stats();
   report.elapsed = result.end_time - start;
   report.energy = machine_->total_energy();
   report.power = meter_->series();
@@ -315,6 +323,30 @@ CollectiveReport measure_collective(const ClusterConfig& config,
                                      coll::to_string(spec.scheme));
     return report;
   }
+  if (config.governor.enabled) {
+    // Friendly counterparts of the Runtime/make_governor contract checks,
+    // raised before any Simulation is built so sweeps degrade to an error
+    // cell instead of aborting.
+    CollectiveReport report;
+    if (config.progress == mpi::ProgressMode::kBlocking) {
+      report.status = RunStatus::error(
+          "governor requires polling progress: blocking waits sleep at "
+          "idle power, which is frequency-independent");
+      return report;
+    }
+    if (!coll::governor_supported(config.governor.kind, spec.scheme)) {
+      report.status = RunStatus::error(
+          "governor " + mpi::to_string(config.governor.kind) +
+          " does not compose with scheme " + coll::to_string(spec.scheme));
+      return report;
+    }
+    if (config.governor.kind == mpi::GovernorKind::kPowerCap &&
+        config.governor.node_power_cap <= 0.0) {
+      report.status =
+          RunStatus::error("power-cap governor needs node_power_cap > 0");
+      return report;
+    }
+  }
   // The harness never reads received bytes, so the runtime can ship sizes
   // without contents (synthetic payloads) — every simulated quantity
   // depends only on sizes, and the per-message copy traffic (GiBs per cell
@@ -362,6 +394,7 @@ CollectiveReport measure_collective(const ClusterConfig& config,
   CollectiveReport report;
   report.status = run.status;
   report.faults = run.faults;
+  report.governor = run.governor;
   report.collapse.multiplicity = collapse.multiplicity;
   report.collapse.classes = collapse.classes;
   report.collapse.logical_ranks = config.ranks;

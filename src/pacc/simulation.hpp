@@ -73,7 +73,11 @@ struct ClusterConfig {
   hw::AffinityPolicy affinity = hw::AffinityPolicy::kBunch;
   mpi::ProgressMode progress = mpi::ProgressMode::kPolling;
   bool core_level_throttling = false;  ///< §V-B "future architectures"
-  /// Reactive black-box DVFS governor (prior work, §III); off by default.
+  /// Runtime power governor (mpi/governor.hpp): reactive black-box, slack
+  /// (COUNTDOWN-style), or per-node power cap; off by default. Requires
+  /// polling progress — measure_collective / Campaign report an error for
+  /// governor + blocking mode (and for kPowerCap with a §V scheme or a
+  /// non-positive budget).
   mpi::GovernorParams governor;
   /// Ship message sizes without contents (see
   /// mpi::RuntimeParams::synthetic_payloads). measure_collective turns this
@@ -117,6 +121,8 @@ struct RunReport {
   std::vector<obs::PhaseEnergy> energy_phases;
   /// Injected-fault / recovery counters (all zero on a fault-free run).
   fault::FaultStats faults;
+  /// Governor transition counters (all zero without a governor).
+  mpi::GovernorStats governor;
 
   [[deprecated("use status.ok() / status.outcome")]] bool completed() const {
     return status.ok();
@@ -161,6 +167,8 @@ struct CollectiveReport {
   std::string trace_json;
   /// Injected-fault / recovery counters (all zero on a fault-free run).
   fault::FaultStats faults;
+  /// Governor transition counters (all zero without a governor).
+  mpi::GovernorStats governor;
   /// Rank-symmetry collapse outcome; energy_per_op / mean_power / power
   /// are already scaled back up to the logical cluster when it is active.
   CollapseStats collapse;

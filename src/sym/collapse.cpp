@@ -75,7 +75,21 @@ CollapseDecision decide(const ClusterConfig& config,
     return full("tracing records per-rank spans — every rank must exist");
   }
   if (config.governor.enabled) {
-    return full("reactive governor state is per-core history, not symmetric");
+    switch (config.governor.kind) {
+      case mpi::GovernorKind::kReactive:
+        return full(
+            "reactive governor state is per-core history, not symmetric");
+      case mpi::GovernorKind::kPowerCap:
+        return full(
+            "power-cap redistribution tracks a per-node wait census — run "
+            "1:1");
+      case mpi::GovernorKind::kSlack:
+        // The slack timer is a deterministic per-core policy driven only by
+        // the rank's own wait durations, which are translation-equivariant
+        // on an equivariant schedule — representatives behave exactly like
+        // their images, so the run collapses.
+        break;
+    }
   }
 
   // --- the cluster must have the quotient structure ----------------------

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <sstream>
 
+#include "pacc/campaign.hpp"
 #include "test_support.hpp"
 
 namespace pacc::mpi {
@@ -104,6 +106,136 @@ TEST(Governor, CollectivesStillCorrectUnderGovernor) {
     const auto core = sim.runtime().placement().core_of(r);
     EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
   }
+}
+
+TEST(Governor, BlockingModeIsRefused) {
+  // A blocking-mode wait already sleeps at idle power, which the §VI-B
+  // model makes frequency-independent: a governor would run silently with
+  // nothing to save. measure_collective reports a friendly error…
+  ClusterConfig cfg = governed_cluster();
+  cfg.progress = mpi::ProgressMode::kBlocking;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 4096;
+  spec.iterations = 1;
+  spec.warmup = 0;
+  const auto report = measure_collective(cfg, spec);
+  EXPECT_EQ(report.status.outcome, RunOutcome::kError);
+  EXPECT_NE(report.status.message.find("polling"), std::string::npos)
+      << report.status.message;
+  // …and constructing the runtime directly trips the contract.
+  EXPECT_DEATH(Simulation sim(cfg), "polling");
+}
+
+TEST(Governor, PollingModeStillWorksWithSameConfig) {
+  // The counterpart of BlockingModeIsRefused: the identical config minus
+  // the progress mode runs and actually governs.
+  ClusterConfig cfg = governed_cluster();
+  cfg.progress = mpi::ProgressMode::kPolling;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 4096;
+  spec.iterations = 1;
+  spec.warmup = 0;
+  const auto report = measure_collective(cfg, spec);
+  ASSERT_TRUE(report.status.ok()) << report.status.describe();
+}
+
+TEST(Governor, CountersSplitDownAndUpTransitions) {
+  // A rejected restore must not silently vanish: the downclock stays
+  // attributed (downclocks=1) and the failed upclock is classified
+  // (restore_failures=1), so down − up reconciles with the core still
+  // sitting at fmin. governor_transitions() counts completed pairs only.
+  Simulation sim(governed_cluster());
+  const auto victim = sim.runtime().placement().core_of(1);
+  int dvfs_calls = 0;
+  sim.machine().set_transition_fault_hook(
+      [&](const hw::CoreId& core, hw::TransitionKind kind) {
+        hw::TransitionOutcome out;
+        if (kind == hw::TransitionKind::kDvfs && core == victim) {
+          ++dvfs_calls;
+          if (dvfs_calls == 2) out.apply = false;  // reject the restore
+        }
+        return out;
+      });
+  auto result = test::run_all(sim, [](Rank& r) {
+    return skewed_pair(r, Duration::millis(5));
+  });
+  ASSERT_TRUE(result.all_tasks_finished);
+  const GovernorStats stats = sim.runtime().governor_stats();
+  EXPECT_EQ(stats.armed_waits, 1u);
+  EXPECT_EQ(stats.downclocks, 1u);
+  EXPECT_EQ(stats.restores, 0u);
+  EXPECT_EQ(stats.restore_failures, 1u);
+  EXPECT_EQ(stats.park_failures, 0u);
+  EXPECT_EQ(sim.runtime().governor_transitions(), 0u);
+  EXPECT_EQ(sim.machine().frequency(victim), sim.machine().params().fmin);
+}
+
+TEST(Governor, RejectedParkIsClassifiedToo) {
+  // The mirror case: the downclock itself is rejected. The historical
+  // governor still attempts the restore (same event sequence), which now
+  // "restores" fmax → fmax.
+  Simulation sim(governed_cluster());
+  const auto victim = sim.runtime().placement().core_of(1);
+  int dvfs_calls = 0;
+  sim.machine().set_transition_fault_hook(
+      [&](const hw::CoreId& core, hw::TransitionKind kind) {
+        hw::TransitionOutcome out;
+        if (kind == hw::TransitionKind::kDvfs && core == victim) {
+          ++dvfs_calls;
+          if (dvfs_calls == 1) out.apply = false;  // reject the park
+        }
+        return out;
+      });
+  auto result = test::run_all(sim, [](Rank& r) {
+    return skewed_pair(r, Duration::millis(5));
+  });
+  ASSERT_TRUE(result.all_tasks_finished);
+  const GovernorStats stats = sim.runtime().governor_stats();
+  EXPECT_EQ(stats.park_failures, 1u);
+  EXPECT_EQ(stats.downclocks, 0u);
+  EXPECT_EQ(sim.machine().frequency(victim), sim.machine().params().fmax);
+}
+
+TEST(Governor, FaultedRunsAreByteIdenticalAtAnyJobs) {
+  // ISSUE 7 satellite: governed transitions under P/T-transition faults
+  // must classify (not deadlock) and the campaign artifact must not depend
+  // on --jobs. Seeds derive from the cell index, so jobs=1 and jobs=4 must
+  // produce the same bytes.
+  SweepSpec sweep;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 64 * 1024;
+  spec.iterations = 2;
+  spec.warmup = 1;
+  for (const GovernorKind kind : {GovernorKind::kReactive,
+                                  GovernorKind::kSlack}) {
+    ClusterConfig cfg = test::small_cluster(2, 8, 4);
+    cfg.governor.enabled = true;
+    cfg.governor.kind = kind;
+    cfg.governor.wait_threshold = Duration::micros(10);
+    cfg.governor.slack_threshold = Duration::micros(50);
+    cfg.faults = *fault::FaultSpec::parse("seed=7,tfail=0.5,tstretch=0.5");
+    sweep.add(cfg, spec, "gov-" + to_string(kind));
+  }
+  auto artifact = [&](int jobs) {
+    CampaignOptions opts;
+    opts.jobs = jobs;
+    const auto results = Campaign(sweep, opts).run();
+    for (const CellResult& r : results) {
+      EXPECT_TRUE(r.status.usable()) << r.label << ": "
+                                     << r.status.describe();
+    }
+    std::ostringstream out;
+    write_campaign_json(out, sweep, results);
+    return std::move(out).str();
+  };
+  const std::string serial = artifact(1);
+  EXPECT_EQ(serial, artifact(4));
+  // The artifact carries the split counters.
+  EXPECT_NE(serial.find("\"governor\": \"reactive\""), std::string::npos);
+  EXPECT_NE(serial.find("\"gov_downclocks\""), std::string::npos);
 }
 
 TEST(Governor, PerCallDvfsBeatsGovernorOnCollectives) {

@@ -1,0 +1,161 @@
+// Tests for the Medhat-style cluster power-cap governor: a per-node RAPL
+// budget with optional redistribution of waiting ranks' headroom to the
+// critical path (src/mpi/governor.cpp, docs/GOVERNORS.md §power-cap).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sym/collapse.hpp"
+#include "test_support.hpp"
+
+namespace pacc::mpi {
+namespace {
+
+// small_cluster nodes draw 120 + 2·20 + 8·4 = 192 W statically, and
+// 192 + 4·12 = 240 W with four ranks busy at fmax — so a 230 W cap binds:
+// the uniform solution is 38/4 = 9.5 W per busy core ≈ 2.22 GHz, while a
+// redistributing node with three ranks parked at fmin (≈3.56 W each) can
+// push its one busy core all the way back to fmax.
+constexpr double kCapWatts = 230.0;
+
+ClusterConfig capped_cluster(bool redistribute = true) {
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  cfg.governor.enabled = true;
+  cfg.governor.kind = GovernorKind::kPowerCap;
+  cfg.governor.node_power_cap = kCapWatts;
+  cfg.governor.redistribute = redistribute;
+  return cfg;
+}
+
+TEST(PowerCapGovernor, CapLowersPowerOnCollectives) {
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 64 * 1024;
+  spec.iterations = 3;
+  spec.warmup = 1;
+  const auto capped = measure_collective(capped_cluster(), spec);
+  const auto free_run = measure_collective(test::small_cluster(2, 8, 4), spec);
+  ASSERT_TRUE(capped.status.ok()) << capped.status.describe();
+  ASSERT_TRUE(free_run.status.ok()) << free_run.status.describe();
+  EXPECT_LT(capped.mean_power, free_run.mean_power);
+  EXPECT_GE(capped.latency.ns(), free_run.latency.ns());
+  // The two-node machine never exceeds the summed budget.
+  EXPECT_LE(capped.mean_power, 2 * kCapWatts);
+  EXPECT_GT(capped.governor.cap_updates, 0u);
+}
+
+TEST(PowerCapGovernor, RedistributionBeatsUniformCap) {
+  // One leader rank per node carries a 5 ms critical path while its three
+  // node-mates wait in recv. Redistribution parks the waiters at fmin and
+  // returns their headroom to the leader (fmax); the uniform cap leaves the
+  // leader crawling at the all-busy 2.22 GHz solution.
+  auto run = [](bool redistribute) {
+    Simulation sim(capped_cluster(redistribute));
+    auto body = [](Rank& self) -> sim::Task<> {
+      std::array<std::byte, 256> buf{};
+      const int leader = (self.id() / 4) * 4;
+      if (self.id() == leader) {
+        // Give the waiters one event round to enter their governed recvs
+        // (compute() samples the core's slowdown once, at its start).
+        co_await self.engine().delay(Duration::micros(10));
+        co_await self.compute(Duration::millis(5));
+        for (int peer = leader + 1; peer < leader + 4; ++peer) {
+          co_await self.send(peer, 1, buf);
+        }
+      } else {
+        co_await self.recv(leader, 1, buf);
+      }
+    };
+    auto result = test::run_all(sim, body);
+    EXPECT_TRUE(result.all_tasks_finished);
+    return std::make_pair(result.end_time,
+                          sim.runtime().governor_stats());
+  };
+  const auto shifted = run(true);
+  const auto uniform = run(false);
+  EXPECT_LT(shifted.first.ns(), uniform.first.ns());
+  // Expected speedup ≈ fmax / f_uniform = 2.4 / 2.22 on the compute leg.
+  EXPECT_LT(shifted.first.ns(), uniform.first.ns() * 0.95);
+  // Redistribution re-solved the allocation as waiters came and went…
+  EXPECT_GT(shifted.second.cap_updates, uniform.second.cap_updates);
+  EXPECT_GE(shifted.second.downclocks, 6u);  // 3 parked waiters × 2 nodes
+  // …while the uniform run only ever paid the constructor's initial clamp.
+  EXPECT_EQ(uniform.second.downclocks, 8u);  // all 8 cores fmax → 2.22 GHz
+  EXPECT_EQ(uniform.second.cap_updates, 2u);
+}
+
+TEST(PowerCapGovernor, GenerousCapChangesNothing) {
+  // A cap above the all-busy fmax draw (240 W + slack) is headroom, not a
+  // constraint: the solver lands on fmax and the run matches ungoverned
+  // time exactly.
+  auto elapsed = [](bool governed) {
+    ClusterConfig cfg = test::small_cluster(2, 8, 4);
+    if (governed) {
+      cfg.governor.enabled = true;
+      cfg.governor.kind = GovernorKind::kPowerCap;
+      cfg.governor.node_power_cap = 400.0;
+    }
+    Simulation sim(cfg);
+    auto body = [](Rank& self) -> sim::Task<> {
+      co_await self.compute(Duration::millis(1));
+    };
+    EXPECT_TRUE(test::run_all(sim, body).all_tasks_finished);
+    return sim.machine().total_energy();
+  };
+  EXPECT_EQ(elapsed(true), elapsed(false));
+}
+
+TEST(PowerCapGovernor, DoesNotComposeWithSchemes) {
+  // The capability matrix: RAPL-style redistribution and a §V scheme would
+  // both steer the same P-states. measure_collective refuses the pair.
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 4096;
+  spec.iterations = 1;
+  spec.warmup = 0;
+  spec.scheme = coll::PowerScheme::kProposed;
+  const auto report = measure_collective(capped_cluster(), spec);
+  EXPECT_EQ(report.status.outcome, RunOutcome::kError);
+  EXPECT_NE(report.status.message.find("does not compose"),
+            std::string::npos)
+      << report.status.message;
+}
+
+TEST(PowerCapGovernor, ZeroCapIsRefused) {
+  ClusterConfig cfg = capped_cluster();
+  cfg.governor.node_power_cap = 0.0;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 4096;
+  spec.iterations = 1;
+  spec.warmup = 0;
+  const auto report = measure_collective(cfg, spec);
+  EXPECT_EQ(report.status.outcome, RunOutcome::kError);
+  EXPECT_NE(report.status.message.find("node_power_cap"), std::string::npos)
+      << report.status.message;
+}
+
+TEST(PowerCapGovernor, NeverCollapses) {
+  // The per-node wait census is cross-rank state: sym::decide must keep
+  // power-cap runs 1:1 even on a collapse-eligible fat tree.
+  ClusterConfig cfg;
+  cfg.nodes = 32;
+  cfg.ranks = 256;
+  cfg.ranks_per_node = 8;
+  cfg.fabric = {{4, 2.0}};
+  cfg.governor.enabled = true;
+  cfg.governor.kind = GovernorKind::kPowerCap;
+  cfg.governor.node_power_cap = kCapWatts;
+  CollectiveBenchSpec bench;
+  bench.op = coll::Op::kAlltoall;
+  bench.message = 1 << 16;
+  bench.iterations = 2;
+  bench.warmup = 1;
+  const auto d = sym::decide(cfg, bench);
+  EXPECT_EQ(d.multiplicity, 1);
+  EXPECT_NE(d.reason.find("per-node wait census"), std::string::npos)
+      << d.reason;
+}
+
+}  // namespace
+}  // namespace pacc::mpi

@@ -1,0 +1,273 @@
+// Tests for the COUNTDOWN-style slack governor (timer hysteresis at every
+// wait site; see src/mpi/governor.hpp and docs/GOVERNORS.md).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pacc::mpi {
+namespace {
+
+ClusterConfig slack_cluster(int nodes = 2, int ranks = 2, int ppn = 1,
+                            Duration timer = Duration::micros(500)) {
+  ClusterConfig cfg = test::small_cluster(nodes, ranks, ppn);
+  cfg.governor.enabled = true;
+  cfg.governor.kind = GovernorKind::kSlack;
+  cfg.governor.slack_threshold = timer;
+  return cfg;
+}
+
+/// Rank 1 waits `sender_delay` for a message from rank 0.
+sim::Task<> skewed_pair(Rank& self, Duration sender_delay) {
+  std::array<std::byte, 256> buf{};
+  if (self.id() == 0) {
+    co_await self.engine().delay(sender_delay);
+    co_await self.send(1, 1, buf);
+  } else {
+    co_await self.recv(0, 1, buf);
+  }
+}
+
+TEST(SlackGovernor, ShortWaitCostsExactlyNothing) {
+  // The COUNTDOWN contract: a wait that ends before the deferred timer
+  // fires pays zero O_dvfs and zero energy — the governed run is
+  // byte-identical (time AND joules) to the ungoverned one.
+  auto run = [](bool governed) {
+    ClusterConfig cfg = test::small_cluster(2, 2, 1);
+    if (governed) cfg = slack_cluster();
+    Simulation sim(cfg);
+    auto result = test::run_all(sim, [](Rank& r) {
+      return skewed_pair(r, Duration::micros(100));
+    });
+    EXPECT_TRUE(result.all_tasks_finished);
+    return std::make_pair(result.end_time.ns(), sim.machine().total_energy());
+  };
+  const auto governed = run(true);
+  const auto plain = run(false);
+  EXPECT_EQ(governed.first, plain.first);
+  EXPECT_EQ(governed.second, plain.second);
+}
+
+TEST(SlackGovernor, ShortWaitCountsAsShort) {
+  Simulation sim(slack_cluster());
+  auto result = test::run_all(sim, [](Rank& r) {
+    return skewed_pair(r, Duration::micros(100));
+  });
+  ASSERT_TRUE(result.all_tasks_finished);
+  const GovernorStats stats = sim.runtime().governor_stats();
+  EXPECT_EQ(stats.armed_waits, 1u);
+  EXPECT_EQ(stats.short_waits, 1u);
+  EXPECT_EQ(stats.downclocks, 0u);
+  EXPECT_EQ(stats.restores, 0u);
+}
+
+TEST(SlackGovernor, ParksLongWaitsAndRestores) {
+  Simulation sim(slack_cluster());
+  auto result = test::run_all(sim, [](Rank& r) {
+    return skewed_pair(r, Duration::millis(5));
+  });
+  ASSERT_TRUE(result.all_tasks_finished);
+  const GovernorStats stats = sim.runtime().governor_stats();
+  EXPECT_EQ(stats.armed_waits, 1u);
+  EXPECT_EQ(stats.short_waits, 0u);
+  EXPECT_EQ(stats.downclocks, 1u);
+  EXPECT_EQ(stats.restores, 1u);
+  const auto core = sim.runtime().placement().core_of(1);
+  EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+}
+
+TEST(SlackGovernor, SavesEnergyOnLongWaits) {
+  auto energy = [](bool governed) {
+    ClusterConfig cfg =
+        governed ? slack_cluster() : test::small_cluster(2, 2, 1);
+    Simulation sim(cfg);
+    EXPECT_TRUE(test::run_all(sim, [](Rank& r) {
+                  return skewed_pair(r, Duration::millis(20));
+                }).all_tasks_finished);
+    return sim.machine().total_energy();
+  };
+  EXPECT_LT(energy(true), energy(false));
+}
+
+TEST(SlackGovernor, GovernsRendezvousSends) {
+  // The reactive governor only ever watches mailbox receives; the slack
+  // governor also parks a sender spinning on a rendezvous transfer. An
+  // 8 MiB inter-node payload holds the wire far longer than the 500 µs
+  // timer, so BOTH endpoints park (sender at kRendezvous, receiver at
+  // kRecv) and both restore.
+  const std::size_t bytes = 8u << 20;
+  auto body = [bytes](Rank& self) -> sim::Task<> {
+    std::vector<std::byte> buf(bytes);
+    if (self.id() == 0) {
+      co_await self.send(1, 1, buf);
+    } else {
+      co_await self.recv(0, 1, buf);
+    }
+  };
+  Simulation sim(slack_cluster());
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  const GovernorStats stats = sim.runtime().governor_stats();
+  EXPECT_EQ(stats.armed_waits, 2u);
+  EXPECT_EQ(stats.downclocks, 2u);
+  EXPECT_EQ(stats.restores, 2u);
+  for (int r = 0; r < 2; ++r) {
+    const auto core = sim.runtime().placement().core_of(r);
+    EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+  }
+}
+
+TEST(SlackGovernor, RestoreNeverExceedsSchemeFloor) {
+  // ISSUE 7 satellite: a governed wait firing inside a collective must not
+  // "restore" a core above the state a §V scheme chose. Rank 1 arms a
+  // governed irecv at fmax, then — like enter_low_power — drops itself to
+  // fmin through Rank::dvfs while the wait is in flight. When the message
+  // finally lands, the restore must clamp to the scheme's fmin, not bounce
+  // back to the armed-time fmax.
+  Simulation sim(slack_cluster());
+  const auto core1 = sim.runtime().placement().core_of(1);
+  Frequency freq_after_wait;
+  auto body = [&](Rank& self) -> sim::Task<> {
+    std::array<std::byte, 256> buf{};
+    if (self.id() == 0) {
+      co_await self.engine().delay(Duration::millis(5));
+      co_await self.send(1, 1, buf);
+    } else {
+      auto req = self.irecv(0, 1, buf);
+      co_await self.compute(Duration::micros(50));
+      co_await self.dvfs(self.machine().params().fmin);  // the scheme speaks
+      co_await req.wait();
+      freq_after_wait = self.machine().frequency(self.core());
+      co_await self.dvfs(self.machine().params().fmax);  // scheme exit
+    }
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  const GovernorStats stats = sim.runtime().governor_stats();
+  EXPECT_GE(stats.scheme_clamps, 1u);
+  // The restore was clamped: the core stayed at the scheme's fmin until
+  // the scheme's own exit raised it.
+  EXPECT_EQ(freq_after_wait, sim.machine().params().fmin);
+  EXPECT_EQ(sim.machine().frequency(core1), sim.machine().params().fmax);
+}
+
+TEST(SlackGovernor, ComposesWithProposedScheme) {
+  ClusterConfig cfg = test::small_cluster(2, 16, 8);
+  cfg.governor.enabled = true;
+  cfg.governor.kind = GovernorKind::kSlack;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 64 * 1024;
+  spec.scheme = coll::PowerScheme::kProposed;
+  spec.iterations = 2;
+  spec.warmup = 1;
+  const auto report = measure_collective(cfg, spec);
+  ASSERT_TRUE(report.status.ok()) << report.status.describe();
+  // Every §V T-state/P-state choice survived the governed waits: the run
+  // finished and no rank was left below fmax (measure_collective's final
+  // barrier restores everything).
+  EXPECT_GT(report.latency.ns(), 0);
+}
+
+TEST(SlackGovernor, StretchedTransitionsClassifyWithoutDeadlock) {
+  // A fault hook stretching O_dvfs 5× mid-wait delays the park/restore but
+  // must never wedge the wait protocol.
+  Simulation sim(slack_cluster());
+  sim.machine().set_transition_fault_hook(
+      [](const hw::CoreId&, hw::TransitionKind) {
+        return hw::TransitionOutcome{true, 5.0};
+      });
+  auto result = test::run_all(sim, [](Rank& r) {
+    return skewed_pair(r, Duration::millis(5));
+  });
+  ASSERT_TRUE(result.all_tasks_finished);
+  const GovernorStats stats = sim.runtime().governor_stats();
+  EXPECT_EQ(stats.downclocks, 1u);
+  EXPECT_EQ(stats.restores, 1u);
+}
+
+TEST(SlackGovernor, RejectedParkLeavesNothingToRestore) {
+  Simulation sim(slack_cluster());
+  sim.machine().set_transition_fault_hook(
+      [](const hw::CoreId&, hw::TransitionKind) {
+        return hw::TransitionOutcome{false, 1.0};
+      });
+  auto result = test::run_all(sim, [](Rank& r) {
+    return skewed_pair(r, Duration::millis(5));
+  });
+  ASSERT_TRUE(result.all_tasks_finished);
+  const GovernorStats stats = sim.runtime().governor_stats();
+  EXPECT_EQ(stats.park_failures, 1u);
+  EXPECT_EQ(stats.downclocks, 0u);
+  EXPECT_EQ(stats.restores, 0u);
+  const auto core = sim.runtime().placement().core_of(1);
+  EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+}
+
+TEST(SlackGovernor, WaitallGovernsOnce) {
+  // A waitall over several irecvs is ONE governed wait: the outer bracket
+  // arms a single timer and restores once, regardless of how the inner
+  // governed receives interleave.
+  ClusterConfig cfg = slack_cluster(2, 4, 2);
+  Simulation sim(cfg);
+  auto body = [](Rank& self) -> sim::Task<> {
+    std::array<std::byte, 128> out0{}, out1{}, out2{};
+    if (self.id() == 0) {
+      std::array<Rank::Request, 3> reqs = {
+          self.irecv(1, 1, out0), self.irecv(2, 2, out1),
+          self.irecv(3, 3, out2)};
+      co_await self.waitall(reqs);
+    } else {
+      std::array<std::byte, 128> buf{};
+      co_await self.engine().delay(Duration::millis(self.id()));
+      co_await self.send(0, self.id(), buf);
+    }
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished);
+  const GovernorStats stats = sim.runtime().governor_stats();
+  // Rank 0's waitall is the only armed wait (the senders never block).
+  EXPECT_EQ(stats.armed_waits, 1u);
+  EXPECT_EQ(stats.downclocks, 1u);
+  EXPECT_EQ(stats.restores, 1u);
+  const auto core = sim.runtime().placement().core_of(0);
+  EXPECT_EQ(sim.machine().frequency(core), sim.machine().params().fmax);
+}
+
+// ------------------------------------------------- collapse equivalence ----
+
+TEST(SlackGovernor, CollapsedRunMatchesFullRun) {
+  // Unlike the reactive and power-cap governors, the slack policy is a
+  // deterministic per-core function of the rank's own wait durations —
+  // translation-equivariant on an equivariant schedule — so sym::decide
+  // lets it collapse. The collapsed run must agree with the 1:1 run.
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.ranks = 32;
+  cfg.ranks_per_node = 4;
+  cfg.fabric = {{4, 2.0}};  // 2 top-level groups of 4 nodes
+  cfg.governor.enabled = true;
+  cfg.governor.kind = GovernorKind::kSlack;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kAlltoall;
+  spec.message = 1 << 16;
+  spec.iterations = 2;
+  spec.warmup = 1;
+
+  ClusterConfig collapsed_cfg = cfg;
+  collapsed_cfg.collapse_multiplicity = 0;  // auto
+  const auto collapsed = measure_collective(collapsed_cfg, spec);
+  ClusterConfig full_cfg = cfg;
+  full_cfg.collapse_multiplicity = 1;  // forced 1:1
+  const auto full = measure_collective(full_cfg, spec);
+
+  ASSERT_TRUE(collapsed.status.ok()) << collapsed.status.describe();
+  ASSERT_TRUE(full.status.ok()) << full.status.describe();
+  ASSERT_EQ(collapsed.collapse.multiplicity, 2) << collapsed.collapse.reason;
+  EXPECT_EQ(collapsed.latency.ns(), full.latency.ns());
+  EXPECT_NEAR(collapsed.energy_per_op, full.energy_per_op,
+              1e-9 * std::abs(full.energy_per_op));
+}
+
+}  // namespace
+}  // namespace pacc::mpi

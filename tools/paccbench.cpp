@@ -15,6 +15,7 @@
 // --governor [threshold_us], --core-throttle, --racks <nodes_per_rack>,
 // --fabric <size[:oversub],...> (fat-tree levels, bottom-up), --collapse
 // <0 auto | 1 full | N forced multiplicity>.
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -54,7 +55,12 @@ int usage(const char* argv0) {
       << "  --json FILE        also write a pacc-campaign-v1 JSON artifact\n"
       << "  --affinity NAME    bunch|scatter (default bunch)\n"
       << "  --mode NAME        polling|blocking (default polling)\n"
-      << "  --governor [US]    enable the black-box DVFS governor\n"
+      << "  --governor [SPEC]  enable a runtime power governor; SPEC is\n"
+      << "                     KIND[:ARG]: reactive[:threshold_us] (default),\n"
+      << "                     slack[:timer_us] (COUNTDOWN-style, ~500us),\n"
+      << "                     powercap:WATTS[:uniform] (per-node budget;\n"
+      << "                     :uniform disables redistribution). A bare\n"
+      << "                     number is the reactive threshold in us\n"
       << "  --core-throttle    core-granular T-states (default socket)\n"
       << "  --racks N          nodes per rack (default: no rack layer)\n"
       << "  --fabric SPEC      multi-level fat-tree, bottom-up; SPEC is\n"
@@ -145,8 +151,64 @@ int main(int argc, char** argv) {
   }
   if (args.has("governor")) {
     cfg.governor.enabled = true;
-    const auto us = args.double_or("governor", 50.0);
-    if (us > 0) cfg.governor.wait_threshold = Duration::micros(us);
+    std::string spec = args.get_or("governor", "");
+    char* end = nullptr;
+    const double bare_us =
+        spec.empty() ? 0.0 : std::strtod(spec.c_str(), &end);
+    if (spec.empty()) {
+      // `--governor` alone keeps the historical reactive defaults.
+    } else if (end != nullptr && *end == '\0') {
+      // Bare number: the historical `--governor US` reactive threshold.
+      if (bare_us > 0) cfg.governor.wait_threshold = Duration::micros(bare_us);
+    } else {
+      const auto colon = spec.find(':');
+      const auto kind = mpi::parse_governor_kind(spec.substr(0, colon));
+      if (!kind) {
+        std::cerr << "bad --governor kind \"" << spec.substr(0, colon)
+                  << "\"\n";
+        return usage(argv[0]);
+      }
+      cfg.governor.kind = *kind;
+      std::string arg =
+          colon == std::string::npos ? "" : spec.substr(colon + 1);
+      const auto colon2 = arg.find(':');
+      std::string extra;
+      if (colon2 != std::string::npos) {
+        extra = arg.substr(colon2 + 1);
+        arg = arg.substr(0, colon2);
+      }
+      double value = 0.0;
+      if (!arg.empty()) {
+        try {
+          value = std::stod(arg);
+        } catch (const std::exception&) {
+          std::cerr << "bad --governor argument \"" << arg << "\"\n";
+          return usage(argv[0]);
+        }
+      }
+      switch (*kind) {
+        case mpi::GovernorKind::kReactive:
+          if (value > 0) cfg.governor.wait_threshold = Duration::micros(value);
+          break;
+        case mpi::GovernorKind::kSlack:
+          if (value > 0) cfg.governor.slack_threshold = Duration::micros(value);
+          break;
+        case mpi::GovernorKind::kPowerCap:
+          if (value <= 0) {
+            std::cerr << "--governor powercap:WATTS needs a positive budget\n";
+            return usage(argv[0]);
+          }
+          cfg.governor.node_power_cap = value;
+          if (extra == "uniform") {
+            cfg.governor.redistribute = false;
+          } else if (!extra.empty()) {
+            std::cerr << "bad --governor powercap option \"" << extra
+                      << "\"\n";
+            return usage(argv[0]);
+          }
+          break;
+      }
+    }
   }
   if (const auto faults_arg = args.get("faults")) {
     std::string error;
@@ -365,7 +427,12 @@ int main(int argc, char** argv) {
               << ", " << cfg.ranks << " ranks ("
               << cfg.ranks_per_node << "/node), "
               << hw::to_string(cfg.affinity) << ", " << to_string(cfg.progress)
-              << (cfg.governor.enabled ? ", governor" : "")
+              << (cfg.governor.enabled
+                      ? (cfg.governor.kind == mpi::GovernorKind::kReactive
+                             ? std::string(", governor")
+                             : ", governor=" +
+                                   mpi::to_string(cfg.governor.kind))
+                      : "")
               << (faulty ? ", faults[" + args.get_or("faults", "") + "]" : "")
               << "\n";
     t.print(std::cout);
