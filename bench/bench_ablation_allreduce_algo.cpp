@@ -11,6 +11,7 @@
 
 #include "bench_support.hpp"
 #include "coll/allreduce.hpp"
+#include "coll/registry.hpp"
 
 namespace {
 

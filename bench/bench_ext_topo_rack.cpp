@@ -15,6 +15,7 @@
 
 #include "bench_support.hpp"
 #include "coll/power_scheme.hpp"
+#include "coll/registry.hpp"
 
 namespace {
 

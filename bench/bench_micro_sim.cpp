@@ -30,6 +30,7 @@
 
 #include "coll/plan.hpp"
 #include "pacc/simulation.hpp"
+#include "coll/registry.hpp"
 
 namespace {
 

@@ -15,6 +15,7 @@
 
 #include "pacc/simulation.hpp"
 #include "util/rng.hpp"
+#include "coll/registry.hpp"
 
 namespace {
 

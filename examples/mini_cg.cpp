@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "pacc/simulation.hpp"
+#include "coll/registry.hpp"
 
 namespace {
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "pacc/simulation.hpp"
+#include "coll/registry.hpp"
 
 namespace {
 

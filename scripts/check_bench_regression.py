@@ -32,11 +32,29 @@ gate enforces the acceptance invariants directly rather than ratios:
 Drift of the simulated figures against ``--governor-baseline`` is printed
 informationally; the byte-identity suite judges behavioural change.
 
+With ``--adapt-current`` (or ``--adapt-bench``) the gate also judges the
+``bench_ext_adapt --emit-json`` report (committed baseline:
+``BENCH_adapt.json``), enforcing the adaptive-engine acceptance
+invariants per cell:
+
+  * adaptive_us == best_static_us within 0.1% — tuned dispatch must land
+    on the raced winner (the simulations are deterministic, so "within
+    noise" is essentially equality)
+  * best_static_us ≤ default_us — the race never picks a loser
+  * wall_seconds capped at an absolute 60 s budget (the race sweeps every
+    registered candidate per size on the 64-rank testbed)
+
+Winner changes against ``--adapt-baseline`` are printed informationally:
+a different tree/segment winning is a behaviour change for the
+byte-identity suite to judge, not a perf regression.
+
 Usage:
   check_bench_regression.py --baseline BENCH_micro.json --current new.json
   check_bench_regression.py --baseline BENCH_micro.json --bench build/bench/bench_micro_sim
   check_bench_regression.py --baseline BENCH_micro.json --current new.json \
       --governor-baseline BENCH_governor.json --governor-current gov.json
+  check_bench_regression.py --baseline BENCH_micro.json --current new.json \
+      --adapt-baseline BENCH_adapt.json --adapt-bench build/bench/bench_ext_adapt
 """
 
 from __future__ import annotations
@@ -110,6 +128,54 @@ def check_governor(current: dict, baseline: dict | None,
                       f"(informational drift): baseline {b:g}, current {c:g}")
 
 
+#: Absolute wall budget for the adaptive-engine race: every registered
+#: candidate × four sweep sizes on the 64-rank testbed, plus the adaptive
+#: re-measurement per cell.
+ADAPT_WALL_BUDGET = 60.0
+
+
+def check_adapt(current: dict, baseline: dict | None,
+                failures: list[str]) -> None:
+    """Gates the pacc-bench-adapt-v1 acceptance invariants."""
+
+    def gate(name: str, ok: bool, detail: str) -> None:
+        print(f"  {name}: {detail} -> {'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(name)
+
+    for cell in current["cells"]:
+        label = f"adapt.{cell['message']}"
+        adaptive = cell["adaptive_us"]
+        best = cell["best_static_us"]
+        default = cell["default_us"]
+        gate(f"{label}.adaptive_matches_winner",
+             adaptive <= 1.001 * best,
+             f"adaptive {adaptive:g} us vs best static {best:g} us "
+             f"(0.1% budget, winner {cell['winner']})")
+        gate(f"{label}.winner_not_worse_than_default",
+             best <= default,
+             f"winner {best:g} us vs default {default:g} us")
+
+    wall = current["wall_seconds"]
+    gate("adapt.wall_seconds", wall <= ADAPT_WALL_BUDGET,
+         f"absolute budget {ADAPT_WALL_BUDGET:g}, current {wall:g}")
+
+    if baseline is not None:
+        base_cells = {c["message"]: c for c in baseline["cells"]}
+        for cell in current["cells"]:
+            base = base_cells.get(cell["message"])
+            if base is None:
+                continue
+            if (base["winner"], base["seg"]) != (cell["winner"], cell["seg"]):
+                print(f"  adapt.{cell['message']}.winner (informational "
+                      f"drift): baseline {base['winner']}:{base['seg']}, "
+                      f"current {cell['winner']}:{cell['seg']}")
+            if base["adaptive_us"] != cell["adaptive_us"]:
+                print(f"  adapt.{cell['message']}.adaptive_us (informational "
+                      f"drift): baseline {base['adaptive_us']:g}, "
+                      f"current {cell['adaptive_us']:g}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True,
@@ -127,11 +193,19 @@ def main() -> int:
     parser.add_argument("--governor-bench", type=Path,
                         help="bench_ext_governor binary to run --emit-json "
                              "with")
+    parser.add_argument("--adapt-baseline", type=Path,
+                        help="committed BENCH_adapt.json (informational)")
+    parser.add_argument("--adapt-current", type=Path,
+                        help="freshly emitted bench_ext_adapt report")
+    parser.add_argument("--adapt-bench", type=Path,
+                        help="bench_ext_adapt binary to run --emit-json with")
     args = parser.parse_args()
     if (args.current is None) == (args.bench is None):
         parser.error("exactly one of --current / --bench is required")
     if args.governor_current is not None and args.governor_bench is not None:
         parser.error("at most one of --governor-current / --governor-bench")
+    if args.adapt_current is not None and args.adapt_bench is not None:
+        parser.error("at most one of --adapt-current / --adapt-bench")
 
     baseline = load(args.baseline)
     current = load(args.current) if args.current else emit_current(args.bench)
@@ -194,6 +268,17 @@ def main() -> int:
         gov_baseline = (load(args.governor_baseline)
                         if args.governor_baseline else None)
         check_governor(governor, gov_baseline, failures)
+
+    adapt = None
+    if args.adapt_current is not None:
+        adapt = load(args.adapt_current)
+    elif args.adapt_bench is not None:
+        adapt = emit_current(args.adapt_bench)
+    if adapt is not None:
+        print("adapt gate:")
+        adapt_baseline = (load(args.adapt_baseline)
+                          if args.adapt_baseline else None)
+        check_adapt(adapt, adapt_baseline, failures)
 
     if failures:
         print(f"FAIL: {', '.join(failures)} regressed more than "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "coll/registry.hpp"
 #include "util/expect.hpp"
 #include "util/rng.hpp"
 

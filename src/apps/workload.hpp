@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "coll/registry.hpp"
+#include "coll/algo.hpp"
 #include "pacc/simulation.hpp"
 #include "util/units.hpp"
 

@@ -68,15 +68,11 @@ bool power_aware_alltoall_applicable(const mpi::Comm& comm) {
   return true;
 }
 
-sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
-                                          const ExchangeOps& ops,
-                                          Bytes bytes) {
-  PACC_EXPECTS(power_aware_alltoall_applicable(comm));
+sim::Task<> run_power_actions(mpi::Rank& self, mpi::Comm& comm,
+                              const CollPlan& plan, const ExchangeOps& ops) {
   const int me = comm.comm_rank_of(self.id());
   PACC_EXPECTS(me >= 0);
   auto& barrier = comm.node_barrier(comm.node_of(me));
-  const PlanPtr plan = get_plan(comm, PlanKind::kPowerExchange, bytes);
-  mpi::Rank::ActionScope action(self, plan->action);
 
   // Walk this rank's precomputed program (see build_power_exchange in
   // plan.cpp, which documents the §V schedule the actions encode). The
@@ -84,7 +80,7 @@ sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
   // historical block-scoped CollPhase objects exactly.
   std::optional<CollPhase> phase;
   for (const PowerAction& action :
-       plan->actions[static_cast<std::size_t>(me)]) {
+       plan.actions[static_cast<std::size_t>(me)]) {
     switch (action.kind) {
       case PowerAction::kSend:
         co_await ops.send_to(action.arg);
@@ -120,6 +116,15 @@ sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
         break;
     }
   }
+}
+
+sim::Task<> power_aware_exchange_schedule(mpi::Rank& self, mpi::Comm& comm,
+                                          const ExchangeOps& ops,
+                                          Bytes bytes) {
+  PACC_EXPECTS(power_aware_alltoall_applicable(comm));
+  const PlanPtr plan = get_plan(comm, PlanKind::kPowerExchange, bytes);
+  mpi::Rank::ActionScope action(self, plan->action);
+  co_await run_power_actions(self, comm, *plan, ops);
 }
 
 sim::Task<> alltoall_power_aware(mpi::Rank& self, mpi::Comm& comm,

@@ -32,9 +32,18 @@ struct ExchangeOps {
   std::function<sim::Task<>(int peer)> recv_from;
 };
 
+struct CollPlan;
+
 /// True when the comm satisfies the algorithm's structural requirements:
 /// uniform ranks-per-node, at least two nodes and a two-socket topology.
 bool power_aware_alltoall_applicable(const mpi::Comm& comm);
+
+/// Interprets this rank's PowerAction program from `plan`, dispatching data
+/// movement through `ops`. This is the shared §V interpreter: the
+/// power-aware exchange and the power-aware tree collectives all execute
+/// through it, so throttle/barrier/phase semantics stay in one place.
+sim::Task<> run_power_actions(mpi::Rank& self, mpi::Comm& comm,
+                              const CollPlan& plan, const ExchangeOps& ops);
 
 /// Runs the 4-phase power-aware exchange schedule; every peer pair is
 /// exchanged exactly once. Caller is responsible for per-call DVFS.

@@ -7,6 +7,7 @@
 #include "coll/gather_scatter.hpp"
 #include "coll/plan.hpp"
 #include "coll/power_scheme.hpp"
+#include "coll/tuner.hpp"
 #include "hw/power.hpp"
 #include "util/expect.hpp"
 
@@ -192,6 +193,22 @@ sim::Task<> bcast(mpi::Rank& self, mpi::Comm& comm, std::span<std::byte> buf,
   const bool two_level = comm.nodes().size() >= 2;
   co_await run_with_scheme(
       self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
+        // Tuned dispatch: when a tuner is attached and holds a decision
+        // for this exact cell, run the winning variant's inner body (the
+        // scheme is already negotiated). No tuner, no decision, or a
+        // decision naming the default → the static choices below.
+        if (const TunedDispatch tuned =
+                tuned_choice(comm, Op::kBcast, scheme,
+                             static_cast<Bytes>(buf.size()));
+            tuned.desc != nullptr) {
+          AlgoCall call;
+          call.send = buf;
+          call.root = root;
+          call.scheme = scheme;
+          call.seg = tuned.seg;
+          co_await tuned.desc->exec_inner(self, comm, call);
+          co_return;
+        }
         BcastOptions opts = options;
         opts.scheme = scheme;
         if (two_level) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "coll/alltoall_power.hpp"
+#include "coll/tree.hpp"
 #include "hw/power.hpp"
 #include "mpi/runtime.hpp"
 #include "util/expect.hpp"
@@ -368,6 +369,13 @@ PlanPtr build_plan(const mpi::Comm& comm, PlanKind kind, int root) {
     case PlanKind::kBarrierDissemination:
       build_dissemination(comm, *plan);
       break;
+    case PlanKind::kBcastTreeSeg:
+    case PlanKind::kReduceTreeSeg:
+      // Tree plans carry extra knobs (tree shape, segment size, power
+      // twin); this generic entry point builds the unsegmented binomial
+      // power-off default. Use build_tree_plan for the full surface.
+      return build_tree_plan(comm, kind, TreeKind::kBinomial, /*bytes=*/0,
+                             /*seg=*/0, /*power=*/false, root);
   }
   return plan;
 }

@@ -41,6 +41,8 @@ enum class PlanKind : std::uint8_t {
   kPowerExchange,  ///< §V power-aware exchange (alltoall and alltoallv)
   kBcastBinomial,
   kBarrierDissemination,
+  kBcastTreeSeg,   ///< segmented tree bcast (coll/tree.hpp)
+  kReduceTreeSeg,  ///< segmented tree reduce (coll/tree.hpp)
 };
 
 struct PlanKey {
@@ -49,6 +51,8 @@ struct PlanKey {
   Bytes bytes = 0;  ///< call size; schedules are size-invariant but the
                     ///< key keeps sizes distinct for exact attribution
   std::int32_t root = 0;
+  Bytes seg = 0;             ///< segment size (tree variants; 0 otherwise)
+  std::uint8_t variant = 0;  ///< packed TreeKind + power bit (tree variants)
 
   bool operator==(const PlanKey&) const = default;
 };
@@ -57,8 +61,11 @@ struct PlanKeyHash {
   std::size_t operator()(const PlanKey& k) const {
     std::uint64_t h = k.comm_fingerprint;
     h ^= (static_cast<std::uint64_t>(k.kind) << 56) ^
+         (static_cast<std::uint64_t>(k.variant) << 40) ^
          (static_cast<std::uint64_t>(static_cast<std::uint64_t>(k.bytes)) *
           0x9e3779b97f4a7c15ull) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint64_t>(k.seg)) *
+          0xff51afd7ed558ccdull) ^
          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.root)) *
           0xc2b2ae3d27d4eb4full);
     h ^= h >> 29;

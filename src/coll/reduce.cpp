@@ -4,6 +4,7 @@
 
 #include "coll/copy.hpp"
 #include "coll/power_scheme.hpp"
+#include "coll/tuner.hpp"
 #include "hw/power.hpp"
 #include "util/expect.hpp"
 
@@ -134,6 +135,26 @@ sim::Task<> reduce(mpi::Rank& self, mpi::Comm& comm,
   const bool two_level = comm.nodes().size() >= 2;
   co_await run_with_scheme(
       self, comm, options.scheme, [&](PowerScheme scheme) -> sim::Task<> {
+        // Tuned dispatch — see bcast(): a tuner decision for this exact
+        // cell overrides the static choices below.
+        if (const TunedDispatch tuned =
+                tuned_choice(comm, Op::kReduce, scheme,
+                             static_cast<Bytes>(send.size()));
+            tuned.desc != nullptr) {
+          AlgoCall call;
+          call.recv = recv;
+          call.root = root;
+          call.scheme = scheme;
+          call.reduce_op = options.op;
+          call.seg = tuned.seg;
+          // AlgoCall carries one mutable send span because bcast uses it
+          // in/out; reduce executors only read it, so shedding the const
+          // here cannot write through.
+          call.send = std::span<std::byte>(
+              const_cast<std::byte*>(send.data()), send.size());
+          co_await tuned.desc->exec_inner(self, comm, call);
+          co_return;
+        }
         ReduceOptions opts = options;
         opts.scheme = scheme;
         if (two_level) {

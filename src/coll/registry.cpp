@@ -1,6 +1,239 @@
+// The AlgoDesc table: the one place that knows every runnable collective
+// algorithm. Default entries wrap the per-op dispatchers (run_op_once's
+// historical switch, now data); tree entries wrap the segmented variants
+// with both the full entry point and the scheme-negotiated inner body the
+// tuned-dispatch path calls.
 #include "coll/registry.hpp"
 
+#include <sstream>
+
+#include "util/expect.hpp"
+
 namespace pacc::coll {
+
+namespace {
+
+// ------------------------------------------------- default exec hooks ---
+// One hook per op, replaying exactly the call the measurement harness's
+// hand-rolled switch used to make.
+
+sim::Task<> exec_alltoall(mpi::Rank& self, mpi::Comm& comm,
+                          const AlgoCall& call) {
+  co_await alltoall(self, comm, call.send, call.recv, call.block,
+                    {.scheme = call.scheme});
+}
+
+sim::Task<> exec_alltoallv(mpi::Rank& self, mpi::Comm& comm,
+                           const AlgoCall& call) {
+  co_await alltoallv(self, comm, call.send, call.send_counts, call.recv,
+                     call.recv_counts, {.scheme = call.scheme});
+}
+
+sim::Task<> exec_bcast(mpi::Rank& self, mpi::Comm& comm,
+                       const AlgoCall& call) {
+  co_await bcast(self, comm, call.send, call.root, {.scheme = call.scheme});
+}
+
+sim::Task<> exec_reduce(mpi::Rank& self, mpi::Comm& comm,
+                        const AlgoCall& call) {
+  co_await reduce(self, comm, call.send, call.recv, call.root,
+                  {.scheme = call.scheme, .op = call.reduce_op});
+}
+
+sim::Task<> exec_allreduce(mpi::Rank& self, mpi::Comm& comm,
+                           const AlgoCall& call) {
+  co_await allreduce(self, comm, call.send, call.recv,
+                     {.scheme = call.scheme});
+}
+
+sim::Task<> exec_allgather(mpi::Rank& self, mpi::Comm& comm,
+                           const AlgoCall& call) {
+  co_await allgather(self, comm, call.send, call.recv, call.block,
+                     {.scheme = call.scheme});
+}
+
+sim::Task<> exec_gather(mpi::Rank& self, mpi::Comm& comm,
+                        const AlgoCall& call) {
+  co_await gather_binomial(self, comm, call.send, call.recv, call.block,
+                           call.root);
+}
+
+sim::Task<> exec_scatter(mpi::Rank& self, mpi::Comm& comm,
+                         const AlgoCall& call) {
+  co_await scatter_binomial(self, comm, call.send, call.recv, call.block,
+                            call.root);
+}
+
+sim::Task<> exec_scan(mpi::Rank& self, mpi::Comm& comm,
+                      const AlgoCall& call) {
+  co_await scan(self, comm, call.send, call.recv, {.scheme = call.scheme});
+}
+
+sim::Task<> exec_reduce_scatter(mpi::Rank& self, mpi::Comm& comm,
+                                const AlgoCall& call) {
+  co_await reduce_scatter(self, comm, call.send, call.recv, call.block,
+                          {.scheme = call.scheme});
+}
+
+sim::Task<> exec_barrier(mpi::Rank& self, mpi::Comm& comm,
+                         const AlgoCall& call) {
+  co_await barrier(self, comm, {.scheme = call.scheme});
+}
+
+// ---------------------------------------------------- tree exec hooks ---
+
+template <TreeKind K>
+sim::Task<> exec_bcast_tree(mpi::Rank& self, mpi::Comm& comm,
+                            const AlgoCall& call) {
+  co_await bcast_tree(self, comm, call.send, call.root,
+                      {.tree = K, .seg = call.seg, .scheme = call.scheme});
+}
+
+template <TreeKind K>
+sim::Task<> inner_bcast_tree(mpi::Rank& self, mpi::Comm& comm,
+                             const AlgoCall& call) {
+  co_await bcast_tree_exec(self, comm, call.send, call.root, K, call.seg,
+                           call.scheme);
+}
+
+template <TreeKind K>
+sim::Task<> exec_reduce_tree(mpi::Rank& self, mpi::Comm& comm,
+                             const AlgoCall& call) {
+  co_await reduce_tree(self, comm, call.send, call.recv, call.root,
+                       {.tree = K,
+                        .seg = call.seg,
+                        .scheme = call.scheme,
+                        .op = call.reduce_op});
+}
+
+template <TreeKind K>
+sim::Task<> inner_reduce_tree(mpi::Rank& self, mpi::Comm& comm,
+                              const AlgoCall& call) {
+  co_await reduce_tree_exec(self, comm, call.send, call.recv, call.reduce_op,
+                            call.root, K, call.seg, call.scheme);
+}
+
+/// Segment-size domain of the tree variants: any multiple of a double in
+/// [16 KiB, 4 MiB] (plus 0 = unsegmented). The floor sits above the
+/// testbed's 8 KiB eager threshold on purpose: eager sends resume the
+/// sender immediately, so sub-eager segments let a high-fanout rank (a
+/// 64-rank linear root, say) pour thousands of concurrent flows into the
+/// fluid-flow network, whose per-event rate recompute then goes quadratic.
+/// At or above 16 KiB every segment takes the rendezvous path and a rank
+/// holds one flow at a time. 4 MiB is past every sweep size this repo
+/// benches, so the domain never truncates a race.
+constexpr Bytes kTreeMinSeg = 16 * 1024;
+constexpr Bytes kTreeMaxSeg = 4 * 1024 * 1024;
+
+constexpr AlgoDesc tree_bcast(std::string_view name, TreeKind tree,
+                              AlgoExec exec, AlgoExec inner) {
+  return AlgoDesc{.name = name,
+                  .op = Op::kBcast,
+                  .schemes = kSchemesAll,
+                  .is_default = false,
+                  .segmented = true,
+                  .tree = tree,
+                  .min_seg = kTreeMinSeg,
+                  .max_seg = kTreeMaxSeg,
+                  .exec = exec,
+                  .exec_inner = inner};
+}
+
+constexpr AlgoDesc tree_reduce(std::string_view name, TreeKind tree,
+                               AlgoExec exec, AlgoExec inner) {
+  AlgoDesc d = tree_bcast(name, tree, exec, inner);
+  d.op = Op::kReduce;
+  return d;
+}
+
+constexpr AlgoDesc default_algo(std::string_view name, Op op,
+                                std::uint8_t schemes, AlgoExec exec) {
+  return AlgoDesc{.name = name,
+                  .op = op,
+                  .schemes = schemes,
+                  .is_default = true,
+                  .segmented = false,
+                  .tree = TreeKind::kBinomial,
+                  .min_seg = 0,
+                  .max_seg = 0,
+                  .exec = exec,
+                  .exec_inner = nullptr};
+}
+
+/// The registry. Defaults first (named after their op, reproducing the
+/// historical supported() matrix: everything implements every scheme
+/// except the binomial gather/scatter, which are kNone-only), then the
+/// tree/segment variants. Order is load-bearing: the autotuner races
+/// candidates in table order and breaks latency ties by position.
+constexpr AlgoDesc kAlgos[] = {
+    default_algo("alltoall", Op::kAlltoall, kSchemesAll, exec_alltoall),
+    default_algo("alltoallv", Op::kAlltoallv, kSchemesAll, exec_alltoallv),
+    default_algo("bcast", Op::kBcast, kSchemesAll, exec_bcast),
+    default_algo("reduce", Op::kReduce, kSchemesAll, exec_reduce),
+    default_algo("allreduce", Op::kAllreduce, kSchemesAll, exec_allreduce),
+    default_algo("allgather", Op::kAllgather, kSchemesAll, exec_allgather),
+    default_algo("gather", Op::kGather, kSchemesNoneOnly, exec_gather),
+    default_algo("scatter", Op::kScatter, kSchemesNoneOnly, exec_scatter),
+    default_algo("scan", Op::kScan, kSchemesAll, exec_scan),
+    default_algo("reduce_scatter", Op::kReduceScatter, kSchemesAll,
+                 exec_reduce_scatter),
+    default_algo("barrier", Op::kBarrier, kSchemesAll, exec_barrier),
+    tree_bcast("bcast_tree_binomial", TreeKind::kBinomial,
+               exec_bcast_tree<TreeKind::kBinomial>,
+               inner_bcast_tree<TreeKind::kBinomial>),
+    tree_bcast("bcast_tree_binary", TreeKind::kBinary,
+               exec_bcast_tree<TreeKind::kBinary>,
+               inner_bcast_tree<TreeKind::kBinary>),
+    tree_bcast("bcast_tree_chain", TreeKind::kChain,
+               exec_bcast_tree<TreeKind::kChain>,
+               inner_bcast_tree<TreeKind::kChain>),
+    tree_bcast("bcast_tree_linear", TreeKind::kLinear,
+               exec_bcast_tree<TreeKind::kLinear>,
+               inner_bcast_tree<TreeKind::kLinear>),
+    tree_reduce("reduce_tree_binomial", TreeKind::kBinomial,
+                exec_reduce_tree<TreeKind::kBinomial>,
+                inner_reduce_tree<TreeKind::kBinomial>),
+    tree_reduce("reduce_tree_binary", TreeKind::kBinary,
+                exec_reduce_tree<TreeKind::kBinary>,
+                inner_reduce_tree<TreeKind::kBinary>),
+    tree_reduce("reduce_tree_chain", TreeKind::kChain,
+                exec_reduce_tree<TreeKind::kChain>,
+                inner_reduce_tree<TreeKind::kChain>),
+    tree_reduce("reduce_tree_linear", TreeKind::kLinear,
+                exec_reduce_tree<TreeKind::kLinear>,
+                inner_reduce_tree<TreeKind::kLinear>),
+};
+
+}  // namespace
+
+std::span<const AlgoDesc> algorithms() { return kAlgos; }
+
+const AlgoDesc* find_algorithm(std::string_view name) {
+  for (const AlgoDesc& desc : kAlgos) {
+    if (desc.name == name) return &desc;
+  }
+  return nullptr;
+}
+
+const AlgoDesc& default_algorithm(Op op) {
+  for (const AlgoDesc& desc : kAlgos) {
+    if (desc.op == op && desc.is_default) return desc;
+  }
+  PACC_EXPECTS_MSG(false, "no default algorithm registered for op");
+  return kAlgos[0];  // unreachable
+}
+
+std::string algorithm_names(std::optional<Op> op) {
+  std::ostringstream out;
+  bool first = true;
+  for (const AlgoDesc& desc : kAlgos) {
+    if (op.has_value() && desc.op != *op) continue;
+    if (!first) out << ", ";
+    out << desc.name;
+    first = false;
+  }
+  return out.str();
+}
 
 std::string to_string(Op op) {
   switch (op) {
@@ -30,15 +263,33 @@ std::string to_string(Op op) {
   return "?";
 }
 
-bool supported(Op op, PowerScheme scheme) {
-  if (scheme == PowerScheme::kNone) return true;
-  switch (op) {
-    case Op::kGather:
-    case Op::kScatter:
-      return false;  // binomial-only entry points, no power variant
-    default:
-      return true;
+std::string to_string(TreeKind t) {
+  switch (t) {
+    case TreeKind::kBinomial:
+      return "binomial";
+    case TreeKind::kBinary:
+      return "binary";
+    case TreeKind::kChain:
+      return "chain";
+    case TreeKind::kLinear:
+      return "linear";
   }
+  return "?";
+}
+
+std::optional<TreeKind> parse_tree(std::string_view name) {
+  if (name == "binomial") return TreeKind::kBinomial;
+  if (name == "binary") return TreeKind::kBinary;
+  if (name == "chain") return TreeKind::kChain;
+  if (name == "linear") return TreeKind::kLinear;
+  return std::nullopt;
+}
+
+bool supported(Op op, PowerScheme scheme) {
+  for (const AlgoDesc& desc : kAlgos) {
+    if (desc.op == op && algo_supports(desc, scheme)) return true;
+  }
+  return false;
 }
 
 bool governor_supported(mpi::GovernorKind kind, PowerScheme scheme) {

@@ -1,15 +1,14 @@
-// Umbrella header + operation registry for the collective layer.
+// Umbrella header for the collective layer: every collective entry point
+// plus the algorithm registry.
 //
-// The registry is the single source of truth for what the library can run:
-// `kAllOps` enumerates every operation and `supported(op, scheme)` says
-// which power schemes apply to it, so benches, paccbench and the Campaign
-// sweep engine never hard-code valid op×scheme combinations.
+// The registry itself (enum Op, the AlgoDesc table, supported(), parsing)
+// lives in coll/algo.hpp, which compiles against forward declarations only
+// — include that instead when you enumerate operations or algorithms
+// without calling them. This umbrella is for TUs that invoke the
+// collectives directly.
 #pragma once
 
-#include <optional>
-#include <string>
-#include <string_view>
-
+#include "coll/algo.hpp"
 #include "coll/allgather.hpp"
 #include "coll/allreduce.hpp"
 #include "coll/alltoall.hpp"
@@ -23,57 +22,6 @@
 #include "coll/reduce_scatter.hpp"
 #include "coll/scan.hpp"
 #include "coll/topo_aware.hpp"
+#include "coll/tree.hpp"
 #include "coll/types.hpp"
 #include "mpi/governor.hpp"
-
-namespace pacc::coll {
-
-/// The collective operations this library implements.
-enum class Op {
-  kAlltoall,
-  kAlltoallv,
-  kBcast,
-  kReduce,
-  kAllreduce,
-  kAllgather,
-  kGather,
-  kScatter,
-  kScan,
-  kReduceScatter,
-  kBarrier,
-};
-
-std::string to_string(Op op);
-
-/// Every operation, in declaration order — iterable so sweeps and tests can
-/// enumerate the library instead of hard-coding subsets.
-inline constexpr Op kAllOps[] = {
-    Op::kAlltoall, Op::kAlltoallv,     Op::kBcast,   Op::kReduce,
-    Op::kAllreduce, Op::kAllgather,    Op::kGather,  Op::kScatter,
-    Op::kScan,      Op::kReduceScatter, Op::kBarrier,
-};
-
-/// All power schemes, in the order the paper's figures present them.
-inline constexpr PowerScheme kAllSchemes[] = {
-    PowerScheme::kNone, PowerScheme::kFreqScaling, PowerScheme::kProposed};
-
-/// Capability matrix: true if `op` implements `scheme`. Every op runs the
-/// default algorithm (kNone); the binomial Gather/Scatter have no
-/// power-aware variant (their topology-aware §VIII cousins are separate
-/// entry points), so they accept only kNone.
-bool supported(Op op, PowerScheme scheme);
-
-/// Governor × scheme capability matrix. The reactive and slack governors
-/// compose with every scheme (their restores clamp to the scheme's floor);
-/// the power-cap governor owns every core's frequency outright, which a §V
-/// scheme would fight, so it runs only with kNone.
-bool governor_supported(mpi::GovernorKind kind, PowerScheme scheme);
-
-/// The flag names the tools accept ("alltoall", "reduce_scatter", …);
-/// returns nullopt for unknown names.
-std::optional<Op> parse_op(std::string_view name);
-
-/// "none"/"no-power", "dvfs"/"freq-scaling", "proposed".
-std::optional<PowerScheme> parse_scheme(std::string_view name);
-
-}  // namespace pacc::coll

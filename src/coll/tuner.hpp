@@ -1,0 +1,98 @@
+// Persistent collective autotuner: the tuned-decision table.
+//
+// A Tuner maps (op, scheme, bytes, comm structure fingerprint) to the name
+// of the algorithm (and segment size) that won an offline race on that
+// cell (pacc/tuning.hpp drives the races). The table is injectable exactly
+// like ClusterConfig::plan_cache — one shared_ptr handed to every sweep
+// cell of a Campaign — and persists as versioned JSON ("pacc-tuned-v1",
+// docs/TUNING.md) so a tuning run's winners survive into later sessions.
+//
+// Dispatch integration: bcast() / reduce() consult tuned_choice() after
+// scheme negotiation and run the tuned variant's inner executor instead of
+// the static choice. With no tuner attached (the default) the lookup is
+// skipped entirely and dispatch is byte-identical to the untuned library.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "coll/algo.hpp"
+#include "util/units.hpp"
+
+namespace pacc::coll {
+
+/// One tuned cell. The comm's structure_fingerprint() stands in for the
+/// whole (cluster shape × membership × placement) tuple, so a table tuned
+/// on one config never misfires on another; `bytes` is the dispatched call
+/// size (after the harness's round-to-doubles). Root is deliberately not
+/// part of the key: tree links are built on virtual ranks, so the relative
+/// schedule — and its cost on a symmetric fabric — is root-invariant.
+struct TunedKey {
+  Op op = Op::kBcast;
+  PowerScheme scheme = PowerScheme::kNone;
+  Bytes bytes = 0;
+  std::uint64_t fingerprint = 0;
+
+  auto operator<=>(const TunedKey&) const = default;
+};
+
+/// The winning candidate of one cell's race.
+struct TunedDecision {
+  std::string algo;  ///< AlgoDesc name (stable across releases)
+  Bytes seg = 0;     ///< segment size the winner ran with
+};
+
+/// Thread-safe tuned-decision table with JSON persistence. Entries are
+/// kept ordered so save() is deterministic: save→load→save is
+/// byte-identical regardless of insertion order or racing --jobs.
+class Tuner {
+ public:
+  /// The decision for `key`, or nullopt. Counts hits/misses.
+  std::optional<TunedDecision> lookup(const TunedKey& key) const;
+
+  /// Whether a decision exists, without touching the hit/miss counters —
+  /// the racing driver's "skip already-tuned cells" probe.
+  bool contains(const TunedKey& key) const;
+
+  /// Inserts or replaces the decision for `key`.
+  void record(const TunedKey& key, TunedDecision decision);
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  /// Writes the table as "pacc-tuned-v1" JSON, entries sorted by key.
+  void save(std::ostream& out) const;
+  bool save_file(const std::string& path) const;
+
+  /// Merges entries from "pacc-tuned-v1" JSON produced by save(). Returns
+  /// false (and sets `error` when non-null) on malformed input; entries
+  /// parsed before the error are kept.
+  bool load(std::istream& in, std::string* error = nullptr);
+  bool load_file(const std::string& path, std::string* error = nullptr);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<TunedKey, TunedDecision> table_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+/// A dispatcher's view of one lookup: the tuned variant to run, or
+/// desc == nullptr to fall through to the static choice. Returns a variant
+/// only when the runtime has a tuner, the table has a usable decision for
+/// this exact (op, scheme, bytes, fingerprint) and the named algorithm has
+/// an inner executor (decisions naming a default dispatcher fall through —
+/// the static path IS that algorithm).
+struct TunedDispatch {
+  const AlgoDesc* desc = nullptr;
+  Bytes seg = 0;
+};
+
+TunedDispatch tuned_choice(mpi::Comm& comm, Op op, PowerScheme scheme,
+                           Bytes bytes);
+
+}  // namespace pacc::coll

@@ -1,29 +1,22 @@
 // Common types for the collective layer.
+//
+// The enumerations (PowerScheme, ReduceOp, Op, …) live in coll/algo.hpp so
+// registry consumers can compile against forward declarations; this header
+// re-exports them and adds the helpers that the collective implementations
+// themselves need (element-wise reduction, pow2 math) together with the
+// mpi::Rank / mpi::Comm definitions every algorithm signature uses.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <string>
 
+#include "coll/algo.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
 #include "util/units.hpp"
 
 namespace pacc::coll {
-
-/// Power optimisation applied to a collective call (§V, §VII).
-enum class PowerScheme {
-  kNone,         ///< default algorithm, all cores at fmax / T0
-  kFreqScaling,  ///< per-call DVFS to fmin around the default algorithm
-  kProposed,     ///< the paper's DVFS + throttling-scheduled algorithms
-};
-
-std::string to_string(PowerScheme s);
-
-/// Reduction operator over double elements.
-enum class ReduceOp { kSum, kMax, kMin };
-
-std::string to_string(ReduceOp op);
 
 /// Applies `op` element-wise: accum[i] = accum[i] (op) in[i].
 /// Buffers are interpreted as arrays of double (size % 8 == 0).

@@ -39,6 +39,7 @@ class FaultInjector;
 
 namespace pacc::coll {
 class PlanCache;
+class Tuner;
 }  // namespace pacc::coll
 
 namespace pacc::mpi {
@@ -300,6 +301,15 @@ class Runtime {
     return plan_cache_;
   }
 
+  /// Tuned-decision table consulted by the collective dispatchers before
+  /// their static choices (may be shared across Runtimes, like the plan
+  /// cache). Null — the default — means dispatch is purely static and
+  /// byte-identical to the untuned library.
+  void set_tuner(std::shared_ptr<coll::Tuner> tuner) {
+    tuner_ = std::move(tuner);
+  }
+  const std::shared_ptr<coll::Tuner>& tuner() const { return tuner_; }
+
   // --- fault injection / recovery ---
 
   /// Attaches the run's fault injector (owned by the caller; may be null).
@@ -360,6 +370,7 @@ class Runtime {
   std::unique_ptr<Governor> governor_;
   Profiler profiler_;
   std::shared_ptr<coll::PlanCache> plan_cache_;
+  std::shared_ptr<coll::Tuner> tuner_;
   bool trace_enabled_ = false;
   std::vector<MessageTraceEntry> trace_;
   Comm* world_ = nullptr;

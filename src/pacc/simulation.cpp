@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "coll/plan.hpp"
+#include "coll/registry.hpp"
+#include "coll/tuner.hpp"
 #include "sym/collapse.hpp"
 #include "util/expect.hpp"
 
@@ -75,6 +77,8 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
   runtime_->set_plan_cache(config.plan_cache
                                ? config.plan_cache
                                : std::make_shared<coll::PlanCache>());
+  // Tuned-decision table: attached verbatim (null = static dispatch).
+  runtime_->set_tuner(config.tuner);
   meter_ = std::make_unique<hw::SamplingMeter>(
       *machine_, config.obs.meter_interval, config.obs.per_node_meter);
 
@@ -177,12 +181,11 @@ RunReport Simulation::run(
   return report;
 }
 
-namespace {
-
-/// Rounds up to a whole number of doubles (reductions operate on doubles).
 Bytes round_to_doubles(Bytes n) {
   return (n + 7) / 8 * 8;
 }
+
+namespace {
 
 struct TimedWindow {
   TimePoint t0;
@@ -260,55 +263,22 @@ Buffers make_buffers(const CollectiveBenchSpec& spec, int ranks) {
   return b;
 }
 
+/// One matched call of `desc` (the op's default dispatcher, or a forced
+/// registry variant) — the registry-driven replacement of the historical
+/// per-op switch.
 sim::Task<> run_op_once(mpi::Rank& self, mpi::Comm& comm,
-                        const CollectiveBenchSpec& spec, Buffers& b) {
-  const Bytes msg = round_to_doubles(spec.message);
-  switch (spec.op) {
-    case coll::Op::kAlltoall:
-      co_await coll::alltoall(self, comm, b.send_view, b.recv_view, msg,
-                              {.scheme = spec.scheme});
-      break;
-    case coll::Op::kAlltoallv:
-      co_await coll::alltoallv(self, comm, b.send_view, b.send_counts,
-                               b.recv_view, b.recv_counts,
-                               {.scheme = spec.scheme});
-      break;
-    case coll::Op::kBcast:
-      co_await coll::bcast(self, comm, b.send, spec.root,
-                           {.scheme = spec.scheme});
-      break;
-    case coll::Op::kReduce:
-      co_await coll::reduce(self, comm, b.send, b.recv, spec.root,
-                            {.scheme = spec.scheme});
-      break;
-    case coll::Op::kAllreduce:
-      co_await coll::allreduce(self, comm, b.send, b.recv,
-                               {.scheme = spec.scheme});
-      break;
-    case coll::Op::kAllgather:
-      co_await coll::allgather(self, comm, b.send, b.recv, msg,
-                               {.scheme = spec.scheme});
-      break;
-    case coll::Op::kGather:
-      co_await coll::gather_binomial(self, comm, b.send, b.recv, msg,
-                                     spec.root);
-      break;
-    case coll::Op::kScatter:
-      co_await coll::scatter_binomial(self, comm, b.send, b.recv, msg,
-                                      spec.root);
-      break;
-    case coll::Op::kScan:
-      co_await coll::scan(self, comm, b.send, b.recv,
-                          {.scheme = spec.scheme});
-      break;
-    case coll::Op::kReduceScatter:
-      co_await coll::reduce_scatter(self, comm, b.send, b.recv, msg,
-                                    {.scheme = spec.scheme});
-      break;
-    case coll::Op::kBarrier:
-      co_await coll::barrier(self, comm, {.scheme = spec.scheme});
-      break;
-  }
+                        const CollectiveBenchSpec& spec, Buffers& b,
+                        const coll::AlgoDesc& desc) {
+  coll::AlgoCall call;
+  call.send = b.send_view;
+  call.recv = b.recv_view;
+  call.send_counts = b.send_counts;
+  call.recv_counts = b.recv_counts;
+  call.block = round_to_doubles(spec.message);
+  call.root = spec.root;
+  call.scheme = spec.scheme;
+  call.seg = spec.seg;
+  co_await desc.exec(self, comm, call);
 }
 
 }  // namespace
@@ -322,6 +292,49 @@ CollectiveReport measure_collective(const ClusterConfig& config,
                                      coll::to_string(spec.op) + " × " +
                                      coll::to_string(spec.scheme));
     return report;
+  }
+  // Resolve the algorithm up front: either the op's default dispatcher or
+  // the forced registry entry, validated against the spec.
+  const coll::AlgoDesc* algo = &coll::default_algorithm(spec.op);
+  if (!spec.algo.empty()) {
+    algo = coll::find_algorithm(spec.algo);
+    CollectiveReport report;
+    if (algo == nullptr) {
+      report.status = RunStatus::error(
+          "unknown algorithm '" + spec.algo +
+          "' (registered: " + coll::algorithm_names() + ")");
+      return report;
+    }
+    if (algo->op != spec.op) {
+      report.status = RunStatus::error(
+          "algorithm '" + spec.algo + "' implements " +
+          coll::to_string(algo->op) + ", not " + coll::to_string(spec.op) +
+          " (candidates: " + coll::algorithm_names(spec.op) + ")");
+      return report;
+    }
+    if (!coll::algo_supports(*algo, spec.scheme)) {
+      report.status = RunStatus::error(
+          "algorithm '" + spec.algo + "' does not implement scheme " +
+          coll::to_string(spec.scheme));
+      return report;
+    }
+  }
+  if (spec.seg > 0) {
+    CollectiveReport report;
+    if (spec.algo.empty() || !algo->segmented) {
+      report.status = RunStatus::error(
+          "segment size requires a segmented algorithm (registered: " +
+          coll::algorithm_names(spec.op) + ")");
+      return report;
+    }
+    if (spec.seg % sizeof(double) != 0 || spec.seg < algo->min_seg ||
+        spec.seg > algo->max_seg) {
+      report.status = RunStatus::error(
+          "segment size " + std::to_string(spec.seg) + " outside '" +
+          spec.algo + "' domain [" + std::to_string(algo->min_seg) + ", " +
+          std::to_string(algo->max_seg) + "], multiples of 8");
+      return report;
+    }
   }
   if (config.governor.enabled) {
     // Friendly counterparts of the Runtime/make_governor contract checks,
@@ -353,6 +366,11 @@ CollectiveReport measure_collective(const ClusterConfig& config,
   // at MiB block sizes) dominated wall time.
   ClusterConfig harness_config = config;
   harness_config.synthetic_payloads = true;
+  // A forced algorithm must actually run: detach the tuner so the default
+  // dispatchers cannot redirect to a tuned variant mid-race. The racing
+  // driver (pacc/tuning.hpp) counts on this when it times the "default"
+  // candidate of a cell that already has a tuned decision.
+  if (!spec.algo.empty()) harness_config.tuner = nullptr;
   // Rank-symmetry collapse: when the whole measurement commutes with the
   // fabric's top-level group symmetry, simulate one representative group
   // and scale the energy integrals back up (timing needs no scaling — the
@@ -368,11 +386,12 @@ CollectiveReport measure_collective(const ClusterConfig& config,
   // self-copies the sharing introduces are guarded in coll::copy_bytes.
   Buffers buffers = make_buffers(spec, config.ranks);
 
-  auto body = [&sim, &spec, window, &buffers](mpi::Rank& self) -> sim::Task<> {
+  auto body = [&sim, &spec, window, &buffers,
+               algo](mpi::Rank& self) -> sim::Task<> {
     mpi::Comm& world = sim.runtime().world();
 
     for (int i = 0; i < spec.warmup; ++i) {
-      co_await run_op_once(self, world, spec, buffers);
+      co_await run_op_once(self, world, spec, buffers, *algo);
     }
     co_await coll::barrier(self, world);
     if (self.id() == 0) {
@@ -380,7 +399,7 @@ CollectiveReport measure_collective(const ClusterConfig& config,
       window->e0 = self.machine().total_energy();
     }
     for (int i = 0; i < spec.iterations; ++i) {
-      co_await run_op_once(self, world, spec, buffers);
+      co_await run_op_once(self, world, spec, buffers, *algo);
     }
     co_await coll::barrier(self, world);
     if (self.id() == 0) {

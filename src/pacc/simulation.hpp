@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "coll/registry.hpp"
+#include "coll/algo.hpp"
 #include "fault/fault.hpp"
 #include "hw/machine.hpp"
 #include "hw/meter.hpp"
@@ -98,6 +98,12 @@ struct ClusterConfig {
   /// other's schedules (plans are keyed on a structural fingerprint, so
   /// sharing is always safe).
   std::shared_ptr<coll::PlanCache> plan_cache;
+  /// Tuned-decision table (coll/tuner.hpp) to attach to the run's Runtime.
+  /// Null (the default) keeps dispatch purely static and byte-identical to
+  /// the untuned library. Like the plan cache, a single Tuner is safely
+  /// shared across Campaign cells — decisions are keyed on the comm's
+  /// structural fingerprint.
+  std::shared_ptr<coll::Tuner> tuner;
   /// Safety bound on simulated time: a deadlocked program is reported as
   /// incomplete instead of letting the meter tick forever.
   Duration max_sim_time = Duration::seconds(3600.0);
@@ -186,6 +192,15 @@ struct CollectiveBenchSpec {
   int iterations = 10;
   int warmup = 2;
   int root = 0;             ///< rooted collectives
+  /// Force a specific registered algorithm (coll::algorithms() names, e.g.
+  /// "bcast_tree_binary") instead of the op's default dispatcher. Must
+  /// match `op`; unknown names report kError listing the registry. A
+  /// forced algorithm never consults the tuner — that is what the racing
+  /// driver relies on.
+  std::string algo;
+  /// Segment size for segmented algorithms (only with a non-empty `algo`
+  /// whose descriptor is segmented; 0 = unsegmented).
+  Bytes seg = 0;
 };
 
 /// One simulated cluster plus its runtime; single-run, single-threaded.
@@ -222,6 +237,12 @@ class Simulation {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<sim::Watchdog> watchdog_;
 };
+
+/// Rounds up to a whole number of doubles — the size actually dispatched
+/// for a CollectiveBenchSpec::message (reductions operate on doubles).
+/// Exposed because tuned-decision keys (coll/tuner.hpp) must be recorded
+/// at this rounded size to match the dispatch-time lookup.
+Bytes round_to_doubles(Bytes n);
 
 /// Builds a cluster, runs `spec.warmup + spec.iterations` matched calls of
 /// the collective on the world communicator, and reports the averaged

@@ -1,0 +1,149 @@
+#include "pacc/tuning.hpp"
+
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "coll/plan.hpp"
+#include "pacc/campaign.hpp"
+#include "util/expect.hpp"
+
+namespace pacc {
+
+namespace {
+
+/// The standard segment-size ladder. Coarse on purpose: the race pays one
+/// full simulation per rung, and the pipelining benefit moves slowly in
+/// seg, so three rungs bracket the useful range the way Open MPI's adapt
+/// component ships a handful of discrete seg counts. Every rung clears
+/// the registry's 16 KiB domain floor (see coll/registry.cpp), keeping
+/// segment traffic on the rendezvous path.
+constexpr Bytes kSegLadder[] = {16 * 1024, 64 * 1024, 256 * 1024};
+
+}  // namespace
+
+std::vector<TuneCandidateResult> tune_candidates(coll::Op op,
+                                                 coll::PowerScheme scheme,
+                                                 Bytes message) {
+  std::vector<TuneCandidateResult> candidates;
+  for (const coll::AlgoDesc& desc : coll::algorithms()) {
+    if (desc.op != op || !coll::algo_supports(desc, scheme)) continue;
+    candidates.push_back(
+        TuneCandidateResult{.algo = std::string(desc.name), .seg = 0});
+    if (!desc.segmented) continue;
+    for (const Bytes seg : kSegLadder) {
+      if (seg < desc.min_seg || seg > desc.max_seg) continue;
+      if (seg >= round_to_doubles(message)) continue;  // nothing to pipeline
+      candidates.push_back(
+          TuneCandidateResult{.algo = std::string(desc.name), .seg = seg});
+    }
+  }
+  return candidates;
+}
+
+TuneReport tune_collective(coll::Tuner& tuner, const TuneRequest& req,
+                           int jobs) {
+  PACC_EXPECTS(req.iterations >= 1 && req.warmup >= 0);
+
+  // The comm fingerprint the dispatch-time lookups will present. bcast /
+  // reduce dispatch always runs 1:1 (rooted collectives never collapse),
+  // so probe an uncollapsed build of the cluster.
+  ClusterConfig probe_config = req.cluster;
+  probe_config.collapse_multiplicity = 1;
+  const std::uint64_t fingerprint =
+      Simulation(probe_config).runtime().world().structure_fingerprint();
+
+  // Candidate runs share one plan cache: every candidate of a size runs on
+  // an identically-shaped cluster, so the schedules are reusable. Results
+  // are unaffected (plans are pure); only wall time is.
+  ClusterConfig race_config = req.cluster;
+  race_config.tuner = nullptr;  // forced algos must race, not consult
+  if (!race_config.plan_cache) {
+    race_config.plan_cache = std::make_shared<coll::PlanCache>();
+  }
+
+  TuneReport report;
+  struct Item {
+    std::size_t cell;
+    std::size_t candidate;
+  };
+  std::vector<Item> items;
+  for (const Bytes message : req.sizes) {
+    TuneCellResult cell;
+    cell.message = message;
+    cell.tuned_bytes = round_to_doubles(message);
+    const coll::TunedKey key{.op = req.op,
+                             .scheme = req.scheme,
+                             .bytes = cell.tuned_bytes,
+                             .fingerprint = fingerprint};
+    if (tuner.contains(key)) {
+      cell.skipped = true;
+      if (const auto existing = tuner.lookup(key)) cell.decision = *existing;
+      ++report.skipped_cells;
+      report.cells.push_back(std::move(cell));
+      continue;
+    }
+    cell.candidates = tune_candidates(req.op, req.scheme, message);
+    for (auto& candidate : cell.candidates) {
+      candidate.status = RunStatus::error("candidate run did not complete");
+    }
+    const std::size_t cell_index = report.cells.size();
+    for (std::size_t c = 0; c < cell.candidates.size(); ++c) {
+      items.push_back(Item{cell_index, c});
+    }
+    report.cells.push_back(std::move(cell));
+  }
+
+  const std::vector<RunStatus> statuses = Campaign::for_each(
+      items.size(), jobs, [&](std::size_t i) {
+        TuneCellResult& cell = report.cells[items[i].cell];
+        TuneCandidateResult& candidate =
+            cell.candidates[items[i].candidate];
+        CollectiveBenchSpec spec;
+        spec.op = req.op;
+        spec.message = cell.message;
+        spec.scheme = req.scheme;
+        spec.iterations = req.iterations;
+        spec.warmup = req.warmup;
+        spec.root = req.root;
+        spec.algo = candidate.algo;
+        spec.seg = candidate.seg;
+        const CollectiveReport r = measure_collective(race_config, spec);
+        candidate.status = r.status;
+        candidate.latency = r.latency;
+      });
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    // for_each converts an escaped exception into a kError status; fold it
+    // into the candidate so the report never claims a silent success.
+    if (!statuses[i].ok()) {
+      report.cells[items[i].cell].candidates[items[i].candidate].status =
+          statuses[i];
+    }
+  }
+
+  // Winners: fastest ok candidate, first-in-table-order on exact ties —
+  // a deterministic rule over deterministic simulations, so the table is
+  // byte-identical at any `jobs`.
+  for (TuneCellResult& cell : report.cells) {
+    if (cell.skipped) continue;
+    report.raced_cells += static_cast<int>(cell.candidates.size());
+    const TuneCandidateResult* winner = nullptr;
+    for (const TuneCandidateResult& candidate : cell.candidates) {
+      if (!candidate.status.ok()) continue;
+      if (winner == nullptr || candidate.latency < winner->latency) {
+        winner = &candidate;
+      }
+    }
+    if (winner == nullptr) continue;  // every candidate failed: no decision
+    cell.decision =
+        coll::TunedDecision{.algo = winner->algo, .seg = winner->seg};
+    tuner.record(coll::TunedKey{.op = req.op,
+                                .scheme = req.scheme,
+                                .bytes = cell.tuned_bytes,
+                                .fingerprint = fingerprint},
+                 cell.decision);
+  }
+  return report;
+}
+
+}  // namespace pacc

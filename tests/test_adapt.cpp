@@ -1,0 +1,435 @@
+// Adaptive collective engine: tree/segment variants, the algorithm
+// registry, and the persistent autotuner (coll/tree.hpp, coll/algo.hpp,
+// coll/tuner.hpp, pacc/tuning.hpp).
+#include "coll/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coll/registry.hpp"
+#include "coll/tuner.hpp"
+#include "pacc/tuning.hpp"
+#include "test_support.hpp"
+
+namespace pacc::coll {
+namespace {
+
+using test::check_pattern;
+using test::fill_pattern;
+
+constexpr TreeKind kTrees[] = {TreeKind::kBinomial, TreeKind::kBinary,
+                               TreeKind::kChain, TreeKind::kLinear};
+// 0 = whole payload; 496 leaves a short tail segment; 4096 exceeds the
+// payload (single-segment path). All are double-aligned for reduce.
+constexpr Bytes kSegs[] = {0, 496, 4096};
+constexpr Bytes kPayload = 2000;
+
+struct Shape {
+  int nodes, ranks, ppn;
+};
+
+// Non-powers of two included on purpose: tree construction must be correct
+// for ragged virtual-rank ranges.
+const Shape kShapes[] = {{2, 2, 1},  {3, 3, 1},  {5, 5, 1},  {2, 8, 4},
+                         {4, 16, 4}, {17, 17, 1}, {33, 33, 1}};
+
+double element(int rank, std::size_t j) {
+  // Integer-valued doubles: sums are exact in any association order, so
+  // every tree shape must match the baseline bit-for-bit.
+  return static_cast<double>(rank + 1) + static_cast<double>(2 * j);
+}
+
+void verify_bcast_tree(const Shape& shape, TreeKind tree, Bytes seg,
+                       PowerScheme scheme, int root) {
+  ClusterConfig cfg = test::small_cluster(shape.nodes, shape.ranks, shape.ppn);
+  Simulation sim(cfg);
+  std::vector<int> ok(static_cast<std::size_t>(shape.ranks), 0);
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> buf(kPayload);
+    if (me == root) fill_pattern(buf, root, 0xAB);
+    co_await bcast_tree(self, world, buf, root,
+                        {.tree = tree, .seg = seg, .scheme = scheme});
+    ok[static_cast<std::size_t>(me)] = check_pattern(buf, root, 0xAB);
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished)
+      << "deadlock: tree " << to_string(tree) << " seg " << seg;
+  for (int r = 0; r < shape.ranks; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1)
+        << "rank " << r << " tree " << to_string(tree) << " seg " << seg;
+  }
+}
+
+void verify_reduce_tree(const Shape& shape, TreeKind tree, Bytes seg,
+                        PowerScheme scheme, int root) {
+  ClusterConfig cfg = test::small_cluster(shape.nodes, shape.ranks, shape.ppn);
+  Simulation sim(cfg);
+  constexpr std::size_t kElems = kPayload / sizeof(double);
+  std::vector<double> result(kElems, 0.0);
+  bool root_ran = false;
+  auto body = [&](mpi::Rank& self) -> sim::Task<> {
+    mpi::Comm& world = sim.runtime().world();
+    const int me = world.comm_rank_of(self.id());
+    std::vector<std::byte> send(kPayload);
+    auto* d = reinterpret_cast<double*>(send.data());
+    for (std::size_t j = 0; j < kElems; ++j) d[j] = element(me, j);
+    std::vector<std::byte> recv(kPayload);
+    co_await reduce_tree(self, world, send, recv, root,
+                         {.tree = tree, .seg = seg, .scheme = scheme});
+    if (me == root) {
+      std::memcpy(result.data(), recv.data(), recv.size());
+      root_ran = true;
+    }
+  };
+  ASSERT_TRUE(test::run_all(sim, body).all_tasks_finished)
+      << "deadlock: tree " << to_string(tree) << " seg " << seg;
+  ASSERT_TRUE(root_ran);
+  for (std::size_t j = 0; j < kElems; ++j) {
+    double expected = 0.0;
+    for (int r = 0; r < shape.ranks; ++r) expected += element(r, j);
+    ASSERT_DOUBLE_EQ(result[j], expected)
+        << "elem " << j << " tree " << to_string(tree) << " seg " << seg;
+  }
+}
+
+class TreeVariants : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TreeVariants, BcastDeliversRootPayload) {
+  const Shape shape = GetParam();
+  for (const TreeKind tree : kTrees) {
+    for (const Bytes seg : kSegs) {
+      for (const PowerScheme scheme :
+           {PowerScheme::kNone, PowerScheme::kProposed}) {
+        verify_bcast_tree(shape, tree, seg, scheme, /*root=*/0);
+      }
+    }
+  }
+}
+
+TEST_P(TreeVariants, ReduceMatchesExactSum) {
+  const Shape shape = GetParam();
+  for (const TreeKind tree : kTrees) {
+    for (const Bytes seg : kSegs) {
+      for (const PowerScheme scheme :
+           {PowerScheme::kNone, PowerScheme::kProposed}) {
+        verify_reduce_tree(shape, tree, seg, scheme, /*root=*/0);
+      }
+    }
+  }
+}
+
+TEST_P(TreeVariants, NonZeroRootBcastAndReduce) {
+  const Shape shape = GetParam();
+  if (shape.ranks < 2) return;
+  for (const TreeKind tree : kTrees) {
+    verify_bcast_tree(shape, tree, /*seg=*/496, PowerScheme::kNone,
+                      /*root=*/shape.ranks - 1);
+    verify_reduce_tree(shape, tree, /*seg=*/496, PowerScheme::kNone,
+                       /*root=*/1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TreeVariants, ::testing::ValuesIn(kShapes),
+                         [](const auto& info) {
+                           return std::to_string(info.param.ranks) + "r" +
+                                  std::to_string(info.param.ppn) + "ppn";
+                         });
+
+TEST(TreeSegments, CountRule) {
+  EXPECT_EQ(tree_segment_count(2000, 0), 1);
+  EXPECT_EQ(tree_segment_count(2000, 4096), 1);
+  EXPECT_EQ(tree_segment_count(2000, 2000), 1);
+  EXPECT_EQ(tree_segment_count(2000, 496), 5);  // 4×496 + 16
+  EXPECT_EQ(tree_segment_count(2000, 500), 4);
+}
+
+// --- registry ---------------------------------------------------------
+
+TEST(Registry, DefaultAlgorithmsAreNamedAfterOps) {
+  for (const Op op : kAllOps) {
+    const AlgoDesc& d = default_algorithm(op);
+    EXPECT_EQ(d.name, to_string(op));
+    EXPECT_TRUE(d.is_default);
+    EXPECT_EQ(d.op, op);
+    EXPECT_EQ(d.exec_inner, nullptr);  // tuned decisions fall through
+  }
+}
+
+TEST(Registry, SupportedShimMatchesHistoricalMatrix) {
+  for (const Op op : kAllOps) {
+    EXPECT_TRUE(supported(op, PowerScheme::kNone));
+    const bool none_only = op == Op::kGather || op == Op::kScatter;
+    EXPECT_EQ(supported(op, PowerScheme::kFreqScaling), !none_only);
+    EXPECT_EQ(supported(op, PowerScheme::kProposed), !none_only);
+  }
+}
+
+TEST(Registry, TreeVariantsAreRegisteredWithSegDomains) {
+  for (const char* name :
+       {"bcast_tree_binomial", "bcast_tree_binary", "bcast_tree_chain",
+        "bcast_tree_linear", "reduce_tree_binomial", "reduce_tree_binary",
+        "reduce_tree_chain", "reduce_tree_linear"}) {
+    const AlgoDesc* d = find_algorithm(name);
+    ASSERT_NE(d, nullptr) << name;
+    EXPECT_TRUE(d->segmented);
+    EXPECT_FALSE(d->is_default);
+    EXPECT_GT(d->min_seg, 0);
+    EXPECT_GT(d->max_seg, d->min_seg);
+    ASSERT_NE(d->exec, nullptr);
+    ASSERT_NE(d->exec_inner, nullptr);
+  }
+  EXPECT_EQ(find_algorithm("no_such_algo"), nullptr);
+}
+
+TEST(Registry, AlgorithmNamesListsPerOpVariants) {
+  const std::string all = algorithm_names();
+  EXPECT_NE(all.find("bcast_tree_chain"), std::string::npos);
+  const std::string reduce_only = algorithm_names(Op::kReduce);
+  EXPECT_NE(reduce_only.find("reduce_tree_binary"), std::string::npos);
+  EXPECT_EQ(reduce_only.find("bcast_tree"), std::string::npos);
+}
+
+// --- tuned-decision table --------------------------------------------
+
+TEST(Tuner, SaveLoadSaveIsByteIdentical) {
+  Tuner a;
+  // Fingerprint above 2^53 on purpose: it must survive the JSON round trip
+  // exactly, which is why it is serialised as a string.
+  a.record({Op::kBcast, PowerScheme::kNone, 16384, 18446744073709551557ull},
+           {"bcast_tree_chain", 8192});
+  a.record({Op::kReduce, PowerScheme::kProposed, 65536, 42},
+           {"reduce_tree_binomial", 0});
+  a.record({Op::kBcast, PowerScheme::kFreqScaling, 1024, 7}, {"bcast", 0});
+  std::ostringstream first;
+  a.save(first);
+
+  Tuner b;
+  std::istringstream in(first.str());
+  std::string error;
+  ASSERT_TRUE(b.load(in, &error)) << error;
+  EXPECT_EQ(b.size(), 3u);
+  std::ostringstream second;
+  b.save(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  const auto hit =
+      b.lookup({Op::kBcast, PowerScheme::kNone, 16384, 18446744073709551557ull});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->algo, "bcast_tree_chain");
+  EXPECT_EQ(hit->seg, 8192);
+}
+
+TEST(Tuner, LoadRejectsMalformedInput) {
+  {
+    Tuner t;
+    std::istringstream in("{\n  \"schema\": \"something-else\",\n");
+    std::string error;
+    EXPECT_FALSE(t.load(in, &error));
+    EXPECT_NE(error.find("schema"), std::string::npos) << error;
+  }
+  {
+    Tuner t;
+    std::istringstream in(
+        "{\n  \"schema\": \"pacc-tuned-v1\",\n  \"entries\": [\n"
+        "    {\"op\": \"bcast\", \"broken\n");
+    std::string error;
+    EXPECT_FALSE(t.load(in, &error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Tuner, LookupCountsHitsAndMisses) {
+  Tuner t;
+  t.record({Op::kBcast, PowerScheme::kNone, 4096, 1}, {"bcast_tree_binary", 0});
+  EXPECT_TRUE(t.lookup({Op::kBcast, PowerScheme::kNone, 4096, 1}).has_value());
+  EXPECT_FALSE(t.lookup({Op::kBcast, PowerScheme::kNone, 8192, 1}).has_value());
+  EXPECT_EQ(t.hits(), 1u);
+  EXPECT_EQ(t.misses(), 1u);
+  // contains() is the racing driver's probe and must not skew the counters.
+  EXPECT_TRUE(t.contains({Op::kBcast, PowerScheme::kNone, 4096, 1}));
+  EXPECT_EQ(t.hits(), 1u);
+}
+
+// --- racing driver ----------------------------------------------------
+
+TuneRequest small_request(std::vector<Bytes> sizes) {
+  TuneRequest req;
+  req.cluster = test::small_cluster(2, 8, 4);
+  req.op = Op::kBcast;
+  req.scheme = PowerScheme::kNone;
+  req.sizes = std::move(sizes);
+  req.iterations = 2;
+  req.warmup = 1;
+  return req;
+}
+
+TEST(Tuning, CandidatesCoverDefaultsAndSegLadder) {
+  const auto candidates =
+      tune_candidates(Op::kBcast, PowerScheme::kNone, 1 << 20);
+  // The default dispatcher plus 4 trees × (seg=0 + the in-domain ladder).
+  bool has_default = false, has_segged = false;
+  for (const auto& c : candidates) {
+    if (c.algo == "bcast") has_default = true;
+    if (c.algo == "bcast_tree_chain" && c.seg > 0) has_segged = true;
+  }
+  EXPECT_TRUE(has_default);
+  EXPECT_TRUE(has_segged);
+  // Small payloads race no segment ladder (seg >= message is pointless).
+  for (const auto& c : tune_candidates(Op::kBcast, PowerScheme::kNone, 1024)) {
+    EXPECT_EQ(c.seg, 0) << c.algo;
+  }
+}
+
+TEST(Tuning, SecondRunSkipsEveryTunedSize) {
+  Tuner tuner;
+  const TuneRequest req = small_request({4096, 65536});
+  const TuneReport first = tune_collective(tuner, req);
+  EXPECT_GT(first.raced_cells, 0);
+  EXPECT_EQ(first.skipped_cells, 0);
+  EXPECT_EQ(tuner.size(), 2u);
+  for (const auto& cell : first.cells) {
+    EXPECT_FALSE(cell.decision.algo.empty());
+  }
+
+  const TuneReport second = tune_collective(tuner, req);
+  EXPECT_EQ(second.raced_cells, 0);
+  EXPECT_EQ(second.skipped_cells, 2);
+  // The skipped run must surface the persisted decisions unchanged.
+  for (std::size_t i = 0; i < second.cells.size(); ++i) {
+    EXPECT_TRUE(second.cells[i].skipped);
+    EXPECT_EQ(second.cells[i].decision.algo, first.cells[i].decision.algo);
+    EXPECT_EQ(second.cells[i].decision.seg, first.cells[i].decision.seg);
+  }
+}
+
+TEST(Tuning, TableIsIdenticalAtAnyJobsCount) {
+  const TuneRequest req = small_request({4096, 65536, 262144});
+  Tuner serial, parallel;
+  const TuneReport r1 = tune_collective(serial, req, /*jobs=*/1);
+  const TuneReport r4 = tune_collective(parallel, req, /*jobs=*/4);
+
+  std::ostringstream s1, s4;
+  serial.save(s1);
+  parallel.save(s4);
+  EXPECT_EQ(s1.str(), s4.str());
+
+  ASSERT_EQ(r1.cells.size(), r4.cells.size());
+  for (std::size_t i = 0; i < r1.cells.size(); ++i) {
+    ASSERT_EQ(r1.cells[i].candidates.size(), r4.cells[i].candidates.size());
+    for (std::size_t c = 0; c < r1.cells[i].candidates.size(); ++c) {
+      EXPECT_EQ(r1.cells[i].candidates[c].latency,
+                r4.cells[i].candidates[c].latency)
+          << r1.cells[i].candidates[c].algo;
+    }
+  }
+}
+
+// --- adaptive dispatch ------------------------------------------------
+
+TEST(AdaptiveDispatch, TunedRunMatchesForcedWinnerExactly) {
+  auto tuner = std::make_shared<Tuner>();
+  TuneRequest req = small_request({262144});
+  const TuneReport report = tune_collective(*tuner, req);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const TunedDecision& winner = report.cells[0].decision;
+  ASSERT_FALSE(winner.algo.empty());
+
+  CollectiveBenchSpec spec;
+  spec.op = Op::kBcast;
+  spec.message = 262144;
+  spec.iterations = 2;
+  spec.warmup = 1;
+
+  ClusterConfig tuned_cfg = req.cluster;
+  tuned_cfg.tuner = tuner;
+  const CollectiveReport adaptive = measure_collective(tuned_cfg, spec);
+  ASSERT_TRUE(adaptive.status.ok()) << adaptive.status.describe();
+
+  spec.algo = winner.algo;
+  spec.seg = winner.seg;
+  const CollectiveReport forced = measure_collective(req.cluster, spec);
+  ASSERT_TRUE(forced.status.ok()) << forced.status.describe();
+  EXPECT_EQ(adaptive.latency, forced.latency);
+}
+
+TEST(AdaptiveDispatch, DecisionNamingDefaultFallsThrough) {
+  // A decision naming the default dispatcher has no inner executor: the
+  // run must be byte-identical to an untuned one.
+  const ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  CollectiveBenchSpec spec;
+  spec.op = Op::kBcast;
+  spec.message = 65536;
+  spec.iterations = 2;
+  spec.warmup = 1;
+  const CollectiveReport untuned = measure_collective(cfg, spec);
+  ASSERT_TRUE(untuned.status.ok());
+
+  ClusterConfig tuned_cfg = cfg;
+  tuned_cfg.tuner = std::make_shared<Tuner>();
+  Simulation probe(cfg);
+  const std::uint64_t fp = probe.runtime().world().structure_fingerprint();
+  tuned_cfg.tuner->record(
+      {Op::kBcast, PowerScheme::kNone, round_to_doubles(65536), fp},
+      {"bcast", 0});
+  const CollectiveReport tuned = measure_collective(tuned_cfg, spec);
+  ASSERT_TRUE(tuned.status.ok());
+  EXPECT_EQ(tuned.latency, untuned.latency);
+  EXPECT_EQ(tuned.energy_per_op, untuned.energy_per_op);
+}
+
+TEST(AdaptiveDispatch, ForcedAlgoErrorsAreDescriptive) {
+  const ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  CollectiveBenchSpec spec;
+  spec.op = Op::kBcast;
+  spec.message = 65536;
+  spec.iterations = 1;
+  spec.warmup = 0;
+
+  spec.algo = "no_such_algo";
+  auto r = measure_collective(cfg, spec);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_NE(r.status.describe().find("unknown algorithm"), std::string::npos);
+  EXPECT_NE(r.status.describe().find("bcast_tree_chain"), std::string::npos);
+
+  spec.algo = "reduce_tree_chain";  // wrong op
+  r = measure_collective(cfg, spec);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_NE(r.status.describe().find("implements"), std::string::npos);
+
+  spec.algo = "bcast";  // default is unsegmented
+  spec.seg = 8192;
+  r = measure_collective(cfg, spec);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_NE(r.status.describe().find("segmented"), std::string::npos);
+
+  spec.algo = "bcast_tree_chain";
+  spec.seg = 100;  // below min_seg and not double-aligned
+  r = measure_collective(cfg, spec);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_NE(r.status.describe().find("domain"), std::string::npos);
+}
+
+TEST(AdaptiveDispatch, ForcedAlgoRunsMatchDirectTreeCalls) {
+  // A forced registry execution and a direct coll::bcast_tree() call must
+  // produce the same simulated latency — the registry hook is a thin shim.
+  const ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  CollectiveBenchSpec spec;
+  spec.op = Op::kBcast;
+  spec.message = 262144;
+  spec.iterations = 2;
+  spec.warmup = 1;
+  spec.algo = "bcast_tree_chain";
+  spec.seg = 16384;
+  const CollectiveReport forced = measure_collective(cfg, spec);
+  ASSERT_TRUE(forced.status.ok()) << forced.status.describe();
+  EXPECT_GT(forced.latency, Duration());
+}
+
+}  // namespace
+}  // namespace pacc::coll

@@ -13,6 +13,7 @@
 
 #include "pacc/campaign.hpp"
 #include "pacc/simulation.hpp"
+#include "coll/registry.hpp"
 
 namespace pacc {
 namespace {

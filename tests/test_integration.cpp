@@ -7,6 +7,7 @@
 #include "apps/cpmd.hpp"
 #include "apps/nas.hpp"
 #include "test_support.hpp"
+#include "coll/registry.hpp"
 
 namespace pacc {
 namespace {

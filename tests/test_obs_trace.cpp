@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "test_support.hpp"
+#include "coll/registry.hpp"
 
 namespace pacc::obs {
 namespace {

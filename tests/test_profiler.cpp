@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "test_support.hpp"
+#include "coll/registry.hpp"
 
 namespace pacc::mpi {
 namespace {

@@ -8,6 +8,7 @@
 
 #include "apps/workload.hpp"
 #include "test_support.hpp"
+#include "coll/registry.hpp"
 
 namespace pacc {
 namespace {

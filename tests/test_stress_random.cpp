@@ -11,6 +11,7 @@
 #include "coll/comm_split.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
+#include "coll/registry.hpp"
 
 namespace pacc::coll {
 namespace {

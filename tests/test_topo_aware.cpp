@@ -9,6 +9,7 @@
 #include "coll/power_scheme.hpp"
 #include "net/network.hpp"
 #include "test_support.hpp"
+#include "coll/registry.hpp"
 
 namespace pacc::coll {
 namespace {

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "test_support.hpp"
+#include "coll/registry.hpp"
 
 namespace pacc {
 namespace {

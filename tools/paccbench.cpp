@@ -11,6 +11,12 @@
 // Application workload from a trace file (see src/apps/trace.hpp):
 //   paccbench --workload my_app.wl --ranks 32 --ppn 4 --scheme dvfs
 //
+// Autotuning (race registered variants, persist winners, re-use them):
+//   paccbench --op bcast --min 16K --max 1M --tune --tuned-table tuned.json
+//   paccbench --op bcast --min 16K --max 1M --tuned-table tuned.json
+// Force one registered algorithm (see docs/TUNING.md):
+//   paccbench --op bcast --algo bcast_tree_chain:seg=32K
+//
 // Cluster knobs: --nodes, --affinity bunch|scatter, --mode polling|blocking,
 // --governor [threshold_us], --core-throttle, --racks <nodes_per_rack>,
 // --fabric <size[:oversub],...> (fat-tree levels, bottom-up), --collapse
@@ -19,14 +25,17 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "apps/trace.hpp"
 #include "coll/registry.hpp"
+#include "coll/tuner.hpp"
 #include "pacc/campaign.hpp"
 #include "pacc/simulation.hpp"
+#include "pacc/tuning.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -41,6 +50,17 @@ int usage(const char* argv0) {
       << "                     allgather|gather|scatter|scan|reduce_scatter|barrier\n"
       << "  --sweep            run every supported op x scheme combination\n"
       << "  --workload FILE    run a workload trace instead of a collective\n"
+      << "  --algo SPEC        force one registered algorithm instead of the\n"
+      << "                     op's default dispatch; SPEC is NAME[:seg=BYTES]\n"
+      << "                     (e.g. bcast_tree_chain:seg=32K). Run with an\n"
+      << "                     unknown NAME to list the registry\n"
+      << "  --tune             race every registered candidate per size and\n"
+      << "                     record the winners (needs --op and\n"
+      << "                     --tuned-table; sizes already in the table are\n"
+      << "                     skipped). The sweep then runs tuned\n"
+      << "  --tuned-table FILE persistent tuned-decision table (JSON,\n"
+      << "                     pacc-tuned-v1): loaded if present and consulted\n"
+      << "                     by dispatch; rewritten after --tune\n"
       << "  --scheme NAME      none|dvfs|proposed (default none)\n"
       << "  --ranks N          MPI ranks (default 64)\n"
       << "  --ppn N            ranks per node (default 8)\n"
@@ -237,12 +257,71 @@ int main(int argc, char** argv) {
   const int warmup = static_cast<int>(args.int_or("warmup", 2));
   const int jobs = static_cast<int>(args.int_or("jobs", 1));
   const auto json_file = args.get("json");
+  const bool tune = args.has("tune");
+  const auto tuned_table_file = args.get("tuned-table");
+
+  // --algo NAME[:seg=BYTES]: force one registered algorithm.
+  const coll::AlgoDesc* forced_algo = nullptr;
+  Bytes forced_seg = 0;
+  if (const auto algo_arg = args.get("algo")) {
+    std::string name = *algo_arg;
+    if (const auto pos = name.find(":seg="); pos != std::string::npos) {
+      const auto seg = parse_bytes(name.substr(pos + 5));
+      if (!seg || *seg <= 0) {
+        std::cerr << "bad --algo segment \"" << name.substr(pos + 5)
+                  << "\"\n";
+        return usage(argv[0]);
+      }
+      forced_seg = *seg;
+      name = name.substr(0, pos);
+    }
+    forced_algo = coll::find_algorithm(name);
+    if (forced_algo == nullptr) {
+      std::cerr << "unknown algorithm \"" << name
+                << "\" (registered: " << coll::algorithm_names() << ")\n";
+      return usage(argv[0]);
+    }
+    if (forced_seg > 0 && !forced_algo->segmented) {
+      std::cerr << "algorithm \"" << name << "\" is not segmented\n";
+      return usage(argv[0]);
+    }
+  }
 
   const auto unknown = args.unknown();
   if (!unknown.empty()) {
     std::cerr << "unknown flag(s):";
     for (const auto& f : unknown) std::cerr << " " << f;
     std::cerr << "\n";
+    return usage(argv[0]);
+  }
+
+  std::shared_ptr<coll::Tuner> tuner;
+  if (tuned_table_file) {
+    tuner = std::make_shared<coll::Tuner>();
+    if (std::ifstream in(*tuned_table_file); in) {
+      std::string error;
+      if (!tuner->load(in, &error)) {
+        std::cerr << "bad --tuned-table " << *tuned_table_file << ": "
+                  << error << "\n";
+        return 1;
+      }
+    }
+    cfg.tuner = tuner;
+  }
+  if (tune) {
+    if (!tuned_table_file) {
+      std::cerr << "--tune needs --tuned-table FILE\n";
+      return usage(argv[0]);
+    }
+    if (!args.has("op") || sweep_all || workload_file ||
+        forced_algo != nullptr) {
+      std::cerr << "--tune needs an explicit --op and is incompatible with "
+                   "--sweep/--workload/--algo\n";
+      return usage(argv[0]);
+    }
+  }
+  if (forced_algo != nullptr && (sweep_all || workload_file)) {
+    std::cerr << "--algo applies to single-op collective mode only\n";
     return usage(argv[0]);
   }
 
@@ -313,6 +392,22 @@ int main(int argc, char** argv) {
     std::cerr << "bad --op\n";
     return usage(argv[0]);
   }
+  if (forced_algo != nullptr) {
+    if (forced_algo->op != *op) {
+      std::cerr << "algorithm \"" << forced_algo->name << "\" implements "
+                << coll::to_string(forced_algo->op) << ", not "
+                << coll::to_string(*op)
+                << " (registered for this op: " << coll::algorithm_names(*op)
+                << ")\n";
+      return usage(argv[0]);
+    }
+    if (!coll::algo_supports(*forced_algo, *scheme)) {
+      std::cerr << "algorithm \"" << forced_algo->name
+                << "\" does not implement scheme "
+                << coll::to_string(*scheme) << "\n";
+      return usage(argv[0]);
+    }
+  }
   if (min_size < 0 || max_size < min_size) {
     std::cerr << "bad --min/--max\n";
     return usage(argv[0]);
@@ -325,6 +420,31 @@ int main(int argc, char** argv) {
     sizes.push_back(size);
   }
 
+  if (tune) {
+    TuneRequest treq;
+    treq.cluster = cfg;
+    treq.op = *op;
+    treq.scheme = *scheme;
+    treq.sizes = sizes;
+    treq.iterations = iters;
+    treq.warmup = warmup;
+    const TuneReport tr = tune_collective(*tuner, treq, jobs);
+    for (const TuneCellResult& cell : tr.cells) {
+      if (cell.skipped || !cell.decision.algo.empty()) continue;
+      std::cerr << "tuning failed at " << format_bytes(cell.message)
+                << ": every candidate errored\n";
+      return 1;
+    }
+    if (!tuner->save_file(*tuned_table_file)) {
+      std::cerr << "cannot write " << *tuned_table_file << "\n";
+      return 1;
+    }
+    std::cerr << "# tuned: raced " << tr.raced_cells
+              << " candidate run(s), skipped " << tr.skipped_cells
+              << " already-tuned size(s); table written to "
+              << *tuned_table_file << "\n";
+  }
+
   auto make_spec = [&](coll::Op o, coll::PowerScheme s, Bytes size) {
     CollectiveBenchSpec spec;
     spec.op = o;
@@ -332,6 +452,10 @@ int main(int argc, char** argv) {
     spec.scheme = s;
     spec.iterations = iters;
     spec.warmup = warmup;
+    if (forced_algo != nullptr) {
+      spec.algo = std::string(forced_algo->name);
+      spec.seg = forced_seg;
+    }
     return spec;
   };
 
