@@ -9,6 +9,7 @@
 
 #include "apps/workload.hpp"
 #include "pacc/campaign.hpp"
+#include "pacc/journal.hpp"
 #include "pacc/simulation.hpp"
 #include "util/table.hpp"
 
@@ -87,12 +88,38 @@ inline CollectiveBenchSpec collective_spec(
   return spec;
 }
 
+/// Write-ahead journal for bench sweeps: $PACC_BENCH_JOURNAL names a
+/// pacc-journal-v1 file shared by every Campaign the bench runs, opened in
+/// resume mode — a killed bench re-run with the same environment replays
+/// finished cells and picks up where it died (docs/DURABILITY.md). Unset
+/// (the default) keeps benches journal-free.
+inline std::shared_ptr<CellJournal> bench_journal() {
+  const char* env = std::getenv("PACC_BENCH_JOURNAL");
+  if (env == nullptr || *env == '\0') return nullptr;
+  // One shared instance: sequential sweeps of a bench overlap in cells
+  // (probe runs, repeated schemes), and the journal dedups by content key.
+  static std::shared_ptr<CellJournal> journal = [env] {
+    std::string error;
+    std::shared_ptr<CellJournal> j = CellJournal::open(env, &error);
+    if (!j) {
+      std::cerr << "bad PACC_BENCH_JOURNAL: " << error << "\n";
+      std::exit(1);
+    }
+    return j;
+  }();
+  return journal;
+}
+
 /// Runs every cell of the sweep through a Campaign on bench_jobs() workers
 /// and returns the reports in cell order. A figure bench has no meaningful
 /// partial output, so any failed cell aborts with its structured status.
 inline std::vector<CollectiveReport> run_cells_or_exit(const SweepSpec& sweep) {
   CampaignOptions opts;
   opts.jobs = bench_jobs();
+  if (auto journal = bench_journal()) {
+    opts.journal = std::move(journal);
+    opts.resume = true;
+  }
   const auto results = Campaign(sweep, opts).run();
   std::vector<CollectiveReport> reports;
   reports.reserve(results.size());

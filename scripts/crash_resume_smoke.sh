@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Crash-resume smoke: SIGKILLs a journaled paccbench sweep at random
+# points until one invocation survives to completion, then proves the
+# stitched-together artifact is byte-identical to an uninterrupted run —
+# the durability contract of docs/DURABILITY.md. Also exercises the
+# resume path at --jobs 4, the --verify-artifact strict loader, and the
+# --isolate-cells crash classification.
+#
+#   scripts/crash_resume_smoke.sh <path-to-paccbench> [workdir]
+set -euo pipefail
+
+PACCBENCH="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+WORK="${2:-$(mktemp -d)}"
+mkdir -p "$WORK"
+cd "$WORK"
+
+# A faulted sweep: resume must reproduce disturbed cells (whose fault
+# seeds derive from the cell index) exactly, not just clean ones.
+SWEEP=(--op alltoall --ranks 64 --ppn 8 --min 16K --max 256K
+       --scheme proposed --iters 2 --warmup 1
+       --faults "seed=13,drop=0.01,flap=40,tfail=0.25")
+
+echo "== reference: uninterrupted run =="
+"$PACCBENCH" "${SWEEP[@]}" --json ref.json
+
+kill_until_done() {
+  local jobs="$1" journal="$2" artifact="$3"
+  rm -f "$journal" "$artifact"
+  local attempt=0 rc=0
+  while :; do
+    attempt=$((attempt + 1))
+    if [ "$attempt" -gt 80 ]; then
+      echo "FAIL: sweep never survived a kill window after 80 attempts"
+      exit 1
+    fi
+    # Random kill point in [0.01, 0.15] s — the sweep takes ~0.25 s, so
+    # early attempts die mid-sweep. Note --resume from the first attempt:
+    # it creates the journal, and every restart replays it.
+    local delay
+    delay="$(awk -v r=$((10 + RANDOM % 140)) 'BEGIN { printf "%.3f", r / 1000 }')"
+    set +e
+    timeout -s KILL "$delay" \
+      "$PACCBENCH" "${SWEEP[@]}" --jobs "$jobs" \
+      --journal "$journal" --resume --json "$artifact"
+    rc=$?
+    set -e
+    case "$rc" in
+      0) echo "   survived on attempt $attempt (jobs=$jobs)"; break ;;
+      137 | 124) ;;  # killed mid-sweep: the whole point — go again
+      *) echo "FAIL: unexpected exit code $rc"; exit 1 ;;
+    esac
+  done
+  # Whatever the kill history, one more restart must replay EVERY cell
+  # from the journal and still emit the same bytes — hard proof the
+  # resume path (not a lucky uninterrupted run) produced the artifact.
+  "$PACCBENCH" "${SWEEP[@]}" --jobs "$jobs" \
+    --journal "$journal" --resume --json "$artifact" 2> resume-stderr.txt
+  grep -q "^# resuming:" resume-stderr.txt
+}
+
+echo "== kill-and-resume, jobs=1 =="
+kill_until_done 1 j1.journal out-j1.json
+cmp ref.json out-j1.json
+echo "   artifact byte-identical to the uninterrupted run"
+
+echo "== kill-and-resume, jobs=4 =="
+kill_until_done 4 j4.journal out-j4.json
+cmp ref.json out-j4.json
+echo "   artifact byte-identical at jobs=4"
+
+echo "== strict artifact loader =="
+"$PACCBENCH" --verify-artifact out-j1.json
+head -c 200 ref.json > torn.json
+if "$PACCBENCH" --verify-artifact torn.json; then
+  echo "FAIL: truncated artifact accepted"
+  exit 1
+fi
+echo "   intact artifact accepted, truncated artifact rejected"
+
+echo "== process isolation: deliberate crash is classified =="
+"$PACCBENCH" --op bcast --ranks 16 --ppn 4 --min 4K --max 16K \
+  --iters 1 --warmup 0 --isolate-cells --crash-cell 1 \
+  --crash-retries 1 > isolate.txt
+grep -q crashed isolate.txt
+echo "   crashed cell classified, neighbours completed"
+
+echo "crash-resume smoke: OK (workdir $WORK)"

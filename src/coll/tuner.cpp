@@ -7,6 +7,7 @@
 
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
+#include "util/fsio.hpp"
 
 namespace pacc::coll {
 
@@ -36,6 +37,30 @@ std::size_t Tuner::size() const {
   return table_.size();
 }
 
+std::uint64_t Tuner::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // FNV-1a over the sorted entries (std::map iteration is ordered, so the
+  // digest is insertion-order independent by construction).
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(table_.size());
+  for (const auto& [key, decision] : table_) {
+    mix(static_cast<std::uint64_t>(key.op));
+    mix(static_cast<std::uint64_t>(key.scheme));
+    mix(static_cast<std::uint64_t>(key.bytes));
+    mix(key.fingerprint);
+    mix(decision.algo.size());
+    for (const char c : decision.algo) mix(static_cast<unsigned char>(c));
+    mix(static_cast<std::uint64_t>(decision.seg));
+  }
+  return h;
+}
+
 void Tuner::save(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out << "{\n  \"schema\": \"pacc-tuned-v1\",\n  \"entries\": [\n";
@@ -53,10 +78,11 @@ void Tuner::save(std::ostream& out) const {
 }
 
 bool Tuner::save_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
+  // Atomic replace (util/fsio.hpp): a crash mid-save must leave the old
+  // complete table, never a torn prefix the strict loader would reject.
+  std::ostringstream out;
   save(out);
-  return static_cast<bool>(out);
+  return atomic_write_file(path, out.str());
 }
 
 namespace {
@@ -106,6 +132,7 @@ bool fail(std::string* error, const std::string& message) {
 bool Tuner::load(std::istream& in, std::string* error) {
   std::string line;
   bool schema_seen = false;
+  bool footer_seen = false;
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
@@ -117,6 +144,18 @@ bool Tuner::load(std::istream& in, std::string* error) {
         schema_seen = true;
       }
       continue;
+    }
+    std::string trimmed = line;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t\r"));
+    const auto last = trimmed.find_last_not_of(" \t\r");
+    trimmed.erase(last == std::string::npos ? 0 : last + 1);
+    if (trimmed == "}") {
+      footer_seen = true;
+      continue;
+    }
+    if (footer_seen && !trimmed.empty()) {
+      return fail(error, "trailing content after tuned-table footer at line " +
+                             std::to_string(line_no) + ": " + line);
     }
     if (line.find("\"op\":") == std::string::npos) continue;
     const auto op_name = string_field(line, "op");
@@ -148,6 +187,11 @@ bool Tuner::load(std::istream& in, std::string* error) {
            TunedDecision{.algo = *algo, .seg = *seg});
   }
   if (!schema_seen) return fail(error, "missing pacc-tuned-v1 schema header");
+  // A table without its closing brace is a torn write, not a shorter
+  // table — reject it instead of silently dropping the lost tail.
+  if (!footer_seen) {
+    return fail(error, "truncated tuned table: missing closing brace");
+  }
   return true;
 }
 

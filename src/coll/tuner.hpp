@@ -64,6 +64,13 @@ class Tuner {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  /// Order-independent content hash of the whole table. Two tuners with
+  /// equal entries hash equal regardless of how the entries got there
+  /// (record() order, load() vs races). The campaign journal mixes this
+  /// into its canonical cell hash: a tuned table changes dispatch, so
+  /// cells run against different tables must never share a cache key.
+  std::uint64_t fingerprint() const;
+
   /// Writes the table as "pacc-tuned-v1" JSON, entries sorted by key.
   void save(std::ostream& out) const;
   bool save_file(const std::string& path) const;

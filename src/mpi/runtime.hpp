@@ -30,6 +30,7 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
+#include "sim/watchdog.hpp"
 #include "sym/collapse.hpp"
 #include "util/expect.hpp"
 
@@ -82,6 +83,11 @@ struct RuntimeParams {
   /// destination's class, over the fabric links the original would have
   /// loaded. 1 = the normal 1:1 runtime.
   int collapse_multiplicity = 1;
+  /// Quiescence-watchdog thresholds (sim/watchdog.hpp). The Runtime does
+  /// not build the watchdog itself — the Simulation does, for faulted runs
+  /// only — but the thresholds travel with the runtime parameters so every
+  /// embedder configures them the same way.
+  sim::Watchdog::Params watchdog;
 };
 
 class Runtime;

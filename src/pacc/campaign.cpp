@@ -1,17 +1,29 @@
 #include "pacc/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <exception>
+#include <istream>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <thread>
 #include <utility>
 
 #include "coll/plan.hpp"
+#include "coll/tuner.hpp"
+#include "pacc/journal.hpp"
 #include "util/expect.hpp"
 #include "util/table.hpp"
+
+#if !defined(_WIN32)
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 namespace pacc {
 
@@ -102,6 +114,13 @@ RunStatus validate(const SweepCell& cell) {
   if (cell.bench.message < 0) {
     return RunStatus::error("negative message size");
   }
+  if (cell.cluster.faults.active() &&
+      (cell.cluster.watchdog.interval <= Duration::zero() ||
+       cell.cluster.watchdog.stall_ticks < 1)) {
+    // The Watchdog constructor enforces these as hard contracts; degrade
+    // to a status instead of letting one bad cell abort the sweep.
+    return RunStatus::error("invalid watchdog thresholds");
+  }
   if (!cell.cluster.fabric.empty()) {
     hw::ClusterShape shape;
     shape.nodes = cell.cluster.nodes;
@@ -113,6 +132,149 @@ RunStatus validate(const SweepCell& cell) {
   }
   return {};
 }
+
+/// The journal's view of a finished cell: exactly the fields
+/// write_campaign_json consumes, so a replay reproduces the artifact bytes.
+CellRecord record_from(std::uint64_t key, const RunStatus& status,
+                       const CollectiveReport& report) {
+  CellRecord rec;
+  rec.key = key;
+  rec.status = status;
+  rec.latency = report.latency;
+  rec.energy_per_op = report.energy_per_op;
+  rec.mean_power = report.mean_power;
+  rec.collapse_multiplicity = report.collapse.multiplicity;
+  rec.collapse_classes = report.collapse.classes;
+  rec.faults = report.faults;
+  rec.governor = report.governor;
+  return rec;
+}
+
+void apply_record(const CellRecord& rec, CellResult& result) {
+  result.status = rec.status;
+  result.report.status = rec.status;
+  result.report.latency = rec.latency;
+  result.report.energy_per_op = rec.energy_per_op;
+  result.report.mean_power = rec.mean_power;
+  result.report.collapse.multiplicity = rec.collapse_multiplicity;
+  result.report.collapse.classes = rec.collapse_classes;
+  result.report.faults = rec.faults;
+  result.report.governor = rec.governor;
+}
+
+/// Runs one cell with try/catch degradation to kError — the shared body of
+/// the inline path and the forked child.
+CellRecord execute_cell(const ClusterConfig& cluster,
+                        const CollectiveBenchSpec& bench, std::uint64_t key,
+                        CollectiveReport* report_out) {
+  try {
+    CollectiveReport report = measure_collective(cluster, bench);
+    if (report_out != nullptr) *report_out = report;
+    return record_from(key, report.status, report);
+  } catch (const std::exception& e) {
+    CellRecord rec;
+    rec.key = key;
+    rec.status = RunStatus::error(e.what());
+    return rec;
+  } catch (...) {
+    CellRecord rec;
+    rec.key = key;
+    rec.status = RunStatus::error("unknown exception");
+    return rec;
+  }
+}
+
+#if !defined(_WIN32)
+
+/// Forks a worker subprocess for one cell. The child runs the cell and
+/// ships the finished CellRecord back over a pipe as one journal-format
+/// line; the parent classifies any death (non-zero exit, signal, torn
+/// record) and retries with doubling real-time backoff before settling on
+/// kCrashed. Returns the record to store at the cell's slot.
+CellRecord run_isolated(const ClusterConfig& cluster,
+                        const CollectiveBenchSpec& bench, std::uint64_t key,
+                        std::size_t index, const CampaignOptions& options) {
+  const int attempts = 1 + std::max(0, options.crash_retries);
+  int backoff_ms = std::max(1, options.crash_backoff_ms);
+  std::string death;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      CellRecord rec;
+      rec.key = key;
+      rec.status = RunStatus::error("pipe() failed for isolated cell");
+      return rec;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      CellRecord rec;
+      rec.key = key;
+      rec.status = RunStatus::error("fork() failed for isolated cell");
+      return rec;
+    }
+    if (pid == 0) {
+      // Child: run the cell, ship the record, _exit without running any
+      // parent-side destructors. The crash seam runs HERE so a deliberate
+      // abort exercises exactly the production death path.
+      ::close(fds[0]);
+      if (options.before_cell) options.before_cell(index);
+      const CellRecord rec = execute_cell(cluster, bench, key, nullptr);
+      const std::string line = encode_cell_record(rec) + "\n";
+      std::size_t written = 0;
+      while (written < line.size()) {
+        const ssize_t n =
+            ::write(fds[1], line.data() + written, line.size() - written);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          ::_exit(3);
+        }
+        written += static_cast<std::size_t>(n);
+      }
+      ::_exit(0);
+    }
+    // Parent: drain the pipe, reap, classify.
+    ::close(fds[1]);
+    std::string wire;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fds[0], buf, sizeof buf)) > 0 ||
+           (n < 0 && errno == EINTR)) {
+      if (n > 0) wire.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fds[0]);
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+      if (!wire.empty() && wire.back() == '\n') wire.pop_back();
+      CellRecord rec;
+      std::string decode_error;
+      if (decode_cell_record(wire, &rec, &decode_error)) {
+        rec.key = key;  // the child does not know about hash-less cells
+        return rec;
+      }
+      death = "worker result corrupt (" + decode_error + ")";
+    } else if (WIFSIGNALED(wstatus)) {
+      death = "worker killed by signal " + std::to_string(WTERMSIG(wstatus));
+    } else {
+      death = "worker exited with code " +
+              std::to_string(WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1);
+    }
+  }
+  CellRecord rec;
+  rec.key = key;
+  rec.status = {RunOutcome::kCrashed,
+                death + " after " + std::to_string(attempts) + " attempt(s)"};
+  return rec;
+}
+
+#endif  // !_WIN32
 
 void json_escape(std::string& out, const std::string& text) {
   for (const char c : text) {
@@ -198,13 +360,72 @@ std::vector<CellResult> Campaign::run() {
         // be identical for any --jobs value.
         cluster.faults.seed = fault::derive_cell_seed(cluster.faults.seed, i);
       }
-      try {
-        result.report = measure_collective(cluster, cell.bench);
-        result.status = result.report.status;
-      } catch (const std::exception& e) {
-        result.status = RunStatus::error(e.what());
-      } catch (...) {
-        result.status = RunStatus::error("unknown exception");
+      // Canonical key of the EFFECTIVE cell — hashed after the timeout
+      // override and seed derivation above, so a journal written under one
+      // --cell-timeout can never satisfy a sweep run under another.
+      const std::optional<std::uint64_t> key =
+          (options_.journal || options_.result_cache)
+              ? canonical_cell_hash(cluster, cell.bench)
+              : std::nullopt;
+
+      bool replayed = false;
+      if (key && options_.resume && options_.journal) {
+        if (const auto rec = options_.journal->lookup(*key)) {
+          apply_record(*rec, result);
+          result.source = CellSource::kJournal;
+          replayed = true;
+        }
+      }
+      if (!replayed && key && options_.result_cache) {
+        if (const auto rec = options_.result_cache->lookup(*key)) {
+          apply_record(*rec, result);
+          result.source = CellSource::kCache;
+          // The journal must still cover cache-served cells, or a crash
+          // after this point would re-run them against a cache that may
+          // have been pruned meanwhile.
+          if (options_.journal) options_.journal->append(*rec);
+          replayed = true;
+        }
+      }
+      if (!replayed) {
+        CellRecord rec;
+        if (options_.isolate_cells) {
+#if defined(_WIN32)
+          rec.status =
+              RunStatus::error("process isolation unsupported on this platform");
+#else
+          // Fork safety at jobs > 1: another worker thread may hold the
+          // shared plan cache's or tuner's mutex at fork time, and the
+          // child's copy of that mutex would stay locked forever. Hand the
+          // child a private plan cache (plans are pure — only speed is
+          // lost) and a content-equal tuner snapshot with a fresh mutex
+          // (same entries, same fingerprint, same dispatch).
+          cluster.plan_cache = std::make_shared<coll::PlanCache>();
+          if (cluster.tuner) {
+            auto snapshot = std::make_shared<coll::Tuner>();
+            std::ostringstream serialized;
+            cluster.tuner->save(serialized);
+            std::istringstream replay(serialized.str());
+            snapshot->load(replay);
+            cluster.tuner = snapshot;
+          }
+          rec = run_isolated(cluster, cell.bench, key.value_or(0), i, options_);
+#endif
+          apply_record(rec, result);
+        } else {
+          if (options_.before_cell) options_.before_cell(i);
+          rec = execute_cell(cluster, cell.bench, key.value_or(0),
+                             &result.report);
+          result.status = rec.status;
+        }
+        // Journal the completed cell before the sweep moves on. Crashed
+        // cells are deliberately NOT persisted: a resume gives a transient
+        // OOM another chance, and a deterministic abort reclassifies
+        // identically anyway.
+        if (key && rec.status.outcome != RunOutcome::kCrashed) {
+          if (options_.journal) options_.journal->append(rec);
+          if (options_.result_cache) options_.result_cache->append(rec);
+        }
       }
     }
     if (options_.on_progress) {
@@ -305,6 +526,171 @@ void write_campaign_json(std::ostream& out, const SweepSpec& spec,
     out << buf;
   }
   out << "  ]\n}\n";
+}
+
+namespace {
+
+// Line-oriented field extraction, mirroring the tuned-table loader: the
+// artifact is emitted one cell object per line, so a per-line scan is a
+// complete parser for everything this library writes.
+
+std::optional<std::string> field_string(const std::string& line,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos = line.find('"', pos + needle.size());
+  if (pos == std::string::npos) return std::nullopt;
+  std::string value;
+  for (auto at = pos + 1; at < line.size(); ++at) {
+    const char c = line[at];
+    if (c == '"') return value;
+    if (c == '\\' && at + 1 < line.size()) {
+      ++at;
+      switch (line[at]) {
+        case 'n':
+          value += '\n';
+          break;
+        case 'u':
+          // \u00XX — the only form json_escape emits.
+          if (at + 4 < line.size()) {
+            value += static_cast<char>(
+                std::strtol(line.substr(at + 1, 4).c_str(), nullptr, 16));
+            at += 4;
+          }
+          break;
+        default:
+          value += line[at];
+      }
+      continue;
+    }
+    value += c;
+  }
+  return std::nullopt;  // unterminated string
+}
+
+std::optional<double> field_double(const std::string& line,
+                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  const char* begin = line.c_str() + pos;
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  return value;
+}
+
+std::string trimmed_line(const std::string& line) {
+  std::string t = line;
+  t.erase(0, t.find_first_not_of(" \t\r"));
+  const auto last = t.find_last_not_of(" \t\r");
+  t.erase(last == std::string::npos ? 0 : last + 1);
+  return t;
+}
+
+}  // namespace
+
+std::optional<LoadedCampaign> load_campaign_json(std::istream& in,
+                                                 std::string* error) {
+  const auto reject = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+  };
+  LoadedCampaign loaded;
+  std::string line;
+  bool schema_seen = false;
+  bool array_closed = false;
+  bool object_closed = false;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string at_line = " at line " + std::to_string(line_no);
+    const std::string t = trimmed_line(line);
+    if (!schema_seen) {
+      if (const auto schema = field_string(line, "schema")) {
+        if (*schema != "pacc-campaign-v1") {
+          reject("unsupported campaign schema: " + *schema);
+          return std::nullopt;
+        }
+        schema_seen = true;
+      } else if (t != "{" && !t.empty()) {
+        reject("expected pacc-campaign-v1 schema header, got" + at_line + ": " +
+               line);
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (object_closed) {
+      if (t.empty()) continue;
+      reject("trailing content after campaign artifact footer" + at_line);
+      return std::nullopt;
+    }
+    if (t == "]") {
+      array_closed = true;
+      continue;
+    }
+    if (t == "}") {
+      if (!array_closed) {
+        reject("campaign artifact closes before its cell array" + at_line);
+        return std::nullopt;
+      }
+      object_closed = true;
+      continue;
+    }
+    if (line.find("\"index\":") != std::string::npos) {
+      if (array_closed) {
+        reject("cell entry after the closing bracket" + at_line);
+        return std::nullopt;
+      }
+      const auto index = field_double(line, "index");
+      const auto label = field_string(line, "label");
+      const auto status_name = field_string(line, "status");
+      const auto message = field_string(line, "status_message");
+      const auto latency = field_double(line, "latency_us");
+      const auto energy = field_double(line, "energy_per_op_j");
+      const auto power = field_double(line, "mean_power_w");
+      if (!index || !label || !status_name || !message || !latency ||
+          !energy || !power) {
+        reject("malformed campaign cell" + at_line + ": " + line);
+        return std::nullopt;
+      }
+      const auto outcome = parse_run_outcome(*status_name);
+      if (!outcome) {
+        reject("unknown cell status \"" + *status_name + "\"" + at_line);
+        return std::nullopt;
+      }
+      if (static_cast<std::size_t>(*index) != loaded.cells.size()) {
+        reject("cell index " + std::to_string(static_cast<long long>(*index)) +
+               " out of order (expected " +
+               std::to_string(loaded.cells.size()) + ")" + at_line);
+        return std::nullopt;
+      }
+      LoadedCampaignCell cell;
+      cell.index = static_cast<std::size_t>(*index);
+      cell.label = *label;
+      cell.status = {*outcome, *message};
+      cell.latency_us = *latency;
+      cell.energy_per_op_j = *energy;
+      cell.mean_power_w = *power;
+      loaded.cells.push_back(std::move(cell));
+      continue;
+    }
+    if (t == "\"cells\": [" || t.empty()) continue;
+    reject("unrecognized content in campaign artifact" + at_line + ": " +
+           line);
+    return std::nullopt;
+  }
+  if (!schema_seen) {
+    reject("missing pacc-campaign-v1 schema header");
+    return std::nullopt;
+  }
+  if (!object_closed) {
+    reject("truncated campaign artifact: missing footer");
+    return std::nullopt;
+  }
+  return loaded;
 }
 
 }  // namespace pacc

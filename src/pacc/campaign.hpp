@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "pacc/status.hpp"
 
 namespace pacc {
+
+class CellJournal;  // pacc/journal.hpp
 
 /// One cell of a sweep: a cluster to stand up and a measurement to run on
 /// it. `label` is free-form and lands in results and JSON artifacts.
@@ -54,6 +57,14 @@ struct SweepSpec {
   std::size_t size() const { return cells.size(); }
 };
 
+/// Where a cell's numbers came from. Deliberately NOT part of the JSON
+/// artifact: a replayed cell must be byte-identical to a fresh run.
+enum class CellSource {
+  kRun,      ///< executed by this Campaign (inline or isolated worker)
+  kJournal,  ///< replayed from CampaignOptions::journal under resume
+  kCache,    ///< served by CampaignOptions::result_cache
+};
+
 /// Outcome of one cell, stored at the cell's index regardless of which
 /// worker ran it or when it finished.
 struct CellResult {
@@ -62,6 +73,8 @@ struct CellResult {
   RunStatus status;
   /// Measurement payload; meaningful only when status.ok().
   CollectiveReport report;
+  /// Provenance (fresh run / journal replay / cache hit).
+  CellSource source = CellSource::kRun;
 };
 
 /// Argument of CampaignOptions::on_progress.
@@ -82,6 +95,42 @@ struct CampaignOptions {
   /// Called after every finished cell, serialized under an internal lock
   /// (safe to print or cancel() from). Completion order, not cell order.
   std::function<void(const CampaignProgress&)> on_progress;
+  /// Write-ahead cell journal (pacc/journal.hpp): every executed cell is
+  /// durably appended before the sweep moves on, keyed by its canonical
+  /// config hash. With `resume` also set, cells whose key the journal
+  /// already holds are replayed instead of re-run — a SIGKILLed sweep
+  /// restarted any number of times converges on the byte-identical
+  /// artifact of an uninterrupted run, at any `jobs`. See
+  /// docs/DURABILITY.md.
+  std::shared_ptr<CellJournal> journal;
+  /// Skip cells already present in `journal` (their results are replayed
+  /// from it). Without a journal this flag has no effect.
+  bool resume = false;
+  /// Cross-campaign content-addressed result cache — the same file format
+  /// as the journal, but long-lived and shared across sweeps: any cell
+  /// whose canonical hash is present is served from the cache, and fresh
+  /// results are appended for future campaigns. Distinct from `journal`
+  /// (which is per-sweep and consulted only under `resume`).
+  std::shared_ptr<CellJournal> result_cache;
+  /// Execute each cell in a forked worker subprocess, so an abort, OOM
+  /// kill or sanitizer trap inside one simulation is confined to that
+  /// cell: the death is classified as RunStatus kCrashed (message = exit
+  /// code / signal) after `crash_retries` bounded retries, and every other
+  /// cell completes normally. POSIX only; elsewhere cells degrade to
+  /// kError("process isolation unsupported"). Costs one fork + pipe per
+  /// cell.
+  bool isolate_cells = false;
+  /// Extra attempts after a crashed worker before the cell is classified
+  /// kCrashed (transient OOM kills deserve a second chance; deterministic
+  /// aborts fail all attempts and classify identically every run).
+  int crash_retries = 1;
+  /// Real-time backoff before the first crash retry; doubles per retry.
+  int crash_backoff_ms = 50;
+  /// Test seam: runs at the start of every executed cell — inside the
+  /// forked child when `isolate_cells` is set — with the cell index.
+  /// Deliberately crashing here is how the crash-isolation paths are
+  /// exercised (tests, paccbench --crash-cell, CI).
+  std::function<void(std::size_t)> before_cell;
 };
 
 class Campaign {
@@ -121,5 +170,29 @@ class Campaign {
 /// bytes do not depend on CampaignOptions::jobs.
 void write_campaign_json(std::ostream& out, const SweepSpec& spec,
                          const std::vector<CellResult>& results);
+
+/// One parsed artifact cell — the subset of fields a consumer needs to
+/// audit an artifact (plots re-read the raw JSON themselves).
+struct LoadedCampaignCell {
+  std::size_t index = 0;
+  std::string label;
+  RunStatus status;
+  double latency_us = 0.0;
+  double energy_per_op_j = 0.0;
+  double mean_power_w = 0.0;
+};
+
+struct LoadedCampaign {
+  std::vector<LoadedCampaignCell> cells;
+};
+
+/// Strict loader for "pacc-campaign-v1" artifacts (the exact format
+/// write_campaign_json emits). Rejects — with a descriptive error —
+/// anything a crash or corruption could produce: a missing or foreign
+/// schema header, a malformed or out-of-order cell line, a truncated file
+/// (missing footer), or trailing garbage. paccbench exposes it as
+/// --verify-artifact.
+std::optional<LoadedCampaign> load_campaign_json(std::istream& in,
+                                                 std::string* error = nullptr);
 
 }  // namespace pacc

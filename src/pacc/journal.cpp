@@ -1,0 +1,506 @@
+#include "pacc/journal.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "coll/tuner.hpp"
+#include "util/fsio.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pacc {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Canonical cell hash: FNV-1a over explicitly enumerated fields. Doubles
+// are mixed as IEEE-754 bit patterns, never as formatted text, so the key
+// is exact; strings are length-prefixed so adjacent fields cannot alias.
+// A schema salt makes format revisions invalidate old journals instead of
+// silently mis-replaying them.
+// ---------------------------------------------------------------------
+
+struct Hasher {
+  std::uint64_t state = 14695981039346656037ull;  // FNV offset basis
+
+  void mix_byte(unsigned char b) {
+    state ^= b;
+    state *= 1099511628211ull;  // FNV prime
+  }
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void mix(bool v) { mix_byte(v ? 1 : 0); }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(std::string_view s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+  }
+};
+
+// ---------------------------------------------------------------------
+// Record text framing. The status message is the only free-form field;
+// percent-escape anything that could break the space-separated line.
+// ---------------------------------------------------------------------
+
+std::string escape_message(std::string_view text) {
+  if (text.empty()) return "-";
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == '%' || u >= 0x7F) {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool unescape_message(std::string_view text, std::string* out) {
+  if (text == "-") {
+    out->clear();
+    return true;
+  }
+  out->clear();
+  out->reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '%') {
+      *out += text[i];
+      continue;
+    }
+    if (i + 2 >= text.size()) return false;
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = hex(text[i + 1]);
+    const int lo = hex(text[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    *out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return true;
+}
+
+bool fail(std::string* error, std::string what) {
+  if (error != nullptr) *error = std::move(what);
+  return false;
+}
+
+/// Splits `line` on single spaces. Journal payloads never contain empty
+/// fields, so consecutive spaces are a parse error surfaced by the token
+/// count check at the call site.
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const auto space = line.find(' ', start);
+    if (space == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return fields;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t* out, int base = 10) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    if (digit >= base) return false;
+    value = value * static_cast<std::uint64_t>(base) +
+            static_cast<std::uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_i64(std::string_view text, std::int64_t* out) {
+  bool negative = false;
+  if (!text.empty() && text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  std::uint64_t magnitude = 0;
+  if (!parse_u64(text, &magnitude)) return false;
+  *out = negative ? -static_cast<std::int64_t>(magnitude)
+                  : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> canonical_cell_hash(
+    const ClusterConfig& effective, const CollectiveBenchSpec& bench) {
+  // Unjournalable cells: traced runs carry payloads (trace JSON, energy
+  // phases) the record format does not persist, and explicit machine /
+  // network overrides cannot be canonically enumerated here. They re-run
+  // on resume instead — determinism keeps the artifact identical.
+  if (effective.obs.trace || effective.machine.has_value() ||
+      effective.network.has_value()) {
+    return std::nullopt;
+  }
+
+  Hasher h;
+  h.mix(std::string_view("pacc-cell-v1"));
+
+  const ClusterConfig& c = effective;
+  h.mix(c.nodes);
+  h.mix(c.ranks);
+  h.mix(c.ranks_per_node);
+  h.mix(c.nodes_per_rack);
+  h.mix(static_cast<std::uint64_t>(c.fabric.size()));
+  for (const hw::FabricLevelSpec& level : c.fabric) {
+    h.mix(level.group_size);
+    h.mix(level.oversubscription);
+    h.mix(level.bandwidth);
+  }
+  h.mix(c.collapse_multiplicity);
+  h.mix(static_cast<int>(c.affinity));
+  h.mix(static_cast<int>(c.progress));
+  h.mix(c.core_level_throttling);
+  h.mix(c.governor.enabled);
+  h.mix(static_cast<int>(c.governor.kind));
+  h.mix(c.governor.wait_threshold.ns());
+  h.mix(c.governor.slack_threshold.ns());
+  h.mix(c.governor.node_power_cap);
+  h.mix(c.governor.redistribute);
+  h.mix(c.synthetic_payloads);
+  h.mix(c.obs.per_node_meter);
+  h.mix(c.obs.meter_interval.ns());
+
+  const fault::FaultSpec& f = c.faults;
+  h.mix(f.seed);
+  h.mix(f.drop_rate);
+  h.mix(f.delay_rate);
+  h.mix(f.delay_max.ns());
+  h.mix(f.flap_rate_hz);
+  h.mix(f.down_mean.ns());
+  h.mix(f.degrade_factor);
+  h.mix(f.stragglers);
+  h.mix(f.straggler_slowdown);
+  h.mix(f.transition_fail_rate);
+  h.mix(f.transition_stretch_rate);
+  h.mix(f.transition_stretch_max);
+  h.mix(f.ack_timeout.ns());
+  h.mix(f.backoff_factor);
+  h.mix(f.retry_budget);
+
+  h.mix(c.watchdog.interval.ns());
+  h.mix(c.watchdog.stall_ticks);
+  h.mix(c.max_sim_time.ns());
+  // A tuned table changes dispatch and therefore results: key on its
+  // CONTENT, not its identity, so equal tables collide (cache hits) and
+  // different tables never do.
+  h.mix(c.tuner ? c.tuner->fingerprint() : std::uint64_t{0});
+
+  h.mix(static_cast<int>(bench.op));
+  h.mix(static_cast<std::uint64_t>(bench.message));
+  h.mix(static_cast<int>(bench.scheme));
+  h.mix(bench.iterations);
+  h.mix(bench.warmup);
+  h.mix(bench.root);
+  h.mix(std::string_view(bench.algo));
+  h.mix(static_cast<std::uint64_t>(bench.seg));
+
+  return h.state;
+}
+
+std::string encode_cell_record(const CellRecord& rec) {
+  const fault::FaultStats& f = rec.faults;
+  const mpi::GovernorStats& g = rec.governor;
+  char buf[768];
+  std::snprintf(
+      buf, sizeof buf,
+      "%016" PRIx64 " %s %" PRId64 " %016" PRIx64 " %016" PRIx64
+      " %d %d"
+      " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+      " %" PRIu64 " %" PRIu64 " %" PRIu64
+      " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+      " %" PRIu64 " %" PRIu64,
+      rec.key, to_string(rec.status.outcome).c_str(), rec.latency.ns(),
+      std::bit_cast<std::uint64_t>(rec.energy_per_op),
+      std::bit_cast<std::uint64_t>(rec.mean_power), rec.collapse_multiplicity,
+      rec.collapse_classes, f.drops, f.delays, f.retransmits,
+      f.messages_abandoned, f.link_flaps, f.flows_preempted,
+      f.transition_failures, f.transition_stretches, f.scheme_fallbacks,
+      g.armed_waits, g.short_waits, g.downclocks, g.restores, g.park_failures,
+      g.restore_failures, g.scheme_clamps, g.cap_updates);
+  std::string payload = buf;
+  payload += ' ';
+  payload += escape_message(rec.status.message);
+
+  char crc[16];
+  std::snprintf(crc, sizeof crc, "R %08x ", crc32(payload));
+  return crc + payload;
+}
+
+bool decode_cell_record(std::string_view line, CellRecord* out,
+                        std::string* error) {
+  if (line.size() < 12 || line.substr(0, 2) != "R ") {
+    return fail(error, "not a journal record line");
+  }
+  std::uint64_t stored_crc = 0;
+  if (line[10] != ' ' || !parse_u64(line.substr(2, 8), &stored_crc, 16)) {
+    return fail(error, "malformed record CRC field");
+  }
+  const std::string_view payload = line.substr(11);
+  if (crc32(payload) != static_cast<std::uint32_t>(stored_crc)) {
+    return fail(error, "record CRC mismatch");
+  }
+
+  const auto fields = split_fields(payload);
+  // key, outcome, latency, energy, power, 2 collapse, 9 fault, 8 governor,
+  // message — 25 fields exactly.
+  if (fields.size() != 25) {
+    return fail(error, "journal record has " + std::to_string(fields.size()) +
+                           " fields, expected 25");
+  }
+
+  CellRecord rec;
+  std::size_t at = 0;
+  if (!parse_u64(fields[at++], &rec.key, 16)) {
+    return fail(error, "bad record key");
+  }
+  const auto outcome = parse_run_outcome(fields[at++]);
+  if (!outcome) return fail(error, "unknown record status");
+  rec.status.outcome = *outcome;
+  std::int64_t latency_ns = 0;
+  if (!parse_i64(fields[at++], &latency_ns)) {
+    return fail(error, "bad record latency");
+  }
+  rec.latency = Duration::nanos(latency_ns);
+  std::uint64_t bits = 0;
+  if (!parse_u64(fields[at++], &bits, 16)) {
+    return fail(error, "bad record energy");
+  }
+  rec.energy_per_op = std::bit_cast<double>(bits);
+  if (!parse_u64(fields[at++], &bits, 16)) {
+    return fail(error, "bad record power");
+  }
+  rec.mean_power = std::bit_cast<double>(bits);
+  std::int64_t value = 0;
+  if (!parse_i64(fields[at++], &value)) {
+    return fail(error, "bad collapse multiplicity");
+  }
+  rec.collapse_multiplicity = static_cast<int>(value);
+  if (!parse_i64(fields[at++], &value)) {
+    return fail(error, "bad collapse classes");
+  }
+  rec.collapse_classes = static_cast<int>(value);
+
+  std::uint64_t* const fault_fields[] = {
+      &rec.faults.drops,           &rec.faults.delays,
+      &rec.faults.retransmits,     &rec.faults.messages_abandoned,
+      &rec.faults.link_flaps,      &rec.faults.flows_preempted,
+      &rec.faults.transition_failures, &rec.faults.transition_stretches,
+      &rec.faults.scheme_fallbacks};
+  for (std::uint64_t* field : fault_fields) {
+    if (!parse_u64(fields[at++], field)) {
+      return fail(error, "bad fault counter");
+    }
+  }
+  std::uint64_t* const gov_fields[] = {
+      &rec.governor.armed_waits,   &rec.governor.short_waits,
+      &rec.governor.downclocks,    &rec.governor.restores,
+      &rec.governor.park_failures, &rec.governor.restore_failures,
+      &rec.governor.scheme_clamps, &rec.governor.cap_updates};
+  for (std::uint64_t* field : gov_fields) {
+    if (!parse_u64(fields[at++], field)) {
+      return fail(error, "bad governor counter");
+    }
+  }
+  if (!unescape_message(fields[at], &rec.status.message)) {
+    return fail(error, "bad record message escape");
+  }
+  *out = std::move(rec);
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// CellJournal
+// ---------------------------------------------------------------------
+
+#if defined(_WIN32)
+
+std::unique_ptr<CellJournal> CellJournal::open(const std::string&,
+                                               std::string* error) {
+  if (error != nullptr) *error = "cell journal requires POSIX I/O";
+  return nullptr;
+}
+CellJournal::~CellJournal() = default;
+std::optional<CellRecord> CellJournal::lookup(std::uint64_t) const {
+  return std::nullopt;
+}
+bool CellJournal::append(const CellRecord&) { return false; }
+std::size_t CellJournal::size() const { return 0; }
+
+#else
+
+std::unique_ptr<CellJournal> CellJournal::open(const std::string& path,
+                                               std::string* error) {
+  auto journal = std::unique_ptr<CellJournal>(new CellJournal());
+  journal->path_ = path;
+
+  std::string contents;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      char buf[1 << 16];
+      ssize_t n;
+      while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+        contents.append(buf, static_cast<std::size_t>(n));
+      }
+      ::close(fd);
+      if (n < 0) {
+        fail(error, "cannot read journal " + path);
+        return nullptr;
+      }
+    }
+  }
+
+  std::size_t valid_bytes = 0;
+  if (!contents.empty()) {
+    // Header line first.
+    const auto header_end = contents.find('\n');
+    const std::string_view header =
+        std::string_view(contents).substr(0, header_end);
+    if (header_end == std::string::npos) {
+      // No newline at all. A crash mid-header-write leaves a PREFIX of the
+      // schema line; anything else is a foreign file we must not wipe.
+      if (header != kSchema.substr(0, header.size())) {
+        fail(error, "journal " + path + ": not a " + std::string(kSchema) +
+                        " file");
+        return nullptr;
+      }
+      valid_bytes = 0;
+    } else if (header != kSchema) {
+      fail(error, "journal " + path + ": unsupported schema header \"" +
+                      std::string(header) + "\"");
+      return nullptr;
+    } else {
+      valid_bytes = header_end + 1;
+      std::size_t at = valid_bytes;
+      while (at < contents.size()) {
+        const auto line_end = contents.find('\n', at);
+        const bool complete = line_end != std::string::npos;
+        const std::string_view line =
+            std::string_view(contents)
+                .substr(at, complete ? line_end - at : std::string::npos);
+        CellRecord rec;
+        std::string record_error;
+        if (complete && decode_cell_record(line, &rec, &record_error)) {
+          journal->records_[rec.key] = rec;
+          valid_bytes = line_end + 1;
+          at = line_end + 1;
+          continue;
+        }
+        // Invalid record. Only the FINAL line can be a torn append (a
+        // crash between write(2) and fdatasync can persist any subset of
+        // the tail's blocks, newline included); a bad record with records
+        // after it is corruption, not a crash, and must be rejected.
+        const bool is_tail = !complete || line_end + 1 >= contents.size();
+        if (!is_tail) {
+          fail(error, "journal " + path + ": corrupt record (" +
+                          record_error + ") followed by further records — "
+                          "refusing to replay");
+          return nullptr;
+        }
+        break;  // torn tail: replay stops here, file is truncated below
+      }
+    }
+    if (valid_bytes < contents.size()) {
+      if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+        fail(error, "cannot truncate torn journal tail in " + path);
+        return nullptr;
+      }
+    }
+  }
+  journal->replayed_ = journal->records_.size();
+
+  journal->fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (journal->fd_ < 0) {
+    fail(error, "cannot open journal " + path + " for append");
+    return nullptr;
+  }
+  if (contents.empty() || valid_bytes == 0) {
+    const std::string header = std::string(kSchema) + "\n";
+    if (::write(journal->fd_, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size())) {
+      fail(error, "cannot write journal header to " + path);
+      return nullptr;
+    }
+  }
+  return journal;
+}
+
+CellJournal::~CellJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<CellRecord> CellJournal::lookup(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CellJournal::append(const CellRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.find(rec.key) != records_.end()) return true;  // content hash
+  const std::string line = encode_cell_record(rec) + "\n";
+  // One write(2) per record: a crash can tear the tail of THIS line but
+  // never interleave two records, which is what replay's torn-tail
+  // truncation relies on.
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+#if defined(__APPLE__)
+  if (::fsync(fd_) != 0) return false;
+#else
+  if (::fdatasync(fd_) != 0) return false;
+#endif
+  records_[rec.key] = rec;
+  return true;
+}
+
+std::size_t CellJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+#endif  // _WIN32
+
+}  // namespace pacc

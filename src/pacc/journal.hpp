@@ -1,0 +1,125 @@
+// Write-ahead cell journal: crash-safe persistence for Campaign sweeps.
+//
+// A CellJournal is an append-only, CRC-framed record file with one record
+// per *completed* sweep cell, keyed by the cell's canonical config hash —
+// a whole-cell analogue of PlanCache's structure fingerprint that covers
+// everything influencing the cell's numbers (cluster shape, fabric,
+// governor, faults with the derived per-cell seed, bench spec, tuned-table
+// contents, watchdog thresholds, …). Records round-trip every field the
+// "pacc-campaign-v1" artifact consumes with bit-exact doubles, so a sweep
+// SIGKILLed at any point and resumed N times produces byte-identical
+// artifacts to an uninterrupted run, at any --jobs.
+//
+// The same file format doubles as the cross-campaign content-addressed
+// result cache (CampaignOptions::result_cache): because keys are content
+// hashes, overlapping sweeps from repeated invocations hit the cache
+// instead of the simulator — the first piece of the memoizing sweep
+// daemon the ROADMAP aims at.
+//
+// Durability discipline (docs/DURABILITY.md): append() writes one framed
+// line with a single write(2) on an O_APPEND descriptor and fdatasyncs it
+// before the cell is considered journaled. Replay truncates a torn tail (a
+// crash mid-append) but rejects corruption anywhere else — a bit flip in
+// the middle of the file is NOT a crash artifact and must surface loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fault/fault.hpp"
+#include "mpi/governor.hpp"
+#include "pacc/simulation.hpp"
+#include "pacc/status.hpp"
+
+namespace pacc {
+
+/// One journaled cell outcome — exactly the per-cell payload
+/// write_campaign_json consumes, so replaying a record reproduces the
+/// artifact bytes a fresh run of the cell would have produced.
+struct CellRecord {
+  std::uint64_t key = 0;  ///< canonical_cell_hash of the effective cell
+  RunStatus status;
+  Duration latency;            ///< integer nanoseconds: exact round trip
+  double energy_per_op = 0.0;  ///< serialized as IEEE-754 bit patterns
+  double mean_power = 0.0;
+  int collapse_multiplicity = 1;
+  int collapse_classes = 0;
+  fault::FaultStats faults;
+  mpi::GovernorStats governor;
+};
+
+/// Canonical content hash of one effective sweep cell (after Campaign has
+/// applied cell_timeout and derived the per-cell fault seed). Mixes every
+/// config and bench field that can influence the cell's reported numbers,
+/// including the attached tuner's table fingerprint; the plan cache is
+/// deliberately excluded (plans are pure — caching cannot change results).
+/// Returns nullopt for cells whose results the journal cannot faithfully
+/// replay or whose config it cannot canonically enumerate: traced cells
+/// (trace JSON / energy phases are not journaled) and cells with explicit
+/// machine/network parameter overrides. Such cells simply re-run on
+/// resume — the simulator is deterministic, so artifacts stay identical.
+std::optional<std::uint64_t> canonical_cell_hash(
+    const ClusterConfig& effective, const CollectiveBenchSpec& bench);
+
+/// Serializes `rec` as one journal line: "R <crc32:8hex> <payload>"
+/// without the trailing newline. The CRC covers the payload exactly.
+std::string encode_cell_record(const CellRecord& rec);
+
+/// Parses a line produced by encode_cell_record (CRC verified). Returns
+/// false and fills *error on any mismatch.
+bool decode_cell_record(std::string_view line, CellRecord* out,
+                        std::string* error = nullptr);
+
+/// Append-only journal / result cache. Thread-safe: Campaign workers
+/// append concurrently. Keyed lookups serve both resume (skip journaled
+/// cells of this sweep) and cross-campaign memoization.
+class CellJournal {
+ public:
+  /// Opens `path` for append, creating it (with a schema header) when
+  /// absent and replaying existing records when present. A torn tail —
+  /// the incomplete final record a crash mid-append leaves — is truncated
+  /// away; a corrupt or foreign file is rejected with a descriptive
+  /// error and nullptr.
+  static std::unique_ptr<CellJournal> open(const std::string& path,
+                                           std::string* error = nullptr);
+
+  ~CellJournal();
+  CellJournal(const CellJournal&) = delete;
+  CellJournal& operator=(const CellJournal&) = delete;
+
+  /// The record for `key`, or nullopt.
+  std::optional<CellRecord> lookup(std::uint64_t key) const;
+
+  /// Durably appends `rec` (single write + fdatasync) and indexes it.
+  /// Keys are content hashes of deterministic runs, so a key already
+  /// present is skipped — appending the same cell twice cannot bloat the
+  /// file or change a replay. Returns false on I/O failure.
+  bool append(const CellRecord& rec);
+
+  /// Records currently indexed (replayed + appended).
+  std::size_t size() const;
+
+  /// Records that were replayed from disk at open().
+  std::size_t replayed() const { return replayed_; }
+
+  const std::string& path() const { return path_; }
+
+  /// The journal file's schema header line.
+  static constexpr std::string_view kSchema = "pacc-journal-v1";
+
+ private:
+  CellJournal() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, CellRecord> records_;
+  std::string path_;
+  std::size_t replayed_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace pacc

@@ -70,6 +70,7 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
   rt_params.governor = config.governor;
   rt_params.synthetic_payloads = config.synthetic_payloads;
   rt_params.collapse_multiplicity = multiplicity;
+  rt_params.watchdog = config.watchdog;
   runtime_ = std::make_unique<mpi::Runtime>(*engine_, *machine_, *network_,
                                             std::move(placement), rt_params);
   // Private cache unless the caller injected a shared one (Campaign does,
@@ -107,7 +108,7 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
     // The probe must move only on real progress: injector timer events
     // (link flaps) keep firing during a true deadlock.
     watchdog_ = std::make_unique<sim::Watchdog>(
-        *engine_, sim::Watchdog::Params{}, [this] {
+        *engine_, rt_params.watchdog, [this] {
           return injector_->attempt_count() + runtime_->deliveries() +
                  network_->bytes_delivered();
         });

@@ -104,6 +104,15 @@ struct ClusterConfig {
   /// shared across Campaign cells — decisions are keyed on the comm's
   /// structural fingerprint.
   std::shared_ptr<coll::Tuner> tuner;
+  /// Quiescence-watchdog thresholds (sim/watchdog.hpp) — only consulted
+  /// when `faults` is active, since a fault-free run's deadlock detection
+  /// is the engine's drained-queue signal. The defaults (50 ms interval ×
+  /// 4 stalls) comfortably exceed the reliable path's maximum backoff;
+  /// shorten them to cut time wasted in deadlocked faulted sweeps, or
+  /// stretch them for fault specs with extreme ack timeouts. Plumbed
+  /// through mpi::RuntimeParams::watchdog; paccbench exposes it as
+  /// --watchdog MS:COUNT.
+  sim::Watchdog::Params watchdog;
   /// Safety bound on simulated time: a deadlocked program is reported as
   /// incomplete instead of letting the meter tick forever.
   Duration max_sim_time = Duration::seconds(3600.0);

@@ -7,7 +7,9 @@
 // bound or failed validation. See docs/CAMPAIGN.md for migration notes.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace pacc {
@@ -24,6 +26,11 @@ enum class RunOutcome {
                  ///< run (retransmits, flaps, transition failures, …)
   kUnreachable,  ///< a message exhausted its retry budget; the destination
                  ///< was declared unreachable and the run stopped
+  kCrashed,      ///< the cell's isolated worker process died (abort, OOM
+                 ///< kill, sanitizer trap, …) and its retry budget ran out;
+                 ///< the message records the exit code / signal. Only
+                 ///< produced with CampaignOptions::isolate_cells — see
+                 ///< docs/DURABILITY.md
 };
 
 inline std::string to_string(RunOutcome outcome) {
@@ -40,8 +47,23 @@ inline std::string to_string(RunOutcome outcome) {
       return "faulted";
     case RunOutcome::kUnreachable:
       return "unreachable";
+    case RunOutcome::kCrashed:
+      return "crashed";
   }
   return "?";
+}
+
+/// Inverse of to_string(RunOutcome) — journal replay and artifact loaders
+/// turn persisted status strings back into outcomes with it.
+inline std::optional<RunOutcome> parse_run_outcome(std::string_view name) {
+  if (name == "ok") return RunOutcome::kOk;
+  if (name == "deadlock") return RunOutcome::kDeadlock;
+  if (name == "timeout") return RunOutcome::kTimeout;
+  if (name == "error") return RunOutcome::kError;
+  if (name == "faulted") return RunOutcome::kFaulted;
+  if (name == "unreachable") return RunOutcome::kUnreachable;
+  if (name == "crashed") return RunOutcome::kCrashed;
+  return std::nullopt;
 }
 
 /// Machine-readable cause plus a human-readable detail message (stuck task
@@ -55,7 +77,9 @@ struct RunStatus {
 
   /// The run produced correct results — clean, or disturbed-but-recovered.
   /// Faulted runs validated their buffers; their numbers are real (if
-  /// slower/hotter than a healthy run), so sweeps keep the cell.
+  /// slower/hotter than a healthy run), so sweeps keep the cell. Crashed
+  /// cells are NOT usable: the worker died before reporting, so there are
+  /// no numbers — only the classification.
   bool usable() const {
     return outcome == RunOutcome::kOk || outcome == RunOutcome::kFaulted;
   }

@@ -1,0 +1,115 @@
+#include "util/fsio.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#if defined(_WIN32)
+#include <cstdio>
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pacc {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + ": " + std::strerror(errno);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+#if defined(_WIN32)
+
+bool atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string* error) {
+  // No POSIX rename-over semantics: plain rewrite is the best available.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return fail(error, "cannot open " + path);
+  const bool ok =
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  std::fclose(f);
+  if (!ok) return fail(error, "short write to " + path);
+  return true;
+}
+
+#else
+
+bool atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string* error) {
+  // Same directory as the target so the rename is within one filesystem.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail(error, "cannot create " + tmp);
+
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return fail(error, "write to " + tmp + " failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The data must be durable BEFORE the rename publishes it, or a crash
+  // could leave the new name pointing at unwritten blocks.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail(error, "fsync of " + tmp + " failed");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return fail(error, "close of " + tmp + " failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail(error, "rename " + tmp + " -> " + path + " failed");
+  }
+  // fsync the directory so the rename itself survives a crash.
+  const auto slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best-effort: some filesystems refuse directory fsync
+    ::close(dfd);
+  }
+  return true;
+}
+
+#endif
+
+}  // namespace pacc

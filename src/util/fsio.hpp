@@ -1,0 +1,34 @@
+// Torn-write-proof file persistence primitives.
+//
+// Every artifact this library persists (campaign JSON, tuned tables, cell
+// journals, result caches) must survive a crash mid-write: a reader either
+// sees the previous complete file or the new complete file, never a torn
+// prefix. atomic_write_file() implements the classic discipline — write to
+// a same-directory temp file, fsync it, rename() over the target, fsync
+// the directory — and crc32() provides the record checksums the journal
+// uses to detect the one case rename() cannot cover (an append torn by a
+// crash). See docs/DURABILITY.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pacc {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`. Deterministic
+/// across platforms; used to frame journal records so a torn append is
+/// detectable byte-for-byte.
+std::uint32_t crc32(std::string_view data);
+
+/// Durably replaces `path` with `contents`: writes `path` + a temp suffix
+/// in the same directory, fsyncs the file, renames it over `path`, and
+/// fsyncs the directory so the rename itself is on disk. A crash at any
+/// point leaves either the old complete file or the new complete file.
+/// Returns false (and fills *error when non-null) on any failure; the temp
+/// file is cleaned up best-effort.
+bool atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string* error = nullptr);
+
+}  // namespace pacc

@@ -1,0 +1,709 @@
+// Crash-safe campaigns: torn-write-proof persistence primitives, the
+// write-ahead cell journal, resumable sweeps, process-isolated workers,
+// and the strict artifact loaders. See docs/DURABILITY.md.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "coll/tuner.hpp"
+#include "fault/fault.hpp"
+#include "mpi/runtime.hpp"
+#include "pacc/campaign.hpp"
+#include "pacc/journal.hpp"
+#include "pacc/presets.hpp"
+#include "sim/watchdog.hpp"
+#include "test_support.hpp"
+#include "util/fsio.hpp"
+
+namespace pacc {
+namespace {
+
+using fault::FaultSpec;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "pacc_durability_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void spit(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+std::string artifact(const SweepSpec& sweep,
+                     const std::vector<CellResult>& results) {
+  std::ostringstream out;
+  write_campaign_json(out, sweep, results);
+  return out.str();
+}
+
+/// Four-cell sweep with faults on half the cells — small enough to run
+/// many times, varied enough that resume must cover clean AND faulted
+/// cells (whose seeds derive from the cell index).
+SweepSpec durable_sweep() {
+  SweepSpec sweep;
+  const ClusterConfig clean = test::small_cluster(2, 8, 4);
+  ClusterConfig faulted = clean;
+  faulted.faults = *FaultSpec::parse("seed=13,drop=0.01,flap=40,tfail=0.25");
+  CollectiveBenchSpec spec;
+  spec.iterations = 2;
+  spec.warmup = 1;
+  for (const coll::Op op : {coll::Op::kBcast, coll::Op::kAlltoall}) {
+    spec.op = op;
+    spec.message = 4 * 1024;
+    sweep.add(clean, spec, "clean/" + coll::to_string(op));
+    sweep.add(faulted, spec, "faulted/" + coll::to_string(op));
+  }
+  return sweep;
+}
+
+// --- fsio primitives --------------------------------------------------
+
+TEST(Fsio, Crc32MatchesKnownVectors) {
+  // IEEE 802.3 check value for the classic "123456789" vector.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(Fsio, AtomicWriteReplacesWholeFile) {
+  const std::string path = temp_path("atomic.txt");
+  ASSERT_TRUE(atomic_write_file(path, "first version, quite long"));
+  EXPECT_EQ(slurp(path), "first version, quite long");
+  // A shorter rewrite must fully replace, never leave a stale tail.
+  ASSERT_TRUE(atomic_write_file(path, "v2"));
+  EXPECT_EQ(slurp(path), "v2");
+  std::remove(path.c_str());
+}
+
+// --- journal record codec ---------------------------------------------
+
+CellRecord sample_record() {
+  CellRecord rec;
+  rec.key = 0xDEADBEEFCAFEF00Dull;
+  rec.status = {RunOutcome::kFaulted, "drops=3 retransmits=5\n100% weird"};
+  rec.latency = Duration::nanos(123456789);
+  rec.energy_per_op = 0.1 + 0.2;  // not exactly representable in decimal
+  rec.mean_power = 960.125;
+  rec.collapse_multiplicity = 4;
+  rec.collapse_classes = 3;
+  rec.faults.drops = 3;
+  rec.faults.retransmits = 5;
+  rec.faults.scheme_fallbacks = 1;
+  rec.governor.armed_waits = 7;
+  rec.governor.cap_updates = 2;
+  return rec;
+}
+
+TEST(CellRecordCodec, RoundTripsBitExact) {
+  const CellRecord rec = sample_record();
+  const std::string line = encode_cell_record(rec);
+  CellRecord back;
+  std::string error;
+  ASSERT_TRUE(decode_cell_record(line, &back, &error)) << error;
+  EXPECT_EQ(back.key, rec.key);
+  EXPECT_EQ(back.status.outcome, rec.status.outcome);
+  EXPECT_EQ(back.status.message, rec.status.message);
+  EXPECT_EQ(back.latency.ns(), rec.latency.ns());
+  // Bit-exact doubles — the whole point of hex bit-pattern serialization.
+  EXPECT_EQ(back.energy_per_op, rec.energy_per_op);
+  EXPECT_EQ(back.mean_power, rec.mean_power);
+  EXPECT_EQ(back.collapse_multiplicity, rec.collapse_multiplicity);
+  EXPECT_EQ(back.collapse_classes, rec.collapse_classes);
+  EXPECT_EQ(back.faults.drops, rec.faults.drops);
+  EXPECT_EQ(back.faults.retransmits, rec.faults.retransmits);
+  EXPECT_EQ(back.faults.scheme_fallbacks, rec.faults.scheme_fallbacks);
+  EXPECT_EQ(back.governor.armed_waits, rec.governor.armed_waits);
+  EXPECT_EQ(back.governor.cap_updates, rec.governor.cap_updates);
+}
+
+TEST(CellRecordCodec, RejectsEveryCorruption) {
+  const std::string line = encode_cell_record(sample_record());
+  CellRecord out;
+  std::string error;
+  // Flip one payload character: CRC must catch it.
+  std::string flipped = line;
+  flipped[20] = flipped[20] == 'x' ? 'y' : 'x';
+  EXPECT_FALSE(decode_cell_record(flipped, &out, &error));
+  EXPECT_FALSE(error.empty());
+  // Truncations at every length: never accepted, never crash.
+  for (std::size_t cut = 0; cut < line.size(); ++cut) {
+    EXPECT_FALSE(decode_cell_record(line.substr(0, cut), &out, nullptr))
+        << "accepted a record truncated to " << cut << " bytes";
+  }
+  EXPECT_FALSE(decode_cell_record("total garbage", &out, &error));
+  EXPECT_FALSE(decode_cell_record("", &out, &error));
+}
+
+// --- canonical cell hash ----------------------------------------------
+
+TEST(CanonicalCellHash, KeysOnEveryResultAffectingField) {
+  const ClusterConfig base = test::small_cluster();
+  CollectiveBenchSpec bench;
+  bench.op = coll::Op::kBcast;
+  bench.message = 4096;
+  const auto key = canonical_cell_hash(base, bench);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key, canonical_cell_hash(base, bench));  // deterministic
+
+  CollectiveBenchSpec other_bench = bench;
+  other_bench.message = 8192;
+  EXPECT_NE(key, canonical_cell_hash(base, other_bench));
+
+  ClusterConfig faulted = base;
+  faulted.faults = *FaultSpec::parse("seed=7,drop=0.01");
+  EXPECT_NE(key, canonical_cell_hash(faulted, bench));
+
+  ClusterConfig timed = base;
+  timed.max_sim_time = Duration::seconds(1.0);
+  EXPECT_NE(key, canonical_cell_hash(timed, bench));
+
+  ClusterConfig watched = base;
+  watched.watchdog.stall_ticks = 7;
+  EXPECT_NE(key, canonical_cell_hash(watched, bench));
+
+  // Attached tuner: keyed on CONTENT, so an empty tuner differs from one
+  // with decisions, and equal tables collide.
+  ClusterConfig tuned = base;
+  tuned.tuner = std::make_shared<coll::Tuner>();
+  const auto empty_tuned = canonical_cell_hash(tuned, bench);
+  EXPECT_NE(key, empty_tuned);
+  tuned.tuner->record({coll::Op::kBcast, coll::PowerScheme::kNone, 4096, 1},
+                      {"bcast_tree_binary", 0});
+  EXPECT_NE(empty_tuned, canonical_cell_hash(tuned, bench));
+}
+
+TEST(CanonicalCellHash, UnjournalableCellsReturnNullopt) {
+  const CollectiveBenchSpec bench;
+  ClusterConfig traced = test::small_cluster();
+  traced.obs.trace = true;
+  EXPECT_FALSE(canonical_cell_hash(traced, bench).has_value());
+
+  ClusterConfig overridden = test::small_cluster();
+  overridden.machine = presets::paper_machine(overridden.nodes);
+  EXPECT_FALSE(canonical_cell_hash(overridden, bench).has_value());
+}
+
+// --- the journal file -------------------------------------------------
+
+TEST(CellJournal, CreatesAppendsReplaysAndDedups) {
+  const std::string path = temp_path("journal.wal");
+  std::remove(path.c_str());
+  std::string error;
+  auto journal = CellJournal::open(path, &error);
+  ASSERT_NE(journal, nullptr) << error;
+  EXPECT_EQ(journal->size(), 0u);
+  EXPECT_EQ(journal->replayed(), 0u);
+
+  CellRecord rec = sample_record();
+  ASSERT_TRUE(journal->append(rec));
+  rec.key = 42;
+  ASSERT_TRUE(journal->append(rec));
+  // Content-addressed: appending a key twice must not bloat the file.
+  ASSERT_TRUE(journal->append(rec));
+  EXPECT_EQ(journal->size(), 2u);
+  journal.reset();
+
+  auto reopened = CellJournal::open(path, &error);
+  ASSERT_NE(reopened, nullptr) << error;
+  EXPECT_EQ(reopened->replayed(), 2u);
+  const auto hit = reopened->lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status.message, sample_record().status.message);
+  EXPECT_FALSE(reopened->lookup(99).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CellJournal, TruncatesTornTailAndKeepsCompleteRecords) {
+  const std::string path = temp_path("torn.wal");
+  std::remove(path.c_str());
+  {
+    auto journal = CellJournal::open(path);
+    ASSERT_NE(journal, nullptr);
+    CellRecord rec = sample_record();
+    journal->append(rec);
+    rec.key = 2;
+    journal->append(rec);
+  }
+  // Simulate a crash mid-append: half a record, no trailing newline.
+  const std::string full = slurp(path);
+  CellRecord torn = sample_record();
+  torn.key = 3;
+  spit(path, full + encode_cell_record(torn).substr(0, 25));
+
+  std::string error;
+  auto journal = CellJournal::open(path, &error);
+  ASSERT_NE(journal, nullptr) << error;
+  EXPECT_EQ(journal->replayed(), 2u);
+  EXPECT_FALSE(journal->lookup(3).has_value());
+  journal.reset();
+  // The torn bytes are gone from disk — the file is exactly whole again.
+  EXPECT_EQ(slurp(path), full);
+  std::remove(path.c_str());
+}
+
+TEST(CellJournal, RejectsMidFileCorruption) {
+  const std::string path = temp_path("corrupt.wal");
+  std::remove(path.c_str());
+  {
+    auto journal = CellJournal::open(path);
+    ASSERT_NE(journal, nullptr);
+    CellRecord rec = sample_record();
+    journal->append(rec);
+    rec.key = 2;
+    journal->append(rec);
+  }
+  // A bit flip in the FIRST record, with a complete record after it, is
+  // corruption — not a crash artifact — and must surface loudly.
+  std::string contents = slurp(path);
+  const auto at = contents.find("R ") + 15;
+  contents[at] = contents[at] == '0' ? '1' : '0';
+  spit(path, contents);
+  std::string error;
+  EXPECT_EQ(CellJournal::open(path, &error), nullptr);
+  EXPECT_NE(error.find("corrupt"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(CellJournal, RejectsForeignAndGarbageFiles) {
+  const std::string path = temp_path("foreign.wal");
+  spit(path, "pacc-tuned-v1\nnot a journal\n");
+  std::string error;
+  EXPECT_EQ(CellJournal::open(path, &error), nullptr);
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+
+  // Headerless garbage without a newline must NOT be wiped as a torn
+  // header — only a prefix of the schema line is a legitimate torn write.
+  spit(path, "random junk");
+  error.clear();
+  EXPECT_EQ(CellJournal::open(path, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(slurp(path), "random junk");  // untouched
+
+  // A true torn header (schema prefix) is recovered in place.
+  spit(path, "pacc-jour");
+  auto journal = CellJournal::open(path, &error);
+  ASSERT_NE(journal, nullptr) << error;
+  EXPECT_EQ(journal->size(), 0u);
+  std::remove(path.c_str());
+}
+
+// --- resumable campaigns ----------------------------------------------
+
+TEST(CampaignDurability, InterruptedSweepResumesByteIdentical) {
+  const SweepSpec sweep = durable_sweep();
+  const auto reference = Campaign(sweep, {.jobs = 1}).run();
+
+  // "Crash" after two cells: journal a prefix of the sweep, then resume
+  // the FULL sweep against that journal at several job counts.
+  const std::string path = temp_path("resume.wal");
+  std::remove(path.c_str());
+  {
+    SweepSpec prefix;
+    prefix.cells.assign(sweep.cells.begin(), sweep.cells.begin() + 2);
+    CampaignOptions opts;
+    opts.journal = CellJournal::open(path);
+    ASSERT_NE(opts.journal, nullptr);
+    Campaign(prefix, opts).run();
+    EXPECT_EQ(opts.journal->size(), 2u);
+  }
+  {
+    CampaignOptions opts;
+    opts.jobs = 1;
+    opts.resume = true;
+    std::string error;
+    opts.journal = CellJournal::open(path, &error);
+    ASSERT_NE(opts.journal, nullptr) << error;
+    const auto resumed = Campaign(sweep, opts).run();
+    ASSERT_EQ(resumed.size(), reference.size());
+    EXPECT_EQ(resumed[0].source, CellSource::kJournal);
+    EXPECT_EQ(resumed[1].source, CellSource::kJournal);
+    EXPECT_EQ(resumed[2].source, CellSource::kRun);
+    EXPECT_EQ(resumed[3].source, CellSource::kRun);
+    // The real contract: replay vs fresh run is invisible in the bytes.
+    EXPECT_EQ(artifact(sweep, reference), artifact(sweep, resumed));
+  }
+  {
+    // The resume pass above journaled the remaining cells, so a second
+    // restart (now at jobs=4) replays the whole sweep — still identical.
+    CampaignOptions opts;
+    opts.jobs = 4;
+    opts.resume = true;
+    std::string error;
+    opts.journal = CellJournal::open(path, &error);
+    ASSERT_NE(opts.journal, nullptr) << error;
+    EXPECT_EQ(opts.journal->replayed(), sweep.size());
+    const auto resumed = Campaign(sweep, opts).run();
+    for (const auto& r : resumed) {
+      EXPECT_EQ(r.source, CellSource::kJournal) << r.label;
+    }
+    EXPECT_EQ(artifact(sweep, reference), artifact(sweep, resumed));
+  }
+  std::remove(path.c_str());
+}
+
+#if !defined(_WIN32)
+TEST(CampaignDurability, SigkilledProcessResumesByteIdentical) {
+  const SweepSpec sweep = durable_sweep();
+  const auto reference = Campaign(sweep, {.jobs = 1}).run();
+  const std::string path = temp_path("killed.wal");
+  std::remove(path.c_str());
+
+  // A REAL process death mid-sweep: the child journals cells and _exits
+  // without cleanup after the second one — no destructors, no flush
+  // beyond the journal's own fdatasync.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    CampaignOptions opts;
+    opts.journal = CellJournal::open(path);
+    if (!opts.journal) _exit(9);
+    opts.on_progress = [](const CampaignProgress& p) {
+      if (p.finished == 2) _exit(0);
+    };
+    Campaign(sweep, opts).run();
+    _exit(9);  // should have died mid-sweep
+  }
+  int wstatus = 0;
+  ASSERT_GE(waitpid(pid, &wstatus, 0), 0);
+  ASSERT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+
+  CampaignOptions opts;
+  opts.jobs = 4;
+  opts.resume = true;
+  std::string error;
+  opts.journal = CellJournal::open(path, &error);
+  ASSERT_NE(opts.journal, nullptr) << error;
+  EXPECT_EQ(opts.journal->replayed(), 2u);
+  const auto resumed = Campaign(sweep, opts).run();
+  EXPECT_EQ(artifact(sweep, reference), artifact(sweep, resumed));
+  std::remove(path.c_str());
+}
+#endif
+
+TEST(CampaignDurability, ResultCacheServesRepeatCampaigns) {
+  const SweepSpec sweep = durable_sweep();
+  const std::string path = temp_path("cache.wal");
+  std::remove(path.c_str());
+
+  CampaignOptions first;
+  first.result_cache = CellJournal::open(path);
+  ASSERT_NE(first.result_cache, nullptr);
+  const auto a = Campaign(sweep, first).run();
+  for (const auto& r : a) EXPECT_EQ(r.source, CellSource::kRun);
+
+  CampaignOptions second;
+  second.jobs = 4;
+  std::string error;
+  second.result_cache = CellJournal::open(path, &error);
+  ASSERT_NE(second.result_cache, nullptr) << error;
+  const auto b = Campaign(sweep, second).run();
+  for (const auto& r : b) EXPECT_EQ(r.source, CellSource::kCache) << r.label;
+  EXPECT_EQ(artifact(sweep, a), artifact(sweep, b));
+  std::remove(path.c_str());
+}
+
+TEST(CampaignDurability, TracedCellsBypassTheJournal) {
+  SweepSpec sweep;
+  ClusterConfig traced = test::small_cluster(2, 8, 4);
+  traced.obs.trace = true;
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kBcast;
+  spec.message = 1024;
+  spec.iterations = 1;
+  spec.warmup = 0;
+  sweep.add(traced, spec, "traced");
+
+  const std::string path = temp_path("traced.wal");
+  std::remove(path.c_str());
+  CampaignOptions opts;
+  opts.resume = true;
+  opts.journal = CellJournal::open(path);
+  ASSERT_NE(opts.journal, nullptr);
+  const auto results = Campaign(sweep, opts).run();
+  // Unjournalable (trace payloads aren't persisted): ran fresh, nothing
+  // recorded, and the trace is actually there.
+  EXPECT_EQ(results[0].source, CellSource::kRun);
+  EXPECT_EQ(opts.journal->size(), 0u);
+  EXPECT_FALSE(results[0].report.trace_json.empty());
+  std::remove(path.c_str());
+}
+
+// --- process-isolated workers -----------------------------------------
+
+#if !defined(_WIN32)
+TEST(CampaignIsolation, HealthyIsolatedSweepMatchesInline) {
+  const SweepSpec sweep = durable_sweep();
+  const auto inline_results = Campaign(sweep, {.jobs = 1}).run();
+  CampaignOptions opts;
+  opts.jobs = 2;
+  opts.isolate_cells = true;
+  const auto isolated = Campaign(sweep, opts).run();
+  EXPECT_EQ(artifact(sweep, inline_results), artifact(sweep, isolated));
+}
+
+TEST(CampaignIsolation, CrashedCellIsClassifiedAndContained) {
+  SweepSpec sweep;
+  const ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kBcast;
+  spec.iterations = 1;
+  spec.warmup = 0;
+  // Distinct message sizes: content-addressed keys must not collide, so
+  // the journal ends up with exactly the two surviving cells.
+  spec.message = 1024;
+  sweep.add(cfg, spec, "before");
+  spec.message = 2048;
+  sweep.add(cfg, spec, "doomed");
+  spec.message = 4096;
+  sweep.add(cfg, spec, "after");
+
+  const std::string path = temp_path("crash.wal");
+  std::remove(path.c_str());
+  CampaignOptions opts;
+  opts.isolate_cells = true;
+  opts.crash_retries = 1;
+  opts.crash_backoff_ms = 1;
+  opts.journal = CellJournal::open(path);
+  ASSERT_NE(opts.journal, nullptr);
+  opts.before_cell = [](std::size_t i) {
+    if (i == 1) std::abort();  // dies INSIDE the forked worker
+  };
+  const auto results = Campaign(sweep, opts).run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok()) << results[0].status.describe();
+  EXPECT_TRUE(results[2].status.ok()) << results[2].status.describe();
+  EXPECT_EQ(results[1].status.outcome, RunOutcome::kCrashed);
+  EXPECT_FALSE(results[1].status.usable());
+  // Message names the signal and the exhausted retry budget.
+  EXPECT_NE(results[1].status.message.find("signal"), std::string::npos)
+      << results[1].status.message;
+  EXPECT_NE(results[1].status.message.find("2 attempt(s)"), std::string::npos)
+      << results[1].status.message;
+  // Crashed cells are not journaled — a resume retries them.
+  EXPECT_EQ(opts.journal->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignIsolation, ChildErrorsDegradeToStatusNotCrash) {
+  // An unsupported op×scheme combination fails INSIDE measure_collective
+  // (past validate(), so past the fork): the worker must ship the kError
+  // status home over the pipe instead of being classified as a crash.
+  SweepSpec sweep;
+  const ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kGather;
+  spec.scheme = coll::PowerScheme::kProposed;
+  spec.message = 1024;
+  spec.iterations = 1;
+  sweep.add(cfg, spec, "unsupported");
+  CampaignOptions opts;
+  opts.isolate_cells = true;
+  const auto results = Campaign(sweep, opts).run();
+  EXPECT_EQ(results[0].status.outcome, RunOutcome::kError)
+      << results[0].status.describe();
+}
+#endif  // !_WIN32
+
+// --- RunStatus::kCrashed satellite ------------------------------------
+
+TEST(RunStatusCrashed, RoundTripsAndIsNotUsable) {
+  for (const RunOutcome outcome :
+       {RunOutcome::kOk, RunOutcome::kDeadlock, RunOutcome::kTimeout,
+        RunOutcome::kError, RunOutcome::kFaulted, RunOutcome::kUnreachable,
+        RunOutcome::kCrashed}) {
+    const auto back = parse_run_outcome(to_string(outcome));
+    ASSERT_TRUE(back.has_value()) << to_string(outcome);
+    EXPECT_EQ(*back, outcome);
+  }
+  EXPECT_FALSE(parse_run_outcome("exploded").has_value());
+  const RunStatus crashed{RunOutcome::kCrashed, "worker killed by signal 6"};
+  EXPECT_FALSE(crashed.usable());
+  EXPECT_EQ(crashed.describe(), "crashed: worker killed by signal 6");
+}
+
+// --- watchdog thresholds satellite ------------------------------------
+
+TEST(WatchdogParams, DefaultsAreUnchanged) {
+  // Regression guard: the documented 50 ms × 4 thresholds, everywhere the
+  // params surface.
+  const sim::Watchdog::Params params;
+  EXPECT_EQ(params.interval.ns(), 50'000'000);
+  EXPECT_EQ(params.stall_ticks, 4);
+  const mpi::RuntimeParams rt;
+  EXPECT_EQ(rt.watchdog.interval.ns(), 50'000'000);
+  EXPECT_EQ(rt.watchdog.stall_ticks, 4);
+  const ClusterConfig cfg;
+  EXPECT_EQ(cfg.watchdog.interval.ns(), 50'000'000);
+  EXPECT_EQ(cfg.watchdog.stall_ticks, 4);
+}
+
+TEST(WatchdogParams, CustomThresholdsReachTheWatchdog) {
+  ClusterConfig cfg = test::small_cluster();
+  cfg.faults = *FaultSpec::parse("seed=3,flap=5");
+  cfg.watchdog.interval = Duration::millis(10.0);
+  cfg.watchdog.stall_ticks = 2;
+  Simulation sim(cfg);
+  const auto report = sim.run([](mpi::Rank& r) -> sim::Task<> {
+    std::array<std::byte, 8> buf{};
+    if (r.id() == 0) co_await r.recv(1, 99, buf);  // never sent
+  });
+  EXPECT_EQ(report.status.outcome, RunOutcome::kDeadlock);
+  // The message embeds the stall window: 10 ms × 2 = 20 ms, not the
+  // default 200 ms — proof the thresholds flowed through RuntimeParams.
+  EXPECT_NE(report.status.message.find("20 ms"), std::string::npos)
+      << report.status.message;
+}
+
+TEST(WatchdogParams, CampaignRejectsInvalidThresholds) {
+  SweepSpec sweep;
+  ClusterConfig cfg = test::small_cluster(2, 8, 4);
+  cfg.faults = *FaultSpec::parse("seed=3,drop=0.01");
+  cfg.watchdog.stall_ticks = 0;  // would abort the Watchdog constructor
+  CollectiveBenchSpec spec;
+  spec.op = coll::Op::kBcast;
+  spec.message = 1024;
+  sweep.add(cfg, spec);
+  const auto results = Campaign(sweep, {}).run();
+  EXPECT_EQ(results[0].status.outcome, RunOutcome::kError);
+  EXPECT_NE(results[0].status.message.find("watchdog"), std::string::npos)
+      << results[0].status.message;
+}
+
+// --- strict artifact loader -------------------------------------------
+
+TEST(CampaignArtifactLoader, AcceptsItsOwnWriterOutput) {
+  const SweepSpec sweep = durable_sweep();
+  const auto results = Campaign(sweep, {.jobs = 2}).run();
+  std::istringstream in(artifact(sweep, results));
+  std::string error;
+  const auto loaded = load_campaign_json(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->cells.size(), sweep.size());
+  for (std::size_t i = 0; i < loaded->cells.size(); ++i) {
+    EXPECT_EQ(loaded->cells[i].index, i);
+    EXPECT_EQ(loaded->cells[i].label, results[i].label);
+    EXPECT_EQ(loaded->cells[i].status.outcome, results[i].status.outcome);
+  }
+}
+
+TEST(CampaignArtifactLoader, RejectsMalformedCorpusWithoutCrashing) {
+  const SweepSpec sweep = durable_sweep();
+  const auto results = Campaign(sweep, {.jobs = 1}).run();
+  const std::string good = artifact(sweep, results);
+  std::string error;
+
+  // Truncation at every 97th byte (and then byte-by-byte near the end):
+  // always rejected. Stops short of good.size() - 1 — losing only the
+  // final newline leaves a complete artifact, which the loader accepts.
+  for (std::size_t cut = 0; cut + 1 < good.size();
+       cut += (cut + 98 < good.size() ? 97 : 1)) {
+    std::istringstream in(good.substr(0, cut));
+    EXPECT_FALSE(load_campaign_json(in, &error).has_value())
+        << "accepted an artifact truncated to " << cut << " bytes";
+    EXPECT_FALSE(error.empty());
+  }
+  {  // Bit flip inside a status enum.
+    std::string flipped = good;
+    const auto at = flipped.find("\"status\": \"");
+    flipped[at + 11] = '!';
+    std::istringstream in(flipped);
+    EXPECT_FALSE(load_campaign_json(in, &error).has_value());
+    EXPECT_NE(error.find("status"), std::string::npos) << error;
+  }
+  {  // Trailing garbage after the footer.
+    std::istringstream in(good + "extra bytes\n");
+    EXPECT_FALSE(load_campaign_json(in, &error).has_value());
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+  }
+  {  // Out-of-order cells (a mis-merged artifact).
+    std::string swapped = good;
+    const auto i0 = swapped.find("\"index\": 0");
+    const auto i1 = swapped.find("\"index\": 1");
+    swapped[i0 + 9] = '1';
+    swapped[i1 + 9] = '0';
+    std::istringstream in(swapped);
+    EXPECT_FALSE(load_campaign_json(in, &error).has_value());
+    EXPECT_NE(error.find("order"), std::string::npos) << error;
+  }
+  {  // Foreign schema and empty input.
+    std::istringstream foreign("{\n  \"schema\": \"pacc-tuned-v1\",\n");
+    EXPECT_FALSE(load_campaign_json(foreign, &error).has_value());
+    std::istringstream empty("");
+    EXPECT_FALSE(load_campaign_json(empty, &error).has_value());
+  }
+}
+
+// --- tuned-table hardening --------------------------------------------
+
+TEST(TunerDurability, FingerprintIsContentAddressed) {
+  coll::Tuner a, b;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());  // both empty
+  a.record({coll::Op::kBcast, coll::PowerScheme::kNone, 4096, 1},
+           {"bcast_tree_binary", 0});
+  a.record({coll::Op::kReduce, coll::PowerScheme::kProposed, 65536, 42},
+           {"reduce_tree_binomial", 8192});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  // Insertion order must not matter — only content.
+  b.record({coll::Op::kReduce, coll::PowerScheme::kProposed, 65536, 42},
+           {"reduce_tree_binomial", 8192});
+  b.record({coll::Op::kBcast, coll::PowerScheme::kNone, 4096, 1},
+           {"bcast_tree_binary", 0});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.record({coll::Op::kBcast, coll::PowerScheme::kNone, 8192, 1},
+           {"bcast_tree_chain", 0});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(TunerDurability, LoadRejectsTruncatedTable) {
+  coll::Tuner a;
+  a.record({coll::Op::kBcast, coll::PowerScheme::kNone, 4096, 1},
+           {"bcast_tree_binary", 0});
+  std::ostringstream saved;
+  a.save(saved);
+  // Cut the footer off: a torn write, not a shorter table.
+  const std::string full = saved.str();
+  const std::string torn = full.substr(0, full.rfind("  ]"));
+  coll::Tuner b;
+  std::istringstream in(torn);
+  std::string error;
+  EXPECT_FALSE(b.load(in, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  // The intact table still loads.
+  coll::Tuner c;
+  std::istringstream ok(full);
+  EXPECT_TRUE(c.load(ok, &error)) << error;
+  EXPECT_EQ(c.fingerprint(), a.fingerprint());
+}
+
+TEST(TunerDurability, SaveFileIsAtomicAndReloadable) {
+  const std::string path = temp_path("tuned.json");
+  coll::Tuner a;
+  a.record({coll::Op::kBcast, coll::PowerScheme::kNone, 4096, 1},
+           {"bcast_tree_binary", 0});
+  ASSERT_TRUE(a.save_file(path));
+  coll::Tuner b;
+  std::string error;
+  ASSERT_TRUE(b.load_file(path, &error)) << error;
+  EXPECT_EQ(b.fingerprint(), a.fingerprint());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pacc

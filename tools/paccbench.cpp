@@ -21,11 +21,13 @@
 // --governor [threshold_us], --core-throttle, --racks <nodes_per_rack>,
 // --fabric <size[:oversub],...> (fat-tree levels, bottom-up), --collapse
 // <0 auto | 1 full | N forced multiplicity>.
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,9 +36,11 @@
 #include "coll/registry.hpp"
 #include "coll/tuner.hpp"
 #include "pacc/campaign.hpp"
+#include "pacc/journal.hpp"
 #include "pacc/simulation.hpp"
 #include "pacc/tuning.hpp"
 #include "util/args.hpp"
+#include "util/fsio.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -96,6 +100,30 @@ int usage(const char* argv0) {
       << "                     (see docs/FAULTS.md for every key). Adds a\n"
       << "                     status column; faulted/unreachable cells are\n"
       << "                     expected outcomes, not failures\n"
+      << "  --journal FILE     write-ahead cell journal (pacc-journal-v1):\n"
+      << "                     every completed cell is durably appended\n"
+      << "                     before the sweep moves on. Without --resume an\n"
+      << "                     existing FILE is restarted from scratch\n"
+      << "  --resume           with --journal: replay already-journaled cells\n"
+      << "                     instead of re-running them. A killed sweep\n"
+      << "                     re-run with the same flags converges on the\n"
+      << "                     byte-identical artifact (see docs/DURABILITY.md)\n"
+      << "  --result-cache FILE  cross-campaign content-addressed result\n"
+      << "                     cache (same format as the journal): cells any\n"
+      << "                     previous campaign already measured are served\n"
+      << "                     from FILE, new results are appended\n"
+      << "  --isolate-cells    fork a worker subprocess per cell; a cell that\n"
+      << "                     aborts or is OOM-killed classifies as status\n"
+      << "                     \"crashed\" and the other cells complete\n"
+      << "  --crash-retries N  retries before a dead worker classifies as\n"
+      << "                     crashed (default 1)\n"
+      << "  --crash-cell N     test hook: abort() inside cell N's worker\n"
+      << "                     (needs --isolate-cells)\n"
+      << "  --watchdog MS[:COUNT]  faulted-run quiescence watchdog: sample\n"
+      << "                     interval in ms and consecutive still samples\n"
+      << "                     before declaring deadlock (default 50:4)\n"
+      << "  --verify-artifact FILE  strictly validate a pacc-campaign-v1\n"
+      << "                     artifact (exit 0 = intact) and do nothing else\n"
       << "  --csv              emit CSV instead of an aligned table\n"
       << "  --profile          print a per-operation profile (workload mode)\n"
       << "  --node-power       print per-node mean power (workload mode)\n"
@@ -259,6 +287,33 @@ int main(int argc, char** argv) {
   const auto json_file = args.get("json");
   const bool tune = args.has("tune");
   const auto tuned_table_file = args.get("tuned-table");
+  const auto journal_file = args.get("journal");
+  const bool resume = args.has("resume");
+  const auto cache_file = args.get("result-cache");
+  const bool isolate = args.has("isolate-cells");
+  const int crash_retries = static_cast<int>(args.int_or("crash-retries", 1));
+  const long long crash_cell = args.int_or("crash-cell", -1);
+  const auto verify_file = args.get("verify-artifact");
+  if (const auto wd = args.get("watchdog")) {
+    const auto colon = wd->find(':');
+    double interval_ms = 0.0;
+    long long stall_ticks = cfg.watchdog.stall_ticks;
+    try {
+      interval_ms = std::stod(wd->substr(0, colon));
+      if (colon != std::string::npos) {
+        stall_ticks = std::stoll(wd->substr(colon + 1));
+      }
+    } catch (const std::exception&) {
+      interval_ms = 0.0;
+    }
+    if (interval_ms <= 0.0 || stall_ticks < 1) {
+      std::cerr << "bad --watchdog \"" << *wd << "\" (want MS[:COUNT], both "
+                << "positive)\n";
+      return usage(argv[0]);
+    }
+    cfg.watchdog.interval = Duration::millis(interval_ms);
+    cfg.watchdog.stall_ticks = static_cast<int>(stall_ticks);
+  }
 
   // --algo NAME[:seg=BYTES]: force one registered algorithm.
   const coll::AlgoDesc* forced_algo = nullptr;
@@ -293,6 +348,57 @@ int main(int argc, char** argv) {
     for (const auto& f : unknown) std::cerr << " " << f;
     std::cerr << "\n";
     return usage(argv[0]);
+  }
+
+  if (verify_file) {
+    std::ifstream in(*verify_file);
+    if (!in) {
+      std::cerr << "cannot open " << *verify_file << "\n";
+      return 1;
+    }
+    std::string error;
+    const auto loaded = load_campaign_json(in, &error);
+    if (!loaded) {
+      std::cerr << *verify_file << ": " << error << "\n";
+      return 1;
+    }
+    std::cout << *verify_file << ": valid pacc-campaign-v1 artifact, "
+              << loaded->cells.size() << " cell(s)\n";
+    return 0;
+  }
+
+  if (resume && !journal_file) {
+    std::cerr << "--resume needs --journal FILE\n";
+    return usage(argv[0]);
+  }
+  if (crash_cell >= 0 && !isolate) {
+    std::cerr << "--crash-cell needs --isolate-cells\n";
+    return usage(argv[0]);
+  }
+  std::shared_ptr<CellJournal> journal;
+  if (journal_file) {
+    // Without --resume this invocation owns the sweep from cell zero: a
+    // stale journal from an earlier run must not mask fresh work.
+    if (!resume) std::remove(journal_file->c_str());
+    std::string error;
+    journal = CellJournal::open(*journal_file, &error);
+    if (!journal) {
+      std::cerr << "bad --journal: " << error << "\n";
+      return 1;
+    }
+    if (resume && journal->replayed() > 0) {
+      std::cerr << "# resuming: " << journal->replayed()
+                << " journaled cell(s) will be replayed\n";
+    }
+  }
+  std::shared_ptr<CellJournal> result_cache;
+  if (cache_file) {
+    std::string error;
+    result_cache = CellJournal::open(*cache_file, &error);
+    if (!result_cache) {
+      std::cerr << "bad --result-cache: " << error << "\n";
+      return 1;
+    }
   }
 
   std::shared_ptr<coll::Tuner> tuner;
@@ -480,6 +586,16 @@ int main(int argc, char** argv) {
 
   CampaignOptions opts;
   opts.jobs = jobs;
+  opts.journal = journal;
+  opts.resume = resume;
+  opts.result_cache = result_cache;
+  opts.isolate_cells = isolate;
+  opts.crash_retries = crash_retries;
+  if (crash_cell >= 0) {
+    opts.before_cell = [crash_cell](std::size_t i) {
+      if (static_cast<long long>(i) == crash_cell) std::abort();
+    };
+  }
   const auto results = Campaign(sweep, opts).run();
 
   std::vector<std::string> columns;
@@ -488,7 +604,8 @@ int main(int argc, char** argv) {
   }
   columns.insert(columns.end(),
                  {"size", "latency_us", "energy_per_op_J", "mean_kW"});
-  if (faulty) columns.push_back("status");
+  const bool status_column = faulty || isolate;
+  if (status_column) columns.push_back("status");
   Table t(columns);
   std::vector<std::pair<Bytes, std::vector<obs::PhaseEnergy>>> breakdowns;
   std::string last_trace;
@@ -497,17 +614,19 @@ int main(int argc, char** argv) {
     const SweepCell& cell = sweep.cells[r.index];
     // Under fault injection, disturbed-but-correct (faulted) and
     // retry-budget-exhausted (unreachable) cells are CLASSIFIED outcomes
-    // the sweep reports and carries on from; only an unclassified ending
-    // (timeout, deadlock, error) fails the harness.
+    // the sweep reports and carries on from; under --isolate-cells a dead
+    // worker (crashed) is too. Only an unclassified ending (timeout,
+    // deadlock, error) fails the harness.
     const bool classified =
         r.status.usable() ||
-        (faulty && r.status.outcome == RunOutcome::kUnreachable);
+        (faulty && r.status.outcome == RunOutcome::kUnreachable) ||
+        (isolate && r.status.outcome == RunOutcome::kCrashed);
     if (!classified) {
       std::cerr << "cell " << coll::to_string(cell.bench.op) << "/"
                 << coll::to_string(cell.bench.scheme) << "/"
                 << format_bytes(cell.bench.message)
                 << " failed: " << r.status.describe() << "\n";
-      if (!faulty) return 1;
+      if (!faulty && !isolate) return 1;
       ++hard_failures;
       continue;
     }
@@ -522,10 +641,11 @@ int main(int argc, char** argv) {
       row.push_back(Table::num(r.report.energy_per_op, 3));
       row.push_back(Table::num(r.report.mean_power / 1000.0, 3));
     } else {
-      // Unreachable: the timed window never closed, the numbers are void.
+      // Unreachable/crashed: the timed window never closed (or the worker
+      // died before reporting), the numbers are void.
       row.insert(row.end(), {"-", "-", "-"});
     }
-    if (faulty) row.push_back(to_string(r.status.outcome));
+    if (status_column) row.push_back(to_string(r.status.outcome));
     t.add_row(row);
     if (energy_breakdown) {
       breakdowns.emplace_back(cell.bench.message, r.report.energy_phases);
@@ -533,12 +653,15 @@ int main(int argc, char** argv) {
     if (trace_file) last_trace = r.report.trace_json;
   }
   if (json_file) {
-    std::ofstream out(*json_file);
-    if (!out) {
-      std::cerr << "cannot write " << *json_file << "\n";
+    // Atomic replace: a crash mid-write must leave either no artifact or a
+    // complete one — never a torn file --verify-artifact would reject.
+    std::ostringstream artifact;
+    write_campaign_json(artifact, sweep, results);
+    std::string error;
+    if (!atomic_write_file(*json_file, artifact.str(), &error)) {
+      std::cerr << "cannot write " << *json_file << ": " << error << "\n";
       return 1;
     }
-    write_campaign_json(out, sweep, results);
     std::cerr << "# campaign artifact written to " << *json_file << "\n";
   }
   if (csv) {
@@ -579,12 +702,11 @@ int main(int argc, char** argv) {
     }
   }
   if (trace_file) {
-    std::ofstream out(*trace_file);
-    if (!out) {
-      std::cerr << "cannot write " << *trace_file << "\n";
+    std::string error;
+    if (!atomic_write_file(*trace_file, last_trace, &error)) {
+      std::cerr << "cannot write " << *trace_file << ": " << error << "\n";
       return 1;
     }
-    out << last_trace;
     std::cerr << "# trace (last sweep point) written to " << *trace_file
               << "\n";
   }
