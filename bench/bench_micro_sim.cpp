@@ -13,7 +13,8 @@
 // time, the collapsed 4096-rank fat-tree Alltoall wall time, the
 // rank-symmetry collapse counters (classes, representative vs. logical
 // flows), the steady-state fast-forward counters (batched completions,
-// no-op recomputes) and the collective plan cache's hit/miss counts.
+// no-op recomputes), the collective plan cache's hit/miss counts and the
+// plan-table memory (class-compressed vs materialized per-rank bytes).
 // scripts/check_bench_regression.py gates CI on the event throughput and
 // the two wall-clock figures against the committed copy.
 // The committed BENCH_micro.json also carries the pre-optimization seed
@@ -126,6 +127,32 @@ std::pair<std::uint64_t, std::uint64_t> plan_cache_counters() {
   const auto report = measure_collective(cfg, spec);
   benchmark::DoNotOptimize(report.latency);
   return {cfg.plan_cache->hits(), cfg.plan_cache->misses()};
+}
+
+/// Plan-table memory on the collapsed 4096-rank fat-tree proposed cell:
+/// peak plan-cache bytes with class-compressed templates vs the
+/// materialized per-rank tables they replace. Deterministic byte counts,
+/// not timings.
+std::pair<std::size_t, std::size_t> plan_memory_bytes() {
+  const auto run = [](bool materialized) {
+    ClusterConfig cfg;
+    cfg.nodes = 512;
+    cfg.ranks = 4096;
+    cfg.ranks_per_node = 8;
+    cfg.fabric = {{32, 2.0}};
+    cfg.materialized_plans = materialized;
+    cfg.plan_cache = std::make_shared<coll::PlanCache>();
+    CollectiveBenchSpec spec;
+    spec.op = coll::Op::kAlltoall;
+    spec.message = 1_MiB;
+    spec.scheme = coll::PowerScheme::kProposed;
+    spec.iterations = 1;
+    spec.warmup = 0;
+    const auto report = measure_collective(cfg, spec);
+    benchmark::DoNotOptimize(report.latency);
+    return cfg.plan_cache->peak_bytes();
+  };
+  return {run(false), run(true)};
 }
 
 double alltoall64_seconds(Bytes message) {
@@ -334,6 +361,9 @@ int emit_json(const std::string& path) {
   // Plan cache hit/miss on an iterated measurement.
   const auto [plan_hits, plan_misses] = plan_cache_counters();
 
+  // Plan-table memory: class-compressed vs materialized per-rank tables.
+  const auto [compressed_bytes, materialized_bytes] = plan_memory_bytes();
+
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -381,6 +411,17 @@ int emit_json(const std::string& path) {
                "  \"plan_cache\": {\"hits\": %llu, \"misses\": %llu},\n",
                static_cast<unsigned long long>(plan_hits),
                static_cast<unsigned long long>(plan_misses));
+  // Deterministic byte counts for the 4096-rank proposed cell's schedule
+  // tables: one class-indexed template set vs 4096 materialized rows.
+  std::fprintf(out,
+               "  \"plan_memory\": {\"compressed_bytes\": %llu, "
+               "\"materialized_bytes\": %llu, \"compression_ratio\": %.1f},\n",
+               static_cast<unsigned long long>(compressed_bytes),
+               static_cast<unsigned long long>(materialized_bytes),
+               compressed_bytes > 0
+                   ? static_cast<double>(materialized_bytes) /
+                         static_cast<double>(compressed_bytes)
+                   : 0.0);
   // Pre-optimization numbers, measured once from the seed tree (b434d80)
   // with the same fixtures, flags and machine as the live numbers above.
   // The seed recomputed rates exactly twice per flow per churn round (once

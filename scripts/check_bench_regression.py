@@ -48,6 +48,18 @@ Winner changes against ``--adapt-baseline`` are printed informationally:
 a different tree/segment winning is a behaviour change for the
 byte-identity suite to judge, not a perf regression.
 
+With ``--dragonfly-current`` (or ``--dragonfly-bench``) the gate also
+judges the ``bench_ext_dragonfly --emit-json`` report (committed
+baseline: ``BENCH_dragonfly.json``), enforcing the 16384-rank collapsed
+cell's acceptance invariants:
+
+  * wall_seconds capped at an absolute 40 s budget
+  * plan_memory_bytes ≤ the 150 MB ceiling for the class-compressed
+    schedule tables (the materialized per-rank layout needs ~1.3 GB)
+
+Simulated-figure drift against ``--dragonfly-baseline`` is printed
+informationally; the byte-identity suite judges behavioural change.
+
 Usage:
   check_bench_regression.py --baseline BENCH_micro.json --current new.json
   check_bench_regression.py --baseline BENCH_micro.json --bench build/bench/bench_micro_sim
@@ -176,6 +188,44 @@ def check_adapt(current: dict, baseline: dict | None,
                       f"current {cell['adaptive_us']:g}")
 
 
+#: Absolute wall budget for the collapsed 16384-rank dragonfly cell — four
+#: times fattree4096's 10 s: the representative-flow count scales with the
+#: logical rank count (256 representatives × 16383 peers).
+DRAGONFLY_WALL_BUDGET = 40.0
+
+
+def check_dragonfly(current: dict, baseline: dict | None,
+                    failures: list[str]) -> None:
+    """Gates the pacc-bench-dragonfly-v1 acceptance invariants."""
+
+    def gate(name: str, ok: bool, detail: str) -> None:
+        print(f"  {name}: {detail} -> {'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(name)
+
+    cell = current["proposed_1mib"]
+    wall = cell["wall_seconds"]
+    gate("dragonfly.proposed_1mib.wall_seconds",
+         wall <= DRAGONFLY_WALL_BUDGET,
+         f"absolute budget {DRAGONFLY_WALL_BUDGET:g}, current {wall:g}")
+    plan_bytes = cell["plan_memory_bytes"]
+    budget = cell.get("plan_memory_budget_bytes", 150 * 1024 * 1024)
+    gate("dragonfly.proposed_1mib.plan_memory_bytes",
+         plan_bytes <= budget,
+         f"ceiling {budget} B, current {plan_bytes} B "
+         f"({plan_bytes / 2**20:.1f} MiB)")
+    print(f"  dragonfly.collapse (informational): "
+          f"{json.dumps(cell['collapse'], sort_keys=True)}")
+
+    if baseline is not None:
+        base = baseline["proposed_1mib"]
+        for field in ("latency_ms", "energy_per_op_j", "plan_memory_bytes"):
+            if base.get(field) != cell.get(field):
+                print(f"  dragonfly.proposed_1mib.{field} (informational "
+                      f"drift): baseline {base.get(field)}, "
+                      f"current {cell.get(field)}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True,
@@ -199,6 +249,13 @@ def main() -> int:
                         help="freshly emitted bench_ext_adapt report")
     parser.add_argument("--adapt-bench", type=Path,
                         help="bench_ext_adapt binary to run --emit-json with")
+    parser.add_argument("--dragonfly-baseline", type=Path,
+                        help="committed BENCH_dragonfly.json (informational)")
+    parser.add_argument("--dragonfly-current", type=Path,
+                        help="freshly emitted bench_ext_dragonfly report")
+    parser.add_argument("--dragonfly-bench", type=Path,
+                        help="bench_ext_dragonfly binary to run --emit-json "
+                             "with")
     args = parser.parse_args()
     if (args.current is None) == (args.bench is None):
         parser.error("exactly one of --current / --bench is required")
@@ -206,6 +263,10 @@ def main() -> int:
         parser.error("at most one of --governor-current / --governor-bench")
     if args.adapt_current is not None and args.adapt_bench is not None:
         parser.error("at most one of --adapt-current / --adapt-bench")
+    if (args.dragonfly_current is not None
+            and args.dragonfly_bench is not None):
+        parser.error(
+            "at most one of --dragonfly-current / --dragonfly-bench")
 
     baseline = load(args.baseline)
     current = load(args.current) if args.current else emit_current(args.bench)
@@ -279,6 +340,17 @@ def main() -> int:
         adapt_baseline = (load(args.adapt_baseline)
                           if args.adapt_baseline else None)
         check_adapt(adapt, adapt_baseline, failures)
+
+    dragonfly = None
+    if args.dragonfly_current is not None:
+        dragonfly = load(args.dragonfly_current)
+    elif args.dragonfly_bench is not None:
+        dragonfly = emit_current(args.dragonfly_bench)
+    if dragonfly is not None:
+        print("dragonfly gate:")
+        dragonfly_baseline = (load(args.dragonfly_baseline)
+                              if args.dragonfly_baseline else None)
+        check_dragonfly(dragonfly, dragonfly_baseline, failures)
 
     if failures:
         print(f"FAIL: {', '.join(failures)} regressed more than "

@@ -53,17 +53,20 @@ sim::Task<> alltoall_pairwise(mpi::Rank& self, mpi::Comm& comm,
              block_of(send, me, block).data(),
              static_cast<std::size_t>(block));
 
-  for (const PairStep& step : plan->pair_steps[static_cast<std::size_t>(me)]) {
+  const PlanView view(*plan, me, comm.size());
+  for (const PairStep& step : plan->pair_steps[view.row()]) {
+    const int dst = view.peer(step.dst);
+    const int src = view.peer(step.src);
     if (plan->pairwise_sendrecv) {
-      co_await self.sendrecv(comm.global_rank(step.dst), tag,
-                             block_of(send, step.dst, block),
-                             comm.global_rank(step.src), tag,
-                             block_of(recv, step.src, block));
+      co_await self.sendrecv(comm.global_rank(dst), tag,
+                             block_of(send, dst, block),
+                             comm.global_rank(src), tag,
+                             block_of(recv, src, block));
     } else {
-      co_await self.send(comm.global_rank(step.dst), tag,
-                         block_of(send, step.dst, block));
-      co_await self.recv(comm.global_rank(step.src), tag,
-                         block_of(recv, step.src, block));
+      co_await self.send(comm.global_rank(dst), tag,
+                         block_of(send, dst, block));
+      co_await self.recv(comm.global_rank(src), tag,
+                         block_of(recv, src, block));
     }
   }
 }

@@ -75,18 +75,21 @@ sim::Task<> run_power_actions(mpi::Rank& self, mpi::Comm& comm,
   auto& barrier = comm.node_barrier(comm.node_of(me));
 
   // Walk this rank's precomputed program (see build_power_exchange in
-  // plan.cpp, which documents the §V schedule the actions encode). The
-  // phase span is emplaced/reset so its open/close instants match the
-  // historical block-scoped CollPhase objects exactly.
+  // plan.cpp, which documents the §V schedule the actions encode). On a
+  // compressed plan the program belongs to the rank's class representative
+  // and only the kSend/kRecv peers need relabelling — every other action
+  // is peer-free by construction. The phase span is emplaced/reset so its
+  // open/close instants match the historical block-scoped CollPhase
+  // objects exactly.
+  const PlanView view(plan, me, comm.size());
   std::optional<CollPhase> phase;
-  for (const PowerAction& action :
-       plan.actions[static_cast<std::size_t>(me)]) {
+  for (const PowerAction& action : plan.actions[view.row()]) {
     switch (action.kind) {
       case PowerAction::kSend:
-        co_await ops.send_to(action.arg);
+        co_await ops.send_to(view.peer(action.arg));
         break;
       case PowerAction::kRecv:
-        co_await ops.recv_from(action.arg);
+        co_await ops.recv_from(view.peer(action.arg));
         break;
       case PowerAction::kBarrier:
         if (mpi::Governor* gov = self.wait_governor()) {

@@ -59,17 +59,16 @@ sim::Task<> alltoallv_pairwise(mpi::Rank& self, mpi::Comm& comm,
              send.data() + sdispl[static_cast<std::size_t>(me)],
              static_cast<std::size_t>(send_counts[static_cast<std::size_t>(me)]));
 
-  for (const PairStep& step : plan->pair_steps[static_cast<std::size_t>(me)]) {
+  const PlanView view(*plan, me, comm.size());
+  for (const PairStep& step : plan->pair_steps[view.row()]) {
+    const auto dst = static_cast<std::size_t>(view.peer(step.dst));
+    const auto src = static_cast<std::size_t>(view.peer(step.src));
     co_await self.send(
-        comm.global_rank(step.dst), tag,
-        send.subspan(sdispl[static_cast<std::size_t>(step.dst)],
-                     static_cast<std::size_t>(
-                         send_counts[static_cast<std::size_t>(step.dst)])));
+        comm.global_rank(static_cast<int>(dst)), tag,
+        send.subspan(sdispl[dst], static_cast<std::size_t>(send_counts[dst])));
     co_await self.recv(
-        comm.global_rank(step.src), tag,
-        recv.subspan(rdispl[static_cast<std::size_t>(step.src)],
-                     static_cast<std::size_t>(
-                         recv_counts[static_cast<std::size_t>(step.src)])));
+        comm.global_rank(static_cast<int>(src)), tag,
+        recv.subspan(rdispl[src], static_cast<std::size_t>(recv_counts[src])));
   }
 }
 

@@ -19,9 +19,10 @@ sim::Task<> barrier_dissemination(mpi::Rank& self, mpi::Comm& comm) {
 
   std::array<std::byte, 1> token{std::byte{0x42}};
   std::array<std::byte, 1> sink{};
-  for (const PairStep& step : plan->pair_steps[static_cast<std::size_t>(me)]) {
-    co_await self.send(comm.global_rank(step.dst), tag, token);
-    co_await self.recv(comm.global_rank(step.src), tag, sink);
+  const PlanView view(*plan, me, P);
+  for (const PairStep& step : plan->pair_steps[view.row()]) {
+    co_await self.send(comm.global_rank(view.peer(step.dst)), tag, token);
+    co_await self.recv(comm.global_rank(view.peer(step.src)), tag, sink);
   }
 }
 

@@ -48,17 +48,19 @@ sim::Task<> bcast_binomial(mpi::Rank& self, mpi::Comm& comm,
                                 static_cast<Bytes>(buf.size()), root);
 
   // Receive from the parent (the rank that differs in my lowest set bit).
-  const int parent = plan->parent[static_cast<std::size_t>(me)];
+  // Rooted trees never compress, so the view is a plain rank index here.
+  const PlanView view(*plan, me, P);
+  const int parent = plan->parent[view.row()];
   if (parent >= 0) {
-    co_await self.recv(comm.global_rank(parent), tag, buf);
+    co_await self.recv(comm.global_rank(view.peer(parent)), tag, buf);
     if (unthrottle_on_receive) co_await maybe_unthrottle(self);
   } else if (unthrottle_on_receive) {
     co_await maybe_unthrottle(self);
   }
 
   // Forward to children.
-  for (const int child : plan->children[static_cast<std::size_t>(me)]) {
-    co_await self.send(comm.global_rank(child), tag, buf);
+  for (const int child : plan->children[view.row()]) {
+    co_await self.send(comm.global_rank(view.peer(child)), tag, buf);
   }
 }
 

@@ -23,14 +23,25 @@ constexpr int kSocketB = 1;
 /// Pairwise step tables; the same (dst, src) sequence drives both the
 /// alltoall (combined sendrecv on power-of-two comms) and the alltoallv
 /// (always split send + recv) executors.
-void build_pairwise(const mpi::Comm& comm, CollPlan& plan) {
+///
+/// The schedule is a pure function of the rank *difference* (XOR distance
+/// on power-of-two comms, cyclic distance otherwise), so the compressed
+/// layout stores rank 0's row as the single class template and PlanView
+/// shifts it into every other rank's frame.
+void build_pairwise(const mpi::Comm& comm, bool materialized,
+                    CollPlan& plan) {
   const int P = comm.size();
   plan.pairwise_sendrecv =
       plan.kind == PlanKind::kAlltoallPairwise && is_pow2(P);
   plan.action =
       is_pow2(P) ? sym::CollapseAction::kXor : sym::CollapseAction::kCyclic;
-  plan.pair_steps.resize(static_cast<std::size_t>(P));
-  for (int me = 0; me < P; ++me) {
+  const int rows = materialized ? P : 1;
+  if (!materialized) {
+    plan.class_of_rank.assign(static_cast<std::size_t>(P), 0);
+    plan.class_rep.assign(1, 0);
+  }
+  plan.pair_steps.resize(static_cast<std::size_t>(rows));
+  for (int me = 0; me < rows; ++me) {
     auto& steps = plan.pair_steps[static_cast<std::size_t>(me)];
     steps.reserve(static_cast<std::size_t>(P - 1));
     for (int step = 1; step < P; ++step) {
@@ -58,11 +69,17 @@ void build_bruck(const mpi::Comm& comm, CollPlan& plan) {
   }
 }
 
-void build_dissemination(const mpi::Comm& comm, CollPlan& plan) {
+void build_dissemination(const mpi::Comm& comm, bool materialized,
+                         CollPlan& plan) {
   const int P = comm.size();
   plan.action = sym::CollapseAction::kCyclic;
-  plan.pair_steps.resize(static_cast<std::size_t>(P));
-  for (int me = 0; me < P; ++me) {
+  const int rows = materialized ? P : 1;
+  if (!materialized) {
+    plan.class_of_rank.assign(static_cast<std::size_t>(P), 0);
+    plan.class_rep.assign(1, 0);
+  }
+  plan.pair_steps.resize(static_cast<std::size_t>(rows));
+  for (int me = 0; me < rows; ++me) {
     auto& steps = plan.pair_steps[static_cast<std::size_t>(me)];
     for (int dist = 1; dist < P; dist <<= 1) {
       steps.push_back(PairStep{.dst = (me + dist) % P,
@@ -99,18 +116,56 @@ void build_bcast_binomial(const mpi::Comm& comm, int root, CollPlan& plan) {
 }
 
 /// Whether the comm gets the XOR-structured §V schedule instead of the
-/// historical circle-method one. On fat-tree shapes with power-of-two node
-/// and per-node rank counts, every phase's peer pattern can be expressed
-/// through XOR distances, which commute with the XOR translations the
-/// rank-symmetry collapse uses — so huge fabric communicators can run the
-/// proposed scheme collapsed. The flat-switch testbed keeps the circle
-/// tournament byte-identical to the historical schedule.
+/// historical circle-method one. On fat-tree and dragonfly shapes with
+/// power-of-two node and per-node rank counts, every phase's peer pattern
+/// can be expressed through XOR distances, which commute with the XOR
+/// translations the rank-symmetry collapse uses — so huge fabric
+/// communicators can run the proposed scheme collapsed. The flat-switch
+/// testbed keeps the circle tournament byte-identical to the historical
+/// schedule.
 bool power_exchange_is_xor(const mpi::Comm& comm) {
   const auto& shape = comm.runtime().placement().shape;
   const int N = static_cast<int>(comm.nodes().size());
-  return shape.has_fabric() && is_pow2(N) && comm.uniform_ppn() &&
+  return (shape.has_fabric() || shape.dragonfly.enabled()) && is_pow2(N) &&
+         comm.uniform_ppn() &&
          is_pow2(static_cast<int>(
              comm.members_on_node(comm.nodes().front()).size()));
+}
+
+/// Nodes per top-level translation group of the shape: the outermost
+/// fat-tree level's group, a dragonfly group, or the whole comm on a flat
+/// switch. XOR distances that are multiples of this count pair nodes that
+/// are translation images of each other (the merged §V phase-4 rounds).
+int top_group_nodes(const hw::ClusterShape& shape, int comm_nodes) {
+  if (shape.dragonfly.enabled()) return shape.df_nodes_per_group();
+  if (shape.has_fabric()) {
+    return shape.fabric_nodes_per_group(shape.fabric_levels() - 1);
+  }
+  return comm_nodes;
+}
+
+/// Whether comm ranks decompose as rank = node_index * ppn + local_index
+/// with node-invariant socket placement — the layout under which XOR on
+/// ranks is exactly (XOR on node index, XOR on local index), making the
+/// XOR §V schedule's per-rank programs literal XOR translates of each
+/// other. Holds for the standard block placements at full occupancy; the
+/// builder verifies instead of assuming so exotic communicators simply
+/// fall back to materialized tables.
+bool power_exchange_node_major(const mpi::Comm& comm) {
+  const int N = static_cast<int>(comm.nodes().size());
+  const int ppn =
+      static_cast<int>(comm.members_on_node(comm.nodes().front()).size());
+  for (int x = 0; x < N; ++x) {
+    const auto& members =
+        comm.members_on_node(comm.nodes()[static_cast<std::size_t>(x)]);
+    if (static_cast<int>(members.size()) != ppn) return false;
+    for (int j = 0; j < ppn; ++j) {
+      const int rank = members[static_cast<std::size_t>(j)];
+      if (rank != x * ppn + j) return false;
+      if (comm.socket_of(rank) != comm.socket_of(j)) return false;
+    }
+  }
+  return true;
 }
 
 /// The §V power-aware exchange, emitted as a per-rank program instead of
@@ -123,29 +178,33 @@ bool power_exchange_is_xor(const mpi::Comm& comm) {
 /// two sub-steps split socket roles by the lowest set bit of s (bit 0 nodes
 /// lend socket A first) — one socket per node on the wire, the paper's §V
 /// property. The exception: rounds whose distance is a multiple of the
-/// top-level fabric group size pair nodes that are translation images of
-/// each other, where no translation-invariant role split exists, so both
+/// top-level group size pair nodes that are translation images of each
+/// other, where no translation-invariant role split exists, so both
 /// sockets run in one merged sub-step. On a fat-tree those are (groups−1)
 /// of (N−1) rounds — a few percent of the phase.
-void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
+///
+/// Compression: the XOR program of rank me is the XOR translate (by any
+/// multiple of R = group_nodes * ppn) of the program of rank me mod R —
+/// the role split reads only node-index bits below the group size and the
+/// socket map repeats per node — so one template per rank of the first
+/// top-level group suffices. Verified against the actual layout
+/// (power_exchange_node_major); anything else materializes per rank.
+void build_power_exchange(const mpi::Comm& comm, bool materialized,
+                          CollPlan& plan) {
   PACC_EXPECTS(power_aware_alltoall_applicable(comm));
   const int P = comm.size();
   const int N = static_cast<int>(comm.nodes().size());
   const bool xor_sched = power_exchange_is_xor(comm);
   const auto& shape = comm.runtime().placement().shape;
-  const int group_nodes =
-      shape.has_fabric() ? shape.fabric_nodes_per_group(shape.fabric_levels() - 1)
-                         : N;
+  const int group_nodes = top_group_nodes(shape, N);
   plan.action =
       xor_sched ? sym::CollapseAction::kXor : sym::CollapseAction::kNone;
-  plan.actions.resize(static_cast<std::size_t>(P));
 
   auto node_at = [&](int index) {
     return comm.nodes()[static_cast<std::size_t>(index)];
   };
 
-  for (int me = 0; me < P; ++me) {
-    auto& acts = plan.actions[static_cast<std::size_t>(me)];
+  auto emit_program = [&](int me, std::vector<PowerAction>& acts) {
     auto emit = [&acts](PowerAction::Kind kind, std::int32_t arg = 0) {
       acts.push_back(PowerAction{kind, arg});
     };
@@ -185,7 +244,8 @@ void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
     if (my_socket == kSocketA) {
       for (int off = 1; off < N; ++off) {
         const int to_node = node_at(xor_sched ? ni ^ off : (ni + off) % N);
-        const int from_node = node_at(xor_sched ? ni ^ off : (ni - off + N) % N);
+        const int from_node =
+            node_at(xor_sched ? ni ^ off : (ni - off + N) % N);
         for (const int peer : comm.socket_group(to_node, kSocketA)) {
           emit(PowerAction::kSend, peer);
         }
@@ -205,7 +265,8 @@ void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
       emit(PowerAction::kEnsureUnthrottled);
       for (int off = 1; off < N; ++off) {
         const int to_node = node_at(xor_sched ? ni ^ off : (ni + off) % N);
-        const int from_node = node_at(xor_sched ? ni ^ off : (ni - off + N) % N);
+        const int from_node =
+            node_at(xor_sched ? ni ^ off : (ni - off + N) % N);
         for (const int peer : comm.socket_group(to_node, kSocketB)) {
           emit(PowerAction::kSend, peer);
         }
@@ -257,7 +318,7 @@ void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
       }
       emit(PowerAction::kPhaseEnd);
       emit(PowerAction::kEnsureUnthrottled);
-      continue;
+      return;
     }
     const int rounds = tournament_rounds(N);
     for (int round = 0; round < rounds; ++round) {
@@ -302,14 +363,96 @@ void build_power_exchange(const mpi::Comm& comm, CollPlan& plan) {
 
     // Restore T0 before returning to the application.
     emit(PowerAction::kEnsureUnthrottled);
+  };
+
+  const int ppn =
+      static_cast<int>(comm.members_on_node(comm.nodes().front()).size());
+  const int class_count = group_nodes * ppn;
+  const bool compress = !materialized && xor_sched && class_count < P &&
+                        is_pow2(class_count) &&
+                        power_exchange_node_major(comm);
+  if (compress) {
+    plan.class_of_rank.resize(static_cast<std::size_t>(P));
+    for (int me = 0; me < P; ++me) {
+      plan.class_of_rank[static_cast<std::size_t>(me)] =
+          me & (class_count - 1);
+    }
+    plan.class_rep.resize(static_cast<std::size_t>(class_count));
+    plan.actions.resize(static_cast<std::size_t>(class_count));
+    for (int rep = 0; rep < class_count; ++rep) {
+      plan.class_rep[static_cast<std::size_t>(rep)] = rep;
+      emit_program(rep, plan.actions[static_cast<std::size_t>(rep)]);
+      plan.actions[static_cast<std::size_t>(rep)].shrink_to_fit();
+    }
+    return;
   }
+  plan.actions.resize(static_cast<std::size_t>(P));
+  for (int me = 0; me < P; ++me) {
+    emit_program(me, plan.actions[static_cast<std::size_t>(me)]);
+    plan.actions[static_cast<std::size_t>(me)].shrink_to_fit();
+  }
+}
+
+PlanPtr build_plan_impl(const mpi::Comm& comm, PlanKind kind, int root,
+                        bool materialized) {
+  auto plan = std::make_shared<CollPlan>();
+  plan->kind = kind;
+  switch (kind) {
+    case PlanKind::kAlltoallPairwise:
+    case PlanKind::kAlltoallvPairwise:
+      build_pairwise(comm, materialized, *plan);
+      break;
+    case PlanKind::kAlltoallBruck:
+      build_bruck(comm, *plan);
+      break;
+    case PlanKind::kPowerExchange:
+      build_power_exchange(comm, materialized, *plan);
+      break;
+    case PlanKind::kBcastBinomial:
+      build_bcast_binomial(comm, root, *plan);
+      break;
+    case PlanKind::kBarrierDissemination:
+      build_dissemination(comm, materialized, *plan);
+      break;
+    case PlanKind::kBcastTreeSeg:
+    case PlanKind::kReduceTreeSeg:
+      // Tree plans carry extra knobs (tree shape, segment size, power
+      // twin); this generic entry point builds the unsegmented binomial
+      // power-off default. Trees single ranks out, so their tables are
+      // rank-indexed in both layouts. Use build_tree_plan for the full
+      // surface.
+      return build_tree_plan(comm, kind, TreeKind::kBinomial, /*bytes=*/0,
+                             /*seg=*/0, /*power=*/false, root);
+  }
+  return plan;
 }
 
 }  // namespace
 
+// ------------------------------------------------------------- CollPlan --
+
+std::size_t CollPlan::bytes() const {
+  std::size_t b = sizeof(CollPlan);
+  b += class_of_rank.capacity() * sizeof(std::int32_t);
+  b += class_rep.capacity() * sizeof(std::int32_t);
+  b += pair_steps.capacity() * sizeof(std::vector<PairStep>);
+  for (const auto& v : pair_steps) b += v.capacity() * sizeof(PairStep);
+  b += bruck_rounds.capacity() * sizeof(std::vector<std::int32_t>);
+  for (const auto& v : bruck_rounds) {
+    b += v.capacity() * sizeof(std::int32_t);
+  }
+  b += parent.capacity() * sizeof(std::int32_t);
+  b += children.capacity() * sizeof(std::vector<std::int32_t>);
+  for (const auto& v : children) b += v.capacity() * sizeof(std::int32_t);
+  b += actions.capacity() * sizeof(std::vector<PowerAction>);
+  for (const auto& v : actions) b += v.capacity() * sizeof(PowerAction);
+  return b;
+}
+
 // ------------------------------------------------------------ PlanCache --
 
-PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+PlanCache::PlanCache(std::size_t capacity, std::size_t capacity_bytes)
+    : capacity_(capacity), capacity_bytes_(capacity_bytes) {
   PACC_EXPECTS(capacity >= 1);
 }
 
@@ -326,19 +469,39 @@ PlanPtr PlanCache::lookup(const PlanKey& key) {
 }
 
 void PlanCache::insert(const PlanKey& key, PlanPtr plan) {
+  const std::size_t plan_bytes = plan == nullptr ? 0 : plan->bytes();
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
+    bytes_ -= it->second.bytes;
     it->second.plan = std::move(plan);
+    it->second.bytes = plan_bytes;
+    bytes_ += plan_bytes;
     lru_.splice(lru_.begin(), lru_, it->second.pos);
+    evict_over_budget_locked();
     return;
   }
   lru_.push_front(key);
-  map_.emplace(key, Entry{std::move(plan), lru_.begin()});
-  if (map_.size() > capacity_) {
-    map_.erase(lru_.back());
+  map_.emplace(key, Entry{std::move(plan), plan_bytes, lru_.begin()});
+  bytes_ += plan_bytes;
+  evict_over_budget_locked();
+}
+
+void PlanCache::evict_over_budget_locked() {
+  while (map_.size() > 1 &&
+         (map_.size() > capacity_ ||
+          (capacity_bytes_ != 0 && bytes_ > capacity_bytes_))) {
+    const auto victim = map_.find(lru_.back());
+    PACC_ASSERT(victim != map_.end());
+    bytes_ -= victim->second.bytes;
+    map_.erase(victim);
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (bytes_ > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, bytes_,
+                                            std::memory_order_relaxed)) {
   }
 }
 
@@ -347,44 +510,31 @@ std::size_t PlanCache::size() const {
   return map_.size();
 }
 
+std::size_t PlanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
 // ---------------------------------------------------------- build/fetch --
 
 PlanPtr build_plan(const mpi::Comm& comm, PlanKind kind, int root) {
-  auto plan = std::make_shared<CollPlan>();
-  plan->kind = kind;
-  switch (kind) {
-    case PlanKind::kAlltoallPairwise:
-    case PlanKind::kAlltoallvPairwise:
-      build_pairwise(comm, *plan);
-      break;
-    case PlanKind::kAlltoallBruck:
-      build_bruck(comm, *plan);
-      break;
-    case PlanKind::kPowerExchange:
-      build_power_exchange(comm, *plan);
-      break;
-    case PlanKind::kBcastBinomial:
-      build_bcast_binomial(comm, root, *plan);
-      break;
-    case PlanKind::kBarrierDissemination:
-      build_dissemination(comm, *plan);
-      break;
-    case PlanKind::kBcastTreeSeg:
-    case PlanKind::kReduceTreeSeg:
-      // Tree plans carry extra knobs (tree shape, segment size, power
-      // twin); this generic entry point builds the unsegmented binomial
-      // power-off default. Use build_tree_plan for the full surface.
-      return build_tree_plan(comm, kind, TreeKind::kBinomial, /*bytes=*/0,
-                             /*seg=*/0, /*power=*/false, root);
-  }
-  return plan;
+  return build_plan_impl(comm, kind, root,
+                         comm.runtime().params().materialized_plans);
+}
+
+PlanPtr build_plan_materialized(const mpi::Comm& comm, PlanKind kind,
+                                int root) {
+  return build_plan_impl(comm, kind, root, /*materialized=*/true);
 }
 
 PlanPtr get_plan(mpi::Comm& comm, PlanKind kind, Bytes bytes, int root) {
-  const PlanKey key{.comm_fingerprint = comm.structure_fingerprint(),
-                    .kind = kind,
-                    .bytes = bytes,
-                    .root = root};
+  const bool materialized = comm.runtime().params().materialized_plans;
+  const PlanKey key{
+      .comm_fingerprint = comm.structure_fingerprint(),
+      .kind = kind,
+      .bytes = plan_kind_size_keyed(kind) ? bytes : 0,
+      .root = root,
+      .variant = materialized ? kPlanVariantMaterialized : std::uint8_t{0}};
   PlanCache* cache = comm.runtime().plan_cache().get();
   if (cache != nullptr) {
     if (PlanPtr cached = cache->lookup(key)) return cached;

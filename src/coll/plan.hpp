@@ -1,13 +1,25 @@
 // Collective plan cache: pure build / cheap execute for the schedule
 // tables the collective algorithms otherwise re-derive on every call.
 //
-// A plan is the rank-indexed, immutable description of one leaf algorithm's
-// communication schedule on one communicator: pairwise (dst, src) step
-// tables, Bruck round index sets, binomial parent/children trees, and — for
-// the paper's power-aware exchange — the full per-rank program of sends,
-// receives, node rendezvous and throttle transitions (§V). Building a plan
-// is pure (no simulated time, no events), so executing from a cached plan
-// is byte-identical to the historical compute-as-you-go paths.
+// A plan is the immutable description of one leaf algorithm's communication
+// schedule on one communicator: pairwise (dst, src) step tables, Bruck
+// round index sets, binomial parent/children trees, and — for the paper's
+// power-aware exchange — the full program of sends, receives, node
+// rendezvous and throttle transitions (§V). Building a plan is pure (no
+// simulated time, no events), so executing from a cached plan is
+// byte-identical to the historical compute-as-you-go paths.
+//
+// Schedules whose per-rank programs are images of each other under the
+// group action they commute with (see CollPlan::action) are stored
+// *compressed*: one canonical template per symmetry class plus a
+// class_of_rank map, and executors relabel template peers through a
+// PlanView on the fly. A fully XOR-symmetric schedule — the power-of-two
+// pairwise exchange, the dissemination barrier — collapses to a single
+// template; the §V exchange collapses to one template per rank of the
+// top-level fabric group. At 16384 ranks this takes the proposed-alltoall
+// plan from ~1.3 GB of materialized programs to tens of megabytes. The
+// historical rank-indexed layout stays available behind
+// RuntimeParams::materialized_plans for the equivalence suite.
 //
 // Plans are memoized in a thread-safe LRU keyed on (communicator
 // fingerprint, algorithm, bytes, root). The fingerprint folds in the
@@ -45,14 +57,29 @@ enum class PlanKind : std::uint8_t {
   kReduceTreeSeg,  ///< segmented tree reduce (coll/tree.hpp)
 };
 
+/// PlanKey::variant bit marking a plan built with materialized (per-rank)
+/// tables, so the equivalence suite can hold both layouts in one shared
+/// cache without collisions. Tree variants pack TreeKind + the power bit
+/// into the low bits and 0x80; 0x40 is free.
+inline constexpr std::uint8_t kPlanVariantMaterialized = 0x40;
+
+/// Whether a kind's schedule depends on the message size. Size-invariant
+/// kinds are cached with bytes = 0 so every message size of a sweep shares
+/// one entry instead of duplicating identical tables per size.
+constexpr bool plan_kind_size_keyed(PlanKind kind) {
+  return kind == PlanKind::kPowerExchange ||
+         kind == PlanKind::kBcastTreeSeg || kind == PlanKind::kReduceTreeSeg;
+}
+
 struct PlanKey {
   std::uint64_t comm_fingerprint = 0;
   PlanKind kind = PlanKind::kAlltoallPairwise;
-  Bytes bytes = 0;  ///< call size; schedules are size-invariant but the
-                    ///< key keeps sizes distinct for exact attribution
+  Bytes bytes = 0;  ///< call size for size-keyed kinds (kPowerExchange and
+                    ///< the segmented trees); 0 for size-invariant kinds
   std::int32_t root = 0;
   Bytes seg = 0;             ///< segment size (tree variants; 0 otherwise)
-  std::uint8_t variant = 0;  ///< packed TreeKind + power bit (tree variants)
+  std::uint8_t variant = 0;  ///< packed TreeKind + power bit (tree
+                             ///< variants) | kPlanVariantMaterialized
 
   bool operator==(const PlanKey&) const = default;
 };
@@ -96,10 +123,28 @@ struct PairStep {
 };
 
 /// Immutable schedule tables for one (comm, kind, root) tuple. Only the
-/// section matching the kind is populated; everything is indexed by comm
-/// rank where per-rank.
+/// section matching the kind is populated.
+///
+/// Tables come in two layouts. *Materialized*: class_of_rank is empty and
+/// pair_steps / actions hold one row per comm rank, indexed by rank —
+/// the historical representation. *Compressed*: class_of_rank maps every
+/// comm rank to a symmetry class, class_rep names the representative rank
+/// whose canonical program the class shares, and pair_steps / actions hold
+/// one template row per class. A rank executes its class template with
+/// every kSend/kRecv peer (and PairStep dst/src) relabelled from the
+/// representative's frame into its own — XOR with (me ^ rep) for kXor
+/// schedules, +(me − rep) mod P for kCyclic ones. PlanView packages that
+/// lookup + relabelling. parent/children (rooted trees) and bruck_rounds
+/// (rank-invariant) never compress: trees single ranks out, Bruck already
+/// stores no per-rank state.
 struct CollPlan {
   PlanKind kind = PlanKind::kAlltoallPairwise;
+  /// Compressed layout: class index per comm rank; empty = materialized
+  /// (rows below are indexed by rank, no relabelling).
+  std::vector<std::int32_t> class_of_rank;
+  /// Representative comm rank per class (the rank the template is
+  /// canonical for). Same length as the populated per-class table.
+  std::vector<std::int32_t> class_rep;
   /// kAlltoallPairwise / kAlltoallvPairwise / kBarrierDissemination.
   std::vector<std::vector<PairStep>> pair_steps;
   /// Power-of-two pairwise alltoall exchanges both directions in one
@@ -108,19 +153,74 @@ struct CollPlan {
   /// kAlltoallBruck: block indices moved in each round (rank-invariant).
   std::vector<std::vector<std::int32_t>> bruck_rounds;
   /// kBcastBinomial: parent comm rank (-1 at the root) and children in
-  /// send order.
+  /// send order. Always rank-indexed.
   std::vector<std::int32_t> parent;
   std::vector<std::vector<std::int32_t>> children;
-  /// kPowerExchange: per-rank interpreter program.
+  /// kPowerExchange: interpreter program per rank (materialized) or per
+  /// class (compressed).
   std::vector<std::vector<PowerAction>> actions;
   /// Group action the schedule commutes with (kXor for the power-of-two
   /// pairwise exchange, kCyclic for distance-based schedules, kNone when
   /// the schedule singles ranks out). Executors stamp this on the running
-  /// rank so a collapsed runtime can relabel cross-group traffic.
+  /// rank so a collapsed runtime can relabel cross-group traffic; the
+  /// compressed layout reuses it as the class relabelling rule.
   sym::CollapseAction action = sym::CollapseAction::kNone;
+
+  /// Estimated resident footprint in bytes (tables + vector headers).
+  /// Deterministic for a given build path; used by the PlanCache's
+  /// byte-based accounting and the plan_memory bench section.
+  std::size_t bytes() const;
 };
 
 using PlanPtr = std::shared_ptr<const CollPlan>;
+
+/// Cheap rank-relabelling view: resolves the executing rank's row in a
+/// plan's tables and maps template peers into the rank's own frame.
+/// Constructing one costs two array reads; peer() is branch-on-enum
+/// arithmetic. On a materialized plan it degenerates to row = me,
+/// peer = identity, so executors use it unconditionally.
+class PlanView {
+ public:
+  PlanView(const CollPlan& plan, int me, int comm_size)
+      : me_(me), size_(comm_size) {
+    if (plan.class_of_rank.empty()) {
+      row_ = static_cast<std::size_t>(me);
+      rep_ = me;
+    } else {
+      row_ = static_cast<std::size_t>(
+          plan.class_of_rank[static_cast<std::size_t>(me)]);
+      rep_ = plan.class_rep[row_];
+    }
+    action_ = rep_ == me ? sym::CollapseAction::kNone : plan.action;
+  }
+
+  /// Index of the executing rank's row in pair_steps / actions.
+  std::size_t row() const { return row_; }
+
+  /// A template peer rank, relabelled into the executing rank's frame.
+  std::int32_t peer(std::int32_t p) const {
+    switch (action_) {
+      case sym::CollapseAction::kNone:
+        return p;
+      case sym::CollapseAction::kXor:
+        return p ^ (me_ ^ rep_);
+      case sym::CollapseAction::kCyclic: {
+        const std::int32_t shifted = p + me_ - rep_;
+        if (shifted >= size_) return shifted - size_;
+        if (shifted < 0) return shifted + size_;
+        return shifted;
+      }
+    }
+    return p;
+  }
+
+ private:
+  int me_;
+  int size_;
+  int rep_;
+  std::size_t row_ = 0;
+  sym::CollapseAction action_ = sym::CollapseAction::kNone;
+};
 
 /// Phase labels the kPowerExchange interpreter emits (index = PhaseBegin
 /// arg); shared with the historical inline spans byte-for-byte.
@@ -128,17 +228,21 @@ extern const char* const kPowerPhaseNames[4];
 
 /// Thread-safe LRU of built plans. Lookup and insert are O(1); plans are
 /// immutable shared_ptrs, so a plan evicted while a rank still walks it
-/// simply outlives its cache entry.
+/// simply outlives its cache entry. Eviction is driven by both an entry
+/// count and (optionally) a byte budget over CollPlan::bytes().
 class PlanCache {
  public:
-  explicit PlanCache(std::size_t capacity = 256);
+  /// capacity_bytes = 0 disables the byte budget (entry cap only).
+  explicit PlanCache(std::size_t capacity = 256,
+                     std::size_t capacity_bytes = 0);
 
   /// The cached plan, refreshing its LRU position — or nullptr on a miss.
   PlanPtr lookup(const PlanKey& key);
 
-  /// Inserts (or replaces) the plan, evicting the least recently used
-  /// entry beyond capacity. Concurrent builders of the same key may both
-  /// insert; the plans are identical so last-write-wins is harmless.
+  /// Inserts (or replaces) the plan, evicting least recently used entries
+  /// beyond the entry or byte capacity (always keeping the new entry).
+  /// Concurrent builders of the same key may both insert; the plans are
+  /// identical so last-write-wins is harmless.
   void insert(const PlanKey& key, PlanPtr plan);
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -150,31 +254,51 @@ class PlanCache {
   }
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  /// Resident bytes across cached plans / the high-water mark / the budget.
+  std::size_t bytes() const;
+  std::size_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
 
  private:
   struct Entry {
     PlanPtr plan;
+    std::size_t bytes = 0;
     std::list<PlanKey>::iterator pos;
   };
 
+  void evict_over_budget_locked();
+
   mutable std::mutex mu_;
   std::size_t capacity_;
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
   std::list<PlanKey> lru_;  ///< front = most recently used
   std::unordered_map<PlanKey, Entry, PlanKeyHash> map_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
 };
 
 /// Pure plan construction — no cache, no simulated side effects. `root`
-/// matters only for kBcastBinomial.
+/// matters only for kBcastBinomial. Emits the compressed layout where the
+/// schedule's symmetry allows, unless the runtime was configured with
+/// materialized_plans.
 PlanPtr build_plan(const mpi::Comm& comm, PlanKind kind, int root = 0);
+
+/// build_plan with the historical rank-indexed tables forced, regardless
+/// of RuntimeParams::materialized_plans. Equivalence suite / debugging.
+PlanPtr build_plan_materialized(const mpi::Comm& comm, PlanKind kind,
+                                int root = 0);
 
 /// Cache-aware fetch: looks up the runtime's shared cache (every member of
 /// a matched call maps to the same key, so the first rank's build serves
 /// the whole communicator and every later iteration or sweep cell),
-/// building and inserting on a miss. Falls back to an uncached build when
-/// the runtime has no cache attached. Costs zero simulated time.
+/// building and inserting on a miss. Size-invariant kinds are keyed with
+/// bytes = 0 (see plan_kind_size_keyed). Falls back to an uncached build
+/// when the runtime has no cache attached. Costs zero simulated time.
 PlanPtr get_plan(mpi::Comm& comm, PlanKind kind, Bytes bytes, int root = 0);
 
 }  // namespace pacc::coll

@@ -222,16 +222,19 @@ void FaultInjector::arm() {
     const auto& shape = machine_.shape();
     const bool rack_layer =
         shape.has_racks() && network_.params().rack_bandwidth > 0.0;
-    flap_units_ = shape.nodes + (rack_layer ? shape.racks() : 0);
+    // Flappable fabric units, in id order: every node's HCA, then the rack
+    // aggregation links (legacy shapes), then — on dragonfly shapes — every
+    // router's local link pair and every group's global link pair.
+    flap_units_ = shape.nodes + (rack_layer ? shape.racks() : 0) +
+                  (shape.has_dragonfly()
+                       ? shape.df_routers_total() + shape.df_groups()
+                       : 0);
     flap_event_.assign(static_cast<std::size_t>(flap_units_), 0);
     flap_count_.assign(static_cast<std::size_t>(flap_units_), 0);
     if (auto* tr = engine_.tracer()) {
       for (int u = 0; u < flap_units_; ++u) {
-        tr->set_track_name(
-            obs::TrackId{kFabricTrackPid, u},
-            u < shape.nodes
-                ? "hca node " + std::to_string(u)
-                : "rack link " + std::to_string(u - shape.nodes));
+        tr->set_track_name(obs::TrackId{kFabricTrackPid, u},
+                           unit_label(u) + " " + std::to_string(unit_index(u)));
       }
     }
     for (int u = 0; u < flap_units_; ++u) schedule_flap(u);
@@ -332,20 +335,51 @@ void FaultInjector::end_outage(int unit, TimePoint began) {
   flap_event_[u] = 0;
   apply_unit_efficiency(unit, 1.0);
   if (auto* tr = engine_.tracer()) {
-    const int nodes = machine_.shape().nodes;
-    tr->complete_span(obs::TrackId{kFabricTrackPid, unit},
-                      unit < nodes ? "hca_down" : "rack_down", "fault", began,
-                      {{"unit", unit < nodes ? unit : unit - nodes}});
+    tr->complete_span(obs::TrackId{kFabricTrackPid, unit}, unit_span(unit),
+                      "fault", began, {{"unit", unit_index(unit)}});
   }
   schedule_flap(unit);
 }
 
+std::string FaultInjector::unit_label(int unit) const {
+  const auto& shape = machine_.shape();
+  int u = unit - shape.nodes;
+  if (u < 0) return "hca node";
+  if (!shape.has_dragonfly()) return "rack link";
+  if (u < shape.df_routers_total()) return "df router";
+  return "df global";
+}
+
+const char* FaultInjector::unit_span(int unit) const {
+  const auto& shape = machine_.shape();
+  int u = unit - shape.nodes;
+  if (u < 0) return "hca_down";
+  if (!shape.has_dragonfly()) return "rack_down";
+  if (u < shape.df_routers_total()) return "df_router_down";
+  return "df_global_down";
+}
+
+int FaultInjector::unit_index(int unit) const {
+  const auto& shape = machine_.shape();
+  int u = unit - shape.nodes;
+  if (u < 0) return unit;
+  if (!shape.has_dragonfly()) return u;
+  if (u < shape.df_routers_total()) return u;
+  return u - shape.df_routers_total();
+}
+
 void FaultInjector::apply_unit_efficiency(int unit, double efficiency) {
-  const int nodes = machine_.shape().nodes;
-  if (unit < nodes) {
+  const auto& shape = machine_.shape();
+  const int u = unit - shape.nodes;
+  if (u < 0) {
     network_.set_hca_efficiency(unit, efficiency);
+  } else if (!shape.has_dragonfly()) {
+    network_.set_rack_efficiency(u, efficiency);
+  } else if (u < shape.df_routers_total()) {
+    network_.set_dragonfly_router_efficiency(u, efficiency);
   } else {
-    network_.set_rack_efficiency(unit - nodes, efficiency);
+    network_.set_dragonfly_global_efficiency(u - shape.df_routers_total(),
+                                             efficiency);
   }
 }
 

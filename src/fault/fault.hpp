@@ -172,6 +172,11 @@ class FaultInjector {
   void begin_outage(int unit);
   void end_outage(int unit, TimePoint began);
   void apply_unit_efficiency(int unit, double efficiency);
+  /// Flap-unit decomposition (HCA / rack link / dragonfly router /
+  /// dragonfly global link): trace label, outage span name, local index.
+  std::string unit_label(int unit) const;
+  const char* unit_span(int unit) const;
+  int unit_index(int unit) const;
   double u01(std::uint64_t category, std::uint64_t entity,
              std::uint64_t draw) const;
 

@@ -21,10 +21,34 @@ double ClusterShape::fabric_link_bandwidth(int level,
          spec.oversubscription;
 }
 
+double ClusterShape::df_local_bandwidth(double node_link_bandwidth) const {
+  if (dragonfly.local_bandwidth > 0.0) return dragonfly.local_bandwidth;
+  // A router's local links carry its hosted nodes' aggregate HCA bandwidth
+  // into the group's all-to-all mesh.
+  return node_link_bandwidth * dragonfly.nodes_per_router;
+}
+
+double ClusterShape::df_global_bandwidth(double node_link_bandwidth) const {
+  if (dragonfly.global_bandwidth > 0.0) return dragonfly.global_bandwidth;
+  // The group's global link carries the whole group's aggregate.
+  return node_link_bandwidth * df_nodes_per_group();
+}
+
 bool ClusterShape::valid() const {
   if (!(nodes >= 1 && sockets_per_node >= 1 && cores_per_socket >= 1 &&
         nodes_per_rack >= 0)) {
     return false;
+  }
+  if (dragonfly.enabled()) {
+    // Dragonfly replaces both the fat-tree fabric and the rack layer.
+    if (!fabric.empty() || nodes_per_rack != 0) return false;
+    if (dragonfly.routers_per_group < 1 || dragonfly.nodes_per_router < 1 ||
+        dragonfly.local_bandwidth < 0.0 || dragonfly.global_bandwidth < 0.0) {
+      return false;
+    }
+    const int per_group = df_nodes_per_group();
+    if (per_group > nodes || nodes % per_group != 0) return false;
+    return true;
   }
   if (fabric.empty()) return true;
   if (nodes_per_rack != 0) return false;  // fabric replaces the rack layer

@@ -34,6 +34,35 @@ struct FabricLevelSpec {
                          const FabricLevelSpec&) = default;
 };
 
+/// Dragonfly interconnect: groups of routers wired all-to-all locally,
+/// with every group holding one global link to the (logically all-to-all)
+/// inter-group optical plane. Each router hosts `nodes_per_router` nodes;
+/// a group spans `routers_per_group` routers; the group count is derived
+/// as nodes / (routers_per_group * nodes_per_router).
+///
+/// Routing is `minimal` by default — node HCA, source router, source
+/// group's global link, destination group's global link, destination
+/// router, destination HCA — or `adaptive`, which detours cross-group
+/// traffic through a deterministic Valiant intermediate group to spread
+/// load over the global plane. Adaptive paths depend on absolute group
+/// ids, so they break group-translation symmetry and refuse the
+/// rank-symmetry collapse (sym::decide reports why).
+struct DragonflySpec {
+  int routers_per_group = 0;  ///< routers per group; 0 disables dragonfly
+  int nodes_per_router = 1;
+  bool adaptive = false;      ///< Valiant-style non-minimal routing
+  /// Per-direction link bandwidth overrides (bytes/sec); 0 derives from
+  /// the node HCA bandwidth: local router links carry their router's
+  /// aggregate, global links the whole group's.
+  double local_bandwidth = 0.0;
+  double global_bandwidth = 0.0;
+
+  bool enabled() const { return routers_per_group > 0; }
+
+  friend bool operator==(const DragonflySpec&,
+                         const DragonflySpec&) = default;
+};
+
 struct ClusterShape {
   int nodes = 8;
   int sockets_per_node = 2;
@@ -51,6 +80,12 @@ struct ClusterShape {
   /// grouped consecutively at every level, and the product of the level
   /// group sizes must divide `nodes` evenly.
   std::vector<FabricLevelSpec> fabric;
+
+  /// Dragonfly interconnect (see DragonflySpec). Mutually exclusive with
+  /// both the fat-tree `fabric` and the rack layer; nodes are assigned to
+  /// routers (and routers to groups) consecutively, and
+  /// routers_per_group * nodes_per_router must divide `nodes` evenly.
+  DragonflySpec dragonfly;
 
   int cores_per_node() const { return sockets_per_node * cores_per_socket; }
   int total_cores() const { return nodes * cores_per_node(); }
@@ -79,6 +114,24 @@ struct ClusterShape {
   /// Derived (or explicit) per-direction aggregation-link bandwidth of one
   /// level-ℓ group, given the per-node HCA link bandwidth.
   double fabric_link_bandwidth(int level, double node_link_bandwidth) const;
+
+  bool has_dragonfly() const { return dragonfly.enabled(); }
+  int df_nodes_per_group() const {
+    return dragonfly.routers_per_group * dragonfly.nodes_per_router;
+  }
+  int df_groups() const { return nodes / df_nodes_per_group(); }
+  int df_routers_total() const {
+    return df_groups() * dragonfly.routers_per_group;
+  }
+  /// Global router index of `node` (routers numbered group-major).
+  int df_router_of(int node) const {
+    return node / dragonfly.nodes_per_router;
+  }
+  int df_group_of(int node) const { return node / df_nodes_per_group(); }
+  /// Derived (or explicit) per-direction bandwidth of one router's local
+  /// links / one group's global link, given the node HCA bandwidth.
+  double df_local_bandwidth(double node_link_bandwidth) const;
+  double df_global_bandwidth(double node_link_bandwidth) const;
 
   bool valid() const;
 };

@@ -183,6 +183,18 @@ std::uint64_t Comm::structure_fingerprint() const {
     mix(std::bit_cast<std::uint64_t>(level.oversubscription));
     mix(std::bit_cast<std::uint64_t>(level.bandwidth));
   }
+  // Dragonfly structure and routing mode; mixed only when enabled (behind
+  // a marker) so every pre-dragonfly fingerprint — and the plan-cache /
+  // tuned-table baselines keyed on them — is unchanged.
+  if (placement.shape.has_dragonfly()) {
+    const hw::DragonflySpec& df = placement.shape.dragonfly;
+    mix(0xd7a60f1eull);  // dragonfly marker
+    mix(static_cast<std::uint64_t>(df.routers_per_group));
+    mix(static_cast<std::uint64_t>(df.nodes_per_router));
+    mix(static_cast<std::uint64_t>(df.adaptive ? 1 : 0));
+    mix(std::bit_cast<std::uint64_t>(df.local_bandwidth));
+    mix(std::bit_cast<std::uint64_t>(df.global_bandwidth));
+  }
   mix(static_cast<std::uint64_t>(members_.size()));
   for (const int g : members_) {
     mix(static_cast<std::uint64_t>(g));

@@ -83,6 +83,11 @@ struct RuntimeParams {
   /// destination's class, over the fabric links the original would have
   /// loaded. 1 = the normal 1:1 runtime.
   int collapse_multiplicity = 1;
+  /// Build collective plans with the historical rank-indexed tables
+  /// instead of class-compressed schedule templates (coll/plan.hpp). The
+  /// two layouts execute byte-identically; the materialized one exists for
+  /// the equivalence suite and costs O(ranks) memory per plan.
+  bool materialized_plans = false;
   /// Quiescence-watchdog thresholds (sim/watchdog.hpp). The Runtime does
   /// not build the watchdog itself — the Simulation does, for faulted runs
   /// only — but the thresholds travel with the runtime parameters so every

@@ -27,6 +27,11 @@ FlowNetwork::FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
     fabric_link_base_.push_back(static_cast<int>(link_count));
     link_count += static_cast<std::size_t>(2 * shape_.fabric_groups(level));
   }
+  df_link_base_ = static_cast<int>(link_count);
+  if (shape_.has_dragonfly()) {
+    link_count += static_cast<std::size_t>(2 * shape_.df_routers_total() +
+                                           2 * shape_.df_groups());
+  }
   link_bandwidth_.assign(link_count, 0.0);
   for (int n = 0; n < shape_.nodes; ++n) {
     link_bandwidth_[static_cast<std::size_t>(uplink(n))] =
@@ -49,6 +54,23 @@ FlowNetwork::FlowNetwork(sim::Engine& engine, hw::ClusterShape shape,
       link_bandwidth_[static_cast<std::size_t>(fabric_uplink(level, g))] = bw;
       link_bandwidth_[static_cast<std::size_t>(fabric_downlink(level, g))] =
           bw;
+    }
+  }
+  if (shape_.has_dragonfly()) {
+    const double local_bw = shape_.df_local_bandwidth(params_.link_bandwidth);
+    const double global_bw =
+        shape_.df_global_bandwidth(params_.link_bandwidth);
+    for (int r = 0; r < shape_.df_routers_total(); ++r) {
+      link_bandwidth_[static_cast<std::size_t>(df_router_uplink(r))] =
+          local_bw;
+      link_bandwidth_[static_cast<std::size_t>(df_router_downlink(r))] =
+          local_bw;
+    }
+    for (int g = 0; g < shape_.df_groups(); ++g) {
+      link_bandwidth_[static_cast<std::size_t>(df_global_uplink(g))] =
+          global_bw;
+      link_bandwidth_[static_cast<std::size_t>(df_global_downlink(g))] =
+          global_bw;
     }
   }
   link_efficiency_.assign(link_count, 1.0);
@@ -160,6 +182,41 @@ FlowNetwork::FlowHandle FlowNetwork::start_flow(int src_node, int dst_node,
                          wire_multiplier, std::move(on_delivered), via_top);
 }
 
+int FlowNetwork::dragonfly_links(int src_node, int dst_node, bool via_top,
+                                 std::int32_t* out) const {
+  const int sr = shape_.df_router_of(src_node);
+  const int dr = shape_.df_router_of(dst_node);
+  const int sg = shape_.df_group_of(src_node);
+  const int dg = shape_.df_group_of(dst_node);
+  int n = 0;
+  if (sr == dr && !via_top) return 0;  // same router: HCA links only
+  if (sg == dg && !via_top) {
+    // Group-local: one hop over the group's all-to-all router mesh.
+    out[n++] = df_router_uplink(sr);
+    out[n++] = df_router_downlink(dr);
+    return n;
+  }
+  // Cross-group (or the collapse's forced representative path): source
+  // router into the mesh, source group's global link out, destination
+  // group's global link in, destination router out of the mesh.
+  out[n++] = df_router_uplink(sr);
+  out[n++] = df_global_uplink(sg);
+  const int groups = shape_.df_groups();
+  if (shape_.dragonfly.adaptive && !via_top && sg != dg && groups >= 3) {
+    // Valiant detour: land in a deterministic intermediate group and
+    // re-emerge onto the global plane. The intermediate is the first
+    // group after the source that is neither endpoint — deterministic, so
+    // runs stay byte-identical at any job count.
+    int mid = (sg + 1) % groups;
+    while (mid == sg || mid == dg) mid = (mid + 1) % groups;
+    out[n++] = df_global_downlink(mid);
+    out[n++] = df_global_uplink(mid);
+  }
+  out[n++] = df_global_downlink(dg);
+  out[n++] = df_router_downlink(dr);
+  return n;
+}
+
 void FlowNetwork::route_flow(Flow& flow, int src_node, int dst_node,
                              bool force_loopback, bool via_top) const {
   if (src_node == dst_node && !force_loopback && !via_top) {
@@ -173,6 +230,11 @@ void FlowNetwork::route_flow(Flow& flow, int src_node, int dst_node,
   flow.links[0] = uplink(src_node);
   flow.links[1] = downlink(dst_node);
   flow.nlinks = 2;
+  if (shape_.has_dragonfly()) {
+    flow.nlinks = static_cast<std::uint8_t>(
+        2 + dragonfly_links(src_node, dst_node, via_top, flow.links + 2));
+    return;
+  }
   if (shape_.has_fabric()) {
     // Climb level by level until the endpoints share a group (or, via_top,
     // all the way to the core crossbar): each level crossed costs the
@@ -540,6 +602,14 @@ bool FlowNetwork::path_up(int src_node, int dst_node,
     return link_efficiency_[static_cast<std::size_t>(link)] > 0.0;
   };
   if (!up(uplink(src_node)) || !up(downlink(dst_node))) return false;
+  if (shape_.has_dragonfly()) {
+    std::int32_t links[kMaxLinks - 2];
+    const int n = dragonfly_links(src_node, dst_node, via_top, links);
+    for (int k = 0; k < n; ++k) {
+      if (!up(links[k])) return false;
+    }
+    return true;
+  }
   if (shape_.has_fabric()) {
     for (int level = 0; level < shape_.fabric_levels(); ++level) {
       const int sg = shape_.fabric_group_of(src_node, level);
@@ -594,6 +664,34 @@ double FlowNetwork::fabric_efficiency(int level, int group) const {
   PACC_EXPECTS(level >= 0 && level < shape_.fabric_levels());
   PACC_EXPECTS(group >= 0 && group < shape_.fabric_groups(level));
   return link_efficiency_[static_cast<std::size_t>(fabric_uplink(level, group))];
+}
+
+void FlowNetwork::set_dragonfly_router_efficiency(int router,
+                                                  double efficiency) {
+  PACC_EXPECTS(shape_.has_dragonfly());
+  PACC_EXPECTS(router >= 0 && router < shape_.df_routers_total());
+  set_unit_efficiency(df_router_uplink(router), df_router_downlink(router),
+                      efficiency);
+}
+
+void FlowNetwork::set_dragonfly_global_efficiency(int group,
+                                                  double efficiency) {
+  PACC_EXPECTS(shape_.has_dragonfly());
+  PACC_EXPECTS(group >= 0 && group < shape_.df_groups());
+  set_unit_efficiency(df_global_uplink(group), df_global_downlink(group),
+                      efficiency);
+}
+
+double FlowNetwork::dragonfly_router_efficiency(int router) const {
+  PACC_EXPECTS(shape_.has_dragonfly());
+  PACC_EXPECTS(router >= 0 && router < shape_.df_routers_total());
+  return link_efficiency_[static_cast<std::size_t>(df_router_uplink(router))];
+}
+
+double FlowNetwork::dragonfly_global_efficiency(int group) const {
+  PACC_EXPECTS(shape_.has_dragonfly());
+  PACC_EXPECTS(group >= 0 && group < shape_.df_groups());
+  return link_efficiency_[static_cast<std::size_t>(df_global_uplink(group))];
 }
 
 void FlowNetwork::set_unit_efficiency(std::int32_t l1, std::int32_t l2,

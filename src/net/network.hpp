@@ -208,6 +208,14 @@ class FlowNetwork {
   void set_fabric_efficiency(int level, int group, double efficiency);
   double fabric_efficiency(int level, int group) const;
 
+  /// Efficiency of one dragonfly router's local link pair (into/out of the
+  /// group's all-to-all mesh) or of one group's global link pair (dragonfly
+  /// shapes only; routers are numbered group-major as in ClusterShape).
+  void set_dragonfly_router_efficiency(int router, double efficiency);
+  void set_dragonfly_global_efficiency(int group, double efficiency);
+  double dragonfly_router_efficiency(int router) const;
+  double dragonfly_global_efficiency(int group) const;
+
   /// Whether every link of the path src→dst currently has bandwidth. The
   /// shared-memory channel never faults, so intra-node paths (unless forced
   /// through the HCA loopback) are always up.
@@ -335,6 +343,32 @@ class FlowNetwork {
   bool rack_layer_enabled() const {
     return shape_.has_racks() && params_.rack_bandwidth > 0.0;
   }
+  // Dragonfly links live past the HCA/shm id space (fabric and dragonfly
+  // are mutually exclusive): per-router local up/down pairs first, then
+  // per-group global up/down pairs.
+  int df_router_uplink(int router) const { return df_link_base_ + router; }
+  int df_router_downlink(int router) const {
+    return df_link_base_ + shape_.df_routers_total() + router;
+  }
+  int df_global_uplink(int group) const {
+    return df_link_base_ + 2 * shape_.df_routers_total() + group;
+  }
+  int df_global_downlink(int group) const {
+    return df_link_base_ + 2 * shape_.df_routers_total() +
+           shape_.df_groups() + group;
+  }
+
+  /// Appends the dragonfly portion of the path src→dst (the links between
+  /// the two HCAs) to `out`; returns how many were written (0, 2, 4 or 6).
+  /// With `via_top`, the minimal cross-group path is forced even for
+  /// router- or group-local endpoints — the symmetry-collapse runtime's
+  /// representative routing; its six link ids are distinct even when
+  /// src == dst. Adaptive routing detours cross-group traffic through a
+  /// deterministic Valiant intermediate group (global links only; the
+  /// intermediate group's router mesh is abstracted away), needs at least
+  /// three groups, and never applies under via_top.
+  int dragonfly_links(int src_node, int dst_node, bool via_top,
+                      std::int32_t* out) const;
 
   /// Fills flow.links/nlinks with the path src→dst (see transfer() for
   /// force_loopback / via_top semantics) and sets the shm rate cap when the
@@ -400,6 +434,8 @@ class FlowNetwork {
 
   /// First link id of each fabric level's aggregation links.
   std::vector<int> fabric_link_base_;
+  /// First link id of the dragonfly router/global links (dragonfly shapes).
+  int df_link_base_ = 0;
 
   // Deferred-recompute state (coalesce_rate_recomputes).
   std::vector<std::int32_t> dirty_seeds_;

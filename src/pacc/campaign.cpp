@@ -121,11 +121,12 @@ RunStatus validate(const SweepCell& cell) {
     // to a status instead of letting one bad cell abort the sweep.
     return RunStatus::error("invalid watchdog thresholds");
   }
-  if (!cell.cluster.fabric.empty()) {
+  if (!cell.cluster.fabric.empty() || cell.cluster.dragonfly.enabled()) {
     hw::ClusterShape shape;
     shape.nodes = cell.cluster.nodes;
     shape.nodes_per_rack = cell.cluster.nodes_per_rack;
     shape.fabric = cell.cluster.fabric;
+    shape.dragonfly = cell.cluster.dragonfly;
     if (!shape.valid()) {
       return RunStatus::error("invalid fabric description");
     }

@@ -180,6 +180,19 @@ std::optional<std::uint64_t> canonical_cell_hash(
     h.mix(level.oversubscription);
     h.mix(level.bandwidth);
   }
+  if (c.dragonfly.enabled()) {
+    // Marker-guarded so pre-dragonfly journals keep their keys; any
+    // dragonfly field change re-keys the cell.
+    h.mix(std::uint64_t{0xd7a60f1e});
+    h.mix(c.dragonfly.routers_per_group);
+    h.mix(c.dragonfly.nodes_per_router);
+    h.mix(c.dragonfly.adaptive);
+    h.mix(c.dragonfly.local_bandwidth);
+    h.mix(c.dragonfly.global_bandwidth);
+  }
+  // c.materialized_plans is deliberately NOT mixed: the compressed and
+  // materialized plan layouts are byte-identical by construction, so a
+  // journaled cell is valid for either setting.
   h.mix(c.collapse_multiplicity);
   h.mix(static_cast<int>(c.affinity));
   h.mix(static_cast<int>(c.progress));

@@ -24,6 +24,7 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
     machine_params.shape.nodes_per_rack = config.nodes_per_rack;
   }
   machine_params.shape.fabric = config.fabric;
+  machine_params.shape.dragonfly = config.dragonfly;
   machine_params.core_level_throttling = config.core_level_throttling;
   const net::NetworkParams network_params =
       config.network.value_or(presets::paper_network());
@@ -54,6 +55,9 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
                      "collapse multiplicity must divide nodes and ranks");
     PACC_EXPECTS_MSG(config.ranks == config.nodes * config.ranks_per_node,
                      "collapse requires full uniform occupancy");
+    PACC_EXPECTS_MSG(!config.dragonfly.adaptive,
+                     "adaptive dragonfly routing picks absolute intermediate "
+                     "groups and cannot be quotiented — use minimal routing");
     machine_params.shape.nodes = config.nodes / multiplicity;
   }
   PACC_EXPECTS_MSG(machine_params.shape.valid(), "invalid cluster shape");
@@ -70,6 +74,7 @@ Simulation::Simulation(const ClusterConfig& config) : config_(config) {
   rt_params.governor = config.governor;
   rt_params.synthetic_payloads = config.synthetic_payloads;
   rt_params.collapse_multiplicity = multiplicity;
+  rt_params.materialized_plans = config.materialized_plans;
   rt_params.watchdog = config.watchdog;
   runtime_ = std::make_unique<mpi::Runtime>(*engine_, *machine_, *network_,
                                             std::move(placement), rt_params);

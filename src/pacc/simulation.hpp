@@ -64,6 +64,11 @@ struct ClusterConfig {
   /// requires nodes_per_rack == 0 and the cumulative group sizes to divide
   /// `nodes`.
   std::vector<hw::FabricLevelSpec> fabric;
+  /// Dragonfly interconnect (see hw::DragonflySpec); disabled by default.
+  /// Mutually exclusive with `fabric` and the rack layer. Minimal routing
+  /// collapses like a fat tree (one group survives as the quotient);
+  /// adaptive routing de-collapses with a descriptive reason.
+  hw::DragonflySpec dragonfly;
   /// Rank-symmetry collapse (see src/sym/collapse.hpp): 0 lets
   /// measure_collective collapse eligible runs automatically, 1 forces the
   /// full 1:1 simulation, >1 demands exactly that multiplicity (and errors
@@ -85,6 +90,11 @@ struct ClusterConfig {
   /// removes the per-message copy traffic that dominated wall time at MiB
   /// block sizes. Leave off for programs that read what they receive.
   bool synthetic_payloads = false;
+  /// Build collective plans as historical rank-indexed tables instead of
+  /// class-compressed templates (see coll/plan.hpp and
+  /// mpi::RuntimeParams::materialized_plans). Byte-identical results;
+  /// exists for the equivalence suite and costs O(ranks) memory per plan.
+  bool materialized_plans = false;
   /// Tracing / metering options (see ObsOptions above).
   ObsOptions obs;
   /// Fault injection (drops, flaps, stragglers, transition failures) plus

@@ -36,7 +36,8 @@ bool proposed_is_equivariant(const ClusterConfig& config) {
   const bool applicable =
       config.nodes >= 2 && sockets == 2 && both_sockets_populated;
   if (!applicable) return true;  // falls back to DVFS over pairwise
-  return !config.fabric.empty() && is_pow2(config.nodes) && is_pow2(ppn);
+  return (!config.fabric.empty() || config.dragonfly.enabled()) &&
+         is_pow2(config.nodes) && is_pow2(ppn);
 }
 
 }  // namespace
@@ -99,12 +100,26 @@ CollapseDecision decide(const ClusterConfig& config,
   if (config.ranks != config.nodes * config.ranks_per_node) {
     return full("partial occupancy breaks node interchangeability");
   }
+  if (config.dragonfly.adaptive) {
+    // The Valiant intermediate group is a function of absolute group ids,
+    // so detour paths differ between a group and its translation image.
+    return full(
+        "adaptive dragonfly routing picks absolute intermediate groups — "
+        "not translation-equivariant; use minimal routing to collapse");
+  }
+  const bool grouped_fabric =
+      !config.fabric.empty() || config.dragonfly.enabled();
   int nodes_per_group = 1;
-  for (const hw::FabricLevelSpec& level : config.fabric) {
-    nodes_per_group *= level.group_size;
+  if (config.dragonfly.enabled()) {
+    nodes_per_group =
+        config.dragonfly.routers_per_group * config.dragonfly.nodes_per_router;
+  } else {
+    for (const hw::FabricLevelSpec& level : config.fabric) {
+      nodes_per_group *= level.group_size;
+    }
   }
   const int groups =
-      config.fabric.empty() ? config.nodes : config.nodes / nodes_per_group;
+      grouped_fabric ? config.nodes / nodes_per_group : config.nodes;
   if (groups < 2) {
     return full("single top-level group: no classes to merge");
   }
@@ -121,8 +136,7 @@ CollapseDecision decide(const ClusterConfig& config,
 
   // --- faults pin events to named nodes: de-collapse, with blame ---------
   if (config.faults.active()) {
-    const int group_nodes =
-        config.fabric.empty() ? 1 : config.nodes / groups;
+    const int group_nodes = grouped_fabric ? config.nodes / groups : 1;
     CollapseDecision broken = full("fault injection breaks rank symmetry");
     for (int node :
          fault::FaultInjector::straggler_nodes(config.faults, config.nodes)) {

@@ -1,0 +1,342 @@
+// Class-indexed plan compression suite.
+//
+// Contract under test: build_plan's compressed layout — one canonical
+// template per symmetry class plus a class_of_rank map — expands through
+// PlanView to exactly the tables build_plan_materialized emits, for every
+// kind and for power-of-two (kXor), non-power-of-two (kCyclic) and
+// dragonfly shapes. Around it, the cache economics the compression pays
+// for: size-invariant kinds share one entry across message sizes, the
+// PlanCache's byte accounting tracks inserts and LRU evictions against a
+// byte budget, and a traced Fig-7 sweep is byte-identical between the two
+// layouts at any --jobs value.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "coll/plan.hpp"
+#include "pacc/campaign.hpp"
+#include "pacc/simulation.hpp"
+#include "test_support.hpp"
+
+namespace pacc {
+namespace {
+
+using coll::CollPlan;
+using coll::PlanKind;
+using coll::PlanPtr;
+using coll::PlanView;
+
+ClusterConfig pow2_fat_tree() {
+  ClusterConfig cfg;
+  cfg.nodes = 32;
+  cfg.ranks = 256;
+  cfg.ranks_per_node = 8;
+  cfg.fabric = {{4, 2.0}};
+  return cfg;
+}
+
+ClusterConfig non_pow2_fabric() {
+  ClusterConfig cfg;
+  cfg.nodes = 12;
+  cfg.ranks = 48;
+  cfg.ranks_per_node = 4;
+  cfg.fabric = {{3, 1.5}};
+  return cfg;
+}
+
+ClusterConfig dragonfly_cluster() {
+  ClusterConfig cfg;
+  cfg.nodes = 32;
+  cfg.ranks = 256;
+  cfg.ranks_per_node = 8;
+  cfg.dragonfly.routers_per_group = 2;
+  cfg.dragonfly.nodes_per_router = 2;
+  return cfg;
+}
+
+/// Expands rank `me`'s schedule from `plan` (either layout) through a
+/// PlanView into concrete (dst, src) pairs / remapped actions, so the two
+/// layouts can be compared element by element.
+std::vector<coll::PairStep> expand_pair_steps(const CollPlan& plan, int me,
+                                              int size) {
+  const PlanView view(plan, me, size);
+  std::vector<coll::PairStep> out;
+  for (const coll::PairStep& step : plan.pair_steps[view.row()]) {
+    out.push_back({view.peer(step.dst), view.peer(step.src)});
+  }
+  return out;
+}
+
+std::vector<coll::PowerAction> expand_actions(const CollPlan& plan, int me,
+                                              int size) {
+  const PlanView view(plan, me, size);
+  std::vector<coll::PowerAction> out;
+  for (const coll::PowerAction& action : plan.actions[view.row()]) {
+    coll::PowerAction mapped = action;
+    if (action.kind == coll::PowerAction::kSend ||
+        action.kind == coll::PowerAction::kRecv) {
+      mapped.arg = view.peer(action.arg);
+    }
+    out.push_back(mapped);
+  }
+  return out;
+}
+
+void expect_layouts_equivalent(const ClusterConfig& cfg, PlanKind kind) {
+  Simulation sim(cfg);
+  mpi::Comm& world = sim.runtime().world();
+  const PlanPtr compressed = coll::build_plan(world, kind);
+  const PlanPtr materialized = coll::build_plan_materialized(world, kind);
+  ASSERT_TRUE(compressed && materialized);
+  EXPECT_TRUE(materialized->class_of_rank.empty());
+  EXPECT_EQ(compressed->pairwise_sendrecv, materialized->pairwise_sendrecv);
+  const int P = world.size();
+  for (int me = 0; me < P; ++me) {
+    if (!materialized->pair_steps.empty()) {
+      const auto want = expand_pair_steps(*materialized, me, P);
+      const auto got = expand_pair_steps(*compressed, me, P);
+      ASSERT_EQ(got.size(), want.size()) << "rank " << me;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].dst, want[i].dst) << "rank " << me << " step " << i;
+        EXPECT_EQ(got[i].src, want[i].src) << "rank " << me << " step " << i;
+      }
+    }
+    if (!materialized->actions.empty()) {
+      const auto want = expand_actions(*materialized, me, P);
+      const auto got = expand_actions(*compressed, me, P);
+      ASSERT_EQ(got.size(), want.size()) << "rank " << me;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].kind, want[i].kind) << "rank " << me << " #" << i;
+        EXPECT_EQ(got[i].arg, want[i].arg) << "rank " << me << " #" << i;
+      }
+    }
+  }
+  // Rank-indexed sections must be identical between the layouts.
+  EXPECT_EQ(compressed->parent, materialized->parent);
+  EXPECT_EQ(compressed->children, materialized->children);
+  EXPECT_EQ(compressed->bruck_rounds, materialized->bruck_rounds);
+}
+
+TEST(PlanCompression, PairwiseXorExpandsToMaterialized) {
+  expect_layouts_equivalent(pow2_fat_tree(), PlanKind::kAlltoallPairwise);
+  expect_layouts_equivalent(pow2_fat_tree(), PlanKind::kAlltoallvPairwise);
+}
+
+TEST(PlanCompression, PairwiseCyclicExpandsToMaterialized) {
+  expect_layouts_equivalent(non_pow2_fabric(), PlanKind::kAlltoallPairwise);
+  expect_layouts_equivalent(non_pow2_fabric(), PlanKind::kAlltoallvPairwise);
+}
+
+TEST(PlanCompression, DisseminationBarrierExpandsToMaterialized) {
+  expect_layouts_equivalent(pow2_fat_tree(), PlanKind::kBarrierDissemination);
+  expect_layouts_equivalent(non_pow2_fabric(),
+                            PlanKind::kBarrierDissemination);
+}
+
+TEST(PlanCompression, PowerExchangeExpandsToMaterialized) {
+  expect_layouts_equivalent(pow2_fat_tree(), PlanKind::kPowerExchange);
+  expect_layouts_equivalent(dragonfly_cluster(), PlanKind::kPowerExchange);
+  // Flat switch: the circle tournament singles ranks out, so the
+  // "compressed" build falls back to materialized — still equivalent.
+  expect_layouts_equivalent(test::small_cluster(8, 64, 8),
+                            PlanKind::kPowerExchange);
+}
+
+TEST(PlanCompression, RankInvariantAndRootedKindsAreUnchanged) {
+  expect_layouts_equivalent(pow2_fat_tree(), PlanKind::kAlltoallBruck);
+  expect_layouts_equivalent(pow2_fat_tree(), PlanKind::kBcastBinomial);
+}
+
+TEST(PlanCompression, PairwiseCollapsesToOneTemplate) {
+  Simulation sim(pow2_fat_tree());
+  mpi::Comm& world = sim.runtime().world();
+  const PlanPtr plan =
+      coll::build_plan(world, PlanKind::kAlltoallPairwise);
+  ASSERT_EQ(plan->pair_steps.size(), 1u);
+  ASSERT_EQ(plan->class_of_rank.size(), 256u);
+  EXPECT_EQ(plan->class_rep, std::vector<std::int32_t>{0});
+  EXPECT_EQ(plan->action, sym::CollapseAction::kXor);
+
+  Simulation cyc(non_pow2_fabric());
+  const PlanPtr cyclic = coll::build_plan(cyc.runtime().world(),
+                                          PlanKind::kAlltoallPairwise);
+  ASSERT_EQ(cyclic->pair_steps.size(), 1u);
+  EXPECT_EQ(cyclic->action, sym::CollapseAction::kCyclic);
+}
+
+TEST(PlanCompression, PowerExchangeCompressesToGroupClasses) {
+  // 4-node top-level groups × 8 ppn → 32 classes instead of 256 rows.
+  Simulation sim(pow2_fat_tree());
+  mpi::Comm& world = sim.runtime().world();
+  const PlanPtr compressed =
+      coll::build_plan(world, PlanKind::kPowerExchange);
+  const PlanPtr materialized =
+      coll::build_plan_materialized(world, PlanKind::kPowerExchange);
+  ASSERT_EQ(compressed->actions.size(), 32u);
+  ASSERT_EQ(materialized->actions.size(), 256u);
+  EXPECT_EQ(compressed->class_rep.size(), 32u);
+  // The 8× row reduction must show up in the footprint.
+  EXPECT_LT(compressed->bytes() * 4, materialized->bytes());
+}
+
+TEST(PlanCompression, SizeInvariantKindsShareOneCacheEntry) {
+  ClusterConfig cfg = pow2_fat_tree();
+  cfg.plan_cache = std::make_shared<coll::PlanCache>();
+  Simulation sim(cfg);
+  mpi::Comm& world = sim.runtime().world();
+  // The pairwise schedule does not depend on the message size: every size
+  // shares one entry (keyed bytes = 0).
+  const PlanPtr at_16k =
+      coll::get_plan(world, PlanKind::kAlltoallPairwise, 16 * 1024);
+  const PlanPtr at_1m =
+      coll::get_plan(world, PlanKind::kAlltoallPairwise, 1 << 20);
+  EXPECT_EQ(at_16k.get(), at_1m.get());
+  EXPECT_EQ(cfg.plan_cache->misses(), 1u);
+  EXPECT_EQ(cfg.plan_cache->hits(), 1u);
+  // The §V exchange throttles by message size: size-keyed, two entries.
+  const PlanPtr px_16k =
+      coll::get_plan(world, PlanKind::kPowerExchange, 16 * 1024);
+  const PlanPtr px_1m =
+      coll::get_plan(world, PlanKind::kPowerExchange, 1 << 20);
+  EXPECT_NE(px_16k.get(), px_1m.get());
+  EXPECT_EQ(cfg.plan_cache->misses(), 3u);
+}
+
+TEST(PlanCompression, CacheByteBudgetEvictsLru) {
+  // Hand-built plans with a known footprint: 1024 pair steps ≈ 8 KiB.
+  const auto make_plan = [] {
+    auto plan = std::make_shared<CollPlan>();
+    plan->pair_steps.emplace_back(1024);
+    return plan;
+  };
+  const std::size_t per_plan = make_plan()->bytes();
+  ASSERT_GT(per_plan, 8u * 1024);
+  coll::PlanCache cache(/*capacity=*/256,
+                        /*capacity_bytes=*/3 * per_plan);
+  const auto key = [](std::uint64_t fp) {
+    coll::PlanKey k;
+    k.comm_fingerprint = fp;
+    k.kind = PlanKind::kAlltoallPairwise;
+    return k;
+  };
+  cache.insert(key(1), make_plan());
+  cache.insert(key(2), make_plan());
+  cache.insert(key(3), make_plan());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * per_plan);
+  EXPECT_EQ(cache.evictions(), 0u);
+  // A fourth plan busts the byte budget: the LRU entry (key 1) goes.
+  cache.insert(key(4), make_plan());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * per_plan);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(key(1)), nullptr);
+  EXPECT_NE(cache.lookup(key(4)), nullptr);
+  EXPECT_EQ(cache.peak_bytes(), 3 * per_plan)
+      << "peak tracks settled occupancy, not the transient over-budget state";
+  // The newest entry always survives, even alone over budget.
+  coll::PlanCache tiny(/*capacity=*/256, /*capacity_bytes=*/1);
+  tiny.insert(key(9), make_plan());
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_NE(tiny.lookup(key(9)), nullptr);
+}
+
+TEST(PlanCompression, MaterializedEntriesDoNotCollideWithCompressed) {
+  ClusterConfig cfg = pow2_fat_tree();
+  cfg.plan_cache = std::make_shared<coll::PlanCache>();
+  ClusterConfig mat = cfg;
+  mat.materialized_plans = true;
+  Simulation a(cfg);
+  Simulation b(mat);
+  const PlanPtr compressed =
+      coll::get_plan(a.runtime().world(), PlanKind::kAlltoallPairwise, 0);
+  const PlanPtr materialized =
+      coll::get_plan(b.runtime().world(), PlanKind::kAlltoallPairwise, 0);
+  // Same fingerprint, same kind — but the kPlanVariantMaterialized bit
+  // keeps the two layouts in separate entries of the shared cache.
+  EXPECT_EQ(cfg.plan_cache->misses(), 2u);
+  EXPECT_FALSE(compressed->class_of_rank.empty());
+  EXPECT_TRUE(materialized->class_of_rank.empty());
+}
+
+// ---------------------------------------------- end-to-end byte identity ----
+
+/// The traced Fig-7 regime: every cell runs 1:1 (tracing de-collapses) and
+/// records per-rank spans, so any peer mislabelling in the compressed
+/// executors would show up in the trace JSON, not just the aggregates.
+SweepSpec fig7_traced_sweep(bool materialized) {
+  SweepSpec sweep;
+  for (const Bytes message : {Bytes{16 * 1024}, Bytes{64 * 1024}}) {
+    for (const auto scheme : coll::kAllSchemes) {
+      ClusterConfig cfg;  // the paper's testbed: 8 nodes × 8 ranks
+      cfg.obs.trace = true;
+      cfg.materialized_plans = materialized;
+      CollectiveBenchSpec bench;
+      bench.op = coll::Op::kAlltoall;
+      bench.scheme = scheme;
+      bench.message = message;
+      bench.iterations = 2;
+      bench.warmup = 1;
+      sweep.add(cfg, bench,
+                coll::to_string(scheme) + "/" + std::to_string(message));
+    }
+  }
+  return sweep;
+}
+
+std::string campaign_json(const SweepSpec& sweep, int jobs) {
+  CampaignOptions opts;
+  opts.jobs = jobs;
+  const auto results = Campaign(sweep, opts).run();
+  for (const CellResult& cell : results) {
+    EXPECT_TRUE(cell.status.ok()) << cell.label << ": "
+                                  << cell.status.describe();
+  }
+  std::ostringstream json;
+  write_campaign_json(json, sweep, results);
+  return json.str();
+}
+
+TEST(PlanCompression, TracedFig7SweepIsByteIdenticalAcrossLayoutsAndJobs) {
+  const std::string compressed_serial =
+      campaign_json(fig7_traced_sweep(false), 1);
+  const std::string compressed_threaded =
+      campaign_json(fig7_traced_sweep(false), 4);
+  const std::string materialized_threaded =
+      campaign_json(fig7_traced_sweep(true), 4);
+  EXPECT_EQ(compressed_serial, compressed_threaded);
+  EXPECT_EQ(compressed_serial, materialized_threaded)
+      << "compressed executors must replay the materialized schedule "
+         "byte for byte";
+}
+
+TEST(PlanCompression, TraceJsonMatchesBetweenLayouts) {
+  // The campaign artifact aggregates; the Chrome trace records every
+  // per-rank span, so a single mislabelled peer in the compressed
+  // executors would diverge here even if the totals happened to agree.
+  const auto run = [](bool materialized) {
+    ClusterConfig cfg;  // paper testbed
+    cfg.obs.trace = true;
+    cfg.materialized_plans = materialized;
+    CollectiveBenchSpec bench;
+    bench.op = coll::Op::kAlltoall;
+    bench.scheme = coll::PowerScheme::kProposed;
+    bench.message = 64 * 1024;
+    bench.iterations = 1;
+    bench.warmup = 0;
+    return measure_collective(cfg, bench);
+  };
+  const auto compressed = run(false);
+  const auto materialized = run(true);
+  ASSERT_TRUE(compressed.status.ok()) << compressed.status.describe();
+  ASSERT_FALSE(compressed.trace_json.empty());
+  EXPECT_EQ(compressed.trace_json, materialized.trace_json);
+  EXPECT_EQ(compressed.latency.ns(), materialized.latency.ns());
+  EXPECT_EQ(compressed.energy_per_op, materialized.energy_per_op);
+}
+
+}  // namespace
+}  // namespace pacc

@@ -23,6 +23,7 @@
 // <0 auto | 1 full | N forced multiplicity>.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -90,7 +91,14 @@ int usage(const char* argv0) {
       << "  --fabric SPEC      multi-level fat-tree, bottom-up; SPEC is\n"
       << "                     comma-separated size[:oversub] levels, e.g.\n"
       << "                     4:2 (4-node groups, 2:1 oversubscribed) or\n"
-      << "                     4:2,2 (plus a non-blocking 2-group level)\n"
+      << "                     4:2,2 (plus a non-blocking 2-group level).\n"
+      << "                     Or a dragonfly: dragonfly:G,R,N[:adaptive]\n"
+      << "                     (G groups of R routers with N nodes each;\n"
+      << "                     G*R*N must equal --nodes; :adaptive enables\n"
+      << "                     Valiant detours, which de-collapses)\n"
+      << "  --materialized-plans  build per-rank schedule tables instead of\n"
+      << "                     class-compressed templates (same bytes out;\n"
+      << "                     equivalence/debug aid)\n"
       << "  --collapse N       rank-symmetry collapse: 0 = automatic\n"
       << "                     (default), 1 = force the full 1:1 run,\n"
       << "                     N>1 = demand exactly that multiplicity\n"
@@ -153,7 +161,50 @@ int main(int argc, char** argv) {
   cfg.nodes = static_cast<int>(
       args.int_or("nodes", cfg.ranks / std::max(1, cfg.ranks_per_node)));
   cfg.nodes_per_rack = static_cast<int>(args.int_or("racks", 0));
-  if (const auto fabric_arg = args.get("fabric")) {
+  if (const auto fabric_arg = args.get("fabric");
+      fabric_arg && fabric_arg->rfind("dragonfly:", 0) == 0) {
+    // dragonfly:G,R,N[:adaptive] — G groups x R routers x N nodes/router.
+    std::string spec = fabric_arg->substr(std::strlen("dragonfly:"));
+    if (const auto colon = spec.find(':'); colon != std::string::npos) {
+      const std::string tail = spec.substr(colon + 1);
+      if (tail != "adaptive") {
+        std::cerr << "bad --fabric dragonfly suffix \"" << tail
+                  << "\" (only :adaptive is understood)\n";
+        return usage(argv[0]);
+      }
+      cfg.dragonfly.adaptive = true;
+      spec = spec.substr(0, colon);
+    }
+    int groups = 0;
+    try {
+      std::size_t pos = 0;
+      groups = std::stoi(spec, &pos);
+      if (spec.at(pos) != ',') throw std::invalid_argument(spec);
+      spec = spec.substr(pos + 1);
+      cfg.dragonfly.routers_per_group = std::stoi(spec, &pos);
+      if (spec.at(pos) != ',') throw std::invalid_argument(spec);
+      cfg.dragonfly.nodes_per_router = std::stoi(spec.substr(pos + 1));
+    } catch (const std::exception&) {
+      std::cerr << "bad --fabric dragonfly spec \"" << *fabric_arg
+                << "\" (want dragonfly:G,R,N[:adaptive])\n";
+      return usage(argv[0]);
+    }
+    if (groups < 2 || cfg.dragonfly.routers_per_group < 1 ||
+        cfg.dragonfly.nodes_per_router < 1) {
+      std::cerr << "bad --fabric dragonfly shape: need >=2 groups and "
+                   ">=1 routers/nodes per level\n";
+      return usage(argv[0]);
+    }
+    const long long df_nodes = 1ll * groups *
+                               cfg.dragonfly.routers_per_group *
+                               cfg.dragonfly.nodes_per_router;
+    if (df_nodes != cfg.nodes) {
+      std::cerr << "--fabric dragonfly shape covers " << df_nodes
+                << " nodes but --nodes is " << cfg.nodes
+                << " (need G*R*N == nodes)\n";
+      return usage(argv[0]);
+    }
+  } else if (fabric_arg) {
     // size[:oversub] per level, comma-separated, bottom-up.
     std::string spec = *fabric_arg;
     while (!spec.empty()) {
@@ -182,6 +233,14 @@ int main(int argc, char** argv) {
     std::cerr << "bad --collapse\n";
     return usage(argv[0]);
   }
+  if (cfg.collapse_multiplicity > 1 && cfg.dragonfly.adaptive) {
+    std::cerr << "--collapse " << cfg.collapse_multiplicity
+              << " cannot quotient an adaptive dragonfly: Valiant detours "
+                 "pick absolute intermediate groups, so groups are not "
+                 "interchangeable. Drop :adaptive or use --collapse 1\n";
+    return usage(argv[0]);
+  }
+  cfg.materialized_plans = args.has("materialized-plans");
   cfg.core_level_throttling = args.has("core-throttle");
   const std::string affinity = args.get_or("affinity", "bunch");
   if (affinity == "scatter") {
